@@ -1,0 +1,130 @@
+//! Bitline charge-sharing arithmetic.
+
+use simra_dram::Subarray;
+
+/// Computes the normalized bitline perturbation on every column when the
+/// given `(local_row, weight)` pairs are simultaneously connected.
+///
+/// Per column `c`:
+///
+/// ```text
+/// ΔV_c = assertion · Σ_i w_i · cap_i · xfer_i · (v_i − ½)  /  (β + Σ_i w_i · cap_i)
+/// ```
+///
+/// `xfer_i = max(0, 1 + (strength_i − 1) · transfer_amp)` amplifies the
+/// per-cell access-strength spread: in the violated-timing window the
+/// charge transfer never settles, so cells with weak transistors
+/// contribute disproportionately little (this is the dominant systematic
+/// variation behind "unstable" PUD cells).
+///
+/// A fully charged nominal cell in a single-row activation perturbs the
+/// bitline by `+0.5 / (β + 1)` — with the calibrated `β = 6` that is about
+/// 86 mV at VDD = 1.2 V, matching the scale real sense amplifiers see.
+pub fn bitline_deltas(
+    subarray: &Subarray,
+    rows_weights: &[(u32, f64)],
+    transfer_amp: f64,
+    assertion: f64,
+    beta: f64,
+) -> Vec<f64> {
+    let cols = subarray.cols();
+    let mut deltas = Vec::with_capacity(cols as usize);
+    for col in 0..cols {
+        let mut num = 0.0f64;
+        let mut cap_sum = 0.0f64;
+        for &(row, weight) in rows_weights {
+            let cell = subarray.cell(row, col);
+            let cap = cell.cap_factor() as f64 * weight;
+            let xfer = (1.0 + (cell.strength_factor() as f64 - 1.0) * transfer_amp).max(0.0);
+            num += cap * xfer * (cell.voltage() as f64 - 0.5);
+            cap_sum += cap;
+        }
+        deltas.push(assertion * num / (beta + cap_sum));
+    }
+    deltas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simra_dram::subarray::VariationParams;
+    use simra_dram::BitRow;
+
+    fn ideal_subarray() -> Subarray {
+        // No variation: analytic expectations hold exactly.
+        let v = VariationParams {
+            cell_cap_sigma: 0.0,
+            cell_strength_sigma: 0.0,
+            sense_offset_sigma: 0.0,
+        };
+        Subarray::new(8, 16, v, 0)
+    }
+
+    #[test]
+    fn single_charged_cell_perturbation() {
+        let mut sa = ideal_subarray();
+        sa.write_row(0, &BitRow::ones(16)).unwrap();
+        let d = bitline_deltas(&sa, &[(0, 1.0)], 6.8, 1.0, 6.0);
+        for &x in &d {
+            assert!((x - 0.5 / 7.0).abs() < 1e-9, "got {x}");
+        }
+    }
+
+    #[test]
+    fn discharged_cell_perturbs_negative() {
+        let sa = ideal_subarray(); // all cells start at 0 V
+        let d = bitline_deltas(&sa, &[(0, 1.0)], 6.8, 1.0, 6.0);
+        assert!(d.iter().all(|&x| (x + 0.5 / 7.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn balanced_rows_cancel() {
+        let mut sa = ideal_subarray();
+        sa.write_row(0, &BitRow::ones(16)).unwrap();
+        sa.write_row(1, &BitRow::zeros(16)).unwrap();
+        let d = bitline_deltas(&sa, &[(0, 1.0), (1, 1.0)], 6.8, 1.0, 6.0);
+        assert!(d.iter().all(|&x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn majority_sign_wins() {
+        let mut sa = ideal_subarray();
+        sa.write_row(0, &BitRow::ones(16)).unwrap();
+        sa.write_row(1, &BitRow::ones(16)).unwrap();
+        sa.write_row(2, &BitRow::zeros(16)).unwrap();
+        let d = bitline_deltas(&sa, &[(0, 1.0), (1, 1.0), (2, 1.0)], 6.8, 1.0, 6.0);
+        assert!(d.iter().all(|&x| x > 0.0));
+        // 2 charged − 1 discharged = +0.5/(6+3).
+        assert!((d[0] - 0.5 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overshare_weight_tips_a_tie() {
+        let mut sa = ideal_subarray();
+        sa.write_row(0, &BitRow::zeros(16)).unwrap();
+        sa.write_row(1, &BitRow::ones(16)).unwrap();
+        // Equal weights: tie. First row over-sharing: negative wins.
+        let d = bitline_deltas(&sa, &[(0, 2.0), (1, 1.0)], 6.8, 1.0, 6.0);
+        assert!(d.iter().all(|&x| x < 0.0));
+    }
+
+    #[test]
+    fn neutral_cells_contribute_nothing() {
+        let mut sa = ideal_subarray();
+        sa.write_row(0, &BitRow::ones(16)).unwrap();
+        sa.set_row_voltage(1, 0.5).unwrap();
+        let with_neutral = bitline_deltas(&sa, &[(0, 1.0), (1, 1.0)], 6.8, 1.0, 6.0);
+        // Numerator unchanged, denominator grows: smaller but same sign.
+        assert!(with_neutral.iter().all(|&x| x > 0.0));
+        assert!((with_neutral[0] - 0.5 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assertion_scales_linearly() {
+        let mut sa = ideal_subarray();
+        sa.write_row(0, &BitRow::ones(16)).unwrap();
+        let full = bitline_deltas(&sa, &[(0, 1.0)], 6.8, 1.0, 6.0);
+        let weak = bitline_deltas(&sa, &[(0, 1.0)], 6.8, 0.9, 6.0);
+        assert!((weak[0] / full[0] - 0.9).abs() < 1e-9);
+    }
+}

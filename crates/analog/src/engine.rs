@@ -1,0 +1,421 @@
+//! The APA analog engine: glue between a subarray's stored state and the
+//! charge/sense/restore primitives.
+//!
+//! The engine is deliberately stateless (parameters + operating conditions
+//! only); the mutable state lives in the [`Subarray`]. Operations in
+//! `simra-core` compose engine calls into full PUD operations.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use simra_dram::{ApaTiming, BitRow, Subarray, VendorProfile};
+
+use crate::charge::bitline_deltas;
+use crate::params::{CircuitParams, OperatingConditions};
+use crate::sense::{resolve, restore_probability, survival_probability};
+
+/// The analog outcome of connecting a set of rows to the bitlines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SenseResult {
+    /// Normalized bitline perturbation per column (before offsets).
+    pub deltas: Vec<f64>,
+    /// The value each sense amplifier resolves to with zero trial noise.
+    pub resolved: BitRow,
+}
+
+/// The analog engine for one module's chips.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApaEngine {
+    params: CircuitParams,
+    cond: OperatingConditions,
+    biased_amps: bool,
+}
+
+impl ApaEngine {
+    /// An engine with explicit parameters.
+    pub fn new(params: CircuitParams, cond: OperatingConditions, biased_amps: bool) -> Self {
+        ApaEngine {
+            params,
+            cond,
+            biased_amps,
+        }
+    }
+
+    /// An engine configured for a vendor profile at given conditions.
+    pub fn for_profile(profile: &VendorProfile, cond: OperatingConditions) -> Self {
+        ApaEngine::new(CircuitParams::calibrated(), cond, profile.biased_sense_amps)
+    }
+
+    /// The engine's circuit parameters.
+    pub fn params(&self) -> &CircuitParams {
+        &self.params
+    }
+
+    /// The operating conditions.
+    pub fn conditions(&self) -> OperatingConditions {
+        self.cond
+    }
+
+    /// Whether this part's sense amplifiers are biased (Mfr. M).
+    pub fn biased_amps(&self) -> bool {
+        self.biased_amps
+    }
+
+    /// Senses the simultaneously open `rows` (local indices), where
+    /// `first_row` is the APA's `R_F` (it over-shares for long ACT→ACT
+    /// windows). Returns per-column perturbations and the zero-noise
+    /// resolution.
+    pub fn sense(
+        &self,
+        subarray: &Subarray,
+        rows: &[u32],
+        first_row: u32,
+        timing: ApaTiming,
+    ) -> SenseResult {
+        let first_index = rows.iter().position(|r| *r == first_row).unwrap_or(0);
+        let weights = self.params.share_weights(rows.len(), first_index, timing);
+        let rows_weights: Vec<(u32, f64)> =
+            rows.iter().copied().zip(weights.iter().copied()).collect();
+        let assertion =
+            self.params.assertion_strength(timing, self.cond) * self.group_factor(subarray, rows);
+        let deltas = bitline_deltas(
+            subarray,
+            &rows_weights,
+            self.params.transfer_amp(rows.len()),
+            assertion,
+            self.params.beta,
+        );
+        let resolved = BitRow::from_bits((0..subarray.cols()).map(|c| {
+            resolve(
+                deltas[c as usize],
+                subarray.sense_offset(c) as f64,
+                0.0,
+                self.biased_amps,
+                subarray.bias_direction(c),
+            )
+        }));
+        SenseResult { deltas, resolved }
+    }
+
+    /// Deterministic multiplicative margin factor for a row group:
+    /// groups far from their local wordline drivers / sense-amp stripes
+    /// are systematically weaker. Hashed from the group's rows plus the
+    /// subarray's silicon so the same group always measures the same.
+    fn group_factor(&self, subarray: &Subarray, rows: &[u32]) -> f64 {
+        if rows.len() <= 1 {
+            return 1.0;
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ subarray.sense_offset(0).to_bits() as u64;
+        for &r in rows {
+            h = (h ^ (r as u64 + 1)).wrapping_mul(0x1000_0000_01b3);
+        }
+        // Two splitmix-style uniforms → one Gaussian (Box–Muller).
+        let mut z = h;
+        let mut next = || {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (x ^ (x >> 31)) as f64 / u64::MAX as f64
+        };
+        let u1 = next().max(f64::EPSILON);
+        let u2 = next();
+        let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        // Asymmetric: weak-side outliers are common (long lower whiskers in
+        // the paper's box plots) but the strong side saturates — which is
+        // why even best-group MAJ9 stays uneconomical (Fig. 16).
+        (1.0 + self.params.group_spread_sigma * g).clamp(0.35, 1.28)
+    }
+
+    /// Senses with sampled per-trial noise (functional mode; used where a
+    /// single concrete trial outcome is needed rather than a statistic).
+    pub fn sense_sampled(
+        &self,
+        subarray: &Subarray,
+        rows: &[u32],
+        first_row: u32,
+        timing: ApaTiming,
+        rng: &mut StdRng,
+    ) -> SenseResult {
+        let mut result = self.sense(subarray, rows, first_row, timing);
+        let sigma = self.params.trial_noise_sigma;
+        result.resolved = BitRow::from_bits((0..subarray.cols()).map(|c| {
+            let noise = {
+                // Box–Muller on two uniforms.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * sigma
+            };
+            resolve(
+                result.deltas[c as usize],
+                subarray.sense_offset(c) as f64,
+                noise,
+                self.biased_amps,
+                subarray.bias_direction(c),
+            )
+        }));
+        result
+    }
+
+    /// Per-column *signed margin* toward `expected`: perturbation plus
+    /// column offset, positive when the amplifier would resolve the
+    /// expected way. Characterization accumulates the minimum margin over
+    /// data redraws before converting to a survival probability.
+    pub fn margins_toward(
+        &self,
+        subarray: &Subarray,
+        deltas: &[f64],
+        expected: &BitRow,
+    ) -> Vec<f64> {
+        (0..subarray.cols() as usize)
+            .map(|c| {
+                let sign = if expected.get(c) { 1.0 } else { -1.0 };
+                sign * (deltas[c] + subarray.sense_offset(c as u32) as f64)
+            })
+            .collect()
+    }
+
+    /// Converts a systematic margin into the all-trials survival
+    /// probability with this engine's calibration.
+    pub fn margin_survival(&self, margin: f64) -> f64 {
+        survival_probability(
+            margin,
+            self.params.sense_deadzone,
+            self.params.trial_noise_sigma,
+            self.params.effective_trials,
+        )
+    }
+
+    /// Per-column probability that the amplifier resolves toward
+    /// `expected` in *all* of the calibrated trial count — the smooth form
+    /// of the paper's success-rate metric for sensing-limited operations
+    /// (MAJX).
+    pub fn survival_toward(
+        &self,
+        subarray: &Subarray,
+        deltas: &[f64],
+        expected: &BitRow,
+    ) -> Vec<f64> {
+        (0..subarray.cols() as usize)
+            .map(|c| {
+                let sign = if expected.get(c) { 1.0 } else { -1.0 };
+                let margin = sign * (deltas[c] + subarray.sense_offset(c as u32) as f64);
+                survival_probability(
+                    margin,
+                    self.params.sense_deadzone,
+                    self.params.trial_noise_sigma,
+                    self.params.effective_trials,
+                )
+            })
+            .collect()
+    }
+
+    /// Commits `values` into every open row with the given restore
+    /// strength: cells whose total drive clears the restore threshold take
+    /// the new value, the rest keep their old charge. Returns the number
+    /// of cells that failed to take the write.
+    pub fn commit(
+        &self,
+        subarray: &mut Subarray,
+        rows: &[u32],
+        values: &BitRow,
+        restore_strength: f64,
+    ) -> usize {
+        let n_open = rows.len();
+        let frac_ones = values.count_ones() as f64 / values.len().max(1) as f64;
+        let wq = self.params.write_quality(self.cond);
+        let mut failures = 0;
+        for &row in rows {
+            for col in 0..subarray.cols() {
+                let bit = values.get(col as usize);
+                let cell = subarray.cell(row, col);
+                let drive = restore_strength
+                    * wq
+                    * cell.strength_factor() as f64
+                    * self.params.restore_drive(bit, n_open, frac_ones);
+                if drive >= self.params.restore_threshold {
+                    subarray.cell_mut(row, col).write_bit(bit);
+                } else {
+                    if drive >= self.params.restore_threshold * 0.6 {
+                        // Partial restore: the cell's charge moves toward
+                        // the target but the insufficiently asserted
+                        // wordline cannot push it across the midpoint —
+                        // the stored digital value survives.
+                        let target = if bit { 1.0 } else { 0.0 };
+                        let coupling = 0.45 * (drive - self.params.restore_threshold * 0.6)
+                            / (self.params.restore_threshold * 0.4);
+                        let old = cell.as_bit();
+                        let c = subarray.cell_mut(row, col);
+                        c.drive_towards(target, coupling as f32);
+                        // Clamp back if the drift would flip the read-out.
+                        if c.as_bit() != old {
+                            c.set_voltage(0.5 + if old { 0.01 } else { -0.01 });
+                        }
+                    }
+                    if cell.as_bit() != bit {
+                        failures += 1;
+                    }
+                }
+            }
+        }
+        failures
+    }
+
+    /// Per-cell probability that a commit with `restore_strength` sticks,
+    /// across all trials — the smooth success metric for restore-limited
+    /// operations (WR-overdrive activation tests, Multi-RowCopy).
+    pub fn commit_survival(
+        &self,
+        subarray: &Subarray,
+        rows: &[u32],
+        values: &BitRow,
+        restore_strength: f64,
+    ) -> Vec<f64> {
+        let n_open = rows.len();
+        let frac_ones = values.count_ones() as f64 / values.len().max(1) as f64;
+        let wq = self.params.write_quality(self.cond);
+        let mut probs = Vec::with_capacity(rows.len() * subarray.cols() as usize);
+        for &row in rows {
+            for col in 0..subarray.cols() {
+                let bit = values.get(col as usize);
+                let cell = subarray.cell(row, col);
+                let drive = restore_strength
+                    * wq
+                    * cell.strength_factor() as f64
+                    * self.params.restore_drive(bit, n_open, frac_ones);
+                probs.push(restore_probability(drive, &self.params));
+            }
+        }
+        probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use simra_dram::subarray::VariationParams;
+
+    fn subarray() -> Subarray {
+        Subarray::new(64, 128, VariationParams::default(), 5)
+    }
+
+    fn engine() -> ApaEngine {
+        ApaEngine::new(
+            CircuitParams::calibrated(),
+            OperatingConditions::nominal(),
+            false,
+        )
+    }
+
+    #[test]
+    fn sense_resolves_clear_majority() {
+        let mut sa = subarray();
+        let e = engine();
+        sa.write_row(0, &BitRow::ones(128)).unwrap();
+        sa.write_row(1, &BitRow::ones(128)).unwrap();
+        sa.write_row(2, &BitRow::zeros(128)).unwrap();
+        sa.write_row(3, &BitRow::ones(128)).unwrap();
+        let r = e.sense(&sa, &[0, 1, 2, 3], 0, ApaTiming::best_for_majx());
+        // 3-vs-1: every column should resolve to 1.
+        assert_eq!(r.resolved.count_ones(), 128);
+    }
+
+    #[test]
+    fn survival_high_for_wide_margin() {
+        let mut sa = subarray();
+        let e = engine();
+        for row in 0..8 {
+            sa.write_row(row, &BitRow::ones(128)).unwrap();
+        }
+        let rows: Vec<u32> = (0..8).collect();
+        let r = e.sense(&sa, &rows, 0, ApaTiming::best_for_majx());
+        let surv = e.survival_toward(&sa, &r.deltas, &BitRow::ones(128));
+        let mean: f64 = surv.iter().sum::<f64>() / surv.len() as f64;
+        assert!(mean > 0.99, "mean survival {mean}");
+    }
+
+    #[test]
+    fn survival_low_against_the_majority() {
+        let mut sa = subarray();
+        let e = engine();
+        for row in 0..8 {
+            sa.write_row(row, &BitRow::ones(128)).unwrap();
+        }
+        let rows: Vec<u32> = (0..8).collect();
+        let r = e.sense(&sa, &rows, 0, ApaTiming::best_for_majx());
+        let surv = e.survival_toward(&sa, &r.deltas, &BitRow::zeros(128));
+        let mean: f64 = surv.iter().sum::<f64>() / surv.len() as f64;
+        assert!(mean < 0.01, "mean survival {mean}");
+    }
+
+    #[test]
+    fn commit_full_strength_sticks() {
+        let mut sa = subarray();
+        let e = engine();
+        let img = BitRow::ones(128);
+        let failures = e.commit(&mut sa, &[3, 4], &img, 1.0);
+        assert_eq!(failures, 0);
+        assert_eq!(sa.read_row(3).unwrap(), img);
+        assert_eq!(sa.read_row(4).unwrap(), img);
+    }
+
+    #[test]
+    fn commit_weak_strength_fails_cells() {
+        let mut sa = subarray();
+        let e = engine();
+        let img = BitRow::ones(128);
+        // Far below the restore threshold: nothing should take the write.
+        let failures = e.commit(&mut sa, &[3], &img, 0.3);
+        assert_eq!(failures, 128);
+        assert_eq!(sa.read_row(3).unwrap().count_ones(), 0);
+    }
+
+    #[test]
+    fn commit_survival_tracks_strength() {
+        let sa = subarray();
+        let e = engine();
+        let img = BitRow::ones(128);
+        let strong = e.commit_survival(&sa, &[0], &img, 1.0);
+        let weak = e.commit_survival(&sa, &[0], &img, 0.85);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&strong) > mean(&weak));
+        assert!(mean(&strong) > 0.99);
+    }
+
+    #[test]
+    fn sampled_sense_is_seed_deterministic() {
+        let mut sa = subarray();
+        let e = engine();
+        sa.write_row(0, &BitRow::ones(128)).unwrap();
+        sa.write_row(1, &BitRow::zeros(128)).unwrap();
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        let a = e.sense_sampled(&sa, &[0, 1], 0, ApaTiming::best_for_majx(), &mut r1);
+        let b = e.sense_sampled(&sa, &[0, 1], 0, ApaTiming::best_for_majx(), &mut r2);
+        assert_eq!(a.resolved, b.resolved);
+    }
+
+    #[test]
+    fn biased_amps_break_ties_deterministically() {
+        // A perfectly balanced bitline with zero offset: unbiased resolves
+        // by sign (false), biased follows the column bias.
+        let v = VariationParams {
+            cell_cap_sigma: 0.0,
+            cell_strength_sigma: 0.0,
+            sense_offset_sigma: 0.0,
+        };
+        let mut sa = Subarray::new(4, 32, v, 9);
+        sa.write_row(0, &BitRow::ones(32)).unwrap();
+        sa.write_row(1, &BitRow::zeros(32)).unwrap();
+        let biased = ApaEngine::new(
+            CircuitParams::calibrated(),
+            OperatingConditions::nominal(),
+            true,
+        );
+        let r = biased.sense(&sa, &[0, 1], 0, ApaTiming::best_for_majx());
+        for c in 0..32 {
+            assert_eq!(r.resolved.get(c), sa.bias_direction(c as u32));
+        }
+    }
+}

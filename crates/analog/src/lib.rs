@@ -1,0 +1,43 @@
+//! # simra-analog
+//!
+//! The circuit-level model behind the SiMRA-DRAM reproduction: bitline
+//! charge sharing, sense amplification, restore dynamics, and Monte-Carlo
+//! process variation. This crate is the stand-in for both the silicon's
+//! analog behaviour and the paper's SPICE simulations (§3.5, §7.2).
+//!
+//! ## Model summary
+//!
+//! When an APA sequence leaves `N` wordlines asserted, each connected cell
+//! shares charge with its bitline. The normalized perturbation on column
+//! `c` is a charge-conservation sum:
+//!
+//! ```text
+//! ΔV_c = Σ_i w_i · cap_i · xfer_i · (v_i − ½)  /  (β + Σ_i w_i · cap_i)
+//! ```
+//!
+//! where `β = C_bitline / C_cell`, `w_i` is the per-row contribution weight
+//! (the first-activated row over-shares when `t1 + t2` is long — the
+//! paper's hypothesis for why MAJX prefers `t1 = 1.5 ns`), and `xfer_i` is
+//! a per-cell transfer factor whose variation is *amplified* in PUD mode
+//! because the violated-timing charge-sharing window never settles.
+//!
+//! The sense amplifier resolves `ΔV_c + offset_c + noise` against a
+//! dead-zone threshold; cells whose systematic margin clears the
+//! noise-quantile of all trials are the paper's "stable" cells, everything
+//! else is unstable. Success rates are computed analytically from margins
+//! (fast, smooth, deterministic) while functional execution samples noise
+//! and commits results back to the cells.
+//!
+//! All calibration constants live in [`params::CircuitParams::calibrated`]
+//! and are validated against the paper's headline numbers by the
+//! characterization crate's tests.
+
+pub mod charge;
+pub mod engine;
+pub mod math;
+pub mod montecarlo;
+pub mod params;
+pub mod sense;
+
+pub use engine::{ApaEngine, SenseResult};
+pub use params::{CircuitParams, OperatingConditions};

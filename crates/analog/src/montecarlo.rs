@@ -1,0 +1,225 @@
+//! The SPICE-equivalent Monte-Carlo study (§3.5, §7.2, Fig. 15).
+//!
+//! The paper runs LTspice with the Rambus 55 nm array model scaled to
+//! 22 nm, varying capacitor and transistor parameters by 10–40 % over 10⁴
+//! Monte-Carlo iterations, and reports (a) the bitline perturbation right
+//! before sensing for MAJ3(1,1,0) under N-row activation and (b) the MAJ3
+//! success rate. This module reproduces both with the same
+//! charge-conservation arithmetic as the live engine, standalone from any
+//! `Subarray` (the SPICE deck knows nothing of our modelled silicon
+//! either).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::params::CircuitParams;
+
+/// VDD used to convert normalized perturbations to millivolts in reports.
+pub const VDD_VOLTS: f64 = 1.2;
+
+/// Configuration of one Monte-Carlo experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloConfig {
+    /// Number of independent cell sets per (N, variation) point
+    /// (the paper uses 1000 sets; Fig. 15 also cites 10⁴ iterations).
+    pub sets: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            sets: 1000,
+            seed: 0x51CE,
+        }
+    }
+}
+
+/// Distribution summary of the bitline perturbation (in mV) plus the MAJ3
+/// success rate for one (N, variation) point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloPoint {
+    /// Number of simultaneously activated rows.
+    pub n_rows: u32,
+    /// Component variation in percent (10–40).
+    pub variation_pct: u32,
+    /// Mean perturbation (mV).
+    pub mean_mv: f64,
+    /// First quartile (mV).
+    pub q1_mv: f64,
+    /// Median (mV).
+    pub median_mv: f64,
+    /// Third quartile (mV).
+    pub q3_mv: f64,
+    /// Minimum (mV).
+    pub min_mv: f64,
+    /// Maximum (mV).
+    pub max_mv: f64,
+    /// Fraction of sets whose perturbation clears the sensing dead zone in
+    /// the correct (positive) direction — the MAJ3 success rate.
+    pub success_rate: f64,
+}
+
+/// Cell voltages for MAJ3(1, 1, 0) under `n`-row activation: each operand
+/// replicated `⌊n/3⌋` times, remainder rows neutral at VDD/2. For `n = 1`
+/// a single fully charged cell (the single-row activation baseline box of
+/// Fig. 15a).
+pub fn maj3_110_voltages(n: u32) -> Vec<f64> {
+    if n == 1 {
+        return vec![1.0];
+    }
+    let r = (n / 3) as usize;
+    let mut v = Vec::with_capacity(n as usize);
+    v.extend(std::iter::repeat_n(1.0, 2 * r)); // operands A = B = 1
+    v.extend(std::iter::repeat_n(0.0, r)); // operand C = 0
+    v.extend(std::iter::repeat_n(0.5, n as usize - 3 * r)); // neutral
+    v
+}
+
+/// Runs the Monte-Carlo study for one (N, variation) point.
+pub fn run_point(
+    params: &CircuitParams,
+    n_rows: u32,
+    variation_pct: u32,
+    config: MonteCarloConfig,
+) -> MonteCarloPoint {
+    let voltages = maj3_110_voltages(n_rows);
+    let sigma = variation_pct as f64 / 100.0;
+    // Distinct stream per point so points are independently reproducible.
+    let mut rng =
+        StdRng::seed_from_u64(config.seed ^ ((n_rows as u64) << 32) ^ variation_pct as u64);
+    let mut perturbations = Vec::with_capacity(config.sets);
+    let mut successes = 0usize;
+    for _ in 0..config.sets {
+        let mut num = 0.0;
+        let mut cap_sum = 0.0;
+        for &v in &voltages {
+            // Capacitor and transistor parameters each varied by ±sigma.
+            let cap = (1.0 + gaussian(&mut rng) * sigma).max(0.05);
+            let xfer = (1.0 + gaussian(&mut rng) * sigma).max(0.0);
+            num += cap * xfer * (v - 0.5);
+            cap_sum += cap;
+        }
+        let delta = num / (params.beta + cap_sum);
+        perturbations.push(delta * VDD_VOLTS * 1000.0);
+        if delta > params.sense_deadzone {
+            successes += 1;
+        }
+    }
+    perturbations.sort_by(|a, b| a.partial_cmp(b).expect("perturbations are finite"));
+    let q = |p: f64| -> f64 {
+        let idx = ((perturbations.len() - 1) as f64 * p).round() as usize;
+        perturbations[idx]
+    };
+    MonteCarloPoint {
+        n_rows,
+        variation_pct,
+        mean_mv: perturbations.iter().sum::<f64>() / perturbations.len() as f64,
+        q1_mv: q(0.25),
+        median_mv: q(0.5),
+        q3_mv: q(0.75),
+        min_mv: perturbations[0],
+        max_mv: *perturbations.last().expect("at least one set"),
+        success_rate: successes as f64 / config.sets as f64,
+    }
+}
+
+/// Runs the full Fig. 15 grid: N ∈ {1, 4, 8, 16, 32} ×
+/// variation ∈ {10, 20, 30, 40} %.
+pub fn run_fig15(params: &CircuitParams, config: MonteCarloConfig) -> Vec<MonteCarloPoint> {
+    let mut out = Vec::new();
+    for &n in &[1u32, 4, 8, 16, 32] {
+        for &pct in &[10u32, 20, 30, 40] {
+            out.push(run_point(params, n, pct, config));
+        }
+    }
+    out
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_layout_matches_replication_rule() {
+        // N = 32 ⇒ 10 copies of each of 3 operands + 2 neutral rows.
+        let v = maj3_110_voltages(32);
+        assert_eq!(v.len(), 32);
+        assert_eq!(v.iter().filter(|x| **x == 1.0).count(), 20);
+        assert_eq!(v.iter().filter(|x| **x == 0.0).count(), 10);
+        assert_eq!(v.iter().filter(|x| **x == 0.5).count(), 2);
+        // N = 4 ⇒ one copy each + 1 neutral.
+        let v4 = maj3_110_voltages(4);
+        assert_eq!(v4.iter().filter(|x| **x == 0.5).count(), 1);
+    }
+
+    #[test]
+    fn perturbation_grows_with_n() {
+        let p = CircuitParams::calibrated();
+        let cfg = MonteCarloConfig { sets: 400, seed: 7 };
+        let p4 = run_point(&p, 4, 20, cfg);
+        let p32 = run_point(&p, 32, 20, cfg);
+        assert!(
+            p32.mean_mv > p4.mean_mv * 1.5,
+            "{} vs {}",
+            p32.mean_mv,
+            p4.mean_mv
+        );
+        // Paper: 32-row has ~159 % higher perturbation than 4-row; with the
+        // calibrated β the model lands at ~+90 % (same direction, smaller
+        // factor — recorded in EXPERIMENTS.md).
+        let gain = p32.mean_mv / p4.mean_mv - 1.0;
+        assert!(gain > 0.5 && gain < 2.5, "gain {gain}");
+    }
+
+    #[test]
+    fn success_collapses_with_variation_at_n4_but_not_n32() {
+        let p = CircuitParams::calibrated();
+        let cfg = MonteCarloConfig { sets: 600, seed: 9 };
+        let n4_low = run_point(&p, 4, 10, cfg).success_rate;
+        let n4_high = run_point(&p, 4, 40, cfg).success_rate;
+        let n32_low = run_point(&p, 32, 10, cfg).success_rate;
+        let n32_high = run_point(&p, 32, 40, cfg).success_rate;
+        assert!(
+            n4_low - n4_high > 0.1,
+            "N=4 should degrade: {n4_low} → {n4_high}"
+        );
+        assert!(
+            n32_low - n32_high < 0.02,
+            "N=32 should hold: {n32_low} → {n32_high}"
+        );
+        assert!(n32_high > 0.97);
+    }
+
+    #[test]
+    fn grid_covers_the_figure() {
+        let p = CircuitParams::calibrated();
+        let pts = run_fig15(&p, MonteCarloConfig { sets: 50, seed: 1 });
+        assert_eq!(pts.len(), 20);
+    }
+
+    #[test]
+    fn points_are_reproducible() {
+        let p = CircuitParams::calibrated();
+        let cfg = MonteCarloConfig { sets: 100, seed: 5 };
+        assert_eq!(run_point(&p, 8, 20, cfg), run_point(&p, 8, 20, cfg));
+    }
+
+    #[test]
+    fn quartiles_are_ordered() {
+        let p = CircuitParams::calibrated();
+        let pt = run_point(&p, 16, 30, MonteCarloConfig { sets: 500, seed: 2 });
+        assert!(pt.min_mv <= pt.q1_mv);
+        assert!(pt.q1_mv <= pt.median_mv);
+        assert!(pt.median_mv <= pt.q3_mv);
+        assert!(pt.q3_mv <= pt.max_mv);
+    }
+}

@@ -1,0 +1,97 @@
+//! Sense amplification: resolution, stability, and survival probability.
+
+use crate::math::phi;
+use crate::params::CircuitParams;
+
+/// Probability that a bitline with systematic `margin` toward the correct
+/// value resolves correctly in *every one* of `trials` trials, each with
+/// Gaussian noise `sigma` and the amplifier's `deadzone`.
+///
+/// This is the smooth analytic form of the paper's success-rate metric: a
+/// cell is "stable" iff it never errs across 10⁴ trials, and the expected
+/// fraction of stable cells is the mean of this survival probability.
+pub fn survival_probability(margin: f64, deadzone: f64, sigma: f64, trials: u32) -> f64 {
+    let p_single = phi((margin - deadzone) / sigma);
+    if p_single <= 0.0 {
+        return 0.0;
+    }
+    // p^T via exp(T · ln p); ln p underflows gracefully for hopeless cells.
+    (trials as f64 * p_single.ln()).exp()
+}
+
+/// Deterministic resolution of a bitline: the sign of the perturbation
+/// plus the column offset, with the biased-amp tiebreak for Mfr. M parts.
+pub fn resolve(delta: f64, offset: f64, noise: f64, biased: bool, bias_direction: bool) -> bool {
+    let v = delta + offset + noise;
+    if biased && v.abs() < 1e-12 {
+        bias_direction
+    } else {
+        v > 0.0
+    }
+}
+
+/// Probability that a cell takes a full restore given its total `drive`
+/// (restore strength × cell strength × droop), against the calibrated
+/// restore threshold, surviving all trials.
+pub fn restore_probability(drive: f64, params: &CircuitParams) -> f64 {
+    // The restore race is far less noisy than sensing: model it as a
+    // threshold with the trial noise scaled down an order of magnitude.
+    let sigma = params.trial_noise_sigma;
+    survival_probability(
+        drive - params.restore_threshold,
+        0.0,
+        sigma,
+        params.effective_trials,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survival_extremes() {
+        // Far above threshold: certain survival.
+        assert!(survival_probability(0.5, 0.03, 0.0045, 10_000) > 0.999);
+        // Far below: certain death.
+        assert!(survival_probability(-0.5, 0.03, 0.0045, 10_000) < 1e-9);
+        // Exactly at deadzone: p_single = 0.5, dead after many trials.
+        assert!(survival_probability(0.03, 0.03, 0.0045, 10_000) < 1e-9);
+    }
+
+    #[test]
+    fn survival_monotone_in_margin() {
+        let p = |m| survival_probability(m, 0.03, 0.0045, 10_000);
+        assert!(p(0.06) > p(0.05));
+        assert!(p(0.05) > p(0.045));
+    }
+
+    #[test]
+    fn more_trials_is_harder() {
+        let m = 0.042;
+        assert!(
+            survival_probability(m, 0.03, 0.0045, 100_000)
+                < survival_probability(m, 0.03, 0.0045, 1_000)
+        );
+    }
+
+    #[test]
+    fn resolve_sign_and_bias() {
+        assert!(resolve(0.01, 0.0, 0.0, false, false));
+        assert!(!resolve(-0.01, 0.0, 0.0, false, true));
+        // Dead even: unbiased resolves false (v > 0 fails), biased follows
+        // the column's bias direction.
+        assert!(!resolve(0.0, 0.0, 0.0, false, true));
+        assert!(resolve(0.0, 0.0, 0.0, true, true));
+        assert!(!resolve(0.0, 0.0, 0.0, true, false));
+        // Offset can flip a marginal bitline.
+        assert!(!resolve(0.005, -0.01, 0.0, false, false));
+    }
+
+    #[test]
+    fn restore_probability_thresholds() {
+        let p = CircuitParams::calibrated();
+        assert!(restore_probability(1.0, &p) > 0.999);
+        assert!(restore_probability(0.5, &p) < 1e-9);
+    }
+}

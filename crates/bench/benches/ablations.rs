@@ -1,0 +1,82 @@
+//! Ablation benches for the design choices DESIGN.md calls out: what
+//! happens to MAJX success when individual model mechanisms are turned
+//! off. Each bench measures the ablated configuration; the printed
+//! throughput differences against the calibrated run ARE the ablation
+//! result.
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simra_analog::CircuitParams;
+use simra_bender::TestSetup;
+use simra_core::maj::{majx_success, MajConfig};
+use simra_core::rowgroup::sample_groups;
+use simra_dram::{ApaTiming, DataPattern, VendorProfile};
+
+fn maj3_at(setup: &mut TestSetup, timing: ApaTiming, rng: &mut StdRng) -> f64 {
+    let groups = sample_groups(setup.module().geometry(), 32, 1, 1, 1, rng);
+    majx_success(
+        setup,
+        &groups[0],
+        3,
+        timing,
+        DataPattern::Random,
+        &MajConfig::default(),
+        rng,
+    )
+    .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(20);
+
+    // Ablation 1: no first-row over-share — (3,3) should recover to the
+    // level of (1.5,3), erasing the paper's Obs. 7 timing asymmetry.
+    group.bench_function("maj3_calibrated_t33", |b| {
+        let mut setup = TestSetup::new(VendorProfile::mfr_h_m_die(), 7);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| maj3_at(&mut setup, ApaTiming::from_ns(3.0, 3.0), &mut rng));
+    });
+    group.bench_function("maj3_no_overshare_t33", |b| {
+        let mut setup = TestSetup::new(VendorProfile::mfr_h_m_die(), 7);
+        let mut p = CircuitParams::calibrated();
+        p.overshare_per_ns = 0.0;
+        setup.set_circuit_params(Some(p));
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| maj3_at(&mut setup, ApaTiming::from_ns(3.0, 3.0), &mut rng));
+    });
+
+    // Ablation 2: no transfer-variation amplification — PUD sensing
+    // becomes nearly noiseless and every MAJX saturates.
+    group.bench_function("maj3_no_transfer_amp", |b| {
+        let mut setup = TestSetup::new(VendorProfile::mfr_h_m_die(), 7);
+        let mut p = CircuitParams::calibrated();
+        p.pud_transfer_amp = 0.0;
+        setup.set_circuit_params(Some(p));
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| maj3_at(&mut setup, ApaTiming::best_for_majx(), &mut rng));
+    });
+
+    // Ablation 3: no group-to-group spread — the box plots collapse to
+    // points and best-group selection stops mattering.
+    group.bench_function("maj3_no_group_spread", |b| {
+        let mut setup = TestSetup::new(VendorProfile::mfr_h_m_die(), 7);
+        let mut p = CircuitParams::calibrated();
+        p.group_spread_sigma = 0.0;
+        setup.set_circuit_params(Some(p));
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| maj3_at(&mut setup, ApaTiming::best_for_majx(), &mut rng));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Primitive-operation benchmarks: the cost of the model itself
+//! (sense, commit, RowClone, APA resolution).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simra_bender::TestSetup;
+use simra_core::maj::{exec_majx, random_operands};
+use simra_core::rowclone::exec_rowclone;
+use simra_core::rowgroup::sample_groups;
+use simra_decoder::RowDecoder;
+use simra_dram::{ApaTiming, BankId, BitRow, RowAddr, VendorProfile};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_ops");
+    group.bench_function("decoder_resolve_apa_32", |b| {
+        let dec = RowDecoder::for_subarray_rows(512);
+        b.iter(|| dec.resolve_apa(127, 128, ApaTiming::from_ns(3.0, 3.0), false))
+    });
+    group.bench_function("rowclone_256_cols", |b| {
+        let mut setup = TestSetup::new(VendorProfile::mfr_h_m_die(), 7);
+        let cols = setup.module().geometry().cols_per_row as usize;
+        setup
+            .init_row(BankId::new(0), RowAddr::new(0), &BitRow::ones(cols))
+            .unwrap();
+        b.iter(|| exec_rowclone(&mut setup, BankId::new(0), RowAddr::new(0), RowAddr::new(1)))
+    });
+    group.bench_function("exec_maj3_n32", |b| {
+        let mut setup = TestSetup::new(VendorProfile::mfr_h_m_die(), 7);
+        let mut rng = StdRng::seed_from_u64(3);
+        let groups = sample_groups(setup.module().geometry(), 32, 1, 1, 1, &mut rng);
+        let cols = setup.module().geometry().cols_per_row as usize;
+        let ops = random_operands(3, cols, &mut rng);
+        b.iter(|| {
+            exec_majx(
+                &mut setup,
+                &groups[0],
+                &ops,
+                ApaTiming::best_for_majx(),
+                &mut rng,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

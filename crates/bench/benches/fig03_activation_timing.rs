@@ -1,0 +1,47 @@
+//! Bench for Fig. 3: regenerates the many-row activation timing grid and
+//! times one grid point per N.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simra_bender::TestSetup;
+use simra_characterize::{fig3_activation_timing, ExperimentConfig};
+use simra_core::act::activation_success;
+use simra_core::rowgroup::sample_groups;
+use simra_dram::{ApaTiming, DataPattern, VendorProfile};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig03");
+    for n in [2u32, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("activation_success", n), &n, |b, &n| {
+            let mut setup = TestSetup::new(VendorProfile::mfr_h_m_die(), 7);
+            let mut rng = StdRng::seed_from_u64(1);
+            let groups = sample_groups(setup.module().geometry(), n, 1, 1, 1, &mut rng);
+            b.iter(|| {
+                activation_success(
+                    &mut setup,
+                    &groups[0],
+                    ApaTiming::best_for_activation(),
+                    DataPattern::Random,
+                    &mut rng,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.sample_size(10);
+    group.bench_function("full_table_quick", |b| {
+        let cfg = ExperimentConfig::quick();
+        b.iter(|| fig3_activation_timing(&cfg));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench for Fig. 4a/4b: temperature and V_PP sweeps of many-row
+//! activation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use simra_characterize::{
+    fig4a_activation_temperature, fig4b_activation_voltage, ExperimentConfig,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig04");
+    group.sample_size(10);
+    let cfg = ExperimentConfig::quick();
+    group.bench_function("temperature_sweep", |b| {
+        b.iter(|| fig4a_activation_temperature(&cfg))
+    });
+    group.bench_function("voltage_sweep", |b| {
+        b.iter(|| fig4b_activation_voltage(&cfg))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

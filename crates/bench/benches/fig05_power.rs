@@ -1,0 +1,27 @@
+//! Bench for Fig. 5: the power table (analytic, fast).
+use criterion::{criterion_group, criterion_main, Criterion};
+use simra_bender::power::PowerModel;
+use simra_characterize::{fig5_power, ExperimentConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig05");
+    group.bench_function("power_table", |b| {
+        let cfg = ExperimentConfig::quick();
+        b.iter(|| fig5_power(&cfg))
+    });
+    group.bench_function("many_row_activation_mw", |b| {
+        let m = PowerModel::ddr4();
+        b.iter(|| (2..=32).map(|n| m.many_row_activation_mw(n)).sum::<f64>())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Bench for Fig. 7: MAJX across data patterns.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simra_bender::TestSetup;
+use simra_characterize::{fig7_majx_patterns, ExperimentConfig};
+use simra_core::maj::{majx_success, MajConfig};
+use simra_core::rowgroup::sample_groups;
+use simra_dram::{ApaTiming, DataPattern, VendorProfile};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig07");
+    for x in [3usize, 5, 7, 9] {
+        group.bench_with_input(BenchmarkId::new("majx_success_n32", x), &x, |b, &x| {
+            let mut setup = TestSetup::new(VendorProfile::mfr_h_m_die(), 7);
+            let mut rng = StdRng::seed_from_u64(1);
+            let groups = sample_groups(setup.module().geometry(), 32, 1, 1, 1, &mut rng);
+            let cfg = MajConfig::default();
+            b.iter(|| {
+                majx_success(
+                    &mut setup,
+                    &groups[0],
+                    x,
+                    ApaTiming::best_for_majx(),
+                    DataPattern::Random,
+                    &cfg,
+                    &mut rng,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.sample_size(10);
+    group.bench_function("full_table_quick", |b| {
+        let cfg = ExperimentConfig::quick();
+        b.iter(|| fig7_majx_patterns(&cfg));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

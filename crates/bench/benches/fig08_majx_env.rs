@@ -1,0 +1,24 @@
+//! Bench for Fig. 8/9: MAJX temperature and V_PP sweeps.
+use criterion::{criterion_group, criterion_main, Criterion};
+use simra_characterize::{fig8_majx_temperature, fig9_majx_voltage, ExperimentConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_09");
+    group.sample_size(10);
+    let cfg = ExperimentConfig::quick();
+    group.bench_function("temperature_sweep", |b| {
+        b.iter(|| fig8_majx_temperature(&cfg))
+    });
+    group.bench_function("voltage_sweep", |b| b.iter(|| fig9_majx_voltage(&cfg)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Bench for Fig. 10: Multi-RowCopy timing grid.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simra_bender::TestSetup;
+use simra_characterize::{fig10_mrc_timing, ExperimentConfig};
+use simra_core::multirowcopy::multirowcopy_success;
+use simra_core::rowgroup::sample_groups;
+use simra_dram::{ApaTiming, BitRow, VendorProfile};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    for dests in [1u32, 7, 31] {
+        group.bench_with_input(BenchmarkId::new("mrc_success", dests), &dests, |b, &d| {
+            let mut setup = TestSetup::new(VendorProfile::mfr_h_m_die(), 7);
+            let mut rng = StdRng::seed_from_u64(1);
+            let groups = sample_groups(setup.module().geometry(), d + 1, 1, 1, 1, &mut rng);
+            let cols = setup.module().geometry().cols_per_row as usize;
+            let img = BitRow::random(&mut rng, cols);
+            b.iter(|| {
+                multirowcopy_success(
+                    &mut setup,
+                    &groups[0],
+                    ApaTiming::best_for_multi_row_copy(),
+                    &img,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.sample_size(10);
+    group.bench_function("full_table_quick", |b| {
+        let cfg = ExperimentConfig::quick();
+        b.iter(|| fig10_mrc_timing(&cfg));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

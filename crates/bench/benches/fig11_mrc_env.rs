@@ -1,0 +1,27 @@
+//! Bench for Fig. 11/12: Multi-RowCopy pattern and environment sweeps.
+use criterion::{criterion_group, criterion_main, Criterion};
+use simra_characterize::{
+    fig11_mrc_patterns, fig12a_mrc_temperature, fig12b_mrc_voltage, ExperimentConfig,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_12");
+    group.sample_size(10);
+    let cfg = ExperimentConfig::quick();
+    group.bench_function("pattern_sweep", |b| b.iter(|| fig11_mrc_patterns(&cfg)));
+    group.bench_function("temperature_sweep", |b| {
+        b.iter(|| fig12a_mrc_temperature(&cfg))
+    });
+    group.bench_function("voltage_sweep", |b| b.iter(|| fig12b_mrc_voltage(&cfg)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

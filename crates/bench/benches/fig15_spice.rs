@@ -1,0 +1,35 @@
+//! Bench for Fig. 15: the SPICE-equivalent Monte-Carlo study.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simra_analog::montecarlo::{run_point, MonteCarloConfig};
+use simra_analog::CircuitParams;
+use simra_characterize::{fig15_spice, ExperimentConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15");
+    let params = CircuitParams::calibrated();
+    for n in [4u32, 32] {
+        group.bench_with_input(BenchmarkId::new("mc_point_1000_sets", n), &n, |b, &n| {
+            let cfg = MonteCarloConfig {
+                sets: 1000,
+                seed: 1,
+            };
+            b.iter(|| run_point(&params, n, 20, cfg));
+        });
+    }
+    group.sample_size(10);
+    group.bench_function("full_grid", |b| {
+        let cfg = ExperimentConfig::quick();
+        b.iter(|| fig15_spice(&cfg));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench for Fig. 16: the seven majority-based microbenchmarks.
+use criterion::{criterion_group, criterion_main, Criterion};
+use simra_casestudy::fig16_microbenchmarks;
+use simra_casestudy::microbench::{execution_time_ns, Microbench};
+use simra_casestudy::throughput::measure_majx_throughput;
+use simra_dram::VendorProfile;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16");
+    group.bench_function("throughput_point_maj5", |b| {
+        b.iter(|| measure_majx_throughput(&VendorProfile::mfr_h_m_die(), 5, 32, 2, 11))
+    });
+    group.bench_function("analytic_model_all_microbenches", |b| {
+        let t = measure_majx_throughput(&VendorProfile::mfr_h_m_die(), 5, 32, 2, 11);
+        b.iter(|| {
+            Microbench::ALL
+                .iter()
+                .map(|m| execution_time_ns(*m, &t))
+                .sum::<f64>()
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("full_table", |b| {
+        let profiles = [VendorProfile::mfr_h_m_die(), VendorProfile::mfr_m_e_die()];
+        b.iter(|| fig16_microbenchmarks(&profiles, 2, 11));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench for Fig. 17: content-destruction strategies.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simra_casestudy::coldboot::{wipe_time_ns, WipeStrategy};
+use simra_casestudy::fig17_coldboot;
+use simra_dram::TimingParams;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17");
+    let timing = TimingParams::ddr4_2666();
+    for n in [2u32, 32] {
+        group.bench_with_input(BenchmarkId::new("wipe_model_mrc", n), &n, |b, &n| {
+            b.iter(|| wipe_time_ns(WipeStrategy::MultiRowCopy { n }, 65_536, 512, &timing))
+        });
+    }
+    group.bench_function("full_table", |b| b.iter(fig17_coldboot));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Regenerates every table and figure of the paper's evaluation and
+//! prints them as text tables (the data behind EXPERIMENTS.md).
+//!
+//! Usage:
+//!   repro            # reduced scale (default; minutes)
+//!   repro quick      # smoke scale (seconds)
+//!   repro paper      # the paper's full population (hours)
+
+use simra_casestudy::{fig16_microbenchmarks, fig17_coldboot};
+use simra_characterize::{
+    fig10_mrc_timing, fig11_mrc_patterns, fig12a_mrc_temperature, fig12b_mrc_voltage, fig15_spice,
+    fig3_activation_timing, fig4a_activation_temperature, fig4b_activation_voltage, fig5_power,
+    fig6_maj3_timing, fig7_majx_patterns, fig8_majx_temperature, fig9_majx_voltage,
+    ExperimentConfig,
+};
+use simra_dram::VendorProfile;
+
+fn main() {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "reduced".into());
+    let config = match scale.as_str() {
+        "quick" => ExperimentConfig::quick(),
+        "paper" => ExperimentConfig::paper_scale(),
+        _ => ExperimentConfig::reduced(),
+    };
+    eprintln!("# scale: {scale} — {}", config.describe_scale());
+
+    println!("{}", fig3_activation_timing(&config));
+    println!("{}", fig4a_activation_temperature(&config));
+    println!("{}", fig4b_activation_voltage(&config));
+    println!("{}", fig5_power(&config));
+    println!("{}", fig6_maj3_timing(&config));
+    println!("{}", fig7_majx_patterns(&config));
+    println!("{}", fig8_majx_temperature(&config));
+    println!("{}", fig9_majx_voltage(&config));
+    println!("{}", fig10_mrc_timing(&config));
+    println!("{}", fig11_mrc_patterns(&config));
+    println!("{}", fig12a_mrc_temperature(&config));
+    println!("{}", fig12b_mrc_voltage(&config));
+    let (fig15a, fig15b) = fig15_spice(&config);
+    println!("{fig15a}");
+    println!("{fig15b}");
+    let profiles = [VendorProfile::mfr_h_m_die(), VendorProfile::mfr_m_e_die()];
+    let groups = if scale == "paper" { 40 } else { 8 };
+    println!("{}", fig16_microbenchmarks(&profiles, groups, 11));
+    println!("{}", fig17_coldboot());
+
+    println!("{}", simra_characterize::per_die_breakdown(&config));
+
+    println!("=== Observation scoreboard (18 observations, §4–§6) ===");
+    let reports = simra_characterize::check_observations(&config);
+    let held = reports.iter().filter(|r| r.holds).count();
+    for r in &reports {
+        println!("{r}");
+    }
+    println!("--- {held}/18 observations reproduced at this scale ---");
+
+    println!("\n=== Takeaway scoreboard (7 lessons) ===");
+    let takeaways = simra_characterize::derive_takeaways(&reports);
+    let t_held = takeaways.iter().filter(|t| t.holds).count();
+    for t in &takeaways {
+        println!("{t}");
+    }
+    println!("--- {t_held}/7 takeaways reproduced at this scale ---");
+}

@@ -1,0 +1,1 @@
+//! Bench support crate (bench targets live in benches/).

@@ -1,0 +1,143 @@
+//! Per-operation energy: power × duration, plus the data-movement
+//! comparison that motivates PUD in the first place (§1: moving data to
+//! the CPU costs orders of magnitude more energy than operating on it
+//! in place).
+
+use serde::{Deserialize, Serialize};
+
+use simra_dram::{ApaTiming, BankId, RowAddr, TimingParams};
+
+use crate::power::{PowerModel, StandardOp};
+use crate::program::BenderProgram;
+
+/// Energy cost of moving one bit over the memory channel to the CPU and
+/// back (pJ/bit): interface + on-chip transport, the textbook ~10–20×
+/// penalty over a column access.
+pub const CHANNEL_ENERGY_PJ_PER_BIT: f64 = 15.0;
+
+/// Energy accounting for one module.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// The power model energies derive from.
+    pub power: PowerModel,
+    /// Module timing (durations).
+    pub timing: TimingParams,
+}
+
+impl EnergyModel {
+    /// DDR4-2666 defaults.
+    pub fn ddr4() -> Self {
+        EnergyModel {
+            power: PowerModel::ddr4(),
+            timing: TimingParams::ddr4_2666(),
+        }
+    }
+
+    /// Energy of one standard operation (nJ): its power over its
+    /// characteristic duration.
+    pub fn standard_nj(&self, op: StandardOp) -> f64 {
+        let duration_ns = match op {
+            StandardOp::Read | StandardOp::Write => {
+                self.timing.t_rcd_ns + self.timing.t_ras_ns + self.timing.t_rp_ns
+            }
+            StandardOp::ActPre => self.timing.t_ras_ns + self.timing.t_rp_ns,
+            StandardOp::Refresh => self.timing.t_rfc_ns,
+        };
+        self.power.standard_mw(op) * duration_ns * 1e-6
+    }
+
+    /// Energy of one simultaneous `n`-row activation (nJ).
+    pub fn many_row_activation_nj(&self, n: u32) -> f64 {
+        let duration_ns = self.timing.t_ras_ns + self.timing.t_rp_ns;
+        self.power.many_row_activation_mw(n) * duration_ns * 1e-6
+    }
+
+    /// Energy of an arbitrary program (nJ), charged at the ACT+PRE power
+    /// for its full latency — a deliberately simple upper-bound model.
+    pub fn program_nj(&self, program: &BenderProgram) -> f64 {
+        self.power.standard_mw(StandardOp::ActPre) * program.latency_ns() * 1e-6
+    }
+
+    /// Energy to compute a bulk AND of two `row_bits`-wide rows *in
+    /// DRAM* (one MAJ3 APA over a 4-row group) versus reading both rows
+    /// to the CPU, ANDing there (CPU ALU energy ignored — it only helps
+    /// the comparison), and writing the result back. Returns
+    /// `(pud_nj, cpu_nj)`.
+    pub fn bulk_and_comparison_nj(&self, row_bits: u32) -> (f64, f64) {
+        let apa = BenderProgram::apa(
+            BankId::new(0),
+            RowAddr::new(0),
+            RowAddr::new(7),
+            ApaTiming::best_for_majx(),
+            &self.timing,
+        );
+        let pud = self.program_nj(&apa);
+        let cpu = 2.0 * self.standard_nj(StandardOp::Read)
+            + self.standard_nj(StandardOp::Write)
+            + 3.0 * row_bits as f64 * CHANNEL_ENERGY_PJ_PER_BIT * 1e-3;
+        (pud, cpu)
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::ddr4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refresh_is_the_most_expensive_standard_op() {
+        let e = EnergyModel::ddr4();
+        let refresh = e.standard_nj(StandardOp::Refresh);
+        for op in [StandardOp::Read, StandardOp::Write, StandardOp::ActPre] {
+            assert!(e.standard_nj(op) < refresh);
+        }
+    }
+
+    #[test]
+    fn many_row_activation_energy_grows_sublinearly() {
+        let e = EnergyModel::ddr4();
+        let e1 = e.many_row_activation_nj(1);
+        let e32 = e.many_row_activation_nj(32);
+        assert!(e32 > e1);
+        assert!(
+            e32 < 32.0 * e1,
+            "32 rows must cost far less than 32 activations"
+        );
+    }
+
+    #[test]
+    fn pud_and_beats_the_cpu_round_trip() {
+        let e = EnergyModel::ddr4();
+        // A real x8 chip row is 8192 bits.
+        let (pud, cpu) = e.bulk_and_comparison_nj(8192);
+        assert!(
+            cpu > 5.0 * pud,
+            "in-DRAM AND ({pud:.2} nJ) should beat the CPU round trip ({cpu:.2} nJ) by a lot"
+        );
+    }
+
+    #[test]
+    fn program_energy_scales_with_latency() {
+        let e = EnergyModel::ddr4();
+        let short = BenderProgram::apa(
+            BankId::new(0),
+            RowAddr::new(0),
+            RowAddr::new(1),
+            ApaTiming::best_for_majx(),
+            &e.timing,
+        );
+        let long = BenderProgram::apa(
+            BankId::new(0),
+            RowAddr::new(0),
+            RowAddr::new(1),
+            ApaTiming::best_for_multi_row_copy(),
+            &e.timing,
+        );
+        assert!(e.program_nj(&long) > e.program_nj(&short));
+    }
+}

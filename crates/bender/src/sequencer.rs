@@ -1,0 +1,265 @@
+//! The command sequencer: resolves APA command sequences against the
+//! mounted module, through the row decoder and the analog engine.
+
+use simra_decoder::{ApaOutcome, RowDecoder};
+use simra_dram::{ApaTiming, BankId, BitRow, DramError, RowAddr, SubarrayId};
+
+use crate::setup::TestSetup;
+
+/// Errors from scheduling command sequences.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SequencerError {
+    /// The two APA target rows live in different subarrays; intra-subarray
+    /// PUD operations require shared bitlines (§3.1).
+    CrossSubarray {
+        /// Subarray of `R_F`.
+        first: SubarrayId,
+        /// Subarray of `R_S`.
+        second: SubarrayId,
+    },
+    /// Underlying device error.
+    Dram(DramError),
+}
+
+impl std::fmt::Display for SequencerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SequencerError::CrossSubarray { first, second } => {
+                write!(f, "APA targets span subarrays {first} and {second}")
+            }
+            SequencerError::Dram(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SequencerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SequencerError::Dram(e) => Some(e),
+            SequencerError::CrossSubarray { .. } => None,
+        }
+    }
+}
+
+impl From<DramError> for SequencerError {
+    fn from(e: DramError) -> Self {
+        SequencerError::Dram(e)
+    }
+}
+
+impl TestSetup {
+    /// Resolves an `ACT R_F → PRE → ACT R_S` sequence structurally:
+    /// which local wordlines end up asserted, in which subarray.
+    ///
+    /// # Errors
+    ///
+    /// [`SequencerError::CrossSubarray`] if the rows do not share a
+    /// subarray, or a device error for bad addresses.
+    pub fn resolve_apa(
+        &self,
+        bank: BankId,
+        r_f: RowAddr,
+        r_s: RowAddr,
+        timing: ApaTiming,
+    ) -> Result<(SubarrayId, ApaOutcome), SequencerError> {
+        let geometry = *self.module().geometry();
+        // Validate the bank id eagerly.
+        self.module().bank(bank)?;
+        let (sa_f, local_f) = geometry.split_row(r_f)?;
+        let (sa_s, local_s) = geometry.split_row(r_s)?;
+        if sa_f != sa_s {
+            return Err(SequencerError::CrossSubarray {
+                first: sa_f,
+                second: sa_s,
+            });
+        }
+        let decoder = RowDecoder::for_subarray_rows(geometry.rows_per_subarray);
+        let guard = self.module().profile().apa_guard;
+        Ok((sa_f, decoder.resolve_apa(local_f, local_s, timing, guard)))
+    }
+
+    /// Initialises a row with nominal timings (test setup step).
+    ///
+    /// # Errors
+    ///
+    /// Device errors for bad addresses or image widths.
+    pub fn init_row(
+        &mut self,
+        bank: BankId,
+        row: RowAddr,
+        image: &BitRow,
+    ) -> Result<(), SequencerError> {
+        Ok(self
+            .module_mut()
+            .bank_mut(bank)?
+            .write_row_nominal(row, image)?)
+    }
+
+    /// Reads a row back with nominal timings (test read-out step).
+    ///
+    /// # Errors
+    ///
+    /// Device errors for bad addresses.
+    pub fn read_row(&mut self, bank: BankId, row: RowAddr) -> Result<BitRow, SequencerError> {
+        Ok(self.module_mut().bank_mut(bank)?.read_row_nominal(row)?)
+    }
+
+    /// The §3.2 activation-test sequence: APA with `timing`, then a `WR`
+    /// that overdrives the bitlines with `pattern`, updating the cells of
+    /// every simultaneously open row. Returns the structural outcome so the
+    /// caller knows which rows should now hold `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates APA resolution errors.
+    pub fn apa_then_write(
+        &mut self,
+        bank: BankId,
+        r_f: RowAddr,
+        r_s: RowAddr,
+        timing: ApaTiming,
+        pattern: &BitRow,
+    ) -> Result<(SubarrayId, ApaOutcome), SequencerError> {
+        let (sa, outcome) = self.resolve_apa(bank, r_f, r_s, timing)?;
+        let engine = self.engine();
+        let restore = engine.params().restore_strength(timing, self.conditions());
+        let open = outcome.open_rows();
+        let subarray = self.module_mut().bank_mut(bank)?.subarray(sa);
+        engine.commit(subarray, &open, pattern, restore);
+        Ok((sa, outcome))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simra_dram::VendorProfile;
+
+    fn setup() -> TestSetup {
+        TestSetup::new(VendorProfile::mfr_h_m_die(), 42)
+    }
+
+    #[test]
+    fn apa_within_subarray_resolves() {
+        let s = setup();
+        let (sa, out) = s
+            .resolve_apa(
+                BankId::new(0),
+                RowAddr::new(0),
+                RowAddr::new(7),
+                ApaTiming::from_ns(3.0, 3.0),
+            )
+            .unwrap();
+        assert_eq!(sa.raw(), 0);
+        assert_eq!(out.open_row_count(), 4);
+    }
+
+    #[test]
+    fn cross_subarray_rejected() {
+        let s = setup();
+        // Rows 0 and 600 are in different 512-row subarrays.
+        let err = s
+            .resolve_apa(
+                BankId::new(0),
+                RowAddr::new(0),
+                RowAddr::new(600),
+                ApaTiming::from_ns(3.0, 3.0),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SequencerError::CrossSubarray { .. }));
+    }
+
+    #[test]
+    fn bad_bank_propagates_device_error() {
+        let s = setup();
+        let err = s
+            .resolve_apa(
+                BankId::new(99),
+                RowAddr::new(0),
+                RowAddr::new(1),
+                ApaTiming::from_ns(3.0, 3.0),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SequencerError::Dram(_)));
+    }
+
+    #[test]
+    fn samsung_guard_blocks_multi_activation() {
+        let s = TestSetup::new(VendorProfile::mfr_s(), 42);
+        let (_, out) = s
+            .resolve_apa(
+                BankId::new(0),
+                RowAddr::new(0),
+                RowAddr::new(7),
+                ApaTiming::from_ns(3.0, 3.0),
+            )
+            .unwrap();
+        assert_eq!(out.open_row_count(), 1);
+    }
+
+    #[test]
+    fn apa_then_write_stores_pattern_in_all_open_rows() {
+        let mut s = setup();
+        let cols = s.module().geometry().cols_per_row as usize;
+        let bank = BankId::new(0);
+        // Initialise rows 0..8 with zeros, then APA(0, 7) + WR ones.
+        for r in 0..8 {
+            s.init_row(bank, RowAddr::new(r), &BitRow::zeros(cols))
+                .unwrap();
+        }
+        let ones = BitRow::ones(cols);
+        let (_, out) = s
+            .apa_then_write(
+                bank,
+                RowAddr::new(0),
+                RowAddr::new(7),
+                ApaTiming::from_ns(3.0, 3.0),
+                &ones,
+            )
+            .unwrap();
+        assert_eq!(out.open_row_count(), 4);
+        // At best timing, near-all cells take the write.
+        for r in out.open_rows() {
+            let read = s.read_row(bank, RowAddr::new(r)).unwrap();
+            let frac = read.count_ones() as f64 / cols as f64;
+            assert!(frac > 0.99, "row {r} only {frac}");
+        }
+        // Rows outside the activated set keep their data.
+        let untouched = s.read_row(bank, RowAddr::new(2)).unwrap();
+        assert_eq!(untouched.count_ones(), 0);
+    }
+
+    #[test]
+    fn weak_timing_write_fails_many_cells() {
+        let mut s = setup();
+        let cols = s.module().geometry().cols_per_row as usize;
+        let bank = BankId::new(0);
+        for r in 0..8 {
+            s.init_row(bank, RowAddr::new(r), &BitRow::zeros(cols))
+                .unwrap();
+        }
+        let ones = BitRow::ones(cols);
+        let (_, out) = s
+            .apa_then_write(
+                bank,
+                RowAddr::new(0),
+                RowAddr::new(7),
+                ApaTiming::from_ns(1.5, 1.5),
+                &ones,
+            )
+            .unwrap();
+        let mut stored = 0usize;
+        let mut total = 0usize;
+        for r in out.open_rows() {
+            let read = s.read_row(bank, RowAddr::new(r)).unwrap();
+            stored += read.count_ones();
+            total += cols;
+        }
+        let frac = stored as f64 / total as f64;
+        assert!(
+            frac < 0.95,
+            "grid-minimum timing should visibly fail: {frac}"
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! The experimental rig: module under test + temperature controller +
+//! programmable V_PP supply (Fig. 2 components 3–6).
+
+use serde::{Deserialize, Serialize};
+
+use simra_analog::params::{NOMINAL_TEMPERATURE_C, NOMINAL_VPP};
+use simra_analog::{ApaEngine, CircuitParams, OperatingConditions};
+use simra_dram::{DramModule, VendorProfile};
+
+/// Temperature range of the MaxWell FT200 controller as used in the paper.
+pub const TEMPERATURE_RANGE_C: (f64, f64) = (50.0, 90.0);
+/// V_PP range swept in the paper with the TTi PL068-P supply.
+pub const VPP_RANGE_V: (f64, f64) = (2.1, 2.5);
+/// The supply's setting precision (±1 mV).
+pub const VPP_PRECISION_V: f64 = 0.001;
+
+/// Errors from configuring the rig.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SetupError {
+    /// Requested temperature is outside the controller's range.
+    TemperatureOutOfRange(f64),
+    /// Requested V_PP is outside the supply's safe range.
+    VppOutOfRange(f64),
+}
+
+impl std::fmt::Display for SetupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SetupError::TemperatureOutOfRange(t) => {
+                write!(f, "temperature {t} °C outside controller range 50–90 °C")
+            }
+            SetupError::VppOutOfRange(v) => {
+                write!(f, "V_PP {v} V outside supply range 2.1–2.5 V")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
+
+/// One DRAM module clamped in the rig, at a controlled operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestSetup {
+    module: DramModule,
+    conditions: OperatingConditions,
+    /// Circuit-parameter override for ablation studies (None = the
+    /// calibrated defaults).
+    params_override: Option<CircuitParams>,
+}
+
+impl TestSetup {
+    /// Mounts a fresh module (vendor `profile`, silicon stamped from
+    /// `seed`) at the nominal operating point (50 °C, 2.5 V).
+    pub fn new(profile: VendorProfile, seed: u64) -> Self {
+        TestSetup {
+            module: DramModule::new(profile, seed),
+            conditions: OperatingConditions::nominal(),
+            params_override: None,
+        }
+    }
+
+    /// Mounts an existing module.
+    pub fn with_module(module: DramModule) -> Self {
+        TestSetup {
+            module,
+            conditions: OperatingConditions::nominal(),
+            params_override: None,
+        }
+    }
+
+    /// Overrides the analog circuit parameters — the hook for ablation
+    /// studies (e.g. "what if the first row did not over-share?").
+    /// Pass `None` to restore the calibrated defaults.
+    pub fn set_circuit_params(&mut self, params: Option<CircuitParams>) {
+        self.params_override = params;
+    }
+
+    /// The module under test.
+    pub fn module(&self) -> &DramModule {
+        &self.module
+    }
+
+    /// Mutable access to the module under test.
+    pub fn module_mut(&mut self) -> &mut DramModule {
+        &mut self.module
+    }
+
+    /// Current operating conditions.
+    pub fn conditions(&self) -> OperatingConditions {
+        self.conditions
+    }
+
+    /// Sets the chip temperature (clamped heater, §3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetupError::TemperatureOutOfRange`] outside 50–90 °C.
+    pub fn set_temperature(&mut self, celsius: f64) -> Result<(), SetupError> {
+        if !(TEMPERATURE_RANGE_C.0..=TEMPERATURE_RANGE_C.1).contains(&celsius) {
+            return Err(SetupError::TemperatureOutOfRange(celsius));
+        }
+        self.conditions.temperature_c = celsius;
+        Ok(())
+    }
+
+    /// Sets the wordline voltage, quantised to the supply's ±1 mV
+    /// precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetupError::VppOutOfRange`] outside 2.1–2.5 V.
+    pub fn set_vpp(&mut self, volts: f64) -> Result<(), SetupError> {
+        if !(VPP_RANGE_V.0..=VPP_RANGE_V.1).contains(&volts) {
+            return Err(SetupError::VppOutOfRange(volts));
+        }
+        self.conditions.vpp_v = (volts / VPP_PRECISION_V).round() * VPP_PRECISION_V;
+        Ok(())
+    }
+
+    /// Resets to the nominal operating point.
+    pub fn reset_conditions(&mut self) {
+        self.conditions = OperatingConditions {
+            temperature_c: NOMINAL_TEMPERATURE_C,
+            vpp_v: NOMINAL_VPP,
+        };
+    }
+
+    /// An analog engine bound to the mounted module's vendor quirks and
+    /// the rig's current operating point.
+    pub fn engine(&self) -> ApaEngine {
+        match self.params_override {
+            Some(params) => ApaEngine::new(
+                params,
+                self.conditions,
+                self.module.profile().biased_sense_amps,
+            ),
+            None => ApaEngine::for_profile(self.module.profile(), self.conditions),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conditions_round_trip() {
+        let mut s = TestSetup::new(VendorProfile::mfr_h_m_die(), 3);
+        s.set_temperature(70.0).unwrap();
+        s.set_vpp(2.3).unwrap();
+        assert_eq!(s.conditions().temperature_c, 70.0);
+        assert!((s.conditions().vpp_v - 2.3).abs() < 1e-9);
+        s.reset_conditions();
+        assert_eq!(s.conditions().temperature_c, 50.0);
+        assert_eq!(s.conditions().vpp_v, 2.5);
+    }
+
+    #[test]
+    fn ranges_enforced() {
+        let mut s = TestSetup::new(VendorProfile::mfr_h_m_die(), 3);
+        assert!(s.set_temperature(25.0).is_err());
+        assert!(s.set_temperature(95.0).is_err());
+        assert!(s.set_vpp(1.8).is_err());
+        assert!(s.set_vpp(2.6).is_err());
+    }
+
+    #[test]
+    fn vpp_quantised_to_millivolts() {
+        let mut s = TestSetup::new(VendorProfile::mfr_h_m_die(), 3);
+        s.set_vpp(2.34567).unwrap();
+        assert!((s.conditions().vpp_v - 2.346).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circuit_param_override_is_honoured() {
+        let mut s = TestSetup::new(VendorProfile::mfr_h_m_die(), 3);
+        let mut p = CircuitParams::calibrated();
+        p.overshare_per_ns = 0.0;
+        s.set_circuit_params(Some(p));
+        assert_eq!(s.engine().params().overshare_per_ns, 0.0);
+        s.set_circuit_params(None);
+        assert!(s.engine().params().overshare_per_ns > 0.0);
+    }
+
+    #[test]
+    fn engine_reflects_conditions() {
+        let mut s = TestSetup::new(VendorProfile::mfr_m_e_die(), 3);
+        s.set_temperature(90.0).unwrap();
+        let e = s.engine();
+        assert!(e.biased_amps());
+        assert_eq!(e.conditions().temperature_c, 90.0);
+    }
+}

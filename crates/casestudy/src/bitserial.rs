@@ -1,0 +1,410 @@
+//! A bit-serial SIMD machine on top of the PUD primitives — the
+//! ComputeDRAM/SIMDRAM-style execution layer that Fig. 16's arithmetic
+//! microbenchmarks assume, implemented functionally.
+//!
+//! Values are stored *vertically*: bit `i` of every element lives in row
+//! `r_i`, one element per bitline, so a single majority operation
+//! processes every element at once. Logic is built from majorities:
+//!
+//! * `AND(a, b) = MAJ3(a, b, 0)`, `OR(a, b) = MAJ3(a, b, 1)`;
+//! * `XOR(a, b) = OR(AND(a, ~b), AND(~a, b))` with host-staged
+//!   complements (the tested COTS chips have no in-DRAM NOT);
+//! * full addition ripples `carry = MAJ3(a_i, b_i, c)` and
+//!   `sum = XOR(XOR(a_i, b_i), c)`;
+//! * subtraction is two's-complement addition; multiplication is
+//!   shift-and-add.
+//!
+//! Two execution modes: [`ExecMode::Analog`] routes every majority
+//! through the charge-sharing engine on a 32-row replicated group (bits
+//! can and do flip — that is the paper's reality), while
+//! [`ExecMode::Ideal`] computes the same dataflow with exact majorities
+//! (what a repaired/ECC-backed substrate would produce). Tests verify
+//! exactness in `Ideal` and high fidelity in `Analog`.
+
+use rand::rngs::StdRng;
+
+use simra_bender::TestSetup;
+use simra_core::maj::{exec_majx, majority};
+use simra_core::rowgroup::GroupSpec;
+use simra_core::PudError;
+use simra_dram::{ApaTiming, BitRow};
+
+/// How majority operations are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Through the analog engine on the configured row group (errors
+    /// possible, as on real chips).
+    Analog,
+    /// Exact digital majorities over the same dataflow.
+    Ideal,
+}
+
+/// A bit-serial word: `width` host-held row images, LSB first.
+///
+/// The VM keeps row images host-side between operations (each PUD op
+/// re-stages its operands, matching the §8.1 methodology where inputs
+/// are RowCloned into the group before every MAJX).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Word {
+    bits: Vec<BitRow>,
+}
+
+impl Word {
+    /// Word width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of elements (bitlines).
+    pub fn elements(&self) -> usize {
+        self.bits.first().map_or(0, BitRow::len)
+    }
+}
+
+/// The bit-serial SIMD VM.
+#[derive(Debug)]
+pub struct BitSerialVm {
+    setup: TestSetup,
+    group: GroupSpec,
+    mode: ExecMode,
+    rng: StdRng,
+    elements: usize,
+}
+
+impl BitSerialVm {
+    /// Creates a VM executing on `group` (≥ 4 rows; 32 recommended for
+    /// replication robustness) of the mounted module.
+    pub fn new(setup: TestSetup, group: GroupSpec, mode: ExecMode, rng: StdRng) -> Self {
+        let elements = setup.module().geometry().cols_per_row as usize;
+        BitSerialVm {
+            setup,
+            group,
+            mode,
+            rng,
+            elements,
+        }
+    }
+
+    /// Elements processed per operation (one per bitline).
+    pub fn elements(&self) -> usize {
+        self.elements
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Loads a vector of `width`-bit integers, one per bitline, into a
+    /// vertical word. Excess bitlines replicate the last value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or `width > 32`.
+    pub fn load(&self, values: &[u32], width: usize) -> Word {
+        assert!(!values.is_empty(), "load needs at least one value");
+        assert!(width <= 32, "width must be ≤ 32, got {width}");
+        let bits = (0..width)
+            .map(|i| {
+                BitRow::from_bits((0..self.elements).map(|e| {
+                    let v = values[e.min(values.len() - 1)];
+                    (v >> i) & 1 == 1
+                }))
+            })
+            .collect();
+        Word { bits }
+    }
+
+    /// Reads a word back as integers (one per element).
+    pub fn store(&self, word: &Word) -> Vec<u32> {
+        (0..self.elements)
+            .map(|e| {
+                word.bits
+                    .iter()
+                    .enumerate()
+                    .fold(0u32, |acc, (i, row)| acc | (u32::from(row.get(e)) << i))
+            })
+            .collect()
+    }
+
+    /// One majority-of-three over full row images.
+    fn maj3(&mut self, a: &BitRow, b: &BitRow, c: &BitRow) -> Result<BitRow, PudError> {
+        match self.mode {
+            ExecMode::Ideal => Ok(majority(&[a.clone(), b.clone(), c.clone()])),
+            ExecMode::Analog => exec_majx(
+                &mut self.setup,
+                &self.group,
+                &[a.clone(), b.clone(), c.clone()],
+                ApaTiming::best_for_majx(),
+                &mut self.rng,
+            ),
+        }
+    }
+
+    fn and_rows(&mut self, a: &BitRow, b: &BitRow) -> Result<BitRow, PudError> {
+        let zeros = BitRow::zeros(self.elements);
+        self.maj3(a, b, &zeros)
+    }
+
+    fn or_rows(&mut self, a: &BitRow, b: &BitRow) -> Result<BitRow, PudError> {
+        let ones = BitRow::ones(self.elements);
+        self.maj3(a, b, &ones)
+    }
+
+    fn xor_rows(&mut self, a: &BitRow, b: &BitRow) -> Result<BitRow, PudError> {
+        let left = self.and_rows(a, &b.complement())?;
+        let right = self.and_rows(&a.complement(), b)?;
+        self.or_rows(&left, &right)
+    }
+
+    /// Element-wise AND.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PUD errors from the underlying majorities.
+    pub fn and(&mut self, a: &Word, b: &Word) -> Result<Word, PudError> {
+        self.zip_bits(a, b, |vm, x, y| vm.and_rows(x, y))
+    }
+
+    /// Element-wise OR.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PUD errors.
+    pub fn or(&mut self, a: &Word, b: &Word) -> Result<Word, PudError> {
+        self.zip_bits(a, b, |vm, x, y| vm.or_rows(x, y))
+    }
+
+    /// Element-wise XOR.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PUD errors.
+    pub fn xor(&mut self, a: &Word, b: &Word) -> Result<Word, PudError> {
+        self.zip_bits(a, b, |vm, x, y| vm.xor_rows(x, y))
+    }
+
+    fn zip_bits<F>(&mut self, a: &Word, b: &Word, mut f: F) -> Result<Word, PudError>
+    where
+        F: FnMut(&mut Self, &BitRow, &BitRow) -> Result<BitRow, PudError>,
+    {
+        assert_eq!(a.width(), b.width(), "operand widths must match");
+        let mut bits = Vec::with_capacity(a.width());
+        for i in 0..a.width() {
+            bits.push(f(self, &a.bits[i], &b.bits[i])?);
+        }
+        Ok(Word { bits })
+    }
+
+    /// Element-wise NOT (host-staged complement, as on the real chips).
+    pub fn not(&self, a: &Word) -> Word {
+        Word {
+            bits: a.bits.iter().map(BitRow::complement).collect(),
+        }
+    }
+
+    /// Element-wise addition (modulo 2^width): ripple-carry with
+    /// `carry = MAJ3` and a majority-built XOR sum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PUD errors.
+    pub fn add(&mut self, a: &Word, b: &Word) -> Result<Word, PudError> {
+        assert_eq!(a.width(), b.width(), "operand widths must match");
+        let mut carry = BitRow::zeros(self.elements);
+        let mut bits = Vec::with_capacity(a.width());
+        for i in 0..a.width() {
+            let ab = self.xor_rows(&a.bits[i], &b.bits[i])?;
+            let sum = self.xor_rows(&ab, &carry)?;
+            carry = self.maj3(&a.bits[i], &b.bits[i], &carry)?;
+            bits.push(sum);
+        }
+        Ok(Word { bits })
+    }
+
+    /// Element-wise subtraction `a − b` (modulo 2^width) via
+    /// two's-complement: `a + ~b + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PUD errors.
+    pub fn sub(&mut self, a: &Word, b: &Word) -> Result<Word, PudError> {
+        let not_b = self.not(b);
+        // +1 via an initial carry: ripple with carry preset to all-ones.
+        let mut carry = BitRow::ones(self.elements);
+        let mut bits = Vec::with_capacity(a.width());
+        for i in 0..a.width() {
+            let ab = self.xor_rows(&a.bits[i], &not_b.bits[i])?;
+            let sum = self.xor_rows(&ab, &carry)?;
+            carry = self.maj3(&a.bits[i], &not_b.bits[i], &carry)?;
+            bits.push(sum);
+        }
+        Ok(Word { bits })
+    }
+
+    /// Element-wise multiplication (modulo 2^width): shift-and-add over
+    /// AND-masked partial products.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PUD errors.
+    pub fn mul(&mut self, a: &Word, b: &Word) -> Result<Word, PudError> {
+        assert_eq!(a.width(), b.width(), "operand widths must match");
+        let width = a.width();
+        let mut acc = Word {
+            bits: vec![BitRow::zeros(self.elements); width],
+        };
+        for shift in 0..width {
+            // Partial product: (a << shift) masked by bit `shift` of b.
+            let mask = &b.bits[shift];
+            let mut partial = Vec::with_capacity(width);
+            for i in 0..width {
+                if i < shift {
+                    partial.push(BitRow::zeros(self.elements));
+                } else {
+                    partial.push(self.and_rows(&a.bits[i - shift], mask)?);
+                }
+            }
+            acc = self.add(&acc, &Word { bits: partial })?;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use simra_core::rowgroup::random_group;
+    use simra_dram::{BankId, SubarrayId, VendorProfile};
+
+    fn vm(mode: ExecMode) -> BitSerialVm {
+        let setup = TestSetup::new(VendorProfile::mfr_h_m_die(), 12);
+        let mut rng = StdRng::seed_from_u64(44);
+        let group = random_group(
+            setup.module().geometry(),
+            BankId::new(0),
+            SubarrayId::new(0),
+            32,
+            &mut rng,
+        )
+        .unwrap();
+        BitSerialVm::new(setup, group, mode, rng)
+    }
+
+    fn random_values(n: usize, width: usize, seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..(1u32 << width))).collect()
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let vm = vm(ExecMode::Ideal);
+        let vals = random_values(vm.elements(), 8, 1);
+        let w = vm.load(&vals, 8);
+        assert_eq!(w.width(), 8);
+        assert_eq!(vm.store(&w), vals);
+    }
+
+    #[test]
+    fn ideal_add_is_exact() {
+        let mut m = vm(ExecMode::Ideal);
+        let a = random_values(m.elements(), 8, 2);
+        let b = random_values(m.elements(), 8, 3);
+        let wa = m.load(&a, 8);
+        let wb = m.load(&b, 8);
+        let sum = m.add(&wa, &wb).unwrap();
+        let got = m.store(&sum);
+        for i in 0..a.len() {
+            assert_eq!(got[i], (a[i] + b[i]) & 0xFF, "element {i}");
+        }
+    }
+
+    #[test]
+    fn ideal_sub_is_exact() {
+        let mut m = vm(ExecMode::Ideal);
+        let a = random_values(m.elements(), 8, 4);
+        let b = random_values(m.elements(), 8, 5);
+        let wa = m.load(&a, 8);
+        let wb = m.load(&b, 8);
+        let diff = m.sub(&wa, &wb).unwrap();
+        let got = m.store(&diff);
+        for i in 0..a.len() {
+            assert_eq!(got[i], a[i].wrapping_sub(b[i]) & 0xFF, "element {i}");
+        }
+    }
+
+    #[test]
+    fn ideal_mul_is_exact() {
+        let mut m = vm(ExecMode::Ideal);
+        let a = random_values(m.elements(), 6, 6);
+        let b = random_values(m.elements(), 6, 7);
+        let wa = m.load(&a, 6);
+        let wb = m.load(&b, 6);
+        let prod = m.mul(&wa, &wb).unwrap();
+        let got = m.store(&prod);
+        for i in 0..a.len() {
+            assert_eq!(got[i], (a[i] * b[i]) & 0x3F, "element {i}");
+        }
+    }
+
+    #[test]
+    fn ideal_logic_is_exact() {
+        let mut m = vm(ExecMode::Ideal);
+        let a = random_values(m.elements(), 8, 8);
+        let b = random_values(m.elements(), 8, 9);
+        let wa = m.load(&a, 8);
+        let wb = m.load(&b, 8);
+        let w_and = m.and(&wa, &wb).unwrap();
+        let w_or = m.or(&wa, &wb).unwrap();
+        let w_xor = m.xor(&wa, &wb).unwrap();
+        let and = m.store(&w_and);
+        let or = m.store(&w_or);
+        let xor = m.store(&w_xor);
+        for i in 0..a.len() {
+            assert_eq!(and[i], a[i] & b[i]);
+            assert_eq!(or[i], a[i] | b[i]);
+            assert_eq!(xor[i], a[i] ^ b[i]);
+        }
+    }
+
+    #[test]
+    fn analog_add_is_mostly_exact() {
+        let mut m = vm(ExecMode::Analog);
+        let a = random_values(m.elements(), 8, 10);
+        let b = random_values(m.elements(), 8, 11);
+        let wa = m.load(&a, 8);
+        let wb = m.load(&b, 8);
+        let sum = m.add(&wa, &wb).unwrap();
+        let got = m.store(&sum);
+        let exact = (0..a.len())
+            .filter(|&i| got[i] == (a[i] + b[i]) & 0xFF)
+            .count();
+        let frac = exact as f64 / a.len() as f64;
+        // ~40 chained in-DRAM majorities per element; per-op success
+        // ≥ 99.9 % on a good 32-row group keeps most elements exact.
+        assert!(frac > 0.8, "analog 8-bit add exact on {frac} of elements");
+    }
+
+    #[test]
+    fn analog_logic_is_mostly_exact() {
+        let mut m = vm(ExecMode::Analog);
+        let a = random_values(m.elements(), 8, 12);
+        let b = random_values(m.elements(), 8, 13);
+        let wa = m.load(&a, 8);
+        let wb = m.load(&b, 8);
+        let and = m.and(&wa, &wb).unwrap();
+        let got = m.store(&and);
+        let exact = (0..a.len()).filter(|&i| got[i] == a[i] & b[i]).count();
+        assert!(exact as f64 / a.len() as f64 > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths must match")]
+    fn width_mismatch_panics() {
+        let mut m = vm(ExecMode::Ideal);
+        let wa = m.load(&[1, 2, 3], 8);
+        let wb = m.load(&[1, 2, 3], 4);
+        let _ = m.add(&wa, &wb);
+    }
+}

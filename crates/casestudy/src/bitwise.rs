@@ -1,0 +1,160 @@
+//! Functional majority-based bulk-bitwise operations on the modelled
+//! DRAM, grounding the Fig. 16 analysis: AND/OR are a single MAJ3 with a
+//! control row (Ambit-style), XOR is the standard two-level construction.
+//!
+//! Complemented operands are staged by the host (real systems keep
+//! pre-complemented copies or use dual-contact rows; the tested COTS chips
+//! have neither, so ComputeDRAM-style flows also stage complements).
+
+use rand::rngs::StdRng;
+
+use simra_bender::TestSetup;
+use simra_core::maj::exec_majx;
+use simra_core::rowgroup::GroupSpec;
+use simra_core::PudError;
+use simra_dram::{ApaTiming, BitRow};
+
+/// Bulk AND via `MAJ3(a, b, 0)` on the group's replicated layout.
+///
+/// # Errors
+///
+/// Propagates MAJX validation/sequencer errors.
+pub fn exec_and(
+    setup: &mut TestSetup,
+    group: &GroupSpec,
+    a: &BitRow,
+    b: &BitRow,
+    rng: &mut StdRng,
+) -> Result<BitRow, PudError> {
+    let zeros = BitRow::zeros(a.len());
+    exec_majx(
+        setup,
+        group,
+        &[a.clone(), b.clone(), zeros],
+        ApaTiming::best_for_majx(),
+        rng,
+    )
+}
+
+/// Bulk OR via `MAJ3(a, b, 1)`.
+///
+/// # Errors
+///
+/// Propagates MAJX validation/sequencer errors.
+pub fn exec_or(
+    setup: &mut TestSetup,
+    group: &GroupSpec,
+    a: &BitRow,
+    b: &BitRow,
+    rng: &mut StdRng,
+) -> Result<BitRow, PudError> {
+    let ones = BitRow::ones(a.len());
+    exec_majx(
+        setup,
+        group,
+        &[a.clone(), b.clone(), ones],
+        ApaTiming::best_for_majx(),
+        rng,
+    )
+}
+
+/// Bulk XOR via `OR(AND(a, ~b), AND(~a, b))` — three in-DRAM majority
+/// operations plus host-staged complements.
+///
+/// # Errors
+///
+/// Propagates MAJX validation/sequencer errors.
+pub fn exec_xor(
+    setup: &mut TestSetup,
+    group: &GroupSpec,
+    a: &BitRow,
+    b: &BitRow,
+    rng: &mut StdRng,
+) -> Result<BitRow, PudError> {
+    let left = exec_and(setup, group, a, &b.complement(), rng)?;
+    let right = exec_and(setup, group, &a.complement(), b, rng)?;
+    exec_or(setup, group, &left, &right, rng)
+}
+
+/// Fraction of bits where `got` matches `expected` (1.0 = exact).
+pub fn match_fraction(got: &BitRow, expected: &BitRow) -> f64 {
+    got.matches(expected) as f64 / expected.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use simra_core::rowgroup::random_group;
+    use simra_dram::{BankId, DataPattern, SubarrayId, VendorProfile};
+
+    fn env() -> (TestSetup, GroupSpec, StdRng) {
+        let setup = TestSetup::new(VendorProfile::mfr_h_m_die(), 3);
+        let mut rng = StdRng::seed_from_u64(17);
+        let group = random_group(
+            setup.module().geometry(),
+            BankId::new(0),
+            SubarrayId::new(0),
+            32,
+            &mut rng,
+        )
+        .expect("group");
+        (setup, group, rng)
+    }
+
+    fn reference_and(a: &BitRow, b: &BitRow) -> BitRow {
+        BitRow::from_bits((0..a.len()).map(|i| a.get(i) && b.get(i)))
+    }
+
+    fn reference_or(a: &BitRow, b: &BitRow) -> BitRow {
+        BitRow::from_bits((0..a.len()).map(|i| a.get(i) || b.get(i)))
+    }
+
+    fn reference_xor(a: &BitRow, b: &BitRow) -> BitRow {
+        BitRow::from_bits((0..a.len()).map(|i| a.get(i) ^ b.get(i)))
+    }
+
+    #[test]
+    fn and_matches_reference_on_nearly_all_bits() {
+        let (mut setup, group, mut rng) = env();
+        let cols = setup.module().geometry().cols_per_row as usize;
+        let a = DataPattern::Random.row_image(0, cols, &mut rng);
+        let b = DataPattern::Random.row_image(1, cols, &mut rng);
+        let got = exec_and(&mut setup, &group, &a, &b, &mut rng).unwrap();
+        let frac = match_fraction(&got, &reference_and(&a, &b));
+        assert!(frac > 0.97, "AND correctness {frac}");
+    }
+
+    #[test]
+    fn or_matches_reference_on_nearly_all_bits() {
+        let (mut setup, group, mut rng) = env();
+        let cols = setup.module().geometry().cols_per_row as usize;
+        let a = DataPattern::Random.row_image(0, cols, &mut rng);
+        let b = DataPattern::Random.row_image(1, cols, &mut rng);
+        let got = exec_or(&mut setup, &group, &a, &b, &mut rng).unwrap();
+        let frac = match_fraction(&got, &reference_or(&a, &b));
+        assert!(frac > 0.97, "OR correctness {frac}");
+    }
+
+    #[test]
+    fn xor_matches_reference_on_nearly_all_bits() {
+        let (mut setup, group, mut rng) = env();
+        let cols = setup.module().geometry().cols_per_row as usize;
+        let a = DataPattern::Random.row_image(0, cols, &mut rng);
+        let b = DataPattern::Random.row_image(1, cols, &mut rng);
+        let got = exec_xor(&mut setup, &group, &a, &b, &mut rng).unwrap();
+        // Three chained in-DRAM ops accumulate error: allow a bit more.
+        let frac = match_fraction(&got, &reference_xor(&a, &b));
+        assert!(frac > 0.93, "XOR correctness {frac}");
+    }
+
+    #[test]
+    fn and_with_all_ones_is_identity() {
+        let (mut setup, group, mut rng) = env();
+        let cols = setup.module().geometry().cols_per_row as usize;
+        let a = DataPattern::Random.row_image(0, cols, &mut rng);
+        let ones = BitRow::ones(cols);
+        let got = exec_and(&mut setup, &group, &a, &ones, &mut rng).unwrap();
+        assert!(match_fraction(&got, &a) > 0.97);
+    }
+}

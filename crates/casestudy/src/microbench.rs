@@ -1,0 +1,179 @@
+//! Case study 1 (§8.1, Fig. 16): seven arithmetic & logic microbenchmarks
+//! built from majority operations.
+//!
+//! Step counts come from standard majority-logic constructions:
+//!
+//! * a single MAJX with `X − k` inputs tied to 0 (1) computes a `k`-input
+//!   AND (OR), with `k = (X+1)/2` — wider majorities collapse reduction
+//!   trees (MAJ3 → AND2, MAJ5 → AND3, MAJ7 → AND4, MAJ9 → AND5);
+//! * XOR_k is built from ~3 majority levels per node (Alkaldy et al.);
+//! * a full adder is `carry = MAJ3(a, b, c)` and, with MAJ5 available,
+//!   `sum = MAJ5(a, b, c, ~carry, ~carry)` in one step (vs a 3-step
+//!   majority XOR network with MAJ3 only); MAJ7/MAJ9 additionally allow a
+//!   2-bit carry step;
+//! * multiplication is schoolbook (partial products + adds), division is
+//!   restoring (a subtract per quotient bit).
+//!
+//! Execution time = steps × per-operation latency (staging RowClones +
+//! replication Multi-RowCopy + the APA) ÷ the best-group success rate —
+//! the paper's throughput model, which is exactly what makes MAJ9
+//! counterproductive on Mfr. H (Fig. 16's 114 % degradation).
+
+use serde::{Deserialize, Serialize};
+
+use simra_dram::{Manufacturer, VendorProfile};
+
+use crate::throughput::{measure_majx_throughput, MajThroughput};
+use simra_characterize::report::Table;
+
+/// Elements per microbenchmark: 8 KB of 32-bit words.
+pub const ELEMENTS: u64 = 8 * 1024 / 4;
+/// Word width.
+pub const WORD_BITS: u64 = 32;
+
+/// The seven microbenchmarks of Fig. 16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Microbench {
+    /// Bulk AND reduction.
+    And,
+    /// Bulk OR reduction.
+    Or,
+    /// Bulk XOR reduction.
+    Xor,
+    /// Element-wise 32-bit addition.
+    Add,
+    /// Element-wise 32-bit subtraction.
+    Sub,
+    /// Element-wise 32-bit multiplication.
+    Mul,
+    /// Element-wise 32-bit division.
+    Div,
+}
+
+impl Microbench {
+    /// All seven, in the paper's order.
+    pub const ALL: [Microbench; 7] = [
+        Microbench::And,
+        Microbench::Or,
+        Microbench::Xor,
+        Microbench::Add,
+        Microbench::Sub,
+        Microbench::Mul,
+        Microbench::Div,
+    ];
+
+    /// Majority-operation steps to run this microbenchmark with MAJX.
+    pub fn steps(self, x: usize) -> f64 {
+        let k = x.div_ceil(2) as f64; // AND/OR fan-in of one MAJX
+        let e = ELEMENTS as f64;
+        let w = WORD_BITS as f64;
+        // Full-adder step cost per bit position.
+        let add_per_bit = match x {
+            3 => 5.0,  // carry (1) + majority-XOR sum network (3) + staging
+            5 => 3.0,  // carry (1) + MAJ5 sum (1) + complement (1)
+            7 => 2.0,  // 2-bit carry step halves the carry chain
+            _ => 1.75, // MAJ9: 2-bit carry + wider sum absorption
+        };
+        match self {
+            Microbench::And | Microbench::Or => (e - 1.0) / (k - 1.0),
+            Microbench::Xor => 3.0 * (e - 1.0) / (k - 1.0),
+            Microbench::Add => w * add_per_bit,
+            Microbench::Sub => w * add_per_bit + 0.5 * w,
+            Microbench::Mul => w + (w - 1.0) * w * add_per_bit / 4.0,
+            Microbench::Div => 1.25 * w * w * add_per_bit / 4.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Microbench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Microbench::And => "AND",
+            Microbench::Or => "OR",
+            Microbench::Xor => "XOR",
+            Microbench::Add => "ADD",
+            Microbench::Sub => "SUB",
+            Microbench::Mul => "MUL",
+            Microbench::Div => "DIV",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Execution time (ns) of a microbenchmark given a MAJX throughput point.
+pub fn execution_time_ns(micro: Microbench, t: &MajThroughput) -> f64 {
+    micro.steps(t.x) * t.effective_ns()
+}
+
+/// Fig. 16: speedup of each microbenchmark using MAJ5/MAJ7/MAJ9 over the
+/// state-of-the-art baseline (MAJ3 with 4-row activation), per
+/// manufacturer. Values are × speedup (1.0 = baseline, < 1.0 = slower).
+pub fn fig16_microbenchmarks(profiles: &[VendorProfile], groups: usize, seed: u64) -> Table {
+    let mut table = Table::new(
+        "Fig. 16: microbenchmark speedup over MAJ3 with 4-row activation",
+        format!("{groups} sampled groups per MAJX point, best group selected"),
+        vec!["MAJ5".into(), "MAJ7".into(), "MAJ9".into()],
+    );
+    for profile in profiles {
+        let xs: &[usize] = match profile.manufacturer {
+            Manufacturer::M => &[5, 7],
+            _ => &[5, 7, 9],
+        };
+        let baseline = measure_majx_throughput(profile, 3, 4, groups, seed);
+        let points: Vec<MajThroughput> = xs
+            .iter()
+            .map(|&x| measure_majx_throughput(profile, x, 32, groups, seed))
+            .collect();
+        for micro in Microbench::ALL {
+            let base_ns = execution_time_ns(micro, &baseline);
+            let mut row = vec![f64::NAN; 3];
+            for p in &points {
+                let idx = match p.x {
+                    5 => 0,
+                    7 => 1,
+                    _ => 2,
+                };
+                row[idx] = base_ns / execution_time_ns(micro, p);
+            }
+            table.push_row(format!("{} {micro}", profile.manufacturer), row);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wider_majority_needs_fewer_steps() {
+        for micro in Microbench::ALL {
+            let s3 = micro.steps(3);
+            let s5 = micro.steps(5);
+            let s7 = micro.steps(7);
+            assert!(s3 > s5 && s5 > s7, "{micro}: {s3} {s5} {s7}");
+        }
+    }
+
+    #[test]
+    fn reduction_benchmarks_scale_with_elements() {
+        assert!(Microbench::And.steps(3) > 1000.0);
+        assert!(Microbench::Xor.steps(3) > Microbench::And.steps(3));
+    }
+
+    #[test]
+    fn fig16_new_majx_beats_baseline_and_maj9_hurts_on_h() {
+        let profiles = [VendorProfile::mfr_h_m_die(), VendorProfile::mfr_m_e_die()];
+        let t = fig16_microbenchmarks(&profiles, 4, 11);
+        // MAJ5 speeds up the reductions on both vendors.
+        for mfr in ["Mfr. H", "Mfr. M"] {
+            let s = t.get(&format!("{mfr} AND"), "MAJ5").unwrap();
+            assert!(s > 1.0, "{mfr} AND with MAJ5 should beat baseline, got {s}");
+        }
+        // MAJ9's poor success rate makes it a net loss on Mfr. H.
+        let maj9 = t.get("Mfr. H AND", "MAJ9").unwrap();
+        assert!(maj9 < 1.0, "Fig. 16: MAJ9 degrades performance, got {maj9}");
+        // Mfr. M has no MAJ9 column (NaN).
+        assert!(t.get("Mfr. M AND", "MAJ9").unwrap().is_nan());
+    }
+}

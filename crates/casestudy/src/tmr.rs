@@ -1,0 +1,209 @@
+//! Majority-based error correction (§8.1 "Majority-based Error
+//! Correction Operations"): the paper notes that MAJX up to X = 9 lets
+//! in-DRAM majority voting correct not just one fault (classic TMR) but
+//! up to ⌊(X−1)/2⌋ faults per bit, and leaves the exploration to future
+//! work — this module is that exploration on the modelled substrate.
+//!
+//! Encoding stores X copies of a data row (via Multi-RowCopy-style
+//! replication); decode is a single MAJX over the copies. Faults are
+//! injected as per-copy bitflips (the radiation-upset model of the TMR
+//! literature).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use simra_bender::TestSetup;
+use simra_core::maj::exec_majx;
+use simra_core::rowgroup::GroupSpec;
+use simra_core::PudError;
+use simra_dram::{ApaTiming, BitRow};
+
+/// A majority-redundancy code: X replicas, single-MAJX decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MajorityCode {
+    /// Number of replicas (odd, 3–9).
+    pub replicas: usize,
+}
+
+impl MajorityCode {
+    /// Creates a code with `replicas` copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `replicas` is odd and in 3..=9 (the MAJX range the
+    /// paper demonstrates).
+    pub fn new(replicas: usize) -> Self {
+        assert!(
+            (3..=9).contains(&replicas) && replicas % 2 == 1,
+            "majority codes need an odd replica count in 3..=9, got {replicas}"
+        );
+        MajorityCode { replicas }
+    }
+
+    /// Maximum faulty replicas per bit this code corrects.
+    pub fn correctable_faults(&self) -> usize {
+        (self.replicas - 1) / 2
+    }
+
+    /// Encodes `data` as X identical replicas.
+    pub fn encode(&self, data: &BitRow) -> Vec<BitRow> {
+        vec![data.clone(); self.replicas]
+    }
+
+    /// Injects `faults` random single-replica bitflips per column batch:
+    /// each selected (replica, bit) position flips. Returns the number of
+    /// *columns* whose fault count exceeds the correctable bound.
+    pub fn inject_faults<R: Rng + ?Sized>(
+        &self,
+        replicas: &mut [BitRow],
+        faults: usize,
+        rng: &mut R,
+    ) -> usize {
+        let cols = replicas[0].len();
+        let mut per_col = vec![0usize; cols];
+        for _ in 0..faults {
+            let r = rng.gen_range(0..replicas.len());
+            let c = rng.gen_range(0..cols);
+            let old = replicas[r].get(c);
+            replicas[r].set(c, !old);
+            per_col[c] += 1;
+        }
+        // A column is uncorrectable only if a *majority* of its replicas
+        // are corrupt; since flips can cancel, count corrupted replicas
+        // per column directly.
+        per_col
+            .iter()
+            .filter(|&&n| n > self.correctable_faults())
+            .count()
+    }
+
+    /// Decodes by an in-DRAM MAJX over the replicas on the given row
+    /// group.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MAJX errors (group too small, width mismatch, …).
+    pub fn decode_in_dram(
+        &self,
+        setup: &mut TestSetup,
+        group: &GroupSpec,
+        replicas: &[BitRow],
+        rng: &mut StdRng,
+    ) -> Result<BitRow, PudError> {
+        exec_majx(setup, group, replicas, ApaTiming::best_for_majx(), rng)
+    }
+
+    /// Host-side reference decode (bit-exact majority).
+    pub fn decode_reference(&self, replicas: &[BitRow]) -> BitRow {
+        simra_core::maj::majority(replicas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use simra_core::rowgroup::random_group;
+    use simra_dram::{BankId, DataPattern, SubarrayId, VendorProfile};
+
+    fn env() -> (TestSetup, GroupSpec, StdRng) {
+        let setup = TestSetup::new(VendorProfile::mfr_h_m_die(), 6);
+        let mut rng = StdRng::seed_from_u64(31);
+        let group = random_group(
+            setup.module().geometry(),
+            BankId::new(0),
+            SubarrayId::new(0),
+            32,
+            &mut rng,
+        )
+        .unwrap();
+        (setup, group, rng)
+    }
+
+    #[test]
+    fn correctable_fault_budget() {
+        assert_eq!(MajorityCode::new(3).correctable_faults(), 1);
+        assert_eq!(MajorityCode::new(5).correctable_faults(), 2);
+        assert_eq!(MajorityCode::new(7).correctable_faults(), 3);
+        assert_eq!(MajorityCode::new(9).correctable_faults(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd replica count")]
+    fn even_replicas_rejected() {
+        MajorityCode::new(4);
+    }
+
+    #[test]
+    fn reference_decode_corrects_within_budget() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let code = MajorityCode::new(5);
+        let data = DataPattern::Random.row_image(0, 128, &mut rng);
+        let mut replicas = code.encode(&data);
+        // Corrupt up to 2 replicas per column deterministically: flip the
+        // same bit in replicas 0 and 1.
+        for c in 0..128 {
+            let old0 = replicas[0].get(c);
+            replicas[0].set(c, !old0);
+            let old1 = replicas[1].get(c);
+            replicas[1].set(c, !old1);
+        }
+        assert_eq!(code.decode_reference(&replicas), data);
+    }
+
+    #[test]
+    fn reference_decode_fails_beyond_budget() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let code = MajorityCode::new(3);
+        let data = DataPattern::Random.row_image(0, 64, &mut rng);
+        let mut replicas = code.encode(&data);
+        // Two of three replicas corrupted at bit 0: majority flips.
+        for replica in replicas.iter_mut().take(2) {
+            let old = replica.get(0);
+            replica.set(0, !old);
+        }
+        assert_ne!(code.decode_reference(&replicas).get(0), data.get(0));
+    }
+
+    #[test]
+    fn in_dram_decode_corrects_scattered_upsets() {
+        let (mut setup, group, mut rng) = env();
+        let cols = setup.module().geometry().cols_per_row as usize;
+        let code = MajorityCode::new(3);
+        let data = DataPattern::Random.row_image(0, cols, &mut rng);
+        let mut replicas = code.encode(&data);
+        let uncorrectable = code.inject_faults(&mut replicas, cols / 8, &mut rng);
+        let decoded = code
+            .decode_in_dram(&mut setup, &group, &replicas, &mut rng)
+            .unwrap();
+        let wrong = decoded.hamming(&data);
+        // Every correctable column must come back right, modulo the
+        // (small) PUD unreliability of MAJ3@32 itself.
+        assert!(
+            wrong <= uncorrectable + cols / 50,
+            "decode left {wrong} wrong bits ({uncorrectable} uncorrectable)"
+        );
+    }
+
+    #[test]
+    fn wider_codes_survive_heavier_upset_rates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cols = 256;
+        let mut failures = Vec::new();
+        for x in [3usize, 7] {
+            let code = MajorityCode::new(x);
+            let data = DataPattern::Random.row_image(0, cols, &mut rng);
+            let mut wrong = 0usize;
+            for _ in 0..20 {
+                let mut replicas = code.encode(&data);
+                code.inject_faults(&mut replicas, cols, &mut rng);
+                wrong += code.decode_reference(&replicas).hamming(&data);
+            }
+            failures.push(wrong);
+        }
+        assert!(
+            failures[1] < failures[0],
+            "MAJ7-TMR should beat MAJ3-TMR under heavy upsets: {failures:?}"
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Figures 3 and 4: robustness of simultaneous many-row activation under
+//! timing, temperature, and wordline voltage.
+
+use simra_core::act::activation_success;
+use simra_core::metrics::{mean, pct, BoxStats};
+use simra_dram::{ApaTiming, DataPattern};
+
+use crate::config::ExperimentConfig;
+use crate::fleet::collect_group_samples;
+use crate::report::Table;
+
+/// Row counts swept for activation experiments (the only N values COTS
+/// chips can produce — Limitation 2).
+pub const ACTIVATION_NS: [u32; 5] = [2, 4, 8, 16, 32];
+/// t1 values of the Fig. 3 grid (ns).
+pub const FIG3_T1: [f64; 3] = [1.5, 3.0, 6.0];
+/// t2 values of the Fig. 3 grid (ns); larger t2 leaves the simultaneous
+/// regime entirely (footnote 6).
+pub const FIG3_T2: [f64; 2] = [1.5, 3.0];
+/// Temperature sweep of Fig. 4a (°C).
+pub const TEMPERATURES_C: [f64; 5] = [50.0, 60.0, 70.0, 80.0, 90.0];
+/// V_PP sweep of Fig. 4b (V).
+pub const VPP_LEVELS_V: [f64; 5] = [2.5, 2.4, 2.3, 2.2, 2.1];
+
+fn activation_samples(
+    config: &ExperimentConfig,
+    n: u32,
+    timing: ApaTiming,
+    temperature_c: Option<f64>,
+    vpp_v: Option<f64>,
+) -> Vec<f64> {
+    collect_group_samples(config, n, move |setup, group, rng| {
+        if let Some(t) = temperature_c {
+            setup
+                .set_temperature(t)
+                .expect("swept temperature is in range");
+        }
+        if let Some(v) = vpp_v {
+            setup.set_vpp(v).expect("swept V_PP is in range");
+        }
+        activation_success(setup, group, timing, DataPattern::Random, rng).ok()
+    })
+}
+
+/// Fig. 3: success-rate distribution of N-row activation for every (t1,
+/// t2) combination. Rows are `(t1, t2)` pairs plus the distribution
+/// statistic; columns are N. Values in percent.
+pub fn fig3_activation_timing(config: &ExperimentConfig) -> Table {
+    let columns = ACTIVATION_NS.iter().map(|n| format!("N={n}")).collect();
+    let mut table = Table::new(
+        "Fig. 3: simultaneous many-row activation success vs (t1, t2)",
+        config.describe_scale(),
+        columns,
+    );
+    for &t1 in &FIG3_T1 {
+        for &t2 in &FIG3_T2 {
+            let timing = ApaTiming::from_ns(t1, t2);
+            let mut means = Vec::new();
+            let mut mins = Vec::new();
+            for &n in &ACTIVATION_NS {
+                let samples = activation_samples(config, n, timing, None, None);
+                let stats = BoxStats::from_samples(&samples);
+                means.push(pct(stats.mean));
+                mins.push(pct(stats.min));
+            }
+            table.push_row(format!("t1={t1} t2={t2} mean"), means);
+            table.push_row(format!("t1={t1} t2={t2} min"), mins);
+        }
+    }
+    table
+}
+
+/// Fig. 4a: average activation success vs temperature (rows) per N
+/// (columns), in percent.
+pub fn fig4a_activation_temperature(config: &ExperimentConfig) -> Table {
+    let columns = ACTIVATION_NS.iter().map(|n| format!("N={n}")).collect();
+    let mut table = Table::new(
+        "Fig. 4a: many-row activation success vs temperature",
+        config.describe_scale(),
+        columns,
+    );
+    for &t in &TEMPERATURES_C {
+        let values = ACTIVATION_NS
+            .iter()
+            .map(|&n| {
+                pct(mean(&activation_samples(
+                    config,
+                    n,
+                    ApaTiming::best_for_activation(),
+                    Some(t),
+                    None,
+                )))
+            })
+            .collect();
+        table.push_row(format!("{t} C"), values);
+    }
+    table
+}
+
+/// Fig. 4b: average activation success vs V_PP (rows) per N (columns),
+/// in percent.
+pub fn fig4b_activation_voltage(config: &ExperimentConfig) -> Table {
+    let columns = ACTIVATION_NS.iter().map(|n| format!("N={n}")).collect();
+    let mut table = Table::new(
+        "Fig. 4b: many-row activation success vs wordline voltage",
+        config.describe_scale(),
+        columns,
+    );
+    for &v in &VPP_LEVELS_V {
+        let values = ACTIVATION_NS
+            .iter()
+            .map(|&n| {
+                pct(mean(&activation_samples(
+                    config,
+                    n,
+                    ApaTiming::best_for_activation(),
+                    None,
+                    Some(v),
+                )))
+            })
+            .collect();
+        table.push_row(format!("{v} V"), values);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_best_timing_is_high_and_weak_timing_is_lower() {
+        let t = fig3_activation_timing(&ExperimentConfig::quick());
+        let best = t.get("t1=3 t2=3 mean", "N=32").unwrap();
+        let weak = t.get("t1=1.5 t2=1.5 mean", "N=32").unwrap();
+        assert!(best > 99.0, "Obs. 1: best timing ≥ 99.85 %, got {best}");
+        assert!(
+            best - weak > 5.0,
+            "Obs. 2: grid-minimum drop, {best} vs {weak}"
+        );
+    }
+
+    #[test]
+    fn fig4a_temperature_effect_is_small() {
+        let t = fig4a_activation_temperature(&ExperimentConfig::quick());
+        for n in ACTIVATION_NS {
+            let col = format!("N={n}");
+            let at50 = t.get("50 C", &col).unwrap();
+            let at90 = t.get("90 C", &col).unwrap();
+            assert!(
+                (at50 - at90).abs() < 1.0,
+                "Obs. 3: small temp effect, {at50} vs {at90}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig4b_voltage_effect_is_small_and_monotone() {
+        let t = fig4b_activation_voltage(&ExperimentConfig::quick());
+        let at25 = t.get("2.5 V", "N=32").unwrap();
+        let at21 = t.get("2.1 V", "N=32").unwrap();
+        assert!(at25 >= at21, "lower V_PP cannot help");
+        assert!(
+            at25 - at21 < 2.0,
+            "Obs. 4: ≤ ~0.41 % drop, got {}",
+            at25 - at21
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Experiment scale configuration.
+
+use serde::{Deserialize, Serialize};
+
+use simra_dram::vendor::{paper_fleet, VendorProfile};
+
+/// One module to mount in the (virtual) rig.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleUnderTest {
+    /// Vendor profile of the module.
+    pub profile: VendorProfile,
+    /// Seed stamping its silicon (distinct seeds = distinct modules).
+    pub seed: u64,
+}
+
+/// Scale knobs for every characterization runner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Modules to test.
+    pub modules: Vec<ModuleUnderTest>,
+    /// Banks tested per module (paper: 16).
+    pub banks: u16,
+    /// Randomly chosen subarrays per bank (paper: 3).
+    pub subarrays_per_bank: u16,
+    /// Random row groups per subarray per N (paper: 100).
+    pub groups_per_subarray: usize,
+    /// Experiment RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The default scale: one module per vendor profile in Table 1 and a
+    /// reduced group population — large enough for stable means, small
+    /// enough that the full figure set regenerates in minutes.
+    pub fn reduced() -> Self {
+        let modules = paper_fleet()
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| ModuleUnderTest {
+                profile: e.profile,
+                seed: 1000 + i as u64,
+            })
+            .collect();
+        ExperimentConfig {
+            modules,
+            banks: 2,
+            subarrays_per_bank: 2,
+            groups_per_subarray: 4,
+            seed: 0xD5A,
+        }
+    }
+
+    /// A minimal configuration for tests and benches: one Mfr. H module,
+    /// one bank, a handful of groups.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            modules: vec![ModuleUnderTest {
+                profile: VendorProfile::mfr_h_m_die(),
+                seed: 7,
+            }],
+            banks: 1,
+            subarrays_per_bank: 1,
+            groups_per_subarray: 3,
+            seed: 0xD5A,
+        }
+    }
+
+    /// The paper's full population: every module of Table 2 (18 modules),
+    /// 16 banks × 3 subarrays × 100 groups. Hours of runtime; use for
+    /// overnight regeneration only.
+    pub fn paper_scale() -> Self {
+        let mut modules = Vec::new();
+        let mut seed = 2000u64;
+        for entry in paper_fleet() {
+            for _ in 0..entry.modules {
+                modules.push(ModuleUnderTest {
+                    profile: entry.profile.clone(),
+                    seed,
+                });
+                seed += 1;
+            }
+        }
+        ExperimentConfig {
+            modules,
+            banks: 16,
+            subarrays_per_bank: 3,
+            groups_per_subarray: 100,
+            seed: 0xD5A,
+        }
+    }
+
+    /// Groups tested per (module, N) point.
+    pub fn groups_per_module(&self) -> usize {
+        self.banks as usize * self.subarrays_per_bank as usize * self.groups_per_subarray
+    }
+
+    /// Human-readable scale statement, including the reduction relative to
+    /// the paper's 16 × 3 × 100 population (no silent truncation).
+    pub fn describe_scale(&self) -> String {
+        let per_module = self.groups_per_module();
+        let paper_per_module = 16 * 3 * 100;
+        format!(
+            "{} module(s), {} groups per (module, N) point ({}x reduction vs the paper's {} groups over 18 modules)",
+            self.modules.len(),
+            per_module,
+            paper_per_module / per_module.max(1),
+            paper_per_module,
+        )
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::reduced()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_covers_all_vendor_profiles() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.modules.len(), 4);
+        let mut labels: Vec<String> = c.modules.iter().map(|m| m.profile.label()).collect();
+        labels.dedup();
+        assert_eq!(labels.len(), 4, "one module per Table 1 profile");
+    }
+
+    #[test]
+    fn paper_scale_has_18_modules() {
+        let c = ExperimentConfig::paper_scale();
+        assert_eq!(c.modules.len(), 18);
+        assert_eq!(c.groups_per_module(), 4800);
+    }
+
+    #[test]
+    fn scale_description_reports_reduction() {
+        let c = ExperimentConfig::quick();
+        let s = c.describe_scale();
+        assert!(s.contains("reduction"), "{s}");
+    }
+
+    #[test]
+    fn distinct_module_seeds() {
+        let c = ExperimentConfig::paper_scale();
+        let mut seeds: Vec<u64> = c.modules.iter().map(|m| m.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 18);
+    }
+}

@@ -1,0 +1,94 @@
+//! Parallel execution of one experiment across the module fleet.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use simra_bender::TestSetup;
+use simra_core::rowgroup::{sample_groups, GroupSpec};
+use simra_dram::DramModule;
+
+use crate::config::ExperimentConfig;
+
+/// Runs `op` on every sampled row group of `n` simultaneously activated
+/// rows, across all configured modules — one thread per module (each
+/// module is an independent device, exactly like the paper's rig testing
+/// modules one at a time).
+///
+/// Returns all per-group success rates, ordered by module then group, so
+/// results are deterministic regardless of thread scheduling. Groups for
+/// which `op` returns `None` (e.g. an operation the part cannot perform)
+/// are skipped.
+pub fn collect_group_samples<F>(config: &ExperimentConfig, n: u32, op: F) -> Vec<f64>
+where
+    F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
+{
+    let op = &op;
+    let results: Vec<Vec<f64>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = config
+            .modules
+            .iter()
+            .map(|m| {
+                scope.spawn(move |_| {
+                    let mut setup =
+                        TestSetup::with_module(DramModule::new(m.profile.clone(), m.seed));
+                    // Distinct, reproducible stream per (module, N).
+                    let mut rng = StdRng::seed_from_u64(
+                        config.seed ^ m.seed.rotate_left(17) ^ ((n as u64) << 48),
+                    );
+                    let groups = sample_groups(
+                        setup.module().geometry(),
+                        n,
+                        config.banks,
+                        config.subarrays_per_bank,
+                        config.groups_per_subarray,
+                        &mut rng,
+                    );
+                    groups
+                        .iter()
+                        .filter_map(|g| op(&mut setup, g, &mut rng))
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("module worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_cover_all_modules_and_groups() {
+        let mut config = ExperimentConfig::quick();
+        config.modules.push(crate::config::ModuleUnderTest {
+            profile: simra_dram::VendorProfile::mfr_h_a_die(),
+            seed: 8,
+        });
+        let samples = collect_group_samples(&config, 4, |_, g, _| Some(g.n_rows() as f64));
+        assert_eq!(samples.len(), 2 * config.groups_per_module());
+        assert!(samples.iter().all(|s| *s == 4.0));
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let config = ExperimentConfig::quick();
+        let a = collect_group_samples(&config, 8, |_, g, _| Some(g.local_rows[0] as f64));
+        let b = collect_group_samples(&config, 8, |_, g, _| Some(g.local_rows[0] as f64));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn none_results_are_skipped() {
+        let config = ExperimentConfig::quick();
+        let samples = collect_group_samples(&config, 2, |_, g, _| {
+            (g.local_rows[0] % 2 == 0).then_some(1.0)
+        });
+        assert!(samples.len() < config.groups_per_module());
+    }
+}

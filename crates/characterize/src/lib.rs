@@ -1,0 +1,48 @@
+//! # simra-characterize
+//!
+//! Experiment runners that regenerate every table and figure of the
+//! paper's evaluation (§4–§7): one public `figNN_*` function per figure,
+//! each returning a [`report::Table`] whose rows/series match what the
+//! paper plots, printed the way the paper reports them.
+//!
+//! Scale: the paper tests 24 K row groups per module across 18 modules
+//! with 10⁴ trials each. [`config::ExperimentConfig::default`] uses a
+//! reduced but statistically adequate population and *reports the
+//! reduction* via [`config::ExperimentConfig::describe_scale`]; nothing is
+//! silently truncated. `paper_scale()` reproduces the full population for
+//! long runs.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use simra_characterize::config::ExperimentConfig;
+//! use simra_characterize::majx::fig7_majx_patterns;
+//!
+//! let table = fig7_majx_patterns(&ExperimentConfig::quick());
+//! println!("{table}");
+//! ```
+
+pub mod activation;
+pub mod config;
+pub mod fleet;
+pub mod majx;
+pub mod mrc;
+pub mod observations;
+pub mod perdie;
+pub mod power;
+pub mod report;
+pub mod spice;
+pub mod takeaways;
+
+pub use activation::{
+    fig3_activation_timing, fig4a_activation_temperature, fig4b_activation_voltage,
+};
+pub use config::ExperimentConfig;
+pub use majx::{fig6_maj3_timing, fig7_majx_patterns, fig8_majx_temperature, fig9_majx_voltage};
+pub use mrc::{fig10_mrc_timing, fig11_mrc_patterns, fig12a_mrc_temperature, fig12b_mrc_voltage};
+pub use observations::{check_observations, ObservationReport};
+pub use perdie::per_die_breakdown;
+pub use power::fig5_power;
+pub use report::Table;
+pub use spice::fig15_spice;
+pub use takeaways::{derive_takeaways, TakeawayReport};

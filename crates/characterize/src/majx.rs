@@ -1,0 +1,256 @@
+//! Figures 6–9: MAJX robustness under timing, data pattern, temperature,
+//! and wordline voltage.
+
+use simra_core::maj::{majx_success, MajConfig};
+use simra_core::metrics::{mean, pct, BoxStats};
+use simra_dram::{ApaTiming, DataPattern, Manufacturer};
+
+use crate::config::ExperimentConfig;
+use crate::fleet::collect_group_samples;
+use crate::report::Table;
+
+/// The MAJX operand counts characterized (§5).
+pub const MAJ_XS: [usize; 4] = [3, 5, 7, 9];
+/// t1 grid of Fig. 6 (ns).
+pub const FIG6_T1: [f64; 3] = [1.5, 3.0, 6.0];
+/// t2 grid of Fig. 6 (ns).
+pub const FIG6_T2: [f64; 2] = [1.5, 3.0];
+
+/// N values on which MAJX is feasible (N ≥ X, N a reachable power of two).
+pub fn feasible_ns(x: usize) -> Vec<u32> {
+    [4u32, 8, 16, 32]
+        .into_iter()
+        .filter(|n| *n as usize >= x)
+        .collect()
+}
+
+fn majx_samples(
+    config: &ExperimentConfig,
+    x: usize,
+    n: u32,
+    timing: ApaTiming,
+    pattern: DataPattern,
+    temperature_c: Option<f64>,
+    vpp_v: Option<f64>,
+) -> Vec<f64> {
+    let maj_config = MajConfig::default();
+    collect_group_samples(config, n, move |setup, group, rng| {
+        // Footnote 11: MAJ9+ never works on Mfr. M parts; the paper omits
+        // those points, and so do we.
+        if x >= 9 && setup.module().profile().manufacturer == Manufacturer::M {
+            return None;
+        }
+        if let Some(t) = temperature_c {
+            setup
+                .set_temperature(t)
+                .expect("swept temperature is in range");
+        }
+        if let Some(v) = vpp_v {
+            setup.set_vpp(v).expect("swept V_PP is in range");
+        }
+        majx_success(setup, group, x, timing, pattern, &maj_config, rng).ok()
+    })
+}
+
+/// Fig. 6: MAJ3 success distribution vs (t1, t2) and N ∈ {4, 8, 16, 32}.
+/// Values in percent.
+pub fn fig6_maj3_timing(config: &ExperimentConfig) -> Table {
+    let ns = feasible_ns(3);
+    let columns = ns.iter().map(|n| format!("N={n}")).collect();
+    let mut table = Table::new(
+        "Fig. 6: MAJ3 success vs (t1, t2) and row count (input replication)",
+        config.describe_scale(),
+        columns,
+    );
+    for &t1 in &FIG6_T1 {
+        for &t2 in &FIG6_T2 {
+            let timing = ApaTiming::from_ns(t1, t2);
+            let mut means = Vec::new();
+            let mut medians = Vec::new();
+            for &n in &ns {
+                let samples = majx_samples(config, 3, n, timing, DataPattern::Random, None, None);
+                let stats = BoxStats::from_samples(&samples);
+                means.push(pct(stats.mean));
+                medians.push(pct(stats.median));
+            }
+            table.push_row(format!("t1={t1} t2={t2} mean"), means);
+            table.push_row(format!("t1={t1} t2={t2} median"), medians);
+        }
+    }
+    table
+}
+
+/// Fig. 7: MAJX success per data pattern, at the best MAJX timing,
+/// with the maximum feasible replication (N = 32). Values in percent.
+pub fn fig7_majx_patterns(config: &ExperimentConfig) -> Table {
+    let columns = MAJ_XS.iter().map(|x| format!("MAJ{x}")).collect();
+    let mut table = Table::new(
+        "Fig. 7: MAJX success per data pattern (N = 32, best timing)",
+        config.describe_scale(),
+        columns,
+    );
+    for pattern in DataPattern::ALL {
+        let values = MAJ_XS
+            .iter()
+            .map(|&x| {
+                pct(mean(&majx_samples(
+                    config,
+                    x,
+                    32,
+                    ApaTiming::best_for_majx(),
+                    pattern,
+                    None,
+                    None,
+                )))
+            })
+            .collect();
+        table.push_row(pattern.to_string(), values);
+    }
+    // The replication sweep of Fig. 7's x-axis: random pattern per N.
+    for &x in &MAJ_XS {
+        for n in feasible_ns(x) {
+            let s = pct(mean(&majx_samples(
+                config,
+                x,
+                n,
+                ApaTiming::best_for_majx(),
+                DataPattern::Random,
+                None,
+                None,
+            )));
+            // Per-N sweep rows carry one value in the matching MAJX
+            // column; the rest is NaN (infeasible/not measured here).
+            let mut row = vec![f64::NAN; MAJ_XS.len()];
+            let xi = MAJ_XS.iter().position(|v| *v == x).expect("x from MAJ_XS");
+            row[xi] = s;
+            table.push_row(format!("random N={n} MAJ{x}"), row);
+        }
+    }
+    table
+}
+
+/// Fig. 8: MAJX success vs temperature (random pattern, N = 32 and the
+/// no-replication N = 4 for MAJ3, to show Obs. 12). Values in percent.
+pub fn fig8_majx_temperature(config: &ExperimentConfig) -> Table {
+    let temps = crate::activation::TEMPERATURES_C;
+    let columns = temps.iter().map(|t| format!("{t}C")).collect();
+    let mut table = Table::new(
+        "Fig. 8: MAJX success vs temperature",
+        config.describe_scale(),
+        columns,
+    );
+    for &x in &MAJ_XS {
+        let values = temps
+            .iter()
+            .map(|&t| {
+                pct(mean(&majx_samples(
+                    config,
+                    x,
+                    32,
+                    ApaTiming::best_for_majx(),
+                    DataPattern::Random,
+                    Some(t),
+                    None,
+                )))
+            })
+            .collect();
+        table.push_row(format!("MAJ{x} N=32"), values);
+    }
+    let maj3_n4 = temps
+        .iter()
+        .map(|&t| {
+            pct(mean(&majx_samples(
+                config,
+                3,
+                4,
+                ApaTiming::best_for_majx(),
+                DataPattern::Random,
+                Some(t),
+                None,
+            )))
+        })
+        .collect();
+    table.push_row("MAJ3 N=4", maj3_n4);
+    table
+}
+
+/// Fig. 9: MAJX success vs wordline voltage (random pattern, N = 32).
+/// Values in percent.
+pub fn fig9_majx_voltage(config: &ExperimentConfig) -> Table {
+    let vpps = crate::activation::VPP_LEVELS_V;
+    let columns = vpps.iter().map(|v| format!("{v}V")).collect();
+    let mut table = Table::new(
+        "Fig. 9: MAJX success vs wordline voltage",
+        config.describe_scale(),
+        columns,
+    );
+    for &x in &MAJ_XS {
+        let values = vpps
+            .iter()
+            .map(|&v| {
+                pct(mean(&majx_samples(
+                    config,
+                    x,
+                    32,
+                    ApaTiming::best_for_majx(),
+                    DataPattern::Random,
+                    None,
+                    Some(v),
+                )))
+            })
+            .collect();
+        table.push_row(format!("MAJ{x} N=32"), values);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasible_ns_respects_x() {
+        assert_eq!(feasible_ns(3), vec![4, 8, 16, 32]);
+        assert_eq!(feasible_ns(5), vec![8, 16, 32]);
+        assert_eq!(feasible_ns(9), vec![16, 32]);
+    }
+
+    #[test]
+    fn fig7_success_ordering_and_feasibility() {
+        let t = fig7_majx_patterns(&ExperimentConfig::quick());
+        let maj3 = t.get("random", "MAJ3").unwrap();
+        let maj5 = t.get("random", "MAJ5").unwrap();
+        let maj7 = t.get("random", "MAJ7").unwrap();
+        let maj9 = t.get("random", "MAJ9").unwrap();
+        assert!(
+            maj3 > maj5 && maj5 > maj7 && maj7 > maj9,
+            "{maj3} {maj5} {maj7} {maj9}"
+        );
+        assert!(maj3 > 95.0, "Obs. 7 ballpark (paper 99.0), got {maj3}");
+        assert!(maj9 < 25.0, "Obs. 8 ballpark (paper 5.91), got {maj9}");
+    }
+
+    #[test]
+    fn fig7_random_is_worst_pattern() {
+        let t = fig7_majx_patterns(&ExperimentConfig::quick());
+        for x in ["MAJ5", "MAJ7"] {
+            let random = t.get("random", x).unwrap();
+            let solid = t.get("0x00/0xFF", x).unwrap();
+            assert!(
+                solid >= random,
+                "Obs. 9: {x} solid {solid} ≥ random {random}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig6_replication_beats_no_replication() {
+        let t = fig6_maj3_timing(&ExperimentConfig::quick());
+        let n32 = t.get("t1=1.5 t2=3 mean", "N=32").unwrap();
+        let n4 = t.get("t1=1.5 t2=3 mean", "N=4").unwrap();
+        assert!(n32 - n4 > 10.0, "Obs. 6: {n32} vs {n4}");
+        // Obs. 7: (1.5, 3) beats (3, 3) clearly at N = 32.
+        let t33 = t.get("t1=3 t2=3 mean", "N=32").unwrap();
+        assert!(n32 - t33 > 20.0, "Obs. 7: {n32} vs {t33}");
+    }
+}

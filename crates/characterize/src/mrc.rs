@@ -1,0 +1,235 @@
+//! Figures 10–12: Multi-RowCopy robustness under timing, data pattern,
+//! temperature, and wordline voltage.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use simra_core::metrics::{mean, pct, BoxStats};
+use simra_core::multirowcopy::multirowcopy_success;
+use simra_dram::{ApaTiming, BitRow};
+
+use crate::config::ExperimentConfig;
+use crate::fleet::collect_group_samples;
+use crate::report::Table;
+
+/// Destination counts of §6 (N-row activation copies to N − 1 rows).
+pub const DEST_COUNTS: [u32; 5] = [1, 3, 7, 15, 31];
+/// t1 grid of Fig. 10 (ns) — 36 ns ≈ tRAS is the paper's best.
+pub const FIG10_T1: [f64; 4] = [1.5, 3.0, 6.0, 36.0];
+/// t2 grid of Fig. 10 (ns).
+pub const FIG10_T2: [f64; 2] = [1.5, 3.0];
+
+/// Source-data patterns of Fig. 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MrcPattern {
+    /// All zeros.
+    AllZeros,
+    /// All ones (the pattern that dips at 31 destinations, Obs. 16).
+    AllOnes,
+    /// Uniform random.
+    Random,
+}
+
+impl std::fmt::Display for MrcPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MrcPattern::AllZeros => "all-0s",
+            MrcPattern::AllOnes => "all-1s",
+            MrcPattern::Random => "random",
+        };
+        f.write_str(s)
+    }
+}
+
+impl MrcPattern {
+    fn image(self, cols: usize, rng: &mut StdRng) -> BitRow {
+        match self {
+            MrcPattern::AllZeros => BitRow::zeros(cols),
+            MrcPattern::AllOnes => BitRow::ones(cols),
+            MrcPattern::Random => BitRow::from_bits((0..cols).map(|_| rng.gen())),
+        }
+    }
+}
+
+fn mrc_samples(
+    config: &ExperimentConfig,
+    dests: u32,
+    timing: ApaTiming,
+    pattern: MrcPattern,
+    temperature_c: Option<f64>,
+    vpp_v: Option<f64>,
+) -> Vec<f64> {
+    collect_group_samples(config, dests + 1, move |setup, group, rng| {
+        if let Some(t) = temperature_c {
+            setup
+                .set_temperature(t)
+                .expect("swept temperature is in range");
+        }
+        if let Some(v) = vpp_v {
+            setup.set_vpp(v).expect("swept V_PP is in range");
+        }
+        let cols = setup.module().geometry().cols_per_row as usize;
+        let img = pattern.image(cols, rng);
+        multirowcopy_success(setup, group, timing, &img).ok()
+    })
+}
+
+/// Fig. 10: Multi-RowCopy success distribution vs (t1, t2) per
+/// destination count. Values in percent.
+pub fn fig10_mrc_timing(config: &ExperimentConfig) -> Table {
+    let columns = DEST_COUNTS.iter().map(|d| format!("dests={d}")).collect();
+    let mut table = Table::new(
+        "Fig. 10: Multi-RowCopy success vs (t1, t2) and destination count",
+        config.describe_scale(),
+        columns,
+    );
+    for &t1 in &FIG10_T1 {
+        for &t2 in &FIG10_T2 {
+            let timing = ApaTiming::from_ns(t1, t2);
+            let mut means = Vec::new();
+            let mut mins = Vec::new();
+            for &d in &DEST_COUNTS {
+                let samples = mrc_samples(config, d, timing, MrcPattern::Random, None, None);
+                let stats = BoxStats::from_samples(&samples);
+                means.push(pct(stats.mean));
+                mins.push(pct(stats.min));
+            }
+            table.push_row(format!("t1={t1} t2={t2} mean"), means);
+            table.push_row(format!("t1={t1} t2={t2} min"), mins);
+        }
+    }
+    table
+}
+
+/// Fig. 11: Multi-RowCopy success per source data pattern (best timing).
+/// Values in percent.
+pub fn fig11_mrc_patterns(config: &ExperimentConfig) -> Table {
+    let columns = DEST_COUNTS.iter().map(|d| format!("dests={d}")).collect();
+    let mut table = Table::new(
+        "Fig. 11: Multi-RowCopy data-pattern dependence",
+        config.describe_scale(),
+        columns,
+    );
+    for pattern in [
+        MrcPattern::AllZeros,
+        MrcPattern::AllOnes,
+        MrcPattern::Random,
+    ] {
+        let values = DEST_COUNTS
+            .iter()
+            .map(|&d| {
+                pct(mean(&mrc_samples(
+                    config,
+                    d,
+                    ApaTiming::best_for_multi_row_copy(),
+                    pattern,
+                    None,
+                    None,
+                )))
+            })
+            .collect();
+        table.push_row(pattern.to_string(), values);
+    }
+    table
+}
+
+/// Fig. 12a: Multi-RowCopy success vs temperature (random source data).
+/// Values in percent.
+pub fn fig12a_mrc_temperature(config: &ExperimentConfig) -> Table {
+    let temps = crate::activation::TEMPERATURES_C;
+    let columns = DEST_COUNTS.iter().map(|d| format!("dests={d}")).collect();
+    let mut table = Table::new(
+        "Fig. 12a: Multi-RowCopy success vs temperature",
+        config.describe_scale(),
+        columns,
+    );
+    for &t in &temps {
+        let values = DEST_COUNTS
+            .iter()
+            .map(|&d| {
+                pct(mean(&mrc_samples(
+                    config,
+                    d,
+                    ApaTiming::best_for_multi_row_copy(),
+                    MrcPattern::Random,
+                    Some(t),
+                    None,
+                )))
+            })
+            .collect();
+        table.push_row(format!("{t} C"), values);
+    }
+    table
+}
+
+/// Fig. 12b: Multi-RowCopy success vs wordline voltage (random source
+/// data). Values in percent.
+pub fn fig12b_mrc_voltage(config: &ExperimentConfig) -> Table {
+    let vpps = crate::activation::VPP_LEVELS_V;
+    let columns = DEST_COUNTS.iter().map(|d| format!("dests={d}")).collect();
+    let mut table = Table::new(
+        "Fig. 12b: Multi-RowCopy success vs wordline voltage",
+        config.describe_scale(),
+        columns,
+    );
+    for &v in &vpps {
+        let values = DEST_COUNTS
+            .iter()
+            .map(|&d| {
+                pct(mean(&mrc_samples(
+                    config,
+                    d,
+                    ApaTiming::best_for_multi_row_copy(),
+                    MrcPattern::Random,
+                    None,
+                    Some(v),
+                )))
+            })
+            .collect();
+        table.push_row(format!("{v} V"), values);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_best_timing_is_nearly_perfect_and_t1_min_halves() {
+        let t = fig10_mrc_timing(&ExperimentConfig::quick());
+        let best = t.get("t1=36 t2=3 mean", "dests=31").unwrap();
+        assert!(best > 99.5, "Obs. 14: {best}");
+        let bad = t.get("t1=1.5 t2=3 mean", "dests=31").unwrap();
+        assert!(
+            bad < best - 30.0,
+            "Obs. 15: t1=1.5 ns collapse, {bad} vs {best}"
+        );
+    }
+
+    #[test]
+    fn fig11_all_ones_dips_at_31() {
+        let t = fig11_mrc_patterns(&ExperimentConfig::quick());
+        let ones = t.get("all-1s", "dests=31").unwrap();
+        let zeros = t.get("all-0s", "dests=31").unwrap();
+        assert!(zeros >= ones, "Obs. 16: {zeros} vs {ones}");
+        assert!(zeros - ones < 3.0, "but only slightly (paper 0.79 %)");
+    }
+
+    #[test]
+    fn fig12_env_effects_are_small() {
+        let cfg = ExperimentConfig::quick();
+        let temp = fig12a_mrc_temperature(&cfg);
+        let d = "dests=15";
+        let t50 = temp.get("50 C", d).unwrap();
+        let t90 = temp.get("90 C", d).unwrap();
+        assert!((t50 - t90).abs() < 1.0, "Obs. 17: {t50} vs {t90}");
+        let volt = fig12b_mrc_voltage(&cfg);
+        let v25 = volt.get("2.5 V", d).unwrap();
+        let v21 = volt.get("2.1 V", d).unwrap();
+        assert!(
+            v25 - v21 >= 0.0 && v25 - v21 < 3.0,
+            "Obs. 18: {v25} vs {v21}"
+        );
+    }
+}

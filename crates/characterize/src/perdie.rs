@@ -1,0 +1,132 @@
+//! Per-die-revision breakdown (extended-version style): the headline
+//! operations measured separately for each Table-1 profile, exposing the
+//! Mfr. H vs Mfr. M differences (Frac support, biased amps, variation
+//! scales) the fleet averages blur together.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use simra_bender::TestSetup;
+use simra_core::act::activation_success;
+use simra_core::maj::{majx_success, MajConfig};
+use simra_core::metrics::{mean, pct};
+use simra_core::multirowcopy::multirowcopy_success;
+use simra_core::rowgroup::sample_groups;
+use simra_dram::vendor::paper_fleet;
+use simra_dram::{ApaTiming, BitRow, DataPattern, DramModule, Manufacturer};
+
+use crate::config::ExperimentConfig;
+use crate::report::Table;
+
+/// Per-die table: one row per Table-1 profile, columns for 32-row
+/// activation, MAJ3/5/7/9 @32 (random pattern), and Multi-RowCopy @31
+/// destinations, all in percent (NaN where the part cannot perform the
+/// operation, e.g. MAJ9 on Mfr. M).
+pub fn per_die_breakdown(config: &ExperimentConfig) -> Table {
+    let columns = vec![
+        "ACT32".to_string(),
+        "MAJ3".into(),
+        "MAJ5".into(),
+        "MAJ7".into(),
+        "MAJ9".into(),
+        "MRC31".into(),
+    ];
+    let mut table = Table::new(
+        "Per-die breakdown: headline operations per Table-1 profile",
+        config.describe_scale(),
+        columns,
+    );
+    for entry in paper_fleet() {
+        let profile = entry.profile;
+        let label = profile.label();
+        let mut setup = TestSetup::with_module(DramModule::new(profile.clone(), 4242));
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xD1E);
+        let groups = sample_groups(
+            setup.module().geometry(),
+            32,
+            config.banks,
+            config.subarrays_per_bank,
+            config.groups_per_subarray,
+            &mut rng,
+        );
+        let cols = setup.module().geometry().cols_per_row as usize;
+        let maj_cfg = MajConfig::default();
+
+        let act: Vec<f64> = groups
+            .iter()
+            .filter_map(|g| {
+                activation_success(
+                    &mut setup,
+                    g,
+                    ApaTiming::best_for_activation(),
+                    DataPattern::Random,
+                    &mut rng,
+                )
+                .ok()
+            })
+            .collect();
+        let mut row = vec![pct(mean(&act))];
+        for x in [3usize, 5, 7, 9] {
+            if x >= 9 && profile.manufacturer == Manufacturer::M {
+                row.push(f64::NAN);
+                continue;
+            }
+            let vals: Vec<f64> = groups
+                .iter()
+                .filter_map(|g| {
+                    majx_success(
+                        &mut setup,
+                        g,
+                        x,
+                        ApaTiming::best_for_majx(),
+                        DataPattern::Random,
+                        &maj_cfg,
+                        &mut rng,
+                    )
+                    .ok()
+                })
+                .collect();
+            row.push(pct(mean(&vals)));
+        }
+        let mrc: Vec<f64> = groups
+            .iter()
+            .filter_map(|g| {
+                let img = BitRow::random(&mut rng, cols);
+                multirowcopy_success(&mut setup, g, ApaTiming::best_for_multi_row_copy(), &img).ok()
+            })
+            .collect();
+        row.push(pct(mean(&mrc)));
+        table.push_row(label, row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_die_table_shows_vendor_differences() {
+        let mut config = ExperimentConfig::quick();
+        config.groups_per_subarray = 3;
+        let t = per_die_breakdown(&config);
+        assert_eq!(t.rows.len(), 4, "one row per Table-1 profile");
+        // Mfr. M has no MAJ9 column.
+        let m_e = "Mfr. M (E die, 16Gb x16)";
+        assert!(t.get(m_e, "MAJ9").unwrap().is_nan());
+        // Mfr. H does.
+        let h_m = "Mfr. H (M die, 4Gb x8)";
+        assert!(!t.get(h_m, "MAJ9").unwrap().is_nan());
+        // Everyone activates and copies well.
+        for r in &t.rows {
+            let act = r.values[0];
+            let mrc = r.values[5];
+            assert!(act > 97.0, "{}: ACT32 {act}", r.label);
+            assert!(mrc > 97.0, "{}: MRC31 {mrc}", r.label);
+        }
+        // MAJ7 exists on both vendors (vendor *ordering* needs more than
+        // a quick-scale sample — the group spread dominates 3 groups).
+        assert!(t.get(h_m, "MAJ7").unwrap().is_finite());
+        assert!(t.get(m_e, "MAJ7").unwrap().is_finite());
+    }
+}

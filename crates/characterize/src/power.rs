@@ -1,0 +1,64 @@
+//! Fig. 5: power consumption of simultaneous many-row activation vs
+//! standard DRAM operations.
+
+use simra_bender::power::{PowerModel, StandardOp};
+
+use crate::config::ExperimentConfig;
+use crate::report::Table;
+
+/// Fig. 5: average power (mW) of N-row activation and the four standard
+/// operations (the paper's dashed lines).
+pub fn fig5_power(_config: &ExperimentConfig) -> Table {
+    let model = PowerModel::ddr4();
+    let mut table = Table::new(
+        "Fig. 5: power of simultaneous many-row activation vs standard ops",
+        "analytic IDD model (the paper measures one module)",
+        vec!["power_mW".into(), "pct_of_REF".into()],
+    );
+    let reference = model.standard_mw(StandardOp::Refresh);
+    for n in [2u32, 4, 8, 16, 32] {
+        let p = model.many_row_activation_mw(n);
+        table.push_row(format!("{n}-row ACT"), vec![p, 100.0 * p / reference]);
+    }
+    for op in [
+        StandardOp::Read,
+        StandardOp::Write,
+        StandardOp::ActPre,
+        StandardOp::Refresh,
+    ] {
+        let p = model.standard_mw(op);
+        table.push_row(op.to_string(), vec![p, 100.0 * p / reference]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn obs5_32_row_below_ref() {
+        let t = fig5_power(&ExperimentConfig::quick());
+        let p32 = t.get("32-row ACT", "pct_of_REF").unwrap();
+        assert!(
+            p32 < 100.0,
+            "Obs. 5: 32-row activation below REF, got {p32}% of REF"
+        );
+        assert!(
+            p32 > 60.0,
+            "but in the same ballpark (paper: ~79 %), got {p32}"
+        );
+    }
+
+    #[test]
+    fn power_rows_are_monotone_in_n() {
+        let t = fig5_power(&ExperimentConfig::quick());
+        let mut last = 0.0;
+        for n in [2, 4, 8, 16, 32] {
+            let p = t.get(&format!("{n}-row ACT"), "power_mW").unwrap();
+            assert!(p > last);
+            last = p;
+        }
+    }
+}

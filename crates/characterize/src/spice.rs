@@ -1,0 +1,92 @@
+//! Fig. 15: the SPICE-equivalent Monte-Carlo study, rendered as tables.
+
+use simra_analog::montecarlo::{run_fig15, MonteCarloConfig};
+use simra_analog::CircuitParams;
+
+use crate::config::ExperimentConfig;
+use crate::report::Table;
+
+/// Fig. 15 (a) and (b): bitline perturbation (mV, median) and MAJ3(1,1,0)
+/// success rate per N-row activation (rows) and process-variation percent
+/// (columns).
+pub fn fig15_spice(config: &ExperimentConfig) -> (Table, Table) {
+    let mc = MonteCarloConfig {
+        sets: 1000,
+        seed: config.seed,
+    };
+    let points = run_fig15(&CircuitParams::calibrated(), mc);
+    let variations = [10u32, 20, 30, 40];
+    let columns: Vec<String> = variations.iter().map(|p| format!("var={p}%")).collect();
+    let mut perturbation = Table::new(
+        "Fig. 15a: bitline perturbation (median mV) before sensing, MAJ3(1,1,0)",
+        format!("{} Monte-Carlo sets per point", mc.sets),
+        columns.clone(),
+    );
+    let mut success = Table::new(
+        "Fig. 15b: MAJ3(1,1,0) success rate vs process variation",
+        format!("{} Monte-Carlo sets per point", mc.sets),
+        columns,
+    );
+    for &n in &[1u32, 4, 8, 16, 32] {
+        let med: Vec<f64> = variations
+            .iter()
+            .map(|&v| {
+                points
+                    .iter()
+                    .find(|p| p.n_rows == n && p.variation_pct == v)
+                    .expect("grid covers all points")
+                    .median_mv
+            })
+            .collect();
+        perturbation.push_row(format!("N={n}"), med);
+        if n > 1 {
+            let rates: Vec<f64> = variations
+                .iter()
+                .map(|&v| {
+                    100.0
+                        * points
+                            .iter()
+                            .find(|p| p.n_rows == n && p.variation_pct == v)
+                            .expect("grid covers all points")
+                            .success_rate
+                })
+                .collect();
+            success.push_row(format!("N={n}"), rates);
+        }
+    }
+    (perturbation, success)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perturbation_grows_with_n_at_every_variation() {
+        let (pert, _) = fig15_spice(&ExperimentConfig::quick());
+        for col in ["var=10%", "var=40%"] {
+            let n4 = pert.get("N=4", col).unwrap();
+            let n32 = pert.get("N=32", col).unwrap();
+            assert!(n32 > n4 * 1.5, "{col}: N=32 {n32} vs N=4 {n4}");
+        }
+    }
+
+    #[test]
+    fn n32_success_immune_to_variation_n4_collapses() {
+        let (_, success) = fig15_spice(&ExperimentConfig::quick());
+        let n4_drop =
+            success.get("N=4", "var=10%").unwrap() - success.get("N=4", "var=40%").unwrap();
+        let n32_drop =
+            success.get("N=32", "var=10%").unwrap() - success.get("N=32", "var=40%").unwrap();
+        assert!(n4_drop > 10.0, "paper: −46.58 % for N=4, got −{n4_drop}");
+        assert!(n32_drop < 2.0, "paper: −0.01 % for N=32, got −{n32_drop}");
+    }
+
+    #[test]
+    fn single_row_baseline_is_present() {
+        let (pert, success) = fig15_spice(&ExperimentConfig::quick());
+        assert!(pert.get("N=1", "var=20%").is_some());
+        // N=1 has no MAJ success row.
+        assert!(success.get("N=1", "var=20%").is_none());
+    }
+}

@@ -1,0 +1,103 @@
+//! The paper's 7 takeaway lessons, derived from the observation
+//! scoreboard (each takeaway condenses specific observations).
+
+use serde::{Deserialize, Serialize};
+
+use crate::observations::ObservationReport;
+
+/// One evaluated takeaway.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TakeawayReport {
+    /// Takeaway number (1–7).
+    pub id: u8,
+    /// The lesson, condensed.
+    pub lesson: String,
+    /// Observations it rests on.
+    pub from_observations: Vec<u8>,
+    /// Whether every underlying observation held.
+    pub holds: bool,
+}
+
+impl std::fmt::Display for TakeawayReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Takeaway {} [{}] {} (from Obs. {:?})",
+            self.id,
+            if self.holds { "ok" } else { "XX" },
+            self.lesson,
+            self.from_observations
+        )
+    }
+}
+
+/// Derives the 7 takeaways from an observation scoreboard (as produced
+/// by [`crate::check_observations`]).
+pub fn derive_takeaways(observations: &[ObservationReport]) -> Vec<TakeawayReport> {
+    let holds = |ids: &[u8]| {
+        ids.iter().all(|id| {
+            observations.iter().find(|o| o.id == *id).map(|o| o.holds).unwrap_or(false)
+        })
+    };
+    let mk = |id: u8, lesson: &str, from: &[u8]| TakeawayReport {
+        id,
+        lesson: lesson.into(),
+        from_observations: from.to_vec(),
+        holds: holds(from),
+    };
+    vec![
+        mk(1, "COTS chips simultaneously activate 2–32 rows at very high success", &[1]),
+        mk(2, "many-row activation is highly resilient to temperature and V_PP", &[3, 4]),
+        mk(3, "COTS chips can perform MAJ5, MAJ7, and MAJ9", &[8]),
+        mk(4, "input replication significantly raises MAJX success", &[6, 10]),
+        mk(
+            5,
+            "V_PP/temperature barely move MAJX; data pattern moves it a lot",
+            &[9, 11, 13],
+        ),
+        mk(6, "one row copies to 1–31 rows at very high success", &[14]),
+        mk(
+            7,
+            "Multi-RowCopy is highly resilient to pattern, temperature, and V_PP",
+            &[16, 17, 18],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_observations;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn all_takeaways_hold_at_quick_scale() {
+        let obs = check_observations(&ExperimentConfig::quick());
+        let takeaways = derive_takeaways(&obs);
+        assert_eq!(takeaways.len(), 7);
+        let failing: Vec<String> =
+            takeaways.iter().filter(|t| !t.holds).map(|t| t.to_string()).collect();
+        assert!(failing.is_empty(), "takeaways not reproduced:\n{}", failing.join("\n"));
+    }
+
+    #[test]
+    fn takeaways_depend_on_their_observations() {
+        let mut obs = check_observations(&ExperimentConfig::quick());
+        // Break Obs. 1 artificially: Takeaway 1 must fall with it.
+        obs.iter_mut().find(|o| o.id == 1).expect("obs 1 exists").holds = false;
+        let takeaways = derive_takeaways(&obs);
+        assert!(!takeaways[0].holds);
+        assert!(takeaways[2].holds, "unrelated takeaways stand");
+    }
+
+    #[test]
+    fn display_renders_verdict() {
+        let t = TakeawayReport {
+            id: 3,
+            lesson: "x".into(),
+            from_observations: vec![8],
+            holds: true,
+        };
+        assert!(t.to_string().contains("Takeaway 3 [ok]"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Subarray-boundary reverse engineering (§3.1 "Finding Subarray
+//! Boundaries"): RowClone only works between rows that share bitlines, so
+//! sweeping copies between adjacent rows exposes where one subarray ends
+//! and the next begins.
+
+use simra_bender::TestSetup;
+use simra_dram::{BankId, BitRow, RowAddr};
+
+use crate::error::PudError;
+use crate::rowclone::exec_rowclone;
+
+/// Infers the subarray boundaries of `bank` by attempting RowClone between
+/// each pair of adjacent rows over the first `probe_rows` rows: a copy
+/// that fails (cross-subarray) marks a boundary. Returns the starting row
+/// of each inferred subarray (always includes 0).
+///
+/// The paper performs this across *all* row pairs; adjacent pairs are
+/// sufficient to find boundaries and keep the sweep linear.
+///
+/// # Errors
+///
+/// Propagates device errors (not the expected cross-subarray failures,
+/// which are the signal being measured).
+pub fn find_boundaries(
+    setup: &mut TestSetup,
+    bank: BankId,
+    probe_rows: u32,
+) -> Result<Vec<u32>, PudError> {
+    let cols = setup.module().geometry().cols_per_row as usize;
+    let probe_rows = probe_rows.min(setup.module().geometry().rows_per_bank());
+    let marker = BitRow::ones(cols);
+    let blank = BitRow::zeros(cols);
+    let mut boundaries = vec![0u32];
+    for r in 0..probe_rows.saturating_sub(1) {
+        let src = RowAddr::new(r);
+        let dst = RowAddr::new(r + 1);
+        setup.init_row(bank, src, &marker)?;
+        setup.init_row(bank, dst, &blank)?;
+        let copied = match exec_rowclone(setup, bank, src, dst) {
+            Ok(_) => {
+                let read = setup.read_row(bank, dst)?;
+                // Success = the overwhelming majority of cells copied.
+                read.matches(&marker) as f64 / cols as f64 > 0.9
+            }
+            Err(PudError::Sequencer(_)) | Err(PudError::UnexpectedActivation { .. }) => false,
+            Err(e) => return Err(e),
+        };
+        if !copied {
+            boundaries.push(r + 1);
+        }
+    }
+    Ok(boundaries)
+}
+
+/// Infers the subarray size from boundary positions (the stride between
+/// consecutive boundaries; `None` if fewer than two boundaries were seen).
+pub fn infer_subarray_size(boundaries: &[u32]) -> Option<u32> {
+    if boundaries.len() < 2 {
+        return None;
+    }
+    Some(boundaries[1] - boundaries[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simra_dram::VendorProfile;
+
+    #[test]
+    fn finds_the_512_row_boundary() {
+        let mut s = TestSetup::new(VendorProfile::mfr_h_m_die(), 77);
+        // Probe the first 1.5 subarrays: expect a boundary at 512.
+        let b = find_boundaries(&mut s, BankId::new(0), 520).unwrap();
+        assert_eq!(b, vec![0, 512]);
+    }
+
+    #[test]
+    fn infers_size_from_boundaries() {
+        assert_eq!(infer_subarray_size(&[0, 512, 1024]), Some(512));
+        assert_eq!(infer_subarray_size(&[0]), None);
+    }
+
+    #[test]
+    fn no_boundary_inside_a_subarray() {
+        let mut s = TestSetup::new(VendorProfile::mfr_h_m_die(), 77);
+        let b = find_boundaries(&mut s, BankId::new(0), 100).unwrap();
+        assert_eq!(b, vec![0]);
+    }
+}

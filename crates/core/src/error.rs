@@ -1,0 +1,110 @@
+//! Error type for PUD operations.
+
+use std::error::Error;
+use std::fmt;
+
+use simra_bender::SequencerError;
+use simra_dram::DramError;
+
+/// Errors raised by PUD operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PudError {
+    /// The APA did not produce the activation pattern the operation needs
+    /// (e.g. asked for simultaneous rows, got a consecutive activation).
+    UnexpectedActivation {
+        /// What the operation needed.
+        expected: String,
+        /// What the decoder produced.
+        got: String,
+    },
+    /// The row group is too small for the requested operation
+    /// (MAJX needs at least X simultaneously activated rows).
+    GroupTooSmall {
+        /// Rows in the group.
+        rows: usize,
+        /// Rows required.
+        required: usize,
+    },
+    /// Input widths do not match the modelled row width.
+    InputWidth {
+        /// Bits provided.
+        got: usize,
+        /// Bits per row.
+        expected: usize,
+    },
+    /// MAJX requires an odd operand count of at least three.
+    BadOperandCount(usize),
+    /// Error from the sequencer / rig.
+    Sequencer(SequencerError),
+    /// Error from the device model.
+    Dram(DramError),
+}
+
+impl fmt::Display for PudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PudError::UnexpectedActivation { expected, got } => {
+                write!(f, "unexpected activation: needed {expected}, got {got}")
+            }
+            PudError::GroupTooSmall { rows, required } => {
+                write!(
+                    f,
+                    "row group has {rows} rows but the operation needs {required}"
+                )
+            }
+            PudError::InputWidth { got, expected } => {
+                write!(f, "input is {got} bits wide, rows are {expected}")
+            }
+            PudError::BadOperandCount(x) => {
+                write!(f, "MAJX needs an odd X ≥ 3, got {x}")
+            }
+            PudError::Sequencer(e) => write!(f, "sequencer: {e}"),
+            PudError::Dram(e) => write!(f, "device: {e}"),
+        }
+    }
+}
+
+impl Error for PudError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PudError::Sequencer(e) => Some(e),
+            PudError::Dram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SequencerError> for PudError {
+    fn from(e: SequencerError) -> Self {
+        PudError::Sequencer(e)
+    }
+}
+
+impl From<DramError> for PudError {
+    fn from(e: DramError) -> Self {
+        PudError::Dram(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = PudError::GroupTooSmall {
+            rows: 4,
+            required: 5,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('5'));
+        let e = PudError::BadOperandCount(4);
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<PudError>();
+    }
+}

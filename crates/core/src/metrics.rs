@@ -1,0 +1,139 @@
+//! The success-rate metric and distribution summaries for the paper's
+//! box-and-whiskers plots.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary plus mean, as the paper's box plots report
+/// (box = Q1..Q3, whiskers = min/max).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of samples summarised.
+    pub count: usize,
+}
+
+impl BoxStats {
+    /// Summarises a sample set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains non-finite values.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarise an empty sample set");
+        let mut s: Vec<f64> = samples.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("samples must be finite"));
+        let q = |p: f64| -> f64 {
+            // Linear interpolation between closest ranks.
+            let pos = p * (s.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            if lo == hi {
+                s[lo]
+            } else {
+                s[lo] + (s[hi] - s[lo]) * (pos - lo as f64)
+            }
+        };
+        BoxStats {
+            min: s[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: *s.last().expect("nonempty"),
+            mean: s.iter().sum::<f64>() / s.len() as f64,
+            count: s.len(),
+        }
+    }
+
+    /// Inter-quartile range (the box height).
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+impl std::fmt::Display for BoxStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min {:6.2} | q1 {:6.2} | med {:6.2} | q3 {:6.2} | max {:6.2} | mean {:6.2}",
+            self.min, self.q1, self.median, self.q3, self.max, self.mean
+        )
+    }
+}
+
+/// Mean of a slice (success rates are usually averaged across groups).
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Converts a 0–1 fraction to percent.
+pub fn pct(fraction: f64) -> f64 {
+    fraction * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_number_summary() {
+        let s = BoxStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.iqr(), 2.0);
+    }
+
+    #[test]
+    fn interpolated_quartiles() {
+        let s = BoxStats::from_samples(&[0.0, 1.0]);
+        assert_eq!(s.q1, 0.25);
+        assert_eq!(s.median, 0.5);
+        assert_eq!(s.q3, 0.75);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = BoxStats::from_samples(&[7.0]);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        BoxStats::from_samples(&[]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert!(mean(&[]).is_nan());
+        assert!((pct(0.9985) - 99.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let s = BoxStats::from_samples(&[1.0, 2.0, 3.0]);
+        let out = s.to_string();
+        assert!(out.contains("med") && out.contains("mean"));
+    }
+}

@@ -1,0 +1,318 @@
+//! Row-group algebra: choosing (R_F, R_S) pairs that simultaneously
+//! activate exactly N rows, and sampling the paper's test population
+//! (3 subarrays per bank × 16 banks × 100 groups per N).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use simra_decoder::RowDecoder;
+use simra_dram::{BankId, Geometry, RowAddr, SubarrayId};
+
+/// One group of simultaneously activated rows in one subarray.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupSpec {
+    /// Bank the group lives in.
+    pub bank: BankId,
+    /// Subarray within the bank.
+    pub subarray: SubarrayId,
+    /// First APA target (bank-level address).
+    pub r_f: RowAddr,
+    /// Second APA target (bank-level address).
+    pub r_s: RowAddr,
+    /// Local (in-subarray) indices of all simultaneously activated rows,
+    /// sorted ascending.
+    pub local_rows: Vec<u32>,
+}
+
+impl GroupSpec {
+    /// Number of simultaneously activated rows.
+    pub fn n_rows(&self) -> usize {
+        self.local_rows.len()
+    }
+
+    /// Local index of `R_F` within the subarray.
+    pub fn local_r_f(&self, geometry: &Geometry) -> u32 {
+        geometry
+            .split_row(self.r_f)
+            .expect("group was built from this geometry")
+            .1
+    }
+}
+
+/// Builds a group with exactly `n` rows (power of two ≤ 32) in the given
+/// bank/subarray, choosing `R_F` at random and `R_S` by re-drawing random
+/// outputs in `log2(n)` random predecoder groups.
+///
+/// Returns `None` only if the subarray cannot host such a group (can
+/// happen near the clipped top of non-power-of-two subarrays); callers
+/// retry with a fresh draw.
+pub fn random_group<R: Rng + ?Sized>(
+    geometry: &Geometry,
+    bank: BankId,
+    subarray: SubarrayId,
+    n: u32,
+    rng: &mut R,
+) -> Option<GroupSpec> {
+    assert!(
+        n.is_power_of_two() && n <= 32,
+        "n must be a power of two ≤ 32, got {n}"
+    );
+    let decoder = RowDecoder::for_subarray_rows(geometry.rows_per_subarray);
+    let local_f = rng.gen_range(0..geometry.rows_per_subarray);
+    let d = n.trailing_zeros() as usize;
+    // Pick d distinct predecoder groups and flip each to a different
+    // random output value.
+    let mut group_idx: Vec<usize> = (0..decoder.groups().len()).collect();
+    partial_shuffle(&mut group_idx, d, rng);
+    let mut local_s = local_f;
+    for &gi in group_idx.iter().take(d) {
+        let g = decoder.groups()[gi];
+        let cur = g.output_for(local_f);
+        let mut alt = rng.gen_range(0..g.outputs());
+        if g.outputs() > 1 {
+            while alt == cur {
+                alt = rng.gen_range(0..g.outputs());
+            }
+        }
+        local_s = (local_s & !((g.outputs() - 1) << g.shift)) | (alt << g.shift);
+    }
+    if local_s >= geometry.rows_per_subarray {
+        return None;
+    }
+    let rows = decoder.simultaneous_rows(local_f, local_s);
+    if rows.len() != n as usize {
+        return None;
+    }
+    Some(GroupSpec {
+        bank,
+        subarray,
+        r_f: geometry.join_row(subarray, local_f),
+        r_s: geometry.join_row(subarray, local_s),
+        local_rows: rows,
+    })
+}
+
+/// Samples the paper's test population: `groups_per_subarray` random
+/// groups of `n` simultaneously activated rows in each of
+/// `subarrays_per_bank` randomly chosen subarrays of each of `banks`
+/// banks. (The paper uses 100 × 3 × 16; experiments here default lower and
+/// report the reduction.)
+pub fn sample_groups<R: Rng + ?Sized>(
+    geometry: &Geometry,
+    n: u32,
+    banks: u16,
+    subarrays_per_bank: u16,
+    groups_per_subarray: usize,
+    rng: &mut R,
+) -> Vec<GroupSpec> {
+    let banks = banks.min(geometry.banks);
+    let subarrays_per_bank = subarrays_per_bank.min(geometry.subarrays_per_bank);
+    let mut out = Vec::new();
+    for b in 0..banks {
+        // Randomly select distinct subarrays in this bank.
+        let mut sa_ids: Vec<u16> = (0..geometry.subarrays_per_bank).collect();
+        partial_shuffle(&mut sa_ids, subarrays_per_bank as usize, rng);
+        for &sa in sa_ids.iter().take(subarrays_per_bank as usize) {
+            let mut found = 0;
+            let mut attempts = 0;
+            while found < groups_per_subarray && attempts < groups_per_subarray * 50 {
+                attempts += 1;
+                if let Some(g) = random_group(geometry, BankId::new(b), SubarrayId::new(sa), n, rng)
+                {
+                    out.push(g);
+                    found += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Tiles an entire subarray with maximal (32-row) simultaneous-activation
+/// groups: the union of the returned groups' rows covers every row of the
+/// subarray exactly once.
+///
+/// Construction: each predecoder's outputs pair up under XOR with its
+/// all-ones mask (`out ↔ out ^ (outputs − 1)`); picking one representative
+/// per pair class in every predecoder and targeting `R_S = R_F` with all
+/// fields flipped yields a group that covers exactly the Cartesian product
+/// of those pairs. Iterating over all class combinations tiles the
+/// subarray — this is how a Multi-RowCopy wipe covers a whole bank
+/// (§8.2).
+pub fn tile_groups(geometry: &Geometry, bank: BankId, subarray: SubarrayId) -> Vec<GroupSpec> {
+    let rows_in_sa = geometry.rows_per_subarray;
+    let decoder = RowDecoder::for_subarray_rows(rows_in_sa);
+    // Valid output values per predecoder field (non-power-of-two
+    // subarrays only populate a prefix of the most-significant field).
+    let valid: Vec<u32> = decoder
+        .groups()
+        .iter()
+        .map(|g| g.outputs().min(rows_in_sa.div_ceil(1 << g.shift)))
+        .collect();
+    // Pair consecutive valid outputs: (0,1), (2,3), …; an odd leftover
+    // output forms a singleton class whose groups simply do not flip this
+    // field (half-size groups, still a perfect tiling).
+    let classes: Vec<u32> = valid.iter().map(|v| v.div_ceil(2)).collect();
+    let mut out = Vec::new();
+    let mut idx = vec![0u32; classes.len()];
+    loop {
+        let mut local_f = 0u32;
+        let mut local_s = 0u32;
+        for (i, g) in decoder.groups().iter().enumerate() {
+            let rep = 2 * idx[i];
+            let alt = if rep + 1 < valid[i] { rep + 1 } else { rep };
+            local_f |= rep << g.shift;
+            local_s |= alt << g.shift;
+        }
+        debug_assert!(local_f < rows_in_sa && local_s < rows_in_sa);
+        let rows = decoder.simultaneous_rows(local_f, local_s);
+        if !rows.is_empty() {
+            out.push(GroupSpec {
+                bank,
+                subarray,
+                r_f: geometry.join_row(subarray, local_f),
+                r_s: geometry.join_row(subarray, local_s),
+                local_rows: rows,
+            });
+        }
+        // Mixed-radix increment over the class counts.
+        let mut i = 0;
+        loop {
+            if i == idx.len() {
+                return out;
+            }
+            idx[i] += 1;
+            if idx[i] < classes[i] {
+                break;
+            }
+            idx[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Fisher–Yates for the first `k` positions only.
+fn partial_shuffle<T, R: Rng + ?Sized>(items: &mut [T], k: usize, rng: &mut R) {
+    let k = k.min(items.len());
+    for i in 0..k {
+        let j = rng.gen_range(i..items.len());
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn geom() -> Geometry {
+        Geometry::default()
+    }
+
+    #[test]
+    fn random_group_has_requested_size() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [1u32, 2, 4, 8, 16, 32] {
+            let g = random_group(&geom(), BankId::new(0), SubarrayId::new(0), n, &mut rng)
+                .expect("512-row subarray always hosts power-of-two groups");
+            assert_eq!(g.n_rows(), n as usize);
+            // R_F and R_S are inside the subarray's bank-address window.
+            let (sa_f, lf) = geom().split_row(g.r_f).unwrap();
+            let (sa_s, _) = geom().split_row(g.r_s).unwrap();
+            assert_eq!(sa_f.raw(), 0);
+            assert_eq!(sa_s.raw(), 0);
+            assert!(g.local_rows.contains(&lf));
+        }
+    }
+
+    #[test]
+    fn sample_population_size() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let groups = sample_groups(&geom(), 8, 2, 3, 5, &mut rng);
+        assert_eq!(groups.len(), 2 * 3 * 5);
+        // All groups have 8 rows.
+        assert!(groups.iter().all(|g| g.n_rows() == 8));
+        // Both banks represented.
+        assert!(groups.iter().any(|g| g.bank == BankId::new(0)));
+        assert!(groups.iter().any(|g| g.bank == BankId::new(1)));
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let a = sample_groups(&geom(), 4, 1, 1, 3, &mut StdRng::seed_from_u64(9));
+        let b = sample_groups(&geom(), 4, 1, 1, 3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn groups_vary_across_draws() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = random_group(&geom(), BankId::new(0), SubarrayId::new(0), 16, &mut rng).unwrap();
+        let b = random_group(&geom(), BankId::new(0), SubarrayId::new(0), 16, &mut rng).unwrap();
+        assert_ne!(a, b, "two random draws should differ");
+    }
+
+    #[test]
+    fn non_power_of_two_subarray_still_samples() {
+        let mut g640 = geom();
+        g640.rows_per_subarray = 640;
+        let mut rng = StdRng::seed_from_u64(5);
+        let groups = sample_groups(&g640, 32, 1, 1, 10, &mut rng);
+        assert!(!groups.is_empty());
+        for g in &groups {
+            assert_eq!(g.n_rows(), 32);
+            assert!(g.local_rows.iter().all(|r| *r < 640));
+        }
+    }
+
+    #[test]
+    fn tiling_covers_the_subarray_exactly_once() {
+        let g = geom();
+        let groups = tile_groups(&g, BankId::new(0), SubarrayId::new(1));
+        assert_eq!(groups.len(), 16, "512 rows / 32-row groups");
+        let mut covered = vec![0u32; g.rows_per_subarray as usize];
+        for spec in &groups {
+            assert_eq!(spec.n_rows(), 32);
+            for &r in &spec.local_rows {
+                covered[r as usize] += 1;
+            }
+        }
+        assert!(covered.iter().all(|c| *c == 1), "every row exactly once");
+    }
+
+    #[test]
+    fn tiling_covers_micron_1024_row_subarrays() {
+        let mut g = geom();
+        g.rows_per_subarray = 1024;
+        let groups = tile_groups(&g, BankId::new(0), SubarrayId::new(0));
+        assert_eq!(groups.len(), 32);
+        let total: usize = groups.iter().map(GroupSpec::n_rows).sum();
+        assert_eq!(total, 1024);
+    }
+
+    #[test]
+    fn tiling_covers_non_power_of_two_subarrays() {
+        let mut g = geom();
+        g.rows_per_subarray = 640;
+        let groups = tile_groups(&g, BankId::new(0), SubarrayId::new(0));
+        let mut covered = vec![0u32; 640];
+        for spec in &groups {
+            for &r in &spec.local_rows {
+                covered[r as usize] += 1;
+            }
+        }
+        assert!(
+            covered.iter().all(|c| *c == 1),
+            "640-row subarray tiled without overlap"
+        );
+    }
+
+    #[test]
+    fn local_r_f_matches_split() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = random_group(&geom(), BankId::new(3), SubarrayId::new(2), 4, &mut rng).unwrap();
+        let lf = g.local_r_f(&geom());
+        assert!(g.local_rows.contains(&lf));
+    }
+}

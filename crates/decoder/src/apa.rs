@@ -1,0 +1,78 @@
+//! The structural outcome of an APA command sequence.
+
+use serde::{Deserialize, Serialize};
+
+/// What an `ACT R_F → PRE → ACT R_S` sequence does to the local wordlines
+/// of a subarray, as resolved by [`crate::RowDecoder::resolve_apa`].
+///
+/// Rows are *local* (in-subarray) indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApaOutcome {
+    /// Multiple wordlines asserted at once (t2 small enough to interrupt
+    /// the precharge before the predecoder latches clear). `rows` is
+    /// sorted ascending and contains both `R_F` and `R_S`.
+    Simultaneous {
+        /// All simultaneously asserted local rows.
+        rows: Vec<u32>,
+    },
+    /// Consecutive activation: the precharge got far enough to de-assert
+    /// `R_F`'s wordline but not to precharge the bitlines, so activating
+    /// `R_S` overwrites it with the sense-amplifier contents (RowClone).
+    Consecutive {
+        /// The source row (first activation).
+        first: u32,
+        /// The destination row (second activation).
+        second: u32,
+    },
+    /// Guard circuitry (Samsung) swallowed the timing-violating commands:
+    /// the sequence degenerates to a single normal activation.
+    GuardedSingle {
+        /// The row left open.
+        row: u32,
+    },
+}
+
+impl ApaOutcome {
+    /// Number of simultaneously open rows (1 for the degenerate cases).
+    pub fn open_row_count(&self) -> usize {
+        match self {
+            ApaOutcome::Simultaneous { rows } => rows.len(),
+            ApaOutcome::Consecutive { .. } | ApaOutcome::GuardedSingle { .. } => 1,
+        }
+    }
+
+    /// The set of rows whose cells end up connected to the bitlines when
+    /// the sequence completes.
+    pub fn open_rows(&self) -> Vec<u32> {
+        match self {
+            ApaOutcome::Simultaneous { rows } => rows.clone(),
+            ApaOutcome::Consecutive { second, .. } => vec![*second],
+            ApaOutcome::GuardedSingle { row } => vec![*row],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_row_accounting() {
+        let s = ApaOutcome::Simultaneous {
+            rows: vec![0, 1, 6, 7],
+        };
+        assert_eq!(s.open_row_count(), 4);
+        assert_eq!(s.open_rows(), vec![0, 1, 6, 7]);
+
+        let c = ApaOutcome::Consecutive {
+            first: 3,
+            second: 9,
+        };
+        assert_eq!(c.open_row_count(), 1);
+        assert_eq!(c.open_rows(), vec![9]);
+
+        let g = ApaOutcome::GuardedSingle { row: 4 };
+        assert_eq!(g.open_row_count(), 1);
+        assert_eq!(g.open_rows(), vec![4]);
+    }
+}

@@ -1,0 +1,150 @@
+//! The Global Wordline Decoder (GWLD) and cross-subarray activation.
+//!
+//! §7.1's hypothesised hierarchy puts a GWLD in front of the per-subarray
+//! LWLDs: the high-order row-address bits drive one Global Wordline,
+//! enabling one subarray's local decoder. Like the LWLD predecoders, the
+//! GWL drivers latch — so a sufficiently violated `PRE → ACT` can leave
+//! *two* GWLs asserted, activating rows in two different subarrays at
+//! once. That is HiRA's *hidden row activation* (Yağlıkçı et al., MICRO
+//! 2022) and the mechanism behind the concurrent work's 48-row
+//! activations across two neighbouring subarrays; the paper itself stays
+//! within one subarray, so this module is the opt-in extension.
+
+use serde::{Deserialize, Serialize};
+
+use simra_dram::ApaTiming;
+
+use crate::rowdec::{RowDecoder, SIMULTANEOUS_T2_MAX_NS};
+
+/// Cross-subarray APA outcome: simultaneously open rows in each of the
+/// two involved subarrays (local indices).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HiraOutcome {
+    /// Subarray index of `R_F` and its open local rows.
+    pub first: (u16, Vec<u32>),
+    /// Subarray index of `R_S` and its open local rows.
+    pub second: (u16, Vec<u32>),
+}
+
+impl HiraOutcome {
+    /// Total simultaneously open rows across both subarrays.
+    pub fn total_rows(&self) -> usize {
+        self.first.1.len() + self.second.1.len()
+    }
+}
+
+/// The GWLD: latching global wordline drivers in front of the LWLDs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalWordlineDecoder {
+    subarrays: u16,
+    rows_per_subarray: u32,
+}
+
+impl GlobalWordlineDecoder {
+    /// A GWLD for a bank of `subarrays` subarrays of `rows_per_subarray`
+    /// rows each.
+    pub fn new(subarrays: u16, rows_per_subarray: u32) -> Self {
+        GlobalWordlineDecoder {
+            subarrays,
+            rows_per_subarray,
+        }
+    }
+
+    /// Number of subarrays this GWLD drives.
+    pub fn subarrays(&self) -> u16 {
+        self.subarrays
+    }
+
+    /// Resolves a *cross-subarray* APA: `R_F` in subarray `sa_f`, `R_S`
+    /// in subarray `sa_s` (local row indices). With a violated `t2`, both
+    /// GWLs stay asserted; each LWLD sees only its own address, so each
+    /// side opens a *single* row — unless the local addresses also
+    /// collide in predecoder space, which cannot happen across distinct
+    /// LWLDs (each has its own latches).
+    ///
+    /// Opening *many* rows per side additionally requires each side's own
+    /// latches to hold two addresses, which a single APA cannot do; the
+    /// concurrent work chains more ACTs. This model supports the
+    /// two-command case: one row per subarray, the HiRA primitive.
+    ///
+    /// Returns `None` when the subarrays coincide (use
+    /// [`RowDecoder::resolve_apa`]) or the timing keeps the sequence
+    /// consecutive (no overlap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a subarray index or local row is out of range.
+    pub fn resolve_cross(
+        &self,
+        sa_f: u16,
+        local_f: u32,
+        sa_s: u16,
+        local_s: u32,
+        timing: ApaTiming,
+    ) -> Option<HiraOutcome> {
+        assert!(
+            sa_f < self.subarrays && sa_s < self.subarrays,
+            "subarray out of range"
+        );
+        assert!(
+            local_f < self.rows_per_subarray && local_s < self.rows_per_subarray,
+            "local row out of range"
+        );
+        if sa_f == sa_s || timing.t2.as_ns() > SIMULTANEOUS_T2_MAX_NS {
+            return None;
+        }
+        Some(HiraOutcome {
+            first: (sa_f, vec![local_f]),
+            second: (sa_s, vec![local_s]),
+        })
+    }
+
+    /// A [`RowDecoder`] for any one of this bank's subarrays.
+    pub fn local_decoder(&self) -> RowDecoder {
+        RowDecoder::for_subarray_rows(self.rows_per_subarray)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gwld() -> GlobalWordlineDecoder {
+        GlobalWordlineDecoder::new(8, 512)
+    }
+
+    #[test]
+    fn cross_subarray_opens_one_row_per_side() {
+        let out = gwld()
+            .resolve_cross(0, 7, 3, 100, ApaTiming::from_ns(3.0, 3.0))
+            .expect("violated t2 keeps both GWLs");
+        assert_eq!(out.first, (0, vec![7]));
+        assert_eq!(out.second, (3, vec![100]));
+        assert_eq!(out.total_rows(), 2);
+    }
+
+    #[test]
+    fn same_subarray_is_not_hira() {
+        assert!(gwld()
+            .resolve_cross(2, 7, 2, 9, ApaTiming::from_ns(3.0, 3.0))
+            .is_none());
+    }
+
+    #[test]
+    fn honoured_timing_is_not_hira() {
+        assert!(gwld()
+            .resolve_cross(0, 7, 3, 9, ApaTiming::row_clone())
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "subarray out of range")]
+    fn bad_subarray_panics() {
+        gwld().resolve_cross(9, 0, 0, 0, ApaTiming::from_ns(3.0, 3.0));
+    }
+
+    #[test]
+    fn local_decoder_matches_bank_geometry() {
+        assert_eq!(gwld().local_decoder().subarray_rows(), 512);
+    }
+}

@@ -1,0 +1,270 @@
+//! The hierarchical row decoder: GWLD + two-stage LWLD with latching
+//! predecoders, and the APA resolution logic built on top of it.
+
+use serde::{Deserialize, Serialize};
+
+use simra_dram::ApaTiming;
+
+use crate::apa::ApaOutcome;
+use crate::predecoder::{paper_groups, Predecoder, PredecoderGroup};
+
+/// `t2` at or below this keeps the predecoder latches set, producing
+/// simultaneous activation; above it the wordline of `R_F` de-asserts and
+/// the second `ACT` is a *consecutive* activation (RowClone). The paper
+/// finds the boundary between 3 ns (Multi-RowCopy) and 6 ns (RowClone).
+pub const SIMULTANEOUS_T2_MAX_NS: f64 = 3.0;
+
+/// The row decoder of one subarray's LWLD.
+///
+/// Stateless with respect to experiments: [`RowDecoder::resolve_apa`]
+/// simulates the latch dance of one APA sequence from a clean (precharged)
+/// state, which is how every experiment in the paper begins.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowDecoder {
+    groups: Vec<PredecoderGroup>,
+    subarray_rows: u32,
+}
+
+impl RowDecoder {
+    /// A decoder for a subarray with `rows` rows (512, 640, or 1024 in the
+    /// tested parts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows < 32` (fewer rows than the decoder has wordline
+    /// combinations for a full 5-group split).
+    pub fn for_subarray_rows(rows: u32) -> Self {
+        assert!(
+            rows >= 32,
+            "subarray must have at least 32 rows, got {rows}"
+        );
+        let mut bits = 0;
+        while (1u32 << bits) < rows {
+            bits += 1;
+        }
+        RowDecoder {
+            groups: paper_groups(bits),
+            subarray_rows: rows,
+        }
+    }
+
+    /// The predecoder bit groups.
+    pub fn groups(&self) -> &[PredecoderGroup] {
+        &self.groups
+    }
+
+    /// Rows in the subarray this decoder drives.
+    pub fn subarray_rows(&self) -> u32 {
+        self.subarray_rows
+    }
+
+    /// In how many predecoder groups two local row addresses differ.
+    pub fn differing_groups(&self, a: u32, b: u32) -> u32 {
+        self.groups
+            .iter()
+            .filter(|g| g.output_for(a) != g.output_for(b))
+            .count() as u32
+    }
+
+    /// Number of wordlines an APA targeting `(r_f, r_s)` would assert
+    /// simultaneously, before clipping to the subarray size: `2^d`.
+    pub fn activation_count(&self, r_f: u32, r_s: u32) -> u32 {
+        1 << self.differing_groups(r_f, r_s)
+    }
+
+    /// The full set of local rows asserted when both addresses' predecode
+    /// signals are latched: the Cartesian product of the latched outputs,
+    /// clipped to rows that physically exist (640-row subarrays decode 10
+    /// bits but only populate 640 wordlines).
+    pub fn simultaneous_rows(&self, r_f: u32, r_s: u32) -> Vec<u32> {
+        // Drive the actual latch model: ACT R_F latches, violated PRE does
+        // not clear, ACT R_S latches.
+        let mut predecoders: Vec<Predecoder> =
+            self.groups.iter().map(|g| Predecoder::new(*g)).collect();
+        for p in &mut predecoders {
+            p.latch(r_f);
+            p.latch(r_s);
+        }
+        let mut rows = vec![0u32];
+        for p in &predecoders {
+            let outs = p.latched_outputs();
+            let mut next = Vec::with_capacity(rows.len() * outs.len());
+            for base in &rows {
+                for out in &outs {
+                    next.push(base | (out << p.group().shift));
+                }
+            }
+            rows = next;
+        }
+        rows.retain(|r| *r < self.subarray_rows);
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Resolves an APA sequence from a precharged bank.
+    ///
+    /// `guard` models the Samsung internal circuitry that ignores the
+    /// timing-violating command pair (§9 Limitation 1).
+    ///
+    /// Callers must ensure `r_f` and `r_s` are within the subarray; this is
+    /// validated here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is outside the subarray.
+    pub fn resolve_apa(&self, r_f: u32, r_s: u32, timing: ApaTiming, guard: bool) -> ApaOutcome {
+        assert!(
+            r_f < self.subarray_rows && r_s < self.subarray_rows,
+            "rows ({r_f}, {r_s}) outside subarray of {} rows",
+            self.subarray_rows
+        );
+        if guard {
+            return ApaOutcome::GuardedSingle { row: r_s };
+        }
+        if timing.t2.as_ns() <= SIMULTANEOUS_T2_MAX_NS {
+            ApaOutcome::Simultaneous {
+                rows: self.simultaneous_rows(r_f, r_s),
+            }
+        } else {
+            ApaOutcome::Consecutive {
+                first: r_f,
+                second: r_s,
+            }
+        }
+    }
+
+    /// Finds a partner row for `r_f` such that APA activates exactly `n`
+    /// rows (n must be a power of two ≤ 32): flips the lowest address bit
+    /// of `log2(n)` distinct predecoder groups. Returns `None` if the
+    /// resulting partner or any row of the product would fall outside the
+    /// subarray (possible only for non-power-of-two subarrays) or if `n`
+    /// exceeds the decoder's reach.
+    pub fn partner_for_count(&self, r_f: u32, n: u32) -> Option<u32> {
+        if !n.is_power_of_two() || n > (1 << self.groups.len()) {
+            return None;
+        }
+        let d = n.trailing_zeros();
+        let mut r_s = r_f;
+        for g in self.groups.iter().take(d as usize) {
+            r_s ^= 1 << g.shift;
+        }
+        if r_s >= self.subarray_rows {
+            return None;
+        }
+        let rows = self.simultaneous_rows(r_f, r_s);
+        (rows.len() == n as usize).then_some(r_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dec() -> RowDecoder {
+        RowDecoder::for_subarray_rows(512)
+    }
+
+    #[test]
+    fn same_row_apa_activates_one_row() {
+        let rows = dec().simultaneous_rows(5, 5);
+        assert_eq!(rows, vec![5]);
+    }
+
+    #[test]
+    fn fig14_walkthrough_act0_act7() {
+        // The paper's worked example: rows {0, 1, 6, 7}.
+        assert_eq!(dec().simultaneous_rows(0, 7), vec![0, 1, 6, 7]);
+    }
+
+    #[test]
+    fn act127_act128_opens_32_rows() {
+        // The paper's 32-row example: 127 = 0b0_0111_1111 and
+        // 128 = 0b0_1000_0000 differ in all five groups.
+        let d = dec();
+        assert_eq!(d.differing_groups(127, 128), 5);
+        let rows = d.simultaneous_rows(127, 128);
+        assert_eq!(rows.len(), 32);
+        assert!(rows.contains(&127) && rows.contains(&128));
+    }
+
+    #[test]
+    fn counts_are_powers_of_two_only() {
+        let d = dec();
+        let mut seen = std::collections::BTreeSet::new();
+        for r_s in 0..512 {
+            seen.insert(d.simultaneous_rows(37, r_s).len());
+        }
+        // Limitation 2: only 1, 2, 4, 8, 16, 32 are reachable.
+        assert_eq!(
+            seen.into_iter().collect::<Vec<_>>(),
+            vec![1, 2, 4, 8, 16, 32]
+        );
+    }
+
+    #[test]
+    fn partner_for_count_hits_every_n() {
+        let d = dec();
+        for n in [1u32, 2, 4, 8, 16, 32] {
+            let r_s = d.partner_for_count(200, n).unwrap();
+            assert_eq!(d.simultaneous_rows(200, r_s).len(), n as usize);
+        }
+        assert_eq!(d.partner_for_count(200, 64), None);
+        assert_eq!(d.partner_for_count(200, 3), None);
+    }
+
+    #[test]
+    fn product_always_contains_both_targets() {
+        let d = dec();
+        for (a, b) in [(0u32, 511u32), (13, 200), (400, 401), (255, 256)] {
+            let rows = d.simultaneous_rows(a, b);
+            assert!(rows.contains(&a), "missing {a}");
+            assert!(rows.contains(&b), "missing {b}");
+            assert_eq!(rows.len(), d.activation_count(a, b) as usize);
+        }
+    }
+
+    #[test]
+    fn timing_selects_outcome() {
+        let d = dec();
+        let sim = d.resolve_apa(0, 7, ApaTiming::from_ns(3.0, 3.0), false);
+        assert!(matches!(sim, ApaOutcome::Simultaneous { .. }));
+        let cons = d.resolve_apa(0, 7, ApaTiming::row_clone(), false);
+        assert_eq!(
+            cons,
+            ApaOutcome::Consecutive {
+                first: 0,
+                second: 7
+            }
+        );
+    }
+
+    #[test]
+    fn guard_degenerates_to_single() {
+        let out = dec().resolve_apa(0, 7, ApaTiming::from_ns(3.0, 3.0), true);
+        assert_eq!(out, ApaOutcome::GuardedSingle { row: 7 });
+    }
+
+    #[test]
+    fn non_power_of_two_subarray_clips_product() {
+        // 640-row subarray decodes 10 bits; products can fall in the
+        // unpopulated 640..1024 range and must be clipped.
+        let d = RowDecoder::for_subarray_rows(640);
+        let rows = d.simultaneous_rows(0, 639);
+        assert!(rows.iter().all(|r| *r < 640));
+        assert!(rows.len() <= 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside subarray")]
+    fn out_of_subarray_rows_panic() {
+        dec().resolve_apa(0, 512, ApaTiming::from_ns(3.0, 3.0), false);
+    }
+
+    #[test]
+    fn micron_1024_row_subarray_reaches_32() {
+        let d = RowDecoder::for_subarray_rows(1024);
+        // Find some pair differing in all five groups.
+        let r_s = d.partner_for_count(0, 32).unwrap();
+        assert_eq!(d.simultaneous_rows(0, r_s).len(), 32);
+    }
+}

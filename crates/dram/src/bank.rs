@@ -1,0 +1,190 @@
+//! The DRAM bank: lazily materialised subarrays plus sense-amplifier state.
+//!
+//! Banks instantiate subarrays on first touch — a 16-bank module has up to
+//! 128 subarrays but a characterization run only ever opens a handful, and
+//! lazy materialisation keeps memory proportional to what is tested.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::BitRow;
+use crate::error::DramError;
+use crate::geometry::{Geometry, RowAddr, SubarrayId};
+use crate::subarray::{Subarray, VariationParams};
+
+/// Sense-amplifier / wordline state of a bank.
+///
+/// After an APA sequence multiple local wordlines can be asserted at once;
+/// the state records which subarray they are in, which local rows are open,
+/// and what the sense amplifiers have latched.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BankState {
+    /// Bitlines precharged to VDD/2; no wordline asserted.
+    Precharged,
+    /// One or more wordlines asserted in a single subarray, with the
+    /// sense amplifiers latched to `latched`.
+    Activated {
+        /// The subarray whose local wordlines are asserted.
+        subarray: SubarrayId,
+        /// Asserted local row indices within that subarray.
+        open_rows: Vec<u32>,
+        /// The digital value currently driven on the bitlines.
+        latched: BitRow,
+    },
+}
+
+/// A DRAM bank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bank {
+    geometry: Geometry,
+    variation: VariationParams,
+    seed: u64,
+    subarrays: BTreeMap<SubarrayId, Subarray>,
+    state: BankState,
+}
+
+impl Bank {
+    /// Creates a bank whose subarrays will be stamped from `seed`.
+    pub fn new(geometry: Geometry, variation: VariationParams, seed: u64) -> Self {
+        Bank {
+            geometry,
+            variation,
+            seed,
+            subarrays: BTreeMap::new(),
+            state: BankState::Precharged,
+        }
+    }
+
+    /// The bank's geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Current sense-amplifier / wordline state.
+    pub fn state(&self) -> &BankState {
+        &self.state
+    }
+
+    /// Sets the sense/wordline state (the sequencer drives this).
+    pub fn set_state(&mut self, state: BankState) {
+        self.state = state;
+    }
+
+    /// Returns the subarray, materialising it on first touch.
+    pub fn subarray(&mut self, id: SubarrayId) -> &mut Subarray {
+        let geometry = self.geometry;
+        let variation = self.variation;
+        let seed = self.seed;
+        self.subarrays.entry(id).or_insert_with(|| {
+            // Mix the subarray id into the seed so every subarray gets
+            // distinct but reproducible silicon.
+            let sa_seed = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(id.raw() as u64 + 1);
+            Subarray::new(
+                geometry.rows_per_subarray,
+                geometry.cols_per_row,
+                variation,
+                sa_seed,
+            )
+        })
+    }
+
+    /// Read-only view of an already-materialised subarray.
+    pub fn subarray_if_materialized(&self, id: SubarrayId) -> Option<&Subarray> {
+        self.subarrays.get(&id)
+    }
+
+    /// Number of materialised subarrays (memory accounting / tests).
+    pub fn materialized_subarrays(&self) -> usize {
+        self.subarrays.len()
+    }
+
+    /// Writes a digital image to a bank-level row address, respecting
+    /// nominal timings (i.e. bypassing the analog path — used for test
+    /// initialisation, exactly like the paper initialising rows "while
+    /// adhering to the nominal timing parameters").
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry and width errors.
+    pub fn write_row_nominal(&mut self, row: RowAddr, image: &BitRow) -> Result<(), DramError> {
+        let (sa, local) = self.geometry.split_row(row)?;
+        self.subarray(sa).write_row(local, image)
+    }
+
+    /// Reads a bank-level row address with nominal timings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors.
+    pub fn read_row_nominal(&mut self, row: RowAddr) -> Result<BitRow, DramError> {
+        let (sa, local) = self.geometry.split_row(row)?;
+        self.subarray(sa).read_row(local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DataPattern;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bank() -> Bank {
+        Bank::new(Geometry::default(), VariationParams::default(), 11)
+    }
+
+    #[test]
+    fn lazy_materialisation() {
+        let mut b = bank();
+        assert_eq!(b.materialized_subarrays(), 0);
+        let _ = b.subarray(SubarrayId::new(3));
+        assert_eq!(b.materialized_subarrays(), 1);
+        let _ = b.subarray(SubarrayId::new(3));
+        assert_eq!(b.materialized_subarrays(), 1);
+    }
+
+    #[test]
+    fn nominal_write_read_via_bank_address() {
+        let mut b = bank();
+        let cols = b.geometry().cols_per_row as usize;
+        let mut rng = StdRng::seed_from_u64(5);
+        let img = DataPattern::Random.row_image(0, cols, &mut rng);
+        // Row 600 lives in subarray 1 (512-row subarrays).
+        let row = RowAddr::new(600);
+        b.write_row_nominal(row, &img).unwrap();
+        assert_eq!(b.read_row_nominal(row).unwrap(), img);
+        assert!(b.subarray_if_materialized(SubarrayId::new(1)).is_some());
+        assert!(b.subarray_if_materialized(SubarrayId::new(0)).is_none());
+    }
+
+    #[test]
+    fn different_subarrays_get_different_silicon() {
+        let mut b = bank();
+        let s0 = b.subarray(SubarrayId::new(0)).clone();
+        let s1 = b.subarray(SubarrayId::new(1)).clone();
+        assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn state_transitions() {
+        let mut b = bank();
+        assert_eq!(*b.state(), BankState::Precharged);
+        b.set_state(BankState::Activated {
+            subarray: SubarrayId::new(0),
+            open_rows: vec![1, 2],
+            latched: BitRow::zeros(4),
+        });
+        assert!(matches!(b.state(), BankState::Activated { .. }));
+    }
+
+    #[test]
+    fn out_of_range_row_rejected() {
+        let mut b = bank();
+        let img = BitRow::zeros(b.geometry().cols_per_row as usize);
+        let bad = RowAddr::new(b.geometry().rows_per_bank());
+        assert!(b.write_row_nominal(bad, &img).is_err());
+    }
+}

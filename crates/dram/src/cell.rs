@@ -1,0 +1,152 @@
+//! The analog DRAM cell model.
+//!
+//! A cell stores its state as a *normalized* capacitor voltage in `[0, 1]`
+//! (1.0 = VDD, 0.5 = the precharge level VDD/2). Normalized units keep the
+//! charge-sharing arithmetic in `simra-analog` independent of the actual
+//! rail voltage; VPP/temperature effects enter through multiplicative
+//! factors on transfer strength, not through the stored value.
+//!
+//! Each cell carries two process-variation factors fixed at manufacture
+//! time (i.e. subarray construction): a capacitance factor and an
+//! access-transistor strength factor. These are what make some cells
+//! "unstable" for PUD in the paper's sense — their margins are
+//! systematically worse, so they fail in every trial batch.
+
+use serde::{Deserialize, Serialize};
+
+/// One DRAM cell: a capacitor plus an access transistor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Normalized capacitor voltage in `[0, 1]`.
+    voltage: f32,
+    /// Capacitance as a multiple of the nominal cell capacitance.
+    cap_factor: f32,
+    /// Access-transistor drive strength as a multiple of nominal.
+    strength_factor: f32,
+}
+
+impl Cell {
+    /// A nominal (variation-free) cell holding `voltage`.
+    pub fn nominal(voltage: f32) -> Self {
+        Cell {
+            voltage,
+            cap_factor: 1.0,
+            strength_factor: 1.0,
+        }
+    }
+
+    /// A cell with explicit process-variation factors.
+    ///
+    /// Factors are clamped to `[0.05, 4.0]`; a zero or negative capacitance
+    /// is physically meaningless and would poison the charge arithmetic.
+    pub fn with_variation(voltage: f32, cap_factor: f32, strength_factor: f32) -> Self {
+        Cell {
+            voltage,
+            cap_factor: cap_factor.clamp(0.05, 4.0),
+            strength_factor: strength_factor.clamp(0.05, 4.0),
+        }
+    }
+
+    /// Normalized stored voltage.
+    pub fn voltage(self) -> f32 {
+        self.voltage
+    }
+
+    /// Capacitance factor (process variation).
+    pub fn cap_factor(self) -> f32 {
+        self.cap_factor
+    }
+
+    /// Access strength factor (process variation).
+    pub fn strength_factor(self) -> f32 {
+        self.strength_factor
+    }
+
+    /// Digital read-out: charged above the VDD/2 sensing midpoint?
+    pub fn as_bit(self) -> bool {
+        self.voltage > 0.5
+    }
+
+    /// Fully writes a digital value (sense-amp/write-driver overdrive
+    /// restores the rail).
+    pub fn write_bit(&mut self, bit: bool) {
+        self.voltage = if bit { 1.0 } else { 0.0 };
+    }
+
+    /// Drives the cell towards `target` with a given `coupling` in `[0, 1]`
+    /// (1 = full restore). Models partial restoration when a wordline is
+    /// only weakly asserted.
+    pub fn drive_towards(&mut self, target: f32, coupling: f32) {
+        let coupling = coupling.clamp(0.0, 1.0);
+        self.voltage += (target - self.voltage) * coupling;
+    }
+
+    /// Sets the exact analog voltage (used by the Frac operation to park a
+    /// cell at VDD/2).
+    pub fn set_voltage(&mut self, voltage: f32) {
+        self.voltage = voltage.clamp(0.0, 1.0);
+    }
+
+    /// Whether the cell sits in the "neutral" band around VDD/2 after a
+    /// Frac operation — it then contributes (almost) nothing to the
+    /// bitline perturbation (§3.3 neutral rows).
+    pub fn is_neutral(self, tolerance: f32) -> bool {
+        (self.voltage - 0.5).abs() <= tolerance
+    }
+}
+
+impl Default for Cell {
+    fn default() -> Self {
+        Cell::nominal(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_and_read_digital() {
+        let mut c = Cell::default();
+        assert!(!c.as_bit());
+        c.write_bit(true);
+        assert!(c.as_bit());
+        assert_eq!(c.voltage(), 1.0);
+        c.write_bit(false);
+        assert!(!c.as_bit());
+    }
+
+    #[test]
+    fn variation_factors_are_clamped() {
+        let c = Cell::with_variation(0.0, -1.0, 100.0);
+        assert!(c.cap_factor() >= 0.05);
+        assert!(c.strength_factor() <= 4.0);
+    }
+
+    #[test]
+    fn drive_towards_partial() {
+        let mut c = Cell::nominal(0.0);
+        c.drive_towards(1.0, 0.5);
+        assert!((c.voltage() - 0.5).abs() < 1e-6);
+        c.drive_towards(1.0, 1.0);
+        assert!((c.voltage() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frac_neutral_band() {
+        let mut c = Cell::nominal(1.0);
+        c.set_voltage(0.5);
+        assert!(c.is_neutral(0.05));
+        c.set_voltage(0.6);
+        assert!(!c.is_neutral(0.05));
+    }
+
+    #[test]
+    fn set_voltage_clamps_to_rails() {
+        let mut c = Cell::default();
+        c.set_voltage(1.7);
+        assert_eq!(c.voltage(), 1.0);
+        c.set_voltage(-0.3);
+        assert_eq!(c.voltage(), 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! The DDR command vocabulary and the APA sequence descriptor.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::{BankId, RowAddr};
+use crate::timing::IssueGrid;
+
+/// A single DDR4 command as the memory controller issues it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Command {
+    /// Open a row: assert its wordline and enable the sense amplifiers.
+    Activate { bank: BankId, row: RowAddr },
+    /// Close the bank: de-assert wordlines, precharge bitlines to VDD/2.
+    Precharge { bank: BankId },
+    /// Read from the open row through the sense amplifiers.
+    Read { bank: BankId },
+    /// Write: overdrive the bitlines (and thus every open row's cells).
+    Write { bank: BankId },
+    /// Refresh the bank.
+    Refresh { bank: BankId },
+}
+
+impl Command {
+    /// The bank this command addresses.
+    pub fn bank(&self) -> BankId {
+        match *self {
+            Command::Activate { bank, .. }
+            | Command::Precharge { bank }
+            | Command::Read { bank }
+            | Command::Write { bank }
+            | Command::Refresh { bank } => bank,
+        }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Activate { bank, row } => write!(f, "ACT {bank} {row}"),
+            Command::Precharge { bank } => write!(f, "PRE {bank}"),
+            Command::Read { bank } => write!(f, "RD {bank}"),
+            Command::Write { bank } => write!(f, "WR {bank}"),
+            Command::Refresh { bank } => write!(f, "REF {bank}"),
+        }
+    }
+}
+
+/// Timing of an `ACT R_F → PRE → ACT R_S` (APA) sequence.
+///
+/// `t1` is the ACT→PRE delay, `t2` the PRE→ACT delay, both on the tester's
+/// 1.5 ns issue grid. All of the paper's PUD operations are defined by an
+/// APA with particular (t1, t2):
+///
+/// * simultaneous many-row activation: t1 = t2 = 3 ns (Fig. 3 best),
+/// * MAJX: t1 = 1.5 ns, t2 = 3 ns (Fig. 6 best),
+/// * Multi-RowCopy: t1 = tRAS (36 ns), t2 = 3 ns (Fig. 10 best),
+/// * RowClone: t1 = tRAS, t2 ≈ 6 ns (consecutive, not simultaneous).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ApaTiming {
+    /// ACT→PRE delay.
+    pub t1: IssueGrid,
+    /// PRE→ACT delay.
+    pub t2: IssueGrid,
+}
+
+impl ApaTiming {
+    /// APA timing from nanosecond delays (snapped to the issue grid).
+    pub fn from_ns(t1_ns: f64, t2_ns: f64) -> Self {
+        ApaTiming {
+            t1: IssueGrid::from_ns(t1_ns),
+            t2: IssueGrid::from_ns(t2_ns),
+        }
+    }
+
+    /// Best timing for simultaneous many-row activation (Obs. 1).
+    pub fn best_for_activation() -> Self {
+        ApaTiming::from_ns(3.0, 3.0)
+    }
+
+    /// Best timing for MAJX (Obs. 7).
+    pub fn best_for_majx() -> Self {
+        ApaTiming::from_ns(1.5, 3.0)
+    }
+
+    /// Best timing for Multi-RowCopy (Obs. 14): wait out tRAS, then
+    /// interrupt the precharge almost immediately.
+    pub fn best_for_multi_row_copy() -> Self {
+        ApaTiming::from_ns(36.0, 3.0)
+    }
+
+    /// RowClone timing: full sense, then *consecutive* activation
+    /// (t2 large enough that the decoder de-asserts the first row).
+    pub fn row_clone() -> Self {
+        ApaTiming::from_ns(36.0, 6.0)
+    }
+
+    /// Total ACT→ACT delay in ns.
+    pub fn act_to_act_ns(&self) -> f64 {
+        self.t1.as_ns() + self.t2.as_ns()
+    }
+}
+
+impl fmt::Display for ApaTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t1={}ns t2={}ns", self.t1.as_ns(), self.t2.as_ns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_the_paper() {
+        assert_eq!(ApaTiming::best_for_activation().t1.as_ns(), 3.0);
+        assert_eq!(ApaTiming::best_for_activation().t2.as_ns(), 3.0);
+        assert_eq!(ApaTiming::best_for_majx().t1.as_ns(), 1.5);
+        assert_eq!(ApaTiming::best_for_majx().t2.as_ns(), 3.0);
+        assert_eq!(ApaTiming::best_for_multi_row_copy().t1.as_ns(), 36.0);
+        assert_eq!(ApaTiming::best_for_multi_row_copy().t2.as_ns(), 3.0);
+        assert_eq!(ApaTiming::row_clone().t2.as_ns(), 6.0);
+    }
+
+    #[test]
+    fn act_to_act_sums_delays() {
+        let t = ApaTiming::from_ns(1.5, 3.0);
+        assert!((t.act_to_act_ns() - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn command_display_and_bank() {
+        let b = BankId::new(2);
+        let c = Command::Activate {
+            bank: b,
+            row: RowAddr::new(5),
+        };
+        assert_eq!(c.to_string(), "ACT B2 R5");
+        assert_eq!(c.bank(), b);
+        assert_eq!(Command::Refresh { bank: b }.to_string(), "REF B2");
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type shared across the device model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::geometry::{BankId, RowAddr};
+
+/// Errors raised by the DRAM device model.
+///
+/// Following C-GOOD-ERR, this type implements [`std::error::Error`],
+/// [`fmt::Display`], `Send`, and `Sync`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DramError {
+    /// A row address outside the bank was used.
+    RowOutOfRange {
+        /// The offending row address.
+        row: RowAddr,
+        /// Number of rows in the bank.
+        rows_in_bank: u32,
+    },
+    /// A bank id outside the module was used.
+    BankOutOfRange {
+        /// The offending bank id.
+        bank: BankId,
+        /// Number of banks per module.
+        banks: u16,
+    },
+    /// A command was issued that the bank state machine cannot accept
+    /// (e.g. `RD` on a precharged bank).
+    IllegalCommand {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A data payload did not match the row width.
+    WidthMismatch {
+        /// Bits provided by the caller.
+        got: usize,
+        /// Bits per row in this device.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::RowOutOfRange { row, rows_in_bank } => {
+                write!(f, "row {row} out of range (bank has {rows_in_bank} rows)")
+            }
+            DramError::BankOutOfRange { bank, banks } => {
+                write!(f, "bank {bank} out of range (module has {banks} banks)")
+            }
+            DramError::IllegalCommand { reason } => {
+                write!(f, "illegal command: {reason}")
+            }
+            DramError::WidthMismatch { got, expected } => {
+                write!(
+                    f,
+                    "row image width mismatch: got {got} bits, expected {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = DramError::RowOutOfRange {
+            row: RowAddr::new(700),
+            rows_in_bank: 512,
+        };
+        let s = e.to_string();
+        assert!(s.contains("700"));
+        assert!(s.starts_with("row"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DramError>();
+    }
+
+    #[test]
+    fn width_mismatch_mentions_both_sizes() {
+        let e = DramError::WidthMismatch {
+            got: 128,
+            expected: 256,
+        };
+        let s = e.to_string();
+        assert!(s.contains("128") && s.contains("256"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Serial-presence-detect-style module metadata: the full Table 2 of the
+//! paper (module/chip identifiers, frequencies, manufacturing dates).
+
+use serde::{Deserialize, Serialize};
+
+use crate::vendor::VendorProfile;
+
+/// Manufacturing date in the paper's week–year form (`ww-yy`), or
+/// unknown (the SK Hynix modules' dates are not printed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MfrDate {
+    /// Known week/year.
+    WeekYear {
+        /// ISO week (1–53).
+        week: u8,
+        /// Two-digit year.
+        year: u8,
+    },
+    /// Not printed on the module.
+    Unknown,
+}
+
+impl std::fmt::Display for MfrDate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MfrDate::WeekYear { week, year } => write!(f, "{week:02}-{year:02}"),
+            MfrDate::Unknown => f.write_str("unknown"),
+        }
+    }
+}
+
+/// One Table 2 row: a purchasable module with its chip part numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleSpd {
+    /// Module vendor (may differ from the chip vendor).
+    pub module_vendor: &'static str,
+    /// Module part number.
+    pub module_identifier: &'static str,
+    /// DRAM chip part number.
+    pub chip_identifier: &'static str,
+    /// Modules of this kind in the tested fleet.
+    pub modules: u8,
+    /// Chips across those modules.
+    pub chips: u8,
+    /// Access frequency in MT/s.
+    pub freq_mts: u16,
+    /// Manufacturing date.
+    pub mfr_date: MfrDate,
+    /// The behavioural profile this hardware maps to.
+    pub profile: VendorProfile,
+}
+
+/// The paper's Table 2, verbatim.
+pub fn table2() -> Vec<ModuleSpd> {
+    vec![
+        ModuleSpd {
+            module_vendor: "TimeTec",
+            module_identifier: "TLRD44G2666HC18F-SBK",
+            chip_identifier: "H5AN4G8NMFR-TFC",
+            modules: 7,
+            chips: 56,
+            freq_mts: 2666,
+            mfr_date: MfrDate::Unknown,
+            profile: VendorProfile::mfr_h_m_die(),
+        },
+        ModuleSpd {
+            module_vendor: "TeamGroup",
+            module_identifier: "76TT21NUS1R8-4G",
+            chip_identifier: "H5AN4G8NAFR-TFC",
+            modules: 5,
+            chips: 40,
+            freq_mts: 2133,
+            mfr_date: MfrDate::Unknown,
+            profile: VendorProfile::mfr_h_a_die(),
+        },
+        ModuleSpd {
+            module_vendor: "Micron",
+            module_identifier: "MTA4ATF1G64HZ-3G2E1",
+            chip_identifier: "MT40A1G16KD-062E:E",
+            modules: 4,
+            chips: 16,
+            freq_mts: 3200,
+            mfr_date: MfrDate::WeekYear { week: 46, year: 20 },
+            profile: VendorProfile::mfr_m_e_die(),
+        },
+        ModuleSpd {
+            module_vendor: "Micron",
+            module_identifier: "MTA4ATF1G64HZ-3G2B2",
+            chip_identifier: "MT40A1G16RC-062E:B",
+            modules: 2,
+            chips: 8,
+            freq_mts: 2666,
+            mfr_date: MfrDate::WeekYear { week: 26, year: 21 },
+            profile: VendorProfile::mfr_m_b_die(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_totals_match_table1() {
+        let t = table2();
+        assert_eq!(t.iter().map(|m| m.modules as u32).sum::<u32>(), 18);
+        assert_eq!(t.iter().map(|m| m.chips as u32).sum::<u32>(), 120);
+    }
+
+    #[test]
+    fn frequencies_match_profiles() {
+        for spd in table2() {
+            let t_ck = spd.profile.timing.t_ck_ns;
+            // MT/s × tCK(ns) ≈ 2000 (DDR: two transfers per clock).
+            let product = spd.freq_mts as f64 * t_ck;
+            assert!(
+                (product - 2000.0).abs() < 15.0,
+                "{}: {product}",
+                spd.module_identifier
+            );
+        }
+    }
+
+    #[test]
+    fn dates_render_like_the_paper() {
+        assert_eq!(
+            MfrDate::WeekYear { week: 46, year: 20 }.to_string(),
+            "46-20"
+        );
+        assert_eq!(MfrDate::Unknown.to_string(), "unknown");
+    }
+
+    #[test]
+    fn chip_identifiers_are_distinct() {
+        let t = table2();
+        let mut ids: Vec<_> = t.iter().map(|m| m.chip_identifier).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+}

@@ -1,0 +1,287 @@
+//! The DRAM subarray: a 2-D grid of cells sharing bitlines and sense
+//! amplifiers.
+//!
+//! Process variation is stamped at construction from a deterministic seed:
+//! per-cell capacitance/strength factors and a per-column sense-amplifier
+//! offset. The same (module-seed, bank, subarray) triple always produces
+//! the same silicon, which is what lets the paper-style "cell is unstable"
+//! classification be meaningful across repeated trials.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::cell::Cell;
+use crate::data::BitRow;
+use crate::error::DramError;
+
+/// Gaussian sample via Box–Muller; avoids pulling in a distributions crate.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Construction parameters for a subarray's process variation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationParams {
+    /// Sigma of the per-cell capacitance factor (around 1.0).
+    pub cell_cap_sigma: f32,
+    /// Sigma of the per-cell access-strength factor (around 1.0).
+    pub cell_strength_sigma: f32,
+    /// Sigma of the per-column sense-amplifier offset, in normalized
+    /// bitline-voltage units (fraction of VDD).
+    pub sense_offset_sigma: f32,
+}
+
+impl Default for VariationParams {
+    fn default() -> Self {
+        // Calibrated jointly with `simra_analog::params::calibrated()`.
+        VariationParams {
+            cell_cap_sigma: 0.07,
+            cell_strength_sigma: 0.05,
+            sense_offset_sigma: 0.0035,
+        }
+    }
+}
+
+/// A DRAM subarray with analog cell state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subarray {
+    rows: u32,
+    cols: u32,
+    cells: Vec<Cell>,
+    /// Per-column sense-amplifier input-referred offset (fraction of VDD).
+    sense_offsets: Vec<f32>,
+    /// Per-column deterministic bias direction used when a bitline resolves
+    /// dead-even on biased-sense-amp parts (Mfr. M).
+    bias_direction: Vec<bool>,
+}
+
+impl Subarray {
+    /// Builds a subarray with process variation drawn from `seed`.
+    pub fn new(rows: u32, cols: u32, variation: VariationParams, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rows as usize * cols as usize;
+        let mut cells = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cap = 1.0 + gaussian(&mut rng) * variation.cell_cap_sigma;
+            let strength = 1.0 + gaussian(&mut rng) * variation.cell_strength_sigma;
+            cells.push(Cell::with_variation(0.0, cap, strength));
+        }
+        let sense_offsets = (0..cols)
+            .map(|_| gaussian(&mut rng) * variation.sense_offset_sigma)
+            .collect();
+        let bias_direction = (0..cols).map(|_| rng.gen()).collect();
+        Subarray {
+            rows,
+            cols,
+            cells,
+            sense_offsets,
+            bias_direction,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns (modelled bitlines).
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    fn index(&self, row: u32, col: u32) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        row as usize * self.cols as usize + col as usize
+    }
+
+    /// Immutable access to a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`col` are out of range.
+    pub fn cell(&self, row: u32, col: u32) -> Cell {
+        assert!(
+            row < self.rows,
+            "row {row} out of range ({} rows)",
+            self.rows
+        );
+        assert!(
+            col < self.cols,
+            "col {col} out of range ({} cols)",
+            self.cols
+        );
+        self.cells[self.index(row, col)]
+    }
+
+    /// Mutable access to a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`col` are out of range.
+    pub fn cell_mut(&mut self, row: u32, col: u32) -> &mut Cell {
+        assert!(
+            row < self.rows,
+            "row {row} out of range ({} rows)",
+            self.rows
+        );
+        assert!(
+            col < self.cols,
+            "col {col} out of range ({} cols)",
+            self.cols
+        );
+        let i = self.index(row, col);
+        &mut self.cells[i]
+    }
+
+    /// Per-column sense-amplifier offset.
+    pub fn sense_offset(&self, col: u32) -> f32 {
+        self.sense_offsets[col as usize]
+    }
+
+    /// Deterministic resolve direction for dead-even bitlines (Mfr. M).
+    pub fn bias_direction(&self, col: u32) -> bool {
+        self.bias_direction[col as usize]
+    }
+
+    /// Fully writes a digital image into a row (rail-to-rail restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::WidthMismatch`] if the image width differs from
+    /// the subarray width, or [`DramError::RowOutOfRange`] for a bad row.
+    pub fn write_row(&mut self, row: u32, image: &BitRow) -> Result<(), DramError> {
+        if row >= self.rows {
+            return Err(DramError::RowOutOfRange {
+                row: crate::geometry::RowAddr::new(row),
+                rows_in_bank: self.rows,
+            });
+        }
+        if image.len() != self.cols as usize {
+            return Err(DramError::WidthMismatch {
+                got: image.len(),
+                expected: self.cols as usize,
+            });
+        }
+        for col in 0..self.cols {
+            let i = self.index(row, col);
+            self.cells[i].write_bit(image.get(col as usize));
+        }
+        Ok(())
+    }
+
+    /// Digital read-out of a row (each cell thresholded at VDD/2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfRange`] for a bad row.
+    pub fn read_row(&self, row: u32) -> Result<BitRow, DramError> {
+        if row >= self.rows {
+            return Err(DramError::RowOutOfRange {
+                row: crate::geometry::RowAddr::new(row),
+                rows_in_bank: self.rows,
+            });
+        }
+        Ok(BitRow::from_bits(
+            (0..self.cols).map(|c| self.cell(row, c).as_bit()),
+        ))
+    }
+
+    /// Parks every cell of a row at an exact analog voltage (Frac support).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfRange`] for a bad row.
+    pub fn set_row_voltage(&mut self, row: u32, voltage: f32) -> Result<(), DramError> {
+        if row >= self.rows {
+            return Err(DramError::RowOutOfRange {
+                row: crate::geometry::RowAddr::new(row),
+                rows_in_bank: self.rows,
+            });
+        }
+        for col in 0..self.cols {
+            let i = self.index(row, col);
+            self.cells[i].set_voltage(voltage);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DataPattern;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small() -> Subarray {
+        Subarray::new(16, 64, VariationParams::default(), 42)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut sa = small();
+        let mut rng = StdRng::seed_from_u64(1);
+        let img = DataPattern::Random.row_image(0, 64, &mut rng);
+        sa.write_row(3, &img).unwrap();
+        assert_eq!(sa.read_row(3).unwrap(), img);
+    }
+
+    #[test]
+    fn construction_is_seed_deterministic() {
+        let a = Subarray::new(8, 32, VariationParams::default(), 7);
+        let b = Subarray::new(8, 32, VariationParams::default(), 7);
+        assert_eq!(a, b);
+        let c = Subarray::new(8, 32, VariationParams::default(), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn variation_statistics_roughly_match_sigma() {
+        let sa = Subarray::new(64, 256, VariationParams::default(), 3);
+        let mut sum = 0.0f64;
+        let mut sum2 = 0.0f64;
+        let n = (sa.rows() * sa.cols()) as f64;
+        for r in 0..sa.rows() {
+            for c in 0..sa.cols() {
+                let v = sa.cell(r, c).cap_factor() as f64;
+                sum += v;
+                sum2 += v * v;
+            }
+        }
+        let mean = sum / n;
+        let var = sum2 / n - mean * mean;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - 0.07).abs() < 0.01, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut sa = small();
+        let img = BitRow::zeros(32);
+        assert!(matches!(
+            sa.write_row(0, &img),
+            Err(DramError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn row_out_of_range_rejected() {
+        let mut sa = small();
+        let img = BitRow::zeros(64);
+        assert!(sa.write_row(16, &img).is_err());
+        assert!(sa.read_row(16).is_err());
+        assert!(sa.set_row_voltage(16, 0.5).is_err());
+    }
+
+    #[test]
+    fn set_row_voltage_parks_cells() {
+        let mut sa = small();
+        sa.set_row_voltage(2, 0.5).unwrap();
+        for c in 0..sa.cols() {
+            assert!(sa.cell(2, c).is_neutral(1e-6));
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Manufacturer profiles matching Table 1/2 of the paper.
+//!
+//! Three vendors are modelled:
+//!
+//! * **Mfr. H** (SK Hynix): 4 Gb x8 chips, M or A die revisions, 512-row
+//!   (A die, and most M-die modules) or 640-row (some M-die) subarrays.
+//!   Supports the Frac operation, so MAJX neutral rows are exact.
+//! * **Mfr. M** (Micron): 16 Gb x16 chips, E or B die revisions, 1024-row
+//!   subarrays. Frac is *not* supported; its sense amplifiers are biased,
+//!   so neutral rows are emulated with all-0/all-1 initialisation
+//!   (footnote 5), which costs margin — MAJ9+ drops below 1 % success
+//!   (footnote 11).
+//! * **Mfr. S** (Samsung): guard circuitry ignores the timing-violating
+//!   PRE/ACT, so *no* PUD operation works (§9 Limitation 1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::geometry::{Geometry, Organization};
+use crate::timing::TimingParams;
+
+/// DRAM manufacturer, anonymised as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Manufacturer {
+    /// SK Hynix.
+    H,
+    /// Micron.
+    M,
+    /// Samsung (no PUD operations observed).
+    S,
+}
+
+impl fmt::Display for Manufacturer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Manufacturer::H => f.write_str("Mfr. H"),
+            Manufacturer::M => f.write_str("Mfr. M"),
+            Manufacturer::S => f.write_str("Mfr. S"),
+        }
+    }
+}
+
+/// Die revision letters from Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DieRevision {
+    /// SK Hynix M die.
+    M,
+    /// SK Hynix A die.
+    A,
+    /// Micron E die.
+    E,
+    /// Micron B die.
+    B,
+    /// Unspecified (Samsung control group).
+    Unknown,
+}
+
+impl fmt::Display for DieRevision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DieRevision::M => "M",
+            DieRevision::A => "A",
+            DieRevision::E => "E",
+            DieRevision::B => "B",
+            DieRevision::Unknown => "?",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything the model needs to know about one kind of DRAM module.
+///
+/// The analog tweak fields are the per-vendor calibration levers: the
+/// paper's Mfr. H and Mfr. M differ measurably (e.g. MAJ9 works on H but
+/// not on M), which the model expresses as a sense-offset scale factor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VendorProfile {
+    /// The manufacturer.
+    pub manufacturer: Manufacturer,
+    /// Die revision.
+    pub die: DieRevision,
+    /// Chip density in Gbit.
+    pub density_gbit: u8,
+    /// Device geometry (already reduced-column; see [`Geometry`]).
+    pub geometry: Geometry,
+    /// Nominal timing parameters for the module's speed bin.
+    pub timing: TimingParams,
+    /// Whether the chip supports storing fractional values (FracDRAM).
+    pub supports_frac: bool,
+    /// Whether the sense amplifiers have a systematic bias (Mfr. M).
+    /// Biased amps resolve a dead-even bitline deterministically, which is
+    /// what makes all-0/all-1 neutral-row emulation possible.
+    pub biased_sense_amps: bool,
+    /// Whether internal guard circuitry ignores timing-violating
+    /// PRE/second-ACT commands (Samsung): APA then behaves like a plain
+    /// re-activation of the first row and no multi-row activation occurs.
+    pub apa_guard: bool,
+    /// Multiplier on the sense-amplifier offset sigma relative to the
+    /// calibrated Mfr. H baseline. > 1 means noisier sensing.
+    pub sense_offset_scale: f32,
+    /// Multiplier on per-cell capacitance variation sigma.
+    pub cell_variation_scale: f32,
+}
+
+impl VendorProfile {
+    /// SK Hynix 4 Gb M-die x8 (512-row subarrays; the 640-row variant is
+    /// [`VendorProfile::mfr_h_m_die_640`]).
+    pub fn mfr_h_m_die() -> Self {
+        VendorProfile {
+            manufacturer: Manufacturer::H,
+            die: DieRevision::M,
+            density_gbit: 4,
+            geometry: Geometry {
+                banks: 16,
+                rows_per_subarray: 512,
+                subarrays_per_bank: 8,
+                cols_per_row: 256,
+                organization: Organization::X8,
+            },
+            timing: TimingParams::ddr4_2666(),
+            supports_frac: true,
+            biased_sense_amps: false,
+            apa_guard: false,
+            sense_offset_scale: 1.0,
+            cell_variation_scale: 1.0,
+        }
+    }
+
+    /// SK Hynix 4 Gb M-die x8 with 640-row subarrays (Table 1 lists both).
+    pub fn mfr_h_m_die_640() -> Self {
+        let mut p = Self::mfr_h_m_die();
+        p.geometry.rows_per_subarray = 640;
+        p
+    }
+
+    /// SK Hynix 4 Gb A-die x8 (512-row subarrays, 2133 MT/s TeamGroup).
+    pub fn mfr_h_a_die() -> Self {
+        let mut p = Self::mfr_h_m_die();
+        p.die = DieRevision::A;
+        p.timing = TimingParams::ddr4_2133();
+        // A-die sensing is marginally noisier in our calibration; the
+        // paper reports slightly wider success-rate boxes for these parts.
+        p.sense_offset_scale = 1.08;
+        p
+    }
+
+    /// Micron 16 Gb E-die x16 (1024-row subarrays, 3200 MT/s).
+    pub fn mfr_m_e_die() -> Self {
+        VendorProfile {
+            manufacturer: Manufacturer::M,
+            die: DieRevision::E,
+            density_gbit: 16,
+            geometry: Geometry {
+                banks: 16,
+                rows_per_subarray: 1024,
+                subarrays_per_bank: 8,
+                cols_per_row: 256,
+                organization: Organization::X16,
+            },
+            timing: TimingParams::ddr4_3200(),
+            supports_frac: false,
+            biased_sense_amps: true,
+            apa_guard: false,
+            // Calibrated so MAJ7 still works but MAJ9 collapses (<1 %).
+            sense_offset_scale: 1.55,
+            cell_variation_scale: 1.35,
+        }
+    }
+
+    /// Micron 16 Gb B-die x16 (1024-row subarrays, 2666 MT/s).
+    pub fn mfr_m_b_die() -> Self {
+        let mut p = Self::mfr_m_e_die();
+        p.die = DieRevision::B;
+        p.timing = TimingParams::ddr4_2666();
+        p.sense_offset_scale = 1.6;
+        p.cell_variation_scale = 1.4;
+        p
+    }
+
+    /// Samsung control-group profile: APA guard active, no PUD possible.
+    pub fn mfr_s() -> Self {
+        let mut p = Self::mfr_h_m_die();
+        p.manufacturer = Manufacturer::S;
+        p.die = DieRevision::Unknown;
+        p.supports_frac = false;
+        p.apa_guard = true;
+        p
+    }
+
+    /// Short human-readable label, e.g. `"Mfr. H (M die, 4Gb x8)"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{} ({} die, {}Gb {})",
+            self.manufacturer, self.die, self.density_gbit, self.geometry.organization
+        )
+    }
+}
+
+/// One entry of the tested-module fleet (Table 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetEntry {
+    /// The module profile.
+    pub profile: VendorProfile,
+    /// How many modules of this kind the paper tested.
+    pub modules: u8,
+    /// How many chips those modules contain in total.
+    pub chips: u8,
+}
+
+/// The 18-module / 120-chip fleet of Table 1/2 (Samsung excluded, as the
+/// paper's detailed evaluations are H + M only).
+pub fn paper_fleet() -> Vec<FleetEntry> {
+    vec![
+        FleetEntry {
+            profile: VendorProfile::mfr_h_m_die(),
+            modules: 7,
+            chips: 56,
+        },
+        FleetEntry {
+            profile: VendorProfile::mfr_h_a_die(),
+            modules: 5,
+            chips: 40,
+        },
+        FleetEntry {
+            profile: VendorProfile::mfr_m_e_die(),
+            modules: 4,
+            chips: 16,
+        },
+        FleetEntry {
+            profile: VendorProfile::mfr_m_b_die(),
+            modules: 2,
+            chips: 8,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_totals_match_table_1() {
+        let fleet = paper_fleet();
+        let modules: u32 = fleet.iter().map(|e| e.modules as u32).sum();
+        let chips: u32 = fleet.iter().map(|e| e.chips as u32).sum();
+        assert_eq!(modules, 18);
+        assert_eq!(chips, 120);
+    }
+
+    #[test]
+    fn subarray_sizes_match_table_1() {
+        assert_eq!(VendorProfile::mfr_h_m_die().geometry.rows_per_subarray, 512);
+        assert_eq!(
+            VendorProfile::mfr_h_m_die_640().geometry.rows_per_subarray,
+            640
+        );
+        assert_eq!(VendorProfile::mfr_h_a_die().geometry.rows_per_subarray, 512);
+        assert_eq!(
+            VendorProfile::mfr_m_e_die().geometry.rows_per_subarray,
+            1024
+        );
+        assert_eq!(
+            VendorProfile::mfr_m_b_die().geometry.rows_per_subarray,
+            1024
+        );
+    }
+
+    #[test]
+    fn organizations_match_table_1() {
+        assert_eq!(
+            VendorProfile::mfr_h_a_die().geometry.organization,
+            Organization::X8
+        );
+        assert_eq!(
+            VendorProfile::mfr_m_b_die().geometry.organization,
+            Organization::X16
+        );
+    }
+
+    #[test]
+    fn vendor_quirks() {
+        assert!(VendorProfile::mfr_h_m_die().supports_frac);
+        assert!(!VendorProfile::mfr_m_e_die().supports_frac);
+        assert!(VendorProfile::mfr_m_e_die().biased_sense_amps);
+        assert!(VendorProfile::mfr_s().apa_guard);
+        assert!(!VendorProfile::mfr_h_m_die().apa_guard);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let l = VendorProfile::mfr_m_e_die().label();
+        assert!(l.contains("Mfr. M") && l.contains("16Gb") && l.contains("x16"));
+    }
+}

@@ -1,0 +1,36 @@
+//! A miniature paper-style characterization of one DRAM module: subarray
+//! boundary reverse engineering (§3.1), the MAJX ladder (Fig. 7), and the
+//! Multi-RowCopy timing sweep (Fig. 10), printed as tables.
+//!
+//! Run with: `cargo run --release --example characterize_module [quick]`
+
+use simra::bender::TestSetup;
+use simra::characterize::config::{ExperimentConfig, ModuleUnderTest};
+use simra::characterize::{fig10_mrc_timing, fig7_majx_patterns};
+use simra::dram::{BankId, VendorProfile};
+use simra::pud::boundary::{find_boundaries, infer_subarray_size};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Characterize a single SK Hynix-like module.
+    let profile = VendorProfile::mfr_h_m_die();
+    let mut setup = TestSetup::new(profile.clone(), 123);
+    println!("module under test: {}", setup.module().profile().label());
+
+    // Step 1 — reverse engineer the subarray boundaries with RowClone
+    // sweeps, exactly like §3.1 (copies only succeed on shared bitlines).
+    let boundaries = find_boundaries(&mut setup, BankId::new(0), 1100)?;
+    println!("RowClone-derived subarray boundaries (first 1100 rows): {boundaries:?}");
+    match infer_subarray_size(&boundaries) {
+        Some(size) => println!("inferred subarray size: {size} rows (Table 1 says 512)"),
+        None => println!("no boundary inside the probed range"),
+    }
+
+    // Step 2 — run two of the paper's figure sweeps on just this module.
+    let config = ExperimentConfig {
+        modules: vec![ModuleUnderTest { profile, seed: 123 }],
+        ..ExperimentConfig::quick()
+    };
+    println!("\n{}", fig7_majx_patterns(&config));
+    println!("{}", fig10_mrc_timing(&config));
+    Ok(())
+}

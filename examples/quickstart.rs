@@ -1,0 +1,83 @@
+//! Quickstart: mount a modelled DDR4 module, activate 32 rows at once,
+//! run an in-DRAM MAJ3 with 10× input replication, and copy one row to 31
+//! others — the paper's three headline capabilities in ~60 lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use simra::bender::TestSetup;
+use simra::dram::{ApaTiming, BankId, BitRow, DataPattern, SubarrayId, VendorProfile};
+use simra::pud::act::activation_success;
+use simra::pud::maj::{majx_success, MajConfig};
+use simra::pud::multirowcopy::multirowcopy_success;
+use simra::pud::rowgroup::random_group;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Mount an SK Hynix-like 4 Gb module in the virtual rig (50 °C, 2.5 V).
+    let mut setup = TestSetup::new(VendorProfile::mfr_h_m_die(), 42);
+    let mut rng = StdRng::seed_from_u64(1);
+    println!("module: {}", setup.module().profile().label());
+
+    // Pick a row group that a single ACT→PRE→ACT activates as 32 rows.
+    let group = random_group(
+        setup.module().geometry(),
+        BankId::new(0),
+        SubarrayId::new(0),
+        32,
+        &mut rng,
+    )
+    .expect("a 512-row subarray always hosts 32-row groups");
+    println!(
+        "APA {} -> PRE -> {} simultaneously opens {} rows",
+        group.r_f,
+        group.r_s,
+        group.n_rows()
+    );
+
+    // 1. Simultaneous many-row activation (§4): how reliably do all 32
+    //    rows store a pattern written through the row buffer?
+    let act = activation_success(
+        &mut setup,
+        &group,
+        ApaTiming::best_for_activation(),
+        DataPattern::Random,
+        &mut rng,
+    )?;
+    println!(
+        "32-row activation success: {:.2} % (paper: ≥ 99.85 %)",
+        act * 100.0
+    );
+
+    // 2. MAJ3 with input replication (§5): each operand stored 10×.
+    let maj3 = majx_success(
+        &mut setup,
+        &group,
+        3,
+        ApaTiming::best_for_majx(),
+        DataPattern::Random,
+        &MajConfig::default(),
+        &mut rng,
+    )?;
+    println!(
+        "MAJ3 @ 32-row activation:  {:.2} % (paper: 99.00 %)",
+        maj3 * 100.0
+    );
+
+    // 3. Multi-RowCopy (§6): one source row to 31 destinations at once.
+    let cols = setup.module().geometry().cols_per_row as usize;
+    let source = BitRow::random(&mut rng, cols);
+    let mrc = multirowcopy_success(
+        &mut setup,
+        &group,
+        ApaTiming::best_for_multi_row_copy(),
+        &source,
+    )?;
+    println!(
+        "Multi-RowCopy to 31 rows:  {:.3} % (paper: 99.982 %)",
+        mrc * 100.0
+    );
+
+    Ok(())
+}

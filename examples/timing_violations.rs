@@ -1,0 +1,46 @@
+//! The mechanism, laid bare: run the *same* program shape with three
+//! different timings through the clocked interpreter, and watch the
+//! JEDEC protocol checker report which rules each run (deliberately)
+//! violates — and what each violation makes the DRAM *do*.
+//!
+//! * t1 = 1.5 ns, t2 = 3 ns  → tRAS + tRP violated ⇒ MAJ semantics
+//! * t1 = 36 ns,  t2 = 3 ns  → tRP violated        ⇒ Multi-RowCopy
+//! * t1 = 36 ns,  t2 = 6 ns  → tRP violated (less) ⇒ RowClone
+//!
+//! Run with: `cargo run --release --example timing_violations`
+
+use simra::bender::{BenderProgram, TestSetup};
+use simra::dram::{ApaTiming, BankId, BitRow, RowAddr, VendorProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut setup = TestSetup::new(VendorProfile::mfr_h_m_die(), 7);
+    let cols = setup.module().geometry().cols_per_row as usize;
+    let bank = BankId::new(0);
+    let timing = setup.module().profile().timing;
+
+    for (label, apa) in [
+        ("MAJ timing      (1.5, 3)", ApaTiming::best_for_majx()),
+        ("Multi-RowCopy   (36, 3)", ApaTiming::best_for_multi_row_copy()),
+        ("RowClone        (36, 6)", ApaTiming::row_clone()),
+    ] {
+        // Fresh data: row 0 all-1s, rows 1..8 all-0s.
+        setup.init_row(bank, RowAddr::new(0), &BitRow::ones(cols))?;
+        for r in 1..8u32 {
+            setup.init_row(bank, RowAddr::new(r), &BitRow::zeros(cols))?;
+        }
+        let program = BenderProgram::apa(bank, RowAddr::new(0), RowAddr::new(7), apa, &timing);
+        let run = setup.run_program(&program, None)?;
+
+        println!("{label}: {} commands, {:.1} ns", run.commands, run.latency_ns);
+        for v in &run.violations {
+            println!("   {v}");
+        }
+        // What did the open rows end up holding?
+        for r in [0u32, 1, 6, 7] {
+            let ones = setup.read_row(bank, RowAddr::new(r))?.count_ones();
+            println!("   row {r}: {ones}/{cols} ones");
+        }
+        println!();
+    }
+    Ok(())
+}

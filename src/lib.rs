@@ -1,0 +1,66 @@
+//! # simra — the SiMRA-DRAM reproduction, under one roof
+//!
+//! A software reproduction of *Simultaneous Many-Row Activation in
+//! Off-the-Shelf DRAM Chips: Experimental Characterization and Analysis*
+//! (DSN 2024): Processing-Using-DRAM operations — simultaneous many-row
+//! activation, MAJX with input replication, RowClone, Multi-RowCopy —
+//! on a calibrated behavioural DDR4 device model, plus the paper's
+//! complete evaluation as regenerable experiments.
+//!
+//! This crate re-exports every member crate of the workspace; see
+//! [`prelude`] for the handful of types most programs start from.
+//!
+//! # Example
+//!
+//! ```
+//! use simra::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Mount a modelled SK Hynix-like module and pick a 32-row group.
+//! let mut setup = TestSetup::new(VendorProfile::mfr_h_m_die(), 42);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let group = simra::pud::rowgroup::random_group(
+//!     setup.module().geometry(),
+//!     BankId::new(0),
+//!     SubarrayId::new(0),
+//!     32,
+//!     &mut rng,
+//! )
+//! .expect("512-row subarrays always host 32-row groups");
+//!
+//! // In-DRAM majority-of-three with 10× input replication.
+//! let success = simra::pud::maj::majx_success(
+//!     &mut setup,
+//!     &group,
+//!     3,
+//!     ApaTiming::best_for_majx(),
+//!     DataPattern::Random,
+//!     &simra::pud::maj::MajConfig::default(),
+//!     &mut rng,
+//! )?;
+//! assert!(success > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use simra_analog as analog;
+pub use simra_bender as bender;
+pub use simra_casestudy as casestudy;
+pub use simra_characterize as characterize;
+pub use simra_core as pud;
+pub use simra_decoder as decoder;
+pub use simra_dram as dram;
+
+/// The types most programs start from.
+pub mod prelude {
+    pub use simra_analog::{CircuitParams, OperatingConditions};
+    pub use simra_bender::{BenderProgram, TestSetup};
+    pub use simra_core::rowgroup::GroupSpec;
+    pub use simra_core::PudError;
+    pub use simra_decoder::{ApaOutcome, RowDecoder};
+    pub use simra_dram::{
+        ApaTiming, BankId, BitRow, DataPattern, DramModule, RowAddr, SubarrayId, VendorProfile,
+    };
+}

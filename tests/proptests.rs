@@ -1,0 +1,277 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use simra::decoder::RowDecoder;
+use simra::dram::timing::IssueGrid;
+use simra::dram::{ApaTiming, BitRow, Geometry};
+use simra::pud::metrics::BoxStats;
+use simra::pud::rowgroup::tile_groups;
+
+proptest! {
+    /// BitRow set/get round-trips at any index.
+    #[test]
+    fn bitrow_set_get_roundtrip(len in 1usize..500, bits in proptest::collection::vec(any::<bool>(), 1..500)) {
+        let len = len.min(bits.len());
+        let mut row = BitRow::zeros(len);
+        for (i, b) in bits.iter().take(len).enumerate() {
+            row.set(i, *b);
+        }
+        for (i, b) in bits.iter().take(len).enumerate() {
+            prop_assert_eq!(row.get(i), *b);
+        }
+        prop_assert_eq!(row.count_ones(), bits.iter().take(len).filter(|b| **b).count());
+    }
+
+    /// Complement is an involution and flips every bit.
+    #[test]
+    fn bitrow_complement_involution(len in 1usize..300, seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::SeedableRng;
+        let row = BitRow::random(&mut rng, len);
+        let comp = row.complement();
+        prop_assert_eq!(row.hamming(&comp), len);
+        prop_assert_eq!(comp.complement(), row);
+    }
+
+    /// Hamming distance is a metric: symmetric, zero iff equal,
+    /// triangle inequality.
+    #[test]
+    fn bitrow_hamming_is_a_metric(len in 1usize..200, s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(s1);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(s2);
+        let mut r3 = rand::rngs::StdRng::seed_from_u64(s3);
+        let a = BitRow::random(&mut r1, len);
+        let b = BitRow::random(&mut r2, len);
+        let c = BitRow::random(&mut r3, len);
+        prop_assert_eq!(a.hamming(&b), b.hamming(&a));
+        prop_assert_eq!(a.hamming(&a), 0);
+        prop_assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
+        prop_assert_eq!(a.matches(&b) + a.hamming(&b), len);
+    }
+
+    /// Any APA pair activates a power-of-two number of rows ≤ 32, always
+    /// including both targets, for every tested subarray size.
+    #[test]
+    fn apa_counts_are_powers_of_two(rows_pow in 6u32..11, a in 0u32..2048, b in 0u32..2048) {
+        let rows = 1u32 << rows_pow;
+        let (a, b) = (a % rows, b % rows);
+        let dec = RowDecoder::for_subarray_rows(rows);
+        let set = dec.simultaneous_rows(a, b);
+        prop_assert!(set.len().is_power_of_two());
+        prop_assert!(set.len() <= 32);
+        prop_assert!(set.contains(&a) && set.contains(&b));
+        prop_assert_eq!(set.len(), dec.activation_count(a, b) as usize);
+        // Sorted and deduplicated.
+        let mut sorted = set.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted, set);
+    }
+
+    /// APA row sets are symmetric in (R_F, R_S).
+    #[test]
+    fn apa_sets_are_symmetric(a in 0u32..512, b in 0u32..512) {
+        let dec = RowDecoder::for_subarray_rows(512);
+        prop_assert_eq!(dec.simultaneous_rows(a, b), dec.simultaneous_rows(b, a));
+    }
+
+    /// The group-closure property of the predecoder-latch model: every
+    /// pair of rows inside an activated set activates a subset of it.
+    #[test]
+    fn apa_sets_are_closed_under_pairing(a in 0u32..512, b in 0u32..512) {
+        let dec = RowDecoder::for_subarray_rows(512);
+        let set = dec.simultaneous_rows(a, b);
+        let inner = dec.simultaneous_rows(set[0], *set.last().unwrap());
+        prop_assert!(inner.iter().all(|r| set.contains(r)));
+    }
+
+    /// Subarray tiling is a perfect partition for any modelled size.
+    #[test]
+    fn tiling_partitions_any_subarray(rows in prop::sample::select(vec![64u32, 128, 256, 512, 640, 1024])) {
+        let geometry = Geometry { rows_per_subarray: rows, ..Geometry::default() };
+        let groups = tile_groups(
+            &geometry,
+            simra::dram::BankId::new(0),
+            simra::dram::SubarrayId::new(0),
+        );
+        let mut covered = vec![0u32; rows as usize];
+        for g in &groups {
+            for &r in &g.local_rows {
+                covered[r as usize] += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|c| *c == 1));
+    }
+
+    /// Issue-grid snapping always lands on a positive multiple of 1.5 ns
+    /// within half a step of the request.
+    #[test]
+    fn issue_grid_snapping(ns in 0.0f64..100.0) {
+        let g = IssueGrid::from_ns(ns);
+        let snapped = g.as_ns();
+        prop_assert!(snapped >= 1.5 - 1e-12);
+        let steps = snapped / 1.5;
+        prop_assert!((steps - steps.round()).abs() < 1e-9);
+        if ns >= 1.5 {
+            prop_assert!((snapped - ns).abs() <= 0.75 + 1e-9);
+        }
+    }
+
+    /// ApaTiming::act_to_act is the sum of its parts and grid-consistent.
+    #[test]
+    fn apa_timing_sums(t1 in 1.0f64..40.0, t2 in 1.0f64..40.0) {
+        let t = ApaTiming::from_ns(t1, t2);
+        let sum = t.t1.as_ns() + t.t2.as_ns();
+        prop_assert!((t.act_to_act_ns() - sum).abs() < 1e-9);
+    }
+
+    /// BoxStats quartiles are ordered and bounded by min/max; the mean
+    /// lies within [min, max].
+    #[test]
+    fn box_stats_invariants(samples in proptest::collection::vec(0.0f64..1.0, 1..100)) {
+        let s = BoxStats::from_samples(&samples);
+        prop_assert!(s.min <= s.q1 && s.q1 <= s.median);
+        prop_assert!(s.median <= s.q3 && s.q3 <= s.max);
+        prop_assert!(s.mean >= s.min - 1e-12 && s.mean <= s.max + 1e-12);
+        prop_assert!(s.iqr() >= 0.0);
+        prop_assert_eq!(s.count, samples.len());
+    }
+
+    /// The normal CDF is monotone, symmetric, and bounded.
+    #[test]
+    fn phi_properties(x in -6.0f64..6.0, dx in 0.001f64..2.0) {
+        let phi = simra::analog::math::phi;
+        prop_assert!(phi(x) > 0.0 && phi(x) < 1.0);
+        prop_assert!(phi(x + dx) >= phi(x));
+        prop_assert!((phi(x) + phi(-x) - 1.0).abs() < 1e-6);
+    }
+
+    /// Survival probability is monotone in margin and anti-monotone in
+    /// trial count.
+    #[test]
+    fn survival_monotonicity(m in -0.1f64..0.2, dm in 0.0001f64..0.05) {
+        let f = |margin: f64, trials: u32| {
+            simra::analog::sense::survival_probability(margin, 0.03, 0.0045, trials)
+        };
+        prop_assert!(f(m + dm, 10_000) >= f(m, 10_000));
+        prop_assert!(f(m, 1_000) >= f(m, 10_000));
+        prop_assert!((0.0..=1.0).contains(&f(m, 10_000)));
+    }
+}
+
+proptest! {
+    /// `majority` agrees with a per-column counting reference for any odd
+    /// operand count.
+    #[test]
+    fn majority_matches_reference(x in prop::sample::select(vec![1usize, 3, 5, 7, 9]), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cols = 96;
+        let ops: Vec<BitRow> = (0..x).map(|_| BitRow::random(&mut rng, cols)).collect();
+        let got = simra::pud::maj::majority(&ops);
+        for c in 0..cols {
+            let ones = ops.iter().filter(|o| o.get(c)).count();
+            prop_assert_eq!(got.get(c), 2 * ones > x);
+        }
+    }
+
+    /// MAJX layouts partition the group: X·r operand rows + (N mod X)
+    /// neutral rows, all disjoint, all from the group.
+    #[test]
+    fn maj_layout_partitions_the_group(
+        n in prop::sample::select(vec![4u32, 8, 16, 32]),
+        x in prop::sample::select(vec![3usize, 5, 7, 9]),
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        prop_assume!(n as usize >= x);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let geometry = Geometry::default();
+        let group = simra::pud::rowgroup::random_group(
+            &geometry,
+            simra::dram::BankId::new(0),
+            simra::dram::SubarrayId::new(0),
+            n,
+            &mut rng,
+        )
+        .expect("512-row subarrays host all power-of-two groups");
+        let layout = simra::pud::maj::plan_layout(&group, x).expect("n >= x");
+        let r = n as usize / x;
+        prop_assert_eq!(layout.replication(), r);
+        prop_assert_eq!(layout.neutral_rows.len(), n as usize % x);
+        let mut seen = std::collections::BTreeSet::new();
+        for rows in &layout.operand_rows {
+            prop_assert_eq!(rows.len(), r);
+            for row in rows {
+                prop_assert!(group.local_rows.contains(row));
+                prop_assert!(seen.insert(*row), "rows must be disjoint");
+            }
+        }
+        for row in &layout.neutral_rows {
+            prop_assert!(seen.insert(*row), "neutral rows must be disjoint too");
+        }
+        prop_assert_eq!(seen.len(), n as usize);
+    }
+
+    /// Random groups always sit inside their subarray and contain both
+    /// APA targets.
+    #[test]
+    fn random_groups_are_well_formed(
+        n in prop::sample::select(vec![2u32, 4, 8, 16, 32]),
+        sa in 0u16..8,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let geometry = Geometry::default();
+        if let Some(g) = simra::pud::rowgroup::random_group(
+            &geometry,
+            simra::dram::BankId::new(3),
+            simra::dram::SubarrayId::new(sa),
+            n,
+            &mut rng,
+        ) {
+            prop_assert_eq!(g.n_rows(), n as usize);
+            let (sa_f, lf) = geometry.split_row(g.r_f).unwrap();
+            let (sa_s, ls) = geometry.split_row(g.r_s).unwrap();
+            prop_assert_eq!(sa_f.raw(), sa);
+            prop_assert_eq!(sa_s.raw(), sa);
+            prop_assert!(g.local_rows.contains(&lf));
+            prop_assert!(g.local_rows.contains(&ls));
+            prop_assert!(g.local_rows.iter().all(|r| *r < geometry.rows_per_subarray));
+        }
+    }
+
+    /// Power grows monotonically with the activation count and a wipe
+    /// never gets slower with a bigger fan-out.
+    #[test]
+    fn power_and_wipe_monotonicity(n in 2u32..=31) {
+        let power = simra::bender::PowerModel::ddr4();
+        prop_assert!(power.many_row_activation_mw(n + 1) > power.many_row_activation_mw(n));
+        let timing = simra::dram::TimingParams::ddr4_2666();
+        let wipe = |k: u32| {
+            simra::casestudy::coldboot::wipe_time_ns(
+                simra::casestudy::coldboot::WipeStrategy::MultiRowCopy { n: k },
+                65_536,
+                512,
+                &timing,
+            )
+        };
+        prop_assert!(wipe(n + 1) <= wipe(n));
+    }
+
+    /// BitRow operators respect De Morgan's laws.
+    #[test]
+    fn bitrow_de_morgan(len in 1usize..200, s1 in any::<u64>(), s2 in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(s1);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(s2);
+        let a = BitRow::random(&mut r1, len);
+        let b = BitRow::random(&mut r2, len);
+        prop_assert_eq!(!&(&a & &b), &(!&a) | &(!&b));
+        prop_assert_eq!(!&(&a | &b), &(!&a) & &(!&b));
+        prop_assert_eq!(&(&a ^ &b) ^ &b, a);
+    }
+}
