@@ -20,6 +20,9 @@ use simra_dram::Subarray;
 /// A fully charged nominal cell in a single-row activation perturbs the
 /// bitline by `+0.5 / (β + 1)` — with the calibrated `β = 6` that is about
 /// 86 mV at VDD = 1.2 V, matching the scale real sense amplifiers see.
+///
+/// Allocates the result; the hot path is [`bitline_deltas_into`], which
+/// reuses caller-owned buffers.
 pub fn bitline_deltas(
     subarray: &Subarray,
     rows_weights: &[(u32, f64)],
@@ -27,21 +30,60 @@ pub fn bitline_deltas(
     assertion: f64,
     beta: f64,
 ) -> Vec<f64> {
-    let cols = subarray.cols();
-    let mut deltas = Vec::with_capacity(cols as usize);
-    for col in 0..cols {
-        let mut num = 0.0f64;
-        let mut cap_sum = 0.0f64;
-        for &(row, weight) in rows_weights {
-            let cell = subarray.cell(row, col);
-            let cap = cell.cap_factor() as f64 * weight;
-            let xfer = (1.0 + (cell.strength_factor() as f64 - 1.0) * transfer_amp).max(0.0);
-            num += cap * xfer * (cell.voltage() as f64 - 0.5);
-            cap_sum += cap;
+    let mut cap_scratch = Vec::new();
+    let mut out = Vec::new();
+    bitline_deltas_into(
+        subarray,
+        rows_weights,
+        transfer_amp,
+        assertion,
+        beta,
+        &mut cap_scratch,
+        &mut out,
+    );
+    out
+}
+
+/// [`bitline_deltas`] into reusable buffers: `out` receives the per-column
+/// perturbations, `cap_scratch` accumulates the per-column capacitance sum.
+/// Both are cleared and resized; capacity is reused across calls.
+///
+/// The accumulation runs row-major over the subarray's contiguous voltage
+/// and variation slices — one bounds check per row, unit-stride inner
+/// loops the compiler can vectorize. Per-column addition order is the row
+/// order of `rows_weights`, identical to the column-major formulation, so
+/// results are bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn bitline_deltas_into(
+    subarray: &Subarray,
+    rows_weights: &[(u32, f64)],
+    transfer_amp: f64,
+    assertion: f64,
+    beta: f64,
+    cap_scratch: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
+    let cols = subarray.cols() as usize;
+    out.clear();
+    out.resize(cols, 0.0);
+    cap_scratch.clear();
+    cap_scratch.resize(cols, 0.0);
+    let num = &mut out[..];
+    let cap_sum = &mut cap_scratch[..];
+    for &(row, weight) in rows_weights {
+        let volts = &subarray.row_voltages(row)[..cols];
+        let caps = &subarray.row_cap_factors(row)[..cols];
+        let strengths = &subarray.row_strength_factors(row)[..cols];
+        for c in 0..cols {
+            let cap = caps[c] as f64 * weight;
+            let xfer = (1.0 + (strengths[c] as f64 - 1.0) * transfer_amp).max(0.0);
+            num[c] += cap * xfer * (volts[c] as f64 - 0.5);
+            cap_sum[c] += cap;
         }
-        deltas.push(assertion * num / (beta + cap_sum));
     }
-    deltas
+    for c in 0..cols {
+        num[c] = assertion * num[c] / (beta + cap_sum[c]);
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +159,23 @@ mod tests {
         // Numerator unchanged, denominator grows: smaller but same sign.
         assert!(with_neutral.iter().all(|&x| x > 0.0));
         assert!((with_neutral[0] - 0.5 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant() {
+        let mut sa = Subarray::new(8, 16, VariationParams::default(), 77);
+        sa.write_row(0, &BitRow::ones(16)).unwrap();
+        sa.write_row(2, &BitRow::zeros(16)).unwrap();
+        let rows = [(0u32, 2.0), (2u32, 1.0), (5u32, 1.0)];
+        let reference = bitline_deltas(&sa, &rows, 6.8, 0.97, 6.0);
+        let mut cap = vec![99.0; 3]; // stale contents must not leak through
+        let mut out = vec![-1.0; 40];
+        bitline_deltas_into(&sa, &rows, 6.8, 0.97, 6.0, &mut cap, &mut out);
+        assert_eq!(out, reference);
+        assert_eq!(cap.len(), 16);
+        // Buffers are reusable: a second call with different inputs.
+        bitline_deltas_into(&sa, &[(2, 1.0)], 6.8, 1.0, 6.0, &mut cap, &mut out);
+        assert_eq!(out, bitline_deltas(&sa, &[(2, 1.0)], 6.8, 1.0, 6.0));
     }
 
     #[test]

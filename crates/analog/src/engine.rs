@@ -5,14 +5,29 @@
 //! only); the mutable state lives in the [`Subarray`]. Operations in
 //! `simra-core` compose engine calls into full PUD operations.
 
+use std::cell::RefCell;
+
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use simra_dram::{ApaTiming, BitRow, Subarray, VendorProfile};
 
-use crate::charge::bitline_deltas;
+use crate::charge::bitline_deltas_into;
 use crate::params::{CircuitParams, OperatingConditions};
 use crate::sense::{resolve, restore_probability, survival_probability};
+
+/// Reusable per-thread buffers for [`ApaEngine::sense`]: characterization
+/// sweeps call it millions of times, and the row-weight list and the
+/// capacitance accumulator would otherwise be allocated on every call.
+#[derive(Default)]
+struct SenseScratch {
+    rows_weights: Vec<(u32, f64)>,
+    cap_sum: Vec<f64>,
+}
+
+thread_local! {
+    static SENSE_SCRATCH: RefCell<SenseScratch> = RefCell::new(SenseScratch::default());
+}
 
 /// The analog outcome of connecting a set of rows to the bitlines.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,26 +88,32 @@ impl ApaEngine {
         timing: ApaTiming,
     ) -> SenseResult {
         let first_index = rows.iter().position(|r| *r == first_row).unwrap_or(0);
-        let weights = self.params.share_weights(rows.len(), first_index, timing);
-        let rows_weights: Vec<(u32, f64)> =
-            rows.iter().copied().zip(weights.iter().copied()).collect();
+        let first_weight = self.params.first_row_weight(rows.len(), timing);
         let assertion =
             self.params.assertion_strength(timing, self.cond) * self.group_factor(subarray, rows);
-        let deltas = bitline_deltas(
-            subarray,
-            &rows_weights,
-            self.params.transfer_amp(rows.len()),
-            assertion,
-            self.params.beta,
-        );
-        let resolved = BitRow::from_bits((0..subarray.cols()).map(|c| {
-            resolve(
-                deltas[c as usize],
-                subarray.sense_offset(c) as f64,
-                0.0,
-                self.biased_amps,
-                subarray.bias_direction(c),
-            )
+        let mut deltas = Vec::new();
+        SENSE_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.rows_weights.clear();
+            scratch.rows_weights.extend(
+                rows.iter()
+                    .enumerate()
+                    .map(|(i, &row)| (row, if i == first_index { first_weight } else { 1.0 })),
+            );
+            bitline_deltas_into(
+                subarray,
+                &scratch.rows_weights,
+                self.params.transfer_amp(rows.len()),
+                assertion,
+                self.params.beta,
+                &mut scratch.cap_sum,
+                &mut deltas,
+            );
+        });
+        let offsets = subarray.sense_offsets();
+        let biases = subarray.bias_directions();
+        let resolved = BitRow::from_bits(deltas.iter().enumerate().map(|(c, &delta)| {
+            resolve(delta, offsets[c] as f64, 0.0, self.biased_amps, biases[c])
         }));
         SenseResult { deltas, resolved }
     }
@@ -139,21 +160,18 @@ impl ApaEngine {
     ) -> SenseResult {
         let mut result = self.sense(subarray, rows, first_row, timing);
         let sigma = self.params.trial_noise_sigma;
-        result.resolved = BitRow::from_bits((0..subarray.cols()).map(|c| {
+        let offsets = subarray.sense_offsets();
+        let biases = subarray.bias_directions();
+        let resolved = BitRow::from_bits(result.deltas.iter().enumerate().map(|(c, &delta)| {
             let noise = {
                 // Box–Muller on two uniforms.
                 let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
                 let u2: f64 = rng.gen_range(0.0..1.0);
                 (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * sigma
             };
-            resolve(
-                result.deltas[c as usize],
-                subarray.sense_offset(c) as f64,
-                noise,
-                self.biased_amps,
-                subarray.bias_direction(c),
-            )
+            resolve(delta, offsets[c] as f64, noise, self.biased_amps, biases[c])
         }));
+        result.resolved = resolved;
         result
     }
 
@@ -167,10 +185,13 @@ impl ApaEngine {
         deltas: &[f64],
         expected: &BitRow,
     ) -> Vec<f64> {
-        (0..subarray.cols() as usize)
-            .map(|c| {
+        deltas
+            .iter()
+            .zip(subarray.sense_offsets())
+            .enumerate()
+            .map(|(c, (&delta, &offset))| {
                 let sign = if expected.get(c) { 1.0 } else { -1.0 };
-                sign * (deltas[c] + subarray.sense_offset(c as u32) as f64)
+                sign * (delta + offset as f64)
             })
             .collect()
     }
@@ -196,10 +217,13 @@ impl ApaEngine {
         deltas: &[f64],
         expected: &BitRow,
     ) -> Vec<f64> {
-        (0..subarray.cols() as usize)
-            .map(|c| {
+        deltas
+            .iter()
+            .zip(subarray.sense_offsets())
+            .enumerate()
+            .map(|(c, (&delta, &offset))| {
                 let sign = if expected.get(c) { 1.0 } else { -1.0 };
-                let margin = sign * (deltas[c] + subarray.sense_offset(c as u32) as f64);
+                let margin = sign * (delta + offset as f64);
                 survival_probability(
                     margin,
                     self.params.sense_deadzone,
@@ -224,35 +248,35 @@ impl ApaEngine {
         let n_open = rows.len();
         let frac_ones = values.count_ones() as f64 / values.len().max(1) as f64;
         let wq = self.params.write_quality(self.cond);
+        let threshold = self.params.restore_threshold;
         let mut failures = 0;
         for &row in rows {
-            for col in 0..subarray.cols() {
-                let bit = values.get(col as usize);
-                let cell = subarray.cell(row, col);
+            let (volts, _, strengths) = subarray.row_split_mut(row);
+            for (col, v) in volts.iter_mut().enumerate() {
+                let bit = values.get(col);
                 let drive = restore_strength
                     * wq
-                    * cell.strength_factor() as f64
+                    * strengths[col] as f64
                     * self.params.restore_drive(bit, n_open, frac_ones);
-                if drive >= self.params.restore_threshold {
-                    subarray.cell_mut(row, col).write_bit(bit);
+                if drive >= threshold {
+                    *v = if bit { 1.0 } else { 0.0 };
                 } else {
-                    if drive >= self.params.restore_threshold * 0.6 {
+                    let old = *v > 0.5;
+                    if drive >= threshold * 0.6 {
                         // Partial restore: the cell's charge moves toward
                         // the target but the insufficiently asserted
                         // wordline cannot push it across the midpoint —
                         // the stored digital value survives.
-                        let target = if bit { 1.0 } else { 0.0 };
-                        let coupling = 0.45 * (drive - self.params.restore_threshold * 0.6)
-                            / (self.params.restore_threshold * 0.4);
-                        let old = cell.as_bit();
-                        let c = subarray.cell_mut(row, col);
-                        c.drive_towards(target, coupling as f32);
+                        let target: f32 = if bit { 1.0 } else { 0.0 };
+                        let coupling =
+                            (0.45 * (drive - threshold * 0.6) / (threshold * 0.4)) as f32;
+                        *v += (target - *v) * coupling.clamp(0.0, 1.0);
                         // Clamp back if the drift would flip the read-out.
-                        if c.as_bit() != old {
-                            c.set_voltage(0.5 + if old { 0.01 } else { -0.01 });
+                        if (*v > 0.5) != old {
+                            *v = 0.5 + if old { 0.01 } else { -0.01 };
                         }
                     }
-                    if cell.as_bit() != bit {
+                    if old != bit {
                         failures += 1;
                     }
                 }
@@ -276,12 +300,11 @@ impl ApaEngine {
         let wq = self.params.write_quality(self.cond);
         let mut probs = Vec::with_capacity(rows.len() * subarray.cols() as usize);
         for &row in rows {
-            for col in 0..subarray.cols() {
-                let bit = values.get(col as usize);
-                let cell = subarray.cell(row, col);
+            for (col, &strength) in subarray.row_strength_factors(row).iter().enumerate() {
+                let bit = values.get(col);
                 let drive = restore_strength
                     * wq
-                    * cell.strength_factor() as f64
+                    * strength as f64
                     * self.params.restore_drive(bit, n_open, frac_ones);
                 probs.push(restore_probability(drive, &self.params));
             }

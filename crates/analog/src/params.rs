@@ -223,10 +223,20 @@ impl CircuitParams {
     pub fn share_weights(&self, n_rows: usize, first_index: usize, timing: ApaTiming) -> Vec<f64> {
         let mut w = vec![1.0; n_rows];
         if n_rows > 1 {
-            let extra_ns = (timing.act_to_act_ns() - 4.5).max(0.0);
-            w[first_index] = 1.0 + self.overshare_per_ns * extra_ns;
+            w[first_index] = self.first_row_weight(n_rows, timing);
         }
         w
+    }
+
+    /// `R_F`'s charge-share weight alone (1.0 for every other row, and for
+    /// single-row activations): the non-allocating form of
+    /// [`CircuitParams::share_weights`] used by the sense hot path.
+    pub fn first_row_weight(&self, n_rows: usize, timing: ApaTiming) -> f64 {
+        if n_rows <= 1 {
+            return 1.0;
+        }
+        let extra_ns = (timing.act_to_act_ns() - 4.5).max(0.0);
+        1.0 + self.overshare_per_ns * extra_ns
     }
 
     /// Sense-amp latch quality for the Multi-RowCopy source phase as a
@@ -334,6 +344,18 @@ mod tests {
             p.share_weights(1, 0, ApaTiming::from_ns(36.0, 6.0)),
             vec![1.0]
         );
+    }
+
+    #[test]
+    fn first_row_weight_agrees_with_share_weights() {
+        let p = CircuitParams::calibrated();
+        for (n, first) in [(1usize, 0usize), (2, 1), (8, 3), (32, 0)] {
+            for t in [ApaTiming::from_ns(1.5, 3.0), ApaTiming::from_ns(3.0, 3.0)] {
+                let w = p.share_weights(n, first, t);
+                assert_eq!(w[first], p.first_row_weight(n, t));
+                assert!(w.iter().enumerate().all(|(i, &x)| i == first || x == 1.0));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Bench for the sweep-engine hot path: `collect_group_samples`
+//! throughput on the work-stealing fleet executor at 1/2/4/8 modules, the
+//! serial reference for comparison, and the `bitline_deltas` SoA inner
+//! loop (allocating vs scratch-buffer variants).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use simra_analog::charge::{bitline_deltas, bitline_deltas_into};
+use simra_bender::TestSetup;
+use simra_characterize::config::ModuleUnderTest;
+use simra_characterize::fleet::{collect_group_samples, collect_group_samples_serial};
+use simra_characterize::ExperimentConfig;
+use simra_core::act::activation_success;
+use simra_core::rowgroup::GroupSpec;
+use simra_dram::subarray::VariationParams;
+use simra_dram::{ApaTiming, DataPattern, Subarray, VendorProfile};
+
+fn fleet_config(modules: usize) -> ExperimentConfig {
+    let mut config = ExperimentConfig::quick();
+    config.modules = (0..modules)
+        .map(|i| ModuleUnderTest {
+            profile: VendorProfile::mfr_h_m_die(),
+            seed: 100 + i as u64,
+        })
+        .collect();
+    config.groups_per_subarray = 4;
+    config
+}
+
+fn activation_op(setup: &mut TestSetup, group: &GroupSpec, rng: &mut StdRng) -> Option<f64> {
+    activation_success(
+        setup,
+        group,
+        ApaTiming::best_for_activation(),
+        DataPattern::Random,
+        rng,
+    )
+    .ok()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_scaling");
+    for modules in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("collect_group_samples", modules),
+            &modules,
+            |b, &modules| {
+                let config = fleet_config(modules);
+                b.iter(|| collect_group_samples(&config, 8, activation_op));
+            },
+        );
+    }
+    group.bench_function("serial_reference/4", |b| {
+        let config = fleet_config(4);
+        b.iter(|| collect_group_samples_serial(&config, 8, activation_op));
+    });
+    group.finish();
+
+    let mut micro = c.benchmark_group("bitline_deltas");
+    let sa = Subarray::new(512, 256, VariationParams::default(), 1);
+    // A 32-row APA group with the first row over-sharing, the worst-case
+    // inner-loop shape of the characterization sweeps.
+    let rows_weights: Vec<(u32, f64)> = (0..32u32)
+        .map(|r| (r * 16, if r == 0 { 3.0 } else { 1.0 }))
+        .collect();
+    micro.bench_function("alloc/32x256", |b| {
+        b.iter(|| bitline_deltas(&sa, &rows_weights, 4.6, 0.97, 2.5));
+    });
+    micro.bench_function("into/32x256", |b| {
+        let mut cap_scratch = Vec::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            bitline_deltas_into(
+                &sa,
+                &rows_weights,
+                4.6,
+                0.97,
+                2.5,
+                &mut cap_scratch,
+                &mut out,
+            );
+            out[0]
+        });
+    });
+    micro.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

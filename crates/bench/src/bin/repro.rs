@@ -2,9 +2,16 @@
 //! prints them as text tables (the data behind EXPERIMENTS.md).
 //!
 //! Usage:
-//!   repro            # reduced scale (default; minutes)
-//!   repro quick      # smoke scale (seconds)
-//!   repro paper      # the paper's full population (hours)
+//!   repro                    # reduced scale (default; minutes)
+//!   repro quick              # smoke scale (seconds)
+//!   repro paper              # the paper's full population (hours)
+//!   repro <scale> --timings  # also print per-figure wall-clock to stderr
+//!
+//! `--timings` writes to stderr so the figure tables on stdout stay
+//! byte-identical with and without it — perf attribution must never
+//! change the scientific output.
+
+use std::time::Instant;
 
 use simra_casestudy::{fig16_microbenchmarks, fig17_coldboot};
 use simra_characterize::{
@@ -15,39 +22,67 @@ use simra_characterize::{
 };
 use simra_dram::VendorProfile;
 
+/// Runs one named stage, reporting its wall-clock to stderr when enabled.
+fn timed<T>(timings: bool, label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    if timings {
+        eprintln!("[timing] {label}: {:.3} s", start.elapsed().as_secs_f64());
+    }
+    out
+}
+
 fn main() {
-    let scale = std::env::args().nth(1).unwrap_or_else(|| "reduced".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let timings = args.iter().any(|a| a == "--timings");
+    let scale = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "reduced".into());
     let config = match scale.as_str() {
         "quick" => ExperimentConfig::quick(),
         "paper" => ExperimentConfig::paper_scale(),
         _ => ExperimentConfig::reduced(),
     };
     eprintln!("# scale: {scale} — {}", config.describe_scale());
+    let total = Instant::now();
 
-    println!("{}", fig3_activation_timing(&config));
-    println!("{}", fig4a_activation_temperature(&config));
-    println!("{}", fig4b_activation_voltage(&config));
-    println!("{}", fig5_power(&config));
-    println!("{}", fig6_maj3_timing(&config));
-    println!("{}", fig7_majx_patterns(&config));
-    println!("{}", fig8_majx_temperature(&config));
-    println!("{}", fig9_majx_voltage(&config));
-    println!("{}", fig10_mrc_timing(&config));
-    println!("{}", fig11_mrc_patterns(&config));
-    println!("{}", fig12a_mrc_temperature(&config));
-    println!("{}", fig12b_mrc_voltage(&config));
-    let (fig15a, fig15b) = fig15_spice(&config);
+    // Times one figure runner and prints its table to stdout.
+    macro_rules! show {
+        ($label:expr, $f:expr) => {
+            println!("{}", timed(timings, $label, $f))
+        };
+    }
+
+    show!("fig3", || fig3_activation_timing(&config));
+    show!("fig4a", || fig4a_activation_temperature(&config));
+    show!("fig4b", || fig4b_activation_voltage(&config));
+    show!("fig5", || fig5_power(&config));
+    show!("fig6", || fig6_maj3_timing(&config));
+    show!("fig7", || fig7_majx_patterns(&config));
+    show!("fig8", || fig8_majx_temperature(&config));
+    show!("fig9", || fig9_majx_voltage(&config));
+    show!("fig10", || fig10_mrc_timing(&config));
+    show!("fig11", || fig11_mrc_patterns(&config));
+    show!("fig12a", || fig12a_mrc_temperature(&config));
+    show!("fig12b", || fig12b_mrc_voltage(&config));
+    let (fig15a, fig15b) = timed(timings, "fig15", || fig15_spice(&config));
     println!("{fig15a}");
     println!("{fig15b}");
     let profiles = [VendorProfile::mfr_h_m_die(), VendorProfile::mfr_m_e_die()];
     let groups = if scale == "paper" { 40 } else { 8 };
-    println!("{}", fig16_microbenchmarks(&profiles, groups, 11));
-    println!("{}", fig17_coldboot());
+    show!("fig16", || fig16_microbenchmarks(&profiles, groups, 11));
+    show!("fig17", fig17_coldboot);
 
-    println!("{}", simra_characterize::per_die_breakdown(&config));
+    show!("per_die_breakdown", || {
+        simra_characterize::per_die_breakdown(&config)
+    });
 
     println!("=== Observation scoreboard (18 observations, §4–§6) ===");
-    let reports = simra_characterize::check_observations(&config);
+    let reports = timed(timings, "observations", || {
+        simra_characterize::check_observations(&config)
+    });
     let held = reports.iter().filter(|r| r.holds).count();
     for r in &reports {
         println!("{r}");
@@ -61,4 +96,8 @@ fn main() {
         println!("{t}");
     }
     println!("--- {t_held}/7 takeaways reproduced at this scale ---");
+
+    if timings {
+        eprintln!("[timing] total: {:.3} s", total.elapsed().as_secs_f64());
+    }
 }

@@ -1,5 +1,33 @@
 //! Parallel execution of one experiment across the module fleet.
+//!
+//! Work is one *task per module*, executed by a bounded work-stealing
+//! pool: `available_parallelism` workers pull module tasks from a shared
+//! injector and steal from each other, so a paper-scale run (18 modules,
+//! or hundreds in a scaled-up fleet) never spawns more threads than the
+//! host has cores — unlike the previous design, which scoped one
+//! unbounded thread per module.
+//!
+//! The task granularity is deliberately the module, not the row group:
+//! each module's task replays the exact sequential semantics the fleet
+//! has always had — seed one `StdRng` per `(module, N)`, draw the group
+//! sample from it, then run `op` group-by-group *continuing the same
+//! stream*. Splitting a module's groups into independent work items would
+//! require giving each group its own RNG stream, changing every sampled
+//! value the experiments produce. Keeping the per-module stream intact
+//! makes the executor swap invisible: `repro quick` output is
+//! byte-identical to the one-thread-per-module implementation, and the
+//! parallel pool is bit-identical to the serial reference
+//! ([`collect_group_samples_serial`]) regardless of scheduling, because
+//! every task writes into a slot pre-indexed by module position.
+//!
+//! Each task mounts a fresh [`TestSetup`]; that is cheap because module
+//! construction only creates empty lazy banks and subarray materialization
+//! hits the silicon cache (`simra_dram::silicon`), which shares one
+//! variation stamp per (seed, bank, subarray) across the whole sweep.
 
+use std::num::NonZeroUsize;
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -7,61 +35,175 @@ use simra_bender::TestSetup;
 use simra_core::rowgroup::{sample_groups, GroupSpec};
 use simra_dram::DramModule;
 
-use crate::config::ExperimentConfig;
+use crate::config::{ExperimentConfig, ModuleUnderTest};
 
-/// Runs `op` on every sampled row group of `n` simultaneously activated
-/// rows, across all configured modules — one thread per module (each
-/// module is an independent device, exactly like the paper's rig testing
-/// modules one at a time).
-///
-/// Returns all per-group success rates, ordered by module then group, so
-/// results are deterministic regardless of thread scheduling. Groups for
-/// which `op` returns `None` (e.g. an operation the part cannot perform)
-/// are skipped.
-pub fn collect_group_samples<F>(config: &ExperimentConfig, n: u32, op: F) -> Vec<f64>
+/// Seed of the per-(module, N) stream that draws the module's groups and
+/// then feeds `op` for every group. The module *index* is mixed in on top
+/// of the module's silicon seed: two modules deliberately configured with
+/// twinned silicon (same `m.seed`) must still draw distinct groups and
+/// data, or the fleet would test the same thing twice and report it as
+/// two samples. Index 0 contributes nothing, preserving the historical
+/// single-module (quick-scale) streams bit-for-bit.
+fn module_stream_seed(
+    config: &ExperimentConfig,
+    module: &ModuleUnderTest,
+    index: usize,
+    n: u32,
+) -> u64 {
+    config.seed
+        ^ module.seed.rotate_left(17)
+        ^ ((n as u64) << 48)
+        ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs one module's full task: mount the module, seed its stream, sample
+/// its groups, and run `op` over them sequentially on that stream — the
+/// exact loop the one-thread-per-module implementation ran.
+fn run_module<F>(config: &ExperimentConfig, index: usize, n: u32, op: &F) -> Vec<f64>
+where
+    F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>,
+{
+    let module = &config.modules[index];
+    let mut setup = TestSetup::with_module(DramModule::new(module.profile.clone(), module.seed));
+    let mut rng = StdRng::seed_from_u64(module_stream_seed(config, module, index, n));
+    let groups = sample_groups(
+        setup.module().geometry(),
+        n,
+        config.banks,
+        config.subarrays_per_bank,
+        config.groups_per_subarray,
+        &mut rng,
+    );
+    groups
+        .iter()
+        .filter_map(|g| op(&mut setup, g, &mut rng))
+        .collect()
+}
+
+/// Worker count: one per core, never more than there are module tasks.
+fn executor_threads(tasks: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(tasks)
+        .max(1)
+}
+
+/// Pulls the next task index: local queue first, then the shared
+/// injector, then stealing from the other workers.
+fn next_task(
+    local: &Worker<usize>,
+    injector: &Injector<usize>,
+    stealers: &[Stealer<usize>],
+    id: usize,
+) -> Option<usize> {
+    if let Some(index) = local.pop() {
+        return Some(index);
+    }
+    loop {
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(index) => return Some(index),
+            Steal::Retry => continue,
+            Steal::Empty => {}
+        }
+        let mut retry = false;
+        for (other, stealer) in stealers.iter().enumerate() {
+            if other == id {
+                continue;
+            }
+            match stealer.steal() {
+                Steal::Success(index) => return Some(index),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
+}
+
+/// Executes every module task on the stealing pool; results land in slots
+/// indexed by module position, so ordering is schedule-independent.
+fn run_stealing<F>(config: &ExperimentConfig, n: u32, workers: usize, op: &F) -> Vec<Vec<f64>>
 where
     F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
-    let op = &op;
-    let results: Vec<Vec<f64>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = config
-            .modules
-            .iter()
-            .map(|m| {
+    let tasks = config.modules.len();
+    let injector = Injector::new();
+    for index in 0..tasks {
+        injector.push(index);
+    }
+    let locals: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<usize>> = locals.iter().map(Worker::stealer).collect();
+    let mut slots: Vec<Vec<f64>> = vec![Vec::new(); tasks];
+    let finished: Vec<Vec<(usize, Vec<f64>)>> = crossbeam::thread::scope(|scope| {
+        let injector = &injector;
+        let stealers = &stealers[..];
+        let handles: Vec<_> = locals
+            .into_iter()
+            .enumerate()
+            .map(|(id, local)| {
                 scope.spawn(move |_| {
-                    let mut setup =
-                        TestSetup::with_module(DramModule::new(m.profile.clone(), m.seed));
-                    // Distinct, reproducible stream per (module, N).
-                    let mut rng = StdRng::seed_from_u64(
-                        config.seed ^ m.seed.rotate_left(17) ^ ((n as u64) << 48),
-                    );
-                    let groups = sample_groups(
-                        setup.module().geometry(),
-                        n,
-                        config.banks,
-                        config.subarrays_per_bank,
-                        config.groups_per_subarray,
-                        &mut rng,
-                    );
-                    groups
-                        .iter()
-                        .filter_map(|g| op(&mut setup, g, &mut rng))
-                        .collect::<Vec<f64>>()
+                    let mut done = Vec::new();
+                    while let Some(index) = next_task(&local, injector, stealers, id) {
+                        done.push((index, run_module(config, index, n, op)));
+                    }
+                    done
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("module worker panicked"))
+            .map(|h| h.join().expect("fleet worker panicked"))
             .collect()
     })
     .expect("crossbeam scope");
-    results.into_iter().flatten().collect()
+    for (index, samples) in finished.into_iter().flatten() {
+        slots[index] = samples;
+    }
+    slots
+}
+
+/// Runs `op` on every sampled row group of `n` simultaneously activated
+/// rows, across all configured modules, on the work-stealing pool.
+///
+/// Returns all per-group success rates, ordered by module then group —
+/// bit-identical to [`collect_group_samples_serial`] regardless of worker
+/// count or scheduling. Groups for which `op` returns `None` (e.g. an
+/// operation the part cannot perform) are skipped.
+pub fn collect_group_samples<F>(config: &ExperimentConfig, n: u32, op: F) -> Vec<f64>
+where
+    F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
+{
+    let tasks = config.modules.len();
+    let workers = executor_threads(tasks);
+    if workers <= 1 {
+        return collect_group_samples_serial(config, n, op);
+    }
+    run_stealing(config, n, workers, &op)
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// The serial reference implementation: same module tasks, same RNG
+/// streams, executed on the calling thread. Exists so tests (and
+/// sceptical readers) can check the parallel executor changes nothing but
+/// wall-clock.
+pub fn collect_group_samples_serial<F>(config: &ExperimentConfig, n: u32, op: F) -> Vec<f64>
+where
+    F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>,
+{
+    (0..config.modules.len())
+        .flat_map(|index| run_module(config, index, n, &op))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::Rng;
 
     #[test]
     fn samples_cover_all_modules_and_groups() {
@@ -90,5 +232,50 @@ mod tests {
             (g.local_rows[0] % 2 == 0).then_some(1.0)
         });
         assert!(samples.len() < config.groups_per_module());
+    }
+
+    #[test]
+    fn parallel_matches_serial_reference() {
+        let mut config = ExperimentConfig::quick();
+        config.modules.push(crate::config::ModuleUnderTest {
+            profile: simra_dram::VendorProfile::mfr_m_e_die(),
+            seed: 9,
+        });
+        // The op consumes RNG state and reads module identity, so any
+        // stream or scheduling difference would show.
+        let op = |setup: &mut TestSetup, g: &GroupSpec, rng: &mut StdRng| {
+            let first = g.local_rows[0] as f64;
+            Some(first + rng.gen::<f64>() + setup.module().seed() as f64 * 1e-6)
+        };
+        let parallel = collect_group_samples(&config, 8, op);
+        let serial = collect_group_samples_serial(&config, 8, op);
+        assert_eq!(parallel, serial);
+        assert!(!parallel.is_empty());
+    }
+
+    #[test]
+    fn identical_module_seeds_draw_distinct_streams() {
+        // Regression: two modules with the same silicon seed used to get
+        // identical RNG streams (and therefore identical samples).
+        let mut config = ExperimentConfig::quick();
+        let twin = config.modules[0].clone();
+        config.modules.push(twin);
+        let samples = collect_group_samples(&config, 4, |_, _, rng| Some(rng.gen::<f64>()));
+        let per_module = config.groups_per_module();
+        assert_eq!(samples.len(), 2 * per_module);
+        assert_ne!(
+            samples[..per_module],
+            samples[per_module..],
+            "twin modules must not replay the same stream"
+        );
+    }
+
+    #[test]
+    fn module_index_zero_preserves_historical_stream() {
+        let config = ExperimentConfig::quick();
+        let m = &config.modules[0];
+        let legacy = config.seed ^ m.seed.rotate_left(17) ^ ((8u64) << 48);
+        assert_eq!(module_stream_seed(&config, m, 0, 8), legacy);
+        assert_ne!(module_stream_seed(&config, m, 1, 8), legacy);
     }
 }

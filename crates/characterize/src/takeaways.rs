@@ -36,7 +36,11 @@ impl std::fmt::Display for TakeawayReport {
 pub fn derive_takeaways(observations: &[ObservationReport]) -> Vec<TakeawayReport> {
     let holds = |ids: &[u8]| {
         ids.iter().all(|id| {
-            observations.iter().find(|o| o.id == *id).map(|o| o.holds).unwrap_or(false)
+            observations
+                .iter()
+                .find(|o| o.id == *id)
+                .map(|o| o.holds)
+                .unwrap_or(false)
         })
     };
     let mk = |id: u8, lesson: &str, from: &[u8]| TakeawayReport {
@@ -46,10 +50,22 @@ pub fn derive_takeaways(observations: &[ObservationReport]) -> Vec<TakeawayRepor
         holds: holds(from),
     };
     vec![
-        mk(1, "COTS chips simultaneously activate 2–32 rows at very high success", &[1]),
-        mk(2, "many-row activation is highly resilient to temperature and V_PP", &[3, 4]),
+        mk(
+            1,
+            "COTS chips simultaneously activate 2–32 rows at very high success",
+            &[1],
+        ),
+        mk(
+            2,
+            "many-row activation is highly resilient to temperature and V_PP",
+            &[3, 4],
+        ),
         mk(3, "COTS chips can perform MAJ5, MAJ7, and MAJ9", &[8]),
-        mk(4, "input replication significantly raises MAJX success", &[6, 10]),
+        mk(
+            4,
+            "input replication significantly raises MAJX success",
+            &[6, 10],
+        ),
         mk(
             5,
             "V_PP/temperature barely move MAJX; data pattern moves it a lot",
@@ -75,16 +91,26 @@ mod tests {
         let obs = check_observations(&ExperimentConfig::quick());
         let takeaways = derive_takeaways(&obs);
         assert_eq!(takeaways.len(), 7);
-        let failing: Vec<String> =
-            takeaways.iter().filter(|t| !t.holds).map(|t| t.to_string()).collect();
-        assert!(failing.is_empty(), "takeaways not reproduced:\n{}", failing.join("\n"));
+        let failing: Vec<String> = takeaways
+            .iter()
+            .filter(|t| !t.holds)
+            .map(|t| t.to_string())
+            .collect();
+        assert!(
+            failing.is_empty(),
+            "takeaways not reproduced:\n{}",
+            failing.join("\n")
+        );
     }
 
     #[test]
     fn takeaways_depend_on_their_observations() {
         let mut obs = check_observations(&ExperimentConfig::quick());
         // Break Obs. 1 artificially: Takeaway 1 must fall with it.
-        obs.iter_mut().find(|o| o.id == 1).expect("obs 1 exists").holds = false;
+        obs.iter_mut()
+            .find(|o| o.id == 1)
+            .expect("obs 1 exists")
+            .holds = false;
         let takeaways = derive_takeaways(&obs);
         assert!(!takeaways[0].holds);
         assert!(takeaways[2].holds, "unrelated takeaways stand");

@@ -60,7 +60,7 @@ pub fn frac_row(
     let sa = setup.module_mut().bank_mut(bank)?.subarray(sa_id);
     for col in 0..sa.cols() {
         let residual = gaussian(rng) * sigma;
-        sa.cell_mut(local, col).set_voltage(0.5 + residual as f32);
+        sa.set_cell_voltage(local, col, 0.5 + residual as f32);
     }
     Ok(())
 }

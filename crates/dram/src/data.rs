@@ -372,7 +372,10 @@ mod tests {
             assert_eq!(not.get(i), !a.get(i));
         }
         // Tail bits beyond len stay masked.
-        assert_eq!(or.count_ones(), (0..130).filter(|&i| a.get(i) || b.get(i)).count());
+        assert_eq!(
+            or.count_ones(),
+            (0..130).filter(|&i| a.get(i) || b.get(i)).count()
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! * [`command`] — the DDR command vocabulary,
 //! * [`data`] — data patterns and packed row images,
 //! * [`cell`], [`subarray`], [`bank`], [`module`] — the storage hierarchy,
+//! * [`silicon`] — shared immutable variation planes + the silicon cache,
 //! * [`vendor`] — manufacturer profiles (Mfr. H, Mfr. M, Mfr. S) matching
 //!   Table 1/2 of the paper.
 //!
@@ -39,6 +40,7 @@ pub mod module;
 pub mod protocol;
 pub mod refresh;
 pub mod retention;
+pub mod silicon;
 pub mod spd;
 pub mod subarray;
 pub mod timing;
@@ -53,6 +55,7 @@ pub use geometry::{BankId, ColAddr, Geometry, RowAddr, SubarrayId};
 pub use module::DramModule;
 pub use protocol::{ProtocolChecker, TimingRule, Violation};
 pub use retention::RetentionParams;
+pub use silicon::SiliconPlanes;
 pub use subarray::Subarray;
 pub use timing::TimingParams;
 pub use vendor::{DieRevision, Manufacturer, VendorProfile};

@@ -67,13 +67,12 @@ impl Subarray {
     pub fn decay(&mut self, elapsed_ms: f64, temperature_c: f64, params: RetentionParams) {
         let base = params.survival(elapsed_ms, temperature_c);
         for row in 0..self.rows() {
-            for col in 0..self.cols() {
-                let cell = self.cell(row, col);
+            let (volts, caps, _) = self.row_split_mut(row);
+            for (v, &cap) in volts.iter_mut().zip(caps) {
                 // Leakage current is roughly cap-independent, so the
                 // voltage decay rate goes as 1/C.
-                let factor = base.powf(1.0 / cell.cap_factor().max(0.05) as f64);
-                let v = 0.5 + (cell.voltage() - 0.5) * factor as f32;
-                self.cell_mut(row, col).set_voltage(v);
+                let factor = base.powf(1.0 / cap.max(0.05) as f64);
+                *v = (0.5 + (*v - 0.5) * factor as f32).clamp(0.0, 1.0);
             }
         }
     }
@@ -83,9 +82,8 @@ impl Subarray {
     /// past the sensing midpoint are restored to the *wrong* rail — a
     /// refresh cannot resurrect lost data.
     pub fn refresh_row(&mut self, row: u32) {
-        for col in 0..self.cols() {
-            let bit = self.cell(row, col).as_bit();
-            self.cell_mut(row, col).write_bit(bit);
+        for v in self.row_voltages_mut(row) {
+            *v = if *v > 0.5 { 1.0 } else { 0.0 };
         }
     }
 }

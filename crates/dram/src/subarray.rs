@@ -6,21 +6,23 @@
 //! offset. The same (module-seed, bank, subarray) triple always produces
 //! the same silicon, which is what lets the paper-style "cell is unstable"
 //! classification be meaningful across repeated trials.
+//!
+//! State is stored structure-of-arrays: the immutable variation planes
+//! live in an [`Arc<SiliconPlanes>`] shared through the silicon cache
+//! (see [`crate::silicon`]), while the mutable per-cell voltage plane is
+//! owned. The per-row slice accessors ([`Subarray::row_voltages`] and
+//! friends) are what the charge-sharing hot loops iterate — contiguous,
+//! bounds-checked once per row instead of once per cell.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+use serde::ser::SerializeStruct;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
 use crate::cell::Cell;
 use crate::data::BitRow;
 use crate::error::DramError;
-
-/// Gaussian sample via Box–Muller; avoids pulling in a distributions crate.
-fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
-}
+use crate::silicon::{stamped_planes, SiliconPlanes};
 
 /// Construction parameters for a subarray's process variation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,39 +48,27 @@ impl Default for VariationParams {
 }
 
 /// A DRAM subarray with analog cell state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Subarray {
     rows: u32,
     cols: u32,
-    cells: Vec<Cell>,
-    /// Per-column sense-amplifier input-referred offset (fraction of VDD).
-    sense_offsets: Vec<f32>,
-    /// Per-column deterministic bias direction used when a bitline resolves
-    /// dead-even on biased-sense-amp parts (Mfr. M).
-    bias_direction: Vec<bool>,
+    /// Mutable per-cell normalized voltage plane, row-major.
+    voltage: Vec<f32>,
+    /// Shared immutable variation planes (the "silicon").
+    silicon: Arc<SiliconPlanes>,
 }
 
 impl Subarray {
-    /// Builds a subarray with process variation drawn from `seed`.
+    /// Builds a subarray with process variation drawn from `seed`. The
+    /// variation planes come from the silicon cache: repeated construction
+    /// with the same inputs shares one stamp.
     pub fn new(rows: u32, cols: u32, variation: VariationParams, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let n = rows as usize * cols as usize;
-        let mut cells = Vec::with_capacity(n);
-        for _ in 0..n {
-            let cap = 1.0 + gaussian(&mut rng) * variation.cell_cap_sigma;
-            let strength = 1.0 + gaussian(&mut rng) * variation.cell_strength_sigma;
-            cells.push(Cell::with_variation(0.0, cap, strength));
-        }
-        let sense_offsets = (0..cols)
-            .map(|_| gaussian(&mut rng) * variation.sense_offset_sigma)
-            .collect();
-        let bias_direction = (0..cols).map(|_| rng.gen()).collect();
+        let silicon = stamped_planes(rows, cols, variation, seed);
         Subarray {
             rows,
             cols,
-            cells,
-            sense_offsets,
-            bias_direction,
+            voltage: vec![0.0; rows as usize * cols as usize],
+            silicon,
         }
     }
 
@@ -92,58 +82,161 @@ impl Subarray {
         self.cols
     }
 
-    fn index(&self, row: u32, col: u32) -> usize {
-        debug_assert!(row < self.rows && col < self.cols);
-        row as usize * self.cols as usize + col as usize
+    #[inline]
+    fn check_row(&self, row: u32) {
+        assert!(
+            row < self.rows,
+            "row {row} out of range ({} rows)",
+            self.rows
+        );
     }
 
-    /// Immutable access to a cell.
+    #[inline]
+    fn check(&self, row: u32, col: u32) {
+        self.check_row(row);
+        assert!(
+            col < self.cols,
+            "col {col} out of range ({} cols)",
+            self.cols
+        );
+    }
+
+    #[inline]
+    fn row_range(&self, row: u32) -> std::ops::Range<usize> {
+        let start = row as usize * self.cols as usize;
+        start..start + self.cols as usize
+    }
+
+    /// A snapshot of one cell (voltage + variation factors).
+    ///
+    /// This is the one bounds-checked scalar accessor; hot loops should
+    /// use the per-row slice accessors instead.
     ///
     /// # Panics
     ///
     /// Panics if `row`/`col` are out of range.
     pub fn cell(&self, row: u32, col: u32) -> Cell {
-        assert!(
-            row < self.rows,
-            "row {row} out of range ({} rows)",
-            self.rows
-        );
-        assert!(
-            col < self.cols,
-            "col {col} out of range ({} cols)",
-            self.cols
-        );
-        self.cells[self.index(row, col)]
+        self.check(row, col);
+        let i = row as usize * self.cols as usize + col as usize;
+        Cell::with_variation(
+            self.voltage[i],
+            self.silicon.cap_factors()[i],
+            self.silicon.strength_factors()[i],
+        )
     }
 
-    /// Mutable access to a cell.
+    /// Sets one cell's analog voltage (clamped to `[0, 1]`, like
+    /// [`Cell::set_voltage`]).
     ///
     /// # Panics
     ///
     /// Panics if `row`/`col` are out of range.
-    pub fn cell_mut(&mut self, row: u32, col: u32) -> &mut Cell {
-        assert!(
-            row < self.rows,
-            "row {row} out of range ({} rows)",
-            self.rows
-        );
-        assert!(
-            col < self.cols,
-            "col {col} out of range ({} cols)",
-            self.cols
-        );
-        let i = self.index(row, col);
-        &mut self.cells[i]
+    pub fn set_cell_voltage(&mut self, row: u32, col: u32, voltage: f32) {
+        self.check(row, col);
+        let i = row as usize * self.cols as usize + col as usize;
+        self.voltage[i] = voltage.clamp(0.0, 1.0);
+    }
+
+    /// Fully writes a digital value into one cell (rail restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`col` are out of range.
+    pub fn write_cell_bit(&mut self, row: u32, col: u32, bit: bool) {
+        self.check(row, col);
+        let i = row as usize * self.cols as usize + col as usize;
+        self.voltage[i] = if bit { 1.0 } else { 0.0 };
+    }
+
+    /// One row's voltage plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_voltages(&self, row: u32) -> &[f32] {
+        self.check_row(row);
+        &self.voltage[self.row_range(row)]
+    }
+
+    /// One row's voltage plane, mutably. Writes through this accessor are
+    /// *not* clamped; callers own the physics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_voltages_mut(&mut self, row: u32) -> &mut [f32] {
+        self.check_row(row);
+        let range = self.row_range(row);
+        &mut self.voltage[range]
+    }
+
+    /// One row's capacitance-factor plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_cap_factors(&self, row: u32) -> &[f32] {
+        self.check_row(row);
+        &self.silicon.cap_factors()[self.row_range(row)]
+    }
+
+    /// One row's strength-factor plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_strength_factors(&self, row: u32) -> &[f32] {
+        self.check_row(row);
+        &self.silicon.strength_factors()[self.row_range(row)]
+    }
+
+    /// Splits one row into `(voltages mut, cap factors, strength factors)`
+    /// — the mutable voltage slice and the immutable silicon slices borrow
+    /// disjoint fields, so restore loops can read variation while writing
+    /// charge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_split_mut(&mut self, row: u32) -> (&mut [f32], &[f32], &[f32]) {
+        self.check_row(row);
+        let range = self.row_range(row);
+        (
+            &mut self.voltage[range.clone()],
+            &self.silicon.cap_factors()[range.clone()],
+            &self.silicon.strength_factors()[range],
+        )
     }
 
     /// Per-column sense-amplifier offset.
     pub fn sense_offset(&self, col: u32) -> f32 {
-        self.sense_offsets[col as usize]
+        self.silicon.sense_offsets()[col as usize]
     }
 
     /// Deterministic resolve direction for dead-even bitlines (Mfr. M).
     pub fn bias_direction(&self, col: u32) -> bool {
-        self.bias_direction[col as usize]
+        self.silicon.bias_directions()[col as usize]
+    }
+
+    /// All per-column sense-amplifier offsets.
+    pub fn sense_offsets(&self) -> &[f32] {
+        self.silicon.sense_offsets()
+    }
+
+    /// All per-column dead-even resolve directions.
+    pub fn bias_directions(&self) -> &[bool] {
+        self.silicon.bias_directions()
+    }
+
+    /// The shared silicon planes (for cache accounting / tests).
+    pub fn silicon(&self) -> &Arc<SiliconPlanes> {
+        &self.silicon
+    }
+
+    /// Discharges every cell to 0 V, keeping the silicon: the cheap way to
+    /// reuse a subarray for a fresh sweep point.
+    pub fn reset_voltages(&mut self) {
+        self.voltage.fill(0.0);
     }
 
     /// Fully writes a digital image into a row (rail-to-rail restore).
@@ -165,9 +258,9 @@ impl Subarray {
                 expected: self.cols as usize,
             });
         }
-        for col in 0..self.cols {
-            let i = self.index(row, col);
-            self.cells[i].write_bit(image.get(col as usize));
+        let range = self.row_range(row);
+        for (col, v) in self.voltage[range].iter_mut().enumerate() {
+            *v = if image.get(col) { 1.0 } else { 0.0 };
         }
         Ok(())
     }
@@ -185,7 +278,7 @@ impl Subarray {
             });
         }
         Ok(BitRow::from_bits(
-            (0..self.cols).map(|c| self.cell(row, c).as_bit()),
+            self.voltage[self.row_range(row)].iter().map(|&v| v > 0.5),
         ))
     }
 
@@ -201,11 +294,58 @@ impl Subarray {
                 rows_in_bank: self.rows,
             });
         }
-        for col in 0..self.cols {
-            let i = self.index(row, col);
-            self.cells[i].set_voltage(voltage);
-        }
+        let clamped = voltage.clamp(0.0, 1.0);
+        let range = self.row_range(row);
+        self.voltage[range].fill(clamped);
         Ok(())
+    }
+}
+
+// Hand-written serde: the workspace's serde does not enable the `rc`
+// feature, so `Arc<SiliconPlanes>` cannot be derived. Serialization
+// inlines the planes; deserialization re-wraps them in a fresh `Arc`
+// (round-tripped subarrays own their silicon rather than joining the
+// cache — equality still holds, sharing does not).
+impl Serialize for Subarray {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("Subarray", 4)?;
+        s.serialize_field("rows", &self.rows)?;
+        s.serialize_field("cols", &self.cols)?;
+        s.serialize_field("voltage", &self.voltage)?;
+        s.serialize_field("silicon", self.silicon.as_ref())?;
+        s.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Subarray {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        #[serde(rename = "Subarray")]
+        struct Repr {
+            rows: u32,
+            cols: u32,
+            voltage: Vec<f32>,
+            silicon: SiliconPlanes,
+        }
+        let r = Repr::deserialize(deserializer)?;
+        let n = r.rows as usize * r.cols as usize;
+        if r.voltage.len() != n {
+            return Err(serde::de::Error::custom(format!(
+                "voltage plane has {} cells, geometry wants {n}",
+                r.voltage.len()
+            )));
+        }
+        if r.silicon.rows() != r.rows || r.silicon.cols() != r.cols {
+            return Err(serde::de::Error::custom(
+                "silicon plane shape does not match subarray geometry",
+            ));
+        }
+        Ok(Subarray {
+            rows: r.rows,
+            cols: r.cols,
+            voltage: r.voltage,
+            silicon: Arc::new(r.silicon),
+        })
     }
 }
 
@@ -236,6 +376,16 @@ mod tests {
         assert_eq!(a, b);
         let c = Subarray::new(8, 32, VariationParams::default(), 8);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn same_seed_shares_silicon() {
+        let a = Subarray::new(8, 32, VariationParams::default(), 7);
+        let b = Subarray::new(8, 32, VariationParams::default(), 7);
+        assert!(
+            Arc::ptr_eq(a.silicon(), b.silicon()),
+            "twin subarrays must share one silicon stamp"
+        );
     }
 
     #[test]
@@ -283,5 +433,65 @@ mod tests {
         for c in 0..sa.cols() {
             assert!(sa.cell(2, c).is_neutral(1e-6));
         }
+    }
+
+    #[test]
+    fn slice_accessors_agree_with_cell() {
+        let mut sa = small();
+        sa.write_row(5, &BitRow::ones(64)).unwrap();
+        let volts = sa.row_voltages(5).to_vec();
+        let caps = sa.row_cap_factors(5).to_vec();
+        let strengths = sa.row_strength_factors(5).to_vec();
+        for c in 0..sa.cols() {
+            let cell = sa.cell(5, c);
+            assert_eq!(volts[c as usize], cell.voltage());
+            assert_eq!(caps[c as usize], cell.cap_factor());
+            assert_eq!(strengths[c as usize], cell.strength_factor());
+        }
+        let (v_mut, caps2, strengths2) = sa.row_split_mut(5);
+        assert_eq!(v_mut, &volts[..]);
+        assert_eq!(caps2, &caps[..]);
+        assert_eq!(strengths2, &strengths[..]);
+    }
+
+    #[test]
+    fn scalar_mutators_match_cell_semantics() {
+        let mut sa = small();
+        sa.set_cell_voltage(0, 0, 1.7);
+        assert_eq!(sa.cell(0, 0).voltage(), 1.0, "set_cell_voltage clamps");
+        sa.set_cell_voltage(0, 0, -0.3);
+        assert_eq!(sa.cell(0, 0).voltage(), 0.0);
+        sa.write_cell_bit(0, 1, true);
+        assert!(sa.cell(0, 1).as_bit());
+        sa.write_cell_bit(0, 1, false);
+        assert!(!sa.cell(0, 1).as_bit());
+    }
+
+    #[test]
+    fn reset_voltages_keeps_silicon() {
+        let mut sa = small();
+        sa.write_row(0, &BitRow::ones(64)).unwrap();
+        let caps_before = sa.row_cap_factors(0).to_vec();
+        sa.reset_voltages();
+        assert_eq!(sa.read_row(0).unwrap().count_ones(), 0);
+        assert_eq!(sa.row_cap_factors(0), &caps_before[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 16 out of range")]
+    fn out_of_range_row_access_panics() {
+        let _ = small().cell(16, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "col 64 out of range")]
+    fn out_of_range_col_access_panics() {
+        let _ = small().cell(0, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 16 out of range")]
+    fn out_of_range_row_slice_panics() {
+        let _ = small().row_voltages(16).len();
     }
 }

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (label, apa) in [
         ("MAJ timing      (1.5, 3)", ApaTiming::best_for_majx()),
-        ("Multi-RowCopy   (36, 3)", ApaTiming::best_for_multi_row_copy()),
+        (
+            "Multi-RowCopy   (36, 3)",
+            ApaTiming::best_for_multi_row_copy(),
+        ),
         ("RowClone        (36, 6)", ApaTiming::row_clone()),
     ] {
         // Fresh data: row 0 all-1s, rows 1..8 all-0s.
@@ -31,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let program = BenderProgram::apa(bank, RowAddr::new(0), RowAddr::new(7), apa, &timing);
         let run = setup.run_program(&program, None)?;
 
-        println!("{label}: {} commands, {:.1} ns", run.commands, run.latency_ns);
+        println!(
+            "{label}: {} commands, {:.1} ns",
+            run.commands, run.latency_ns
+        );
         for v in &run.violations {
             println!("   {v}");
         }
