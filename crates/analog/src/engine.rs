@@ -281,6 +281,9 @@ impl ApaEngine {
                     }
                 }
             }
+            // A fault overlay's stuck cells shrug off the restore drive
+            // entirely; re-assert them after the row's write completes.
+            subarray.pin_row_faults(row);
         }
         failures
     }

@@ -2,14 +2,18 @@
 //! prints them as text tables (the data behind EXPERIMENTS.md).
 //!
 //! Usage:
-//!   repro                    # reduced scale (default; minutes)
-//!   repro quick              # smoke scale (seconds)
-//!   repro paper              # the paper's full population (hours)
-//!   repro <scale> --timings  # also print per-figure wall-clock to stderr
+//!   repro                         # reduced scale (default; minutes)
+//!   repro quick                   # smoke scale (seconds)
+//!   repro paper                   # the paper's full population (hours)
+//!   repro <scale> --timings       # also print per-figure wall-clock to stderr
+//!   repro <scale> --faults <name> # arm a fault-injection preset
+//!                                 # (quick | dropout | chaos)
 //!
 //! `--timings` writes to stderr so the figure tables on stdout stay
 //! byte-identical with and without it — perf attribution must never
-//! change the scientific output.
+//! change the scientific output. `--faults` deliberately *does* change
+//! it (that is the point); the run footer then reports fleet coverage
+//! and the quorum-adjusted scoreboard threshold.
 
 use std::time::Instant;
 
@@ -21,6 +25,7 @@ use simra_characterize::{
     ExperimentConfig,
 };
 use simra_dram::VendorProfile;
+use simra_faults::FaultPlan;
 
 /// Runs one named stage, reporting its wall-clock to stderr when enabled.
 fn timed<T>(timings: bool, label: &str, f: impl FnOnce() -> T) -> T {
@@ -34,17 +39,45 @@ fn timed<T>(timings: bool, label: &str, f: impl FnOnce() -> T) -> T {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let timings = args.iter().any(|a| a == "--timings");
-    let scale = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "reduced".into());
-    let config = match scale.as_str() {
+    let mut timings = false;
+    let mut scale: Option<String> = None;
+    let mut faults_preset: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--timings" => timings = true,
+            "--faults" => match iter.next() {
+                Some(name) => faults_preset = Some(name.clone()),
+                None => {
+                    eprintln!("--faults requires a preset name (quick | dropout | chaos)");
+                    std::process::exit(2);
+                }
+            },
+            other if !other.starts_with("--") => scale = Some(other.to_string()),
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let scale = scale.unwrap_or_else(|| "reduced".into());
+    let mut config = match scale.as_str() {
         "quick" => ExperimentConfig::quick(),
         "paper" => ExperimentConfig::paper_scale(),
         _ => ExperimentConfig::reduced(),
     };
+    if let Some(name) = &faults_preset {
+        match FaultPlan::preset(name, config.modules.len()) {
+            Some(plan) => {
+                eprintln!("# faults: {name} — {}", plan.describe());
+                config.faults = Some(plan);
+            }
+            None => {
+                eprintln!("unknown fault preset: {name} (expected quick | dropout | chaos)");
+                std::process::exit(2);
+            }
+        }
+    }
     eprintln!("# scale: {scale} — {}", config.describe_scale());
     let total = Instant::now();
 
@@ -96,6 +129,19 @@ fn main() {
         println!("{t}");
     }
     println!("--- {t_held}/7 takeaways reproduced at this scale ---");
+
+    // Coverage accounting only prints under fault injection, so a
+    // fault-free run's stdout stays byte-identical to older builds.
+    if faults_preset.is_some() {
+        let (coverage, failures) = simra_characterize::take_session_coverage();
+        println!("\n=== Fleet coverage under fault injection ===");
+        println!("{}", coverage.describe());
+        for line in &failures {
+            println!("{line}");
+        }
+        let quorum = simra_characterize::scoreboard_quorum(18, coverage.completed, coverage.tasks);
+        println!("--- quorum-adjusted threshold: {quorum}/18 ---");
+    }
 
     if timings {
         eprintln!("[timing] total: {:.3} s", total.elapsed().as_secs_f64());

@@ -88,8 +88,18 @@ impl TestSetup {
 
         for instr in program.instrs() {
             match instr {
-                BenderInstr::WaitNs(ns) => clock_ns += ns,
+                BenderInstr::WaitNs(ns) => {
+                    if *ns < 0.0 {
+                        return Err(SequencerError::NegativeWait { ns: *ns });
+                    }
+                    clock_ns += ns;
+                }
                 BenderInstr::Command(cmd) => {
+                    // Validate the bank before the checker sees the
+                    // command: the checker's bookkeeping is indexed by
+                    // bank and treats an out-of-range id as a harness
+                    // bug, not a device error.
+                    self.module().bank(cmd.bank())?;
                     checker.observe(clock_ns, *cmd);
                     commands += 1;
                     // Commands are instantaneous on the clock; the 1.5 ns
@@ -393,6 +403,37 @@ mod tests {
         let run = s.run_program(&p, None).unwrap();
         assert!(run.violations.is_empty() && run.state_errors == 0);
         assert_eq!(run.reads, vec![img]);
+    }
+
+    #[test]
+    fn negative_wait_is_a_typed_error() {
+        let mut s = setup();
+        let mut p = BenderProgram::new();
+        p.command(Command::Activate {
+            bank: BankId::new(0),
+            row: RowAddr::new(0),
+        })
+        .wait_ns(-5.0)
+        .command(Command::Precharge {
+            bank: BankId::new(0),
+        });
+        let err = s.run_program(&p, None).unwrap_err();
+        assert!(
+            matches!(err, SequencerError::NegativeWait { ns } if ns == -5.0),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_bank_is_a_typed_error() {
+        let mut s = setup();
+        let mut p = BenderProgram::new();
+        p.command(Command::Activate {
+            bank: BankId::new(99),
+            row: RowAddr::new(0),
+        });
+        let err = s.run_program(&p, None).unwrap_err();
+        assert!(matches!(err, SequencerError::Dram(_)), "{err:?}");
     }
 
     #[test]

@@ -18,6 +18,12 @@ pub enum SequencerError {
         /// Subarray of `R_S`.
         second: SubarrayId,
     },
+    /// A program asked to wait a negative duration; the interpreter's
+    /// clock (and the protocol checker behind it) only runs forwards.
+    NegativeWait {
+        /// The offending wait (ns).
+        ns: f64,
+    },
     /// Underlying device error.
     Dram(DramError),
 }
@@ -28,6 +34,12 @@ impl std::fmt::Display for SequencerError {
             SequencerError::CrossSubarray { first, second } => {
                 write!(f, "APA targets span subarrays {first} and {second}")
             }
+            SequencerError::NegativeWait { ns } => {
+                write!(
+                    f,
+                    "negative wait of {ns} ns would run the program clock backwards"
+                )
+            }
             SequencerError::Dram(e) => write!(f, "device error: {e}"),
         }
     }
@@ -37,7 +49,7 @@ impl std::error::Error for SequencerError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SequencerError::Dram(e) => Some(e),
-            SequencerError::CrossSubarray { .. } => None,
+            SequencerError::CrossSubarray { .. } | SequencerError::NegativeWait { .. } => None,
         }
     }
 }
@@ -112,7 +124,8 @@ impl TestSetup {
     ///
     /// # Errors
     ///
-    /// Propagates APA resolution errors.
+    /// Propagates APA resolution errors; rejects a `pattern` narrower or
+    /// wider than the module's rows.
     pub fn apa_then_write(
         &mut self,
         bank: BankId,
@@ -121,6 +134,13 @@ impl TestSetup {
         timing: ApaTiming,
         pattern: &BitRow,
     ) -> Result<(SubarrayId, ApaOutcome), SequencerError> {
+        let expected = self.module().geometry().cols_per_row as usize;
+        if pattern.len() != expected {
+            return Err(SequencerError::Dram(DramError::WidthMismatch {
+                got: pattern.len(),
+                expected,
+            }));
+        }
         let (sa, outcome) = self.resolve_apa(bank, r_f, r_s, timing)?;
         let engine = self.engine();
         let restore = engine.params().restore_strength(timing, self.conditions());
@@ -182,6 +202,64 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, SequencerError::Dram(_)));
+    }
+
+    #[test]
+    fn mismatched_pattern_width_is_a_typed_error() {
+        let mut s = setup();
+        let err = s
+            .apa_then_write(
+                BankId::new(0),
+                RowAddr::new(0),
+                RowAddr::new(7),
+                ApaTiming::from_ns(3.0, 3.0),
+                &BitRow::ones(8),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SequencerError::Dram(DramError::WidthMismatch { got: 8, .. })
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn error_display_is_lowercase_and_concise() {
+        // Mirrors the style checks in simra_dram::error: every variant
+        // renders a short lowercase message a CLI can print verbatim.
+        let errors: Vec<SequencerError> = vec![
+            SequencerError::CrossSubarray {
+                first: SubarrayId::new(0),
+                second: SubarrayId::new(1),
+            },
+            SequencerError::NegativeWait { ns: -3.0 },
+            SequencerError::Dram(DramError::WidthMismatch {
+                got: 8,
+                expected: 256,
+            }),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty() && msg.len() < 120, "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+        let negative = SequencerError::NegativeWait { ns: -3.0 }.to_string();
+        assert!(negative.starts_with("negative wait of -3"), "{negative}");
+    }
+
+    #[test]
+    fn error_source_chain_reaches_device_errors() {
+        use std::error::Error;
+        let e = SequencerError::Dram(DramError::WidthMismatch {
+            got: 8,
+            expected: 256,
+        });
+        assert!(e.source().is_some());
+        assert!(SequencerError::NegativeWait { ns: -1.0 }.source().is_none());
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SequencerError>();
     }
 
     #[test]

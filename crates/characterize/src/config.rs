@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use simra_dram::vendor::{paper_fleet, VendorProfile};
+use simra_faults::FaultPlan;
 
 /// One module to mount in the (virtual) rig.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -26,6 +27,11 @@ pub struct ExperimentConfig {
     pub groups_per_subarray: usize,
     /// Experiment RNG seed.
     pub seed: u64,
+    /// Optional fault-injection plan. `None` (the default) runs pristine
+    /// silicon on the fault-free executor path — byte-identical to builds
+    /// that predate fault injection.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub faults: Option<FaultPlan>,
 }
 
 impl ExperimentConfig {
@@ -47,6 +53,7 @@ impl ExperimentConfig {
             subarrays_per_bank: 2,
             groups_per_subarray: 4,
             seed: 0xD5A,
+            faults: None,
         }
     }
 
@@ -62,6 +69,7 @@ impl ExperimentConfig {
             subarrays_per_bank: 1,
             groups_per_subarray: 3,
             seed: 0xD5A,
+            faults: None,
         }
     }
 
@@ -86,6 +94,7 @@ impl ExperimentConfig {
             subarrays_per_bank: 3,
             groups_per_subarray: 100,
             seed: 0xD5A,
+            faults: None,
         }
     }
 
@@ -99,13 +108,18 @@ impl ExperimentConfig {
     pub fn describe_scale(&self) -> String {
         let per_module = self.groups_per_module();
         let paper_per_module = 16 * 3 * 100;
-        format!(
+        let mut s = format!(
             "{} module(s), {} groups per (module, N) point ({}x reduction vs the paper's {} groups over 18 modules)",
             self.modules.len(),
             per_module,
             paper_per_module / per_module.max(1),
             paper_per_module,
-        )
+        );
+        if let Some(plan) = self.faults.as_ref().filter(|p| !p.is_empty()) {
+            s.push_str("; faults: ");
+            s.push_str(&plan.describe());
+        }
+        s
     }
 }
 
@@ -140,6 +154,19 @@ mod tests {
         let c = ExperimentConfig::quick();
         let s = c.describe_scale();
         assert!(s.contains("reduction"), "{s}");
+    }
+
+    #[test]
+    fn scale_description_mentions_faults_only_when_present() {
+        let mut c = ExperimentConfig::quick();
+        assert!(!c.describe_scale().contains("faults"));
+        c.faults = Some(FaultPlan::default());
+        assert!(
+            !c.describe_scale().contains("faults"),
+            "an empty plan is not worth announcing"
+        );
+        c.faults = FaultPlan::preset("quick", c.modules.len());
+        assert!(c.describe_scale().contains("faults"));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Parallel execution of one experiment across the module fleet.
 //!
 //! Work is one *task per module*, executed by a bounded work-stealing
-//! pool: `available_parallelism` workers pull module tasks from a shared
+//! pool: `available_parallelism` workers (overridable via the
+//! `SIMRA_THREADS` environment variable) pull module tasks from a shared
 //! injector and steal from each other, so a paper-scale run (18 modules,
 //! or hundreds in a scaled-up fleet) never spawns more threads than the
 //! host has cores — unlike the previous design, which scoped one
@@ -20,20 +21,53 @@
 //! ([`collect_group_samples_serial`]) regardless of scheduling, because
 //! every task writes into a slot pre-indexed by module position.
 //!
+//! # Hardening
+//!
+//! A real 18-module rig loses modules mid-sweep: a DIMM drops off the
+//! bus, a harness script crashes, a thermal chamber stalls. The executor
+//! models all three through [`simra_faults::FaultPlan`] and survives
+//! them:
+//!
+//! * **panic isolation** — each attempt runs under `catch_unwind`, so
+//!   one module's crash can neither poison a worker thread nor take the
+//!   fleet down;
+//! * **bounded retry** — failed attempts are retried up to
+//!   [`FleetPolicy::max_attempts`], with exponential backoff *charged*
+//!   to the task's time budget (never slept: determinism over realism);
+//! * **deadlines** — an optional per-task wall-clock budget is checked
+//!   between row groups against a [`FleetClock`] (the injectable
+//!   [`MockClock`] makes deadline outcomes deterministic in tests);
+//!   blowing the budget is fatal, not retried;
+//! * **graceful degradation** — [`run_fleet`] returns a [`FleetOutcome`]
+//!   with one [`ModuleResult`] slot per module, completed or failed, so
+//!   reports can compute statistics over the surviving quorum and say
+//!   exactly which modules dropped and why.
+//!
+//! An empty (or absent) fault plan takes the exact fault-free code path:
+//! no fault RNG stream is ever consulted, and output stays byte-identical
+//! to builds that predate fault injection.
+//!
 //! Each task mounts a fresh [`TestSetup`]; that is cheap because module
 //! construction only creates empty lazy banks and subarray materialization
 //! hits the silicon cache (`simra_dram::silicon`), which shares one
 //! variation stamp per (seed, bank, subarray) across the whole sweep.
 
 use std::num::NonZeroUsize;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use simra_analog::params::NOMINAL_VPP;
+use simra_bender::setup::VPP_RANGE_V;
 use simra_bender::TestSetup;
 use simra_core::rowgroup::{sample_groups, GroupSpec};
 use simra_dram::DramModule;
+use simra_faults::{FaultPlan, ModuleFaultKind};
 
 use crate::config::{ExperimentConfig, ModuleUnderTest};
 
@@ -54,6 +88,207 @@ fn module_stream_seed(
         ^ module.seed.rotate_left(17)
         ^ ((n as u64) << 48)
         ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// A time source for deadline enforcement. [`SystemClock`] is the real
+/// thing; [`MockClock`] never advances unless told to, which makes
+/// deadline outcomes identical across machines, worker counts, and runs.
+pub trait FleetClock: Sync {
+    /// Milliseconds since some fixed origin.
+    fn now_ms(&self) -> f64;
+}
+
+/// Wall-clock time, measured from construction.
+#[derive(Debug)]
+pub struct SystemClock(Instant);
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock(Instant::now())
+    }
+}
+
+impl FleetClock for SystemClock {
+    fn now_ms(&self) -> f64 {
+        self.0.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+/// A manually advanced clock (microsecond resolution). Time stands still
+/// until a test calls [`MockClock::advance_ms`], so only *charged* time —
+/// backoff and injected stalls — can ever trip a deadline.
+#[derive(Debug, Default)]
+pub struct MockClock(AtomicU64);
+
+impl MockClock {
+    /// A clock frozen at zero.
+    pub fn new() -> Self {
+        MockClock::default()
+    }
+
+    /// Moves time forward by `ms` milliseconds.
+    pub fn advance_ms(&self, ms: f64) {
+        self.0.fetch_add((ms * 1e3) as u64, Ordering::Relaxed);
+    }
+}
+
+impl FleetClock for MockClock {
+    fn now_ms(&self) -> f64 {
+        self.0.load(Ordering::Relaxed) as f64 / 1e3
+    }
+}
+
+/// Retry and deadline policy for module tasks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetPolicy {
+    /// Attempts per module task (first try included). Minimum 1.
+    pub max_attempts: u32,
+    /// Base of the exponential backoff charged before retry `k`:
+    /// `backoff_base_ms · 2^(k−2)` for k ≥ 2. The charge counts against
+    /// the deadline budget but is never actually slept, so retries stay
+    /// deterministic and fast.
+    pub backoff_base_ms: f64,
+    /// Per-task wall-clock budget (ms); `None` disables deadlines.
+    pub deadline_ms: Option<f64>,
+}
+
+impl Default for FleetPolicy {
+    fn default() -> Self {
+        FleetPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 10.0,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Why a module task ultimately failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureCause {
+    /// The task panicked on its final attempt; payload message attached.
+    Panic(String),
+    /// The module stopped responding at the given group index.
+    Dropout {
+        /// Group index at which the module went silent.
+        at_group: usize,
+    },
+    /// The task blew its wall-clock budget. Fatal on first occurrence —
+    /// retrying a task that is already over budget only digs the hole
+    /// deeper.
+    DeadlineExceeded {
+        /// The configured budget (ms).
+        budget_ms: f64,
+        /// Time charged when the check fired (ms).
+        spent_ms: f64,
+    },
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureCause::Panic(msg) => write!(f, "panicked: {msg}"),
+            FailureCause::Dropout { at_group } => {
+                write!(f, "dropped out at group {at_group}")
+            }
+            FailureCause::DeadlineExceeded {
+                budget_ms,
+                spent_ms,
+            } => write!(
+                f,
+                "exceeded deadline ({spent_ms:.1} ms spent of {budget_ms:.1} ms)"
+            ),
+        }
+    }
+}
+
+/// The fate of one module's task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModuleResult {
+    /// The task produced its samples (possibly after retries).
+    Completed {
+        /// Per-group success rates, in group order.
+        samples: Vec<f64>,
+        /// Attempts consumed (1 = first try succeeded).
+        attempts: u32,
+    },
+    /// The task was given up on.
+    Failed {
+        /// Attempts consumed.
+        attempts: u32,
+        /// Terminal failure cause.
+        cause: FailureCause,
+    },
+}
+
+/// Per-module results of one fleet run, indexed by module position. No
+/// slot is ever lost: a module that failed is *reported* failed, not
+/// silently dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// One result per configured module, in `config.modules` order.
+    pub slots: Vec<ModuleResult>,
+}
+
+impl FleetOutcome {
+    /// All samples from completed modules, ordered by module then group.
+    pub fn samples(&self) -> Vec<f64> {
+        self.slots
+            .iter()
+            .filter_map(|slot| match slot {
+                ModuleResult::Completed { samples, .. } => Some(samples.as_slice()),
+                ModuleResult::Failed { .. } => None,
+            })
+            .flatten()
+            .copied()
+            .collect()
+    }
+
+    /// Consuming variant of [`FleetOutcome::samples`].
+    pub fn into_samples(self) -> Vec<f64> {
+        self.slots
+            .into_iter()
+            .filter_map(|slot| match slot {
+                ModuleResult::Completed { samples, .. } => Some(samples),
+                ModuleResult::Failed { .. } => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    /// Number of modules that completed.
+    pub fn ok_modules(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, ModuleResult::Completed { .. }))
+            .count()
+    }
+
+    /// One-line summary naming every failed module and its cause.
+    pub fn describe(&self) -> String {
+        let mut s = format!(
+            "{}/{} modules completed",
+            self.ok_modules(),
+            self.slots.len()
+        );
+        for (index, slot) in self.slots.iter().enumerate() {
+            if let ModuleResult::Failed { attempts, cause } = slot {
+                s.push_str(&format!(
+                    "; module {index} {cause} after {attempts} attempts"
+                ));
+            }
+        }
+        s
+    }
+}
+
+/// Everything a module task needs, shared read-only across workers.
+struct TaskCtx<'a, F> {
+    config: &'a ExperimentConfig,
+    plan: &'a FaultPlan,
+    policy: FleetPolicy,
+    clock: &'a dyn FleetClock,
+    n: u32,
+    op: &'a F,
 }
 
 /// Runs one module's full task: mount the module, seed its stream, sample
@@ -80,11 +315,154 @@ where
         .collect()
 }
 
-/// Worker count: one per core, never more than there are module tasks.
+/// One attempt at one module task, with the plan's faults armed. The RNG
+/// stream and group sample are identical to [`run_module`]; faults only
+/// ever *interrupt* the stream (dropout, panic, deadline) or perturb the
+/// rig (cell overlay, V_PP droop), never consume from it.
+fn run_module_faulted<F>(
+    ctx: &TaskCtx<'_, F>,
+    index: usize,
+    attempt: u32,
+    carried_ms: f64,
+    started_ms: f64,
+) -> Result<Vec<f64>, FailureCause>
+where
+    F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>,
+{
+    let config = ctx.config;
+    let module = &config.modules[index];
+    let mut dram = DramModule::new(module.profile.clone(), module.seed);
+    if let Some(spec) = ctx.plan.cell_spec() {
+        dram.set_fault_spec(Some(spec));
+    }
+    let mut setup = TestSetup::with_module(dram);
+    let mut rng = StdRng::seed_from_u64(module_stream_seed(config, module, index, ctx.n));
+    let groups = sample_groups(
+        setup.module().geometry(),
+        ctx.n,
+        config.banks,
+        config.subarrays_per_bank,
+        config.groups_per_subarray,
+        &mut rng,
+    );
+    let faults = ctx.plan.module_faults(index);
+    let mut samples = Vec::new();
+    let mut stalled_ms = 0.0;
+    for (group_index, group) in groups.iter().enumerate() {
+        for kind in &faults {
+            match *kind {
+                ModuleFaultKind::Dropout {
+                    at_group,
+                    recover_after_attempts,
+                } if group_index == at_group => {
+                    let still_faulty = match recover_after_attempts {
+                        Some(k) => attempt <= k,
+                        None => true,
+                    };
+                    if still_faulty {
+                        return Err(FailureCause::Dropout { at_group });
+                    }
+                }
+                ModuleFaultKind::PanicAt { at_group }
+                    if group_index == at_group && attempt == 1 =>
+                {
+                    panic!("injected fault: module {index} panicked at group {at_group}");
+                }
+                ModuleFaultKind::Hang { at_group, stall_ms } if group_index == at_group => {
+                    // Charged, not slept: the stall counts against the
+                    // deadline budget without making the test suite wait.
+                    stalled_ms += stall_ms;
+                }
+                _ => {}
+            }
+        }
+        if let Some(budget_ms) = ctx.policy.deadline_ms {
+            let spent_ms = carried_ms + stalled_ms + (ctx.clock.now_ms() - started_ms);
+            if spent_ms > budget_ms {
+                return Err(FailureCause::DeadlineExceeded {
+                    budget_ms,
+                    spent_ms,
+                });
+            }
+        }
+        if let Some(droop) = ctx.plan.vpp_droop {
+            let vpp = if (droop.from_group..droop.to_group).contains(&group_index) {
+                (NOMINAL_VPP - droop.delta_v).max(VPP_RANGE_V.0)
+            } else {
+                NOMINAL_VPP
+            };
+            setup
+                .set_vpp(vpp)
+                .expect("droop voltage is clamped into the supply range");
+        }
+        if let Some(sample) = (ctx.op)(&mut setup, group, &mut rng) {
+            samples.push(sample);
+        }
+    }
+    Ok(samples)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Drives one module slot to a terminal [`ModuleResult`]: attempt,
+/// isolate panics, retry with charged backoff, give up on deadline or
+/// attempt exhaustion.
+fn run_slot<F>(ctx: &TaskCtx<'_, F>, index: usize) -> ModuleResult
+where
+    F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>,
+{
+    let mut carried_ms = 0.0;
+    let mut attempt = 1u32;
+    loop {
+        if attempt > 1 {
+            carried_ms += ctx.policy.backoff_base_ms * f64::from(1u32 << (attempt - 2));
+        }
+        let started_ms = ctx.clock.now_ms();
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_module_faulted(ctx, index, attempt, carried_ms, started_ms)
+        }));
+        let cause = match outcome {
+            Ok(Ok(samples)) => {
+                return ModuleResult::Completed {
+                    samples,
+                    attempts: attempt,
+                }
+            }
+            Ok(Err(cause)) => cause,
+            Err(payload) => FailureCause::Panic(panic_message(payload.as_ref())),
+        };
+        let fatal = matches!(cause, FailureCause::DeadlineExceeded { .. });
+        if fatal || attempt >= ctx.policy.max_attempts.max(1) {
+            return ModuleResult::Failed {
+                attempts: attempt,
+                cause,
+            };
+        }
+        attempt += 1;
+    }
+}
+
+/// Worker count: `SIMRA_THREADS` if set (clamped to ≥ 1), else one per
+/// core; never more than there are module tasks.
 fn executor_threads(tasks: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    std::env::var("SIMRA_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|v| v.max(1))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
         .min(tasks)
         .max(1)
 }
@@ -123,21 +501,35 @@ fn next_task(
     }
 }
 
-/// Executes every module task on the stealing pool; results land in slots
-/// indexed by module position, so ordering is schedule-independent.
-fn run_stealing<F>(config: &ExperimentConfig, n: u32, workers: usize, op: &F) -> Vec<Vec<f64>>
+/// Serial execution of every slot on the calling thread.
+fn run_serial_outcome<F>(ctx: &TaskCtx<'_, F>) -> FleetOutcome
+where
+    F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>,
+{
+    FleetOutcome {
+        slots: (0..ctx.config.modules.len())
+            .map(|index| run_slot(ctx, index))
+            .collect(),
+    }
+}
+
+/// Executes every slot on the stealing pool; results land in slots
+/// indexed by module position, so ordering is schedule-independent, and
+/// the slot count is asserted so a scheduling bug can lose work loudly,
+/// never silently.
+fn run_stealing_outcome<F>(ctx: &TaskCtx<'_, F>, workers: usize) -> FleetOutcome
 where
     F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
-    let tasks = config.modules.len();
+    let tasks = ctx.config.modules.len();
     let injector = Injector::new();
     for index in 0..tasks {
         injector.push(index);
     }
     let locals: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_fifo()).collect();
     let stealers: Vec<Stealer<usize>> = locals.iter().map(Worker::stealer).collect();
-    let mut slots: Vec<Vec<f64>> = vec![Vec::new(); tasks];
-    let finished: Vec<Vec<(usize, Vec<f64>)>> = crossbeam::thread::scope(|scope| {
+    let mut slots: Vec<Option<ModuleResult>> = vec![None; tasks];
+    let finished: Vec<Vec<(usize, ModuleResult)>> = crossbeam::thread::scope(|scope| {
         let injector = &injector;
         let stealers = &stealers[..];
         let handles: Vec<_> = locals
@@ -147,7 +539,7 @@ where
                 scope.spawn(move |_| {
                     let mut done = Vec::new();
                     while let Some(index) = next_task(&local, injector, stealers, id) {
-                        done.push((index, run_module(config, index, n, op)));
+                        done.push((index, run_slot(ctx, index)));
                     }
                     done
                 })
@@ -159,10 +551,144 @@ where
             .collect()
     })
     .expect("crossbeam scope");
-    for (index, samples) in finished.into_iter().flatten() {
-        slots[index] = samples;
+    for (index, result) in finished.into_iter().flatten() {
+        slots[index] = Some(result);
     }
-    slots
+    FleetOutcome {
+        slots: slots
+            .into_iter()
+            .map(|s| s.expect("fleet lost a module slot"))
+            .collect(),
+    }
+}
+
+/// Session-wide coverage accounting: how many module tasks ran, completed,
+/// needed retries, or failed — across every fleet run of the process.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FleetCoverage {
+    /// Module tasks executed.
+    pub tasks: usize,
+    /// Tasks that completed (any number of attempts).
+    pub completed: usize,
+    /// Completed tasks that needed more than one attempt.
+    pub retried: usize,
+    /// Tasks given up on.
+    pub failed: usize,
+}
+
+impl FleetCoverage {
+    /// One-line summary for run footers.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}/{} module tasks completed ({} retried, {} failed)",
+            self.completed, self.tasks, self.retried, self.failed
+        )
+    }
+}
+
+#[derive(Default)]
+struct SessionCoverage {
+    coverage: FleetCoverage,
+    failures: Vec<String>,
+}
+
+/// Cap on retained failure lines — coverage must not grow without bound
+/// under a pathological plan.
+const SESSION_FAILURE_CAP: usize = 32;
+
+static SESSION: OnceLock<Mutex<SessionCoverage>> = OnceLock::new();
+
+fn session() -> &'static Mutex<SessionCoverage> {
+    SESSION.get_or_init(|| Mutex::new(SessionCoverage::default()))
+}
+
+fn record_session(outcome: &FleetOutcome) {
+    let mut s = session().lock().expect("fleet session coverage poisoned");
+    for (index, slot) in outcome.slots.iter().enumerate() {
+        s.coverage.tasks += 1;
+        match slot {
+            ModuleResult::Completed { attempts, .. } => {
+                s.coverage.completed += 1;
+                if *attempts > 1 {
+                    s.coverage.retried += 1;
+                }
+            }
+            ModuleResult::Failed { attempts, cause } => {
+                s.coverage.failed += 1;
+                if s.failures.len() < SESSION_FAILURE_CAP {
+                    s.failures.push(format!(
+                        "module {index}: {cause} after {attempts} attempt(s)"
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Returns and resets the session's accumulated coverage counters plus
+/// the retained failure lines (capped at 32).
+pub fn take_session_coverage() -> (FleetCoverage, Vec<String>) {
+    let mut s = session().lock().expect("fleet session coverage poisoned");
+    let coverage = std::mem::take(&mut s.coverage);
+    let failures = std::mem::take(&mut s.failures);
+    (coverage, failures)
+}
+
+/// Runs `op` on every sampled row group of `n` simultaneously activated
+/// rows, across all configured modules, with the config's fault plan (if
+/// any) armed, the default retry policy, the system clock, and the
+/// default worker count. Returns the full per-module outcome.
+pub fn run_fleet<F>(config: &ExperimentConfig, n: u32, op: F) -> FleetOutcome
+where
+    F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
+{
+    let mut policy = FleetPolicy::default();
+    if let Some(plan) = config.faults.as_ref() {
+        policy.deadline_ms = plan.deadline_ms;
+    }
+    let clock = SystemClock::default();
+    run_fleet_with(
+        config,
+        n,
+        policy,
+        &clock,
+        executor_threads(config.modules.len()),
+        op,
+    )
+}
+
+/// Fully parameterised fleet run: explicit policy, clock, and worker
+/// count. The outcome is identical for identical `(config, n, policy)`
+/// regardless of `workers` — the chaos proptests in `tests/faults.rs`
+/// assert exactly that.
+pub fn run_fleet_with<F>(
+    config: &ExperimentConfig,
+    n: u32,
+    policy: FleetPolicy,
+    clock: &dyn FleetClock,
+    workers: usize,
+    op: F,
+) -> FleetOutcome
+where
+    F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
+{
+    let fault_free = FaultPlan::default();
+    let plan = config.faults.as_ref().unwrap_or(&fault_free);
+    let ctx = TaskCtx {
+        config,
+        plan,
+        policy,
+        clock,
+        n,
+        op: &op,
+    };
+    let outcome = if workers <= 1 || config.modules.len() <= 1 {
+        run_serial_outcome(&ctx)
+    } else {
+        run_stealing_outcome(&ctx, workers)
+    };
+    record_session(&outcome);
+    outcome
 }
 
 /// Runs `op` on every sampled row group of `n` simultaneously activated
@@ -171,26 +697,20 @@ where
 /// Returns all per-group success rates, ordered by module then group —
 /// bit-identical to [`collect_group_samples_serial`] regardless of worker
 /// count or scheduling. Groups for which `op` returns `None` (e.g. an
-/// operation the part cannot perform) are skipped.
+/// operation the part cannot perform) are skipped, as are modules that
+/// fail terminally under an armed fault plan (see [`run_fleet`] for the
+/// per-module accounting).
 pub fn collect_group_samples<F>(config: &ExperimentConfig, n: u32, op: F) -> Vec<f64>
 where
     F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
-    let tasks = config.modules.len();
-    let workers = executor_threads(tasks);
-    if workers <= 1 {
-        return collect_group_samples_serial(config, n, op);
-    }
-    run_stealing(config, n, workers, &op)
-        .into_iter()
-        .flatten()
-        .collect()
+    run_fleet(config, n, op).into_samples()
 }
 
 /// The serial reference implementation: same module tasks, same RNG
-/// streams, executed on the calling thread. Exists so tests (and
-/// sceptical readers) can check the parallel executor changes nothing but
-/// wall-clock.
+/// streams, executed on the calling thread with no fault machinery at
+/// all. Exists so tests (and sceptical readers) can check the hardened
+/// executor changes nothing but wall-clock.
 pub fn collect_group_samples_serial<F>(config: &ExperimentConfig, n: u32, op: F) -> Vec<f64>
 where
     F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>,
@@ -204,6 +724,7 @@ where
 mod tests {
     use super::*;
     use rand::Rng;
+    use simra_faults::ModuleFault;
 
     #[test]
     fn samples_cover_all_modules_and_groups() {
@@ -277,5 +798,234 @@ mod tests {
         let legacy = config.seed ^ m.seed.rotate_left(17) ^ ((8u64) << 48);
         assert_eq!(module_stream_seed(&config, m, 0, 8), legacy);
         assert_ne!(module_stream_seed(&config, m, 1, 8), legacy);
+    }
+
+    /// An op that exercises RNG state, group identity, and module
+    /// identity — any stream divergence shows in the samples.
+    fn probe_op(setup: &mut TestSetup, g: &GroupSpec, rng: &mut StdRng) -> Option<f64> {
+        Some(g.local_rows[0] as f64 + rng.gen::<f64>() + setup.module().seed() as f64 * 1e-6)
+    }
+
+    #[test]
+    fn empty_plan_outcome_matches_baseline() {
+        let mut config = ExperimentConfig::quick();
+        let baseline = collect_group_samples_serial(&config, 6, probe_op);
+        config.faults = Some(FaultPlan::default());
+        let clock = MockClock::new();
+        let outcome = run_fleet_with(&config, 6, FleetPolicy::default(), &clock, 2, probe_op);
+        assert_eq!(outcome.ok_modules(), 1);
+        assert_eq!(outcome.into_samples(), baseline);
+        assert_eq!(collect_group_samples(&config, 6, probe_op), baseline);
+    }
+
+    #[test]
+    fn dropout_module_degrades_gracefully() {
+        let mut config = ExperimentConfig::quick();
+        config.modules.push(crate::config::ModuleUnderTest {
+            profile: simra_dram::VendorProfile::mfr_h_a_die(),
+            seed: 8,
+        });
+        let baseline = collect_group_samples_serial(&config, 4, probe_op);
+        let per_module = config.groups_per_module();
+        let mut faulted = config.clone();
+        faulted.faults = Some(FaultPlan {
+            modules: vec![ModuleFault {
+                module_index: 1,
+                kind: ModuleFaultKind::Dropout {
+                    at_group: 0,
+                    recover_after_attempts: None,
+                },
+            }],
+            ..FaultPlan::default()
+        });
+        let clock = MockClock::new();
+        for workers in [1, 2] {
+            let outcome = run_fleet_with(
+                &faulted,
+                4,
+                FleetPolicy::default(),
+                &clock,
+                workers,
+                probe_op,
+            );
+            assert_eq!(outcome.slots.len(), 2);
+            match &outcome.slots[0] {
+                ModuleResult::Completed { samples, attempts } => {
+                    assert_eq!(*attempts, 1);
+                    assert_eq!(samples[..], baseline[..per_module]);
+                }
+                other => panic!("healthy module must complete, got {other:?}"),
+            }
+            match &outcome.slots[1] {
+                ModuleResult::Failed { attempts, cause } => {
+                    assert_eq!(*attempts, 3, "permanent dropout exhausts all attempts");
+                    assert_eq!(*cause, FailureCause::Dropout { at_group: 0 });
+                }
+                other => panic!("dropped module must fail, got {other:?}"),
+            }
+            assert_eq!(
+                outcome.describe(),
+                "1/2 modules completed; module 1 dropped out at group 0 after 3 attempts"
+            );
+            assert_eq!(outcome.samples(), baseline[..per_module]);
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_retried() {
+        let mut config = ExperimentConfig::quick();
+        let baseline = collect_group_samples_serial(&config, 4, probe_op);
+        config.faults = Some(FaultPlan {
+            modules: vec![ModuleFault {
+                module_index: 0,
+                kind: ModuleFaultKind::PanicAt { at_group: 1 },
+            }],
+            ..FaultPlan::default()
+        });
+        let clock = MockClock::new();
+        let outcome = run_fleet_with(&config, 4, FleetPolicy::default(), &clock, 1, probe_op);
+        match &outcome.slots[0] {
+            ModuleResult::Completed { samples, attempts } => {
+                assert_eq!(*attempts, 2, "first attempt panics, second completes");
+                assert_eq!(samples[..], baseline[..], "retry replays the same stream");
+            }
+            other => panic!("panic must heal on retry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_dropout_recovers_after_configured_attempts() {
+        let mut config = ExperimentConfig::quick();
+        let baseline = collect_group_samples_serial(&config, 4, probe_op);
+        config.faults = Some(FaultPlan {
+            modules: vec![ModuleFault {
+                module_index: 0,
+                kind: ModuleFaultKind::Dropout {
+                    at_group: 1,
+                    recover_after_attempts: Some(2),
+                },
+            }],
+            ..FaultPlan::default()
+        });
+        let clock = MockClock::new();
+        let outcome = run_fleet_with(&config, 4, FleetPolicy::default(), &clock, 1, probe_op);
+        match &outcome.slots[0] {
+            ModuleResult::Completed { samples, attempts } => {
+                assert_eq!(*attempts, 3);
+                assert_eq!(samples[..], baseline[..]);
+            }
+            other => panic!("transient dropout must heal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_is_fatal_not_retried() {
+        let mut config = ExperimentConfig::quick();
+        config.faults = Some(FaultPlan {
+            modules: vec![ModuleFault {
+                module_index: 0,
+                kind: ModuleFaultKind::Hang {
+                    at_group: 0,
+                    stall_ms: 10.0,
+                },
+            }],
+            deadline_ms: Some(5.0),
+            ..FaultPlan::default()
+        });
+        let policy = FleetPolicy {
+            deadline_ms: Some(5.0),
+            ..FleetPolicy::default()
+        };
+        // The mock clock never moves: only the *charged* stall can trip
+        // the deadline, so the outcome is deterministic.
+        let clock = MockClock::new();
+        let outcome = run_fleet_with(&config, 2, policy, &clock, 1, probe_op);
+        match &outcome.slots[0] {
+            ModuleResult::Failed { attempts, cause } => {
+                assert_eq!(*attempts, 1, "a blown deadline must not be retried");
+                match cause {
+                    FailureCause::DeadlineExceeded {
+                        budget_ms,
+                        spent_ms,
+                    } => {
+                        assert_eq!(*budget_ms, 5.0);
+                        assert!(*spent_ms >= 10.0);
+                    }
+                    other => panic!("expected a deadline failure, got {other:?}"),
+                }
+            }
+            other => panic!("hang past the budget must fail the task, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_is_charged_against_the_deadline() {
+        let mut config = ExperimentConfig::quick();
+        // A permanent dropout forces retries; each retry's backoff charge
+        // accumulates until the 25 ms budget bursts (10 + 20 > 25 on the
+        // third attempt) even though no wall-clock time passes.
+        config.faults = Some(FaultPlan {
+            modules: vec![ModuleFault {
+                module_index: 0,
+                kind: ModuleFaultKind::Dropout {
+                    at_group: 0,
+                    recover_after_attempts: Some(9),
+                },
+            }],
+            ..FaultPlan::default()
+        });
+        let policy = FleetPolicy {
+            max_attempts: 10,
+            backoff_base_ms: 10.0,
+            deadline_ms: Some(25.0),
+        };
+        let clock = MockClock::new();
+        let outcome = run_fleet_with(&config, 2, policy, &clock, 1, probe_op);
+        match &outcome.slots[0] {
+            ModuleResult::Failed { attempts, cause } => {
+                assert_eq!(*attempts, 3);
+                assert!(matches!(cause, FailureCause::DeadlineExceeded { .. }));
+            }
+            other => panic!("accumulated backoff must trip the deadline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn env_override_clamps_worker_count() {
+        std::env::set_var("SIMRA_THREADS", "3");
+        assert_eq!(executor_threads(8), 3);
+        assert_eq!(executor_threads(2), 2, "never more workers than tasks");
+        std::env::set_var("SIMRA_THREADS", "0");
+        assert_eq!(executor_threads(8), 1, "zero clamps to one worker");
+        std::env::set_var("SIMRA_THREADS", "not-a-number");
+        assert!(executor_threads(8) >= 1, "junk falls back to core count");
+        std::env::remove_var("SIMRA_THREADS");
+        assert!(executor_threads(8) >= 1);
+        assert_eq!(executor_threads(0), 1);
+    }
+
+    #[test]
+    fn session_coverage_accumulates_and_resets() {
+        let mut config = ExperimentConfig::quick();
+        config.faults = Some(FaultPlan {
+            modules: vec![ModuleFault {
+                module_index: 0,
+                kind: ModuleFaultKind::Dropout {
+                    at_group: 0,
+                    recover_after_attempts: None,
+                },
+            }],
+            ..FaultPlan::default()
+        });
+        let clock = MockClock::new();
+        run_fleet_with(&config, 2, FleetPolicy::default(), &clock, 1, probe_op);
+        // Other tests run fleets concurrently in this process, so assert
+        // lower bounds only, then check the reset leaves a clean slate is
+        // not observable the same way (coverage is shared state).
+        let (coverage, failures) = take_session_coverage();
+        assert!(coverage.tasks >= 1);
+        assert!(coverage.failed >= 1);
+        assert!(failures.iter().any(|f| f.contains("dropped out")));
+        assert!(coverage.describe().contains("module tasks completed"));
     }
 }

@@ -38,6 +38,11 @@ pub use activation::{
     fig3_activation_timing, fig4a_activation_temperature, fig4b_activation_voltage,
 };
 pub use config::ExperimentConfig;
+pub use fleet::{
+    collect_group_samples, collect_group_samples_serial, run_fleet, run_fleet_with,
+    take_session_coverage, FailureCause, FleetClock, FleetCoverage, FleetOutcome, FleetPolicy,
+    MockClock, ModuleResult, SystemClock,
+};
 pub use majx::{fig6_maj3_timing, fig7_majx_patterns, fig8_majx_temperature, fig9_majx_voltage};
 pub use mrc::{fig10_mrc_timing, fig11_mrc_patterns, fig12a_mrc_temperature, fig12b_mrc_voltage};
 pub use observations::{check_observations, ObservationReport};
@@ -45,4 +50,4 @@ pub use perdie::per_die_breakdown;
 pub use power::fig5_power;
 pub use report::Table;
 pub use spice::fig15_spice;
-pub use takeaways::{derive_takeaways, TakeawayReport};
+pub use takeaways::{derive_takeaways, scoreboard_quorum, TakeawayReport};

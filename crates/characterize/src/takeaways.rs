@@ -80,6 +80,19 @@ pub fn derive_takeaways(observations: &[ObservationReport]) -> Vec<TakeawayRepor
     ]
 }
 
+/// Scales a scoreboard pass bar to the quorum of modules that actually
+/// completed: with `ok_modules` of `total_modules` surviving, a run is
+/// held to `full_bar · ok / total` (integer floor) instead of the full
+/// bar. A fleet that lost modules to injected (or real) faults is judged
+/// on the evidence it could still gather, not punished for slots the
+/// executor already reported as failed.
+pub fn scoreboard_quorum(full_bar: usize, ok_modules: usize, total_modules: usize) -> usize {
+    if total_modules == 0 {
+        return 0;
+    }
+    full_bar * ok_modules.min(total_modules) / total_modules
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +127,17 @@ mod tests {
         let takeaways = derive_takeaways(&obs);
         assert!(!takeaways[0].holds);
         assert!(takeaways[2].holds, "unrelated takeaways stand");
+    }
+
+    #[test]
+    fn quorum_scales_the_bar() {
+        assert_eq!(scoreboard_quorum(18, 18, 18), 18, "full fleet, full bar");
+        assert_eq!(scoreboard_quorum(18, 17, 18), 17);
+        assert_eq!(scoreboard_quorum(18, 9, 18), 9);
+        assert_eq!(scoreboard_quorum(18, 0, 18), 0);
+        assert_eq!(scoreboard_quorum(18, 1, 1), 18, "single-module quick run");
+        assert_eq!(scoreboard_quorum(18, 0, 0), 0, "empty fleet is vacuous");
+        assert_eq!(scoreboard_quorum(18, 20, 18), 18, "ok is clamped to total");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::data::BitRow;
 use crate::error::DramError;
+use crate::faults::CellFaultSpec;
 use crate::geometry::{Geometry, RowAddr, SubarrayId};
 use crate::subarray::{Subarray, VariationParams};
 
@@ -42,6 +43,9 @@ pub struct Bank {
     seed: u64,
     subarrays: BTreeMap<SubarrayId, Subarray>,
     state: BankState,
+    /// Cell-fault spec applied to every subarray (present and future).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    fault_spec: Option<CellFaultSpec>,
 }
 
 impl Bank {
@@ -53,7 +57,38 @@ impl Bank {
             seed,
             subarrays: BTreeMap::new(),
             state: BankState::Precharged,
+            fault_spec: None,
         }
+    }
+
+    /// Deterministic per-subarray silicon seed (also keys the fault
+    /// overlay's dedicated stream).
+    fn subarray_seed(seed: u64, id: SubarrayId) -> u64 {
+        // Mix the subarray id into the seed so every subarray gets
+        // distinct but reproducible silicon.
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(id.raw() as u64 + 1)
+    }
+
+    /// Installs (or, with `None`, clears) the cell-fault spec: every
+    /// already-materialised subarray gets its overlay re-derived, and
+    /// every future materialisation applies it automatically.
+    pub fn set_fault_spec(&mut self, spec: Option<CellFaultSpec>) {
+        self.fault_spec = spec;
+        let seed = self.seed;
+        for (id, sa) in self.subarrays.iter_mut() {
+            match spec {
+                Some(s) if !s.is_empty() => {
+                    sa.set_faults(s.derive(sa.rows(), sa.cols(), Self::subarray_seed(seed, *id)));
+                }
+                _ => sa.clear_faults(),
+            }
+        }
+    }
+
+    /// The installed cell-fault spec, if any.
+    pub fn fault_spec(&self) -> Option<&CellFaultSpec> {
+        self.fault_spec.as_ref()
     }
 
     /// The bank's geometry.
@@ -71,23 +106,27 @@ impl Bank {
         self.state = state;
     }
 
-    /// Returns the subarray, materialising it on first touch.
+    /// Returns the subarray, materialising it on first touch (applying
+    /// the bank's fault spec, if one is installed).
     pub fn subarray(&mut self, id: SubarrayId) -> &mut Subarray {
         let geometry = self.geometry;
         let variation = self.variation;
         let seed = self.seed;
+        let fault_spec = self.fault_spec;
         self.subarrays.entry(id).or_insert_with(|| {
-            // Mix the subarray id into the seed so every subarray gets
-            // distinct but reproducible silicon.
-            let sa_seed = seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(id.raw() as u64 + 1);
-            Subarray::new(
+            let sa_seed = Self::subarray_seed(seed, id);
+            let mut sa = Subarray::new(
                 geometry.rows_per_subarray,
                 geometry.cols_per_row,
                 variation,
                 sa_seed,
-            )
+            );
+            if let Some(spec) = fault_spec {
+                if !spec.is_empty() {
+                    sa.set_faults(spec.derive(sa.rows(), sa.cols(), sa_seed));
+                }
+            }
+            sa
         })
     }
 
@@ -186,5 +225,44 @@ mod tests {
         let img = BitRow::zeros(b.geometry().cols_per_row as usize);
         let bad = RowAddr::new(b.geometry().rows_per_bank());
         assert!(b.write_row_nominal(bad, &img).is_err());
+    }
+
+    fn dense_spec() -> CellFaultSpec {
+        CellFaultSpec {
+            seed: 0xFA,
+            stuck_per_million: 10_000.0,
+            weak_per_million: 0.0,
+            weak_leak_multiplier: 1.0,
+            sense_offset_shift: 0.0,
+        }
+    }
+
+    #[test]
+    fn fault_spec_applies_to_existing_and_future_subarrays() {
+        let mut b = bank();
+        let _ = b.subarray(SubarrayId::new(0));
+        b.set_fault_spec(Some(dense_spec()));
+        let existing_faults = b.subarray(SubarrayId::new(0)).faults().cloned();
+        let future_faults = b.subarray(SubarrayId::new(1)).faults().cloned();
+        assert!(existing_faults.is_some_and(|f| f.stuck_count() > 0));
+        assert!(future_faults.is_some_and(|f| f.stuck_count() > 0));
+        b.set_fault_spec(None);
+        assert!(b.subarray(SubarrayId::new(0)).faults().is_none());
+        assert!(b.subarray(SubarrayId::new(2)).faults().is_none());
+    }
+
+    #[test]
+    fn fault_overlay_is_the_same_either_side_of_materialisation() {
+        // Installing the spec before or after a subarray materialises
+        // must derive the identical overlay (both go through the same
+        // per-subarray seed).
+        let mut before = bank();
+        before.set_fault_spec(Some(dense_spec()));
+        let f_before = before.subarray(SubarrayId::new(3)).faults().cloned();
+        let mut after = bank();
+        let _ = after.subarray(SubarrayId::new(3));
+        after.set_fault_spec(Some(dense_spec()));
+        let f_after = after.subarray(SubarrayId::new(3)).faults().cloned();
+        assert_eq!(f_before, f_after);
     }
 }

@@ -17,6 +17,8 @@
 //! * [`data`] — data patterns and packed row images,
 //! * [`cell`], [`subarray`], [`bank`], [`module`] — the storage hierarchy,
 //! * [`silicon`] — shared immutable variation planes + the silicon cache,
+//! * [`faults`] — deterministic cell-defect overlays (stuck/weak cells,
+//!   sense-offset drift) drawn from a dedicated RNG stream,
 //! * [`vendor`] — manufacturer profiles (Mfr. H, Mfr. M, Mfr. S) matching
 //!   Table 1/2 of the paper.
 //!
@@ -35,6 +37,7 @@ pub mod cell;
 pub mod command;
 pub mod data;
 pub mod error;
+pub mod faults;
 pub mod geometry;
 pub mod module;
 pub mod protocol;
@@ -51,6 +54,7 @@ pub use cell::Cell;
 pub use command::{ApaTiming, Command};
 pub use data::{BitRow, DataPattern};
 pub use error::DramError;
+pub use faults::{CellFaultSpec, SubarrayFaults};
 pub use geometry::{BankId, ColAddr, Geometry, RowAddr, SubarrayId};
 pub use module::DramModule;
 pub use protocol::{ProtocolChecker, TimingRule, Violation};

@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::bank::Bank;
 use crate::error::DramError;
+use crate::faults::CellFaultSpec;
 use crate::geometry::{BankId, Geometry};
 use crate::subarray::VariationParams;
 use crate::vendor::VendorProfile;
@@ -98,6 +99,17 @@ impl DramModule {
     pub fn bank_ids(&self) -> impl Iterator<Item = BankId> {
         (0..self.bank_count()).map(BankId::new)
     }
+
+    /// Installs (or, with `None`, clears) a cell-fault spec on every bank
+    /// of the module. Defect positions are keyed by each subarray's
+    /// silicon seed, so the same `(module seed, spec)` pair always grows
+    /// the same defects — and the derivation draws from a dedicated
+    /// stream, leaving all fault-free RNG streams untouched.
+    pub fn set_fault_spec(&mut self, spec: Option<CellFaultSpec>) {
+        for bank in &mut self.banks {
+            bank.set_fault_spec(spec);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +163,28 @@ mod tests {
             .subarray(crate::geometry::SubarrayId::new(0))
             .clone();
         assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn fault_spec_reaches_every_bank() {
+        let mut m = DramModule::new(VendorProfile::mfr_h_m_die(), 9);
+        m.set_fault_spec(Some(CellFaultSpec {
+            seed: 0xFA,
+            stuck_per_million: 10_000.0,
+            weak_per_million: 0.0,
+            weak_leak_multiplier: 1.0,
+            sense_offset_shift: 0.0,
+        }));
+        for b in [0u16, 7, 15] {
+            let sa = m
+                .bank_mut(BankId::new(b))
+                .unwrap()
+                .subarray(crate::geometry::SubarrayId::new(0));
+            assert!(
+                sa.faults().is_some_and(|f| f.stuck_count() > 0),
+                "bank {b} missing its overlay"
+            );
+        }
     }
 
     #[test]

@@ -75,6 +75,10 @@ impl Subarray {
                 *v = (0.5 + (*v - 0.5) * factor as f32).clamp(0.0, 1.0);
             }
         }
+        // Fault overlay: weak cells leak faster than the healthy model,
+        // and stuck cells never leak at all (they are tied to a rail).
+        self.apply_weak_decay(base);
+        self.pin_faulted_cells();
     }
 
     /// Refreshes one row: a nominal activate-restore that pulls every
@@ -85,6 +89,7 @@ impl Subarray {
         for v in self.row_voltages_mut(row) {
             *v = if *v > 0.5 { 1.0 } else { 0.0 };
         }
+        self.pin_row_faults(row);
     }
 }
 
@@ -189,5 +194,59 @@ mod tests {
             large.1 > small.1,
             "large cap {large:?} should retain more than {small:?}"
         );
+    }
+
+    #[test]
+    fn weak_cells_decay_faster_and_stuck_cells_never_decay() {
+        let mut sa = subarray();
+        let overlay = crate::faults::CellFaultSpec {
+            seed: 3,
+            stuck_per_million: 30_000.0,
+            weak_per_million: 30_000.0,
+            weak_leak_multiplier: 12.0,
+            sense_offset_shift: 0.0,
+        }
+        .derive(sa.rows(), sa.cols(), 17);
+        assert!(overlay.stuck_count() > 0 && overlay.weak_count() > 0);
+        sa.set_faults(overlay.clone());
+        // A healthy twin with the same silicon for comparison.
+        let mut twin = subarray();
+        sa.write_row(0, &BitRow::ones(64)).unwrap();
+        twin.write_row(0, &BitRow::ones(64)).unwrap();
+        sa.decay(4_000.0, 45.0, RetentionParams::typical());
+        twin.decay(4_000.0, 45.0, RetentionParams::typical());
+        let after = sa.row_voltages(0);
+        let healthy = twin.row_voltages(0);
+        let stuck_cols: std::collections::BTreeSet<u32> =
+            overlay.stuck_in_row(0).iter().map(|&(c, _)| c).collect();
+        for &(col, mult) in overlay.weak_in_row(0) {
+            if stuck_cols.contains(&col) {
+                continue;
+            }
+            assert!(mult > 1.0);
+            assert!(
+                after[col as usize] < healthy[col as usize],
+                "weak cell ({col}) must decay faster than its healthy twin"
+            );
+        }
+        for &(col, bit) in overlay.stuck_in_row(0) {
+            assert_eq!(
+                after[col as usize],
+                if bit { 1.0 } else { 0.0 },
+                "stuck cell ({col}) must stay pinned through decay"
+            );
+        }
+    }
+
+    #[test]
+    fn faultless_decay_is_unchanged_by_empty_overlay() {
+        let mut healthy = subarray();
+        let mut faulted = subarray();
+        faulted.set_faults(crate::faults::SubarrayFaults::default());
+        for sa in [&mut healthy, &mut faulted] {
+            sa.write_row(0, &BitRow::ones(64)).unwrap();
+            sa.decay(10_000.0, 60.0, RetentionParams::typical());
+        }
+        assert_eq!(healthy.row_voltages(0), faulted.row_voltages(0));
     }
 }

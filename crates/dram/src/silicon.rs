@@ -14,7 +14,9 @@
 //! per-cell cap then strength factors (row-major), then per-column sense
 //! offsets, then per-column bias directions — the same draw order the
 //! original `Subarray::new` used, so stamped silicon is bit-identical to
-//! the pre-cache model.
+//! the pre-cache model. Fault injection (see [`crate::faults`]) never
+//! draws from this stream: defect overlays come from a dedicated,
+//! salted stream so faulty and fault-free silicon share one stamp.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};

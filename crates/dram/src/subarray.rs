@@ -22,6 +22,7 @@ use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use crate::cell::Cell;
 use crate::data::BitRow;
 use crate::error::DramError;
+use crate::faults::SubarrayFaults;
 use crate::silicon::{stamped_planes, SiliconPlanes};
 
 /// Construction parameters for a subarray's process variation.
@@ -47,6 +48,17 @@ impl Default for VariationParams {
     }
 }
 
+/// Installed fault overlay plus caches derived from it. Boxed so the
+/// overwhelmingly common fault-free subarray pays one pointer.
+#[derive(Debug, Clone, PartialEq)]
+struct FaultState {
+    overlay: SubarrayFaults,
+    /// Sense offsets with the overlay's shift applied, replacing the
+    /// silicon plane reads while the overlay is installed. `None` when
+    /// the overlay does not shift offsets.
+    shifted_offsets: Option<Vec<f32>>,
+}
+
 /// A DRAM subarray with analog cell state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Subarray {
@@ -56,6 +68,8 @@ pub struct Subarray {
     voltage: Vec<f32>,
     /// Shared immutable variation planes (the "silicon").
     silicon: Arc<SiliconPlanes>,
+    /// Optional defect overlay (stuck/weak cells, shifted sense offsets).
+    faults: Option<Box<FaultState>>,
 }
 
 impl Subarray {
@@ -69,6 +83,7 @@ impl Subarray {
             cols,
             voltage: vec![0.0; rows as usize * cols as usize],
             silicon,
+            faults: None,
         }
     }
 
@@ -208,9 +223,10 @@ impl Subarray {
         )
     }
 
-    /// Per-column sense-amplifier offset.
+    /// Per-column sense-amplifier offset (shifted while a fault overlay
+    /// with an offset shift is installed).
     pub fn sense_offset(&self, col: u32) -> f32 {
-        self.silicon.sense_offsets()[col as usize]
+        self.sense_offsets()[col as usize]
     }
 
     /// Deterministic resolve direction for dead-even bitlines (Mfr. M).
@@ -218,9 +234,16 @@ impl Subarray {
         self.silicon.bias_directions()[col as usize]
     }
 
-    /// All per-column sense-amplifier offsets.
+    /// All per-column sense-amplifier offsets (shifted while a fault
+    /// overlay with an offset shift is installed).
     pub fn sense_offsets(&self) -> &[f32] {
-        self.silicon.sense_offsets()
+        match self.faults.as_deref() {
+            Some(state) => state
+                .shifted_offsets
+                .as_deref()
+                .unwrap_or_else(|| self.silicon.sense_offsets()),
+            None => self.silicon.sense_offsets(),
+        }
     }
 
     /// All per-column dead-even resolve directions.
@@ -233,10 +256,99 @@ impl Subarray {
         &self.silicon
     }
 
+    /// Installs a defect overlay: stuck/weak cells and a sense-offset
+    /// shift, typically derived from a
+    /// [`CellFaultSpec`](crate::faults::CellFaultSpec). Stuck cells are
+    /// pinned immediately and re-asserted after every write, restore, and
+    /// decay pass; the healthy silicon planes are untouched.
+    pub fn set_faults(&mut self, overlay: SubarrayFaults) {
+        let shifted_offsets = (overlay.sense_offset_shift != 0.0).then(|| {
+            self.silicon
+                .sense_offsets()
+                .iter()
+                .map(|&o| o + overlay.sense_offset_shift)
+                .collect()
+        });
+        self.faults = Some(Box::new(FaultState {
+            overlay,
+            shifted_offsets,
+        }));
+        self.pin_faulted_cells();
+    }
+
+    /// Removes the defect overlay. Cell voltages keep whatever the faults
+    /// last left behind; only *future* operations behave healthily.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// The installed defect overlay, if any.
+    pub fn faults(&self) -> Option<&SubarrayFaults> {
+        self.faults.as_deref().map(|state| &state.overlay)
+    }
+
+    /// Re-asserts the overlay's stuck cells in one row. Called after any
+    /// write/restore touching the row; a no-op without an overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn pin_row_faults(&mut self, row: u32) {
+        self.check_row(row);
+        let start = row as usize * self.cols as usize;
+        let Some(state) = self.faults.as_deref() else {
+            return;
+        };
+        let voltage = &mut self.voltage;
+        for &(col, bit) in state.overlay.stuck_in_row(row) {
+            voltage[start + col as usize] = if bit { 1.0 } else { 0.0 };
+        }
+    }
+
+    /// Re-asserts every stuck cell of the overlay (all rows).
+    pub fn pin_faulted_cells(&mut self) {
+        let cols = self.cols as usize;
+        let Some(state) = self.faults.as_deref() else {
+            return;
+        };
+        let voltage = &mut self.voltage;
+        for (&row, cells) in state.overlay.stuck_rows() {
+            let start = row as usize * cols;
+            for &(col, bit) in cells {
+                voltage[start + col as usize] = if bit { 1.0 } else { 0.0 };
+            }
+        }
+    }
+
+    /// Applies the *extra* leakage of weak cells on top of a decay pass
+    /// whose healthy survival factor was `base` (see
+    /// [`Subarray::decay`]): a weak cell with multiplier `m` decays as if
+    /// its survival factor were `base^m`, so the extra factor is
+    /// `base^((m−1)/cap)`.
+    pub(crate) fn apply_weak_decay(&mut self, base: f64) {
+        let cols = self.cols as usize;
+        let Some(state) = self.faults.as_deref() else {
+            return;
+        };
+        let caps = self.silicon.cap_factors();
+        let voltage = &mut self.voltage;
+        for (&row, cells) in state.overlay.weak_rows() {
+            let start = row as usize * cols;
+            for &(col, mult) in cells {
+                let i = start + col as usize;
+                let cap = caps[i].max(0.05) as f64;
+                let extra = base.powf((mult as f64 - 1.0).max(0.0) / cap) as f32;
+                voltage[i] = (0.5 + (voltage[i] - 0.5) * extra).clamp(0.0, 1.0);
+            }
+        }
+    }
+
     /// Discharges every cell to 0 V, keeping the silicon: the cheap way to
-    /// reuse a subarray for a fresh sweep point.
+    /// reuse a subarray for a fresh sweep point. Stuck cells re-assert
+    /// their pinned value.
     pub fn reset_voltages(&mut self) {
         self.voltage.fill(0.0);
+        self.pin_faulted_cells();
     }
 
     /// Fully writes a digital image into a row (rail-to-rail restore).
@@ -262,6 +374,8 @@ impl Subarray {
         for (col, v) in self.voltage[range].iter_mut().enumerate() {
             *v = if image.get(col) { 1.0 } else { 0.0 };
         }
+        // Stuck cells ignore even a nominal-timing write.
+        self.pin_row_faults(row);
         Ok(())
     }
 
@@ -297,6 +411,7 @@ impl Subarray {
         let clamped = voltage.clamp(0.0, 1.0);
         let range = self.row_range(row);
         self.voltage[range].fill(clamped);
+        self.pin_row_faults(row);
         Ok(())
     }
 }
@@ -308,11 +423,13 @@ impl Subarray {
 // cache — equality still holds, sharing does not).
 impl Serialize for Subarray {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("Subarray", 4)?;
+        let mut s = serializer.serialize_struct("Subarray", 5)?;
         s.serialize_field("rows", &self.rows)?;
         s.serialize_field("cols", &self.cols)?;
         s.serialize_field("voltage", &self.voltage)?;
         s.serialize_field("silicon", self.silicon.as_ref())?;
+        // Only the overlay travels; the shifted-offset cache is re-derived.
+        s.serialize_field("faults", &self.faults.as_deref().map(|f| &f.overlay))?;
         s.end()
     }
 }
@@ -326,6 +443,8 @@ impl<'de> Deserialize<'de> for Subarray {
             cols: u32,
             voltage: Vec<f32>,
             silicon: SiliconPlanes,
+            #[serde(default)]
+            faults: Option<SubarrayFaults>,
         }
         let r = Repr::deserialize(deserializer)?;
         let n = r.rows as usize * r.cols as usize;
@@ -340,12 +459,19 @@ impl<'de> Deserialize<'de> for Subarray {
                 "silicon plane shape does not match subarray geometry",
             ));
         }
-        Ok(Subarray {
+        let mut sa = Subarray {
             rows: r.rows,
             cols: r.cols,
             voltage: r.voltage,
             silicon: Arc::new(r.silicon),
-        })
+            faults: None,
+        };
+        if let Some(overlay) = r.faults {
+            // Round-tripped voltages already reflect the pinned cells;
+            // re-pinning through set_faults is idempotent.
+            sa.set_faults(overlay);
+        }
+        Ok(sa)
     }
 }
 
@@ -493,5 +619,70 @@ mod tests {
     #[should_panic(expected = "row 16 out of range")]
     fn out_of_range_row_slice_panics() {
         let _ = small().row_voltages(16).len();
+    }
+
+    fn dense_faults(sa: &Subarray) -> crate::faults::SubarrayFaults {
+        crate::faults::CellFaultSpec {
+            seed: 0xF00D,
+            stuck_per_million: 20_000.0,
+            weak_per_million: 20_000.0,
+            weak_leak_multiplier: 10.0,
+            sense_offset_shift: 0.01,
+        }
+        .derive(sa.rows(), sa.cols(), 42)
+    }
+
+    #[test]
+    fn stuck_cells_ignore_writes() {
+        let mut sa = small();
+        let overlay = dense_faults(&sa);
+        assert!(overlay.stuck_count() > 0, "spec dense enough to test");
+        sa.set_faults(overlay.clone());
+        sa.write_row(0, &BitRow::ones(64)).unwrap();
+        for &(col, bit) in overlay.stuck_in_row(0) {
+            assert_eq!(
+                sa.cell(0, col).as_bit(),
+                bit,
+                "stuck cell ({col}) must keep its pinned value"
+            );
+        }
+        sa.reset_voltages();
+        for &(col, bit) in overlay.stuck_in_row(0) {
+            assert_eq!(sa.cell(0, col).as_bit(), bit);
+        }
+    }
+
+    #[test]
+    fn sense_offsets_are_shifted_under_faults() {
+        let mut sa = small();
+        let healthy = sa.sense_offsets().to_vec();
+        sa.set_faults(dense_faults(&sa));
+        for (col, &h) in healthy.iter().enumerate() {
+            assert!((sa.sense_offset(col as u32) - (h + 0.01)).abs() < 1e-7);
+        }
+        sa.clear_faults();
+        assert_eq!(sa.sense_offsets(), &healthy[..]);
+    }
+
+    #[test]
+    fn clear_faults_restores_healthy_writes() {
+        let mut sa = small();
+        sa.set_faults(dense_faults(&sa));
+        sa.clear_faults();
+        assert!(sa.faults().is_none());
+        sa.write_row(1, &BitRow::ones(64)).unwrap();
+        assert_eq!(sa.read_row(1).unwrap().count_ones(), 64);
+    }
+
+    #[test]
+    fn empty_overlay_changes_nothing() {
+        let mut faulted = small();
+        faulted.set_faults(crate::faults::SubarrayFaults::default());
+        let healthy = small();
+        faulted.write_row(2, &BitRow::ones(64)).unwrap();
+        let mut h = healthy;
+        h.write_row(2, &BitRow::ones(64)).unwrap();
+        assert_eq!(faulted.row_voltages(2), h.row_voltages(2));
+        assert_eq!(faulted.sense_offsets(), h.sense_offsets());
     }
 }

@@ -52,6 +52,7 @@ pub use simra_characterize as characterize;
 pub use simra_core as pud;
 pub use simra_decoder as decoder;
 pub use simra_dram as dram;
+pub use simra_faults as faults;
 
 /// The types most programs start from.
 pub mod prelude {

@@ -1,0 +1,175 @@
+//! Fault-injection invariants, end to end: an empty plan is invisible
+//! (byte-identical samples), and an arbitrary chaotic plan never loses a
+//! module slot, never deadlocks, and produces the identical outcome for
+//! identical `(seed, plan)` regardless of worker count.
+
+use proptest::prelude::*;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use simra::bender::TestSetup;
+use simra::characterize::{
+    collect_group_samples, collect_group_samples_serial, run_fleet_with, ExperimentConfig,
+    FleetPolicy, MockClock, ModuleResult,
+};
+use simra::faults::{CellFaultSpec, FaultPlan, ModuleFault, ModuleFaultKind};
+use simra::pud::rowgroup::GroupSpec;
+
+/// An op that exercises RNG state, group identity, and module identity,
+/// without touching cell arrays (keeps the proptests fast).
+fn probe_op(setup: &mut TestSetup, g: &GroupSpec, rng: &mut StdRng) -> Option<f64> {
+    Some(g.local_rows[0] as f64 + rng.gen::<f64>() + setup.module().seed() as f64 * 1e-6)
+}
+
+/// A two-module fleet at quick scale (quick itself has one module, which
+/// never exercises the stealing pool).
+fn two_module_config(seed: u64) -> ExperimentConfig {
+    let mut config = ExperimentConfig::quick();
+    config.seed = seed;
+    config
+        .modules
+        .push(simra::characterize::config::ModuleUnderTest {
+            profile: simra::dram::VendorProfile::mfr_m_e_die(),
+            seed: seed ^ 0x51,
+        });
+    config
+}
+
+/// Builds one module-level fault from a small integer choice.
+fn fault_from_choice(
+    module_index: usize,
+    choice: u8,
+    at_group: usize,
+    stall: f64,
+) -> Option<ModuleFault> {
+    let kind = match choice % 4 {
+        0 => return None,
+        1 => ModuleFaultKind::Dropout {
+            at_group,
+            recover_after_attempts: if choice >= 128 { Some(1) } else { None },
+        },
+        2 => ModuleFaultKind::PanicAt { at_group },
+        _ => ModuleFaultKind::Hang {
+            at_group,
+            stall_ms: stall,
+        },
+    };
+    Some(ModuleFault { module_index, kind })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// An all-empty fault plan is indistinguishable from no plan at all:
+    /// every sample matches the serial fault-free reference bit for bit,
+    /// on one worker and on several.
+    #[test]
+    fn empty_plan_is_byte_identical_to_baseline(seed in any::<u64>(), n in 2u32..16) {
+        let mut config = two_module_config(seed);
+        let baseline = collect_group_samples_serial(&config, n, probe_op);
+        config.faults = Some(FaultPlan::default());
+        prop_assert_eq!(&collect_group_samples(&config, n, probe_op), &baseline);
+        let clock = MockClock::new();
+        for workers in [1usize, 2, 4] {
+            let outcome = run_fleet_with(&config, n, FleetPolicy::default(), &clock, workers, probe_op);
+            prop_assert_eq!(outcome.slots.len(), config.modules.len());
+            prop_assert_eq!(&outcome.into_samples(), &baseline);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Chaos: an arbitrary plan over a three-module fleet. Whatever the
+    /// plan does, the executor must (a) terminate, (b) report exactly one
+    /// slot per module, and (c) produce the identical outcome on 1, 2,
+    /// and 4 workers.
+    #[test]
+    fn chaotic_plans_never_lose_slots_and_are_schedule_independent(
+        seed in any::<u64>(),
+        choices in proptest::collection::vec(any::<u8>(), 3),
+        groups in proptest::collection::vec(0usize..4, 3),
+        stall in 0.0f64..30.0,
+        with_deadline in any::<bool>(),
+        with_cells in any::<bool>(),
+    ) {
+        let mut config = two_module_config(seed);
+        config.modules.push(simra::characterize::config::ModuleUnderTest {
+            profile: simra::dram::VendorProfile::mfr_h_a_die(),
+            seed: seed ^ 0xA7,
+        });
+        let modules: Vec<ModuleFault> = choices
+            .iter()
+            .zip(&groups)
+            .enumerate()
+            .filter_map(|(i, (&c, &g))| fault_from_choice(i, c, g, stall))
+            .collect();
+        let plan = FaultPlan {
+            seed,
+            cells: with_cells.then(|| CellFaultSpec {
+                seed,
+                stuck_per_million: 50.0,
+                weak_per_million: 50.0,
+                weak_leak_multiplier: 4.0,
+                sense_offset_shift: 0.0,
+            }),
+            modules,
+            vpp_droop: None,
+            deadline_ms: with_deadline.then_some(20.0),
+        };
+        let policy = FleetPolicy {
+            deadline_ms: plan.deadline_ms,
+            ..FleetPolicy::default()
+        };
+        config.faults = Some(plan);
+        let clock = MockClock::new();
+        let outcomes: Vec<_> = [1usize, 2, 4]
+            .iter()
+            .map(|&workers| run_fleet_with(&config, 3, policy, &clock, workers, probe_op))
+            .collect();
+        for outcome in &outcomes {
+            prop_assert_eq!(outcome.slots.len(), 3, "no slot may be lost");
+            for slot in &outcome.slots {
+                let attempts = match slot {
+                    ModuleResult::Completed { attempts, .. } => *attempts,
+                    ModuleResult::Failed { attempts, .. } => *attempts,
+                };
+                prop_assert!((1..=3).contains(&attempts));
+            }
+        }
+        prop_assert_eq!(&outcomes[0], &outcomes[1], "1 vs 2 workers diverged");
+        prop_assert_eq!(&outcomes[0], &outcomes[2], "1 vs 4 workers diverged");
+    }
+}
+
+/// Golden test for the partial-results path: the dropout preset on a
+/// two-module fleet completes, reports the lost module's cause, and
+/// keeps the healthy module's samples intact.
+#[test]
+fn dropout_preset_reports_partial_results() {
+    let mut config = two_module_config(0xD5A);
+    let plan = FaultPlan::preset("dropout", config.modules.len()).expect("preset exists");
+    config.faults = Some(plan);
+    let clock = MockClock::new();
+    let outcome = run_fleet_with(&config, 4, FleetPolicy::default(), &clock, 2, probe_op);
+    assert_eq!(outcome.slots.len(), 2);
+    // Module 0 panics once (heals on retry); module 1 drops out for good.
+    match &outcome.slots[0] {
+        ModuleResult::Completed { attempts, samples } => {
+            assert_eq!(*attempts, 2);
+            assert!(!samples.is_empty());
+        }
+        other => panic!("module 0 must heal on retry, got {other:?}"),
+    }
+    match &outcome.slots[1] {
+        ModuleResult::Failed { attempts, cause } => {
+            assert_eq!(*attempts, 3);
+            assert_eq!(cause.to_string(), "dropped out at group 0");
+        }
+        other => panic!("module 1 must drop out, got {other:?}"),
+    }
+    assert_eq!(outcome.ok_modules(), 1);
+    assert!(outcome.describe().starts_with("1/2 modules completed"));
+}
