@@ -6,15 +6,40 @@
 //! `simra-core` compose engine calls into full PUD operations.
 
 use std::cell::RefCell;
+use std::sync::OnceLock;
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use simra_dram::{ApaTiming, BitRow, Subarray, VendorProfile};
+use simra_telemetry::Counter;
 
 use crate::charge::bitline_deltas_into;
 use crate::params::{CircuitParams, OperatingConditions};
 use crate::sense::{resolve, restore_probability, survival_probability};
+
+/// Telemetry counters for the engine's three analog primitives, reported
+/// to the global recorder. Resolved once per process; each recording is
+/// a relaxed load (plus one relaxed add when telemetry is enabled), so
+/// the multi-million-call sense hot path stays unperturbed when
+/// telemetry is off.
+struct EngineOpCounters {
+    sense: Counter,
+    charge_share: Counter,
+    commit: Counter,
+}
+
+fn op_counters() -> &'static EngineOpCounters {
+    static COUNTERS: OnceLock<EngineOpCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let recorder = simra_telemetry::global();
+        EngineOpCounters {
+            sense: recorder.counter("engine", "sense_ops"),
+            charge_share: recorder.counter("engine", "charge_share_ops"),
+            commit: recorder.counter("engine", "commit_ops"),
+        }
+    })
+}
 
 /// Reusable per-thread buffers for [`ApaEngine::sense`]: characterization
 /// sweeps call it millions of times, and the row-weight list and the
@@ -87,6 +112,10 @@ impl ApaEngine {
         first_row: u32,
         timing: ApaTiming,
     ) -> SenseResult {
+        let ops = op_counters();
+        ops.sense.incr();
+        // One charge-share event per simultaneously opened row.
+        ops.charge_share.add(rows.len() as u64);
         let first_index = rows.iter().position(|r| *r == first_row).unwrap_or(0);
         let first_weight = self.params.first_row_weight(rows.len(), timing);
         let assertion =
@@ -245,6 +274,7 @@ impl ApaEngine {
         values: &BitRow,
         restore_strength: f64,
     ) -> usize {
+        op_counters().commit.incr();
         let n_open = rows.len();
         let frac_ones = values.count_ones() as f64 / values.len().max(1) as f64;
         let wq = self.params.write_quality(self.cond);

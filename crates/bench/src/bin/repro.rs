@@ -8,15 +8,21 @@
 //!   repro <scale> --timings       # also print per-figure wall-clock to stderr
 //!   repro <scale> --faults <name> # arm a fault-injection preset
 //!                                 # (quick | dropout | chaos)
+//!   repro <scale> --metrics       # telemetry summary to stderr after the run
+//!   repro <scale> --metrics-out <path>  # telemetry + scoreboard JSON to <path>
 //!
-//! `--timings` writes to stderr so the figure tables on stdout stay
-//! byte-identical with and without it — perf attribution must never
-//! change the scientific output. `--faults` deliberately *does* change
-//! it (that is the point); the run footer then reports fleet coverage
-//! and the quorum-adjusted scoreboard threshold.
+//! `--timings` and the telemetry flags write to stderr (or to a file),
+//! so the figure tables on stdout stay byte-identical with and without
+//! them — observability must never change the scientific output.
+//! `--faults` deliberately *does* change it (that is the point); the
+//! run footer then reports fleet coverage and the quorum-adjusted
+//! scoreboard threshold. Malformed invocations print a diagnostic plus
+//! usage and exit non-zero (see [`simra_bench::cli`]).
 
 use std::time::Instant;
 
+use simra_bench::cli::{self, CliOptions};
+use simra_bench::metrics::MetricsDoc;
 use simra_casestudy::{fig16_microbenchmarks, fig17_coldboot};
 use simra_characterize::{
     fig10_mrc_timing, fig11_mrc_patterns, fig12a_mrc_temperature, fig12b_mrc_voltage, fig15_spice,
@@ -38,35 +44,25 @@ fn timed<T>(timings: bool, label: &str, f: impl FnOnce() -> T) -> T {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut timings = false;
-    let mut scale: Option<String> = None;
-    let mut faults_preset: Option<String> = None;
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--timings" => timings = true,
-            "--faults" => match iter.next() {
-                Some(name) => faults_preset = Some(name.clone()),
-                None => {
-                    eprintln!("--faults requires a preset name (quick | dropout | chaos)");
-                    std::process::exit(2);
-                }
-            },
-            other if !other.starts_with("--") => scale = Some(other.to_string()),
-            other => {
-                eprintln!("unknown flag: {other}");
-                std::process::exit(2);
-            }
+    let opts: CliOptions = match cli::parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(err) => {
+            eprintln!("{err}");
+            eprintln!("{}", cli::USAGE);
+            std::process::exit(2);
         }
+    };
+    let timings = opts.timings;
+    if opts.wants_telemetry() {
+        simra_telemetry::global().enable();
     }
-    let scale = scale.unwrap_or_else(|| "reduced".into());
-    let mut config = match scale.as_str() {
+    let scale = opts.scale();
+    let mut config = match scale {
         "quick" => ExperimentConfig::quick(),
         "paper" => ExperimentConfig::paper_scale(),
         _ => ExperimentConfig::reduced(),
     };
-    if let Some(name) = &faults_preset {
+    if let Some(name) = opts.faults_preset.as_deref() {
         match FaultPlan::preset(name, config.modules.len()) {
             Some(plan) => {
                 eprintln!("# faults: {name} — {}", plan.describe());
@@ -117,10 +113,16 @@ fn main() {
         simra_characterize::check_observations(&config)
     });
     let held = reports.iter().filter(|r| r.holds).count();
+    let missing = reports.iter().filter(|r| r.data_missing).count();
     for r in &reports {
         println!("{r}");
     }
     println!("--- {held}/18 observations reproduced at this scale ---");
+    // Only printed when something actually went missing, so a healthy
+    // run's stdout stays byte-identical to older builds.
+    if missing > 0 {
+        println!("--- {missing}/18 observations could not be measured (missing series) ---");
+    }
 
     println!("\n=== Takeaway scoreboard (7 lessons) ===");
     let takeaways = simra_characterize::derive_takeaways(&reports);
@@ -132,7 +134,7 @@ fn main() {
 
     // Coverage accounting only prints under fault injection, so a
     // fault-free run's stdout stays byte-identical to older builds.
-    if faults_preset.is_some() {
+    if opts.faults_preset.is_some() {
         let (coverage, failures) = simra_characterize::take_session_coverage();
         println!("\n=== Fleet coverage under fault injection ===");
         println!("{}", coverage.describe());
@@ -141,6 +143,27 @@ fn main() {
         }
         let quorum = simra_characterize::scoreboard_quorum(18, coverage.completed, coverage.tasks);
         println!("--- quorum-adjusted threshold: {quorum}/18 ---");
+    }
+
+    if opts.wants_telemetry() {
+        let snapshot = simra_telemetry::global().snapshot();
+        if let Some(path) = opts.metrics_out.as_deref() {
+            let doc = MetricsDoc {
+                scale,
+                faults_preset: opts.faults_preset.as_deref(),
+                telemetry: &snapshot,
+                observations: &reports,
+                takeaways: &takeaways,
+            };
+            if let Err(err) = std::fs::write(path, doc.to_json()) {
+                eprintln!("failed to write metrics to {path}: {err}");
+                std::process::exit(1);
+            }
+            eprintln!("# metrics written to {path}");
+        }
+        if opts.metrics {
+            eprint!("{}", snapshot.summary());
+        }
     }
 
     if timings {

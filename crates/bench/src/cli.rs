@@ -1,0 +1,214 @@
+//! Argument parsing for the `repro` binary.
+//!
+//! Extracted from `main` so the accepted grammar is testable and so
+//! malformed invocations fail loudly: any unrecognized `-`/`--` token,
+//! a flag missing its value, a duplicate scale, or an unknown scale
+//! name is an error, never a silently reinterpreted argument. (The old
+//! inline loop treated single-dash typos like `-faults` as the scale
+//! positional and ran the wrong configuration without a word.)
+
+/// Usage text printed alongside every parse error.
+pub const USAGE: &str = "\
+usage: repro [<scale>] [--timings] [--faults <preset>] [--metrics] [--metrics-out <path>]
+  <scale>               quick | reduced | paper (default: reduced)
+  --timings             print per-figure wall-clock to stderr
+  --faults <preset>     arm a fault-injection preset (quick | dropout | chaos)
+  --metrics             print a telemetry summary to stderr after the run
+  --metrics-out <path>  write versioned telemetry + scoreboard JSON to <path>";
+
+/// Parsed `repro` invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CliOptions {
+    /// Positional scale argument, if given (`quick` | `reduced` | `paper`).
+    pub scale: Option<String>,
+    /// `--timings`: per-figure wall-clock on stderr.
+    pub timings: bool,
+    /// `--metrics`: telemetry summary on stderr after the run.
+    pub metrics: bool,
+    /// `--metrics-out <path>`: write the metrics JSON document here.
+    pub metrics_out: Option<String>,
+    /// `--faults <preset>`: arm a fault-injection preset.
+    pub faults_preset: Option<String>,
+}
+
+impl CliOptions {
+    /// The effective scale (`reduced` unless overridden).
+    pub fn scale(&self) -> &str {
+        self.scale.as_deref().unwrap_or("reduced")
+    }
+
+    /// Whether any telemetry output was requested; the global recorder
+    /// is enabled only in that case so plain runs stay zero-cost.
+    pub fn wants_telemetry(&self) -> bool {
+        self.metrics || self.metrics_out.is_some()
+    }
+}
+
+/// A rejected invocation. `Display` yields the one-line diagnostic;
+/// callers print it together with [`USAGE`] and exit non-zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// A `-`/`--` token that is not part of the grammar.
+    UnknownFlag(String),
+    /// A flag that takes a value reached the end of the argument list.
+    MissingValue(&'static str),
+    /// Two positional arguments.
+    DuplicateScale(String, String),
+    /// A positional that is not one of the known scales.
+    UnknownScale(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag: {flag}"),
+            CliError::MissingValue(flag) => write!(f, "{flag} requires a value"),
+            CliError::DuplicateScale(first, second) => {
+                write!(f, "scale given twice: {first:?} then {second:?}")
+            }
+            CliError::UnknownScale(scale) => {
+                write!(
+                    f,
+                    "unknown scale: {scale:?} (expected quick | reduced | paper)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses the argument list (without the program name).
+pub fn parse_args<I, S>(args: I) -> Result<CliOptions, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let mut opts = CliOptions::default();
+    let mut iter = args.into_iter().map(Into::into);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--timings" => opts.timings = true,
+            "--metrics" => opts.metrics = true,
+            "--metrics-out" => match iter.next() {
+                Some(path) => opts.metrics_out = Some(path),
+                None => return Err(CliError::MissingValue("--metrics-out")),
+            },
+            "--faults" => match iter.next() {
+                Some(name) => opts.faults_preset = Some(name),
+                None => return Err(CliError::MissingValue("--faults")),
+            },
+            other if other.starts_with('-') => {
+                return Err(CliError::UnknownFlag(other.to_string()));
+            }
+            "quick" | "reduced" | "paper" => match &opts.scale {
+                Some(first) => {
+                    return Err(CliError::DuplicateScale(first.clone(), arg));
+                }
+                None => opts.scale = Some(arg),
+            },
+            other => return Err(CliError::UnknownScale(other.to_string())),
+        }
+    }
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, CliError> {
+        parse_args(args.iter().copied())
+    }
+
+    #[test]
+    fn empty_invocation_defaults_to_reduced() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts.scale(), "reduced");
+        assert!(!opts.timings && !opts.metrics);
+        assert!(opts.metrics_out.is_none() && opts.faults_preset.is_none());
+        assert!(!opts.wants_telemetry());
+    }
+
+    #[test]
+    fn full_grammar_round_trips() {
+        let opts = parse(&[
+            "quick",
+            "--timings",
+            "--faults",
+            "chaos",
+            "--metrics",
+            "--metrics-out",
+            "m.json",
+        ])
+        .unwrap();
+        assert_eq!(opts.scale(), "quick");
+        assert!(opts.timings && opts.metrics);
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(opts.faults_preset.as_deref(), Some("chaos"));
+        assert!(opts.wants_telemetry());
+    }
+
+    #[test]
+    fn flag_order_does_not_matter() {
+        let opts = parse(&["--timings", "paper"]).unwrap();
+        assert_eq!(opts.scale(), "paper");
+        assert!(opts.timings);
+    }
+
+    #[test]
+    fn unknown_double_dash_flag_is_rejected() {
+        // `--timing` (a plausible typo of `--timings`) must not pass.
+        assert_eq!(
+            parse(&["--timing"]),
+            Err(CliError::UnknownFlag("--timing".into()))
+        );
+    }
+
+    #[test]
+    fn single_dash_typo_no_longer_becomes_the_scale() {
+        // Regression: `-faults` used to be accepted as the positional
+        // scale argument and the run silently fell back to `reduced`.
+        assert_eq!(
+            parse(&["-faults", "chaos"]),
+            Err(CliError::UnknownFlag("-faults".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_scale_is_rejected() {
+        assert_eq!(parse(&["fast"]), Err(CliError::UnknownScale("fast".into())));
+    }
+
+    #[test]
+    fn duplicate_scale_is_rejected() {
+        assert_eq!(
+            parse(&["quick", "paper"]),
+            Err(CliError::DuplicateScale("quick".into(), "paper".into()))
+        );
+    }
+
+    #[test]
+    fn value_flags_require_a_value() {
+        assert_eq!(
+            parse(&["--faults"]),
+            Err(CliError::MissingValue("--faults"))
+        );
+        assert_eq!(
+            parse(&["quick", "--metrics-out"]),
+            Err(CliError::MissingValue("--metrics-out"))
+        );
+    }
+
+    #[test]
+    fn errors_render_a_diagnostic() {
+        assert_eq!(
+            CliError::UnknownFlag("--x".into()).to_string(),
+            "unknown flag: --x"
+        );
+        assert!(CliError::UnknownScale("fast".into())
+            .to_string()
+            .contains("expected quick | reduced | paper"));
+        assert!(USAGE.contains("--metrics-out"));
+    }
+}

@@ -1,1 +1,7 @@
-//! Bench support crate (bench targets live in benches/).
+//! Bench support crate: the Criterion bench targets (in `benches/`),
+//! the `repro` binary, and the pieces it shares with tooling —
+//! [`cli`] argument parsing and the [`metrics`] JSON document written
+//! by `repro --metrics-out`.
+
+pub mod cli;
+pub mod metrics;

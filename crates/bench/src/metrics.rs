@@ -1,0 +1,152 @@
+//! The versioned JSON document written by `repro --metrics-out`.
+//!
+//! One self-describing file per run: the telemetry snapshot (every
+//! counter/histogram/span the session recorded) plus the observation
+//! and takeaway scoreboards, so CI and offline tooling can gate on a
+//! run without scraping stdout. Serialization is hand-rolled on the
+//! [`simra_telemetry::json`] helpers — the workspace has no JSON
+//! dependency, and the document is small enough not to want one.
+
+use simra_characterize::{ObservationReport, TakeawayReport};
+use simra_telemetry::json;
+use simra_telemetry::Snapshot;
+
+/// Version of the metrics document layout (not the telemetry snapshot,
+/// which carries its own `schema_version`). Bump on breaking changes.
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// Everything that goes into one metrics document.
+#[derive(Debug)]
+pub struct MetricsDoc<'a> {
+    /// Scale the run executed at (`quick` | `reduced` | `paper`).
+    pub scale: &'a str,
+    /// Fault-injection preset, if one was armed.
+    pub faults_preset: Option<&'a str>,
+    /// Telemetry recorded over the whole run.
+    pub telemetry: &'a Snapshot,
+    /// The 18-observation scoreboard.
+    pub observations: &'a [ObservationReport],
+    /// The 7-takeaway scoreboard.
+    pub takeaways: &'a [TakeawayReport],
+}
+
+fn observation_json(r: &ObservationReport) -> String {
+    format!(
+        "{{\"id\":{},\"claim\":{},\"measured\":{},\"holds\":{},\"data_missing\":{}}}",
+        r.id,
+        json::quote(&r.claim),
+        json::quote(&r.measured),
+        r.holds,
+        r.data_missing
+    )
+}
+
+fn takeaway_json(t: &TakeawayReport) -> String {
+    format!(
+        "{{\"id\":{},\"lesson\":{},\"from_observations\":{},\"holds\":{}}}",
+        t.id,
+        json::quote(&t.lesson),
+        json::array(t.from_observations.iter().map(|o| o.to_string())),
+        t.holds
+    )
+}
+
+impl MetricsDoc<'_> {
+    /// Renders the document as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let faults = match self.faults_preset {
+            Some(name) => json::quote(name),
+            None => "null".into(),
+        };
+        let held = self.observations.iter().filter(|r| r.holds).count();
+        let missing = self.observations.iter().filter(|r| r.data_missing).count();
+        let t_held = self.takeaways.iter().filter(|t| t.holds).count();
+        format!(
+            "{{\"schema_version\":{},\"tool\":\"repro\",\"scale\":{},\"faults\":{},\
+             \"telemetry\":{},\"scoreboard\":{{\
+             \"observations\":{},\"observations_held\":{held},\
+             \"observations_missing_data\":{missing},\
+             \"takeaways\":{},\"takeaways_held\":{t_held}}}}}",
+            METRICS_SCHEMA_VERSION,
+            json::quote(self.scale),
+            faults,
+            self.telemetry.to_json(),
+            json::array(self.observations.iter().map(observation_json)),
+            json::array(self.takeaways.iter().map(takeaway_json)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simra_telemetry::Recorder;
+
+    fn sample_doc_json() -> String {
+        let recorder = Recorder::new();
+        recorder.enable();
+        recorder.counter("engine", "sense_ops").add(3);
+        let snapshot = recorder.snapshot();
+        let observations = vec![
+            ObservationReport {
+                id: 1,
+                claim: "a \"quoted\" claim".into(),
+                measured: "99.90 %".into(),
+                holds: true,
+                data_missing: false,
+            },
+            ObservationReport {
+                id: 2,
+                claim: "unmeasurable".into(),
+                measured: "series 'x'/'y' missing".into(),
+                holds: false,
+                data_missing: true,
+            },
+        ];
+        let takeaways = vec![TakeawayReport {
+            id: 1,
+            lesson: "rows activate".into(),
+            from_observations: vec![1],
+            holds: true,
+        }];
+        MetricsDoc {
+            scale: "quick",
+            faults_preset: None,
+            telemetry: &snapshot,
+            observations: &observations,
+            takeaways: &takeaways,
+        }
+        .to_json()
+    }
+
+    #[test]
+    fn document_is_versioned_and_complete() {
+        let doc = sample_doc_json();
+        assert!(doc.starts_with(&format!(
+            "{{\"schema_version\":{METRICS_SCHEMA_VERSION},\"tool\":\"repro\""
+        )));
+        assert!(doc.contains("\"scale\":\"quick\""));
+        assert!(doc.contains("\"faults\":null"));
+        assert!(doc.contains("\"sense_ops\""));
+        assert!(doc.contains("\"observations_held\":1"));
+        assert!(doc.contains("\"observations_missing_data\":1"));
+        assert!(doc.contains("\"takeaways_held\":1"));
+        assert!(doc.contains("a \\\"quoted\\\" claim"));
+    }
+
+    #[test]
+    fn faults_preset_is_quoted_when_present() {
+        let recorder = Recorder::new();
+        let snapshot = recorder.snapshot();
+        let doc = MetricsDoc {
+            scale: "reduced",
+            faults_preset: Some("chaos"),
+            telemetry: &snapshot,
+            observations: &[],
+            takeaways: &[],
+        }
+        .to_json();
+        assert!(doc.contains("\"faults\":\"chaos\""));
+        assert!(doc.contains("\"observations_held\":0"));
+    }
+}

@@ -46,6 +46,7 @@ fn activation_samples(
 /// t2) combination. Rows are `(t1, t2)` pairs plus the distribution
 /// statistic; columns are N. Values in percent.
 pub fn fig3_activation_timing(config: &ExperimentConfig) -> Table {
+    let _span = simra_telemetry::global().span("figure", "fig3");
     let columns = ACTIVATION_NS.iter().map(|n| format!("N={n}")).collect();
     let mut table = Table::new(
         "Fig. 3: simultaneous many-row activation success vs (t1, t2)",
@@ -73,6 +74,7 @@ pub fn fig3_activation_timing(config: &ExperimentConfig) -> Table {
 /// Fig. 4a: average activation success vs temperature (rows) per N
 /// (columns), in percent.
 pub fn fig4a_activation_temperature(config: &ExperimentConfig) -> Table {
+    let _span = simra_telemetry::global().span("figure", "fig4a");
     let columns = ACTIVATION_NS.iter().map(|n| format!("N={n}")).collect();
     let mut table = Table::new(
         "Fig. 4a: many-row activation success vs temperature",
@@ -100,6 +102,7 @@ pub fn fig4a_activation_temperature(config: &ExperimentConfig) -> Table {
 /// Fig. 4b: average activation success vs V_PP (rows) per N (columns),
 /// in percent.
 pub fn fig4b_activation_voltage(config: &ExperimentConfig) -> Table {
+    let _span = simra_telemetry::global().span("figure", "fig4b");
     let columns = ACTIVATION_NS.iter().map(|n| format!("N={n}")).collect();
     let mut table = Table::new(
         "Fig. 4b: many-row activation success vs wordline voltage",

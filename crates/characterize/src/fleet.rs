@@ -47,6 +47,15 @@
 //! no fault RNG stream is ever consulted, and output stays byte-identical
 //! to builds that predate fault injection.
 //!
+//! # Telemetry
+//!
+//! Every run reports its task lifecycle to the global [`simra_telemetry`]
+//! recorder: tasks queued/started/retried/completed/failed/panicked,
+//! deadline trips, charged backoff, and attempts per task. Events are a
+//! pure function of `(config, n, policy)` — never of scheduling — so the
+//! counters are identical across worker counts, and with telemetry
+//! disabled (the default) each event costs one relaxed atomic load.
+//!
 //! Each task mounts a fresh [`TestSetup`]; that is cheap because module
 //! construction only creates empty lazy banks and subarray materialization
 //! hits the silicon cache (`simra_dram::silicon`), which shares one
@@ -68,6 +77,7 @@ use simra_bender::TestSetup;
 use simra_core::rowgroup::{sample_groups, GroupSpec};
 use simra_dram::DramModule;
 use simra_faults::{FaultPlan, ModuleFaultKind};
+use simra_telemetry::{Counter, Histogram};
 
 use crate::config::{ExperimentConfig, ModuleUnderTest};
 
@@ -281,6 +291,40 @@ impl FleetOutcome {
     }
 }
 
+/// Telemetry series for the executor's task lifecycle, reported to the
+/// global recorder. Every event is a deterministic function of the run's
+/// `(config, n, policy)` — never of scheduling — so counter values are
+/// identical across worker counts (asserted by
+/// `crates/characterize/tests/telemetry.rs`).
+struct FleetTelemetry {
+    task_queued: Counter,
+    task_started: Counter,
+    task_retried: Counter,
+    task_completed: Counter,
+    task_failed: Counter,
+    task_panicked: Counter,
+    deadline_tripped: Counter,
+    backoff_charged_ms: Histogram,
+    attempts: Histogram,
+}
+
+impl FleetTelemetry {
+    fn new() -> Self {
+        let recorder = simra_telemetry::global();
+        FleetTelemetry {
+            task_queued: recorder.counter("fleet", "task_queued"),
+            task_started: recorder.counter("fleet", "task_started"),
+            task_retried: recorder.counter("fleet", "task_retried"),
+            task_completed: recorder.counter("fleet", "task_completed"),
+            task_failed: recorder.counter("fleet", "task_failed"),
+            task_panicked: recorder.counter("fleet", "task_panicked"),
+            deadline_tripped: recorder.counter("fleet", "deadline_tripped"),
+            backoff_charged_ms: recorder.histogram("fleet", "backoff_charged_ms"),
+            attempts: recorder.histogram("fleet", "attempts_per_task"),
+        }
+    }
+}
+
 /// Everything a module task needs, shared read-only across workers.
 struct TaskCtx<'a, F> {
     config: &'a ExperimentConfig,
@@ -289,6 +333,7 @@ struct TaskCtx<'a, F> {
     clock: &'a dyn FleetClock,
     n: u32,
     op: &'a F,
+    telemetry: &'a FleetTelemetry,
 }
 
 /// Runs one module's full task: mount the module, seed its stream, sample
@@ -413,6 +458,21 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Largest exponent the backoff charge may reach: the charge saturates
+/// at `backoff_base_ms · 2^30` (~12 days at the default 10 ms base) so
+/// huge attempt counts can neither overflow a shift nor push the charge
+/// to infinity.
+const BACKOFF_EXPONENT_CAP: u32 = 30;
+
+/// Exponential backoff charged before retry `attempt` (≥ 2):
+/// `base · 2^(attempt − 2)`, saturating at 2^[`BACKOFF_EXPONENT_CAP`].
+/// The previous `f64::from(1u32 << (attempt − 2))` panicked in debug
+/// builds (and wrapped the shift in release) once `attempt ≥ 34`.
+fn backoff_charge_ms(base_ms: f64, attempt: u32) -> f64 {
+    let exponent = attempt.saturating_sub(2).min(BACKOFF_EXPONENT_CAP);
+    base_ms * 2f64.powi(exponent as i32)
+}
+
 /// Drives one module slot to a terminal [`ModuleResult`]: attempt,
 /// isolate panics, retry with charged backoff, give up on deadline or
 /// attempt exhaustion.
@@ -424,24 +484,40 @@ where
     let mut attempt = 1u32;
     loop {
         if attempt > 1 {
-            carried_ms += ctx.policy.backoff_base_ms * f64::from(1u32 << (attempt - 2));
+            let charge = backoff_charge_ms(ctx.policy.backoff_base_ms, attempt);
+            carried_ms += charge;
+            ctx.telemetry.task_retried.incr();
+            ctx.telemetry.backoff_charged_ms.observe(charge);
         }
+        ctx.telemetry.task_started.incr();
         let started_ms = ctx.clock.now_ms();
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
             run_module_faulted(ctx, index, attempt, carried_ms, started_ms)
         }));
         let cause = match outcome {
             Ok(Ok(samples)) => {
+                ctx.telemetry.task_completed.incr();
+                ctx.telemetry.attempts.observe(f64::from(attempt));
                 return ModuleResult::Completed {
                     samples,
                     attempts: attempt,
-                }
+                };
             }
-            Ok(Err(cause)) => cause,
-            Err(payload) => FailureCause::Panic(panic_message(payload.as_ref())),
+            Ok(Err(cause)) => {
+                if matches!(cause, FailureCause::DeadlineExceeded { .. }) {
+                    ctx.telemetry.deadline_tripped.incr();
+                }
+                cause
+            }
+            Err(payload) => {
+                ctx.telemetry.task_panicked.incr();
+                FailureCause::Panic(panic_message(payload.as_ref()))
+            }
         };
         let fatal = matches!(cause, FailureCause::DeadlineExceeded { .. });
         if fatal || attempt >= ctx.policy.max_attempts.max(1) {
+            ctx.telemetry.task_failed.incr();
+            ctx.telemetry.attempts.observe(f64::from(attempt));
             return ModuleResult::Failed {
                 attempts: attempt,
                 cause,
@@ -451,12 +527,14 @@ where
     }
 }
 
-/// Worker count: `SIMRA_THREADS` if set (clamped to ≥ 1), else one per
-/// core; never more than there are module tasks.
-fn executor_threads(tasks: usize) -> usize {
-    std::env::var("SIMRA_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
+/// Resolves the worker count from an (injected) `SIMRA_THREADS` value:
+/// a parseable override is clamped to ≥ 1, anything else falls back to
+/// one worker per core; never more than there are module tasks. Pure so
+/// tests can cover every branch without mutating process-global
+/// environment state (`set_var`/`remove_var` race with the parallel test
+/// harness).
+fn worker_count_from(var: Option<&str>, tasks: usize) -> usize {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
         .map(|v| v.max(1))
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -465,6 +543,13 @@ fn executor_threads(tasks: usize) -> usize {
         })
         .min(tasks)
         .max(1)
+}
+
+/// Worker count: `SIMRA_THREADS` if set (clamped to ≥ 1), else one per
+/// core; never more than there are module tasks.
+fn executor_threads(tasks: usize) -> usize {
+    let var = std::env::var("SIMRA_THREADS").ok();
+    worker_count_from(var.as_deref(), tasks)
 }
 
 /// Pulls the next task index: local queue first, then the shared
@@ -674,6 +759,8 @@ where
 {
     let fault_free = FaultPlan::default();
     let plan = config.faults.as_ref().unwrap_or(&fault_free);
+    let telemetry = FleetTelemetry::new();
+    telemetry.task_queued.add(config.modules.len() as u64);
     let ctx = TaskCtx {
         config,
         plan,
@@ -681,6 +768,7 @@ where
         clock,
         n,
         op: &op,
+        telemetry: &telemetry,
     };
     let outcome = if workers <= 1 || config.modules.len() <= 1 {
         run_serial_outcome(&ctx)
@@ -991,17 +1079,78 @@ mod tests {
     }
 
     #[test]
-    fn env_override_clamps_worker_count() {
-        std::env::set_var("SIMRA_THREADS", "3");
-        assert_eq!(executor_threads(8), 3);
-        assert_eq!(executor_threads(2), 2, "never more workers than tasks");
-        std::env::set_var("SIMRA_THREADS", "0");
-        assert_eq!(executor_threads(8), 1, "zero clamps to one worker");
-        std::env::set_var("SIMRA_THREADS", "not-a-number");
-        assert!(executor_threads(8) >= 1, "junk falls back to core count");
-        std::env::remove_var("SIMRA_THREADS");
-        assert!(executor_threads(8) >= 1);
-        assert_eq!(executor_threads(0), 1);
+    fn worker_count_override_clamps() {
+        // Pure-function coverage of the SIMRA_THREADS resolution; no
+        // process-global env mutation (which races with the parallel
+        // test harness).
+        assert_eq!(worker_count_from(Some("3"), 8), 3);
+        assert_eq!(
+            worker_count_from(Some("3"), 2),
+            2,
+            "never more workers than tasks"
+        );
+        assert_eq!(
+            worker_count_from(Some("0"), 8),
+            1,
+            "zero clamps to one worker"
+        );
+        assert_eq!(worker_count_from(Some(" 4 "), 8), 4, "whitespace trimmed");
+        assert!(
+            worker_count_from(Some("not-a-number"), 8) >= 1,
+            "junk falls back to core count"
+        );
+        assert!(worker_count_from(None, 8) >= 1);
+        assert_eq!(worker_count_from(None, 0), 1);
+        assert_eq!(worker_count_from(Some("99"), 0), 1);
+    }
+
+    #[test]
+    fn backoff_charge_grows_then_saturates() {
+        assert_eq!(backoff_charge_ms(10.0, 2), 10.0);
+        assert_eq!(backoff_charge_ms(10.0, 3), 20.0);
+        assert_eq!(backoff_charge_ms(10.0, 4), 40.0);
+        assert_eq!(backoff_charge_ms(10.0, 31), 10.0 * 2f64.powi(29));
+        // At and beyond the cap the charge saturates instead of
+        // overflowing the old `1u32 << (attempt - 2)` shift (attempt 34)
+        // or racing to infinity.
+        let cap = 10.0 * 2f64.powi(BACKOFF_EXPONENT_CAP as i32);
+        assert_eq!(backoff_charge_ms(10.0, 32), cap);
+        assert_eq!(backoff_charge_ms(10.0, 34), cap);
+        assert_eq!(backoff_charge_ms(10.0, 64), cap);
+        assert_eq!(backoff_charge_ms(10.0, u32::MAX), cap);
+        assert!(backoff_charge_ms(10.0, u32::MAX).is_finite());
+    }
+
+    #[test]
+    fn many_attempts_do_not_overflow_the_backoff_shift() {
+        // Regression: with max_attempts = 64 a permanent dropout used to
+        // reach attempt 34, where `1u32 << 32` panicked in debug builds
+        // and wrapped (collapsing the charge) in release builds.
+        let mut config = ExperimentConfig::quick();
+        config.faults = Some(FaultPlan {
+            modules: vec![ModuleFault {
+                module_index: 0,
+                kind: ModuleFaultKind::Dropout {
+                    at_group: 0,
+                    recover_after_attempts: None,
+                },
+            }],
+            ..FaultPlan::default()
+        });
+        let policy = FleetPolicy {
+            max_attempts: 64,
+            backoff_base_ms: 10.0,
+            deadline_ms: None,
+        };
+        let clock = MockClock::new();
+        let outcome = run_fleet_with(&config, 2, policy, &clock, 1, probe_op);
+        match &outcome.slots[0] {
+            ModuleResult::Failed { attempts, cause } => {
+                assert_eq!(*attempts, 64, "all attempts consumed, none overflowed");
+                assert_eq!(*cause, FailureCause::Dropout { at_group: 0 });
+            }
+            other => panic!("permanent dropout must exhaust retries, got {other:?}"),
+        }
     }
 
     #[test]

@@ -55,6 +55,7 @@ fn majx_samples(
 /// Fig. 6: MAJ3 success distribution vs (t1, t2) and N ∈ {4, 8, 16, 32}.
 /// Values in percent.
 pub fn fig6_maj3_timing(config: &ExperimentConfig) -> Table {
+    let _span = simra_telemetry::global().span("figure", "fig6");
     let ns = feasible_ns(3);
     let columns = ns.iter().map(|n| format!("N={n}")).collect();
     let mut table = Table::new(
@@ -83,6 +84,7 @@ pub fn fig6_maj3_timing(config: &ExperimentConfig) -> Table {
 /// Fig. 7: MAJX success per data pattern, at the best MAJX timing,
 /// with the maximum feasible replication (N = 32). Values in percent.
 pub fn fig7_majx_patterns(config: &ExperimentConfig) -> Table {
+    let _span = simra_telemetry::global().span("figure", "fig7");
     let columns = MAJ_XS.iter().map(|x| format!("MAJ{x}")).collect();
     let mut table = Table::new(
         "Fig. 7: MAJX success per data pattern (N = 32, best timing)",
@@ -132,6 +134,7 @@ pub fn fig7_majx_patterns(config: &ExperimentConfig) -> Table {
 /// Fig. 8: MAJX success vs temperature (random pattern, N = 32 and the
 /// no-replication N = 4 for MAJ3, to show Obs. 12). Values in percent.
 pub fn fig8_majx_temperature(config: &ExperimentConfig) -> Table {
+    let _span = simra_telemetry::global().span("figure", "fig8");
     let temps = crate::activation::TEMPERATURES_C;
     let columns = temps.iter().map(|t| format!("{t}C")).collect();
     let mut table = Table::new(
@@ -177,6 +180,7 @@ pub fn fig8_majx_temperature(config: &ExperimentConfig) -> Table {
 /// Fig. 9: MAJX success vs wordline voltage (random pattern, N = 32).
 /// Values in percent.
 pub fn fig9_majx_voltage(config: &ExperimentConfig) -> Table {
+    let _span = simra_telemetry::global().span("figure", "fig9");
     let vpps = crate::activation::VPP_LEVELS_V;
     let columns = vpps.iter().map(|v| format!("{v}V")).collect();
     let mut table = Table::new(

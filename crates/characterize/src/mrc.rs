@@ -77,6 +77,7 @@ fn mrc_samples(
 /// Fig. 10: Multi-RowCopy success distribution vs (t1, t2) per
 /// destination count. Values in percent.
 pub fn fig10_mrc_timing(config: &ExperimentConfig) -> Table {
+    let _span = simra_telemetry::global().span("figure", "fig10");
     let columns = DEST_COUNTS.iter().map(|d| format!("dests={d}")).collect();
     let mut table = Table::new(
         "Fig. 10: Multi-RowCopy success vs (t1, t2) and destination count",
@@ -104,6 +105,7 @@ pub fn fig10_mrc_timing(config: &ExperimentConfig) -> Table {
 /// Fig. 11: Multi-RowCopy success per source data pattern (best timing).
 /// Values in percent.
 pub fn fig11_mrc_patterns(config: &ExperimentConfig) -> Table {
+    let _span = simra_telemetry::global().span("figure", "fig11");
     let columns = DEST_COUNTS.iter().map(|d| format!("dests={d}")).collect();
     let mut table = Table::new(
         "Fig. 11: Multi-RowCopy data-pattern dependence",
@@ -136,6 +138,7 @@ pub fn fig11_mrc_patterns(config: &ExperimentConfig) -> Table {
 /// Fig. 12a: Multi-RowCopy success vs temperature (random source data).
 /// Values in percent.
 pub fn fig12a_mrc_temperature(config: &ExperimentConfig) -> Table {
+    let _span = simra_telemetry::global().span("figure", "fig12a");
     let temps = crate::activation::TEMPERATURES_C;
     let columns = DEST_COUNTS.iter().map(|d| format!("dests={d}")).collect();
     let mut table = Table::new(
@@ -165,6 +168,7 @@ pub fn fig12a_mrc_temperature(config: &ExperimentConfig) -> Table {
 /// Fig. 12b: Multi-RowCopy success vs wordline voltage (random source
 /// data). Values in percent.
 pub fn fig12b_mrc_voltage(config: &ExperimentConfig) -> Table {
+    let _span = simra_telemetry::global().span("figure", "fig12b");
     let vpps = crate::activation::VPP_LEVELS_V;
     let columns = DEST_COUNTS.iter().map(|d| format!("dests={d}")).collect();
     let mut table = Table::new(

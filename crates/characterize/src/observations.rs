@@ -4,6 +4,10 @@
 //! characterization runners and evaluated at the configured scale; the
 //! result records what was measured so the repro binary can print a
 //! paper-vs-model scoreboard (the data behind EXPERIMENTS.md).
+//!
+//! Lookups go through [`SeriesProbe`] so a series missing from a figure
+//! table is reported as such (`data_missing = true`, counted separately
+//! in the scoreboard) instead of silently comparing against NaN.
 
 use serde::{Deserialize, Serialize};
 
@@ -16,6 +20,7 @@ use crate::mrc::{
     fig10_mrc_timing, fig11_mrc_patterns, fig12a_mrc_temperature, fig12b_mrc_voltage,
 };
 use crate::power::fig5_power;
+use crate::report::Table;
 
 /// One evaluated observation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -28,27 +33,67 @@ pub struct ObservationReport {
     pub measured: String,
     /// Whether the claim holds in the model.
     pub holds: bool,
+    /// True when the verdict could not be measured because one or more
+    /// input series were missing from the figure tables. Such reports
+    /// always have `holds == false` and are counted separately from
+    /// genuine mismatches in the scoreboard.
+    pub data_missing: bool,
 }
 
 impl std::fmt::Display for ObservationReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let verdict = if self.data_missing {
+            "??"
+        } else if self.holds {
+            "ok"
+        } else {
+            "XX"
+        };
         write!(
             f,
             "Obs. {:>2} [{}] {} — measured: {}",
-            self.id,
-            if self.holds { "ok" } else { "XX" },
-            self.claim,
-            self.measured
+            self.id, verdict, self.claim, self.measured
         )
     }
 }
 
-fn report(id: u8, claim: &str, measured: String, holds: bool) -> ObservationReport {
-    ObservationReport {
-        id,
-        claim: claim.into(),
-        measured,
-        holds,
+/// Collects the series lookups behind one observation, recording any
+/// that are missing from their table.
+#[derive(Debug, Default)]
+struct SeriesProbe {
+    missing: Vec<String>,
+}
+
+impl SeriesProbe {
+    /// Looks up one cell. A hit returns the value; a miss records the
+    /// series and returns NaN (the verdict is discarded in that case).
+    fn get(&mut self, table: &Table, row: &str, col: &str) -> f64 {
+        match table.get(row, col) {
+            Some(v) => v,
+            None => {
+                self.missing.push(format!("series '{row}'/'{col}' missing"));
+                f64::NAN
+            }
+        }
+    }
+
+    /// Seals one observation. If any lookup missed, the report fails
+    /// closed: `measured` names the missing series, `holds` is false,
+    /// and `data_missing` is set so the scoreboard can count it apart
+    /// from genuine mismatches.
+    fn report(self, id: u8, claim: &str, measured: String, holds: bool) -> ObservationReport {
+        let (measured, holds, data_missing) = if self.missing.is_empty() {
+            (measured, holds, false)
+        } else {
+            (self.missing.join("; "), false, true)
+        };
+        ObservationReport {
+            id,
+            claim: claim.into(),
+            measured,
+            holds,
+            data_missing,
+        }
     }
 }
 
@@ -59,170 +104,227 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
 
     // Figs. 3/4: activation.
     let fig3 = fig3_activation_timing(config);
-    let best32 = fig3.get("t1=3 t2=3 mean", "N=32").unwrap_or(f64::NAN);
-    out.push(report(
-        1,
-        "up to 32 rows activate simultaneously at very high success",
-        format!("{best32:.2} % at N=32, best timing"),
-        best32 > 99.0,
-    ));
-    let weak32 = fig3.get("t1=1.5 t2=1.5 mean", "N=32").unwrap_or(f64::NAN);
-    out.push(report(
-        2,
-        "t1 or t2 below 3 ns drastically lowers activation success",
-        format!("{weak32:.2} % at t1=t2=1.5 ns vs {best32:.2} %"),
-        best32 - weak32 > 10.0,
-    ));
+    {
+        let mut p = SeriesProbe::default();
+        let best32 = p.get(&fig3, "t1=3 t2=3 mean", "N=32");
+        out.push(p.report(
+            1,
+            "up to 32 rows activate simultaneously at very high success",
+            format!("{best32:.2} % at N=32, best timing"),
+            best32 > 99.0,
+        ));
+    }
+    {
+        let mut p = SeriesProbe::default();
+        let best32 = p.get(&fig3, "t1=3 t2=3 mean", "N=32");
+        let weak32 = p.get(&fig3, "t1=1.5 t2=1.5 mean", "N=32");
+        out.push(p.report(
+            2,
+            "t1 or t2 below 3 ns drastically lowers activation success",
+            format!("{weak32:.2} % at t1=t2=1.5 ns vs {best32:.2} %"),
+            best32 - weak32 > 10.0,
+        ));
+    }
     let fig4a = fig4a_activation_temperature(config);
-    let t50 = fig4a.get("50 C", "N=32").unwrap_or(f64::NAN);
-    let t90 = fig4a.get("90 C", "N=32").unwrap_or(f64::NAN);
-    out.push(report(
-        3,
-        "temperature up to 90 °C barely moves activation success",
-        format!("{t50:.2} % → {t90:.2} %"),
-        (t90 - t50).abs() < 1.0,
-    ));
+    {
+        let mut p = SeriesProbe::default();
+        let t50 = p.get(&fig4a, "50 C", "N=32");
+        let t90 = p.get(&fig4a, "90 C", "N=32");
+        out.push(p.report(
+            3,
+            "temperature up to 90 °C barely moves activation success",
+            format!("{t50:.2} % → {t90:.2} %"),
+            (t90 - t50).abs() < 1.0,
+        ));
+    }
     let fig4b = fig4b_activation_voltage(config);
-    let v25 = fig4b.get("2.5 V", "N=32").unwrap_or(f64::NAN);
-    let v21 = fig4b.get("2.1 V", "N=32").unwrap_or(f64::NAN);
-    out.push(report(
-        4,
-        "V_PP underscaling barely moves activation success",
-        format!("{v25:.2} % → {v21:.2} %"),
-        v25 - v21 >= 0.0 && v25 - v21 < 1.0,
-    ));
+    {
+        let mut p = SeriesProbe::default();
+        let v25 = p.get(&fig4b, "2.5 V", "N=32");
+        let v21 = p.get(&fig4b, "2.1 V", "N=32");
+        out.push(p.report(
+            4,
+            "V_PP underscaling barely moves activation success",
+            format!("{v25:.2} % → {v21:.2} %"),
+            v25 - v21 >= 0.0 && v25 - v21 < 1.0,
+        ));
+    }
 
     // Fig. 5: power.
     let fig5 = fig5_power(config);
-    let p32 = fig5.get("32-row ACT", "pct_of_REF").unwrap_or(f64::NAN);
-    out.push(report(
-        5,
-        "32-row activation draws less power than a refresh",
-        format!("{p32:.1} % of REF"),
-        p32 < 100.0,
-    ));
+    {
+        let mut p = SeriesProbe::default();
+        let p32 = p.get(&fig5, "32-row ACT", "pct_of_REF");
+        out.push(p.report(
+            5,
+            "32-row activation draws less power than a refresh",
+            format!("{p32:.1} % of REF"),
+            p32 < 100.0,
+        ));
+    }
 
     // Figs. 6/7: MAJX.
     let fig6 = fig6_maj3_timing(config);
-    let maj3_32 = fig6.get("t1=1.5 t2=3 mean", "N=32").unwrap_or(f64::NAN);
-    let maj3_4 = fig6.get("t1=1.5 t2=3 mean", "N=4").unwrap_or(f64::NAN);
-    out.push(report(
-        6,
-        "input replication drastically raises MAJ3 success",
-        format!("{maj3_32:.2} % @32 rows vs {maj3_4:.2} % @4 rows"),
-        maj3_32 - maj3_4 > 10.0,
-    ));
-    let maj3_33 = fig6.get("t1=3 t2=3 mean", "N=32").unwrap_or(f64::NAN);
-    out.push(report(
-        7,
-        "APA timing strongly moves MAJ3 ((1.5,3) best)",
-        format!("{maj3_32:.2} % at (1.5,3) vs {maj3_33:.2} % at (3,3)"),
-        maj3_32 - maj3_33 > 20.0,
-    ));
+    {
+        let mut p = SeriesProbe::default();
+        let maj3_32 = p.get(&fig6, "t1=1.5 t2=3 mean", "N=32");
+        let maj3_4 = p.get(&fig6, "t1=1.5 t2=3 mean", "N=4");
+        out.push(p.report(
+            6,
+            "input replication drastically raises MAJ3 success",
+            format!("{maj3_32:.2} % @32 rows vs {maj3_4:.2} % @4 rows"),
+            maj3_32 - maj3_4 > 10.0,
+        ));
+    }
+    {
+        let mut p = SeriesProbe::default();
+        let maj3_32 = p.get(&fig6, "t1=1.5 t2=3 mean", "N=32");
+        let maj3_33 = p.get(&fig6, "t1=3 t2=3 mean", "N=32");
+        out.push(p.report(
+            7,
+            "APA timing strongly moves MAJ3 ((1.5,3) best)",
+            format!("{maj3_32:.2} % at (1.5,3) vs {maj3_33:.2} % at (3,3)"),
+            maj3_32 - maj3_33 > 20.0,
+        ));
+    }
     let fig7 = fig7_majx_patterns(config);
-    let m5 = fig7.get("random", "MAJ5").unwrap_or(f64::NAN);
-    let m7 = fig7.get("random", "MAJ7").unwrap_or(f64::NAN);
-    let m9 = fig7.get("random", "MAJ9").unwrap_or(f64::NAN);
-    out.push(report(
-        8,
-        "MAJ5, MAJ7, MAJ9 are all feasible",
-        format!("{m5:.1} / {m7:.1} / {m9:.1} %"),
-        m5 > 30.0 && m7 > 5.0 && m9 > 1.0,
-    ));
-    let solid5 = fig7.get("0x00/0xFF", "MAJ5").unwrap_or(f64::NAN);
-    out.push(report(
-        9,
-        "data pattern matters: random is the worst for MAJX",
-        format!("MAJ5 solid {solid5:.1} % vs random {m5:.1} %"),
-        solid5 > m5,
-    ));
-    let m5_n8 = fig7.get("random N=8 MAJ5", "MAJ5").unwrap_or(f64::NAN);
-    out.push(report(
-        10,
-        "replication helps MAJ5/7/9 too, not just MAJ3",
-        format!("MAJ5: {m5_n8:.1} % @8 rows → {m5:.1} % @32 rows"),
-        m5 > m5_n8,
-    ));
+    {
+        let mut p = SeriesProbe::default();
+        let m5 = p.get(&fig7, "random", "MAJ5");
+        let m7 = p.get(&fig7, "random", "MAJ7");
+        let m9 = p.get(&fig7, "random", "MAJ9");
+        out.push(p.report(
+            8,
+            "MAJ5, MAJ7, MAJ9 are all feasible",
+            format!("{m5:.1} / {m7:.1} / {m9:.1} %"),
+            m5 > 30.0 && m7 > 5.0 && m9 > 1.0,
+        ));
+    }
+    {
+        let mut p = SeriesProbe::default();
+        let m5 = p.get(&fig7, "random", "MAJ5");
+        let solid5 = p.get(&fig7, "0x00/0xFF", "MAJ5");
+        out.push(p.report(
+            9,
+            "data pattern matters: random is the worst for MAJX",
+            format!("MAJ5 solid {solid5:.1} % vs random {m5:.1} %"),
+            solid5 > m5,
+        ));
+    }
+    {
+        let mut p = SeriesProbe::default();
+        let m5 = p.get(&fig7, "random", "MAJ5");
+        let m5_n8 = p.get(&fig7, "random N=8 MAJ5", "MAJ5");
+        out.push(p.report(
+            10,
+            "replication helps MAJ5/7/9 too, not just MAJ3",
+            format!("MAJ5: {m5_n8:.1} % @8 rows → {m5:.1} % @32 rows"),
+            m5 > m5_n8,
+        ));
+    }
 
     // Figs. 8/9: MAJX environment.
     let fig8 = fig8_majx_temperature(config);
-    let maj5_t50 = fig8.get("MAJ5 N=32", "50C").unwrap_or(f64::NAN);
-    let maj5_t90 = fig8.get("MAJ5 N=32", "90C").unwrap_or(f64::NAN);
-    out.push(report(
-        11,
-        "temperature only slightly moves MAJX (warmer a bit better)",
-        format!("MAJ5: {maj5_t50:.2} % → {maj5_t90:.2} %"),
-        (maj5_t90 - maj5_t50).abs() < 10.0 && maj5_t90 >= maj5_t50,
-    ));
-    let maj3n4_t50 = fig8.get("MAJ3 N=4", "50C").unwrap_or(f64::NAN);
-    let maj3n4_t90 = fig8.get("MAJ3 N=4", "90C").unwrap_or(f64::NAN);
-    let maj3n32_t50 = fig8.get("MAJ3 N=32", "50C").unwrap_or(f64::NAN);
-    let maj3n32_t90 = fig8.get("MAJ3 N=32", "90C").unwrap_or(f64::NAN);
-    out.push(report(
-        12,
-        "replication damps MAJX's temperature sensitivity",
-        format!(
-            "MAJ3@4: {:.2} pp vs MAJ3@32: {:.2} pp",
-            (maj3n4_t90 - maj3n4_t50).abs(),
-            (maj3n32_t90 - maj3n32_t50).abs()
-        ),
-        (maj3n4_t90 - maj3n4_t50).abs() > (maj3n32_t90 - maj3n32_t50).abs(),
-    ));
+    {
+        let mut p = SeriesProbe::default();
+        let maj5_t50 = p.get(&fig8, "MAJ5 N=32", "50C");
+        let maj5_t90 = p.get(&fig8, "MAJ5 N=32", "90C");
+        out.push(p.report(
+            11,
+            "temperature only slightly moves MAJX (warmer a bit better)",
+            format!("MAJ5: {maj5_t50:.2} % → {maj5_t90:.2} %"),
+            (maj5_t90 - maj5_t50).abs() < 10.0 && maj5_t90 >= maj5_t50,
+        ));
+    }
+    {
+        let mut p = SeriesProbe::default();
+        let maj3n4_t50 = p.get(&fig8, "MAJ3 N=4", "50C");
+        let maj3n4_t90 = p.get(&fig8, "MAJ3 N=4", "90C");
+        let maj3n32_t50 = p.get(&fig8, "MAJ3 N=32", "50C");
+        let maj3n32_t90 = p.get(&fig8, "MAJ3 N=32", "90C");
+        out.push(p.report(
+            12,
+            "replication damps MAJX's temperature sensitivity",
+            format!(
+                "MAJ3@4: {:.2} pp vs MAJ3@32: {:.2} pp",
+                (maj3n4_t90 - maj3n4_t50).abs(),
+                (maj3n32_t90 - maj3n32_t50).abs()
+            ),
+            (maj3n4_t90 - maj3n4_t50).abs() > (maj3n32_t90 - maj3n32_t50).abs(),
+        ));
+    }
     let fig9 = fig9_majx_voltage(config);
-    let maj5_v25 = fig9.get("MAJ5 N=32", "2.5V").unwrap_or(f64::NAN);
-    let maj5_v21 = fig9.get("MAJ5 N=32", "2.1V").unwrap_or(f64::NAN);
-    out.push(report(
-        13,
-        "V_PP only slightly moves MAJX",
-        format!("MAJ5: {maj5_v25:.2} % → {maj5_v21:.2} %"),
-        (maj5_v25 - maj5_v21).abs() < 5.0,
-    ));
+    {
+        let mut p = SeriesProbe::default();
+        let maj5_v25 = p.get(&fig9, "MAJ5 N=32", "2.5V");
+        let maj5_v21 = p.get(&fig9, "MAJ5 N=32", "2.1V");
+        out.push(p.report(
+            13,
+            "V_PP only slightly moves MAJX",
+            format!("MAJ5: {maj5_v25:.2} % → {maj5_v21:.2} %"),
+            (maj5_v25 - maj5_v21).abs() < 5.0,
+        ));
+    }
 
     // Figs. 10–12: Multi-RowCopy.
     let fig10 = fig10_mrc_timing(config);
-    let mrc31 = fig10.get("t1=36 t2=3 mean", "dests=31").unwrap_or(f64::NAN);
-    out.push(report(
-        14,
-        "one row copies to up to 31 rows at very high success",
-        format!("{mrc31:.2} % at best timing"),
-        mrc31 > 99.0,
-    ));
-    let mrc31_bad = fig10
-        .get("t1=1.5 t2=3 mean", "dests=31")
-        .unwrap_or(f64::NAN);
-    out.push(report(
-        15,
-        "t1 = 1.5 ns collapses Multi-RowCopy",
-        format!("{mrc31_bad:.2} % vs {mrc31:.2} %"),
-        mrc31 - mrc31_bad > 30.0,
-    ));
+    {
+        let mut p = SeriesProbe::default();
+        let mrc31 = p.get(&fig10, "t1=36 t2=3 mean", "dests=31");
+        out.push(p.report(
+            14,
+            "one row copies to up to 31 rows at very high success",
+            format!("{mrc31:.2} % at best timing"),
+            mrc31 > 99.0,
+        ));
+    }
+    {
+        let mut p = SeriesProbe::default();
+        let mrc31 = p.get(&fig10, "t1=36 t2=3 mean", "dests=31");
+        let mrc31_bad = p.get(&fig10, "t1=1.5 t2=3 mean", "dests=31");
+        out.push(p.report(
+            15,
+            "t1 = 1.5 ns collapses Multi-RowCopy",
+            format!("{mrc31_bad:.2} % vs {mrc31:.2} %"),
+            mrc31 - mrc31_bad > 30.0,
+        ));
+    }
     let fig11 = fig11_mrc_patterns(config);
-    let ones31 = fig11.get("all-1s", "dests=31").unwrap_or(f64::NAN);
-    let zeros31 = fig11.get("all-0s", "dests=31").unwrap_or(f64::NAN);
-    out.push(report(
-        16,
-        "all-1s to 31 rows dips slightly below other patterns",
-        format!("all-1s {ones31:.2} % vs all-0s {zeros31:.2} %"),
-        zeros31 >= ones31 && zeros31 - ones31 < 5.0,
-    ));
+    {
+        let mut p = SeriesProbe::default();
+        let ones31 = p.get(&fig11, "all-1s", "dests=31");
+        let zeros31 = p.get(&fig11, "all-0s", "dests=31");
+        out.push(p.report(
+            16,
+            "all-1s to 31 rows dips slightly below other patterns",
+            format!("all-1s {ones31:.2} % vs all-0s {zeros31:.2} %"),
+            zeros31 >= ones31 && zeros31 - ones31 < 5.0,
+        ));
+    }
     let fig12a = fig12a_mrc_temperature(config);
-    let mrc_t50 = fig12a.get("50 C", "dests=31").unwrap_or(f64::NAN);
-    let mrc_t90 = fig12a.get("90 C", "dests=31").unwrap_or(f64::NAN);
-    out.push(report(
-        17,
-        "temperature barely moves Multi-RowCopy",
-        format!("{mrc_t50:.2} % → {mrc_t90:.2} %"),
-        (mrc_t90 - mrc_t50).abs() < 1.0,
-    ));
+    {
+        let mut p = SeriesProbe::default();
+        let mrc_t50 = p.get(&fig12a, "50 C", "dests=31");
+        let mrc_t90 = p.get(&fig12a, "90 C", "dests=31");
+        out.push(p.report(
+            17,
+            "temperature barely moves Multi-RowCopy",
+            format!("{mrc_t50:.2} % → {mrc_t90:.2} %"),
+            (mrc_t90 - mrc_t50).abs() < 1.0,
+        ));
+    }
     let fig12b = fig12b_mrc_voltage(config);
-    let mrc_v25 = fig12b.get("2.5 V", "dests=31").unwrap_or(f64::NAN);
-    let mrc_v21 = fig12b.get("2.1 V", "dests=31").unwrap_or(f64::NAN);
-    out.push(report(
-        18,
-        "V_PP underscaling barely moves Multi-RowCopy",
-        format!("{mrc_v25:.2} % → {mrc_v21:.2} %"),
-        mrc_v25 - mrc_v21 >= 0.0 && mrc_v25 - mrc_v21 < 2.0,
-    ));
+    {
+        let mut p = SeriesProbe::default();
+        let mrc_v25 = p.get(&fig12b, "2.5 V", "dests=31");
+        let mrc_v21 = p.get(&fig12b, "2.1 V", "dests=31");
+        out.push(p.report(
+            18,
+            "V_PP underscaling barely moves Multi-RowCopy",
+            format!("{mrc_v25:.2} % → {mrc_v21:.2} %"),
+            mrc_v25 - mrc_v21 >= 0.0 && mrc_v25 - mrc_v21 < 2.0,
+        ));
+    }
 
     out
 }
@@ -248,11 +350,45 @@ mod tests {
     }
 
     #[test]
+    fn quick_scale_has_no_missing_series() {
+        let reports = check_observations(&ExperimentConfig::quick());
+        assert!(reports.iter().all(|r| !r.data_missing));
+    }
+
+    #[test]
     fn report_display_carries_the_verdict() {
-        let r = report(1, "claim", "measured".into(), true);
+        let probe = SeriesProbe::default();
+        let r = probe.report(1, "claim", "measured".into(), true);
         let s = r.to_string();
         assert!(s.contains("Obs.  1") && s.contains("[ok]"));
-        let bad = report(2, "claim", "measured".into(), false);
+        let bad = SeriesProbe::default().report(2, "claim", "measured".into(), false);
         assert!(bad.to_string().contains("[XX]"));
+    }
+
+    #[test]
+    fn missing_series_is_reported_not_nan() {
+        let table = Table::new("Fig. T", "", vec!["N=32".into()]);
+        let mut p = SeriesProbe::default();
+        let v = p.get(&table, "t1=3 t2=3 mean", "N=32");
+        assert!(v.is_nan());
+        // Even a verdict that a NaN comparison would let pass is
+        // overridden: the report fails closed and names the series.
+        let r = p.report(1, "claim", format!("{v:.2} %"), true);
+        assert!(!r.holds);
+        assert!(r.data_missing);
+        assert_eq!(r.measured, "series 't1=3 t2=3 mean'/'N=32' missing");
+        assert!(r.to_string().contains("[??]"));
+    }
+
+    #[test]
+    fn probe_hit_preserves_the_verdict() {
+        let mut table = Table::new("Fig. T", "", vec!["N=32".into()]);
+        table.push_row("t1=3 t2=3 mean", vec![99.5]);
+        let mut p = SeriesProbe::default();
+        let v = p.get(&table, "t1=3 t2=3 mean", "N=32");
+        let r = p.report(1, "claim", format!("{v:.2} %"), v > 99.0);
+        assert!(r.holds);
+        assert!(!r.data_missing);
+        assert_eq!(r.measured, "99.50 %");
     }
 }

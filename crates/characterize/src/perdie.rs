@@ -23,6 +23,7 @@ use crate::report::Table;
 /// destinations, all in percent (NaN where the part cannot perform the
 /// operation, e.g. MAJ9 on Mfr. M).
 pub fn per_die_breakdown(config: &ExperimentConfig) -> Table {
+    let _span = simra_telemetry::global().span("figure", "per_die_breakdown");
     let columns = vec![
         "ACT32".to_string(),
         "MAJ3".into(),

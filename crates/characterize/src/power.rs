@@ -9,6 +9,7 @@ use crate::report::Table;
 /// Fig. 5: average power (mW) of N-row activation and the four standard
 /// operations (the paper's dashed lines).
 pub fn fig5_power(_config: &ExperimentConfig) -> Table {
+    let _span = simra_telemetry::global().span("figure", "fig5");
     let model = PowerModel::ddr4();
     let mut table = Table::new(
         "Fig. 5: power of simultaneous many-row activation vs standard ops",

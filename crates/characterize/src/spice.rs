@@ -10,6 +10,7 @@ use crate::report::Table;
 /// success rate per N-row activation (rows) and process-variation percent
 /// (columns).
 pub fn fig15_spice(config: &ExperimentConfig) -> (Table, Table) {
+    let _span = simra_telemetry::global().span("figure", "fig15");
     let mc = MonteCarloConfig {
         sets: 1000,
         seed: config.seed,

@@ -1,0 +1,155 @@
+//! Integration tests for the telemetry wiring.
+//!
+//! Two invariants: fleet telemetry is a pure function of
+//! `(config, n, policy)` — identical across worker counts — and a
+//! disabled recorder leaves the scientific output byte-identical.
+//!
+//! The tests share the process-global recorder, so each one holds
+//! [`guard`] for its whole body (tests within one binary run on
+//! parallel threads by default).
+
+use std::sync::{Mutex, MutexGuard};
+
+use simra_characterize::config::ModuleUnderTest;
+use simra_characterize::{fig5_power, run_fleet_with, ExperimentConfig, FleetPolicy, MockClock};
+use simra_faults::{FaultPlan, ModuleFault, ModuleFaultKind};
+
+fn guard() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Quick-scale config widened to four modules so multi-worker runs
+/// actually schedule concurrently (≤ 1 module forces the serial path).
+fn four_module_quick() -> ExperimentConfig {
+    let mut config = ExperimentConfig::quick();
+    while config.modules.len() < 4 {
+        let seed = 100 + config.modules.len() as u64;
+        config.modules.push(ModuleUnderTest {
+            profile: simra_dram::VendorProfile::mfr_h_a_die(),
+            seed,
+        });
+    }
+    config
+}
+
+#[test]
+fn fleet_telemetry_is_identical_across_worker_counts() {
+    let _guard = guard();
+    let recorder = simra_telemetry::global();
+    recorder.enable();
+
+    // A transient dropout on module 1 exercises the retry/backoff
+    // events; recovery after the 2nd attempt keeps the run green.
+    let mut config = four_module_quick();
+    config.faults = Some(FaultPlan {
+        modules: vec![ModuleFault {
+            module_index: 1,
+            kind: ModuleFaultKind::Dropout {
+                at_group: 0,
+                recover_after_attempts: Some(2),
+            },
+        }],
+        ..FaultPlan::default()
+    });
+    let policy = FleetPolicy {
+        max_attempts: 4,
+        backoff_base_ms: 10.0,
+        deadline_ms: None,
+    };
+
+    let mut snapshots = Vec::new();
+    for workers in [1usize, 2, 4] {
+        recorder.reset();
+        let clock = MockClock::new();
+        let outcome = run_fleet_with(&config, 4, policy, &clock, workers, |_, g, _| {
+            Some(g.n_rows() as f64)
+        });
+        assert_eq!(outcome.ok_modules(), 4, "workers={workers}");
+        snapshots.push((workers, recorder.snapshot()));
+    }
+    // Spill the session coverage this test accumulated so it cannot
+    // leak into other assertions about fleet state.
+    let _ = simra_characterize::take_session_coverage();
+
+    let (_, reference) = &snapshots[0];
+    for (workers, snapshot) in &snapshots {
+        assert_eq!(
+            snapshot.counters, reference.counters,
+            "counter values diverged at workers={workers}"
+        );
+        assert_eq!(
+            snapshot.histograms, reference.histograms,
+            "histogram values diverged at workers={workers}"
+        );
+    }
+
+    let counter = |name: &str| {
+        reference
+            .counters
+            .iter()
+            .find(|c| c.module == "fleet" && c.name == name)
+            .unwrap_or_else(|| panic!("fleet counter {name} missing"))
+            .value
+    };
+    assert_eq!(counter("task_queued"), 4);
+    assert_eq!(counter("task_completed"), 4);
+    // Module 1 fails attempts 1 and 2, succeeds on attempt 3.
+    assert_eq!(counter("task_retried"), 2);
+    assert_eq!(counter("task_started"), 6);
+    assert_eq!(counter("task_failed"), 0);
+    assert_eq!(counter("task_panicked"), 0);
+    let backoff = reference
+        .histograms
+        .iter()
+        .find(|h| h.module == "fleet" && h.name == "backoff_charged_ms")
+        .expect("backoff histogram missing");
+    // Charges 10 · 2⁰ before attempt 2 and 10 · 2¹ before attempt 3.
+    assert_eq!(backoff.count, 2);
+    assert!((backoff.sum - 30.0).abs() < 1e-9);
+
+    recorder.disable();
+    recorder.reset();
+}
+
+#[test]
+fn disabled_recorder_leaves_figure_output_byte_identical() {
+    let _guard = guard();
+    let recorder = simra_telemetry::global();
+    let config = ExperimentConfig::quick();
+
+    recorder.disable();
+    recorder.reset();
+    let baseline_fig3 = simra_characterize::fig3_activation_timing(&config).to_string();
+    let baseline_fig5 = fig5_power(&config).to_string();
+    assert_eq!(
+        recorder
+            .snapshot()
+            .spans
+            .iter()
+            .map(|s| s.count)
+            .sum::<u64>(),
+        0,
+        "disabled recorder must not record spans"
+    );
+
+    recorder.enable();
+    recorder.reset();
+    let instrumented_fig3 = simra_characterize::fig3_activation_timing(&config).to_string();
+    let instrumented_fig5 = fig5_power(&config).to_string();
+    let snapshot = recorder.snapshot();
+    recorder.disable();
+    recorder.reset();
+    let _ = simra_characterize::take_session_coverage();
+
+    assert_eq!(baseline_fig3, instrumented_fig3);
+    assert_eq!(baseline_fig5, instrumented_fig5);
+    for figure in ["fig3", "fig5"] {
+        let span = snapshot
+            .spans
+            .iter()
+            .find(|s| s.module == "figure" && s.name == figure)
+            .unwrap_or_else(|| panic!("span figure/{figure} missing"));
+        assert_eq!(span.count, 1);
+    }
+}

@@ -124,6 +124,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "samples must be finite")]
+    fn nan_sample_rejected_loudly() {
+        // A NaN sample must trip the finite-samples invariant during the
+        // sort, not silently poison the quartiles.
+        BoxStats::from_samples(&[1.0, f64::NAN, 2.0]);
+    }
+
+    #[test]
     fn helpers() {
         assert_eq!(mean(&[1.0, 3.0]), 2.0);
         assert!(mean(&[]).is_nan());

@@ -1,0 +1,87 @@
+//! Minimal JSON rendering helpers: just enough to serialize telemetry
+//! snapshots and scoreboards without pulling a serialization dependency
+//! into the workspace. Strings are escaped per RFC 8259; non-finite
+//! numbers become `null` (JSON has no NaN/inf).
+
+use std::fmt::Write;
+
+/// Renders `s` as a quoted JSON string, escaping quotes, backslashes,
+/// and control characters.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON number, or `null` when non-finite. Finite
+/// values use Rust's shortest round-trip formatting, which is always a
+/// valid JSON number.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` omits a decimal point for integral floats; that is still
+        // valid JSON, so pass it through untouched.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders a JSON array from pre-rendered element strings.
+pub fn array<I: IntoIterator<Item = String>>(elements: I) -> String {
+    let mut out = String::from("[");
+    for (i, e) in elements.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&e);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting_escapes_specials() {
+        assert_eq!(quote("plain"), "\"plain\"");
+        assert_eq!(quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(quote("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+        assert_eq!(quote("µ-unicode"), "\"µ-unicode\"");
+    }
+
+    #[test]
+    fn numbers_are_json_safe() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn arrays_join_elements() {
+        assert_eq!(array(vec![]), "[]");
+        assert_eq!(
+            array(vec!["1".to_string(), "\"x\"".to_string()]),
+            "[1,\"x\"]"
+        );
+    }
+}
