@@ -1,0 +1,251 @@
+//! Bench for the sweep-grid scheduler: the whole (module × point) grid
+//! submitted at once on the persistent [`FleetPool`] (reused worker
+//! threads, reused module rigs, no per-point barrier) versus the
+//! per-point baseline that mirrors the old executor (threads constructed
+//! and joined per point, fresh rigs every point).
+//!
+//! Two workloads, because they bound the answer from both sides:
+//!
+//! * **dispatch** — a figure-shaped 100-point sweep whose op is a cheap
+//!   probe (RNG draw + group/module identity). Both variants do the same
+//!   op work, so the comparison isolates exactly what the scheduler
+//!   changed: pool churn, rig construction, and per-point barriers. This
+//!   is the headline `speedup` in `BENCH_sweep.json`.
+//! * **activation** — a 10-point activation-success sweep where the DRAM
+//!   simulation dominates. This shows the end-to-end effect on an
+//!   op-bound figure run (necessarily closer to 1× on few cores, since
+//!   the science work is identical either way).
+//!
+//! Besides the Criterion groups, every run — including `--test` smoke
+//! runs — writes a small `BENCH_sweep.json` document with direct
+//! best-of-N wall-clock comparisons, so CI can archive the numbers
+//! without parsing Criterion's output.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::Rng;
+use simra_bender::TestSetup;
+use simra_characterize::config::ModuleUnderTest;
+use simra_characterize::fleet::{run_sweep_on, FleetPolicy, SweepPoint, SystemClock};
+use simra_characterize::pool::FleetPool;
+use simra_characterize::ExperimentConfig;
+use simra_core::act::activation_success;
+use simra_core::rowgroup::GroupSpec;
+use simra_dram::{ApaTiming, DataPattern, VendorProfile};
+
+/// Worker threads used by both variants — the comparison isolates the
+/// scheduler (persistent pool + rig reuse + no barrier), not parallelism.
+const WORKERS: usize = 4;
+const MODULES: usize = 4;
+
+fn fleet_config(groups_per_subarray: usize) -> ExperimentConfig {
+    let mut config = ExperimentConfig::quick();
+    config.modules = (0..MODULES)
+        .map(|i| ModuleUnderTest {
+            profile: VendorProfile::mfr_h_m_die(),
+            seed: 100 + i as u64,
+        })
+        .collect();
+    config.groups_per_subarray = groups_per_subarray;
+    config
+}
+
+/// The activation N ladder repeated `repeats` times — the shape of a
+/// figure's sweep grid (Fig. 3 is 6 timing rows × the ladder).
+fn ladder_points(repeats: usize) -> Vec<SweepPoint<()>> {
+    let ladder = [2u32, 4, 8, 16, 32];
+    (0..repeats)
+        .flat_map(|_| ladder)
+        .map(|n| SweepPoint::new(n, ()))
+        .collect()
+}
+
+/// Cheap probe op: exercises the per-task RNG stream and group/module
+/// identity without touching cell arrays (the scheduler-bound regime).
+fn probe_op(
+    _params: &(),
+    setup: &mut TestSetup,
+    group: &GroupSpec,
+    rng: &mut StdRng,
+) -> Option<f64> {
+    Some(group.local_rows[0] as f64 + rng.gen::<f64>() + setup.module().seed() as f64 * 1e-6)
+}
+
+/// Full activation-success op (the op-bound regime).
+fn activation_op(
+    _params: &(),
+    setup: &mut TestSetup,
+    group: &GroupSpec,
+    rng: &mut StdRng,
+) -> Option<f64> {
+    activation_success(
+        setup,
+        group,
+        ApaTiming::best_for_activation(),
+        DataPattern::Random,
+        rng,
+    )
+    .ok()
+}
+
+type SweepOp = fn(&(), &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>;
+
+/// The grid scheduler: one persistent pool, the whole grid at once.
+fn run_grid(
+    pool: &FleetPool,
+    config: &ExperimentConfig,
+    points: &[SweepPoint<()>],
+    op: SweepOp,
+) -> usize {
+    let clock = SystemClock::default();
+    run_sweep_on(
+        pool,
+        config,
+        points,
+        FleetPolicy::default(),
+        &clock,
+        WORKERS,
+        op,
+    )
+    .iter()
+    .map(|o| o.samples().len())
+    .sum()
+}
+
+/// The old executor's cost model: every sweep point constructs its own
+/// worker threads (joined again at the point's end) and mounts fresh
+/// module rigs.
+fn run_per_point(config: &ExperimentConfig, points: &[SweepPoint<()>], op: SweepOp) -> usize {
+    let clock = SystemClock::default();
+    points
+        .iter()
+        .map(|point| {
+            let pool = FleetPool::new(WORKERS);
+            let outcomes = run_sweep_on(
+                &pool,
+                config,
+                std::slice::from_ref(point),
+                FleetPolicy::default(),
+                &clock,
+                WORKERS,
+                op,
+            );
+            outcomes[0].samples().len()
+        })
+        .sum()
+}
+
+/// Best-of-N direct wall-clock measurement (minimum over `reps` runs).
+fn best_of_ms<F: FnMut() -> usize>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let samples = f();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(samples > 0, "the measured sweep produced no samples");
+        best = best.min(ms);
+    }
+    best
+}
+
+struct Comparison {
+    grid_ms: f64,
+    per_point_ms: f64,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.per_point_ms / self.grid_ms
+    }
+}
+
+fn compare(
+    pool: &FleetPool,
+    config: &ExperimentConfig,
+    points: &[SweepPoint<()>],
+    op: SweepOp,
+) -> Comparison {
+    // Warm both paths once (thread start, silicon stamp cache, page faults).
+    let _ = run_grid(pool, config, points, op);
+    let _ = run_per_point(config, points, op);
+    Comparison {
+        grid_ms: best_of_ms(3, || run_grid(pool, config, points, op)),
+        per_point_ms: best_of_ms(3, || run_per_point(config, points, op)),
+    }
+}
+
+/// Writes BENCH_sweep.json next to the bench's working directory (the
+/// `simra-bench` package root under `cargo bench`); override the path
+/// with `BENCH_SWEEP_OUT`.
+fn write_sweep_doc() {
+    let pool = FleetPool::new(WORKERS);
+    let dispatch_config = fleet_config(1);
+    let dispatch_points = ladder_points(20);
+    let dispatch = compare(&pool, &dispatch_config, &dispatch_points, probe_op);
+    let act_config = fleet_config(4);
+    let act_points = ladder_points(2);
+    let act = compare(&pool, &act_config, &act_points, activation_op);
+    let doc = format!(
+        "{{\"schema_version\":1,\"tool\":{},\"workers\":{WORKERS},\"modules\":{MODULES},\
+         \"points\":{},\"grid_ms\":{:.3},\"per_point_ms\":{:.3},\"speedup\":{:.3},\
+         \"activation_points\":{},\"activation_grid_ms\":{:.3},\
+         \"activation_per_point_ms\":{:.3},\"activation_speedup\":{:.3}}}",
+        simra_telemetry::json::quote("sweep_grid_bench"),
+        dispatch_points.len(),
+        dispatch.grid_ms,
+        dispatch.per_point_ms,
+        dispatch.speedup(),
+        act_points.len(),
+        act.grid_ms,
+        act.per_point_ms,
+        act.speedup(),
+    );
+    let path = std::env::var("BENCH_SWEEP_OUT").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
+    std::fs::write(&path, &doc).expect("write BENCH_sweep.json");
+    eprintln!(
+        "sweep_grid: dispatch {:.1} ms vs {:.1} ms ({:.2}x), activation {:.1} ms vs {:.1} ms ({:.2}x) -> {path}",
+        dispatch.grid_ms,
+        dispatch.per_point_ms,
+        dispatch.speedup(),
+        act.grid_ms,
+        act.per_point_ms,
+        act.speedup(),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    write_sweep_doc();
+
+    let dispatch_config = fleet_config(1);
+    let dispatch_points = ladder_points(20);
+    let act_config = fleet_config(4);
+    let act_points = ladder_points(2);
+    let mut group = c.benchmark_group("sweep_grid");
+    group.bench_function("dispatch_grid/4w", |b| {
+        let pool = FleetPool::new(WORKERS);
+        b.iter(|| run_grid(&pool, &dispatch_config, &dispatch_points, probe_op));
+    });
+    group.bench_function("dispatch_per_point/4w", |b| {
+        b.iter(|| run_per_point(&dispatch_config, &dispatch_points, probe_op));
+    });
+    group.bench_function("activation_grid/4w", |b| {
+        let pool = FleetPool::new(WORKERS);
+        b.iter(|| run_grid(&pool, &act_config, &act_points, activation_op));
+    });
+    group.bench_function("activation_per_point/4w", |b| {
+        b.iter(|| run_per_point(&act_config, &act_points, activation_op));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

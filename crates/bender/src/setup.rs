@@ -86,6 +86,13 @@ impl TestSetup {
         &mut self.module
     }
 
+    /// Unmounts the module from the rig, consuming the setup. The fleet's
+    /// rig pool uses this to carry one `DramModule` across sweep points
+    /// instead of rebuilding it per point.
+    pub fn into_module(self) -> DramModule {
+        self.module
+    }
+
     /// Current operating conditions.
     pub fn conditions(&self) -> OperatingConditions {
         self.conditions
@@ -154,6 +161,14 @@ mod tests {
         s.reset_conditions();
         assert_eq!(s.conditions().temperature_c, 50.0);
         assert_eq!(s.conditions().vpp_v, 2.5);
+    }
+
+    #[test]
+    fn into_module_round_trips_the_mounted_module() {
+        let module = DramModule::new(VendorProfile::mfr_m_e_die(), 42);
+        let expected = module.clone();
+        let s = TestSetup::with_module(module);
+        assert_eq!(s.into_module(), expected);
     }
 
     #[test]

@@ -1,12 +1,22 @@
 //! Figures 3 and 4: robustness of simultaneous many-row activation under
 //! timing, temperature, and wordline voltage.
+//!
+//! Each figure submits its whole parameter grid as one [`run_sweep`]
+//! call, so the fleet walks every (module, point) task without per-point
+//! thread spawns or module rebuilds; rows are then assembled from the
+//! per-point sample sets, which arrive in exactly the nested-loop order
+//! the points were enumerated in.
 
+use rand::rngs::StdRng;
+
+use simra_bender::TestSetup;
 use simra_core::act::activation_success;
 use simra_core::metrics::{mean, pct, BoxStats};
+use simra_core::rowgroup::GroupSpec;
 use simra_dram::{ApaTiming, DataPattern};
 
 use crate::config::ExperimentConfig;
-use crate::fleet::collect_group_samples;
+use crate::fleet::{sweep_group_samples, SweepPoint};
 use crate::report::Table;
 
 /// Row counts swept for activation experiments (the only N values COTS
@@ -22,24 +32,30 @@ pub const TEMPERATURES_C: [f64; 5] = [50.0, 60.0, 70.0, 80.0, 90.0];
 /// V_PP sweep of Fig. 4b (V).
 pub const VPP_LEVELS_V: [f64; 5] = [2.5, 2.4, 2.3, 2.2, 2.1];
 
-fn activation_samples(
-    config: &ExperimentConfig,
-    n: u32,
+/// One activation sweep point: APA timing plus optional operating-point
+/// overrides (`None` = the rig's nominal 50 °C / 2.5 V).
+#[derive(Debug, Clone, Copy)]
+struct ActPoint {
     timing: ApaTiming,
     temperature_c: Option<f64>,
     vpp_v: Option<f64>,
-) -> Vec<f64> {
-    collect_group_samples(config, n, move |setup, group, rng| {
-        if let Some(t) = temperature_c {
-            setup
-                .set_temperature(t)
-                .expect("swept temperature is in range");
-        }
-        if let Some(v) = vpp_v {
-            setup.set_vpp(v).expect("swept V_PP is in range");
-        }
-        activation_success(setup, group, timing, DataPattern::Random, rng).ok()
-    })
+}
+
+fn activation_op(
+    point: &ActPoint,
+    setup: &mut TestSetup,
+    group: &GroupSpec,
+    rng: &mut StdRng,
+) -> Option<f64> {
+    if let Some(t) = point.temperature_c {
+        setup
+            .set_temperature(t)
+            .expect("swept temperature is in range");
+    }
+    if let Some(v) = point.vpp_v {
+        setup.set_vpp(v).expect("swept V_PP is in range");
+    }
+    activation_success(setup, group, point.timing, DataPattern::Random, rng).ok()
 }
 
 /// Fig. 3: success-rate distribution of N-row activation for every (t1,
@@ -53,13 +69,31 @@ pub fn fig3_activation_timing(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
+    let points: Vec<SweepPoint<ActPoint>> = FIG3_T1
+        .iter()
+        .flat_map(|&t1| {
+            FIG3_T2.iter().flat_map(move |&t2| {
+                let timing = ApaTiming::from_ns(t1, t2);
+                ACTIVATION_NS.iter().map(move |&n| {
+                    SweepPoint::new(
+                        n,
+                        ActPoint {
+                            timing,
+                            temperature_c: None,
+                            vpp_v: None,
+                        },
+                    )
+                })
+            })
+        })
+        .collect();
+    let mut sweeps = sweep_group_samples(config, &points, activation_op).into_iter();
     for &t1 in &FIG3_T1 {
         for &t2 in &FIG3_T2 {
-            let timing = ApaTiming::from_ns(t1, t2);
             let mut means = Vec::new();
             let mut mins = Vec::new();
-            for &n in &ACTIVATION_NS {
-                let samples = activation_samples(config, n, timing, None, None);
+            for _ in &ACTIVATION_NS {
+                let samples = sweeps.next().expect("one sample set per sweep point");
                 let stats = BoxStats::from_samples(&samples);
                 means.push(pct(stats.mean));
                 mins.push(pct(stats.min));
@@ -81,17 +115,28 @@ pub fn fig4a_activation_temperature(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
+    let points: Vec<SweepPoint<ActPoint>> = TEMPERATURES_C
+        .iter()
+        .flat_map(|&t| {
+            ACTIVATION_NS.iter().map(move |&n| {
+                SweepPoint::new(
+                    n,
+                    ActPoint {
+                        timing: ApaTiming::best_for_activation(),
+                        temperature_c: Some(t),
+                        vpp_v: None,
+                    },
+                )
+            })
+        })
+        .collect();
+    let mut sweeps = sweep_group_samples(config, &points, activation_op).into_iter();
     for &t in &TEMPERATURES_C {
         let values = ACTIVATION_NS
             .iter()
-            .map(|&n| {
-                pct(mean(&activation_samples(
-                    config,
-                    n,
-                    ApaTiming::best_for_activation(),
-                    Some(t),
-                    None,
-                )))
+            .map(|_| {
+                let samples = sweeps.next().expect("one sample set per sweep point");
+                pct(mean(&samples))
             })
             .collect();
         table.push_row(format!("{t} C"), values);
@@ -109,17 +154,28 @@ pub fn fig4b_activation_voltage(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
+    let points: Vec<SweepPoint<ActPoint>> = VPP_LEVELS_V
+        .iter()
+        .flat_map(|&v| {
+            ACTIVATION_NS.iter().map(move |&n| {
+                SweepPoint::new(
+                    n,
+                    ActPoint {
+                        timing: ApaTiming::best_for_activation(),
+                        temperature_c: None,
+                        vpp_v: Some(v),
+                    },
+                )
+            })
+        })
+        .collect();
+    let mut sweeps = sweep_group_samples(config, &points, activation_op).into_iter();
     for &v in &VPP_LEVELS_V {
         let values = ACTIVATION_NS
             .iter()
-            .map(|&n| {
-                pct(mean(&activation_samples(
-                    config,
-                    n,
-                    ApaTiming::best_for_activation(),
-                    None,
-                    Some(v),
-                )))
+            .map(|_| {
+                let samples = sweeps.next().expect("one sample set per sweep point");
+                pct(mean(&samples))
             })
             .collect();
         table.push_row(format!("{v} V"), values);

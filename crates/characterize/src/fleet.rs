@@ -1,36 +1,49 @@
-//! Parallel execution of one experiment across the module fleet.
+//! Parallel execution of experiments across the module fleet, scheduled
+//! as a *sweep grid*.
 //!
-//! Work is one *task per module*, executed by a bounded work-stealing
-//! pool: `available_parallelism` workers (overridable via the
-//! `SIMRA_THREADS` environment variable) pull module tasks from a shared
-//! injector and steal from each other, so a paper-scale run (18 modules,
-//! or hundreds in a scaled-up fleet) never spawns more threads than the
-//! host has cores — unlike the previous design, which scoped one
-//! unbounded thread per module.
+//! A paper figure is a sweep: the same operation at many parameter
+//! points (timings, temperatures, V_PP levels, row counts N) over the
+//! same module fleet. [`run_sweep`] takes the whole point list at once
+//! and builds one task *chain* per module: the chain walks its module
+//! through every sweep point sequentially on a single reused rig, and
+//! the chains themselves run in parallel on the persistent
+//! [`FleetPool`]. Two consequences:
 //!
-//! The task granularity is deliberately the module, not the row group:
-//! each module's task replays the exact sequential semantics the fleet
-//! has always had — seed one `StdRng` per `(module, N)`, draw the group
-//! sample from it, then run `op` group-by-group *continuing the same
-//! stream*. Splitting a module's groups into independent work items would
-//! require giving each group its own RNG stream, changing every sampled
-//! value the experiments produce. Keeping the per-module stream intact
-//! makes the executor swap invisible: `repro quick` output is
-//! byte-identical to the one-thread-per-module implementation, and the
-//! parallel pool is bit-identical to the serial reference
-//! ([`collect_group_samples_serial`]) regardless of scheduling, because
-//! every task writes into a slot pre-indexed by module position.
+//! * **no per-point barrier** — a slow module still working point k does
+//!   not stop fast modules from moving on to point k+1; the figure's
+//!   wall-clock is the longest chain, not the sum of per-point maxima;
+//! * **no per-point setup cost** — worker threads are borrowed from the
+//!   pool instead of being spawned and joined per point, and each
+//!   chain's `DramModule` rig is reset (`reset_for_reuse`, an exact
+//!   reinitialisation) instead of rebuilt, so voltage planes and fault
+//!   overlays are allocated once per module per figure.
+//!
+//! # Determinism
+//!
+//! Scheduling freedom never changes results. Each (module, point) task
+//! seeds its own `StdRng` from [`module_stream_seed`]`(config, module,
+//! index, n)` — a pure function that does not involve other points —
+//! draws the module's group sample from it, then runs `op` group by
+//! group continuing the same stream: the exact sequential semantics the
+//! per-point executor had. Results land in slots indexed by (point,
+//! module), so [`run_sweep`] output is **byte-identical** to looping
+//! [`run_fleet`] over the points, which in turn is bit-identical to the
+//! serial reference ([`collect_group_samples_serial`]), for every worker
+//! count and interleaving. The rig pool is invisible for the same
+//! reason: a reset module is observationally identical to a fresh one
+//! (asserted by tests here and proptests in `tests/faults.rs`).
 //!
 //! # Hardening
 //!
 //! A real 18-module rig loses modules mid-sweep: a DIMM drops off the
-//! bus, a harness script crashes, a thermal chamber stalls. The executor
-//! models all three through [`simra_faults::FaultPlan`] and survives
-//! them:
+//! bus, a harness script crashes, a thermal chamber stalls. Every
+//! (module, point) task models all three through
+//! [`simra_faults::FaultPlan`] and survives them:
 //!
 //! * **panic isolation** — each attempt runs under `catch_unwind`, so
 //!   one module's crash can neither poison a worker thread nor take the
-//!   fleet down;
+//!   fleet down (a panicked attempt forfeits its pooled rig; the retry
+//!   mounts a fresh one);
 //! * **bounded retry** — failed attempts are retried up to
 //!   [`FleetPolicy::max_attempts`], with exponential backoff *charged*
 //!   to the task's time budget (never slept: determinism over realism);
@@ -38,28 +51,27 @@
 //!   between row groups against a [`FleetClock`] (the injectable
 //!   [`MockClock`] makes deadline outcomes deterministic in tests);
 //!   blowing the budget is fatal, not retried;
-//! * **graceful degradation** — [`run_fleet`] returns a [`FleetOutcome`]
-//!   with one [`ModuleResult`] slot per module, completed or failed, so
-//!   reports can compute statistics over the surviving quorum and say
-//!   exactly which modules dropped and why.
+//! * **graceful degradation** — every sweep point yields a
+//!   [`FleetOutcome`] with one [`ModuleResult`] slot per module,
+//!   completed or failed, so reports can compute statistics over the
+//!   surviving quorum and say exactly which modules dropped and why.
 //!
 //! An empty (or absent) fault plan takes the exact fault-free code path:
-//! no fault RNG stream is ever consulted, and output stays byte-identical
+//! the attempt body is one unified function
+//! ([`run_point_attempt`]) whose fault hooks all collapse to no-ops, so
+//! no fault RNG stream is ever consulted and output stays byte-identical
 //! to builds that predate fault injection.
 //!
 //! # Telemetry
 //!
-//! Every run reports its task lifecycle to the global [`simra_telemetry`]
-//! recorder: tasks queued/started/retried/completed/failed/panicked,
-//! deadline trips, charged backoff, and attempts per task. Events are a
-//! pure function of `(config, n, policy)` — never of scheduling — so the
-//! counters are identical across worker counts, and with telemetry
-//! disabled (the default) each event costs one relaxed atomic load.
-//!
-//! Each task mounts a fresh [`TestSetup`]; that is cheap because module
-//! construction only creates empty lazy banks and subarray materialization
-//! hits the silicon cache (`simra_dram::silicon`), which shares one
-//! variation stamp per (seed, bank, subarray) across the whole sweep.
+//! Every run reports to the global [`simra_telemetry`] recorder: task
+//! lifecycle (queued/started/retried/completed/failed/panicked, deadline
+//! trips, charged backoff, attempts per task), the grid shape
+//! (`grid_tasks` = points × modules), the rig pool (`pool_hit` /
+//! `pool_miss`), and `executor_reuse` (runs served by a borrowed
+//! persistent pool). Events are a pure function of `(config, points,
+//! policy)` — never of scheduling — so all values are identical across
+//! worker counts (asserted by `crates/characterize/tests/telemetry.rs`).
 
 use std::num::NonZeroUsize;
 use std::panic::{self, AssertUnwindSafe};
@@ -67,7 +79,6 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -80,6 +91,7 @@ use simra_faults::{FaultPlan, ModuleFaultKind};
 use simra_telemetry::{Counter, Histogram};
 
 use crate::config::{ExperimentConfig, ModuleUnderTest};
+use crate::pool::{panic_message, FleetPool};
 
 /// Seed of the per-(module, N) stream that draws the module's groups and
 /// then feeds `op` for every group. The module *index* is mixed in on top
@@ -87,7 +99,9 @@ use crate::config::{ExperimentConfig, ModuleUnderTest};
 /// twinned silicon (same `m.seed`) must still draw distinct groups and
 /// data, or the fleet would test the same thing twice and report it as
 /// two samples. Index 0 contributes nothing, preserving the historical
-/// single-module (quick-scale) streams bit-for-bit.
+/// single-module (quick-scale) streams bit-for-bit. Sweep parameters
+/// other than `n` contribute nothing either: two points at the same N
+/// replay the same stream, exactly as the per-point loop did.
 fn module_stream_seed(
     config: &ExperimentConfig,
     module: &ModuleUnderTest,
@@ -211,7 +225,7 @@ impl std::fmt::Display for FailureCause {
     }
 }
 
-/// The fate of one module's task.
+/// The fate of one module's task at one sweep point.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ModuleResult {
     /// The task produced its samples (possibly after retries).
@@ -230,7 +244,7 @@ pub enum ModuleResult {
     },
 }
 
-/// Per-module results of one fleet run, indexed by module position. No
+/// Per-module results of one sweep point, indexed by module position. No
 /// slot is ever lost: a module that failed is *reported* failed, not
 /// silently dropped.
 #[derive(Debug, Clone, PartialEq)]
@@ -291,11 +305,29 @@ impl FleetOutcome {
     }
 }
 
-/// Telemetry series for the executor's task lifecycle, reported to the
-/// global recorder. Every event is a deterministic function of the run's
-/// `(config, n, policy)` — never of scheduling — so counter values are
-/// identical across worker counts (asserted by
-/// `crates/characterize/tests/telemetry.rs`).
+/// One point of a sweep grid: the row count `n` (which selects the RNG
+/// stream and group sample) plus arbitrary figure-specific parameters
+/// handed to the op (timing, temperature, V_PP, data pattern, …).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint<P> {
+    /// Rows activated simultaneously at this point.
+    pub n: u32,
+    /// Figure-specific parameters, passed to the op by reference.
+    pub params: P,
+}
+
+impl<P> SweepPoint<P> {
+    /// A sweep point at `n` simultaneously activated rows.
+    pub fn new(n: u32, params: P) -> Self {
+        SweepPoint { n, params }
+    }
+}
+
+/// Telemetry series for the executor's task lifecycle, the grid shape,
+/// and the rig pool, reported to the global recorder. Every event is a
+/// deterministic function of the run's `(config, points, policy)` —
+/// never of scheduling — so values are identical across worker counts
+/// (asserted by `crates/characterize/tests/telemetry.rs`).
 struct FleetTelemetry {
     task_queued: Counter,
     task_started: Counter,
@@ -304,6 +336,14 @@ struct FleetTelemetry {
     task_failed: Counter,
     task_panicked: Counter,
     deadline_tripped: Counter,
+    /// (module × point) tasks submitted as one grid.
+    grid_tasks: Counter,
+    /// Runs served by a borrowed persistent executor (no thread spawns).
+    executor_reuse: Counter,
+    /// Module rig acquisitions satisfied by resetting a pooled rig.
+    pool_hit: Counter,
+    /// Module rig acquisitions that had to construct a fresh rig.
+    pool_miss: Counter,
     backoff_charged_ms: Histogram,
     attempts: Histogram,
 }
@@ -319,26 +359,32 @@ impl FleetTelemetry {
             task_failed: recorder.counter("fleet", "task_failed"),
             task_panicked: recorder.counter("fleet", "task_panicked"),
             deadline_tripped: recorder.counter("fleet", "deadline_tripped"),
+            grid_tasks: recorder.counter("fleet", "grid_tasks"),
+            executor_reuse: recorder.counter("fleet", "executor_reuse"),
+            pool_hit: recorder.counter("fleet", "pool_hit"),
+            pool_miss: recorder.counter("fleet", "pool_miss"),
             backoff_charged_ms: recorder.histogram("fleet", "backoff_charged_ms"),
             attempts: recorder.histogram("fleet", "attempts_per_task"),
         }
     }
 }
 
-/// Everything a module task needs, shared read-only across workers.
-struct TaskCtx<'a, F> {
+/// Everything a sweep chain needs, shared read-only across workers.
+struct SweepCtx<'a, P, F> {
     config: &'a ExperimentConfig,
     plan: &'a FaultPlan,
     policy: FleetPolicy,
     clock: &'a dyn FleetClock,
-    n: u32,
+    points: &'a [SweepPoint<P>],
     op: &'a F,
     telemetry: &'a FleetTelemetry,
 }
 
-/// Runs one module's full task: mount the module, seed its stream, sample
-/// its groups, and run `op` over them sequentially on that stream — the
-/// exact loop the one-thread-per-module implementation ran.
+/// Runs one module's task at one point on the serial reference path:
+/// mount a fresh module, seed its stream, sample its groups, and run
+/// `op` over them sequentially on that stream. No fault machinery at
+/// all — this is the baseline [`run_point_attempt`] must match bit for
+/// bit when the plan is empty.
 fn run_module<F>(config: &ExperimentConfig, index: usize, n: u32, op: &F) -> Vec<f64>
 where
     F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>,
@@ -354,46 +400,55 @@ where
         config.groups_per_subarray,
         &mut rng,
     );
-    groups
-        .iter()
-        .filter_map(|g| op(&mut setup, g, &mut rng))
-        .collect()
+    let mut samples = Vec::with_capacity(groups.len());
+    for group in &groups {
+        if let Some(sample) = op(&mut setup, group, &mut rng) {
+            samples.push(sample);
+        }
+    }
+    samples
 }
 
-/// One attempt at one module task, with the plan's faults armed. The RNG
-/// stream and group sample are identical to [`run_module`]; faults only
-/// ever *interrupt* the stream (dropout, panic, deadline) or perturb the
-/// rig (cell overlay, V_PP droop), never consume from it.
-fn run_module_faulted<F>(
-    ctx: &TaskCtx<'_, F>,
+/// One attempt at one (module, point) task. This is the *single* setup
+/// path for faulted and fault-free runs alike — with an empty plan the
+/// fault vector is empty, the droop hook is `None`, and the body
+/// degenerates to exactly [`run_module`]'s loop. The RNG stream and
+/// group sample are identical to [`run_module`]; faults only ever
+/// *interrupt* the stream (dropout, panic, deadline) or perturb the rig
+/// (cell overlay, V_PP droop), never consume from it.
+///
+/// Takes the mounted rig by value and hands it back with the verdict so
+/// the chain can return it to the rig pool; a panic (injected or real)
+/// unwinds past the return and forfeits the rig instead.
+fn run_point_attempt<P, F>(
+    ctx: &SweepCtx<'_, P, F>,
     index: usize,
+    point: &SweepPoint<P>,
+    dram: DramModule,
     attempt: u32,
     carried_ms: f64,
     started_ms: f64,
-) -> Result<Vec<f64>, FailureCause>
+) -> (Result<Vec<f64>, FailureCause>, DramModule)
 where
-    F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>,
+    F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>,
 {
     let config = ctx.config;
     let module = &config.modules[index];
-    let mut dram = DramModule::new(module.profile.clone(), module.seed);
-    if let Some(spec) = ctx.plan.cell_spec() {
-        dram.set_fault_spec(Some(spec));
-    }
     let mut setup = TestSetup::with_module(dram);
-    let mut rng = StdRng::seed_from_u64(module_stream_seed(config, module, index, ctx.n));
+    let mut rng = StdRng::seed_from_u64(module_stream_seed(config, module, index, point.n));
     let groups = sample_groups(
         setup.module().geometry(),
-        ctx.n,
+        point.n,
         config.banks,
         config.subarrays_per_bank,
         config.groups_per_subarray,
         &mut rng,
     );
     let faults = ctx.plan.module_faults(index);
-    let mut samples = Vec::new();
+    let mut samples = Vec::with_capacity(groups.len());
     let mut stalled_ms = 0.0;
-    for (group_index, group) in groups.iter().enumerate() {
+    let mut failure = None;
+    'groups: for (group_index, group) in groups.iter().enumerate() {
         for kind in &faults {
             match *kind {
                 ModuleFaultKind::Dropout {
@@ -405,7 +460,8 @@ where
                         None => true,
                     };
                     if still_faulty {
-                        return Err(FailureCause::Dropout { at_group });
+                        failure = Some(FailureCause::Dropout { at_group });
+                        break 'groups;
                     }
                 }
                 ModuleFaultKind::PanicAt { at_group }
@@ -424,10 +480,11 @@ where
         if let Some(budget_ms) = ctx.policy.deadline_ms {
             let spent_ms = carried_ms + stalled_ms + (ctx.clock.now_ms() - started_ms);
             if spent_ms > budget_ms {
-                return Err(FailureCause::DeadlineExceeded {
+                failure = Some(FailureCause::DeadlineExceeded {
                     budget_ms,
                     spent_ms,
                 });
+                break 'groups;
             }
         }
         if let Some(droop) = ctx.plan.vpp_droop {
@@ -440,21 +497,14 @@ where
                 .set_vpp(vpp)
                 .expect("droop voltage is clamped into the supply range");
         }
-        if let Some(sample) = (ctx.op)(&mut setup, group, &mut rng) {
+        if let Some(sample) = (ctx.op)(&point.params, &mut setup, group, &mut rng) {
             samples.push(sample);
         }
     }
-    Ok(samples)
-}
-
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "unknown panic payload".to_string()
+    let dram = setup.into_module();
+    match failure {
+        Some(cause) => (Err(cause), dram),
+        None => (Ok(samples), dram),
     }
 }
 
@@ -473,12 +523,21 @@ fn backoff_charge_ms(base_ms: f64, attempt: u32) -> f64 {
     base_ms * 2f64.powi(exponent as i32)
 }
 
-/// Drives one module slot to a terminal [`ModuleResult`]: attempt,
-/// isolate panics, retry with charged backoff, give up on deadline or
-/// attempt exhaustion.
-fn run_slot<F>(ctx: &TaskCtx<'_, F>, index: usize) -> ModuleResult
+/// Drives one (module, point) task to a terminal [`ModuleResult`]:
+/// acquire a rig from the chain's pool slot, attempt, isolate panics,
+/// retry with charged backoff, give up on deadline or attempt
+/// exhaustion. The rig returns to `rig` after every non-panicking
+/// attempt (reset on next acquisition); a panicked attempt loses it, so
+/// the retry — and only the retry — pays a fresh construction
+/// (`pool_miss`), deterministically.
+fn run_slot<P, F>(
+    ctx: &SweepCtx<'_, P, F>,
+    index: usize,
+    point: &SweepPoint<P>,
+    rig: &mut Option<DramModule>,
+) -> ModuleResult
 where
-    F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>,
+    F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>,
 {
     let mut carried_ms = 0.0;
     let mut attempt = 1u32;
@@ -491,23 +550,48 @@ where
         }
         ctx.telemetry.task_started.incr();
         let started_ms = ctx.clock.now_ms();
+        let pooled = rig.take();
+        if pooled.is_some() {
+            ctx.telemetry.pool_hit.incr();
+        } else {
+            ctx.telemetry.pool_miss.incr();
+        }
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-            run_module_faulted(ctx, index, attempt, carried_ms, started_ms)
+            let dram = match pooled {
+                Some(mut dram) => {
+                    dram.reset_for_reuse();
+                    dram
+                }
+                None => {
+                    let module = &ctx.config.modules[index];
+                    let mut dram = DramModule::new(module.profile.clone(), module.seed);
+                    if let Some(spec) = ctx.plan.cell_spec() {
+                        dram.set_fault_spec(Some(spec));
+                    }
+                    dram
+                }
+            };
+            run_point_attempt(ctx, index, point, dram, attempt, carried_ms, started_ms)
         }));
         let cause = match outcome {
-            Ok(Ok(samples)) => {
-                ctx.telemetry.task_completed.incr();
-                ctx.telemetry.attempts.observe(f64::from(attempt));
-                return ModuleResult::Completed {
-                    samples,
-                    attempts: attempt,
-                };
-            }
-            Ok(Err(cause)) => {
-                if matches!(cause, FailureCause::DeadlineExceeded { .. }) {
-                    ctx.telemetry.deadline_tripped.incr();
+            Ok((result, dram)) => {
+                *rig = Some(dram);
+                match result {
+                    Ok(samples) => {
+                        ctx.telemetry.task_completed.incr();
+                        ctx.telemetry.attempts.observe(f64::from(attempt));
+                        return ModuleResult::Completed {
+                            samples,
+                            attempts: attempt,
+                        };
+                    }
+                    Err(cause) => {
+                        if matches!(cause, FailureCause::DeadlineExceeded { .. }) {
+                            ctx.telemetry.deadline_tripped.incr();
+                        }
+                        cause
+                    }
                 }
-                cause
             }
             Err(payload) => {
                 ctx.telemetry.task_panicked.incr();
@@ -527,9 +611,21 @@ where
     }
 }
 
+/// One module's chain: every sweep point in order, on one pooled rig.
+fn run_chain<P, F>(ctx: &SweepCtx<'_, P, F>, index: usize) -> Vec<ModuleResult>
+where
+    F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>,
+{
+    let mut rig: Option<DramModule> = None;
+    ctx.points
+        .iter()
+        .map(|point| run_slot(ctx, index, point, &mut rig))
+        .collect()
+}
+
 /// Resolves the worker count from an (injected) `SIMRA_THREADS` value:
 /// a parseable override is clamped to ≥ 1, anything else falls back to
-/// one worker per core; never more than there are module tasks. Pure so
+/// one worker per core; never more than there are module chains. Pure so
 /// tests can cover every branch without mutating process-global
 /// environment state (`set_var`/`remove_var` race with the parallel test
 /// harness).
@@ -546,105 +642,10 @@ fn worker_count_from(var: Option<&str>, tasks: usize) -> usize {
 }
 
 /// Worker count: `SIMRA_THREADS` if set (clamped to ≥ 1), else one per
-/// core; never more than there are module tasks.
-fn executor_threads(tasks: usize) -> usize {
+/// core; never more than there are module chains.
+pub(crate) fn executor_threads(tasks: usize) -> usize {
     let var = std::env::var("SIMRA_THREADS").ok();
     worker_count_from(var.as_deref(), tasks)
-}
-
-/// Pulls the next task index: local queue first, then the shared
-/// injector, then stealing from the other workers.
-fn next_task(
-    local: &Worker<usize>,
-    injector: &Injector<usize>,
-    stealers: &[Stealer<usize>],
-    id: usize,
-) -> Option<usize> {
-    if let Some(index) = local.pop() {
-        return Some(index);
-    }
-    loop {
-        match injector.steal_batch_and_pop(local) {
-            Steal::Success(index) => return Some(index),
-            Steal::Retry => continue,
-            Steal::Empty => {}
-        }
-        let mut retry = false;
-        for (other, stealer) in stealers.iter().enumerate() {
-            if other == id {
-                continue;
-            }
-            match stealer.steal() {
-                Steal::Success(index) => return Some(index),
-                Steal::Retry => retry = true,
-                Steal::Empty => {}
-            }
-        }
-        if !retry {
-            return None;
-        }
-    }
-}
-
-/// Serial execution of every slot on the calling thread.
-fn run_serial_outcome<F>(ctx: &TaskCtx<'_, F>) -> FleetOutcome
-where
-    F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>,
-{
-    FleetOutcome {
-        slots: (0..ctx.config.modules.len())
-            .map(|index| run_slot(ctx, index))
-            .collect(),
-    }
-}
-
-/// Executes every slot on the stealing pool; results land in slots
-/// indexed by module position, so ordering is schedule-independent, and
-/// the slot count is asserted so a scheduling bug can lose work loudly,
-/// never silently.
-fn run_stealing_outcome<F>(ctx: &TaskCtx<'_, F>, workers: usize) -> FleetOutcome
-where
-    F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
-{
-    let tasks = ctx.config.modules.len();
-    let injector = Injector::new();
-    for index in 0..tasks {
-        injector.push(index);
-    }
-    let locals: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_fifo()).collect();
-    let stealers: Vec<Stealer<usize>> = locals.iter().map(Worker::stealer).collect();
-    let mut slots: Vec<Option<ModuleResult>> = vec![None; tasks];
-    let finished: Vec<Vec<(usize, ModuleResult)>> = crossbeam::thread::scope(|scope| {
-        let injector = &injector;
-        let stealers = &stealers[..];
-        let handles: Vec<_> = locals
-            .into_iter()
-            .enumerate()
-            .map(|(id, local)| {
-                scope.spawn(move |_| {
-                    let mut done = Vec::new();
-                    while let Some(index) = next_task(&local, injector, stealers, id) {
-                        done.push((index, run_slot(ctx, index)));
-                    }
-                    done
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fleet worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope");
-    for (index, result) in finished.into_iter().flatten() {
-        slots[index] = Some(result);
-    }
-    FleetOutcome {
-        slots: slots
-            .into_iter()
-            .map(|s| s.expect("fleet lost a module slot"))
-            .collect(),
-    }
 }
 
 /// Session-wide coverage accounting: how many module tasks ran, completed,
@@ -719,10 +720,151 @@ pub fn take_session_coverage() -> (FleetCoverage, Vec<String>) {
     (coverage, failures)
 }
 
+/// Fully parameterised sweep on an explicit [`FleetPool`]: the whole
+/// (module × point) grid is submitted at once as one chain per module,
+/// with at most `workers` threads (calling thread included) borrowed
+/// from `pool`. Returns one [`FleetOutcome`] per point, in point order.
+///
+/// The outcome is identical for identical `(config, points, policy)`
+/// regardless of `pool`, `workers`, or scheduling — and byte-identical
+/// to looping [`run_fleet_with`] over the points one at a time.
+pub fn run_sweep_on<P, F>(
+    pool: &FleetPool,
+    config: &ExperimentConfig,
+    points: &[SweepPoint<P>],
+    policy: FleetPolicy,
+    clock: &dyn FleetClock,
+    workers: usize,
+    op: F,
+) -> Vec<FleetOutcome>
+where
+    P: Sync,
+    F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
+{
+    let fault_free = FaultPlan::default();
+    let plan = config.faults.as_ref().unwrap_or(&fault_free);
+    let telemetry = FleetTelemetry::new();
+    let modules = config.modules.len();
+    let grid = (modules * points.len()) as u64;
+    telemetry.task_queued.add(grid);
+    telemetry.grid_tasks.add(grid);
+    telemetry.executor_reuse.incr();
+    let ctx = SweepCtx {
+        config,
+        plan,
+        policy,
+        clock,
+        points,
+        op: &op,
+        telemetry: &telemetry,
+    };
+    let chains: Vec<Mutex<Option<Vec<ModuleResult>>>> =
+        (0..modules).map(|_| Mutex::new(None)).collect();
+    pool.run_tasks(modules, workers, |index| {
+        let results = run_chain(&ctx, index);
+        *chains[index].lock().expect("fleet chain slot poisoned") = Some(results);
+    });
+    let mut chains: Vec<std::vec::IntoIter<ModuleResult>> = chains
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("fleet chain slot poisoned")
+                .expect("fleet lost a module chain")
+                .into_iter()
+        })
+        .collect();
+    let outcomes: Vec<FleetOutcome> = (0..points.len())
+        .map(|_| FleetOutcome {
+            slots: chains
+                .iter_mut()
+                .map(|chain| chain.next().expect("fleet chain lost a sweep point"))
+                .collect(),
+        })
+        .collect();
+    for outcome in &outcomes {
+        record_session(outcome);
+    }
+    outcomes
+}
+
+/// [`run_sweep_on`] on the process-wide [`FleetPool::global`] pool.
+pub fn run_sweep_with<P, F>(
+    config: &ExperimentConfig,
+    points: &[SweepPoint<P>],
+    policy: FleetPolicy,
+    clock: &dyn FleetClock,
+    workers: usize,
+    op: F,
+) -> Vec<FleetOutcome>
+where
+    P: Sync,
+    F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
+{
+    run_sweep_on(
+        FleetPool::global(),
+        config,
+        points,
+        policy,
+        clock,
+        workers,
+        op,
+    )
+}
+
+/// Runs `op` over the whole sweep grid — every point of `points` on
+/// every configured module — with the config's fault plan (if any)
+/// armed, the default retry policy, the system clock, the default
+/// worker count, and the process-wide persistent pool. Returns one
+/// [`FleetOutcome`] per point, in point order.
+pub fn run_sweep<P, F>(
+    config: &ExperimentConfig,
+    points: &[SweepPoint<P>],
+    op: F,
+) -> Vec<FleetOutcome>
+where
+    P: Sync,
+    F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
+{
+    let mut policy = FleetPolicy::default();
+    if let Some(plan) = config.faults.as_ref() {
+        policy.deadline_ms = plan.deadline_ms;
+    }
+    let clock = SystemClock::default();
+    run_sweep_with(
+        config,
+        points,
+        policy,
+        &clock,
+        executor_threads(config.modules.len()),
+        op,
+    )
+}
+
+/// Per-point sample vectors of a sweep: [`run_sweep`] with each point's
+/// outcome reduced to its surviving samples (module order, then group
+/// order) — the common case for figure runners.
+pub fn sweep_group_samples<P, F>(
+    config: &ExperimentConfig,
+    points: &[SweepPoint<P>],
+    op: F,
+) -> Vec<Vec<f64>>
+where
+    P: Sync,
+    F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
+{
+    run_sweep(config, points, op)
+        .into_iter()
+        .map(FleetOutcome::into_samples)
+        .collect()
+}
+
 /// Runs `op` on every sampled row group of `n` simultaneously activated
 /// rows, across all configured modules, with the config's fault plan (if
 /// any) armed, the default retry policy, the system clock, and the
 /// default worker count. Returns the full per-module outcome.
+///
+/// This is a one-point [`run_sweep`]; figures with more than one point
+/// should submit the whole grid instead.
 pub fn run_fleet<F>(config: &ExperimentConfig, n: u32, op: F) -> FleetOutcome
 where
     F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
@@ -742,10 +884,10 @@ where
     )
 }
 
-/// Fully parameterised fleet run: explicit policy, clock, and worker
-/// count. The outcome is identical for identical `(config, n, policy)`
-/// regardless of `workers` — the chaos proptests in `tests/faults.rs`
-/// assert exactly that.
+/// Fully parameterised single-point fleet run: explicit policy, clock,
+/// and worker count, on the process-wide pool. The outcome is identical
+/// for identical `(config, n, policy)` regardless of `workers` — the
+/// chaos proptests in `tests/faults.rs` assert exactly that.
 pub fn run_fleet_with<F>(
     config: &ExperimentConfig,
     n: u32,
@@ -757,30 +899,18 @@ pub fn run_fleet_with<F>(
 where
     F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
-    let fault_free = FaultPlan::default();
-    let plan = config.faults.as_ref().unwrap_or(&fault_free);
-    let telemetry = FleetTelemetry::new();
-    telemetry.task_queued.add(config.modules.len() as u64);
-    let ctx = TaskCtx {
-        config,
-        plan,
-        policy,
-        clock,
-        n,
-        op: &op,
-        telemetry: &telemetry,
-    };
-    let outcome = if workers <= 1 || config.modules.len() <= 1 {
-        run_serial_outcome(&ctx)
-    } else {
-        run_stealing_outcome(&ctx, workers)
-    };
-    record_session(&outcome);
-    outcome
+    let points = [SweepPoint { n, params: () }];
+    let mut outcomes = run_sweep_with(config, &points, policy, clock, workers, {
+        let op = &op;
+        move |_: &(), setup: &mut TestSetup, group: &GroupSpec, rng: &mut StdRng| {
+            op(setup, group, rng)
+        }
+    });
+    outcomes.pop().expect("one sweep point yields one outcome")
 }
 
 /// Runs `op` on every sampled row group of `n` simultaneously activated
-/// rows, across all configured modules, on the work-stealing pool.
+/// rows, across all configured modules, on the persistent pool.
 ///
 /// Returns all per-group success rates, ordered by module then group —
 /// bit-identical to [`collect_group_samples_serial`] regardless of worker
@@ -796,9 +926,9 @@ where
 }
 
 /// The serial reference implementation: same module tasks, same RNG
-/// streams, executed on the calling thread with no fault machinery at
-/// all. Exists so tests (and sceptical readers) can check the hardened
-/// executor changes nothing but wall-clock.
+/// streams, executed on the calling thread with no fault machinery, no
+/// pool, and no rig reuse at all. Exists so tests (and sceptical
+/// readers) can check the grid scheduler changes nothing but wall-clock.
 pub fn collect_group_samples_serial<F>(config: &ExperimentConfig, n: u32, op: F) -> Vec<f64>
 where
     F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>,
@@ -894,6 +1024,95 @@ mod tests {
         Some(g.local_rows[0] as f64 + rng.gen::<f64>() + setup.module().seed() as f64 * 1e-6)
     }
 
+    /// The sweep-shaped probe op: folds the point parameter in, so a
+    /// point receiving the wrong parameters shows in the samples.
+    fn sweep_probe_op(
+        scale: &f64,
+        setup: &mut TestSetup,
+        g: &GroupSpec,
+        rng: &mut StdRng,
+    ) -> Option<f64> {
+        probe_op(setup, g, rng).map(|s| s * scale)
+    }
+
+    /// A two-module quick-scale config (quick itself has one module,
+    /// which never leaves the calling thread).
+    fn two_module_config() -> ExperimentConfig {
+        let mut config = ExperimentConfig::quick();
+        config.modules.push(crate::config::ModuleUnderTest {
+            profile: simra_dram::VendorProfile::mfr_m_e_die(),
+            seed: 21,
+        });
+        config
+    }
+
+    #[test]
+    fn sweep_grid_matches_per_point_fleet_runs() {
+        // The whole grid at once — pooled rigs, no per-point barrier —
+        // must be byte-identical to one run_fleet_with per point (fresh
+        // rigs every time), which in turn matches the serial reference.
+        let config = two_module_config();
+        let points: Vec<SweepPoint<f64>> = [2u32, 4, 8, 4]
+            .iter()
+            .map(|&n| SweepPoint::new(n, f64::from(n) * 0.5))
+            .collect();
+        let clock = MockClock::new();
+        for workers in [1usize, 2, 4] {
+            let sweep = run_sweep_with(
+                &config,
+                &points,
+                FleetPolicy::default(),
+                &clock,
+                workers,
+                sweep_probe_op,
+            );
+            assert_eq!(sweep.len(), points.len());
+            for (point, outcome) in points.iter().zip(&sweep) {
+                let scale = point.params;
+                let fresh = run_fleet_with(
+                    &config,
+                    point.n,
+                    FleetPolicy::default(),
+                    &clock,
+                    workers,
+                    |s: &mut TestSetup, g: &GroupSpec, r: &mut StdRng| {
+                        sweep_probe_op(&scale, s, g, r)
+                    },
+                );
+                assert_eq!(outcome, &fresh, "workers={workers} n={}", point.n);
+                let serial: Vec<f64> = collect_group_samples_serial(&config, point.n, |s, g, r| {
+                    sweep_probe_op(&scale, s, g, r)
+                });
+                assert_eq!(outcome.samples(), serial);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_repeats_same_n_with_identical_streams() {
+        // Two points at the same N replay the same per-module stream —
+        // the exact behaviour of the historical per-point loop.
+        let config = two_module_config();
+        let points = [SweepPoint::new(4, ()), SweepPoint::new(4, ())];
+        let outcomes = run_sweep_with(
+            &config,
+            &points,
+            FleetPolicy::default(),
+            &MockClock::new(),
+            2,
+            |_: &(), s: &mut TestSetup, g: &GroupSpec, r: &mut StdRng| probe_op(s, g, r),
+        );
+        assert_eq!(outcomes[0], outcomes[1]);
+    }
+
+    #[test]
+    fn empty_sweep_shapes() {
+        let config = two_module_config();
+        let none: [SweepPoint<()>; 0] = [];
+        let outcomes = run_sweep(&config, &none, |_, s, g, r| probe_op(s, g, r));
+        assert!(outcomes.is_empty());
+    }
+
     #[test]
     fn empty_plan_outcome_matches_baseline() {
         let mut config = ExperimentConfig::quick();
@@ -904,6 +1123,43 @@ mod tests {
         assert_eq!(outcome.ok_modules(), 1);
         assert_eq!(outcome.into_samples(), baseline);
         assert_eq!(collect_group_samples(&config, 6, probe_op), baseline);
+    }
+
+    #[test]
+    fn retry_on_reused_rig_replays_baseline_samples() {
+        // Regression for the unified setup path: a retry after a
+        // transient fault runs on the *reused* rig — dirtied by the
+        // partial first attempt — and must still produce byte-identical
+        // samples, because reset_for_reuse restores the fresh state and
+        // the fault-free retry takes the exact baseline code path (the
+        // plan is empty apart from the transient module event).
+        let mut config = ExperimentConfig::quick();
+        let baseline = collect_group_samples_serial(&config, 4, probe_op);
+        config.faults = Some(FaultPlan {
+            modules: vec![ModuleFault {
+                module_index: 0,
+                kind: ModuleFaultKind::Dropout {
+                    // Trip *after* group 1 ran, so the first attempt has
+                    // written real voltage state into the rig.
+                    at_group: 1,
+                    recover_after_attempts: Some(1),
+                },
+            }],
+            ..FaultPlan::default()
+        });
+        let clock = MockClock::new();
+        let outcome = run_fleet_with(&config, 4, FleetPolicy::default(), &clock, 1, probe_op);
+        match &outcome.slots[0] {
+            ModuleResult::Completed { samples, attempts } => {
+                assert_eq!(*attempts, 2);
+                assert_eq!(
+                    samples[..],
+                    baseline[..],
+                    "reused rig must replay the stream"
+                );
+            }
+            other => panic!("transient dropout must heal on retry, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1176,5 +1432,68 @@ mod tests {
         assert!(coverage.failed >= 1);
         assert!(failures.iter().any(|f| f.contains("dropped out")));
         assert!(coverage.describe().contains("module tasks completed"));
+    }
+
+    #[test]
+    fn sweep_under_chaotic_faults_matches_per_point_runs() {
+        // Rig reuse must stay invisible when every fault class is armed:
+        // cell overlays (reused overlays vs freshly derived ones),
+        // transient dropouts (retry on a dirty rig), panics (rig
+        // forfeiture), hangs and deadlines (charged time).
+        let mut config = two_module_config();
+        config.faults = Some(FaultPlan {
+            seed: 0xC0C0,
+            cells: Some(simra_faults::CellFaultSpec {
+                seed: 0xC0C0,
+                stuck_per_million: 80.0,
+                weak_per_million: 40.0,
+                weak_leak_multiplier: 3.0,
+                sense_offset_shift: 0.0,
+            }),
+            modules: vec![
+                ModuleFault {
+                    module_index: 0,
+                    kind: ModuleFaultKind::PanicAt { at_group: 1 },
+                },
+                ModuleFault {
+                    module_index: 1,
+                    kind: ModuleFaultKind::Dropout {
+                        at_group: 2,
+                        recover_after_attempts: Some(1),
+                    },
+                },
+            ],
+            vpp_droop: None,
+            deadline_ms: None,
+        });
+        let points: Vec<SweepPoint<()>> = [4u32, 8, 4]
+            .iter()
+            .map(|&n| SweepPoint::new(n, ()))
+            .collect();
+        let clock = MockClock::new();
+        let op = |_: &(), s: &mut TestSetup, g: &GroupSpec, r: &mut StdRng| probe_op(s, g, r);
+        let reference = run_sweep_with(&config, &points, FleetPolicy::default(), &clock, 1, op);
+        for workers in [2usize, 4] {
+            let sweep = run_sweep_with(
+                &config,
+                &points,
+                FleetPolicy::default(),
+                &clock,
+                workers,
+                op,
+            );
+            assert_eq!(sweep, reference, "workers={workers}");
+        }
+        for (point, outcome) in points.iter().zip(&reference) {
+            let fresh = run_fleet_with(
+                &config,
+                point.n,
+                FleetPolicy::default(),
+                &clock,
+                2,
+                probe_op,
+            );
+            assert_eq!(outcome, &fresh, "n={}", point.n);
+        }
     }
 }

@@ -29,6 +29,7 @@ pub mod majx;
 pub mod mrc;
 pub mod observations;
 pub mod perdie;
+pub mod pool;
 pub mod power;
 pub mod report;
 pub mod spice;
@@ -39,9 +40,10 @@ pub use activation::{
 };
 pub use config::ExperimentConfig;
 pub use fleet::{
-    collect_group_samples, collect_group_samples_serial, run_fleet, run_fleet_with,
-    take_session_coverage, FailureCause, FleetClock, FleetCoverage, FleetOutcome, FleetPolicy,
-    MockClock, ModuleResult, SystemClock,
+    collect_group_samples, collect_group_samples_serial, run_fleet, run_fleet_with, run_sweep,
+    run_sweep_on, run_sweep_with, sweep_group_samples, take_session_coverage, FailureCause,
+    FleetClock, FleetCoverage, FleetOutcome, FleetPolicy, MockClock, ModuleResult, SweepPoint,
+    SystemClock,
 };
 pub use majx::{fig6_maj3_timing, fig7_majx_patterns, fig8_majx_temperature, fig9_majx_voltage};
 pub use mrc::{fig10_mrc_timing, fig11_mrc_patterns, fig12a_mrc_temperature, fig12b_mrc_voltage};

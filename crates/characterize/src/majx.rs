@@ -1,12 +1,20 @@
 //! Figures 6–9: MAJX robustness under timing, data pattern, temperature,
 //! and wordline voltage.
+//!
+//! Each figure submits its whole (X, N, timing, pattern, operating-point)
+//! grid as one [`run_sweep`] call; rows are assembled from the per-point
+//! sample sets, which arrive in the enumeration order of the points.
 
+use rand::rngs::StdRng;
+
+use simra_bender::TestSetup;
 use simra_core::maj::{majx_success, MajConfig};
 use simra_core::metrics::{mean, pct, BoxStats};
+use simra_core::rowgroup::GroupSpec;
 use simra_dram::{ApaTiming, DataPattern, Manufacturer};
 
 use crate::config::ExperimentConfig;
-use crate::fleet::collect_group_samples;
+use crate::fleet::{sweep_group_samples, SweepPoint};
 use crate::report::Table;
 
 /// The MAJX operand counts characterized (§5).
@@ -24,32 +32,66 @@ pub fn feasible_ns(x: usize) -> Vec<u32> {
         .collect()
 }
 
-fn majx_samples(
-    config: &ExperimentConfig,
+/// One MAJX sweep point (the row count N lives on the [`SweepPoint`]).
+#[derive(Debug, Clone, Copy)]
+struct MajPoint {
     x: usize,
-    n: u32,
     timing: ApaTiming,
     pattern: DataPattern,
     temperature_c: Option<f64>,
     vpp_v: Option<f64>,
-) -> Vec<f64> {
+}
+
+fn majx_op(
+    point: &MajPoint,
+    setup: &mut TestSetup,
+    group: &GroupSpec,
+    rng: &mut StdRng,
+) -> Option<f64> {
+    // Footnote 11: MAJ9+ never works on Mfr. M parts; the paper omits
+    // those points, and so do we.
+    if point.x >= 9 && setup.module().profile().manufacturer == Manufacturer::M {
+        return None;
+    }
+    if let Some(t) = point.temperature_c {
+        setup
+            .set_temperature(t)
+            .expect("swept temperature is in range");
+    }
+    if let Some(v) = point.vpp_v {
+        setup.set_vpp(v).expect("swept V_PP is in range");
+    }
     let maj_config = MajConfig::default();
-    collect_group_samples(config, n, move |setup, group, rng| {
-        // Footnote 11: MAJ9+ never works on Mfr. M parts; the paper omits
-        // those points, and so do we.
-        if x >= 9 && setup.module().profile().manufacturer == Manufacturer::M {
-            return None;
-        }
-        if let Some(t) = temperature_c {
-            setup
-                .set_temperature(t)
-                .expect("swept temperature is in range");
-        }
-        if let Some(v) = vpp_v {
-            setup.set_vpp(v).expect("swept V_PP is in range");
-        }
-        majx_success(setup, group, x, timing, pattern, &maj_config, rng).ok()
-    })
+    majx_success(
+        setup,
+        group,
+        point.x,
+        point.timing,
+        point.pattern,
+        &maj_config,
+        rng,
+    )
+    .ok()
+}
+
+fn maj_point(
+    n: u32,
+    x: usize,
+    timing: ApaTiming,
+    pattern: DataPattern,
+    temperature_c: Option<f64>,
+    vpp_v: Option<f64>,
+) -> SweepPoint<MajPoint> {
+    SweepPoint::new(
+        n,
+        MajPoint {
+            x,
+            timing,
+            pattern,
+            temperature_c,
+            vpp_v,
+        },
+    )
 }
 
 /// Fig. 6: MAJ3 success distribution vs (t1, t2) and N ∈ {4, 8, 16, 32}.
@@ -63,13 +105,24 @@ pub fn fig6_maj3_timing(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
+    let points: Vec<SweepPoint<MajPoint>> = FIG6_T1
+        .iter()
+        .flat_map(|&t1| {
+            let ns = &ns;
+            FIG6_T2.iter().flat_map(move |&t2| {
+                let timing = ApaTiming::from_ns(t1, t2);
+                ns.iter()
+                    .map(move |&n| maj_point(n, 3, timing, DataPattern::Random, None, None))
+            })
+        })
+        .collect();
+    let mut sweeps = sweep_group_samples(config, &points, majx_op).into_iter();
     for &t1 in &FIG6_T1 {
         for &t2 in &FIG6_T2 {
-            let timing = ApaTiming::from_ns(t1, t2);
             let mut means = Vec::new();
             let mut medians = Vec::new();
-            for &n in &ns {
-                let samples = majx_samples(config, 3, n, timing, DataPattern::Random, None, None);
+            for _ in &ns {
+                let samples = sweeps.next().expect("one sample set per sweep point");
                 let stats = BoxStats::from_samples(&samples);
                 means.push(pct(stats.mean));
                 medians.push(pct(stats.median));
@@ -91,35 +144,36 @@ pub fn fig7_majx_patterns(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
+    let timing = ApaTiming::best_for_majx();
+    let mut points: Vec<SweepPoint<MajPoint>> = DataPattern::ALL
+        .iter()
+        .flat_map(|&pattern| {
+            MAJ_XS
+                .iter()
+                .map(move |&x| maj_point(32, x, timing, pattern, None, None))
+        })
+        .collect();
+    // The replication sweep of Fig. 7's x-axis: random pattern per N.
+    points.extend(MAJ_XS.iter().flat_map(|&x| {
+        feasible_ns(x)
+            .into_iter()
+            .map(move |n| maj_point(n, x, timing, DataPattern::Random, None, None))
+    }));
+    let mut sweeps = sweep_group_samples(config, &points, majx_op).into_iter();
     for pattern in DataPattern::ALL {
         let values = MAJ_XS
             .iter()
-            .map(|&x| {
-                pct(mean(&majx_samples(
-                    config,
-                    x,
-                    32,
-                    ApaTiming::best_for_majx(),
-                    pattern,
-                    None,
-                    None,
-                )))
+            .map(|_| {
+                let samples = sweeps.next().expect("one sample set per sweep point");
+                pct(mean(&samples))
             })
             .collect();
         table.push_row(pattern.to_string(), values);
     }
-    // The replication sweep of Fig. 7's x-axis: random pattern per N.
     for &x in &MAJ_XS {
         for n in feasible_ns(x) {
-            let s = pct(mean(&majx_samples(
-                config,
-                x,
-                n,
-                ApaTiming::best_for_majx(),
-                DataPattern::Random,
-                None,
-                None,
-            )));
+            let samples = sweeps.next().expect("one sample set per sweep point");
+            let s = pct(mean(&samples));
             // Per-N sweep rows carry one value in the matching MAJX
             // column; the rest is NaN (infeasible/not measured here).
             let mut row = vec![f64::NAN; MAJ_XS.len()];
@@ -142,35 +196,36 @@ pub fn fig8_majx_temperature(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
+    let timing = ApaTiming::best_for_majx();
+    let mut points: Vec<SweepPoint<MajPoint>> = MAJ_XS
+        .iter()
+        .flat_map(|&x| {
+            temps
+                .iter()
+                .map(move |&t| maj_point(32, x, timing, DataPattern::Random, Some(t), None))
+        })
+        .collect();
+    points.extend(
+        temps
+            .iter()
+            .map(|&t| maj_point(4, 3, timing, DataPattern::Random, Some(t), None)),
+    );
+    let mut sweeps = sweep_group_samples(config, &points, majx_op).into_iter();
     for &x in &MAJ_XS {
         let values = temps
             .iter()
-            .map(|&t| {
-                pct(mean(&majx_samples(
-                    config,
-                    x,
-                    32,
-                    ApaTiming::best_for_majx(),
-                    DataPattern::Random,
-                    Some(t),
-                    None,
-                )))
+            .map(|_| {
+                let samples = sweeps.next().expect("one sample set per sweep point");
+                pct(mean(&samples))
             })
             .collect();
         table.push_row(format!("MAJ{x} N=32"), values);
     }
     let maj3_n4 = temps
         .iter()
-        .map(|&t| {
-            pct(mean(&majx_samples(
-                config,
-                3,
-                4,
-                ApaTiming::best_for_majx(),
-                DataPattern::Random,
-                Some(t),
-                None,
-            )))
+        .map(|_| {
+            let samples = sweeps.next().expect("one sample set per sweep point");
+            pct(mean(&samples))
         })
         .collect();
     table.push_row("MAJ3 N=4", maj3_n4);
@@ -188,19 +243,21 @@ pub fn fig9_majx_voltage(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
+    let timing = ApaTiming::best_for_majx();
+    let points: Vec<SweepPoint<MajPoint>> = MAJ_XS
+        .iter()
+        .flat_map(|&x| {
+            vpps.iter()
+                .map(move |&v| maj_point(32, x, timing, DataPattern::Random, None, Some(v)))
+        })
+        .collect();
+    let mut sweeps = sweep_group_samples(config, &points, majx_op).into_iter();
     for &x in &MAJ_XS {
         let values = vpps
             .iter()
-            .map(|&v| {
-                pct(mean(&majx_samples(
-                    config,
-                    x,
-                    32,
-                    ApaTiming::best_for_majx(),
-                    DataPattern::Random,
-                    None,
-                    Some(v),
-                )))
+            .map(|_| {
+                let samples = sweeps.next().expect("one sample set per sweep point");
+                pct(mean(&samples))
             })
             .collect();
         table.push_row(format!("MAJ{x} N=32"), values);

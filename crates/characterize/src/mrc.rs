@@ -1,15 +1,22 @@
 //! Figures 10–12: Multi-RowCopy robustness under timing, data pattern,
 //! temperature, and wordline voltage.
+//!
+//! Each figure submits its whole (timing, pattern, operating-point,
+//! destination-count) grid as one [`run_sweep`] call; rows are assembled
+//! from the per-point sample sets, which arrive in the enumeration order
+//! of the points.
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use simra_bender::TestSetup;
 use simra_core::metrics::{mean, pct, BoxStats};
 use simra_core::multirowcopy::multirowcopy_success;
+use simra_core::rowgroup::GroupSpec;
 use simra_dram::{ApaTiming, BitRow};
 
 use crate::config::ExperimentConfig;
-use crate::fleet::collect_group_samples;
+use crate::fleet::{sweep_group_samples, SweepPoint};
 use crate::report::Table;
 
 /// Destination counts of §6 (N-row activation copies to N − 1 rows).
@@ -51,27 +58,51 @@ impl MrcPattern {
     }
 }
 
-fn mrc_samples(
-    config: &ExperimentConfig,
+/// One Multi-RowCopy sweep point. The activated row count on the
+/// enclosing [`SweepPoint`] is `dests + 1` (source + destinations).
+#[derive(Debug, Clone, Copy)]
+struct MrcPoint {
+    timing: ApaTiming,
+    pattern: MrcPattern,
+    temperature_c: Option<f64>,
+    vpp_v: Option<f64>,
+}
+
+fn mrc_op(
+    point: &MrcPoint,
+    setup: &mut TestSetup,
+    group: &GroupSpec,
+    rng: &mut StdRng,
+) -> Option<f64> {
+    if let Some(t) = point.temperature_c {
+        setup
+            .set_temperature(t)
+            .expect("swept temperature is in range");
+    }
+    if let Some(v) = point.vpp_v {
+        setup.set_vpp(v).expect("swept V_PP is in range");
+    }
+    let cols = setup.module().geometry().cols_per_row as usize;
+    let img = point.pattern.image(cols, rng);
+    multirowcopy_success(setup, group, point.timing, &img).ok()
+}
+
+fn mrc_point(
     dests: u32,
     timing: ApaTiming,
     pattern: MrcPattern,
     temperature_c: Option<f64>,
     vpp_v: Option<f64>,
-) -> Vec<f64> {
-    collect_group_samples(config, dests + 1, move |setup, group, rng| {
-        if let Some(t) = temperature_c {
-            setup
-                .set_temperature(t)
-                .expect("swept temperature is in range");
-        }
-        if let Some(v) = vpp_v {
-            setup.set_vpp(v).expect("swept V_PP is in range");
-        }
-        let cols = setup.module().geometry().cols_per_row as usize;
-        let img = pattern.image(cols, rng);
-        multirowcopy_success(setup, group, timing, &img).ok()
-    })
+) -> SweepPoint<MrcPoint> {
+    SweepPoint::new(
+        dests + 1,
+        MrcPoint {
+            timing,
+            pattern,
+            temperature_c,
+            vpp_v,
+        },
+    )
 }
 
 /// Fig. 10: Multi-RowCopy success distribution vs (t1, t2) per
@@ -84,13 +115,24 @@ pub fn fig10_mrc_timing(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
+    let points: Vec<SweepPoint<MrcPoint>> = FIG10_T1
+        .iter()
+        .flat_map(|&t1| {
+            FIG10_T2.iter().flat_map(move |&t2| {
+                let timing = ApaTiming::from_ns(t1, t2);
+                DEST_COUNTS
+                    .iter()
+                    .map(move |&d| mrc_point(d, timing, MrcPattern::Random, None, None))
+            })
+        })
+        .collect();
+    let mut sweeps = sweep_group_samples(config, &points, mrc_op).into_iter();
     for &t1 in &FIG10_T1 {
         for &t2 in &FIG10_T2 {
-            let timing = ApaTiming::from_ns(t1, t2);
             let mut means = Vec::new();
             let mut mins = Vec::new();
-            for &d in &DEST_COUNTS {
-                let samples = mrc_samples(config, d, timing, MrcPattern::Random, None, None);
+            for _ in &DEST_COUNTS {
+                let samples = sweeps.next().expect("one sample set per sweep point");
                 let stats = BoxStats::from_samples(&samples);
                 means.push(pct(stats.mean));
                 mins.push(pct(stats.min));
@@ -112,22 +154,26 @@ pub fn fig11_mrc_patterns(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
-    for pattern in [
+    let patterns = [
         MrcPattern::AllZeros,
         MrcPattern::AllOnes,
         MrcPattern::Random,
-    ] {
+    ];
+    let points: Vec<SweepPoint<MrcPoint>> = patterns
+        .iter()
+        .flat_map(|&pattern| {
+            DEST_COUNTS.iter().map(move |&d| {
+                mrc_point(d, ApaTiming::best_for_multi_row_copy(), pattern, None, None)
+            })
+        })
+        .collect();
+    let mut sweeps = sweep_group_samples(config, &points, mrc_op).into_iter();
+    for pattern in patterns {
         let values = DEST_COUNTS
             .iter()
-            .map(|&d| {
-                pct(mean(&mrc_samples(
-                    config,
-                    d,
-                    ApaTiming::best_for_multi_row_copy(),
-                    pattern,
-                    None,
-                    None,
-                )))
+            .map(|_| {
+                let samples = sweeps.next().expect("one sample set per sweep point");
+                pct(mean(&samples))
             })
             .collect();
         table.push_row(pattern.to_string(), values);
@@ -146,18 +192,27 @@ pub fn fig12a_mrc_temperature(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
-    for &t in &temps {
-        let values = DEST_COUNTS
-            .iter()
-            .map(|&d| {
-                pct(mean(&mrc_samples(
-                    config,
+    let points: Vec<SweepPoint<MrcPoint>> = temps
+        .iter()
+        .flat_map(|&t| {
+            DEST_COUNTS.iter().map(move |&d| {
+                mrc_point(
                     d,
                     ApaTiming::best_for_multi_row_copy(),
                     MrcPattern::Random,
                     Some(t),
                     None,
-                )))
+                )
+            })
+        })
+        .collect();
+    let mut sweeps = sweep_group_samples(config, &points, mrc_op).into_iter();
+    for &t in &temps {
+        let values = DEST_COUNTS
+            .iter()
+            .map(|_| {
+                let samples = sweeps.next().expect("one sample set per sweep point");
+                pct(mean(&samples))
             })
             .collect();
         table.push_row(format!("{t} C"), values);
@@ -176,18 +231,27 @@ pub fn fig12b_mrc_voltage(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
-    for &v in &vpps {
-        let values = DEST_COUNTS
-            .iter()
-            .map(|&d| {
-                pct(mean(&mrc_samples(
-                    config,
+    let points: Vec<SweepPoint<MrcPoint>> = vpps
+        .iter()
+        .flat_map(|&v| {
+            DEST_COUNTS.iter().map(move |&d| {
+                mrc_point(
                     d,
                     ApaTiming::best_for_multi_row_copy(),
                     MrcPattern::Random,
                     None,
                     Some(v),
-                )))
+                )
+            })
+        })
+        .collect();
+    let mut sweeps = sweep_group_samples(config, &points, mrc_op).into_iter();
+    for &v in &vpps {
+        let values = DEST_COUNTS
+            .iter()
+            .map(|_| {
+                let samples = sweeps.next().expect("one sample set per sweep point");
+                pct(mean(&samples))
             })
             .collect();
         table.push_row(format!("{v} V"), values);

@@ -2,6 +2,13 @@
 //! operations measured separately for each Table-1 profile, exposing the
 //! Mfr. H vs Mfr. M differences (Frac support, biased amps, variation
 //! scales) the fleet averages blur together.
+//!
+//! The four profiles are independent measurements (each mounts its own
+//! module and seeds its own RNG stream), so they run as four tasks on
+//! the persistent [`FleetPool`]; rows are still emitted in Table-1
+//! order, so the table is byte-identical to the sequential loop.
+
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -13,10 +20,75 @@ use simra_core::metrics::{mean, pct};
 use simra_core::multirowcopy::multirowcopy_success;
 use simra_core::rowgroup::sample_groups;
 use simra_dram::vendor::paper_fleet;
-use simra_dram::{ApaTiming, BitRow, DataPattern, DramModule, Manufacturer};
+use simra_dram::{ApaTiming, BitRow, DataPattern, DramModule, Manufacturer, VendorProfile};
 
 use crate::config::ExperimentConfig;
+use crate::fleet::executor_threads;
+use crate::pool::FleetPool;
 use crate::report::Table;
+
+/// One profile's row: mount the profile, draw its group sample, and
+/// measure every headline operation on the shared per-profile stream.
+fn per_die_row(config: &ExperimentConfig, profile: &VendorProfile) -> Vec<f64> {
+    let mut setup = TestSetup::with_module(DramModule::new(profile.clone(), 4242));
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xD1E);
+    let groups = sample_groups(
+        setup.module().geometry(),
+        32,
+        config.banks,
+        config.subarrays_per_bank,
+        config.groups_per_subarray,
+        &mut rng,
+    );
+    let cols = setup.module().geometry().cols_per_row as usize;
+    let maj_cfg = MajConfig::default();
+
+    let act: Vec<f64> = groups
+        .iter()
+        .filter_map(|g| {
+            activation_success(
+                &mut setup,
+                g,
+                ApaTiming::best_for_activation(),
+                DataPattern::Random,
+                &mut rng,
+            )
+            .ok()
+        })
+        .collect();
+    let mut row = vec![pct(mean(&act))];
+    for x in [3usize, 5, 7, 9] {
+        if x >= 9 && profile.manufacturer == Manufacturer::M {
+            row.push(f64::NAN);
+            continue;
+        }
+        let vals: Vec<f64> = groups
+            .iter()
+            .filter_map(|g| {
+                majx_success(
+                    &mut setup,
+                    g,
+                    x,
+                    ApaTiming::best_for_majx(),
+                    DataPattern::Random,
+                    &maj_cfg,
+                    &mut rng,
+                )
+                .ok()
+            })
+            .collect();
+        row.push(pct(mean(&vals)));
+    }
+    let mrc: Vec<f64> = groups
+        .iter()
+        .filter_map(|g| {
+            let img = BitRow::random(&mut rng, cols);
+            multirowcopy_success(&mut setup, g, ApaTiming::best_for_multi_row_copy(), &img).ok()
+        })
+        .collect();
+    row.push(pct(mean(&mrc)));
+    row
+}
 
 /// Per-die table: one row per Table-1 profile, columns for 32-row
 /// activation, MAJ3/5/7/9 @32 (random pattern), and Multi-RowCopy @31
@@ -37,67 +109,18 @@ pub fn per_die_breakdown(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
-    for entry in paper_fleet() {
-        let profile = entry.profile;
-        let label = profile.label();
-        let mut setup = TestSetup::with_module(DramModule::new(profile.clone(), 4242));
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xD1E);
-        let groups = sample_groups(
-            setup.module().geometry(),
-            32,
-            config.banks,
-            config.subarrays_per_bank,
-            config.groups_per_subarray,
-            &mut rng,
-        );
-        let cols = setup.module().geometry().cols_per_row as usize;
-        let maj_cfg = MajConfig::default();
-
-        let act: Vec<f64> = groups
-            .iter()
-            .filter_map(|g| {
-                activation_success(
-                    &mut setup,
-                    g,
-                    ApaTiming::best_for_activation(),
-                    DataPattern::Random,
-                    &mut rng,
-                )
-                .ok()
-            })
-            .collect();
-        let mut row = vec![pct(mean(&act))];
-        for x in [3usize, 5, 7, 9] {
-            if x >= 9 && profile.manufacturer == Manufacturer::M {
-                row.push(f64::NAN);
-                continue;
-            }
-            let vals: Vec<f64> = groups
-                .iter()
-                .filter_map(|g| {
-                    majx_success(
-                        &mut setup,
-                        g,
-                        x,
-                        ApaTiming::best_for_majx(),
-                        DataPattern::Random,
-                        &maj_cfg,
-                        &mut rng,
-                    )
-                    .ok()
-                })
-                .collect();
-            row.push(pct(mean(&vals)));
-        }
-        let mrc: Vec<f64> = groups
-            .iter()
-            .filter_map(|g| {
-                let img = BitRow::random(&mut rng, cols);
-                multirowcopy_success(&mut setup, g, ApaTiming::best_for_multi_row_copy(), &img).ok()
-            })
-            .collect();
-        row.push(pct(mean(&mrc)));
-        table.push_row(label, row);
+    let profiles: Vec<VendorProfile> = paper_fleet().into_iter().map(|e| e.profile).collect();
+    let rows: Vec<Mutex<Option<Vec<f64>>>> = profiles.iter().map(|_| Mutex::new(None)).collect();
+    FleetPool::global().run_tasks(profiles.len(), executor_threads(profiles.len()), |i| {
+        *rows[i].lock().expect("per-die row slot poisoned") =
+            Some(per_die_row(config, &profiles[i]));
+    });
+    for (profile, slot) in profiles.iter().zip(rows) {
+        let row = slot
+            .into_inner()
+            .expect("per-die row slot poisoned")
+            .expect("per-die task lost its row");
+        table.push_row(profile.label(), row);
     }
     table
 }
@@ -129,5 +152,28 @@ mod tests {
         // a quick-scale sample — the group spread dominates 3 groups).
         assert!(t.get(h_m, "MAJ7").unwrap().is_finite());
         assert!(t.get(m_e, "MAJ7").unwrap().is_finite());
+    }
+
+    #[test]
+    fn per_die_table_is_deterministic() {
+        // The four profile tasks run in parallel on the pool; the table
+        // must come out identical run to run regardless of scheduling.
+        let mut config = ExperimentConfig::quick();
+        config.groups_per_subarray = 3;
+        let a = per_die_breakdown(&config);
+        let b = per_die_breakdown(&config);
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.label, rb.label);
+            let same = ra
+                .values
+                .iter()
+                .zip(&rb.values)
+                .all(|(x, y)| (x.is_nan() && y.is_nan()) || x == y);
+            assert!(
+                same,
+                "row {} differs: {:?} vs {:?}",
+                ra.label, ra.values, rb.values
+            );
+        }
     }
 }

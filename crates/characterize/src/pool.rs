@@ -1,0 +1,439 @@
+//! A persistent worker pool for fleet runs.
+//!
+//! The previous executor design (`crossbeam::thread::scope` inside every
+//! `run_fleet` call) spawned and joined a full set of OS threads *per
+//! sweep point* — a paper figure with 30 points paid 30 spawn/join
+//! rounds and put a scheduling barrier between consecutive points. The
+//! [`FleetPool`] instead owns its worker threads for the lifetime of the
+//! process (or of an explicitly constructed pool) and lets callers
+//! *borrow* them per job.
+//!
+//! # Design
+//!
+//! A job is a set of `total` indexed tasks plus a caller-provided
+//! `Fn(usize)` that executes one task. Jobs go through a small shared
+//! queue; workers and the *calling thread itself* claim task indices from
+//! an atomic cursor, so a job always makes progress even if every pool
+//! worker is busy with another job (the caller is claimer number one).
+//! `max_claimers` bounds how many threads may work one job, which is how
+//! `run_fleet_with(.., workers, ..)` keeps its explicit worker-count
+//! semantics on a shared pool.
+//!
+//! # Safety
+//!
+//! The job body is type-erased into a thin `*const ()` plus a
+//! monomorphised `unsafe fn` trampoline so one queue can carry jobs of
+//! any closure type without boxing per call. The pointer refers into the
+//! calling frame of [`FleetPool::run_tasks`], which is sound because:
+//!
+//! * `run_tasks` does not return until the completion latch fires, and
+//!   the latch fires only after **all** `total` tasks have finished;
+//! * a task index is only ever claimed while `next < total`; after the
+//!   latch, every claim attempt sees an exhausted cursor and touches
+//!   nothing but atomics owned by the `Arc<JobCore>` itself;
+//! * results are handed back through caller-owned sync cells (the fleet
+//!   uses one `Mutex` slot per task), whose unlock/lock pairs — together
+//!   with the latch's mutex — order task writes before the caller's
+//!   reads.
+//!
+//! Task panics are caught, recorded (first message wins), and re-raised
+//! on the calling thread after the job drains, so a panicking task can
+//! never poison a pool worker or hang the caller.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Outcome flags of one job, behind the completion-latch mutex.
+struct JobState {
+    /// All `total` tasks have finished (successfully or by panic).
+    done: bool,
+    /// First recorded task panic message, re-raised by the caller.
+    panic: Option<String>,
+}
+
+/// One job: an indexed task grid shared between the caller and however
+/// many pool workers register on it.
+struct JobCore {
+    /// Number of task indices in `0..total`.
+    total: usize,
+    /// Claim cursor; `fetch_add` hands out each index exactly once.
+    next: AtomicUsize,
+    /// Tasks not yet finished; the thread that drops this to zero fires
+    /// the completion latch.
+    pending: AtomicUsize,
+    /// Threads currently entitled to claim from this job (the caller
+    /// counts as one). Only mutated under the pool's queue lock.
+    claimers: AtomicUsize,
+    /// Upper bound on `claimers`.
+    max_claimers: usize,
+    /// Completion latch (also carries the panic verdict).
+    state: Mutex<JobState>,
+    done_cv: Condvar,
+    /// Type-erased pointer to the caller's task closure. Valid for the
+    /// whole job lifetime — see the module-level safety argument.
+    data: *const (),
+    /// Monomorphised trampoline reconstituting `data`'s closure type.
+    run: unsafe fn(*const (), usize),
+}
+
+// SAFETY: `data` is only dereferenced through `run` for claimed indices,
+// all of which happen-before the completion latch that `run_tasks` blocks
+// on; the closure behind it is `Sync` (bound on `run_tasks`), so shared
+// invocation from several threads is sound. Everything else in the struct
+// is atomics and sync primitives.
+unsafe impl Send for JobCore {}
+unsafe impl Sync for JobCore {}
+
+impl JobCore {
+    /// Whether every task index has been handed out.
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::SeqCst) >= self.total
+    }
+
+    /// Registers the calling worker as a claimer if the job has claimer
+    /// capacity left. Must be called under the pool queue lock (claimer
+    /// accounting is lock-protected; the atomic is for shared storage).
+    fn try_register(&self) -> bool {
+        let claimers = self.claimers.load(Ordering::Relaxed);
+        if claimers >= self.max_claimers {
+            return false;
+        }
+        self.claimers.store(claimers + 1, Ordering::Relaxed);
+        true
+    }
+
+    /// Claims and runs task indices until the cursor is exhausted. Every
+    /// finished task decrements `pending`; whoever finishes the last task
+    /// fires the completion latch.
+    fn run_claimed(&self) {
+        loop {
+            let index = self.next.fetch_add(1, Ordering::SeqCst);
+            if index >= self.total {
+                return;
+            }
+            let outcome =
+                panic::catch_unwind(AssertUnwindSafe(|| unsafe { (self.run)(self.data, index) }));
+            if let Err(payload) = outcome {
+                let message = panic_message(payload.as_ref());
+                let mut state = self.lock_state();
+                if state.panic.is_none() {
+                    state.panic = Some(message);
+                }
+            }
+            if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let mut state = self.lock_state();
+                state.done = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, JobState> {
+        // A panic while holding the state lock can only come from the
+        // allocator; inherit the guard rather than deadlocking.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The pool's shared job queue.
+struct PoolQueue {
+    jobs: VecDeque<Arc<JobCore>>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    /// Signalled when a job is pushed or the pool shuts down.
+    jobs_cv: Condvar,
+}
+
+impl PoolShared {
+    fn lock_queue(&self) -> MutexGuard<'_, PoolQueue> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A persistent work-stealing worker pool for fleet jobs. Construct one
+/// per scope with [`FleetPool::new`] (joined on drop), or borrow the
+/// process-wide [`FleetPool::global`] — which is what [`crate::run_fleet`]
+/// and [`crate::run_sweep`] do, so a figure run reuses one set of threads
+/// across all of its sweep points instead of spawning per point.
+pub struct FleetPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for FleetPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetPool")
+            .field("threads", &self.handles.len())
+            .finish()
+    }
+}
+
+impl FleetPool {
+    /// Spawns a pool with `threads` persistent workers. Zero threads is
+    /// a valid pool: every job then runs inline on the calling thread
+    /// (the caller is always a claimer).
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            jobs_cv: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("simra-fleet-{id}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn fleet pool worker")
+            })
+            .collect();
+        FleetPool { shared, handles }
+    }
+
+    /// The process-wide pool, sized so that (with the calling thread
+    /// participating) a job can use every core, and small machines still
+    /// get the 4-way concurrency the schedule-independence tests exercise.
+    pub fn global() -> &'static FleetPool {
+        static POOL: OnceLock<FleetPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let cores = std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1);
+            FleetPool::new(cores.saturating_sub(1).max(3))
+        })
+    }
+
+    /// Number of persistent worker threads (the caller adds one more
+    /// claimer on top during [`FleetPool::run_tasks`]).
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `task(index)` for every `index in 0..total`, with at most
+    /// `max_claimers` threads (calling thread included) working the job.
+    /// Blocks until every task has finished; if any task panicked, the
+    /// first recorded panic is re-raised here after the job drains — the
+    /// remaining tasks still run, and no worker is lost.
+    pub fn run_tasks<F>(&self, total: usize, max_claimers: usize, task: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if total == 0 {
+            return;
+        }
+        /// Reconstitutes the concrete closure type erased into `data`.
+        unsafe fn trampoline<F: Fn(usize) + Sync>(data: *const (), index: usize) {
+            let task = unsafe { &*data.cast::<F>() };
+            task(index);
+        }
+        let core = Arc::new(JobCore {
+            total,
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(total),
+            claimers: AtomicUsize::new(1),
+            max_claimers: max_claimers.max(1),
+            state: Mutex::new(JobState {
+                done: false,
+                panic: None,
+            }),
+            done_cv: Condvar::new(),
+            data: (&task as *const F).cast::<()>(),
+            run: trampoline::<F>,
+        });
+        let shared_with_workers = core.max_claimers > 1 && total > 1 && !self.handles.is_empty();
+        if shared_with_workers {
+            let mut queue = self.shared.lock_queue();
+            queue.jobs.push_back(Arc::clone(&core));
+            drop(queue);
+            self.shared.jobs_cv.notify_all();
+        }
+        core.run_claimed();
+        let panic_msg = {
+            let mut state = core.lock_state();
+            while !state.done {
+                state = core.done_cv.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+            state.panic.take()
+        };
+        if shared_with_workers {
+            // Drop the queue's reference so no dangling `data` pointer
+            // outlives this frame (workers that already hold the Arc can
+            // only observe an exhausted cursor — see module docs).
+            let mut queue = self.shared.lock_queue();
+            queue.jobs.retain(|job| !Arc::ptr_eq(job, &core));
+        }
+        if let Some(message) = panic_msg {
+            panic!("fleet pool task panicked: {message}");
+        }
+    }
+}
+
+impl Drop for FleetPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.lock_queue();
+            queue.shutdown = true;
+        }
+        self.shared.jobs_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Worker body: take the first job with both unclaimed tasks and claimer
+/// capacity, work it dry, repeat; park on the condvar when idle.
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared.lock_queue();
+            loop {
+                if queue.shutdown {
+                    return;
+                }
+                queue.jobs.retain(|job| !job.exhausted());
+                if let Some(job) = queue.jobs.iter().find(|job| job.try_register()) {
+                    break Arc::clone(job);
+                }
+                queue = shared
+                    .jobs_cv
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job.run_claimed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let pool = FleetPool::new(3);
+        let hits: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        pool.run_tasks(hits.len(), 4, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        let pool = FleetPool::new(1);
+        pool.run_tasks(0, 4, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn single_claimer_runs_inline_and_in_order() {
+        let pool = FleetPool::new(2);
+        let order = Mutex::new(Vec::new());
+        let caller = std::thread::current().id();
+        pool.run_tasks(8, 1, |i| {
+            assert_eq!(
+                std::thread::current().id(),
+                caller,
+                "max_claimers=1 must stay on the calling thread"
+            );
+            order.lock().unwrap().push(i);
+        });
+        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_jobs() {
+        let pool = FleetPool::new(2);
+        for round in 0..20u64 {
+            let sum = AtomicU64::new(0);
+            pool.run_tasks(10, 3, |i| {
+                sum.fetch_add(round * 100 + i as u64, Ordering::SeqCst);
+            });
+            assert_eq!(sum.load(Ordering::SeqCst), round * 1000 + 45);
+        }
+    }
+
+    #[test]
+    fn task_panic_is_reraised_after_the_job_drains() {
+        let pool = FleetPool::new(2);
+        let completed = AtomicU64::new(0);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_tasks(16, 4, |i| {
+                if i == 3 {
+                    panic!("task 3 exploded");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+            });
+        }));
+        let payload = result.expect_err("panic must propagate to the caller");
+        assert!(panic_message(payload.as_ref()).contains("task 3 exploded"));
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            15,
+            "the other tasks still run"
+        );
+        // The pool survives: workers were never poisoned.
+        let sum = AtomicU64::new(0);
+        pool.run_tasks(4, 4, |i| {
+            sum.fetch_add(i as u64, Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn zero_thread_pool_still_completes_jobs() {
+        let pool = FleetPool::new(0);
+        let sum = AtomicU64::new(0);
+        pool.run_tasks(32, 8, |i| {
+            sum.fetch_add(i as u64, Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 496);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = FleetPool::global();
+        let b = FleetPool::global();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.threads() >= 3);
+    }
+
+    #[test]
+    fn concurrent_jobs_from_many_threads_all_finish() {
+        let pool = FleetPool::new(3);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let sum = AtomicU64::new(0);
+                    pool.run_tasks(25, 2, |i| {
+                        sum.fetch_add(i as u64, Ordering::SeqCst);
+                    });
+                    assert_eq!(sum.load(Ordering::SeqCst), 300);
+                });
+            }
+        });
+    }
+}

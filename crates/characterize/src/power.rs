@@ -1,5 +1,10 @@
 //! Fig. 5: power consumption of simultaneous many-row activation vs
 //! standard DRAM operations.
+//!
+//! This figure is purely analytic (a closed-form IDD model, no module
+//! fleet and no RNG), so it stays off the sweep-grid scheduler: there is
+//! no (module × point) grid to submit and nothing for the rig pool to
+//! reuse.
 
 use simra_bender::power::{PowerModel, StandardOp};
 

@@ -11,7 +11,10 @@
 use std::sync::{Mutex, MutexGuard};
 
 use simra_characterize::config::ModuleUnderTest;
-use simra_characterize::{fig5_power, run_fleet_with, ExperimentConfig, FleetPolicy, MockClock};
+use simra_characterize::{
+    fig5_power, run_fleet_with, run_sweep_with, ExperimentConfig, FleetPolicy, MockClock,
+    SweepPoint,
+};
 use simra_faults::{FaultPlan, ModuleFault, ModuleFaultKind};
 
 fn guard() -> MutexGuard<'static, ()> {
@@ -99,6 +102,14 @@ fn fleet_telemetry_is_identical_across_worker_counts() {
     assert_eq!(counter("task_started"), 6);
     assert_eq!(counter("task_failed"), 0);
     assert_eq!(counter("task_panicked"), 0);
+    // Grid/pool accounting: a single-point run is a 1 × 4 grid served by
+    // the persistent executor. Every module chain's first acquisition
+    // constructs its rig (4 misses); module 1's attempts 2 and 3 reuse
+    // the rig its non-panicking earlier attempts returned (2 hits).
+    assert_eq!(counter("grid_tasks"), 4);
+    assert_eq!(counter("executor_reuse"), 1);
+    assert_eq!(counter("pool_miss"), 4);
+    assert_eq!(counter("pool_hit"), 2);
     let backoff = reference
         .histograms
         .iter()
@@ -107,6 +118,102 @@ fn fleet_telemetry_is_identical_across_worker_counts() {
     // Charges 10 · 2⁰ before attempt 2 and 10 · 2¹ before attempt 3.
     assert_eq!(backoff.count, 2);
     assert!((backoff.sum - 30.0).abs() < 1e-9);
+
+    recorder.disable();
+    recorder.reset();
+}
+
+#[test]
+fn sweep_grid_and_rig_pool_counters_are_deterministic() {
+    let _guard = guard();
+    let recorder = simra_telemetry::global();
+    recorder.enable();
+
+    let mut config = four_module_quick();
+    config.faults = Some(FaultPlan {
+        modules: vec![ModuleFault {
+            module_index: 1,
+            kind: ModuleFaultKind::Dropout {
+                at_group: 0,
+                recover_after_attempts: Some(2),
+            },
+        }],
+        ..FaultPlan::default()
+    });
+    let policy = FleetPolicy {
+        max_attempts: 4,
+        backoff_base_ms: 10.0,
+        deadline_ms: None,
+    };
+    let points: Vec<SweepPoint<()>> = [2u32, 4, 8]
+        .iter()
+        .map(|&n| SweepPoint::new(n, ()))
+        .collect();
+
+    let mut snapshots = Vec::new();
+    for workers in [1usize, 2, 4] {
+        recorder.reset();
+        let clock = MockClock::new();
+        let outcomes = run_sweep_with(
+            &config,
+            &points,
+            policy,
+            &clock,
+            workers,
+            |_: &(), _, g, _| Some(g.n_rows() as f64),
+        );
+        assert_eq!(outcomes.len(), 3, "workers={workers}");
+        for outcome in &outcomes {
+            assert_eq!(outcome.ok_modules(), 4, "workers={workers}");
+        }
+        snapshots.push((workers, recorder.snapshot()));
+    }
+    let _ = simra_characterize::take_session_coverage();
+
+    let (_, reference) = &snapshots[0];
+    for (workers, snapshot) in &snapshots {
+        assert_eq!(
+            snapshot.counters, reference.counters,
+            "counter values diverged at workers={workers}"
+        );
+        assert_eq!(
+            snapshot.histograms, reference.histograms,
+            "histogram values diverged at workers={workers}"
+        );
+    }
+
+    let counter = |name: &str| {
+        reference
+            .counters
+            .iter()
+            .find(|c| c.module == "fleet" && c.name == name)
+            .unwrap_or_else(|| panic!("fleet counter {name} missing"))
+            .value
+    };
+    // The whole 3 × 4 grid is one submission to one borrowed executor.
+    assert_eq!(counter("grid_tasks"), 12);
+    assert_eq!(counter("task_queued"), 12);
+    assert_eq!(counter("executor_reuse"), 1);
+    // Each chain constructs its rig once (4 misses). Module 1 retries
+    // twice per point (attempts 2 and 3 reuse the returned rig) and then
+    // carries the rig to the next point: 9 acquisitions, 8 of them hits.
+    // The three healthy chains each reuse across points: 3 acquisitions,
+    // 2 hits. Totals: 4 misses, 8 + 3·2 = 14 hits.
+    assert_eq!(counter("pool_miss"), 4);
+    assert_eq!(counter("pool_hit"), 14);
+    // Module 1: 2 retries per point; everyone completes in the end.
+    assert_eq!(counter("task_retried"), 6);
+    assert_eq!(counter("task_started"), 18);
+    assert_eq!(counter("task_completed"), 12);
+    assert_eq!(counter("task_failed"), 0);
+    let backoff = reference
+        .histograms
+        .iter()
+        .find(|h| h.module == "fleet" && h.name == "backoff_charged_ms")
+        .expect("backoff histogram missing");
+    // (10 + 20) ms charged per point for module 1's two retries.
+    assert_eq!(backoff.count, 6);
+    assert!((backoff.sum - 90.0).abs() < 1e-9);
 
     recorder.disable();
     recorder.reset();

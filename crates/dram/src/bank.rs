@@ -4,7 +4,7 @@
 //! 128 subarrays but a characterization run only ever opens a handful, and
 //! lazy materialisation keeps memory proportional to what is tested.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +46,13 @@ pub struct Bank {
     /// Cell-fault spec applied to every subarray (present and future).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     fault_spec: Option<CellFaultSpec>,
+    /// Subarrays handed out mutably since the last [`Bank::reset_for_reuse`]
+    /// — the only ones whose voltage plane can differ from the fresh
+    /// (all-zero, faults-pinned) state, and therefore the only ones reset
+    /// needs to touch. Keeps rig reuse O(planes used by the last point)
+    /// instead of O(every plane ever materialised).
+    #[serde(default, skip_serializing_if = "BTreeSet::is_empty")]
+    touched: BTreeSet<SubarrayId>,
 }
 
 impl Bank {
@@ -58,6 +65,7 @@ impl Bank {
             subarrays: BTreeMap::new(),
             state: BankState::Precharged,
             fault_spec: None,
+            touched: BTreeSet::new(),
         }
     }
 
@@ -77,6 +85,10 @@ impl Bank {
         self.fault_spec = spec;
         let seed = self.seed;
         for (id, sa) in self.subarrays.iter_mut() {
+            // Re-deriving an overlay pins cells (and a cleared overlay
+            // leaves old pins behind), so these planes are no longer in
+            // the canonical fresh state.
+            self.touched.insert(*id);
             match spec {
                 Some(s) if !s.is_empty() => {
                     sa.set_faults(s.derive(sa.rows(), sa.cols(), Self::subarray_seed(seed, *id)));
@@ -89,6 +101,25 @@ impl Bank {
     /// The installed cell-fault spec, if any.
     pub fn fault_spec(&self) -> Option<&CellFaultSpec> {
         self.fault_spec.as_ref()
+    }
+
+    /// Returns the bank to its exact just-constructed state without
+    /// dropping any materialised silicon: bitlines precharged, every
+    /// voltage plane touched since the last reset zeroed (with faulted
+    /// cells re-pinned) — untouched planes are already in that state. A
+    /// reused bank is indistinguishable from a fresh [`Bank::new`]
+    /// because fresh subarrays also start with an all-zero plane and
+    /// materialisation is a pure function of
+    /// `(geometry, variation, seed, fault_spec)`.
+    pub fn reset_for_reuse(&mut self) {
+        self.state = BankState::Precharged;
+        // Only planes handed out mutably since the last reset can differ
+        // from the fresh state; everything else is already zeroed+pinned.
+        for id in std::mem::take(&mut self.touched) {
+            if let Some(sa) = self.subarrays.get_mut(&id) {
+                sa.reset_voltages();
+            }
+        }
     }
 
     /// The bank's geometry.
@@ -113,6 +144,7 @@ impl Bank {
         let variation = self.variation;
         let seed = self.seed;
         let fault_spec = self.fault_spec;
+        self.touched.insert(id);
         self.subarrays.entry(id).or_insert_with(|| {
             let sa_seed = Self::subarray_seed(seed, id);
             let mut sa = Subarray::new(
@@ -249,6 +281,63 @@ mod tests {
         b.set_fault_spec(None);
         assert!(b.subarray(SubarrayId::new(0)).faults().is_none());
         assert!(b.subarray(SubarrayId::new(2)).faults().is_none());
+    }
+
+    #[test]
+    fn reset_for_reuse_restores_the_fresh_state() {
+        let mut used = bank();
+        let cols = used.geometry().cols_per_row as usize;
+        let mut rng = StdRng::seed_from_u64(5);
+        let img = DataPattern::Random.row_image(0, cols, &mut rng);
+        used.write_row_nominal(RowAddr::new(600), &img).unwrap();
+        used.set_state(BankState::Activated {
+            subarray: SubarrayId::new(1),
+            open_rows: vec![1],
+            latched: img,
+        });
+        used.reset_for_reuse();
+        assert_eq!(*used.state(), BankState::Precharged);
+        // The dirtied subarray must match a freshly materialised one.
+        let mut fresh = bank();
+        assert_eq!(
+            used.subarray(SubarrayId::new(1)),
+            fresh.subarray(SubarrayId::new(1))
+        );
+    }
+
+    #[test]
+    fn reset_for_reuse_across_shifting_subarray_sets_matches_fresh() {
+        // A reused rig accumulates materialised subarrays across sweep
+        // points that each touch a different one; every reset must leave
+        // each of them (touched this point or long ago) equal to fresh.
+        let mut used = bank();
+        let cols = used.geometry().cols_per_row as usize;
+        for id in [0u16, 1, 2] {
+            used.subarray(SubarrayId::new(id))
+                .write_row(5, &BitRow::ones(cols))
+                .unwrap();
+            used.reset_for_reuse();
+        }
+        let mut fresh = bank();
+        for id in [0u16, 1, 2] {
+            assert_eq!(
+                used.subarray(SubarrayId::new(id)),
+                fresh.subarray(SubarrayId::new(id)),
+                "subarray {id} diverged from fresh after targeted resets"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_for_reuse_keeps_fault_overlays_pinned() {
+        let mut b = bank();
+        b.set_fault_spec(Some(dense_spec()));
+        let before = b.subarray(SubarrayId::new(0)).clone();
+        let cols = b.geometry().cols_per_row as usize;
+        b.write_row_nominal(RowAddr::new(3), &BitRow::ones(cols))
+            .unwrap();
+        b.reset_for_reuse();
+        assert_eq!(*b.subarray(SubarrayId::new(0)), before);
     }
 
     #[test]

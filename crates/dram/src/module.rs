@@ -100,6 +100,18 @@ impl DramModule {
         (0..self.bank_count()).map(BankId::new)
     }
 
+    /// Returns every bank to its exact just-constructed state while
+    /// keeping the materialised subarrays (and their fault overlays)
+    /// alive, so a pooled module rig can be reused across sweep points
+    /// without re-allocating voltage planes or re-deriving overlays.
+    /// After this call the module is observationally identical to a fresh
+    /// [`DramModule::new`] with the same `(profile, seed)` and fault spec.
+    pub fn reset_for_reuse(&mut self) {
+        for bank in &mut self.banks {
+            bank.reset_for_reuse();
+        }
+    }
+
     /// Installs (or, with `None`, clears) a cell-fault spec on every bank
     /// of the module. Defect positions are keyed by each subarray's
     /// silicon seed, so the same `(module seed, spec)` pair always grows
@@ -163,6 +175,25 @@ mod tests {
             .subarray(crate::geometry::SubarrayId::new(0))
             .clone();
         assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn reset_for_reuse_matches_fresh_module() {
+        use crate::data::BitRow;
+        use crate::geometry::RowAddr;
+        let mut used = DramModule::new(VendorProfile::mfr_h_m_die(), 77);
+        let cols = used.geometry().cols_per_row as usize;
+        used.bank_mut(BankId::new(2))
+            .unwrap()
+            .write_row_nominal(RowAddr::new(600), &BitRow::ones(cols))
+            .unwrap();
+        used.reset_for_reuse();
+        let mut fresh = DramModule::new(VendorProfile::mfr_h_m_die(), 77);
+        let sa_id = crate::geometry::SubarrayId::new(1);
+        assert_eq!(
+            used.bank_mut(BankId::new(2)).unwrap().subarray(sa_id),
+            fresh.bank_mut(BankId::new(2)).unwrap().subarray(sa_id),
+        );
     }
 
     #[test]

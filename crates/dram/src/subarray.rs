@@ -346,8 +346,14 @@ impl Subarray {
     /// Discharges every cell to 0 V, keeping the silicon: the cheap way to
     /// reuse a subarray for a fresh sweep point. Stuck cells re-assert
     /// their pinned value.
+    ///
+    /// Swaps in a freshly zero-allocated plane rather than `fill(0.0)`:
+    /// large zeroed allocations come from the OS as copy-on-write zero
+    /// pages, so the reset costs O(pages the next point actually writes)
+    /// — exactly what fresh construction pays — instead of an eager
+    /// write of the whole plane.
     pub fn reset_voltages(&mut self) {
-        self.voltage.fill(0.0);
+        self.voltage = vec![0.0; self.rows as usize * self.cols as usize];
         self.pin_faulted_cells();
     }
 

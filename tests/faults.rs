@@ -10,8 +10,8 @@ use rand::Rng;
 
 use simra::bender::TestSetup;
 use simra::characterize::{
-    collect_group_samples, collect_group_samples_serial, run_fleet_with, ExperimentConfig,
-    FleetPolicy, MockClock, ModuleResult,
+    collect_group_samples, collect_group_samples_serial, run_fleet_with, run_sweep_with,
+    ExperimentConfig, FleetPolicy, MockClock, ModuleResult, SweepPoint,
 };
 use simra::faults::{CellFaultSpec, FaultPlan, ModuleFault, ModuleFaultKind};
 use simra::pud::rowgroup::GroupSpec;
@@ -141,6 +141,66 @@ proptest! {
         }
         prop_assert_eq!(&outcomes[0], &outcomes[1], "1 vs 2 workers diverged");
         prop_assert_eq!(&outcomes[0], &outcomes[2], "1 vs 4 workers diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The sweep-grid scheduler's pooled rigs are invisible: a whole
+    /// multi-point sweep on reused modules is byte-identical to running
+    /// every point with freshly constructed modules, across vendor
+    /// profiles, fault presets, and 1/2/4 workers — and, when no faults
+    /// are armed, to the serial fault-free reference.
+    #[test]
+    fn pooled_rig_sweep_is_byte_identical_to_fresh_construction(
+        seed in any::<u64>(),
+        profile_choice in 0usize..4,
+        preset_choice in 0usize..4,
+        ns in proptest::collection::vec(2u32..12, 2..5),
+    ) {
+        let mut config = two_module_config(seed);
+        config.modules[1].profile = match profile_choice {
+            0 => simra::dram::VendorProfile::mfr_h_m_die(),
+            1 => simra::dram::VendorProfile::mfr_h_a_die(),
+            2 => simra::dram::VendorProfile::mfr_m_e_die(),
+            _ => simra::dram::VendorProfile::mfr_m_b_die(),
+        };
+        let preset = [None, Some("quick"), Some("dropout"), Some("chaos")][preset_choice];
+        if let Some(name) = preset {
+            config.faults = FaultPlan::preset(name, config.modules.len());
+        }
+        let policy = FleetPolicy {
+            deadline_ms: config.faults.as_ref().and_then(|p| p.deadline_ms),
+            ..FleetPolicy::default()
+        };
+        // The point parameter feeds the op, so a point handed the wrong
+        // parameters (or the wrong rig state) shows in the samples.
+        let points: Vec<SweepPoint<u32>> = ns.iter().map(|&n| SweepPoint::new(n, n)).collect();
+        let op = |params: &u32, setup: &mut TestSetup, g: &GroupSpec, rng: &mut StdRng| {
+            probe_op(setup, g, rng).map(|s| s + f64::from(*params))
+        };
+        let clock = MockClock::new();
+        for workers in [1usize, 2, 4] {
+            let sweep = run_sweep_with(&config, &points, policy, &clock, workers, op);
+            prop_assert_eq!(sweep.len(), points.len());
+            for (point, outcome) in points.iter().zip(&sweep) {
+                let n = point.n;
+                let fresh = run_fleet_with(
+                    &config,
+                    n,
+                    policy,
+                    &clock,
+                    workers,
+                    |s: &mut TestSetup, g: &GroupSpec, r: &mut StdRng| op(&n, s, g, r),
+                );
+                prop_assert_eq!(outcome, &fresh, "workers={} n={}", workers, n);
+                if preset.is_none() {
+                    let serial = collect_group_samples_serial(&config, n, |s, g, r| op(&n, s, g, r));
+                    prop_assert_eq!(outcome.samples(), serial);
+                }
+            }
+        }
     }
 }
 
