@@ -90,9 +90,12 @@ pub fn run_point(
     // Distinct stream per point so points are independently reproducible.
     let mut rng =
         StdRng::seed_from_u64(config.seed ^ ((n_rows as u64) << 32) ^ variation_pct as u64);
-    let mut perturbations = Vec::with_capacity(config.sets);
+    // A zero-set study has no distribution to summarise; clamp rather
+    // than panic on the degenerate configuration.
+    let sets = config.sets.max(1);
+    let mut perturbations = Vec::with_capacity(sets);
     let mut successes = 0usize;
-    for _ in 0..config.sets {
+    for _ in 0..sets {
         let mut num = 0.0;
         let mut cap_sum = 0.0;
         for &v in &voltages {
@@ -108,7 +111,7 @@ pub fn run_point(
             successes += 1;
         }
     }
-    perturbations.sort_by(|a, b| a.partial_cmp(b).expect("perturbations are finite"));
+    perturbations.sort_by(f64::total_cmp);
     let q = |p: f64| -> f64 {
         let idx = ((perturbations.len() - 1) as f64 * p).round() as usize;
         perturbations[idx]
@@ -121,8 +124,8 @@ pub fn run_point(
         median_mv: q(0.5),
         q3_mv: q(0.75),
         min_mv: perturbations[0],
-        max_mv: *perturbations.last().expect("at least one set"),
-        success_rate: successes as f64 / config.sets as f64,
+        max_mv: *perturbations.last().expect("sets >= 1 guarantees a sample"),
+        success_rate: successes as f64 / sets as f64,
     }
 }
 

@@ -1,0 +1,146 @@
+//! Bench for the execution-backend layer: every figure runner dispatched
+//! through the [`AnalogBackend`] reference path versus the calibrated
+//! [`SurrogateBackend`], at quick scale.
+//!
+//! The surrogate's pitch is "figure-shaped answers at lookup cost": it
+//! pays a one-time calibration per (operation, N, profile) key — a
+//! narrow-rig probe of the analog core — and then Bernoulli-samples
+//! success probabilities per trial. The comparison here measures the
+//! *warm* surrogate (calibration amortised, which is how every sweep
+//! after the first behaves) against the analog path doing the full
+//! charge-sharing simulation.
+//!
+//! Besides the Criterion groups, every run — including `--test` smoke
+//! runs — writes `BENCH_backend.json` with direct best-of-N wall-clock
+//! numbers per figure plus the overall speedup, so CI can archive the
+//! evidence for the issue's ≥50× acceptance bar without parsing
+//! Criterion's output.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simra_characterize::{
+    fig10_mrc_timing, fig3_activation_timing, fig7_majx_patterns, ExperimentConfig, Table,
+};
+use simra_exec::BackendChoice;
+
+type FigureFn = fn(&ExperimentConfig) -> Table;
+
+/// The measured figures: one per PUD operation family, so the comparison
+/// covers activation (Fig. 3), MAJX (Fig. 7), and Multi-RowCopy
+/// (Fig. 10) trial shapes.
+const FIGURES: [(&str, FigureFn); 3] = [
+    ("fig3", fig3_activation_timing),
+    ("fig7", fig7_majx_patterns),
+    ("fig10", fig10_mrc_timing),
+];
+
+fn config_for(backend: BackendChoice) -> ExperimentConfig {
+    let mut config = ExperimentConfig::quick();
+    config.backend = backend;
+    config
+}
+
+/// Best-of-N direct wall-clock measurement (minimum over `reps` runs).
+fn best_of_ms<F: FnMut() -> usize>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let rows = f();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(rows > 0, "the measured figure produced no rows");
+        best = best.min(ms);
+    }
+    best
+}
+
+struct Comparison {
+    analog_ms: f64,
+    surrogate_ms: f64,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.analog_ms / self.surrogate_ms
+    }
+}
+
+fn compare(figure: FigureFn) -> Comparison {
+    let analog = config_for(BackendChoice::Analog);
+    let surrogate = config_for(BackendChoice::Surrogate);
+    // Warm both paths: thread/rig start-up on the analog side, the
+    // one-time calibration probes on the surrogate side.
+    let _ = figure(&analog);
+    let _ = figure(&surrogate);
+    Comparison {
+        analog_ms: best_of_ms(3, || figure(&analog).rows.len()),
+        surrogate_ms: best_of_ms(3, || figure(&surrogate).rows.len()),
+    }
+}
+
+/// Writes BENCH_backend.json next to the bench's working directory (the
+/// `simra-bench` package root under `cargo bench`); override the path
+/// with `BENCH_BACKEND_OUT`.
+fn write_backend_doc() {
+    let mut entries = Vec::new();
+    let mut analog_total = 0.0;
+    let mut surrogate_total = 0.0;
+    for (name, figure) in FIGURES {
+        let cmp = compare(figure);
+        analog_total += cmp.analog_ms;
+        surrogate_total += cmp.surrogate_ms;
+        entries.push(format!(
+            "{{\"figure\":{},\"analog_ms\":{:.3},\"surrogate_ms\":{:.3},\"speedup\":{:.3}}}",
+            simra_telemetry::json::quote(name),
+            cmp.analog_ms,
+            cmp.surrogate_ms,
+            cmp.speedup(),
+        ));
+    }
+    let overall = analog_total / surrogate_total;
+    let doc = format!(
+        "{{\"schema_version\":1,\"tool\":{},\"scale\":{},\"figures\":[{}],\
+         \"analog_total_ms\":{:.3},\"surrogate_total_ms\":{:.3},\"overall_speedup\":{:.3}}}",
+        simra_telemetry::json::quote("backend_compare_bench"),
+        simra_telemetry::json::quote("quick"),
+        entries.join(","),
+        analog_total,
+        surrogate_total,
+        overall,
+    );
+    let path =
+        std::env::var("BENCH_BACKEND_OUT").unwrap_or_else(|_| "BENCH_backend.json".to_string());
+    std::fs::write(&path, &doc).expect("write BENCH_backend.json");
+    eprintln!(
+        "backend_compare: analog {analog_total:.1} ms vs surrogate {surrogate_total:.1} ms \
+         ({overall:.1}x overall) -> {path}"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    write_backend_doc();
+
+    let analog = config_for(BackendChoice::Analog);
+    let surrogate = config_for(BackendChoice::Surrogate);
+    let mut group = c.benchmark_group("backend_compare");
+    for (name, figure) in FIGURES {
+        group.bench_function(format!("{name}/analog").as_str(), |b| {
+            b.iter(|| figure(&analog));
+        });
+        group.bench_function(format!("{name}/surrogate").as_str(), |b| {
+            // First call calibrates; Criterion's warm-up absorbs it.
+            b.iter(|| figure(&surrogate));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -6,6 +6,8 @@
 //!   repro quick                   # smoke scale (seconds)
 //!   repro paper                   # the paper's full population (hours)
 //!   repro <scale> --timings       # also print per-figure wall-clock to stderr
+//!   repro <scale> --backend <which>  # execution backend: analog (default)
+//!                                 # | surrogate (calibrated fast model)
 //!   repro <scale> --faults <name> # arm a fault-injection preset
 //!                                 # (quick | dropout | chaos)
 //!   repro <scale> --metrics       # telemetry summary to stderr after the run
@@ -23,7 +25,7 @@ use std::time::Instant;
 
 use simra_bench::cli::{self, CliOptions};
 use simra_bench::metrics::MetricsDoc;
-use simra_casestudy::{fig16_microbenchmarks, fig17_coldboot};
+use simra_casestudy::{fig16_microbenchmarks_on, fig17_coldboot};
 use simra_characterize::{
     fig10_mrc_timing, fig11_mrc_patterns, fig12a_mrc_temperature, fig12b_mrc_voltage, fig15_spice,
     fig3_activation_timing, fig4a_activation_temperature, fig4b_activation_voltage, fig5_power,
@@ -62,6 +64,12 @@ fn main() {
         "paper" => ExperimentConfig::paper_scale(),
         _ => ExperimentConfig::reduced(),
     };
+    config.backend = opts.backend;
+    let backend = simra_characterize::BackendSet::global().dispatch(config.backend);
+    if config.backend != simra_exec::BackendChoice::Analog {
+        // stderr only: default-backend stdout stays byte-identical.
+        eprintln!("# backend: {}", config.backend);
+    }
     if let Some(name) = opts.faults_preset.as_deref() {
         match FaultPlan::preset(name, config.modules.len()) {
             Some(plan) => {
@@ -101,7 +109,9 @@ fn main() {
     println!("{fig15b}");
     let profiles = [VendorProfile::mfr_h_m_die(), VendorProfile::mfr_m_e_die()];
     let groups = if scale == "paper" { 40 } else { 8 };
-    show!("fig16", || fig16_microbenchmarks(&profiles, groups, 11));
+    show!("fig16", || fig16_microbenchmarks_on(
+        backend, &profiles, groups, 11
+    ));
     show!("fig17", fig17_coldboot);
 
     show!("per_die_breakdown", || {

@@ -9,8 +9,10 @@
 
 /// Usage text printed alongside every parse error.
 pub const USAGE: &str = "\
-usage: repro [<scale>] [--timings] [--faults <preset>] [--metrics] [--metrics-out <path>]
+usage: repro [<scale>] [--backend <which>] [--timings] [--faults <preset>] [--metrics] [--metrics-out <path>]
   <scale>               quick | reduced | paper (default: reduced)
+  --backend <which>     execution backend: analog (default, the reference
+                        physics path) | surrogate (calibrated fast model)
   --timings             print per-figure wall-clock to stderr
   --faults <preset>     arm a fault-injection preset (quick | dropout | chaos)
   --metrics             print a telemetry summary to stderr after the run
@@ -29,6 +31,8 @@ pub struct CliOptions {
     pub metrics_out: Option<String>,
     /// `--faults <preset>`: arm a fault-injection preset.
     pub faults_preset: Option<String>,
+    /// `--backend <which>`: execution backend for every trial.
+    pub backend: simra_exec::BackendChoice,
 }
 
 impl CliOptions {
@@ -56,6 +60,8 @@ pub enum CliError {
     DuplicateScale(String, String),
     /// A positional that is not one of the known scales.
     UnknownScale(String),
+    /// `--backend` named something other than `analog` | `surrogate`.
+    UnknownBackend(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -70,6 +76,12 @@ impl std::fmt::Display for CliError {
                 write!(
                     f,
                     "unknown scale: {scale:?} (expected quick | reduced | paper)"
+                )
+            }
+            CliError::UnknownBackend(backend) => {
+                write!(
+                    f,
+                    "unknown backend: {backend:?} (expected analog | surrogate)"
                 )
             }
         }
@@ -97,6 +109,13 @@ where
             "--faults" => match iter.next() {
                 Some(name) => opts.faults_preset = Some(name),
                 None => return Err(CliError::MissingValue("--faults")),
+            },
+            "--backend" => match iter.next() {
+                Some(name) => match name.parse() {
+                    Ok(backend) => opts.backend = backend,
+                    Err(_) => return Err(CliError::UnknownBackend(name)),
+                },
+                None => return Err(CliError::MissingValue("--backend")),
             },
             other if other.starts_with('-') => {
                 return Err(CliError::UnknownFlag(other.to_string()));
@@ -197,6 +216,28 @@ mod tests {
         assert_eq!(
             parse(&["quick", "--metrics-out"]),
             Err(CliError::MissingValue("--metrics-out"))
+        );
+    }
+
+    #[test]
+    fn backend_flag_selects_the_surrogate() {
+        use simra_exec::BackendChoice;
+        assert_eq!(parse(&[]).unwrap().backend, BackendChoice::Analog);
+        assert_eq!(
+            parse(&["quick", "--backend", "surrogate"]).unwrap().backend,
+            BackendChoice::Surrogate
+        );
+        assert_eq!(
+            parse(&["--backend", "analog"]).unwrap().backend,
+            BackendChoice::Analog
+        );
+        assert_eq!(
+            parse(&["--backend", "fast"]),
+            Err(CliError::UnknownBackend("fast".into()))
+        );
+        assert_eq!(
+            parse(&["--backend"]),
+            Err(CliError::MissingValue("--backend"))
         );
     }
 

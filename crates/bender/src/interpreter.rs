@@ -224,9 +224,16 @@ impl TestSetup {
         bank: &mut BankRun,
     ) -> Result<(), SequencerError> {
         let geometry = *self.module().geometry();
-        let decoder = RowDecoder::for_subarray_rows(geometry.rows_per_subarray);
         let guard = self.module().profile().apa_guard;
-        let outcome = decoder.resolve_apa(local_f, local_s, apa_timing, guard);
+        // simra-decoder is the one authority on APA row resolution —
+        // the interpreter must agree with the sequencer by construction.
+        let outcome = RowDecoder::resolve_in_subarray(
+            geometry.rows_per_subarray,
+            local_f,
+            local_s,
+            apa_timing,
+            guard,
+        );
         let engine = self.engine();
         let restore = engine
             .params()

@@ -86,9 +86,18 @@ impl TestSetup {
                 second: sa_s,
             });
         }
-        let decoder = RowDecoder::for_subarray_rows(geometry.rows_per_subarray);
         let guard = self.module().profile().apa_guard;
-        Ok((sa_f, decoder.resolve_apa(local_f, local_s, timing, guard)))
+        // simra-decoder is the one authority on APA row resolution.
+        Ok((
+            sa_f,
+            RowDecoder::resolve_in_subarray(
+                geometry.rows_per_subarray,
+                local_f,
+                local_s,
+                timing,
+                guard,
+            ),
+        ))
     }
 
     /// Initialises a row with nominal timings (test setup step).

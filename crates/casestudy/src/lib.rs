@@ -25,4 +25,4 @@ pub mod throughput;
 pub mod tmr;
 
 pub use coldboot::fig17_coldboot;
-pub use microbench::fig16_microbenchmarks;
+pub use microbench::{fig16_microbenchmarks, fig16_microbenchmarks_on};

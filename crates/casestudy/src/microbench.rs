@@ -22,8 +22,9 @@
 use serde::{Deserialize, Serialize};
 
 use simra_dram::{Manufacturer, VendorProfile};
+use simra_exec::{AnalogBackend, PudBackend};
 
-use crate::throughput::{measure_majx_throughput, MajThroughput};
+use crate::throughput::{measure_majx_throughput_on, MajThroughput};
 use simra_characterize::report::Table;
 
 /// Elements per microbenchmark: 8 KB of 32-bit words.
@@ -109,6 +110,17 @@ pub fn execution_time_ns(micro: Microbench, t: &MajThroughput) -> f64 {
 /// state-of-the-art baseline (MAJ3 with 4-row activation), per
 /// manufacturer. Values are × speedup (1.0 = baseline, < 1.0 = slower).
 pub fn fig16_microbenchmarks(profiles: &[VendorProfile], groups: usize, seed: u64) -> Table {
+    fig16_microbenchmarks_on(&AnalogBackend, profiles, groups, seed)
+}
+
+/// [`fig16_microbenchmarks`] with success rates measured by an explicit
+/// [`PudBackend`].
+pub fn fig16_microbenchmarks_on(
+    backend: &dyn PudBackend,
+    profiles: &[VendorProfile],
+    groups: usize,
+    seed: u64,
+) -> Table {
     let mut table = Table::new(
         "Fig. 16: microbenchmark speedup over MAJ3 with 4-row activation",
         format!("{groups} sampled groups per MAJX point, best group selected"),
@@ -119,10 +131,10 @@ pub fn fig16_microbenchmarks(profiles: &[VendorProfile], groups: usize, seed: u6
             Manufacturer::M => &[5, 7],
             _ => &[5, 7, 9],
         };
-        let baseline = measure_majx_throughput(profile, 3, 4, groups, seed);
+        let baseline = measure_majx_throughput_on(backend, profile, 3, 4, groups, seed);
         let points: Vec<MajThroughput> = xs
             .iter()
-            .map(|&x| measure_majx_throughput(profile, x, 32, groups, seed))
+            .map(|&x| measure_majx_throughput_on(backend, profile, x, 32, groups, seed))
             .collect();
         for micro in Microbench::ALL {
             let base_ns = execution_time_ns(micro, &baseline);

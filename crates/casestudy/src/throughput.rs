@@ -6,11 +6,11 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use simra_bender::{BenderProgram, TestSetup};
-use simra_core::maj::{majx_success, MajConfig};
 use simra_core::rowgroup::sample_groups;
 use simra_dram::{
     ApaTiming, BankId, DataPattern, DramModule, RowAddr, TimingParams, VendorProfile,
 };
+use simra_exec::{AnalogBackend, PudBackend, TrialSpec};
 
 /// Measured latency of each primitive PUD operation (ns).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -85,10 +85,23 @@ impl MajThroughput {
     }
 }
 
-/// Measures MAJX throughput on a module: staging = X RowClones (copy the
-/// operands in) + X Multi-RowCopies (replicate to N rows, §8.1), plus the
-/// APA itself.
+/// Measures MAJX throughput on a module through the reference analog
+/// backend: staging = X RowClones (copy the operands in) + X
+/// Multi-RowCopies (replicate to N rows, §8.1), plus the APA itself.
 pub fn measure_majx_throughput(
+    profile: &VendorProfile,
+    x: usize,
+    n_rows: u32,
+    groups: usize,
+    seed: u64,
+) -> MajThroughput {
+    measure_majx_throughput_on(&AnalogBackend, profile, x, n_rows, groups, seed)
+}
+
+/// [`measure_majx_throughput`] with the success rate measured by an
+/// explicit [`PudBackend`].
+pub fn measure_majx_throughput_on(
+    backend: &dyn PudBackend,
     profile: &VendorProfile,
     x: usize,
     n_rows: u32,
@@ -117,18 +130,10 @@ pub fn measure_majx_throughput(
         groups.max(1),
         &mut rng,
     );
-    let cfg = MajConfig::default();
+    let spec = TrialSpec::majx(x, ApaTiming::best_for_majx(), DataPattern::Random);
     let mut best = 0.0f64;
     for g in &specs {
-        if let Ok(s) = majx_success(
-            &mut setup,
-            g,
-            x,
-            ApaTiming::best_for_majx(),
-            DataPattern::Random,
-            &cfg,
-            &mut rng,
-        ) {
+        if let Some(s) = backend.run_trial(&spec, &mut setup, g, &mut rng) {
             best = best.max(s);
         }
     }

@@ -7,16 +7,13 @@
 //! per-point sample sets, which arrive in exactly the nested-loop order
 //! the points were enumerated in.
 
-use rand::rngs::StdRng;
-
-use simra_bender::TestSetup;
-use simra_core::act::activation_success;
 use simra_core::metrics::{mean, pct, BoxStats};
-use simra_core::rowgroup::GroupSpec;
-use simra_dram::{ApaTiming, DataPattern};
+use simra_dram::ApaTiming;
+use simra_exec::TrialSpec;
 
+use crate::backend::{sweep_trial_samples, trial_point, TrialPoint};
 use crate::config::ExperimentConfig;
-use crate::fleet::{sweep_group_samples, SweepPoint};
+use crate::fleet::SweepPoint;
 use crate::report::Table;
 
 /// Row counts swept for activation experiments (the only N values COTS
@@ -32,32 +29,6 @@ pub const TEMPERATURES_C: [f64; 5] = [50.0, 60.0, 70.0, 80.0, 90.0];
 /// V_PP sweep of Fig. 4b (V).
 pub const VPP_LEVELS_V: [f64; 5] = [2.5, 2.4, 2.3, 2.2, 2.1];
 
-/// One activation sweep point: APA timing plus optional operating-point
-/// overrides (`None` = the rig's nominal 50 °C / 2.5 V).
-#[derive(Debug, Clone, Copy)]
-struct ActPoint {
-    timing: ApaTiming,
-    temperature_c: Option<f64>,
-    vpp_v: Option<f64>,
-}
-
-fn activation_op(
-    point: &ActPoint,
-    setup: &mut TestSetup,
-    group: &GroupSpec,
-    rng: &mut StdRng,
-) -> Option<f64> {
-    if let Some(t) = point.temperature_c {
-        setup
-            .set_temperature(t)
-            .expect("swept temperature is in range");
-    }
-    if let Some(v) = point.vpp_v {
-        setup.set_vpp(v).expect("swept V_PP is in range");
-    }
-    activation_success(setup, group, point.timing, DataPattern::Random, rng).ok()
-}
-
 /// Fig. 3: success-rate distribution of N-row activation for every (t1,
 /// t2) combination. Rows are `(t1, t2)` pairs plus the distribution
 /// statistic; columns are N. Values in percent.
@@ -69,25 +40,19 @@ pub fn fig3_activation_timing(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
-    let points: Vec<SweepPoint<ActPoint>> = FIG3_T1
+    let points: Vec<SweepPoint<TrialPoint>> = FIG3_T1
         .iter()
         .flat_map(|&t1| {
             FIG3_T2.iter().flat_map(move |&t2| {
                 let timing = ApaTiming::from_ns(t1, t2);
-                ACTIVATION_NS.iter().map(move |&n| {
-                    SweepPoint::new(
-                        n,
-                        ActPoint {
-                            timing,
-                            temperature_c: None,
-                            vpp_v: None,
-                        },
-                    )
-                })
+                ACTIVATION_NS
+                    .iter()
+                    .map(move |&n| (n, TrialSpec::activation(timing)))
             })
         })
+        .map(|(n, spec)| trial_point(config, n, spec))
         .collect();
-    let mut sweeps = sweep_group_samples(config, &points, activation_op).into_iter();
+    let mut sweeps = sweep_trial_samples(config, &points).into_iter();
     for &t1 in &FIG3_T1 {
         for &t2 in &FIG3_T2 {
             let mut means = Vec::new();
@@ -115,22 +80,19 @@ pub fn fig4a_activation_temperature(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
-    let points: Vec<SweepPoint<ActPoint>> = TEMPERATURES_C
+    let points: Vec<SweepPoint<TrialPoint>> = TEMPERATURES_C
         .iter()
         .flat_map(|&t| {
             ACTIVATION_NS.iter().map(move |&n| {
-                SweepPoint::new(
+                (
                     n,
-                    ActPoint {
-                        timing: ApaTiming::best_for_activation(),
-                        temperature_c: Some(t),
-                        vpp_v: None,
-                    },
+                    TrialSpec::activation(ApaTiming::best_for_activation()).at_temperature(t),
                 )
             })
         })
+        .map(|(n, spec)| trial_point(config, n, spec))
         .collect();
-    let mut sweeps = sweep_group_samples(config, &points, activation_op).into_iter();
+    let mut sweeps = sweep_trial_samples(config, &points).into_iter();
     for &t in &TEMPERATURES_C {
         let values = ACTIVATION_NS
             .iter()
@@ -154,22 +116,19 @@ pub fn fig4b_activation_voltage(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
-    let points: Vec<SweepPoint<ActPoint>> = VPP_LEVELS_V
+    let points: Vec<SweepPoint<TrialPoint>> = VPP_LEVELS_V
         .iter()
         .flat_map(|&v| {
             ACTIVATION_NS.iter().map(move |&n| {
-                SweepPoint::new(
+                (
                     n,
-                    ActPoint {
-                        timing: ApaTiming::best_for_activation(),
-                        temperature_c: None,
-                        vpp_v: Some(v),
-                    },
+                    TrialSpec::activation(ApaTiming::best_for_activation()).at_vpp(v),
                 )
             })
         })
+        .map(|(n, spec)| trial_point(config, n, spec))
         .collect();
-    let mut sweeps = sweep_group_samples(config, &points, activation_op).into_iter();
+    let mut sweeps = sweep_trial_samples(config, &points).into_iter();
     for &v in &VPP_LEVELS_V {
         let values = ACTIVATION_NS
             .iter()

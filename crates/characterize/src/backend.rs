@@ -1,0 +1,116 @@
+//! Backend dispatch for the characterization layer.
+//!
+//! Every figure runner describes its trials as [`TrialSpec`] values and
+//! submits them to the fleet as [`SweepPoint<TrialPoint>`]s; the fleet
+//! executes each through the [`PudBackend`] named on the *point*. The
+//! backend therefore rides the existing sweep machinery untouched — a
+//! sweep can even mix backends across points (the `backend_compare`
+//! bench does exactly that).
+//!
+//! Backends live in a process-wide [`BackendSet`] so the surrogate's
+//! calibration cache stays warm across figures: `check_observations`
+//! regenerates every figure and, past the first, runs on cache hits.
+
+use std::sync::OnceLock;
+
+use rand::rngs::StdRng;
+
+use simra_bender::TestSetup;
+use simra_core::rowgroup::GroupSpec;
+use simra_exec::{AnalogBackend, BackendChoice, PudBackend, SurrogateBackend, TrialSpec};
+
+use crate::config::ExperimentConfig;
+use crate::fleet::{sweep_group_samples, SweepPoint};
+
+/// One of each backend, dispatched by [`BackendChoice`].
+#[derive(Debug, Default)]
+pub struct BackendSet {
+    analog: AnalogBackend,
+    surrogate: SurrogateBackend,
+}
+
+impl BackendSet {
+    /// The process-wide set (keeps the surrogate calibration warm).
+    pub fn global() -> &'static BackendSet {
+        static GLOBAL: OnceLock<BackendSet> = OnceLock::new();
+        GLOBAL.get_or_init(BackendSet::default)
+    }
+
+    /// The backend a choice names.
+    pub fn dispatch(&self, choice: BackendChoice) -> &dyn PudBackend {
+        match choice {
+            BackendChoice::Analog => &self.analog,
+            BackendChoice::Surrogate => &self.surrogate,
+        }
+    }
+}
+
+/// Sweep-point parameters of every figure runner: what to run (the
+/// spec) and how to run it (the backend). The activated row count N
+/// lives on the enclosing [`SweepPoint`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialPoint {
+    /// The trial to execute per (module, group).
+    pub spec: TrialSpec,
+    /// Which backend executes it.
+    pub backend: BackendChoice,
+}
+
+/// A sweep point that runs `spec` at `n` rows on `config`'s backend.
+pub fn trial_point(config: &ExperimentConfig, n: u32, spec: TrialSpec) -> SweepPoint<TrialPoint> {
+    SweepPoint::new(
+        n,
+        TrialPoint {
+            spec,
+            backend: config.backend,
+        },
+    )
+}
+
+/// The single fleet op of the figure runners: dispatch the point's spec
+/// through the point's backend.
+pub fn trial_op(
+    point: &TrialPoint,
+    setup: &mut TestSetup,
+    group: &GroupSpec,
+    rng: &mut StdRng,
+) -> Option<f64> {
+    BackendSet::global()
+        .dispatch(point.backend)
+        .run_trial(&point.spec, setup, group, rng)
+}
+
+/// [`sweep_group_samples`] over backend-dispatched trial points — the
+/// one entry point every figure runner sweeps through.
+pub fn sweep_trial_samples(
+    config: &ExperimentConfig,
+    points: &[SweepPoint<TrialPoint>],
+) -> Vec<Vec<f64>> {
+    sweep_group_samples(config, points, trial_op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simra_dram::ApaTiming;
+
+    #[test]
+    fn dispatch_names_match_choices() {
+        let set = BackendSet::global();
+        assert_eq!(set.dispatch(BackendChoice::Analog).name(), "analog");
+        assert_eq!(set.dispatch(BackendChoice::Surrogate).name(), "surrogate");
+    }
+
+    #[test]
+    fn trial_point_carries_the_config_backend() {
+        let mut config = ExperimentConfig::quick();
+        config.backend = BackendChoice::Surrogate;
+        let p = trial_point(
+            &config,
+            8,
+            TrialSpec::activation(ApaTiming::best_for_activation()),
+        );
+        assert_eq!(p.n, 8);
+        assert_eq!(p.params.backend, BackendChoice::Surrogate);
+    }
+}

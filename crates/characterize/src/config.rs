@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use simra_dram::vendor::{paper_fleet, VendorProfile};
+use simra_exec::BackendChoice;
 use simra_faults::FaultPlan;
 
 /// One module to mount in the (virtual) rig.
@@ -32,6 +33,12 @@ pub struct ExperimentConfig {
     /// that predate fault injection.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub faults: Option<FaultPlan>,
+    /// Execution backend every figure runner dispatches trials through.
+    /// [`BackendChoice::Analog`] (the default) is the reference path —
+    /// byte-identical to builds that predate the backend layer;
+    /// [`BackendChoice::Surrogate`] swaps in the calibrated fast model.
+    #[serde(default)]
+    pub backend: BackendChoice,
 }
 
 impl ExperimentConfig {
@@ -54,6 +61,7 @@ impl ExperimentConfig {
             groups_per_subarray: 4,
             seed: 0xD5A,
             faults: None,
+            backend: BackendChoice::Analog,
         }
     }
 
@@ -70,6 +78,7 @@ impl ExperimentConfig {
             groups_per_subarray: 3,
             seed: 0xD5A,
             faults: None,
+            backend: BackendChoice::Analog,
         }
     }
 
@@ -95,6 +104,7 @@ impl ExperimentConfig {
             groups_per_subarray: 100,
             seed: 0xD5A,
             faults: None,
+            backend: BackendChoice::Analog,
         }
     }
 

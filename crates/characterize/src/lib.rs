@@ -23,6 +23,7 @@
 //! ```
 
 pub mod activation;
+pub mod backend;
 pub mod config;
 pub mod fleet;
 pub mod majx;
@@ -38,6 +39,7 @@ pub mod takeaways;
 pub use activation::{
     fig3_activation_timing, fig4a_activation_temperature, fig4b_activation_voltage,
 };
+pub use backend::{sweep_trial_samples, trial_point, BackendSet, TrialPoint};
 pub use config::ExperimentConfig;
 pub use fleet::{
     collect_group_samples, collect_group_samples_serial, run_fleet, run_fleet_with, run_sweep,

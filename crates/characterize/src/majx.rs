@@ -5,16 +5,13 @@
 //! grid as one [`run_sweep`] call; rows are assembled from the per-point
 //! sample sets, which arrive in the enumeration order of the points.
 
-use rand::rngs::StdRng;
-
-use simra_bender::TestSetup;
-use simra_core::maj::{majx_success, MajConfig};
 use simra_core::metrics::{mean, pct, BoxStats};
-use simra_core::rowgroup::GroupSpec;
-use simra_dram::{ApaTiming, DataPattern, Manufacturer};
+use simra_dram::{ApaTiming, DataPattern};
+use simra_exec::TrialSpec;
 
+use crate::backend::{sweep_trial_samples, trial_point, TrialPoint};
 use crate::config::ExperimentConfig;
-use crate::fleet::{sweep_group_samples, SweepPoint};
+use crate::fleet::SweepPoint;
 use crate::report::Table;
 
 /// The MAJX operand counts characterized (§5).
@@ -32,66 +29,23 @@ pub fn feasible_ns(x: usize) -> Vec<u32> {
         .collect()
 }
 
-/// One MAJX sweep point (the row count N lives on the [`SweepPoint`]).
-#[derive(Debug, Clone, Copy)]
-struct MajPoint {
-    x: usize,
-    timing: ApaTiming,
-    pattern: DataPattern,
-    temperature_c: Option<f64>,
-    vpp_v: Option<f64>,
-}
-
-fn majx_op(
-    point: &MajPoint,
-    setup: &mut TestSetup,
-    group: &GroupSpec,
-    rng: &mut StdRng,
-) -> Option<f64> {
-    // Footnote 11: MAJ9+ never works on Mfr. M parts; the paper omits
-    // those points, and so do we.
-    if point.x >= 9 && setup.module().profile().manufacturer == Manufacturer::M {
-        return None;
-    }
-    if let Some(t) = point.temperature_c {
-        setup
-            .set_temperature(t)
-            .expect("swept temperature is in range");
-    }
-    if let Some(v) = point.vpp_v {
-        setup.set_vpp(v).expect("swept V_PP is in range");
-    }
-    let maj_config = MajConfig::default();
-    majx_success(
-        setup,
-        group,
-        point.x,
-        point.timing,
-        point.pattern,
-        &maj_config,
-        rng,
-    )
-    .ok()
-}
-
 fn maj_point(
+    config: &ExperimentConfig,
     n: u32,
     x: usize,
     timing: ApaTiming,
     pattern: DataPattern,
     temperature_c: Option<f64>,
     vpp_v: Option<f64>,
-) -> SweepPoint<MajPoint> {
-    SweepPoint::new(
-        n,
-        MajPoint {
-            x,
-            timing,
-            pattern,
-            temperature_c,
-            vpp_v,
-        },
-    )
+) -> SweepPoint<TrialPoint> {
+    let mut spec = TrialSpec::majx(x, timing, pattern);
+    if let Some(t) = temperature_c {
+        spec = spec.at_temperature(t);
+    }
+    if let Some(v) = vpp_v {
+        spec = spec.at_vpp(v);
+    }
+    trial_point(config, n, spec)
 }
 
 /// Fig. 6: MAJ3 success distribution vs (t1, t2) and N ∈ {4, 8, 16, 32}.
@@ -105,18 +59,18 @@ pub fn fig6_maj3_timing(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
-    let points: Vec<SweepPoint<MajPoint>> = FIG6_T1
+    let points: Vec<SweepPoint<TrialPoint>> = FIG6_T1
         .iter()
         .flat_map(|&t1| {
             let ns = &ns;
             FIG6_T2.iter().flat_map(move |&t2| {
                 let timing = ApaTiming::from_ns(t1, t2);
                 ns.iter()
-                    .map(move |&n| maj_point(n, 3, timing, DataPattern::Random, None, None))
+                    .map(move |&n| maj_point(config, n, 3, timing, DataPattern::Random, None, None))
             })
         })
         .collect();
-    let mut sweeps = sweep_group_samples(config, &points, majx_op).into_iter();
+    let mut sweeps = sweep_trial_samples(config, &points).into_iter();
     for &t1 in &FIG6_T1 {
         for &t2 in &FIG6_T2 {
             let mut means = Vec::new();
@@ -145,21 +99,21 @@ pub fn fig7_majx_patterns(config: &ExperimentConfig) -> Table {
         columns,
     );
     let timing = ApaTiming::best_for_majx();
-    let mut points: Vec<SweepPoint<MajPoint>> = DataPattern::ALL
+    let mut points: Vec<SweepPoint<TrialPoint>> = DataPattern::ALL
         .iter()
         .flat_map(|&pattern| {
             MAJ_XS
                 .iter()
-                .map(move |&x| maj_point(32, x, timing, pattern, None, None))
+                .map(move |&x| maj_point(config, 32, x, timing, pattern, None, None))
         })
         .collect();
     // The replication sweep of Fig. 7's x-axis: random pattern per N.
     points.extend(MAJ_XS.iter().flat_map(|&x| {
         feasible_ns(x)
             .into_iter()
-            .map(move |n| maj_point(n, x, timing, DataPattern::Random, None, None))
+            .map(move |n| maj_point(config, n, x, timing, DataPattern::Random, None, None))
     }));
-    let mut sweeps = sweep_group_samples(config, &points, majx_op).into_iter();
+    let mut sweeps = sweep_trial_samples(config, &points).into_iter();
     for pattern in DataPattern::ALL {
         let values = MAJ_XS
             .iter()
@@ -197,20 +151,20 @@ pub fn fig8_majx_temperature(config: &ExperimentConfig) -> Table {
         columns,
     );
     let timing = ApaTiming::best_for_majx();
-    let mut points: Vec<SweepPoint<MajPoint>> = MAJ_XS
+    let mut points: Vec<SweepPoint<TrialPoint>> = MAJ_XS
         .iter()
         .flat_map(|&x| {
             temps
                 .iter()
-                .map(move |&t| maj_point(32, x, timing, DataPattern::Random, Some(t), None))
+                .map(move |&t| maj_point(config, 32, x, timing, DataPattern::Random, Some(t), None))
         })
         .collect();
     points.extend(
         temps
             .iter()
-            .map(|&t| maj_point(4, 3, timing, DataPattern::Random, Some(t), None)),
+            .map(|&t| maj_point(config, 4, 3, timing, DataPattern::Random, Some(t), None)),
     );
-    let mut sweeps = sweep_group_samples(config, &points, majx_op).into_iter();
+    let mut sweeps = sweep_trial_samples(config, &points).into_iter();
     for &x in &MAJ_XS {
         let values = temps
             .iter()
@@ -244,14 +198,14 @@ pub fn fig9_majx_voltage(config: &ExperimentConfig) -> Table {
         columns,
     );
     let timing = ApaTiming::best_for_majx();
-    let points: Vec<SweepPoint<MajPoint>> = MAJ_XS
+    let points: Vec<SweepPoint<TrialPoint>> = MAJ_XS
         .iter()
         .flat_map(|&x| {
             vpps.iter()
-                .map(move |&v| maj_point(32, x, timing, DataPattern::Random, None, Some(v)))
+                .map(move |&v| maj_point(config, 32, x, timing, DataPattern::Random, None, Some(v)))
         })
         .collect();
-    let mut sweeps = sweep_group_samples(config, &points, majx_op).into_iter();
+    let mut sweeps = sweep_trial_samples(config, &points).into_iter();
     for &x in &MAJ_XS {
         let values = vpps
             .iter()

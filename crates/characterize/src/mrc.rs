@@ -6,17 +6,13 @@
 //! from the per-point sample sets, which arrive in the enumeration order
 //! of the points.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
-use simra_bender::TestSetup;
 use simra_core::metrics::{mean, pct, BoxStats};
-use simra_core::multirowcopy::multirowcopy_success;
-use simra_core::rowgroup::GroupSpec;
-use simra_dram::{ApaTiming, BitRow};
+use simra_dram::ApaTiming;
+use simra_exec::{MrcSource, TrialSpec};
 
+use crate::backend::{sweep_trial_samples, trial_point, TrialPoint};
 use crate::config::ExperimentConfig;
-use crate::fleet::{sweep_group_samples, SweepPoint};
+use crate::fleet::SweepPoint;
 use crate::report::Table;
 
 /// Destination counts of §6 (N-row activation copies to N − 1 rows).
@@ -49,60 +45,36 @@ impl std::fmt::Display for MrcPattern {
 }
 
 impl MrcPattern {
-    fn image(self, cols: usize, rng: &mut StdRng) -> BitRow {
+    /// The backend-level source this pattern names. The random pattern
+    /// draws its image bit by bit ([`MrcSource::RandomBits`]), matching
+    /// the figure runners' historical RNG stream.
+    pub fn source(self) -> MrcSource {
         match self {
-            MrcPattern::AllZeros => BitRow::zeros(cols),
-            MrcPattern::AllOnes => BitRow::ones(cols),
-            MrcPattern::Random => BitRow::from_bits((0..cols).map(|_| rng.gen())),
+            MrcPattern::AllZeros => MrcSource::AllZeros,
+            MrcPattern::AllOnes => MrcSource::AllOnes,
+            MrcPattern::Random => MrcSource::RandomBits,
         }
     }
 }
 
 /// One Multi-RowCopy sweep point. The activated row count on the
 /// enclosing [`SweepPoint`] is `dests + 1` (source + destinations).
-#[derive(Debug, Clone, Copy)]
-struct MrcPoint {
-    timing: ApaTiming,
-    pattern: MrcPattern,
-    temperature_c: Option<f64>,
-    vpp_v: Option<f64>,
-}
-
-fn mrc_op(
-    point: &MrcPoint,
-    setup: &mut TestSetup,
-    group: &GroupSpec,
-    rng: &mut StdRng,
-) -> Option<f64> {
-    if let Some(t) = point.temperature_c {
-        setup
-            .set_temperature(t)
-            .expect("swept temperature is in range");
-    }
-    if let Some(v) = point.vpp_v {
-        setup.set_vpp(v).expect("swept V_PP is in range");
-    }
-    let cols = setup.module().geometry().cols_per_row as usize;
-    let img = point.pattern.image(cols, rng);
-    multirowcopy_success(setup, group, point.timing, &img).ok()
-}
-
 fn mrc_point(
+    config: &ExperimentConfig,
     dests: u32,
     timing: ApaTiming,
     pattern: MrcPattern,
     temperature_c: Option<f64>,
     vpp_v: Option<f64>,
-) -> SweepPoint<MrcPoint> {
-    SweepPoint::new(
-        dests + 1,
-        MrcPoint {
-            timing,
-            pattern,
-            temperature_c,
-            vpp_v,
-        },
-    )
+) -> SweepPoint<TrialPoint> {
+    let mut spec = TrialSpec::multirowcopy(timing, pattern.source());
+    if let Some(t) = temperature_c {
+        spec = spec.at_temperature(t);
+    }
+    if let Some(v) = vpp_v {
+        spec = spec.at_vpp(v);
+    }
+    trial_point(config, dests + 1, spec)
 }
 
 /// Fig. 10: Multi-RowCopy success distribution vs (t1, t2) per
@@ -115,18 +87,18 @@ pub fn fig10_mrc_timing(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
-    let points: Vec<SweepPoint<MrcPoint>> = FIG10_T1
+    let points: Vec<SweepPoint<TrialPoint>> = FIG10_T1
         .iter()
         .flat_map(|&t1| {
             FIG10_T2.iter().flat_map(move |&t2| {
                 let timing = ApaTiming::from_ns(t1, t2);
                 DEST_COUNTS
                     .iter()
-                    .map(move |&d| mrc_point(d, timing, MrcPattern::Random, None, None))
+                    .map(move |&d| mrc_point(config, d, timing, MrcPattern::Random, None, None))
             })
         })
         .collect();
-    let mut sweeps = sweep_group_samples(config, &points, mrc_op).into_iter();
+    let mut sweeps = sweep_trial_samples(config, &points).into_iter();
     for &t1 in &FIG10_T1 {
         for &t2 in &FIG10_T2 {
             let mut means = Vec::new();
@@ -159,15 +131,22 @@ pub fn fig11_mrc_patterns(config: &ExperimentConfig) -> Table {
         MrcPattern::AllOnes,
         MrcPattern::Random,
     ];
-    let points: Vec<SweepPoint<MrcPoint>> = patterns
+    let points: Vec<SweepPoint<TrialPoint>> = patterns
         .iter()
         .flat_map(|&pattern| {
             DEST_COUNTS.iter().map(move |&d| {
-                mrc_point(d, ApaTiming::best_for_multi_row_copy(), pattern, None, None)
+                mrc_point(
+                    config,
+                    d,
+                    ApaTiming::best_for_multi_row_copy(),
+                    pattern,
+                    None,
+                    None,
+                )
             })
         })
         .collect();
-    let mut sweeps = sweep_group_samples(config, &points, mrc_op).into_iter();
+    let mut sweeps = sweep_trial_samples(config, &points).into_iter();
     for pattern in patterns {
         let values = DEST_COUNTS
             .iter()
@@ -192,11 +171,12 @@ pub fn fig12a_mrc_temperature(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
-    let points: Vec<SweepPoint<MrcPoint>> = temps
+    let points: Vec<SweepPoint<TrialPoint>> = temps
         .iter()
         .flat_map(|&t| {
             DEST_COUNTS.iter().map(move |&d| {
                 mrc_point(
+                    config,
                     d,
                     ApaTiming::best_for_multi_row_copy(),
                     MrcPattern::Random,
@@ -206,7 +186,7 @@ pub fn fig12a_mrc_temperature(config: &ExperimentConfig) -> Table {
             })
         })
         .collect();
-    let mut sweeps = sweep_group_samples(config, &points, mrc_op).into_iter();
+    let mut sweeps = sweep_trial_samples(config, &points).into_iter();
     for &t in &temps {
         let values = DEST_COUNTS
             .iter()
@@ -231,11 +211,12 @@ pub fn fig12b_mrc_voltage(config: &ExperimentConfig) -> Table {
         config.describe_scale(),
         columns,
     );
-    let points: Vec<SweepPoint<MrcPoint>> = vpps
+    let points: Vec<SweepPoint<TrialPoint>> = vpps
         .iter()
         .flat_map(|&v| {
             DEST_COUNTS.iter().map(move |&d| {
                 mrc_point(
+                    config,
                     d,
                     ApaTiming::best_for_multi_row_copy(),
                     MrcPattern::Random,
@@ -245,7 +226,7 @@ pub fn fig12b_mrc_voltage(config: &ExperimentConfig) -> Table {
             })
         })
         .collect();
-    let mut sweeps = sweep_group_samples(config, &points, mrc_op).into_iter();
+    let mut sweeps = sweep_trial_samples(config, &points).into_iter();
     for &v in &vpps {
         let values = DEST_COUNTS
             .iter()

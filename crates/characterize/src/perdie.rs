@@ -14,14 +14,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use simra_bender::TestSetup;
-use simra_core::act::activation_success;
-use simra_core::maj::{majx_success, MajConfig};
 use simra_core::metrics::{mean, pct};
-use simra_core::multirowcopy::multirowcopy_success;
 use simra_core::rowgroup::sample_groups;
 use simra_dram::vendor::paper_fleet;
-use simra_dram::{ApaTiming, BitRow, DataPattern, DramModule, Manufacturer, VendorProfile};
+use simra_dram::{ApaTiming, DataPattern, DramModule, Manufacturer, VendorProfile};
+use simra_exec::{MrcSource, TrialSpec};
 
+use crate::backend::BackendSet;
 use crate::config::ExperimentConfig;
 use crate::fleet::executor_threads;
 use crate::pool::FleetPool;
@@ -40,21 +39,12 @@ fn per_die_row(config: &ExperimentConfig, profile: &VendorProfile) -> Vec<f64> {
         config.groups_per_subarray,
         &mut rng,
     );
-    let cols = setup.module().geometry().cols_per_row as usize;
-    let maj_cfg = MajConfig::default();
+    let backend = BackendSet::global().dispatch(config.backend);
 
+    let act_spec = TrialSpec::activation(ApaTiming::best_for_activation());
     let act: Vec<f64> = groups
         .iter()
-        .filter_map(|g| {
-            activation_success(
-                &mut setup,
-                g,
-                ApaTiming::best_for_activation(),
-                DataPattern::Random,
-                &mut rng,
-            )
-            .ok()
-        })
+        .filter_map(|g| backend.run_trial(&act_spec, &mut setup, g, &mut rng))
         .collect();
     let mut row = vec![pct(mean(&act))];
     for x in [3usize, 5, 7, 9] {
@@ -62,29 +52,21 @@ fn per_die_row(config: &ExperimentConfig, profile: &VendorProfile) -> Vec<f64> {
             row.push(f64::NAN);
             continue;
         }
+        let spec = TrialSpec::majx(x, ApaTiming::best_for_majx(), DataPattern::Random);
         let vals: Vec<f64> = groups
             .iter()
-            .filter_map(|g| {
-                majx_success(
-                    &mut setup,
-                    g,
-                    x,
-                    ApaTiming::best_for_majx(),
-                    DataPattern::Random,
-                    &maj_cfg,
-                    &mut rng,
-                )
-                .ok()
-            })
+            .filter_map(|g| backend.run_trial(&spec, &mut setup, g, &mut rng))
             .collect();
         row.push(pct(mean(&vals)));
     }
+    // Historically the per-die MRC image was drawn word-at-a-time
+    // (`BitRow::random`), unlike the figure runners' bit-at-a-time
+    // convention — `RandomRow` keeps that stream.
+    let mrc_spec =
+        TrialSpec::multirowcopy(ApaTiming::best_for_multi_row_copy(), MrcSource::RandomRow);
     let mrc: Vec<f64> = groups
         .iter()
-        .filter_map(|g| {
-            let img = BitRow::random(&mut rng, cols);
-            multirowcopy_success(&mut setup, g, ApaTiming::best_for_multi_row_copy(), &img).ok()
-        })
+        .filter_map(|g| backend.run_trial(&mrc_spec, &mut setup, g, &mut rng))
         .collect();
     row.push(pct(mean(&mrc)));
     row

@@ -133,6 +133,25 @@ impl RowDecoder {
         }
     }
 
+    /// One-shot [`RowDecoder::resolve_apa`] for a subarray of `rows`
+    /// rows — the single authority on APA row resolution. Everything
+    /// that resolves an APA sequence against local row indices (the
+    /// `simra-core` ops via the sequencer, the bender interpreter)
+    /// funnels through this so the address-mapping model can never fork.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is outside the subarray.
+    pub fn resolve_in_subarray(
+        rows: u32,
+        r_f: u32,
+        r_s: u32,
+        timing: ApaTiming,
+        guard: bool,
+    ) -> ApaOutcome {
+        Self::for_subarray_rows(rows).resolve_apa(r_f, r_s, timing, guard)
+    }
+
     /// Finds a partner row for `r_f` such that APA activates exactly `n`
     /// rows (n must be a power of two ≤ 32): flips the lowest address bit
     /// of `log2(n)` distinct predecoder groups. Returns `None` if the

@@ -151,19 +151,35 @@ impl ProtocolChecker {
 
     /// Observes one command at absolute time `at_ns`.
     ///
-    /// # Panics
-    ///
-    /// Panics if commands arrive out of time order or address a bank the
-    /// checker was not configured for.
+    /// A checker observes; it never brings the rig down. Commands that
+    /// arrive out of time order or address a bank the checker was not
+    /// configured for are recorded as [`StateError`]s (the stream is no
+    /// longer [`ProtocolChecker::is_clean`]) and observation continues:
+    /// an out-of-order command is still checked against the bank state,
+    /// while an out-of-range bank cannot be tracked and is skipped.
     pub fn observe(&mut self, at_ns: f64, command: Command) {
-        assert!(
-            at_ns >= self.last_time_ns,
-            "commands must arrive in time order"
-        );
-        self.last_time_ns = at_ns;
+        if at_ns < self.last_time_ns {
+            self.state_errors.push(StateError {
+                command,
+                at_ns,
+                expected: format!(
+                    "commands in time order (previous command at t={:.1} ns)",
+                    self.last_time_ns
+                ),
+            });
+        } else {
+            self.last_time_ns = at_ns;
+        }
         let bank_id = command.bank();
         let idx = bank_id.raw() as usize;
-        assert!(idx < self.banks.len(), "bank {bank_id} out of range");
+        if idx >= self.banks.len() {
+            self.state_errors.push(StateError {
+                command,
+                at_ns,
+                expected: format!("a configured bank (have {})", self.banks.len()),
+            });
+            return;
+        }
 
         // Refresh recovery applies to every command on the bank.
         let trfc_ago = at_ns - self.banks[idx].last_ref_ns;
@@ -408,11 +424,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "time order")]
-    fn out_of_order_commands_panic() {
+    fn out_of_order_commands_record_a_state_error() {
         let mut c = checker();
         c.observe(10.0, act(0, 0));
         c.observe(5.0, pre(0));
+        assert!(!c.is_clean());
+        assert_eq!(c.state_errors().len(), 1);
+        let err = &c.state_errors()[0];
+        assert!(err.expected.contains("time order"), "{}", err.expected);
+        assert_eq!(err.at_ns, 5.0);
+        // The checker keeps observing afterwards — and the out-of-order
+        // PRE was still state-checked (it closed the row).
+        c.observe(60.0, act(0, 1));
+        assert_eq!(c.state_errors().len(), 1, "ACT on closed bank is legal");
+    }
+
+    #[test]
+    fn out_of_range_bank_records_a_state_error() {
+        let mut c = checker();
+        c.observe(0.0, act(99, 0));
+        assert_eq!(c.state_errors().len(), 1);
+        assert!(c.state_errors()[0].expected.contains("configured bank"));
+        // Subsequent legal traffic is still tracked.
+        c.observe(10.0, act(0, 0));
+        assert_eq!(c.state_errors().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! # simra-exec
+//!
+//! The execution layer between the PUD operations ([`simra_core`]) and
+//! everything that sweeps them (`simra-characterize`, `simra-casestudy`,
+//! the `repro` CLI): a single [`PudBackend`] trait that executes one
+//! activation / MAJX / Multi-RowCopy trial against a mounted module, and
+//! two implementations of it.
+//!
+//! * [`AnalogBackend`] runs the full analog pipeline — the trial spec is
+//!   translated into exactly the `simra_core` op calls (and RNG draws)
+//!   the figure runners used to make inline, so a sweep dispatched
+//!   through the trait is **byte-identical** to the pre-trait code.
+//! * [`SurrogateBackend`] replaces the per-trial cell physics with a
+//!   success-probability table calibrated *once* from the analog core
+//!   per vendor profile — keyed by (operation, N, timing, pattern,
+//!   operating point) — and samples a cheap normal-approximated
+//!   Bernoulli average per trial. Orders of magnitude faster; see the
+//!   module docs of [`surrogate`] for the calibration procedure and the
+//!   documented error band.
+//!
+//! The trait's contract mirrors the fleet executor's op signature
+//! (`Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>`),
+//! so a backend drops into `run_sweep` as a closure capture; the row
+//! count N still lives on the sweep point and arrives here via the
+//! [`GroupSpec`].
+
+pub mod surrogate;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use simra_bender::TestSetup;
+use simra_core::act::activation_success;
+use simra_core::maj::{majx_success, MajConfig};
+use simra_core::multirowcopy::multirowcopy_success;
+use simra_core::rowgroup::GroupSpec;
+use simra_dram::{ApaTiming, BitRow, DataPattern, Manufacturer};
+
+pub use surrogate::SurrogateBackend;
+
+use serde::{Deserialize, Serialize};
+
+/// Which backend executes a trial. Carried per sweep point by the
+/// characterization layer and selected globally by `repro --backend`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum BackendChoice {
+    /// The full analog pipeline (the reference; byte-identical output).
+    #[default]
+    Analog,
+    /// The calibrated fast surrogate.
+    Surrogate,
+}
+
+impl std::fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BackendChoice::Analog => "analog",
+            BackendChoice::Surrogate => "surrogate",
+        })
+    }
+}
+
+impl std::str::FromStr for BackendChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "analog" => Ok(BackendChoice::Analog),
+            "surrogate" => Ok(BackendChoice::Surrogate),
+            other => Err(format!(
+                "unknown backend: {other:?} (expected analog | surrogate)"
+            )),
+        }
+    }
+}
+
+/// Source image for a Multi-RowCopy trial.
+///
+/// The two random variants exist because the pre-trait code had two
+/// RNG-consumption conventions and byte-identity requires preserving
+/// both: the figure runners drew one `bool` per column
+/// ([`MrcSource::RandomBits`]), while the per-die table drew packed
+/// 64-bit words ([`MrcSource::RandomRow`]). The distributions are the
+/// same; the stream positions are not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MrcSource {
+    /// All zeros.
+    AllZeros,
+    /// All ones (the pattern that dips at 31 destinations, Obs. 16).
+    AllOnes,
+    /// Uniform random, drawn bit by bit (one `bool` per column).
+    RandomBits,
+    /// Uniform random, drawn word by word (`BitRow::random`).
+    RandomRow,
+}
+
+impl MrcSource {
+    /// Materializes the source image, consuming `rng` exactly as the
+    /// pre-trait call sites did.
+    pub fn image(self, cols: usize, rng: &mut StdRng) -> BitRow {
+        match self {
+            MrcSource::AllZeros => BitRow::zeros(cols),
+            MrcSource::AllOnes => BitRow::ones(cols),
+            MrcSource::RandomBits => BitRow::from_bits((0..cols).map(|_| rng.gen())),
+            MrcSource::RandomRow => BitRow::random(rng, cols),
+        }
+    }
+}
+
+/// The operation a trial performs. The simultaneously activated row
+/// count N is *not* here — it lives on the sweep point / group spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrialOp {
+    /// N-row activation success (§4).
+    Activation {
+        /// APA timing pair.
+        timing: ApaTiming,
+        /// Data pattern written before the activation.
+        pattern: DataPattern,
+    },
+    /// MAJX with input replication (§5).
+    Majx {
+        /// Operand count (3, 5, 7, 9).
+        x: usize,
+        /// APA timing pair.
+        timing: ApaTiming,
+        /// Operand data pattern.
+        pattern: DataPattern,
+    },
+    /// Multi-RowCopy to N − 1 destinations (§6).
+    MultiRowCopy {
+        /// APA timing pair.
+        timing: ApaTiming,
+        /// Source-row image.
+        source: MrcSource,
+    },
+}
+
+/// One trial to execute: the operation plus optional operating-point
+/// overrides (`None` = the rig's nominal 50 °C / 2.5 V).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialSpec {
+    /// The operation under test.
+    pub op: TrialOp,
+    /// Ambient temperature override (°C).
+    pub temperature_c: Option<f64>,
+    /// Wordline voltage override (V).
+    pub vpp_v: Option<f64>,
+}
+
+impl TrialSpec {
+    /// An activation trial with random data at nominal conditions.
+    pub fn activation(timing: ApaTiming) -> Self {
+        TrialSpec {
+            op: TrialOp::Activation {
+                timing,
+                pattern: DataPattern::Random,
+            },
+            temperature_c: None,
+            vpp_v: None,
+        }
+    }
+
+    /// A MAJX trial at nominal conditions.
+    pub fn majx(x: usize, timing: ApaTiming, pattern: DataPattern) -> Self {
+        TrialSpec {
+            op: TrialOp::Majx { x, timing, pattern },
+            temperature_c: None,
+            vpp_v: None,
+        }
+    }
+
+    /// A Multi-RowCopy trial at nominal conditions.
+    pub fn multirowcopy(timing: ApaTiming, source: MrcSource) -> Self {
+        TrialSpec {
+            op: TrialOp::MultiRowCopy { timing, source },
+            temperature_c: None,
+            vpp_v: None,
+        }
+    }
+
+    /// The same trial at an ambient temperature (°C).
+    pub fn at_temperature(mut self, t: f64) -> Self {
+        self.temperature_c = Some(t);
+        self
+    }
+
+    /// The same trial at a wordline voltage (V).
+    pub fn at_vpp(mut self, v: f64) -> Self {
+        self.vpp_v = Some(v);
+        self
+    }
+}
+
+/// The single contract for executing a PUD trial against a mounted
+/// module: everything above this trait (figure runners, the fleet
+/// scheduler, case studies, the CLI) is backend-generic.
+///
+/// A trial returns the success fraction in `[0, 1]`, or `None` when the
+/// part cannot perform the operation (MAJ9 on Mfr. M, N < X, a guarded
+/// Samsung APA) — exactly the convention of the fleet executor's op
+/// closures, whose samples skip `None`.
+pub trait PudBackend: Send + Sync {
+    /// Short stable name (`"analog"` / `"surrogate"`), for reports.
+    fn name(&self) -> &'static str;
+
+    /// Executes one trial on `group` of the mounted module.
+    fn run_trial(
+        &self,
+        spec: &TrialSpec,
+        setup: &mut TestSetup,
+        group: &GroupSpec,
+        rng: &mut StdRng,
+    ) -> Option<f64>;
+}
+
+/// The reference backend: the full analog pipeline, dispatched through
+/// the trait.
+///
+/// Byte-identity contract: for every [`TrialOp`] this performs the same
+/// calls, in the same order, with the same RNG consumption, as the
+/// closures the figure runners inlined before the trait existed —
+/// operating-point overrides are applied temperature first, then V_PP,
+/// and the Mfr. M MAJ9 guard returns before anything is touched. The
+/// golden tests in `tests/backend_identity.rs` pin this down.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalogBackend;
+
+impl PudBackend for AnalogBackend {
+    fn name(&self) -> &'static str {
+        "analog"
+    }
+
+    fn run_trial(
+        &self,
+        spec: &TrialSpec,
+        setup: &mut TestSetup,
+        group: &GroupSpec,
+        rng: &mut StdRng,
+    ) -> Option<f64> {
+        match spec.op {
+            TrialOp::Activation { timing, pattern } => {
+                apply_operating_point(spec, setup);
+                activation_success(setup, group, timing, pattern, rng).ok()
+            }
+            TrialOp::Majx { x, timing, pattern } => {
+                // Footnote 11: MAJ9+ never works on Mfr. M parts; the
+                // paper omits those points, and so do we — before the
+                // operating point is touched or the stream consumed.
+                if x >= 9 && setup.module().profile().manufacturer == Manufacturer::M {
+                    return None;
+                }
+                apply_operating_point(spec, setup);
+                let maj_config = MajConfig::default();
+                majx_success(setup, group, x, timing, pattern, &maj_config, rng).ok()
+            }
+            TrialOp::MultiRowCopy { timing, source } => {
+                apply_operating_point(spec, setup);
+                let cols = setup.module().geometry().cols_per_row as usize;
+                let img = source.image(cols, rng);
+                multirowcopy_success(setup, group, timing, &img).ok()
+            }
+        }
+    }
+}
+
+/// Applies a spec's operating-point overrides to the rig, temperature
+/// first — the order every pre-trait op closure used.
+fn apply_operating_point(spec: &TrialSpec, setup: &mut TestSetup) {
+    if let Some(t) = spec.temperature_c {
+        setup
+            .set_temperature(t)
+            .expect("swept temperature is in range");
+    }
+    if let Some(v) = spec.vpp_v {
+        setup.set_vpp(v).expect("swept V_PP is in range");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use simra_core::rowgroup::random_group;
+    use simra_dram::{BankId, SubarrayId, VendorProfile};
+
+    fn rig(profile: VendorProfile, seed: u64) -> (TestSetup, StdRng) {
+        (
+            TestSetup::with_module(simra_dram::DramModule::new(profile, seed)),
+            StdRng::seed_from_u64(11),
+        )
+    }
+
+    fn group_of(setup: &TestSetup, n: u32, rng: &mut StdRng) -> GroupSpec {
+        random_group(
+            setup.module().geometry(),
+            BankId::new(0),
+            SubarrayId::new(0),
+            n,
+            rng,
+        )
+        .expect("subarray hosts the group")
+    }
+
+    #[test]
+    fn backend_choice_round_trips_display_and_parse() {
+        for choice in [BackendChoice::Analog, BackendChoice::Surrogate] {
+            let parsed: BackendChoice = choice.to_string().parse().unwrap();
+            assert_eq!(parsed, choice);
+        }
+        assert!("fast".parse::<BackendChoice>().is_err());
+        assert_eq!(BackendChoice::default(), BackendChoice::Analog);
+    }
+
+    #[test]
+    fn analog_backend_matches_direct_op_calls() {
+        // The trait dispatch must consume the stream exactly like the
+        // direct call, so identical seeds give identical samples.
+        let (mut setup_a, mut rng_a) = rig(VendorProfile::mfr_h_m_die(), 7);
+        let (mut setup_b, mut rng_b) = rig(VendorProfile::mfr_h_m_die(), 7);
+        let group_a = group_of(&setup_a, 32, &mut rng_a);
+        let group_b = group_of(&setup_b, 32, &mut rng_b);
+        assert_eq!(group_a, group_b);
+
+        let spec = TrialSpec::activation(ApaTiming::best_for_activation());
+        let via_trait = AnalogBackend.run_trial(&spec, &mut setup_a, &group_a, &mut rng_a);
+        let direct = activation_success(
+            &mut setup_b,
+            &group_b,
+            ApaTiming::best_for_activation(),
+            DataPattern::Random,
+            &mut rng_b,
+        )
+        .ok();
+        assert_eq!(via_trait, direct);
+
+        let spec = TrialSpec::majx(3, ApaTiming::best_for_majx(), DataPattern::Random)
+            .at_temperature(70.0);
+        let via_trait = AnalogBackend.run_trial(&spec, &mut setup_a, &group_a, &mut rng_a);
+        setup_b.set_temperature(70.0).unwrap();
+        let direct = majx_success(
+            &mut setup_b,
+            &group_b,
+            3,
+            ApaTiming::best_for_majx(),
+            DataPattern::Random,
+            &MajConfig::default(),
+            &mut rng_b,
+        )
+        .ok();
+        assert_eq!(via_trait, direct);
+        // Identical residual stream state after the calls.
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn maj9_on_mfr_m_is_refused_without_touching_the_stream() {
+        let (mut setup, mut rng) = rig(VendorProfile::mfr_m_e_die(), 3);
+        let group = group_of(&setup, 16, &mut rng);
+        let mut probe = rng.clone();
+        let spec = TrialSpec::majx(9, ApaTiming::best_for_majx(), DataPattern::Random)
+            .at_temperature(90.0);
+        assert_eq!(
+            AnalogBackend.run_trial(&spec, &mut setup, &group, &mut rng),
+            None
+        );
+        assert_eq!(rng.gen::<u64>(), probe.gen::<u64>(), "stream untouched");
+    }
+
+    #[test]
+    fn mrc_sources_cover_both_random_conventions() {
+        let mut rng_bits = StdRng::seed_from_u64(5);
+        let mut rng_row = StdRng::seed_from_u64(5);
+        let bits = MrcSource::RandomBits.image(128, &mut rng_bits);
+        let row = MrcSource::RandomRow.image(128, &mut rng_row);
+        assert_eq!(bits.len(), 128);
+        assert_eq!(row.len(), 128);
+        // Same seed, different conventions — different stream positions.
+        assert_ne!(rng_bits.gen::<u64>(), rng_row.gen::<u64>());
+        assert_eq!(MrcSource::AllZeros.image(64, &mut rng_bits).count_ones(), 0);
+        assert_eq!(MrcSource::AllOnes.image(64, &mut rng_bits).count_ones(), 64);
+    }
+}

@@ -1,0 +1,390 @@
+//! The calibrated fast surrogate backend.
+//!
+//! # Model
+//!
+//! The analog pipeline spends its time simulating per-column charge
+//! sharing and sense amplification for every (group, trial). The
+//! surrogate observes that every figure consumes only the *success
+//! fraction* of a trial, and that at the paper's 10⁴ trials per group
+//! the observed fraction is a `Binomial(T, p)/T` average — fully
+//! characterized by the underlying success probability `p` plus
+//! sampling noise.
+//!
+//! So the surrogate runs the real analog operation **once per distinct
+//! configuration** — keyed by (vendor profile, operation, X, N, timing,
+//! pattern, temperature, V_PP) — on a small dedicated calibration rig,
+//! caches the resulting probability, and per trial returns
+//! `clamp(p + σ·z, 0, 1)` with `σ = sqrt(p(1−p)/T)` and `z` a
+//! standard normal drawn from the trial's own RNG stream. A whole
+//! quick-scale sweep touches each key once and then runs at hash-lookup
+//! speed.
+//!
+//! # Why paired observations survive
+//!
+//! Two properties are load-bearing for the observation scoreboard:
+//!
+//! 1. **Fixed per-trial draw count.** Every surrogate trial consumes
+//!    exactly two uniforms (one Box–Muller normal), regardless of
+//!    parameters. The fleet seeds each (module, point) task's stream
+//!    from `(config, module, index, N)` only — so two sweep points at
+//!    the same N replay *identical* noise, which cancels exactly in
+//!    every paired comparison (the temperature/voltage/pattern
+//!    observations 3, 4, 9, 11, 13, 16, 17, 18 all compare points at
+//!    equal N).
+//! 2. **Shared calibration sample.** The calibration rig's RNG is
+//!    seeded from the key *without* the pattern, temperature, and V_PP
+//!    components, so paired operating points calibrate on the same
+//!    groups and the cached probabilities differ only by physics, not
+//!    by group-selection luck.
+//!
+//! # Error band
+//!
+//! Calibration measures `CAL_GROUPS` groups at `CAL_COLS` columns
+//! instead of the full population, so absolute success rates carry a
+//! group-to-group spread of a few percentage points (the analog model's
+//! per-group strength factor spans roughly ±10 %). Paired deltas at
+//! equal N are exact up to trial noise (σ ≤ 0.5 pp, ≈ 0.1 pp at
+//! p ≈ 0.99). The documented tolerance band for the scoreboard is
+//! therefore: **≥ 16 of 18 observations hold** under the surrogate at
+//! quick scale — the margin-based observations (1, 2, 6, 7, 8, 10, 14,
+//! 15) have ≥ 10 pp slack against a ≤ 5 pp absolute error, and the
+//! paired observations see only cancelled noise. CI enforces exactly
+//! this band (`.github/workflows/ci.yml`, `repro-surrogate`).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use simra_bender::TestSetup;
+use simra_core::rowgroup::{sample_groups, GroupSpec};
+use simra_dram::{DataPattern, DramModule, Manufacturer, VendorProfile};
+
+use crate::{AnalogBackend, MrcSource, PudBackend, TrialOp, TrialSpec};
+
+/// Groups measured per calibration key (averaged).
+const CAL_GROUPS: usize = 2;
+/// Columns on the calibration rig. Success is a per-column average, so
+/// narrowing the rig shrinks calibration cost without biasing the mean.
+const CAL_COLS: u32 = 64;
+/// Silicon seed of the calibration rig (shared by every key so repeated
+/// calibrations of one profile reuse the same virtual module).
+const CAL_RIG_SEED: u64 = 0xCA11_B8A7;
+/// Trials per group modelled by the noise term (the paper's 10⁴).
+const TRIALS_PER_GROUP: f64 = 10_000.0;
+
+/// Cache key: everything the calibrated probability depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CalKey {
+    /// `VendorProfile::label()` — distinct per (manufacturer, die).
+    profile: String,
+    /// Operation discriminant (0 = activation, 1 = MAJX, 2 = MRC).
+    op: u8,
+    /// MAJX operand count; 0 for other ops.
+    x: u8,
+    /// Simultaneously activated rows.
+    n: u32,
+    /// Timing, exact ns bit patterns (timings are grid-snapped).
+    t1_bits: u64,
+    t2_bits: u64,
+    /// Data pattern / source discriminant.
+    pattern: u8,
+    /// Operating point, half-degree / half-centivolt bins; `i16::MIN`
+    /// encodes "nominal" (no override).
+    temp_bin: i16,
+    vpp_bin: i16,
+}
+
+fn pattern_code(p: DataPattern) -> u8 {
+    match p {
+        DataPattern::Solid => 0,
+        DataPattern::Checkered => 1,
+        DataPattern::ColStripe2 => 2,
+        DataPattern::ColStripe2Shifted => 3,
+        DataPattern::Random => 4,
+    }
+}
+
+fn source_code(s: MrcSource) -> u8 {
+    match s {
+        MrcSource::AllZeros => 0,
+        MrcSource::AllOnes => 1,
+        // Both random conventions draw from the same distribution; they
+        // share a calibrated probability.
+        MrcSource::RandomBits | MrcSource::RandomRow => 2,
+    }
+}
+
+const NOMINAL_BIN: i16 = i16::MIN;
+
+fn half_unit_bin(v: Option<f64>) -> i16 {
+    match v {
+        Some(v) => (v * 2.0).round() as i16,
+        None => NOMINAL_BIN,
+    }
+}
+
+impl CalKey {
+    fn new(profile: &VendorProfile, spec: &TrialSpec, n: u32) -> Self {
+        let (op, x, t1, t2, pattern) = match spec.op {
+            TrialOp::Activation { timing, pattern } => {
+                (0u8, 0u8, timing.t1, timing.t2, pattern_code(pattern))
+            }
+            TrialOp::Majx { x, timing, pattern } => {
+                (1, x as u8, timing.t1, timing.t2, pattern_code(pattern))
+            }
+            TrialOp::MultiRowCopy { timing, source } => {
+                (2, 0, timing.t1, timing.t2, source_code(source))
+            }
+        };
+        CalKey {
+            profile: profile.label(),
+            op,
+            x,
+            n,
+            t1_bits: t1.as_ns().to_bits(),
+            t2_bits: t2.as_ns().to_bits(),
+            pattern,
+            temp_bin: half_unit_bin(spec.temperature_c),
+            vpp_bin: half_unit_bin(spec.vpp_v),
+        }
+    }
+
+    /// Seed of the calibration stream. Deliberately *excludes* the
+    /// pattern and operating-point components so paired sweep points
+    /// calibrate on identical groups (see the module docs); the FNV-1a
+    /// fold keeps it stable across processes and Rust releases.
+    fn physics_seed(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for b in self.profile.bytes() {
+            fold(b);
+        }
+        fold(self.op);
+        fold(self.x);
+        for b in self.n.to_le_bytes() {
+            fold(b);
+        }
+        h
+    }
+}
+
+/// The calibrated fast surrogate backend. See the module docs for the
+/// model, the calibration procedure, and the error band.
+///
+/// One instance should live for a whole process (the characterization
+/// layer keeps a global one) so the calibration cache stays warm across
+/// figures — `check_observations` regenerates every figure and then
+/// runs entirely on cache hits.
+#[derive(Debug, Default)]
+pub struct SurrogateBackend {
+    calibration: Mutex<HashMap<CalKey, f64>>,
+}
+
+impl SurrogateBackend {
+    /// A fresh surrogate with an empty calibration cache.
+    pub fn new() -> Self {
+        SurrogateBackend::default()
+    }
+
+    /// Number of calibrated configurations currently cached.
+    pub fn calibrated_points(&self) -> usize {
+        self.calibration
+            .lock()
+            .expect("surrogate calibration cache poisoned")
+            .len()
+    }
+
+    /// The calibrated success probability for `spec` on `profile` at
+    /// `n` rows, probing the analog core on a miss. `NaN` marks an
+    /// infeasible configuration (every probe returned `None`).
+    fn probability(&self, profile: &VendorProfile, spec: &TrialSpec, n: u32) -> f64 {
+        let key = CalKey::new(profile, spec, n);
+        let mut cache = self
+            .calibration
+            .lock()
+            .expect("surrogate calibration cache poisoned");
+        if let Some(&p) = cache.get(&key) {
+            return p;
+        }
+        let p = calibrate(profile, spec, n, key.physics_seed());
+        cache.insert(key, p);
+        p
+    }
+}
+
+/// One calibration probe: mount a narrow rig of the profile, draw the
+/// key's deterministic group sample, and run the *analog* backend over
+/// it — the surrogate is calibrated by the very code it replaces.
+fn calibrate(profile: &VendorProfile, spec: &TrialSpec, n: u32, seed: u64) -> f64 {
+    let mut cal_profile = profile.clone();
+    cal_profile.geometry.cols_per_row = CAL_COLS.min(cal_profile.geometry.cols_per_row);
+    let mut setup = TestSetup::with_module(DramModule::new(cal_profile, CAL_RIG_SEED));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let groups = sample_groups(setup.module().geometry(), n, 1, 1, CAL_GROUPS, &mut rng);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for group in &groups {
+        if let Some(s) = AnalogBackend.run_trial(spec, &mut setup, group, &mut rng) {
+            sum += s;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        f64::NAN
+    } else {
+        sum / count as f64
+    }
+}
+
+impl PudBackend for SurrogateBackend {
+    fn name(&self) -> &'static str {
+        "surrogate"
+    }
+
+    fn run_trial(
+        &self,
+        spec: &TrialSpec,
+        setup: &mut TestSetup,
+        group: &GroupSpec,
+        rng: &mut StdRng,
+    ) -> Option<f64> {
+        // Feasibility guards mirror AnalogBackend (same None points,
+        // no stream consumption).
+        if let TrialOp::Majx { x, .. } = spec.op {
+            if x >= 9 && setup.module().profile().manufacturer == Manufacturer::M {
+                return None;
+            }
+        }
+        let p = self.probability(setup.module().profile(), spec, group.n_rows() as u32);
+        if p.is_nan() {
+            return None;
+        }
+        // Exactly two uniforms per trial — never more, never fewer —
+        // so same-N sweep points replay identical noise (module docs).
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * (1.0 - u1).max(f64::MIN_POSITIVE).ln()).sqrt()
+            * (std::f64::consts::TAU * u2).cos();
+        let sigma = (p * (1.0 - p) / TRIALS_PER_GROUP).max(0.0).sqrt();
+        Some((p + sigma * z).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simra_core::rowgroup::random_group;
+    use simra_dram::{ApaTiming, BankId, SubarrayId};
+
+    fn rig(profile: VendorProfile, seed: u64) -> (TestSetup, StdRng) {
+        (
+            TestSetup::with_module(DramModule::new(profile, seed)),
+            StdRng::seed_from_u64(21),
+        )
+    }
+
+    fn group_of(setup: &TestSetup, n: u32, rng: &mut StdRng) -> GroupSpec {
+        random_group(
+            setup.module().geometry(),
+            BankId::new(0),
+            SubarrayId::new(0),
+            n,
+            rng,
+        )
+        .expect("subarray hosts the group")
+    }
+
+    #[test]
+    fn surrogate_tracks_the_analog_probability() {
+        let surrogate = SurrogateBackend::new();
+        let (mut setup, mut rng) = rig(VendorProfile::mfr_h_m_die(), 7);
+        let group = group_of(&setup, 32, &mut rng);
+        let spec = TrialSpec::activation(ApaTiming::best_for_activation());
+        let s = surrogate
+            .run_trial(&spec, &mut setup, &group, &mut rng)
+            .expect("feasible trial");
+        // Best-timing 32-row activation is near-perfect on the analog
+        // core; the calibrated surrogate must land in the same regime.
+        assert!(s > 0.95, "surrogate activation success {s}");
+        assert_eq!(surrogate.calibrated_points(), 1);
+        // Second trial of the same configuration: cache hit.
+        let _ = surrogate.run_trial(&spec, &mut setup, &group, &mut rng);
+        assert_eq!(surrogate.calibrated_points(), 1);
+    }
+
+    #[test]
+    fn surrogate_is_deterministic_per_stream() {
+        let spec = TrialSpec::majx(3, ApaTiming::best_for_majx(), DataPattern::Random);
+        let sample = |surrogate: &SurrogateBackend| {
+            let (mut setup, mut rng) = rig(VendorProfile::mfr_h_m_die(), 7);
+            let group = group_of(&setup, 32, &mut rng);
+            surrogate.run_trial(&spec, &mut setup, &group, &mut rng)
+        };
+        let a = sample(&SurrogateBackend::new());
+        let b = sample(&SurrogateBackend::new());
+        assert_eq!(a, b, "fresh caches, same stream → same sample");
+    }
+
+    #[test]
+    fn infeasible_configurations_return_none() {
+        let surrogate = SurrogateBackend::new();
+        // MAJ9 on Mfr. M: guarded before calibration.
+        let (mut setup, mut rng) = rig(VendorProfile::mfr_m_e_die(), 3);
+        let group = group_of(&setup, 16, &mut rng);
+        let spec = TrialSpec::majx(9, ApaTiming::best_for_majx(), DataPattern::Random);
+        assert_eq!(
+            surrogate.run_trial(&spec, &mut setup, &group, &mut rng),
+            None
+        );
+        assert_eq!(surrogate.calibrated_points(), 0, "guard precedes probe");
+        // N < X: the analog probe fails every group → NaN → None.
+        let (mut setup, mut rng) = rig(VendorProfile::mfr_h_m_die(), 7);
+        let group = group_of(&setup, 4, &mut rng);
+        let spec = TrialSpec::majx(7, ApaTiming::best_for_majx(), DataPattern::Random);
+        assert_eq!(
+            surrogate.run_trial(&spec, &mut setup, &group, &mut rng),
+            None
+        );
+    }
+
+    #[test]
+    fn paired_operating_points_share_trial_noise() {
+        // The same stream position at two temperatures must produce
+        // samples whose difference is purely the calibrated physics
+        // delta — the noise term cancels.
+        let surrogate = SurrogateBackend::new();
+        let spec_cold =
+            TrialSpec::activation(ApaTiming::best_for_activation()).at_temperature(50.0);
+        let spec_hot = TrialSpec::activation(ApaTiming::best_for_activation()).at_temperature(90.0);
+        let p_cold = {
+            let (setup, _) = rig(VendorProfile::mfr_h_m_die(), 7);
+            surrogate.probability(setup.module().profile(), &spec_cold, 32)
+        };
+        let p_hot = {
+            let (setup, _) = rig(VendorProfile::mfr_h_m_die(), 7);
+            surrogate.probability(setup.module().profile(), &spec_hot, 32)
+        };
+        let sample = |spec: &TrialSpec| {
+            let (mut setup, mut rng) = rig(VendorProfile::mfr_h_m_die(), 7);
+            let group = group_of(&setup, 32, &mut rng);
+            surrogate
+                .run_trial(spec, &mut setup, &group, &mut rng)
+                .unwrap()
+        };
+        let s_cold = sample(&spec_cold);
+        let s_hot = sample(&spec_hot);
+        // Unclamped samples differ exactly by the probability delta up
+        // to the (tiny) sigma difference; allow the clamp some slack.
+        assert!(
+            ((s_hot - s_cold) - (p_hot - p_cold)).abs() < 5e-3,
+            "noise must cancel: Δsample {} vs Δp {}",
+            s_hot - s_cold,
+            p_hot - p_cold
+        );
+    }
+}

@@ -52,6 +52,7 @@ pub use simra_characterize as characterize;
 pub use simra_core as pud;
 pub use simra_decoder as decoder;
 pub use simra_dram as dram;
+pub use simra_exec as exec;
 pub use simra_faults as faults;
 
 /// The types most programs start from.
@@ -64,4 +65,5 @@ pub mod prelude {
     pub use simra_dram::{
         ApaTiming, BankId, BitRow, DataPattern, DramModule, RowAddr, SubarrayId, VendorProfile,
     };
+    pub use simra_exec::{AnalogBackend, BackendChoice, PudBackend, SurrogateBackend, TrialSpec};
 }

@@ -9,10 +9,13 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use simra::bender::TestSetup;
+use simra::characterize::backend::trial_op;
 use simra::characterize::{
     collect_group_samples, collect_group_samples_serial, run_fleet_with, run_sweep_with,
-    ExperimentConfig, FleetPolicy, MockClock, ModuleResult, SweepPoint,
+    trial_point, ExperimentConfig, FleetPolicy, MockClock, ModuleResult, SweepPoint, TrialPoint,
 };
+use simra::dram::ApaTiming;
+use simra::exec::{BackendChoice, TrialSpec};
 use simra::faults::{CellFaultSpec, FaultPlan, ModuleFault, ModuleFaultKind};
 use simra::pud::rowgroup::GroupSpec;
 
@@ -157,6 +160,7 @@ proptest! {
         seed in any::<u64>(),
         profile_choice in 0usize..4,
         preset_choice in 0usize..4,
+        backend_choice in 0usize..2,
         ns in proptest::collection::vec(2u32..12, 2..5),
     ) {
         let mut config = two_module_config(seed);
@@ -200,6 +204,85 @@ proptest! {
                     prop_assert_eq!(outcome.samples(), serial);
                 }
             }
+        }
+        // Backend-generic leg: the same pooled-vs-fresh identity must hold
+        // when the op is a real trait-dispatched trial (either backend)
+        // rather than a synthetic probe.
+        config.backend = if backend_choice == 0 {
+            BackendChoice::Analog
+        } else {
+            BackendChoice::Surrogate
+        };
+        let spec = TrialSpec::activation(ApaTiming::from_ns(2.5, 2.5));
+        let trial_points: Vec<SweepPoint<TrialPoint>> = ns
+            .iter()
+            .take(2)
+            .map(|&n| trial_point(&config, n, spec))
+            .collect();
+        for workers in [1usize, 2] {
+            let sweep = run_sweep_with(&config, &trial_points, policy, &clock, workers, trial_op);
+            prop_assert_eq!(sweep.len(), trial_points.len());
+            for (point, outcome) in trial_points.iter().zip(&sweep) {
+                let tp = point.params;
+                let fresh = run_fleet_with(
+                    &config,
+                    point.n,
+                    policy,
+                    &clock,
+                    workers,
+                    |s: &mut TestSetup, g: &GroupSpec, r: &mut StdRng| trial_op(&tp, s, g, r),
+                );
+                prop_assert_eq!(
+                    outcome, &fresh,
+                    "backend {} leg: workers={} n={}", config.backend, workers, point.n
+                );
+                if preset.is_none() {
+                    let serial =
+                        collect_group_samples_serial(&config, point.n, |s, g, r| trial_op(&tp, s, g, r));
+                    prop_assert_eq!(outcome.samples(), serial);
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic single-case run of the proptest's backend-generic leg,
+/// so environments that skip property tests still cover trait-dispatched
+/// trials on the pooled scheduler.
+#[test]
+fn backend_generic_pooled_sweep_matches_fresh_construction() {
+    for backend in [BackendChoice::Analog, BackendChoice::Surrogate] {
+        let mut config = two_module_config(0xBAC0);
+        config.backend = backend;
+        config.faults = FaultPlan::preset("quick", config.modules.len());
+        let policy = FleetPolicy {
+            deadline_ms: config.faults.as_ref().and_then(|p| p.deadline_ms),
+            ..FleetPolicy::default()
+        };
+        let spec = TrialSpec::activation(ApaTiming::from_ns(2.5, 2.5));
+        let points: Vec<SweepPoint<TrialPoint>> = [2u32, 8]
+            .iter()
+            .map(|&n| trial_point(&config, n, spec))
+            .collect();
+        let clock = MockClock::new();
+        let sweep = run_sweep_with(&config, &points, policy, &clock, 2, trial_op);
+        assert_eq!(sweep.len(), points.len());
+        for (point, outcome) in points.iter().zip(&sweep) {
+            let tp = point.params;
+            let fresh = run_fleet_with(
+                &config,
+                point.n,
+                policy,
+                &clock,
+                2,
+                |s: &mut TestSetup, g: &GroupSpec, r: &mut StdRng| trial_op(&tp, s, g, r),
+            );
+            assert_eq!(outcome, &fresh, "backend {backend} n={}", point.n);
+            assert!(
+                outcome.samples().iter().any(|s| s.is_finite()),
+                "backend {backend} n={} produced no finite samples",
+                point.n
+            );
         }
     }
 }
