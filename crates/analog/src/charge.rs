@@ -44,17 +44,32 @@ pub fn bitline_deltas(
     out
 }
 
-/// [`bitline_deltas`] into reusable buffers: `out` receives the per-column
-/// perturbations, `cap_scratch` accumulates the per-column capacitance sum.
-/// Both are cleared and resized; capacity is reused across calls.
+/// Vector lane granularity of the chunked kernels: the column-block
+/// width [`BATCH_TILE`] is a whole multiple of `LANES`, so every full
+/// block subdivides exactly into lane groups the autovectorizer turns
+/// into packed f64 operations at any SIMD width up to 8 lanes (one
+/// AVX-512 register, four NEON ones).
+pub const LANES: usize = 8;
+
+/// Column-block width of the chunked kernels [`bitline_deltas_into`]
+/// and [`bitline_deltas_batch_into`]: wide enough that the inner sweeps
+/// are long contiguous autovectorizable runs, small enough that the
+/// block accumulators (and, for the batched kernel, the per-row
+/// `k = cap · xfer` factors) stay L1-resident while the row loop — or
+/// every trial of the batch — sweeps the block.
+pub const BATCH_TILE: usize = 64;
+
+/// Frozen scalar reference for [`bitline_deltas_into`].
 ///
-/// The accumulation runs row-major over the subarray's contiguous voltage
-/// and variation slices — one bounds check per row, unit-stride inner
-/// loops the compiler can vectorize. Per-column addition order is the row
-/// order of `rows_weights`, identical to the column-major formulation, so
-/// results are bit-identical.
+/// This is the pre-vectorization kernel, kept verbatim: the tiled kernel
+/// and the trial-batched kernel are required (and proptest-enforced, see
+/// `crates/analog/tests/hotpath_identity.rs`) to reproduce its output
+/// **bit for bit**. Do not "clean it up" — every expression shape here
+/// (the left-associated `cap * xfer * (v − ½)`, the accumulate-then-
+/// finalize split) is the bit-identity contract the fast paths are held
+/// to.
 #[allow(clippy::too_many_arguments)]
-pub fn bitline_deltas_into(
+pub fn bitline_deltas_into_scalar(
     subarray: &Subarray,
     rows_weights: &[(u32, f64)],
     transfer_amp: f64,
@@ -84,6 +99,568 @@ pub fn bitline_deltas_into(
     for c in 0..cols {
         num[c] = assertion * num[c] / (beta + cap_sum[c]);
     }
+}
+
+/// Per-row plane views of one kernel invocation: the row's voltage,
+/// capacitance-factor, and strength-factor slices plus its contribution
+/// weight. Hoisted once per call so the accessor's row bounds check and
+/// range computation run per row, not per (row, block).
+type RowPlanes<'a> = (&'a [f32], &'a [f32], &'a [f32], f64);
+
+/// Portable body of the chunked single-shot kernel; `#[inline(always)]`
+/// so every dispatch target compiles its own copy under its own target
+/// features (the AVX2 twin widens these very loops to 256-bit lanes).
+///
+/// Columns are processed in [`BATCH_TILE`]-wide blocks whose numerator
+/// and capacitance accumulators live in fixed-size stack arrays: they
+/// stay L1-resident across the whole row loop instead of streaming the
+/// full-width `out`/`cap_scratch` vectors through the cache hierarchy
+/// once per row. The inner sweeps are plain contiguous slice loops —
+/// the shape the loop vectorizer handles on stable.
+#[inline(always)]
+fn deltas_blocks(
+    planes: &[RowPlanes<'_>],
+    transfer_amp: f64,
+    assertion: f64,
+    beta: f64,
+    num: &mut [f64],
+    cap_sum: &mut [f64],
+) {
+    let cols = num.len();
+    // Full blocks run with the constant width so the inlined block body
+    // specializes: the inner sweeps unroll completely, with no per-entry
+    // loop guards or vector tail code. Only the last partial block pays
+    // the runtime-width form.
+    let mut base = 0;
+    while base + BATCH_TILE <= cols {
+        deltas_one_block(
+            planes,
+            transfer_amp,
+            assertion,
+            beta,
+            base,
+            BATCH_TILE,
+            num,
+            cap_sum,
+        );
+        base += BATCH_TILE;
+    }
+    if base < cols {
+        deltas_one_block(
+            planes,
+            transfer_amp,
+            assertion,
+            beta,
+            base,
+            cols - base,
+            num,
+            cap_sum,
+        );
+    }
+}
+
+/// One [`BATCH_TILE`]-wide (or tail-width `w`) column block of
+/// [`deltas_blocks`]; `#[inline(always)]` so the constant-width call
+/// site compiles to straight-line vector code.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn deltas_one_block(
+    planes: &[RowPlanes<'_>],
+    transfer_amp: f64,
+    assertion: f64,
+    beta: f64,
+    base: usize,
+    w: usize,
+    num: &mut [f64],
+    cap_sum: &mut [f64],
+) {
+    debug_assert!(w <= BATCH_TILE);
+    let mut acc_num = [0.0f64; BATCH_TILE];
+    let mut acc_cap = [0.0f64; BATCH_TILE];
+    {
+        let an = &mut acc_num[..w];
+        let ac = &mut acc_cap[..w];
+        let mut i = 0;
+        while i < planes.len() {
+            // Runs of unit-weight rows (everything but the first
+            // activated row in practice) take a four-row sweep: the
+            // `· weight` multiply drops out (`x · 1.0 == x` bit for bit
+            // for the finite plane values) and the accumulator is
+            // loaded and stored once per four rows instead of once per
+            // row. The nested `(((a + x0) + x1) + x2) + x3` shape is
+            // exactly the reference's `a += x0; a += x1; ...` order.
+            if i + 4 <= planes.len() && planes[i..i + 4].iter().all(|p| p.3 == 1.0) {
+                let (v0, c0, s0, _) = planes[i];
+                let (v1, c1, s1, _) = planes[i + 1];
+                let (v2, c2, s2, _) = planes[i + 2];
+                let (v3, c3, s3, _) = planes[i + 3];
+                let (v0, c0, s0) = (
+                    &v0[base..base + w],
+                    &c0[base..base + w],
+                    &s0[base..base + w],
+                );
+                let (v1, c1, s1) = (
+                    &v1[base..base + w],
+                    &c1[base..base + w],
+                    &s1[base..base + w],
+                );
+                let (v2, c2, s2) = (
+                    &v2[base..base + w],
+                    &c2[base..base + w],
+                    &s2[base..base + w],
+                );
+                let (v3, c3, s3) = (
+                    &v3[base..base + w],
+                    &c3[base..base + w],
+                    &s3[base..base + w],
+                );
+                for c in 0..w {
+                    let cap0 = c0[c] as f64;
+                    let xf0 = (1.0 + (s0[c] as f64 - 1.0) * transfer_amp).max(0.0);
+                    let cap1 = c1[c] as f64;
+                    let xf1 = (1.0 + (s1[c] as f64 - 1.0) * transfer_amp).max(0.0);
+                    let cap2 = c2[c] as f64;
+                    let xf2 = (1.0 + (s2[c] as f64 - 1.0) * transfer_amp).max(0.0);
+                    let cap3 = c3[c] as f64;
+                    let xf3 = (1.0 + (s3[c] as f64 - 1.0) * transfer_amp).max(0.0);
+                    an[c] = (((an[c] + cap0 * xf0 * (v0[c] as f64 - 0.5))
+                        + cap1 * xf1 * (v1[c] as f64 - 0.5))
+                        + cap2 * xf2 * (v2[c] as f64 - 0.5))
+                        + cap3 * xf3 * (v3[c] as f64 - 0.5);
+                    ac[c] = (((ac[c] + cap0) + cap1) + cap2) + cap3;
+                }
+                i += 4;
+            } else {
+                let (volts, caps, strengths, weight) = planes[i];
+                let volts = &volts[base..base + w];
+                let caps = &caps[base..base + w];
+                let strengths = &strengths[base..base + w];
+                if weight == 1.0 {
+                    for c in 0..w {
+                        let cap = caps[c] as f64;
+                        let xfer = (1.0 + (strengths[c] as f64 - 1.0) * transfer_amp).max(0.0);
+                        an[c] += cap * xfer * (volts[c] as f64 - 0.5);
+                        ac[c] += cap;
+                    }
+                } else {
+                    for c in 0..w {
+                        let cap = caps[c] as f64 * weight;
+                        let xfer = (1.0 + (strengths[c] as f64 - 1.0) * transfer_amp).max(0.0);
+                        an[c] += cap * xfer * (volts[c] as f64 - 0.5);
+                        ac[c] += cap;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    for c in 0..w {
+        num[base + c] = assertion * acc_num[c] / (beta + acc_cap[c]);
+        cap_sum[base + c] = acc_cap[c];
+    }
+}
+
+/// AVX2-compiled twin of [`deltas_blocks`]: same Rust expressions, so —
+/// because Rust never contracts floating-point operations — the results
+/// are bit-identical; only the instruction encoding widens.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn deltas_blocks_avx2(
+    planes: &[RowPlanes<'_>],
+    transfer_amp: f64,
+    assertion: f64,
+    beta: f64,
+    num: &mut [f64],
+    cap_sum: &mut [f64],
+) {
+    deltas_blocks(planes, transfer_amp, assertion, beta, num, cap_sum)
+}
+
+#[inline]
+fn deltas_blocks_dispatch(
+    planes: &[RowPlanes<'_>],
+    transfer_amp: f64,
+    assertion: f64,
+    beta: f64,
+    num: &mut [f64],
+    cap_sum: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was verified at runtime on the line
+        // above; the feature gate changes code generation only, not
+        // semantics.
+        return unsafe { deltas_blocks_avx2(planes, transfer_amp, assertion, beta, num, cap_sum) };
+    }
+    deltas_blocks(planes, transfer_amp, assertion, beta, num, cap_sum)
+}
+
+/// [`bitline_deltas`] into reusable buffers: `out` receives the per-column
+/// perturbations, `cap_scratch` accumulates the per-column capacitance sum.
+/// Both are cleared and resized; capacity is reused across calls.
+///
+/// # Layout
+///
+/// Columns are processed in [`BATCH_TILE`]-wide blocks with the
+/// numerator and capacitance accumulators held in fixed-size stack
+/// arrays that stay L1-resident across the whole row loop, instead of
+/// round-tripping the full-width `out`/`cap_scratch` vectors through
+/// the cache once per row. The contiguous fixed-width inner sweeps
+/// autovectorize on stable, and on x86-64 the kernel body is compiled a
+/// second time under `#[target_feature(enable = "avx2")]` and selected
+/// by runtime feature detection, widening the same loops to 256-bit
+/// lanes.
+///
+/// # Bit identity
+///
+/// Per column, additions happen in the row order of `rows_weights` with
+/// exactly the expression shapes of [`bitline_deltas_into_scalar`]
+/// (chunking only regroups *columns*, never the per-column sum, and the
+/// AVX2 twin compiles the identical expressions — Rust never contracts
+/// floating point), so the output is bit-identical to the frozen scalar
+/// reference — enforced by the proptests in
+/// `crates/analog/tests/hotpath_identity.rs`.
+#[allow(clippy::too_many_arguments)]
+pub fn bitline_deltas_into(
+    subarray: &Subarray,
+    rows_weights: &[(u32, f64)],
+    transfer_amp: f64,
+    assertion: f64,
+    beta: f64,
+    cap_scratch: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
+    let cols = subarray.cols() as usize;
+    out.clear();
+    out.resize(cols, 0.0);
+    cap_scratch.clear();
+    cap_scratch.resize(cols, 0.0);
+    // Plane views hoisted into a stack buffer (no per-call allocation
+    // for realistic activation counts; the paper tops out at 32 rows).
+    let mut planes_buf = [(&[][..], &[][..], &[][..], 0.0f64); MAX_STACK_ROWS];
+    let mut planes_vec: Vec<RowPlanes<'_>> = Vec::new();
+    let planes = hoist_row_planes(
+        subarray,
+        rows_weights,
+        cols,
+        &mut planes_buf,
+        &mut planes_vec,
+    );
+    deltas_blocks_dispatch(
+        planes,
+        transfer_amp,
+        assertion,
+        beta,
+        &mut out[..],
+        &mut cap_scratch[..],
+    );
+}
+
+/// Row count the kernel wrappers hoist plane views for on the stack;
+/// larger activations (never seen in practice — the paper tops out at
+/// 32 simultaneous rows) fall back to a heap buffer.
+const MAX_STACK_ROWS: usize = 64;
+
+/// Hoists each activated row's plane views once, into `buf` when the
+/// activation fits ([`MAX_STACK_ROWS`]) and into `overflow` otherwise,
+/// so the accessor's bounds check and range computation run per row,
+/// not per (row, block).
+#[inline]
+fn hoist_row_planes<'a>(
+    subarray: &'a Subarray,
+    rows_weights: &[(u32, f64)],
+    cols: usize,
+    buf: &'a mut [RowPlanes<'a>; MAX_STACK_ROWS],
+    overflow: &'a mut Vec<RowPlanes<'a>>,
+) -> &'a [RowPlanes<'a>] {
+    let view = |&(row, weight): &(u32, f64)| {
+        (
+            &subarray.row_voltages(row)[..cols],
+            &subarray.row_cap_factors(row)[..cols],
+            &subarray.row_strength_factors(row)[..cols],
+            weight,
+        )
+    };
+    if rows_weights.len() <= MAX_STACK_ROWS {
+        for (slot, rw) in buf.iter_mut().zip(rows_weights) {
+            *slot = view(rw);
+        }
+        &buf[..rows_weights.len()]
+    } else {
+        overflow.extend(rows_weights.iter().map(view));
+        overflow
+    }
+}
+
+/// Batch-invariant plane views for the trial-batched kernel: the row's
+/// capacitance and strength slices plus its weight (voltages come from
+/// the per-trial snapshots instead).
+type BatchPlanes<'a> = (&'a [f32], &'a [f32], f64);
+
+/// Portable body of the trial-batched kernel; see
+/// [`bitline_deltas_batch_into`] for the layout contract.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn deltas_batch_blocks(
+    planes: &[BatchPlanes<'_>],
+    voltages: &[f32],
+    trials: usize,
+    cols: usize,
+    transfer_amp: f64,
+    assertion: f64,
+    beta: f64,
+    out: &mut [f64],
+    cap_sum: &mut [f64],
+) {
+    let n_rows = planes.len();
+    // The per-row `k = cap · xfer` factors for one column block: the
+    // batch-invariant part of the kernel, computed once per block and
+    // reused by every trial. `n_rows · BATCH_TILE` f64s stay
+    // cache-resident while the trials sweep the block. Full blocks run
+    // with the constant width so the inlined block body specializes
+    // (fully unrolled sweeps, no loop guards); only the last partial
+    // block pays the runtime-width form.
+    let mut k_rows = vec![0.0f64; n_rows * BATCH_TILE];
+    let mut base = 0;
+    while base + BATCH_TILE <= cols {
+        #[rustfmt::skip]
+        deltas_batch_one_block(
+            planes, voltages, trials, cols, transfer_amp, assertion, beta,
+            base, BATCH_TILE, &mut k_rows, out, cap_sum,
+        );
+        base += BATCH_TILE;
+    }
+    if base < cols {
+        #[rustfmt::skip]
+        deltas_batch_one_block(
+            planes, voltages, trials, cols, transfer_amp, assertion, beta,
+            base, cols - base, &mut k_rows, out, cap_sum,
+        );
+    }
+}
+
+/// One [`BATCH_TILE`]-wide (or tail-width `w`) column block of
+/// [`deltas_batch_blocks`]; `#[inline(always)]` so the constant-width
+/// call site compiles to straight-line vector code.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn deltas_batch_one_block(
+    planes: &[BatchPlanes<'_>],
+    voltages: &[f32],
+    trials: usize,
+    cols: usize,
+    transfer_amp: f64,
+    assertion: f64,
+    beta: f64,
+    base: usize,
+    w: usize,
+    k_rows: &mut [f64],
+    out: &mut [f64],
+    cap_sum: &mut [f64],
+) {
+    debug_assert!(w <= BATCH_TILE);
+    let n_rows = planes.len();
+    let mut acc = [0.0f64; BATCH_TILE];
+    let mut denom = [0.0f64; BATCH_TILE];
+    {
+        for (i, &(caps, strengths, weight)) in planes.iter().enumerate() {
+            let caps = &caps[base..base + w];
+            let strengths = &strengths[base..base + w];
+            let cap_acc = &mut cap_sum[base..base + w];
+            let k = &mut k_rows[i * BATCH_TILE..][..w];
+            for c in 0..w {
+                let cap = caps[c] as f64 * weight;
+                let xfer = (1.0 + (strengths[c] as f64 - 1.0) * transfer_amp).max(0.0);
+                k[c] = cap * xfer;
+                cap_acc[c] += cap;
+            }
+        }
+        // `β + Σcap` is batch-invariant: computed once per block so each
+        // trial's finalize pays only the (bit-identity-mandated) divide.
+        for c in 0..w {
+            denom[c] = beta + cap_sum[base + c];
+        }
+        // Trial-outer sweeps: each trial walks its own voltage
+        // snapshot (L1-resident) row by row; rows come four at a time
+        // so the accumulator is loaded and stored once per four rows.
+        // The nested `(((a + x0) + x1) + x2) + x3` shape is exactly the
+        // reference's per-column `a += x0; a += x1; ...` row order.
+        for trial in 0..trials {
+            acc[..w].fill(0.0);
+            let at = &mut acc[..w];
+            let mut i = 0;
+            while i + 4 <= n_rows {
+                let k0 = &k_rows[i * BATCH_TILE..][..w];
+                let k1 = &k_rows[(i + 1) * BATCH_TILE..][..w];
+                let k2 = &k_rows[(i + 2) * BATCH_TILE..][..w];
+                let k3 = &k_rows[(i + 3) * BATCH_TILE..][..w];
+                let v0 = &voltages[(trial * n_rows + i) * cols + base..][..w];
+                let v1 = &voltages[(trial * n_rows + i + 1) * cols + base..][..w];
+                let v2 = &voltages[(trial * n_rows + i + 2) * cols + base..][..w];
+                let v3 = &voltages[(trial * n_rows + i + 3) * cols + base..][..w];
+                for c in 0..w {
+                    at[c] = (((at[c] + k0[c] * (v0[c] as f64 - 0.5))
+                        + k1[c] * (v1[c] as f64 - 0.5))
+                        + k2[c] * (v2[c] as f64 - 0.5))
+                        + k3[c] * (v3[c] as f64 - 0.5);
+                }
+                i += 4;
+            }
+            while i < n_rows {
+                let k0 = &k_rows[i * BATCH_TILE..][..w];
+                let volts = &voltages[(trial * n_rows + i) * cols + base..][..w];
+                for c in 0..w {
+                    at[c] += k0[c] * (volts[c] as f64 - 0.5);
+                }
+                i += 1;
+            }
+            let num = &mut out[trial * cols + base..][..w];
+            for c in 0..w {
+                num[c] = assertion * at[c] / denom[c];
+            }
+        }
+    }
+}
+
+/// AVX2-compiled twin of [`deltas_batch_blocks`]; bit-identical, see
+/// [`deltas_blocks_avx2`].
+#[allow(clippy::too_many_arguments)]
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn deltas_batch_blocks_avx2(
+    planes: &[BatchPlanes<'_>],
+    voltages: &[f32],
+    trials: usize,
+    cols: usize,
+    transfer_amp: f64,
+    assertion: f64,
+    beta: f64,
+    out: &mut [f64],
+    cap_sum: &mut [f64],
+) {
+    deltas_batch_blocks(
+        planes,
+        voltages,
+        trials,
+        cols,
+        transfer_amp,
+        assertion,
+        beta,
+        out,
+        cap_sum,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn deltas_batch_blocks_dispatch(
+    planes: &[BatchPlanes<'_>],
+    voltages: &[f32],
+    trials: usize,
+    cols: usize,
+    transfer_amp: f64,
+    assertion: f64,
+    beta: f64,
+    out: &mut [f64],
+    cap_sum: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was verified at runtime on the line
+        // above; the feature gate changes code generation only, not
+        // semantics.
+        return unsafe {
+            deltas_batch_blocks_avx2(
+                planes,
+                voltages,
+                trials,
+                cols,
+                transfer_amp,
+                assertion,
+                beta,
+                out,
+                cap_sum,
+            )
+        };
+    }
+    deltas_batch_blocks(
+        planes,
+        voltages,
+        trials,
+        cols,
+        transfer_amp,
+        assertion,
+        beta,
+        out,
+        cap_sum,
+    )
+}
+
+/// Trial-batched [`bitline_deltas_into`]: evaluates the charge-sharing
+/// kernel for `trials` voltage snapshots of the same rows in one pass.
+///
+/// `voltages` holds the per-trial snapshots, trial-major then row-major
+/// (`voltages[(t · R + i) · cols + c]` is trial `t`'s voltage of
+/// `rows_weights[i]` at column `c`, `R = rows_weights.len()`); `out`
+/// receives the per-trial deltas in the same trial-major layout
+/// (`trials · cols` values). `cap_scratch` receives the per-column
+/// capacitance sums, which — like the transfer factors — depend only on
+/// the subarray's variation planes, not on the written data. That is
+/// the point of batching: the capacitance/strength traversal, the
+/// `cap · xfer` products, and the denominators are computed **once** and
+/// amortized over every trial, so a batch of N data redraws costs one
+/// plane walk plus N cheap multiply-add sweeps.
+///
+/// Bit identity: per (trial, column) the additions run in the row order
+/// of `rows_weights` with the scalar reference's expression shapes
+/// (`cap * xfer` is the scalar kernel's own left-assoc prefix), so each
+/// trial's output equals a [`bitline_deltas_into_scalar`] call on that
+/// trial's snapshot, bit for bit — proptest-enforced.
+#[allow(clippy::too_many_arguments)]
+pub fn bitline_deltas_batch_into(
+    subarray: &Subarray,
+    rows_weights: &[(u32, f64)],
+    voltages: &[f32],
+    trials: usize,
+    transfer_amp: f64,
+    assertion: f64,
+    beta: f64,
+    cap_scratch: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
+    let cols = subarray.cols() as usize;
+    let n_rows = rows_weights.len();
+    assert_eq!(
+        voltages.len(),
+        trials * n_rows * cols,
+        "voltage snapshot shape mismatch"
+    );
+    out.clear();
+    out.resize(trials * cols, 0.0);
+    cap_scratch.clear();
+    cap_scratch.resize(cols, 0.0);
+    // One accessor call per row for the batch-invariant variation planes.
+    let planes: Vec<BatchPlanes<'_>> = rows_weights
+        .iter()
+        .map(|&(row, weight)| {
+            (
+                &subarray.row_cap_factors(row)[..cols],
+                &subarray.row_strength_factors(row)[..cols],
+                weight,
+            )
+        })
+        .collect();
+    deltas_batch_blocks_dispatch(
+        &planes,
+        voltages,
+        trials,
+        cols,
+        transfer_amp,
+        assertion,
+        beta,
+        &mut out[..],
+        &mut cap_scratch[..],
+    );
 }
 
 #[cfg(test)]
@@ -176,6 +753,61 @@ mod tests {
         // Buffers are reusable: a second call with different inputs.
         bitline_deltas_into(&sa, &[(2, 1.0)], 6.8, 1.0, 6.0, &mut cap, &mut out);
         assert_eq!(out, bitline_deltas(&sa, &[(2, 1.0)], 6.8, 1.0, 6.0));
+    }
+
+    #[test]
+    fn tiled_kernel_matches_the_frozen_scalar_reference() {
+        // Widths straddling the tile boundary, including the pathological
+        // ones from the issue: 1, 7 (pure tail), 129 (tiles + 1).
+        for cols in [1u32, 7, 8, 9, 16, 129] {
+            let mut sa = Subarray::new(8, cols, VariationParams::default(), 1234 + cols as u64);
+            sa.write_row(0, &BitRow::ones(cols as usize)).unwrap();
+            sa.write_row(3, &BitRow::zeros(cols as usize)).unwrap();
+            let rows = [(0u32, 1.7), (3u32, 1.0), (6u32, 1.0)];
+            let (mut cap_s, mut out_s) = (Vec::new(), Vec::new());
+            let (mut cap_v, mut out_v) = (Vec::new(), Vec::new());
+            bitline_deltas_into_scalar(&sa, &rows, 4.6, 0.97, 2.5, &mut cap_s, &mut out_s);
+            bitline_deltas_into(&sa, &rows, 4.6, 0.97, 2.5, &mut cap_v, &mut out_v);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&out_v), bits(&out_s), "cols={cols}");
+            assert_eq!(bits(&cap_v), bits(&cap_s), "cols={cols} cap sums");
+        }
+    }
+
+    #[test]
+    fn batched_kernel_matches_scalar_per_trial() {
+        for cols in [1u32, 7, 24, 129] {
+            let c = cols as usize;
+            let mut sa = Subarray::new(8, cols, VariationParams::default(), 99 + cols as u64);
+            let rows = [(1u32, 1.3), (4u32, 1.0)];
+            // Three trials: three different data states of the same rows.
+            let images: [&dyn Fn(usize) -> bool; 3] = [&|_| true, &|_| false, &|col| col % 3 == 0];
+            let mut voltages = Vec::new();
+            let mut per_trial_scalar = Vec::new();
+            for img in images {
+                for (i, &(row, _)) in rows.iter().enumerate() {
+                    sa.write_row(row, &BitRow::from_bits((0..c).map(|x| img(x + i))))
+                        .unwrap();
+                }
+                for &(row, _) in &rows {
+                    voltages.extend_from_slice(&sa.row_voltages(row)[..c]);
+                }
+                let (mut cap, mut out) = (Vec::new(), Vec::new());
+                bitline_deltas_into_scalar(&sa, &rows, 4.6, 0.97, 2.5, &mut cap, &mut out);
+                per_trial_scalar.push(out);
+            }
+            let (mut cap_b, mut out_b) = (Vec::new(), Vec::new());
+            bitline_deltas_batch_into(
+                &sa, &rows, &voltages, 3, 4.6, 0.97, 2.5, &mut cap_b, &mut out_b,
+            );
+            assert_eq!(out_b.len(), 3 * c);
+            for (t, scalar) in per_trial_scalar.iter().enumerate() {
+                let batch = &out_b[t * c..(t + 1) * c];
+                for (col, (b, s)) in batch.iter().zip(scalar).enumerate() {
+                    assert_eq!(b.to_bits(), s.to_bits(), "cols={cols} trial={t} col={col}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,12 +9,12 @@ use std::cell::RefCell;
 use std::sync::OnceLock;
 
 use rand::rngs::StdRng;
-use rand::Rng;
 
 use simra_dram::{ApaTiming, BitRow, Subarray, VendorProfile};
 use simra_telemetry::Counter;
 
-use crate::charge::bitline_deltas_into;
+use crate::charge::{bitline_deltas_batch_into, bitline_deltas_into, bitline_deltas_into_scalar};
+use crate::math::{box_muller, standard_normal};
 use crate::params::{CircuitParams, OperatingConditions};
 use crate::sense::{resolve, restore_probability, survival_probability};
 
@@ -48,6 +48,23 @@ fn op_counters() -> &'static EngineOpCounters {
 struct SenseScratch {
     rows_weights: Vec<(u32, f64)>,
     cap_sum: Vec<f64>,
+    /// Flat per-trial delta buffer for [`ApaEngine::sense_batch`]: at
+    /// `trials · cols` f64s it crosses the allocator's mmap threshold,
+    /// so a fresh allocation per batch would pay page faults on every
+    /// call.
+    batch_deltas: Vec<f64>,
+}
+
+impl SenseScratch {
+    /// Disjoint borrows of the scratch fields one batched sense needs.
+    #[allow(clippy::type_complexity)]
+    fn split_for_batch(&mut self) -> (&[(u32, f64)], &mut Vec<f64>, &mut Vec<f64>) {
+        (
+            &self.rows_weights,
+            &mut self.cap_sum,
+            &mut self.batch_deltas,
+        )
+    }
 }
 
 thread_local! {
@@ -61,6 +78,74 @@ pub struct SenseResult {
     pub deltas: Vec<f64>,
     /// The value each sense amplifier resolves to with zero trial noise.
     pub resolved: BitRow,
+}
+
+/// A stack of per-trial voltage snapshots of one row group, consumed by
+/// [`ApaEngine::sense_batch`].
+///
+/// Characterization redraws the *data* of a row group several times and
+/// senses after each redraw; only the voltage plane changes between
+/// redraws (writes never touch the capacitance/strength variation
+/// planes). Callers snapshot the voltages of the group's rows after each
+/// write ([`SenseBatch::snapshot_trial`]) and then sense every trial in
+/// one batched kernel pass, which walks the variation planes once for
+/// the whole batch.
+#[derive(Debug, Clone)]
+pub struct SenseBatch {
+    rows: Vec<u32>,
+    cols: usize,
+    voltages: Vec<f32>,
+}
+
+impl SenseBatch {
+    /// An empty batch over `rows` (local indices) of a `cols`-wide
+    /// subarray.
+    pub fn new(rows: &[u32], cols: usize) -> Self {
+        SenseBatch {
+            rows: rows.to_vec(),
+            cols,
+            voltages: Vec::new(),
+        }
+    }
+
+    /// The row group the snapshots cover.
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Number of snapshots taken so far.
+    pub fn trials(&self) -> usize {
+        if self.rows.is_empty() {
+            return 0;
+        }
+        self.voltages.len() / (self.rows.len() * self.cols)
+    }
+
+    /// Drops all snapshots, keeping the row group and the capacity.
+    pub fn clear(&mut self) {
+        self.voltages.clear();
+    }
+
+    /// Re-targets the batch at a new row group, keeping the capacity.
+    pub fn reset(&mut self, rows: &[u32], cols: usize) {
+        self.rows.clear();
+        self.rows.extend_from_slice(rows);
+        self.cols = cols;
+        self.voltages.clear();
+    }
+
+    /// Appends one trial: the current voltages of the batch's rows.
+    pub fn snapshot_trial(&mut self, subarray: &Subarray) {
+        assert_eq!(
+            subarray.cols() as usize,
+            self.cols,
+            "snapshot subarray width differs from the batch"
+        );
+        for &row in &self.rows {
+            self.voltages
+                .extend_from_slice(&subarray.row_voltages(row)[..self.cols]);
+        }
+    }
 }
 
 /// The analog engine for one module's chips.
@@ -105,6 +190,14 @@ impl ApaEngine {
     /// `first_row` is the APA's `R_F` (it over-shares for long ACT→ACT
     /// windows). Returns per-column perturbations and the zero-noise
     /// resolution.
+    ///
+    /// # Contract
+    ///
+    /// `first_row` must be a member of `rows` — R_F is by definition one
+    /// of the simultaneously opened rows. A violation trips a
+    /// `debug_assert`; release builds fall back to treating the first
+    /// listed row as R_F (the historical behavior), which silently
+    /// misattributes the over-share weight.
     pub fn sense(
         &self,
         subarray: &Subarray,
@@ -112,11 +205,48 @@ impl ApaEngine {
         first_row: u32,
         timing: ApaTiming,
     ) -> SenseResult {
+        self.sense_with(subarray, rows, first_row, timing, bitline_deltas_into)
+    }
+
+    /// [`sense`](Self::sense) through the frozen pre-vectorization
+    /// scalar kernel ([`bitline_deltas_into_scalar`]) instead of the
+    /// chunked one. Bit-identical to `sense` by the kernel's bit-identity
+    /// contract; exists as the anchor the identity proptests compare
+    /// against and as the seed baseline the `analog_hotpath` bench
+    /// measures the SIMD/batched trajectory from.
+    pub fn sense_reference(
+        &self,
+        subarray: &Subarray,
+        rows: &[u32],
+        first_row: u32,
+        timing: ApaTiming,
+    ) -> SenseResult {
+        self.sense_with(
+            subarray,
+            rows,
+            first_row,
+            timing,
+            bitline_deltas_into_scalar,
+        )
+    }
+
+    /// Shared body of [`sense`](Self::sense) and
+    /// [`sense_reference`](Self::sense_reference): everything but the
+    /// charge-share kernel choice.
+    #[allow(clippy::type_complexity)]
+    fn sense_with(
+        &self,
+        subarray: &Subarray,
+        rows: &[u32],
+        first_row: u32,
+        timing: ApaTiming,
+        kernel: fn(&Subarray, &[(u32, f64)], f64, f64, f64, &mut Vec<f64>, &mut Vec<f64>),
+    ) -> SenseResult {
         let ops = op_counters();
         ops.sense.incr();
         // One charge-share event per simultaneously opened row.
         ops.charge_share.add(rows.len() as u64);
-        let first_index = rows.iter().position(|r| *r == first_row).unwrap_or(0);
+        let first_index = first_row_index(rows, first_row);
         let first_weight = self.params.first_row_weight(rows.len(), timing);
         let assertion =
             self.params.assertion_strength(timing, self.cond) * self.group_factor(subarray, rows);
@@ -129,7 +259,7 @@ impl ApaEngine {
                     .enumerate()
                     .map(|(i, &row)| (row, if i == first_index { first_weight } else { 1.0 })),
             );
-            bitline_deltas_into(
+            kernel(
                 subarray,
                 &scratch.rows_weights,
                 self.params.transfer_amp(rows.len()),
@@ -170,7 +300,7 @@ impl ApaEngine {
         };
         let u1 = next().max(f64::EPSILON);
         let u2 = next();
-        let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let g = box_muller(u1, u2);
         // Asymmetric: weak-side outliers are common (long lower whiskers in
         // the paper's box plots) but the strong side saturates — which is
         // why even best-group MAJ9 stays uneconomical (Fig. 16).
@@ -192,16 +322,171 @@ impl ApaEngine {
         let offsets = subarray.sense_offsets();
         let biases = subarray.bias_directions();
         let resolved = BitRow::from_bits(result.deltas.iter().enumerate().map(|(c, &delta)| {
-            let noise = {
-                // Box–Muller on two uniforms.
-                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-                let u2: f64 = rng.gen_range(0.0..1.0);
-                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * sigma
-            };
+            let noise = standard_normal(rng) * sigma;
             resolve(delta, offsets[c] as f64, noise, self.biased_amps, biases[c])
         }));
         result.resolved = resolved;
         result
+    }
+
+    /// [`sense_sampled`](Self::sense_sampled) over `trials` independent
+    /// noise redraws of the *same* data state: the deterministic
+    /// perturbations are computed once and only the per-trial amplifier
+    /// noise is redrawn, so a batch costs one kernel pass plus `trials`
+    /// cheap resolve sweeps.
+    ///
+    /// Equivalent — bit for bit, including the RNG stream position — to
+    /// calling `sense_sampled` `trials` times in a loop: the noise draws
+    /// happen in the identical (trial-major, column-major) order, and
+    /// the deltas are deterministic in the subarray state.
+    pub fn sense_sampled_batch(
+        &self,
+        subarray: &Subarray,
+        rows: &[u32],
+        first_row: u32,
+        timing: ApaTiming,
+        trials: usize,
+        rng: &mut StdRng,
+    ) -> Vec<SenseResult> {
+        if trials == 0 {
+            return Vec::new();
+        }
+        let base = self.sense(subarray, rows, first_row, timing);
+        // `sense` counted one sense / one set of charge shares; account
+        // for the remaining logical trials of the batch.
+        let ops = op_counters();
+        ops.sense.add(trials as u64 - 1);
+        ops.charge_share
+            .add(rows.len() as u64 * (trials as u64 - 1));
+        let sigma = self.params.trial_noise_sigma;
+        let offsets = subarray.sense_offsets();
+        let biases = subarray.bias_directions();
+        (0..trials)
+            .map(|_| {
+                let resolved =
+                    BitRow::from_bits(base.deltas.iter().enumerate().map(|(c, &delta)| {
+                        let noise = standard_normal(rng) * sigma;
+                        resolve(delta, offsets[c] as f64, noise, self.biased_amps, biases[c])
+                    }));
+                SenseResult {
+                    deltas: base.deltas.clone(),
+                    resolved,
+                }
+            })
+            .collect()
+    }
+
+    /// Senses every snapshot in `batch` in one batched kernel pass.
+    ///
+    /// Result `t` is bit-identical to what [`sense`](Self::sense) would
+    /// have returned with the subarray's voltage plane in the state of
+    /// snapshot `t`: the capacitance/strength planes (and everything
+    /// derived from them — the group factor, the transfer factors, the
+    /// denominators) are data-independent, so the batched kernel
+    /// computes them once and amortizes one plane traversal plus one
+    /// instruction decode over the whole batch.
+    ///
+    /// `first_row` follows the [`sense`](Self::sense) membership
+    /// contract.
+    pub fn sense_batch(
+        &self,
+        subarray: &Subarray,
+        batch: &SenseBatch,
+        first_row: u32,
+        timing: ApaTiming,
+    ) -> Vec<SenseResult> {
+        let trials = batch.trials();
+        if trials == 0 {
+            return Vec::new();
+        }
+        let rows = batch.rows();
+        let ops = op_counters();
+        ops.sense.add(trials as u64);
+        ops.charge_share.add(rows.len() as u64 * trials as u64);
+        let first_index = first_row_index(rows, first_row);
+        let first_weight = self.params.first_row_weight(rows.len(), timing);
+        let assertion =
+            self.params.assertion_strength(timing, self.cond) * self.group_factor(subarray, rows);
+        SENSE_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.rows_weights.clear();
+            scratch.rows_weights.extend(
+                rows.iter()
+                    .enumerate()
+                    .map(|(i, &row)| (row, if i == first_index { first_weight } else { 1.0 })),
+            );
+            let (rows_weights, cap_sum, flat) = scratch.split_for_batch();
+            bitline_deltas_batch_into(
+                subarray,
+                rows_weights,
+                &batch.voltages,
+                trials,
+                self.params.transfer_amp(rows.len()),
+                assertion,
+                self.params.beta,
+                cap_sum,
+                flat,
+            );
+            let cols = batch.cols;
+            let offsets = subarray.sense_offsets();
+            let biases = subarray.bias_directions();
+            // The column offsets are trial-invariant: widen them once per
+            // batch instead of once per (trial, column).
+            let offsets_f64: Vec<f64> = offsets.iter().map(|&o| o as f64).collect();
+            (0..trials)
+                .map(|t| {
+                    let deltas = flat[t * cols..(t + 1) * cols].to_vec();
+                    let resolved = if self.biased_amps {
+                        BitRow::from_bits(deltas.iter().enumerate().map(|(c, &delta)| {
+                            resolve(delta, offsets_f64[c], 0.0, true, biases[c])
+                        }))
+                    } else {
+                        // resolve(δ, o, 0, false, _) ≡ δ + o + 0 > 0, and
+                        // adding zero never changes the comparison — the
+                        // packed form below is boolean-identical.
+                        BitRow::from_bits(
+                            deltas
+                                .iter()
+                                .zip(&offsets_f64)
+                                .map(|(&delta, &o)| delta + o > 0.0),
+                        )
+                    };
+                    SenseResult { deltas, resolved }
+                })
+                .collect()
+        })
+    }
+
+    /// Folds a batch of sense results into the per-column **minimum**
+    /// signed margin toward each trial's expected image — the exact
+    /// reduction the MAJX characterization loop performs, fused so the
+    /// per-trial margin vectors are never materialized.
+    ///
+    /// Bit-identical to folding
+    /// [`margins_toward`](Self::margins_toward) trial by trial with
+    /// `f64::min` from an `INFINITY` accumulator, in batch order.
+    pub fn margins_batch(
+        &self,
+        subarray: &Subarray,
+        results: &[SenseResult],
+        expecteds: &[BitRow],
+    ) -> Vec<f64> {
+        assert_eq!(
+            results.len(),
+            expecteds.len(),
+            "one expected image per sense result"
+        );
+        let offsets = subarray.sense_offsets();
+        let cols = offsets.len();
+        let mut min_margins = vec![f64::INFINITY; cols];
+        for (result, expected) in results.iter().zip(expecteds) {
+            for (c, (acc, &offset)) in min_margins.iter_mut().zip(offsets).enumerate() {
+                let sign = if expected.get(c) { 1.0 } else { -1.0 };
+                let m = sign * (result.deltas[c] + offset as f64);
+                *acc = acc.min(m);
+            }
+        }
+        min_margins
     }
 
     /// Per-column *signed margin* toward `expected`: perturbation plus
@@ -318,6 +603,33 @@ impl ApaEngine {
         failures
     }
 
+    /// Visits every (row, column) restore probability of a commit, in
+    /// the row-major order [`commit_survival`](Self::commit_survival)
+    /// returns them — the one traversal behind the allocating, buffered,
+    /// and summing variants.
+    fn for_each_restore_probability(
+        &self,
+        subarray: &Subarray,
+        rows: &[u32],
+        values: &BitRow,
+        restore_strength: f64,
+        mut visit: impl FnMut(f64),
+    ) {
+        let n_open = rows.len();
+        let frac_ones = values.count_ones() as f64 / values.len().max(1) as f64;
+        let wq = self.params.write_quality(self.cond);
+        for &row in rows {
+            for (col, &strength) in subarray.row_strength_factors(row).iter().enumerate() {
+                let bit = values.get(col);
+                let drive = restore_strength
+                    * wq
+                    * strength as f64
+                    * self.params.restore_drive(bit, n_open, frac_ones);
+                visit(restore_probability(drive, &self.params));
+            }
+        }
+    }
+
     /// Per-cell probability that a commit with `restore_strength` sticks,
     /// across all trials — the smooth success metric for restore-limited
     /// operations (WR-overdrive activation tests, Multi-RowCopy).
@@ -328,22 +640,55 @@ impl ApaEngine {
         values: &BitRow,
         restore_strength: f64,
     ) -> Vec<f64> {
-        let n_open = rows.len();
-        let frac_ones = values.count_ones() as f64 / values.len().max(1) as f64;
-        let wq = self.params.write_quality(self.cond);
         let mut probs = Vec::with_capacity(rows.len() * subarray.cols() as usize);
-        for &row in rows {
-            for (col, &strength) in subarray.row_strength_factors(row).iter().enumerate() {
-                let bit = values.get(col);
-                let drive = restore_strength
-                    * wq
-                    * strength as f64
-                    * self.params.restore_drive(bit, n_open, frac_ones);
-                probs.push(restore_probability(drive, &self.params));
-            }
-        }
+        self.commit_survival_into(subarray, rows, values, restore_strength, &mut probs);
         probs
     }
+
+    /// [`commit_survival`](Self::commit_survival) into a caller-owned
+    /// buffer (cleared first; capacity reused across calls) — for trial
+    /// loops that would otherwise allocate the probability vector per
+    /// iteration.
+    pub fn commit_survival_into(
+        &self,
+        subarray: &Subarray,
+        rows: &[u32],
+        values: &BitRow,
+        restore_strength: f64,
+        probs: &mut Vec<f64>,
+    ) {
+        probs.clear();
+        self.for_each_restore_probability(subarray, rows, values, restore_strength, |p| {
+            probs.push(p)
+        });
+    }
+
+    /// Sum of [`commit_survival`](Self::commit_survival)'s probabilities
+    /// without materializing them, added in the same row-major order —
+    /// bit-identical to `commit_survival(..).iter().sum()`.
+    pub fn commit_survival_sum(
+        &self,
+        subarray: &Subarray,
+        rows: &[u32],
+        values: &BitRow,
+        restore_strength: f64,
+    ) -> f64 {
+        let mut sum = 0.0;
+        self.for_each_restore_probability(subarray, rows, values, restore_strength, |p| sum += p);
+        sum
+    }
+}
+
+/// Resolves `first_row` to its index in `rows` under the
+/// [`ApaEngine::sense`] membership contract: debug builds assert, the
+/// release fallback is index 0 (the historical behavior).
+fn first_row_index(rows: &[u32], first_row: u32) -> usize {
+    let pos = rows.iter().position(|r| *r == first_row);
+    debug_assert!(
+        pos.is_some(),
+        "sense: first_row {first_row} is not in rows {rows:?}; falling back to index 0"
+    );
+    pos.unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -450,6 +795,122 @@ mod tests {
         let a = e.sense_sampled(&sa, &[0, 1], 0, ApaTiming::best_for_majx(), &mut r1);
         let b = e.sense_sampled(&sa, &[0, 1], 0, ApaTiming::best_for_majx(), &mut r2);
         assert_eq!(a.resolved, b.resolved);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "is not in rows")]
+    fn sense_rejects_a_foreign_first_row_in_debug() {
+        let mut sa = subarray();
+        let e = engine();
+        sa.write_row(0, &BitRow::ones(128)).unwrap();
+        // 7 is not a member of the activated group: contract violation.
+        e.sense(&sa, &[0, 1], 7, ApaTiming::best_for_majx());
+    }
+
+    #[test]
+    fn sense_batch_matches_sense_per_trial() {
+        let mut sa = subarray();
+        let e = engine();
+        let rows = [2u32, 3, 6, 7];
+        let images = [
+            BitRow::ones(128),
+            BitRow::zeros(128),
+            BitRow::from_bits((0..128).map(|c| c % 2 == 0)),
+        ];
+        let mut batch = SenseBatch::new(&rows, 128);
+        let mut reference = Vec::new();
+        for img in &images {
+            for (i, &row) in rows.iter().enumerate() {
+                let mut img = img.clone();
+                if i % 2 == 1 {
+                    img = img.complement();
+                }
+                sa.write_row(row, &img).unwrap();
+            }
+            batch.snapshot_trial(&sa);
+            reference.push(e.sense(&sa, &rows, 3, ApaTiming::best_for_majx()));
+        }
+        assert_eq!(batch.trials(), images.len());
+        let batched = e.sense_batch(&sa, &batch, 3, ApaTiming::best_for_majx());
+        assert_eq!(batched.len(), reference.len());
+        for (t, (b, r)) in batched.iter().zip(&reference).enumerate() {
+            assert_eq!(b.resolved, r.resolved, "trial {t}");
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&b.deltas), bits(&r.deltas), "trial {t} deltas");
+        }
+    }
+
+    #[test]
+    fn sense_sampled_batch_replays_the_scalar_loop() {
+        let mut sa = subarray();
+        let e = engine();
+        sa.write_row(0, &BitRow::ones(128)).unwrap();
+        sa.write_row(1, &BitRow::zeros(128)).unwrap();
+        let mut loop_rng = StdRng::seed_from_u64(17);
+        let mut batch_rng = StdRng::seed_from_u64(17);
+        let batched = e.sense_sampled_batch(
+            &sa,
+            &[0, 1],
+            0,
+            ApaTiming::best_for_majx(),
+            5,
+            &mut batch_rng,
+        );
+        for (t, b) in batched.iter().enumerate() {
+            let scalar =
+                e.sense_sampled(&sa, &[0, 1], 0, ApaTiming::best_for_majx(), &mut loop_rng);
+            assert_eq!(b.resolved, scalar.resolved, "trial {t}");
+            assert_eq!(b.deltas, scalar.deltas, "trial {t}");
+        }
+        use rand::Rng;
+        assert_eq!(
+            batch_rng.gen::<u64>(),
+            loop_rng.gen::<u64>(),
+            "same residual stream position"
+        );
+    }
+
+    #[test]
+    fn margins_batch_is_the_min_fold_of_margins_toward() {
+        let mut sa = subarray();
+        let e = engine();
+        let rows = [0u32, 1, 2];
+        let images = [BitRow::ones(128), BitRow::zeros(128)];
+        let mut batch = SenseBatch::new(&rows, 128);
+        let mut expecteds = Vec::new();
+        let mut min_ref = vec![f64::INFINITY; 128];
+        for img in &images {
+            for &row in &rows {
+                sa.write_row(row, img).unwrap();
+            }
+            batch.snapshot_trial(&sa);
+            let sense = e.sense(&sa, &rows, 0, ApaTiming::best_for_majx());
+            for (acc, m) in min_ref
+                .iter_mut()
+                .zip(e.margins_toward(&sa, &sense.deltas, img))
+            {
+                *acc = acc.min(m);
+            }
+            expecteds.push(img.clone());
+        }
+        let results = e.sense_batch(&sa, &batch, 0, ApaTiming::best_for_majx());
+        let fused = e.margins_batch(&sa, &results, &expecteds);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&fused), bits(&min_ref));
+    }
+
+    #[test]
+    fn commit_survival_variants_agree() {
+        let sa = subarray();
+        let e = engine();
+        let img = BitRow::from_bits((0..128).map(|c| c % 5 != 0));
+        let probs = e.commit_survival(&sa, &[1, 4, 9], &img, 0.93);
+        let mut buffered = vec![0.25; 3];
+        e.commit_survival_into(&sa, &[1, 4, 9], &img, 0.93, &mut buffered);
+        assert_eq!(probs, buffered);
+        let sum = e.commit_survival_sum(&sa, &[1, 4, 9], &img, 0.93);
+        assert_eq!(sum.to_bits(), probs.iter().sum::<f64>().to_bits());
     }
 
     #[test]

@@ -15,6 +15,12 @@ pub fn survival_probability(margin: f64, deadzone: f64, sigma: f64, trials: u32)
     if p_single <= 0.0 {
         return 0.0;
     }
+    // Saturated cells (the common case on healthy margins) short-circuit
+    // the ln/exp pair: when p_single is exactly 1.0 the long form is
+    // (T · ln 1).exp() = 1.0, so the early return is bit-identical.
+    if p_single >= 1.0 {
+        return 1.0;
+    }
     // p^T via exp(T · ln p); ln p underflows gracefully for hopeless cells.
     (trials as f64 * p_single.ln()).exp()
 }
@@ -64,6 +70,14 @@ mod tests {
         let p = |m| survival_probability(m, 0.03, 0.0045, 10_000);
         assert!(p(0.06) > p(0.05));
         assert!(p(0.05) > p(0.045));
+    }
+
+    #[test]
+    fn saturated_margin_returns_exactly_one() {
+        // phi saturates to exactly 1.0 for large arguments; the fast
+        // path must return the same exact 1.0 the ln/exp form produced.
+        let p = survival_probability(10.0, 0.03, 0.0045, 10_000);
+        assert_eq!(p.to_bits(), 1.0f64.to_bits());
     }
 
     #[test]

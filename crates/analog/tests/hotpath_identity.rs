@@ -1,0 +1,262 @@
+//! Bit-identity properties of the vectorized analog hot path.
+//!
+//! The chunked kernel ([`bitline_deltas_into`]), its trial-batched twin
+//! ([`bitline_deltas_batch_into`]), and the batched engine entry points
+//! (`sense_batch`, `sense_sampled_batch`) are all required to reproduce
+//! the frozen scalar reference ([`bitline_deltas_into_scalar`]) **bit
+//! for bit** — not approximately. These properties are what lets the
+//! repro binary keep its byte-identical stdout while the hot path
+//! underneath it is rewritten.
+//!
+//! Column widths deliberately include 1 (all tail), 7 (pure tail), 129
+//! (full blocks + 1) — the shapes that break chunked kernels.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use simra_analog::charge::{
+    bitline_deltas_batch_into, bitline_deltas_into, bitline_deltas_into_scalar,
+};
+use simra_analog::{ApaEngine, CircuitParams, OperatingConditions, SenseBatch};
+use simra_dram::subarray::VariationParams;
+use simra_dram::{ApaTiming, BitRow, Subarray};
+
+const ROWS: u32 = 16;
+
+/// Deterministic per-case data stream (splitmix64): proptest drives the
+/// seed, the body expands it into row images without burning strategy
+/// entropy on every column.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A subarray with the calibrated (non-zero) variation planes and random
+/// data in the given rows.
+fn random_subarray(cols: usize, seed: u64, data_rows: &[u32]) -> Subarray {
+    let mut sa = Subarray::new(ROWS, cols as u32, VariationParams::default(), seed);
+    let mut s = seed ^ 0xD6E8_FEB8_6659_FD93;
+    for &row in data_rows {
+        let image = BitRow::from_bits((0..cols).map(|_| splitmix(&mut s) & 1 == 1));
+        sa.write_row(row, &image).unwrap();
+    }
+    sa
+}
+
+/// Distinct local rows: odd strides are units mod 16, so the first
+/// `n` multiples are distinct.
+fn row_group(n: usize, stride: u32) -> Vec<u32> {
+    (0..n as u32).map(|i| (i * stride) % ROWS).collect()
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The chunked single-shot kernel reproduces the frozen scalar
+    /// reference bit for bit across widths, row counts, weights, and
+    /// parameters — including a `transfer_amp` large enough to clamp
+    /// weak cells' `xfer` to exactly 0.0, where a careless "skip the
+    /// first accumulate" rewrite would flip −0.0 to +0.0.
+    #[test]
+    fn chunked_kernel_is_bit_identical_to_the_frozen_scalar(
+        cols in proptest::sample::select(vec![1usize, 7, 24, 64, 65, 128, 129, 256]),
+        seed in 0u64..1 << 48,
+        n_rows in 1usize..=12,
+        stride in proptest::sample::select(vec![1u32, 3, 5, 7]),
+        weights in proptest::collection::vec(0.25f64..3.0, 12),
+        transfer_amp in proptest::sample::select(vec![1.0f64, 4.6, 6.8, 30.0]),
+        assertion in 0.5f64..1.5,
+        beta in 2.0f64..8.0,
+    ) {
+        let rows = row_group(n_rows, stride);
+        let sa = random_subarray(cols, seed, &rows);
+        let rows_weights: Vec<(u32, f64)> = rows
+            .iter()
+            .zip(&weights)
+            .map(|(&r, &w)| (r, w))
+            .collect();
+        let (mut cap_s, mut out_s) = (Vec::new(), Vec::new());
+        let (mut cap_c, mut out_c) = (Vec::new(), Vec::new());
+        bitline_deltas_into_scalar(
+            &sa, &rows_weights, transfer_amp, assertion, beta, &mut cap_s, &mut out_s,
+        );
+        bitline_deltas_into(
+            &sa, &rows_weights, transfer_amp, assertion, beta, &mut cap_c, &mut out_c,
+        );
+        prop_assert_eq!(bits(&out_c), bits(&out_s));
+        prop_assert_eq!(bits(&cap_c), bits(&cap_s));
+    }
+
+    /// Row lists longer than the kernel's stack hoist buffer (64 planes)
+    /// take the heap-overflow path; it must be just as bit-identical.
+    /// Rows may legally repeat — the kernel contract is a weighted sum
+    /// over list entries, not over distinct rows.
+    #[test]
+    fn row_plane_hoist_overflow_path_is_bit_identical(
+        cols in proptest::sample::select(vec![7usize, 65, 129]),
+        seed in 0u64..1 << 48,
+        n_entries in 60usize..=80,
+    ) {
+        let all_rows: Vec<u32> = (0..ROWS).collect();
+        let sa = random_subarray(cols, seed, &all_rows);
+        let mut s = seed ^ 0xA076_1D64_78BD_642F;
+        let rows_weights: Vec<(u32, f64)> = (0..n_entries)
+            .map(|_| {
+                let row = (splitmix(&mut s) % ROWS as u64) as u32;
+                let weight = 0.5 + (splitmix(&mut s) % 1000) as f64 / 500.0;
+                (row, weight)
+            })
+            .collect();
+        let (mut cap_s, mut out_s) = (Vec::new(), Vec::new());
+        let (mut cap_c, mut out_c) = (Vec::new(), Vec::new());
+        bitline_deltas_into_scalar(&sa, &rows_weights, 4.6, 0.97, 6.0, &mut cap_s, &mut out_s);
+        bitline_deltas_into(&sa, &rows_weights, 4.6, 0.97, 6.0, &mut cap_c, &mut out_c);
+        prop_assert_eq!(bits(&out_c), bits(&out_s));
+        prop_assert_eq!(bits(&cap_c), bits(&cap_s));
+    }
+
+    /// Every trial of the batched kernel is bit-identical to running the
+    /// frozen scalar kernel against the subarray in that trial's data
+    /// state.
+    #[test]
+    fn batched_kernel_matches_the_scalar_reference_per_trial(
+        cols in proptest::sample::select(vec![1usize, 7, 64, 129]),
+        seed in 0u64..1 << 48,
+        n_rows in 1usize..=8,
+        trials in 1usize..=5,
+        transfer_amp in proptest::sample::select(vec![4.6f64, 30.0]),
+    ) {
+        let rows = row_group(n_rows, 3);
+        let mut sa = random_subarray(cols, seed, &rows);
+        let mut s = seed ^ 0xE703_7ED1_A0B4_28DB;
+        let rows_weights: Vec<(u32, f64)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, if i == 0 { 1.7 } else { 1.0 }))
+            .collect();
+        // Redraw the group's data `trials` times, capturing the voltage
+        // snapshot and the scalar answer for each state.
+        let mut voltages = Vec::new();
+        let mut per_trial = Vec::new();
+        for _ in 0..trials {
+            for &row in &rows {
+                let image = BitRow::from_bits((0..cols).map(|_| splitmix(&mut s) & 1 == 1));
+                sa.write_row(row, &image).unwrap();
+            }
+            for &row in &rows {
+                voltages.extend_from_slice(&sa.row_voltages(row)[..cols]);
+            }
+            let (mut cap, mut out) = (Vec::new(), Vec::new());
+            bitline_deltas_into_scalar(
+                &sa, &rows_weights, transfer_amp, 0.97, 6.0, &mut cap, &mut out,
+            );
+            per_trial.push(out);
+        }
+        let (mut cap_b, mut out_b) = (Vec::new(), Vec::new());
+        bitline_deltas_batch_into(
+            &sa, &rows_weights, &voltages, trials, transfer_amp, 0.97, 6.0,
+            &mut cap_b, &mut out_b,
+        );
+        prop_assert_eq!(out_b.len(), trials * cols);
+        for (t, scalar) in per_trial.iter().enumerate() {
+            prop_assert_eq!(
+                bits(&out_b[t * cols..(t + 1) * cols]),
+                bits(scalar),
+                "trial {}", t
+            );
+        }
+    }
+
+    /// `ApaEngine::sense` (chunked kernel) and `sense_reference` (frozen
+    /// scalar kernel) are the same function, bit for bit.
+    #[test]
+    fn sense_is_bit_identical_to_sense_reference(
+        cols in proptest::sample::select(vec![7usize, 129, 256]),
+        seed in 0u64..1 << 48,
+        n_rows in 1usize..=9,
+        biased in any::<bool>(),
+        timing in proptest::sample::select(vec![
+            ApaTiming::best_for_majx(),
+            ApaTiming::best_for_activation(),
+        ]),
+    ) {
+        let rows = row_group(n_rows, 5);
+        let sa = random_subarray(cols, seed, &rows);
+        let engine = ApaEngine::new(CircuitParams::calibrated(), OperatingConditions::nominal(), biased);
+        let fast = engine.sense(&sa, &rows, rows[0], timing);
+        let reference = engine.sense_reference(&sa, &rows, rows[0], timing);
+        prop_assert_eq!(bits(&fast.deltas), bits(&reference.deltas));
+        prop_assert_eq!(fast.resolved, reference.resolved);
+    }
+
+    /// Result `t` of `sense_batch` is bit-identical to `sense` with the
+    /// subarray's voltage plane in the state of snapshot `t`.
+    #[test]
+    fn sense_batch_matches_sense_per_trial(
+        cols in proptest::sample::select(vec![7usize, 129, 256]),
+        seed in 0u64..1 << 48,
+        n_rows in 1usize..=8,
+        trials in 1usize..=4,
+        biased in any::<bool>(),
+    ) {
+        let rows = row_group(n_rows, 7);
+        let mut sa = random_subarray(cols, seed, &rows);
+        let engine = ApaEngine::new(CircuitParams::calibrated(), OperatingConditions::nominal(), biased);
+        let timing = ApaTiming::best_for_majx();
+        let mut s = seed ^ 0x2545_F491_4F6C_DD1D;
+        let mut batch = SenseBatch::new(&rows, cols);
+        let mut expected = Vec::new();
+        for _ in 0..trials {
+            for &row in &rows {
+                let image = BitRow::from_bits((0..cols).map(|_| splitmix(&mut s) & 1 == 1));
+                sa.write_row(row, &image).unwrap();
+            }
+            batch.snapshot_trial(&sa);
+            expected.push(engine.sense(&sa, &rows, rows[0], timing));
+        }
+        let results = engine.sense_batch(&sa, &batch, rows[0], timing);
+        prop_assert_eq!(results.len(), trials);
+        for (t, (got, want)) in results.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(bits(&got.deltas), bits(&want.deltas), "trial {}", t);
+            prop_assert_eq!(&got.resolved, &want.resolved, "trial {}", t);
+        }
+    }
+
+    /// `sense_sampled_batch` is equivalent — results *and* RNG stream
+    /// position — to calling `sense_sampled` in a loop.
+    #[test]
+    fn sense_sampled_batch_matches_the_sampled_loop(
+        cols in proptest::sample::select(vec![7usize, 129]),
+        seed in 0u64..1 << 48,
+        n_rows in 1usize..=7,
+        trials in 0usize..=4,
+        biased in any::<bool>(),
+    ) {
+        let rows = row_group(n_rows, 3);
+        let sa = random_subarray(cols, seed, &rows);
+        let engine = ApaEngine::new(CircuitParams::calibrated(), OperatingConditions::nominal(), biased);
+        let timing = ApaTiming::best_for_majx();
+        let mut rng_loop = StdRng::seed_from_u64(seed);
+        let mut rng_batch = StdRng::seed_from_u64(seed);
+        let looped: Vec<_> = (0..trials)
+            .map(|_| engine.sense_sampled(&sa, &rows, rows[0], timing, &mut rng_loop))
+            .collect();
+        let batched = engine.sense_sampled_batch(&sa, &rows, rows[0], timing, trials, &mut rng_batch);
+        prop_assert_eq!(batched.len(), looped.len());
+        for (t, (got, want)) in batched.iter().zip(&looped).enumerate() {
+            prop_assert_eq!(bits(&got.deltas), bits(&want.deltas), "trial {}", t);
+            prop_assert_eq!(&got.resolved, &want.resolved, "trial {}", t);
+        }
+        // Identical stream position afterwards: the next draw agrees.
+        use rand::Rng;
+        prop_assert_eq!(rng_loop.gen::<u64>(), rng_batch.gen::<u64>());
+    }
+}

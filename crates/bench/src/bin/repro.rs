@@ -2,16 +2,19 @@
 //! prints them as text tables (the data behind EXPERIMENTS.md).
 //!
 //! Usage:
-//!   repro                         # reduced scale (default; minutes)
-//!   repro quick                   # smoke scale (seconds)
-//!   repro paper                   # the paper's full population (hours)
-//!   repro <scale> --timings       # also print per-figure wall-clock to stderr
-//!   repro <scale> --backend <which>  # execution backend: analog (default)
-//!                                 # | surrogate (calibrated fast model)
-//!   repro <scale> --faults <name> # arm a fault-injection preset
-//!                                 # (quick | dropout | chaos)
-//!   repro <scale> --metrics       # telemetry summary to stderr after the run
-//!   repro <scale> --metrics-out <path>  # telemetry + scoreboard JSON to <path>
+//!
+//! ```text
+//! repro                         # reduced scale (default; minutes)
+//! repro quick                   # smoke scale (seconds)
+//! repro paper                   # the paper's full population (hours)
+//! repro <scale> --timings       # also print per-figure wall-clock to stderr
+//! repro <scale> --backend <which>  # execution backend: analog (default)
+//!                               # | surrogate (calibrated fast model)
+//! repro <scale> --faults <name> # arm a fault-injection preset
+//!                               # (quick | dropout | chaos)
+//! repro <scale> --metrics       # telemetry summary to stderr after the run
+//! repro <scale> --metrics-out <path>  # telemetry + scoreboard JSON to <path>
+//! ```
 //!
 //! `--timings` and the telemetry flags write to stderr (or to a file),
 //! so the figure tables on stdout stay byte-identical with and without

@@ -1,11 +1,19 @@
 //! Figures 3 and 4: robustness of simultaneous many-row activation under
 //! timing, temperature, and wordline voltage.
 //!
-//! Each figure submits its whole parameter grid as one [`run_sweep`]
+//! Each figure submits its whole parameter grid as one [`run_sweep`](crate::fleet::run_sweep)
 //! call, so the fleet walks every (module, point) task without per-point
 //! thread spawns or module rebuilds; rows are then assembled from the
 //! per-point sample sets, which arrive in exactly the nested-loop order
 //! the points were enumerated in.
+//!
+//! The per-trial analog work dispatched by these points runs on the
+//! tiled/batched hot path (`simra_analog::charge`,
+//! [`ApaEngine::commit_survival_sum`]-style fused reductions) via the
+//! core ops behind [`crate::backend`] — the figure code itself never
+//! touches the kernel.
+//!
+//! [`ApaEngine::commit_survival_sum`]: simra_analog::ApaEngine::commit_survival_sum
 
 use simra_core::metrics::{mean, pct, BoxStats};
 use simra_dram::ApaTiming;

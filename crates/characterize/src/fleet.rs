@@ -21,7 +21,7 @@
 //! # Determinism
 //!
 //! Scheduling freedom never changes results. Each (module, point) task
-//! seeds its own `StdRng` from [`module_stream_seed`]`(config, module,
+//! seeds its own `StdRng` from `module_stream_seed``(config, module,
 //! index, n)` — a pure function that does not involve other points —
 //! draws the module's group sample from it, then runs `op` group by
 //! group continuing the same stream: the exact sequential semantics the
@@ -58,7 +58,7 @@
 //!
 //! An empty (or absent) fault plan takes the exact fault-free code path:
 //! the attempt body is one unified function
-//! ([`run_point_attempt`]) whose fault hooks all collapse to no-ops, so
+//! (`run_point_attempt`) whose fault hooks all collapse to no-ops, so
 //! no fault RNG stream is ever consulted and output stays byte-identical
 //! to builds that predate fault injection.
 //!
@@ -383,7 +383,7 @@ struct SweepCtx<'a, P, F> {
 /// Runs one module's task at one point on the serial reference path:
 /// mount a fresh module, seed its stream, sample its groups, and run
 /// `op` over them sequentially on that stream. No fault machinery at
-/// all — this is the baseline [`run_point_attempt`] must match bit for
+/// all — this is the baseline `run_point_attempt` must match bit for
 /// bit when the plan is empty.
 fn run_module<F>(config: &ExperimentConfig, index: usize, n: u32, op: &F) -> Vec<f64>
 where

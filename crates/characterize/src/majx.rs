@@ -2,8 +2,13 @@
 //! and wordline voltage.
 //!
 //! Each figure submits its whole (X, N, timing, pattern, operating-point)
-//! grid as one [`run_sweep`] call; rows are assembled from the per-point
+//! grid as one [`run_sweep`](crate::fleet::run_sweep) call; rows are assembled from the per-point
 //! sample sets, which arrive in the enumeration order of the points.
+//!
+//! MAJX trial batches execute on the batched sense rig
+//! ([`simra_analog::SenseBatch`] → `sense_batch`/`margins_batch` inside
+//! `simra_core::maj`): operand images for a whole batch are written and
+//! snapshotted first, then sensed in one batched kernel pass.
 
 use simra_core::metrics::{mean, pct, BoxStats};
 use simra_dram::{ApaTiming, DataPattern};

@@ -2,9 +2,14 @@
 //! temperature, and wordline voltage.
 //!
 //! Each figure submits its whole (timing, pattern, operating-point,
-//! destination-count) grid as one [`run_sweep`] call; rows are assembled
+//! destination-count) grid as one [`run_sweep`](crate::fleet::run_sweep) call; rows are assembled
 //! from the per-point sample sets, which arrive in the enumeration order
 //! of the points.
+//!
+//! Per-trial Multi-RowCopy success evaluation rides the fused analog
+//! reductions in `simra_core::multirowcopy` (per-column latch mask
+//! hashed once, `commit_survival_into` with a reused buffer) rather than
+//! re-deriving per-cell state here.
 
 use simra_core::metrics::{mean, pct, BoxStats};
 use simra_dram::ApaTiming;

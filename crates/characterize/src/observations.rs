@@ -5,7 +5,7 @@
 //! result records what was measured so the repro binary can print a
 //! paper-vs-model scoreboard (the data behind EXPERIMENTS.md).
 //!
-//! Lookups go through [`SeriesProbe`] so a series missing from a figure
+//! Lookups go through `SeriesProbe` so a series missing from a figure
 //! table is reported as such (`data_missing = true`, counted separately
 //! in the scoreboard) instead of silently comparing against NaN.
 

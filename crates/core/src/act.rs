@@ -48,8 +48,9 @@ pub fn activation_success(
     let restore = engine.params().restore_strength(timing, setup.conditions());
     let open = outcome.open_rows();
     let subarray = setup.module_mut().bank_mut(group.bank)?.subarray(sa);
-    let probs = engine.commit_survival(subarray, &open, &wr_image, restore);
-    let open_cell_success: f64 = probs.iter().sum();
+    // Only the in-order sum of the per-cell survivals is needed here, so
+    // skip materializing the probability vector entirely.
+    let open_cell_success = engine.commit_survival_sum(subarray, &open, &wr_image, restore);
 
     // Rows that should have been in the group but were not opened
     // contribute zero successes.

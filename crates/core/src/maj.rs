@@ -10,6 +10,7 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use simra_analog::SenseBatch;
 use simra_bender::TestSetup;
 use simra_decoder::ApaOutcome;
 use simra_dram::{ApaTiming, BitRow, DataPattern};
@@ -161,21 +162,30 @@ pub fn majx_success(
 
     let engine = setup.engine();
     let local_r_f = group.local_r_f(&geometry);
-    let mut min_margins = vec![f64::INFINITY; cols];
+    // Trial-batched sensing: each data redraw writes its layout and
+    // snapshots the group's voltage plane; one batched kernel pass then
+    // senses every redraw at once (the variation planes are redraw-
+    // invariant). Sensing consumes no randomness, so deferring it
+    // leaves the RNG stream — and hence every sample — byte-identical
+    // to the historical sense-per-redraw loop.
+    let mut batch = SenseBatch::new(&rows, cols);
+    let mut expecteds = Vec::with_capacity(batches);
     for _ in 0..batches {
         let operands: Vec<BitRow> = (0..x).map(|i| pattern.row_image(i, cols, rng)).collect();
-        let expected = majority(&operands);
+        expecteds.push(majority(&operands));
         write_layout(setup, group, &layout, &operands, rng)?;
         let subarray = setup
             .module_mut()
             .bank_mut(group.bank)?
             .subarray(group.subarray);
-        let sense = engine.sense(subarray, &rows, local_r_f, timing);
-        let margins = engine.margins_toward(subarray, &sense.deltas, &expected);
-        for (acc, m) in min_margins.iter_mut().zip(margins) {
-            *acc = acc.min(m);
-        }
+        batch.snapshot_trial(subarray);
     }
+    let subarray = setup
+        .module_mut()
+        .bank_mut(group.bank)?
+        .subarray(group.subarray);
+    let results = engine.sense_batch(subarray, &batch, local_r_f, timing);
+    let min_margins = engine.margins_batch(subarray, &results, &expecteds);
     let mean: f64 = min_margins
         .iter()
         .map(|&m| engine.margin_survival(m))

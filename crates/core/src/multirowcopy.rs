@@ -108,15 +108,20 @@ pub fn multirowcopy_success(
         .module_mut()
         .bank_mut(group.bank)?
         .subarray(group.subarray);
-    let probs = engine.commit_survival(subarray, &destinations, source_image, restore);
+    let mut probs = Vec::new();
+    engine.commit_survival_into(subarray, &destinations, source_image, restore, &mut probs);
     // A destination cell succeeds iff its column latched the source value
     // AND the restore stuck. Columns that latched wrong drive the
-    // complement into the cell: guaranteed failure.
+    // complement into the cell: guaranteed failure. The latch decision is
+    // per-column (systematic across destinations), so hash it once per
+    // column instead of once per cell.
     let per_dest_cols = probs.len() / destinations.len().max(1);
+    let latched: Vec<bool> = (0..per_dest_cols)
+        .map(|col| column_latches(col as u32, group.r_f.raw(), latch_q))
+        .collect();
     let mut total = 0.0;
     for (i, p) in probs.iter().enumerate() {
-        let col = (i % per_dest_cols) as u32;
-        if column_latches(col, group.r_f.raw(), latch_q) {
+        if latched[i % per_dest_cols.max(1)] {
             total += p;
         }
     }

@@ -112,12 +112,17 @@ pub fn empirical_majx_trials(
     crate::frac::init_neutral_rows(setup, group.bank, &neutral, plan, rng)?;
 
     let rows = group.local_rows.clone();
-    for _ in 0..trials {
-        let subarray = setup
-            .module_mut()
-            .bank_mut(group.bank)?
-            .subarray(group.subarray);
-        let sense = engine.sense_sampled(subarray, &rows, local_r_f, timing, rng);
+    // The stored charge state is identical for every trial, so the whole
+    // trial loop collapses onto the batched sampling rig: one systematic
+    // sense, then per-trial noise redraws in the exact RNG-stream order
+    // the scalar loop used.
+    let subarray = setup
+        .module_mut()
+        .bank_mut(group.bank)?
+        .subarray(group.subarray);
+    let senses =
+        engine.sense_sampled_batch(subarray, &rows, local_r_f, timing, trials as usize, rng);
+    for sense in &senses {
         for (c, tally) in correct.iter_mut().enumerate() {
             if sense.resolved.get(c) == expected.get(c) {
                 *tally += 1;

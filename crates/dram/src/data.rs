@@ -60,13 +60,27 @@ impl BitRow {
     }
 
     /// Builds a row from an iterator of bits.
+    ///
+    /// Single pass: bits are packed into words as they are drawn, with
+    /// no intermediate buffer — this sits on the per-trial sense hot
+    /// path ([`crate::Subarray`] senses resolve one bit per column).
     pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
-        let bits: Vec<bool> = bits.into_iter().collect();
-        let mut row = BitRow::zeros(bits.len());
-        for (i, b) in bits.iter().enumerate() {
-            row.set(i, *b);
+        let bits = bits.into_iter();
+        let mut words = Vec::with_capacity(bits.size_hint().0.div_ceil(64));
+        let mut len = 0usize;
+        let mut word = 0u64;
+        for b in bits {
+            word |= (b as u64) << (len % 64);
+            len += 1;
+            if len.is_multiple_of(64) {
+                words.push(word);
+                word = 0;
+            }
         }
-        row
+        if !len.is_multiple_of(64) {
+            words.push(word);
+        }
+        BitRow { words, len }
     }
 
     /// Number of bits in the row.

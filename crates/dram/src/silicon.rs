@@ -93,11 +93,13 @@ impl SiliconPlanes {
     }
 
     /// The full per-cell capacitance-factor plane, row-major.
+    #[inline]
     pub fn cap_factors(&self) -> &[f32] {
         &self.cap_factor
     }
 
     /// The full per-cell strength-factor plane, row-major.
+    #[inline]
     pub fn strength_factors(&self) -> &[f32] {
         &self.strength_factor
     }

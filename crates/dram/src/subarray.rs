@@ -168,6 +168,7 @@ impl Subarray {
     /// # Panics
     ///
     /// Panics if `row` is out of range.
+    #[inline]
     pub fn row_voltages(&self, row: u32) -> &[f32] {
         self.check_row(row);
         &self.voltage[self.row_range(row)]
@@ -190,6 +191,7 @@ impl Subarray {
     /// # Panics
     ///
     /// Panics if `row` is out of range.
+    #[inline]
     pub fn row_cap_factors(&self, row: u32) -> &[f32] {
         self.check_row(row);
         &self.silicon.cap_factors()[self.row_range(row)]
@@ -200,6 +202,7 @@ impl Subarray {
     /// # Panics
     ///
     /// Panics if `row` is out of range.
+    #[inline]
     pub fn row_strength_factors(&self, row: u32) -> &[f32] {
         self.check_row(row);
         &self.silicon.strength_factors()[self.row_range(row)]

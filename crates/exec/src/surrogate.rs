@@ -220,6 +220,9 @@ impl SurrogateBackend {
 /// One calibration probe: mount a narrow rig of the profile, draw the
 /// key's deterministic group sample, and run the *analog* backend over
 /// it — the surrogate is calibrated by the very code it replaces.
+/// Because the probe goes through [`AnalogBackend`], calibration rides
+/// the tiled/batched analog hot path for free (batched MAJX senses,
+/// fused commit-survival reductions) without any code here changing.
 fn calibrate(profile: &VendorProfile, spec: &TrialSpec, n: u32, seed: u64) -> f64 {
     let mut cal_profile = profile.clone();
     cal_profile.geometry.cols_per_row = CAL_COLS.min(cal_profile.geometry.cols_per_row);
