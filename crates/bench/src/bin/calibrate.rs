@@ -20,7 +20,8 @@ fn main() {
         let mut s3 = vec![];
         for g in &groups {
             s3.push(
-                majx_success(&mut setup, g, 3, t, DataPattern::Random, &cfg, &mut rng).unwrap(),
+                majx_success(&mut setup, g, 3, t, DataPattern::Random, &cfg, &mut rng)
+                    .expect("fault-free MAJX probe always yields a sample"),
             );
         }
         println!(
@@ -32,7 +33,10 @@ fn main() {
     for x in [5usize, 7, 9] {
         let mut s = vec![];
         for g in &groups {
-            s.push(majx_success(&mut setup, g, x, t, DataPattern::Random, &cfg, &mut rng).unwrap());
+            s.push(
+                majx_success(&mut setup, g, x, t, DataPattern::Random, &cfg, &mut rng)
+                    .expect("fault-free MAJX probe always yields a sample"),
+            );
         }
         println!(
             "MAJ{x}@32: {:.2}% (paper: {})",
@@ -56,7 +60,7 @@ fn main() {
                 &cfg,
                 &mut rng,
             )
-            .unwrap(),
+            .expect("fault-free MAJX probe always yields a sample"),
         );
     }
     println!(
@@ -66,7 +70,10 @@ fn main() {
     for x in [3usize, 5, 7, 9] {
         let mut s = vec![];
         for g in &groups {
-            s.push(majx_success(&mut setup, g, x, t, DataPattern::Solid, &cfg, &mut rng).unwrap());
+            s.push(
+                majx_success(&mut setup, g, x, t, DataPattern::Solid, &cfg, &mut rng)
+                    .expect("fault-free MAJX probe always yields a sample"),
+            );
         }
         println!(
             "MAJ{x}@32 solid: {:.2}%",
@@ -85,7 +92,7 @@ fn main() {
                     DataPattern::Random,
                     &mut rng,
                 )
-                .unwrap(),
+                .expect("fault-free activation probe always yields a sample"),
             );
         }
         println!(
@@ -101,7 +108,7 @@ fn main() {
             let img = DataPattern::Random.row_image(0, cols, &mut rng);
             s.push(
                 multirowcopy_success(&mut setup, g, ApaTiming::best_for_multi_row_copy(), &img)
-                    .unwrap(),
+                    .expect("fault-free multi-row-copy probe always yields a sample"),
             );
         }
         println!(
@@ -117,7 +124,8 @@ fn main() {
         let mut s = vec![];
         for g in &groups_m {
             s.push(
-                majx_success(&mut setup_m, g, x, t, DataPattern::Random, &cfg, &mut rng).unwrap(),
+                majx_success(&mut setup_m, g, x, t, DataPattern::Random, &cfg, &mut rng)
+                    .expect("fault-free MAJX probe always yields a sample"),
             );
         }
         println!(

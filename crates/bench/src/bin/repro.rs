@@ -14,6 +14,8 @@
 //!                               # (quick | dropout | chaos)
 //! repro <scale> --metrics       # telemetry summary to stderr after the run
 //! repro <scale> --metrics-out <path>  # telemetry + scoreboard JSON to <path>
+//! repro <scale> --checkpoint-dir <path>  # journal sweeps for kill-and-resume
+//! repro <scale> --checkpoint-dir <path> --resume  # continue a killed run
 //! ```
 //!
 //! `--timings` and the telemetry flags write to stderr (or to a file),
@@ -84,6 +86,26 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(dir) = opts.checkpoint_dir.as_deref() {
+        // Armed after the config is final: the session manifest pins
+        // scale, seed, backend, and fault plan, and `--resume` refuses
+        // to continue under different arguments.
+        if let Err(err) =
+            simra_characterize::arm_checkpoints(std::path::Path::new(dir), &config, opts.resume)
+        {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "# checkpoints: {} ({})",
+            dir,
+            if opts.resume {
+                "resuming"
+            } else {
+                "fresh session"
+            }
+        );
     }
     eprintln!("# scale: {scale} — {}", config.describe_scale());
     let total = Instant::now();

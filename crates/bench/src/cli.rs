@@ -9,14 +9,19 @@
 
 /// Usage text printed alongside every parse error.
 pub const USAGE: &str = "\
-usage: repro [<scale>] [--backend <which>] [--timings] [--faults <preset>] [--metrics] [--metrics-out <path>]
+usage: repro [<scale>] [--backend <which>] [--timings] [--faults <preset>] [--metrics] [--metrics-out <path>] [--checkpoint-dir <path> [--resume]]
   <scale>               quick | reduced | paper (default: reduced)
   --backend <which>     execution backend: analog (default, the reference
                         physics path) | surrogate (calibrated fast model)
   --timings             print per-figure wall-clock to stderr
   --faults <preset>     arm a fault-injection preset (quick | dropout | chaos)
   --metrics             print a telemetry summary to stderr after the run
-  --metrics-out <path>  write versioned telemetry + scoreboard JSON to <path>";
+  --metrics-out <path>  write versioned telemetry + scoreboard JSON to <path>
+  --checkpoint-dir <path>
+                        journal every sweep into <path>; a killed run can be
+                        resumed from there with byte-identical results
+  --resume              continue the checkpoint session in --checkpoint-dir
+                        (requires an existing session with the same arguments)";
 
 /// Parsed `repro` invocation.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -33,6 +38,10 @@ pub struct CliOptions {
     pub faults_preset: Option<String>,
     /// `--backend <which>`: execution backend for every trial.
     pub backend: simra_exec::BackendChoice,
+    /// `--checkpoint-dir <path>`: journal sweeps here for kill-and-resume.
+    pub checkpoint_dir: Option<String>,
+    /// `--resume`: continue the session in `--checkpoint-dir`.
+    pub resume: bool,
 }
 
 impl CliOptions {
@@ -62,6 +71,8 @@ pub enum CliError {
     UnknownScale(String),
     /// `--backend` named something other than `analog` | `surrogate`.
     UnknownBackend(String),
+    /// `--resume` without the `--checkpoint-dir` it would resume into.
+    ResumeWithoutDir,
 }
 
 impl std::fmt::Display for CliError {
@@ -83,6 +94,9 @@ impl std::fmt::Display for CliError {
                     f,
                     "unknown backend: {backend:?} (expected analog | surrogate)"
                 )
+            }
+            CliError::ResumeWithoutDir => {
+                write!(f, "--resume requires --checkpoint-dir")
             }
         }
     }
@@ -117,6 +131,11 @@ where
                 },
                 None => return Err(CliError::MissingValue("--backend")),
             },
+            "--checkpoint-dir" => match iter.next() {
+                Some(path) => opts.checkpoint_dir = Some(path),
+                None => return Err(CliError::MissingValue("--checkpoint-dir")),
+            },
+            "--resume" => opts.resume = true,
             other if other.starts_with('-') => {
                 return Err(CliError::UnknownFlag(other.to_string()));
             }
@@ -128,6 +147,9 @@ where
             },
             other => return Err(CliError::UnknownScale(other.to_string())),
         }
+    }
+    if opts.resume && opts.checkpoint_dir.is_none() {
+        return Err(CliError::ResumeWithoutDir);
     }
     Ok(opts)
 }
@@ -239,6 +261,32 @@ mod tests {
             parse(&["--backend"]),
             Err(CliError::MissingValue("--backend"))
         );
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let opts = parse(&["quick", "--checkpoint-dir", "ckpt"]).unwrap();
+        assert_eq!(opts.checkpoint_dir.as_deref(), Some("ckpt"));
+        assert!(!opts.resume);
+        let opts = parse(&["--checkpoint-dir", "ckpt", "--resume"]).unwrap();
+        assert_eq!(opts.checkpoint_dir.as_deref(), Some("ckpt"));
+        assert!(opts.resume);
+        assert_eq!(
+            parse(&["--checkpoint-dir"]),
+            Err(CliError::MissingValue("--checkpoint-dir"))
+        );
+    }
+
+    #[test]
+    fn resume_requires_a_checkpoint_dir() {
+        assert_eq!(parse(&["--resume"]), Err(CliError::ResumeWithoutDir));
+        assert_eq!(
+            parse(&["quick", "--resume"]),
+            Err(CliError::ResumeWithoutDir)
+        );
+        assert!(CliError::ResumeWithoutDir
+            .to_string()
+            .contains("--checkpoint-dir"));
     }
 
     #[test]

@@ -1,0 +1,1117 @@
+//! Crash-resilient sweep execution: write-ahead checkpoint journals
+//! and kill-and-resume.
+//!
+//! A characterization campaign is a serial sequence of [`run_sweep`]
+//! calls. When a checkpoint session is armed ([`arm`]), every sweep
+//! writes a *journal* in the checkpoint directory: one CRC-guarded
+//! line per completed (module, point) task, appended and fsynced the
+//! moment the task's result exists. A run killed at any instant —
+//! including mid-write — can then be resumed: the journal's intact
+//! prefix is replayed into the sweep's result slots and only the
+//! remaining (module, point) tasks are scheduled.
+//!
+//! # File format
+//!
+//! One journal per sweep, `sweep-NNNN.journal`, of CRC-framed JSON
+//! lines `CCCCCCCC <payload>\n` (8 hex digits of IEEE CRC-32 over the
+//! payload bytes, a space, the payload, a newline):
+//!
+//! * line 1 — the sweep's [`SweepManifest`] (schema-versioned; seed,
+//!   backend, canonical fault-plan JSON, config digest, ordered point
+//!   list);
+//! * lines 2.. — result records, flat JSON objects with `module`,
+//!   `point`, `status`, and the completed samples or the typed failure
+//!   cause.
+//!
+//! A torn tail (no newline, bad CRC, malformed JSON) marks the journal
+//! *truncated*: the damaged suffix is cut off and never trusted, the
+//! `checkpoint/journal_truncated` counter ticks, and the affected
+//! tasks simply re-run. A bad **manifest** line, by contrast, is a
+//! typed error — without a trustworthy manifest the journal proves
+//! nothing and resuming would be a silent guess.
+//!
+//! # Determinism
+//!
+//! Resume is byte-identical to an uninterrupted run because per-point
+//! results are order-independent: each (module, point) task seeds its
+//! own RNG stream from `module_stream_seed(config, module, index, n)`,
+//! a pure function of the slot that involves no other point. Replaying
+//! a journaled result is therefore indistinguishable from re-running
+//! the task; scheduling only the remaining slots perturbs nothing.
+//! Session coverage is recorded once per *merged* outcome, so the
+//! fleet-coverage footer matches too.
+//!
+//! # Fingerprint rules
+//!
+//! On resume, each journal's manifest must match the manifest of the
+//! sweep about to run: same seed, backend, fault-plan JSON, config
+//! digest (FNV-1a over the full `ExperimentConfig` `Debug` rendering —
+//! covering fleet composition and every scale knob), module count, and
+//! ordered `(n, params_digest)` point list. Any mismatch is a typed
+//! [`CheckpointError::Mismatch`] naming the first differing field —
+//! never a silent resume of the wrong campaign.
+//!
+//! [`run_sweep`]: crate::fleet::run_sweep
+
+use std::fmt::Debug;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use rand::rngs::StdRng;
+use simra_bender::TestSetup;
+use simra_core::rowgroup::GroupSpec;
+use simra_exec::{stable_digest, ManifestError, PointDigest, SweepManifest};
+use simra_faults::FaultPlan;
+use simra_telemetry::json::{self, Value};
+use simra_telemetry::Counter;
+
+use crate::config::ExperimentConfig;
+use crate::fleet::{
+    self, FailureCause, FleetClock, FleetOutcome, FleetPolicy, ModuleResult, SweepPoint,
+};
+use crate::pool::FleetPool;
+
+/// Schema version of the journal *record* lines (the manifest line
+/// carries its own version, `SWEEP_MANIFEST_SCHEMA_VERSION`).
+pub const JOURNAL_SCHEMA_VERSION: u32 = 1;
+
+/// Why a checkpointed sweep could not run or resume.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// A filesystem operation failed.
+    Io {
+        /// What was being attempted.
+        context: String,
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A manifest document was malformed or of an unknown schema
+    /// version.
+    Manifest(ManifestError),
+    /// The journal on disk belongs to a different sweep than the one
+    /// about to run (changed config, seed, scale, backend, faults, or
+    /// point list).
+    Mismatch {
+        /// First differing manifest field.
+        field: &'static str,
+        /// The value recorded on disk.
+        on_disk: String,
+        /// The value of the run attempting to resume.
+        current: String,
+    },
+    /// The journal is damaged in a way that cannot be repaired by
+    /// truncation (e.g. its manifest line fails its CRC).
+    Corrupt {
+        /// The journal path.
+        path: PathBuf,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// A fresh (non-resume) session was pointed at a directory that
+    /// already holds a session.
+    DirInUse {
+        /// The session file that already exists.
+        path: PathBuf,
+    },
+    /// `--resume` was requested but the directory holds no session.
+    SessionMissing {
+        /// The session file that was expected.
+        path: PathBuf,
+    },
+    /// A checkpoint session was already armed in this process.
+    AlreadyArmed,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io {
+                context,
+                path,
+                source,
+            } => write!(f, "{context} {}: {source}", path.display()),
+            CheckpointError::Manifest(e) => write!(f, "{e}"),
+            CheckpointError::Mismatch {
+                field,
+                on_disk,
+                current,
+            } => write!(
+                f,
+                "checkpoint manifest mismatch on '{field}': journal has {on_disk}, \
+                 this run has {current} — resume requires the identical configuration"
+            ),
+            CheckpointError::Corrupt { path, detail } => {
+                write!(f, "corrupt journal {}: {detail}", path.display())
+            }
+            CheckpointError::DirInUse { path } => write!(
+                f,
+                "checkpoint session {} already exists; pass --resume to continue it \
+                 or point --checkpoint-dir at a fresh directory",
+                path.display()
+            ),
+            CheckpointError::SessionMissing { path } => write!(
+                f,
+                "--resume requested but {} does not exist; run once with \
+                 --checkpoint-dir (without --resume) to start a session",
+                path.display()
+            ),
+            CheckpointError::AlreadyArmed => {
+                write!(f, "a checkpoint session is already armed in this process")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            CheckpointError::Manifest(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ManifestError> for CheckpointError {
+    fn from(e: ManifestError) -> Self {
+        CheckpointError::Manifest(e)
+    }
+}
+
+fn io_err(context: &str, path: &Path, source: std::io::Error) -> CheckpointError {
+    CheckpointError::Io {
+        context: context.to_string(),
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// IEEE CRC-32 (the zlib/PNG polynomial), bitwise. The journal writes
+/// a handful of lines per sweep; table-free simplicity beats speed.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Frames a payload as a CRC-guarded journal line (without newline).
+fn frame(payload: &str) -> String {
+    format!("{:08x} {payload}", crc32(payload.as_bytes()))
+}
+
+/// Unframes a journal line: checks the CRC and returns the payload.
+/// `None` means the line cannot be trusted (torn, flipped, malformed).
+fn unframe(line: &[u8]) -> Option<&str> {
+    if line.len() < 10 || line[8] != b' ' {
+        return None;
+    }
+    let crc = u32::from_str_radix(std::str::from_utf8(&line[..8]).ok()?, 16).ok()?;
+    let payload = &line[9..];
+    if crc32(payload) != crc {
+        return None;
+    }
+    std::str::from_utf8(payload).ok()
+}
+
+/// Telemetry counters of the checkpoint layer, under module
+/// `"checkpoint"`.
+struct CheckpointTelemetry {
+    records_written: Counter,
+    resume_points_skipped: Counter,
+    journal_truncated: Counter,
+}
+
+impl CheckpointTelemetry {
+    fn new() -> Self {
+        let recorder = simra_telemetry::global();
+        CheckpointTelemetry {
+            records_written: recorder.counter("checkpoint", "checkpoint_records_written"),
+            resume_points_skipped: recorder.counter("checkpoint", "resume_points_skipped"),
+            journal_truncated: recorder.counter("checkpoint", "journal_truncated"),
+        }
+    }
+}
+
+/// One journaled result: which (module, point) slot, and its outcome.
+#[derive(Debug, Clone, PartialEq)]
+struct JournalRecord {
+    module: usize,
+    point: usize,
+    result: ModuleResult,
+}
+
+fn render_record(record: &JournalRecord) -> String {
+    let JournalRecord {
+        module,
+        point,
+        result,
+    } = record;
+    match result {
+        ModuleResult::Completed { samples, attempts } => format!(
+            "{{\"schema_version\":{JOURNAL_SCHEMA_VERSION},\"module\":{module},\
+             \"point\":{point},\"status\":\"completed\",\"attempts\":{attempts},\
+             \"samples\":{}}}",
+            json::array(samples.iter().map(|s| json::number(*s))),
+        ),
+        ModuleResult::Failed { attempts, cause } => {
+            let cause = match cause {
+                FailureCause::Panic(msg) => {
+                    format!("{{\"type\":\"panic\",\"message\":{}}}", json::quote(msg))
+                }
+                FailureCause::Dropout { at_group } => {
+                    format!("{{\"type\":\"dropout\",\"at_group\":{at_group}}}")
+                }
+                FailureCause::DeadlineExceeded {
+                    budget_ms,
+                    spent_ms,
+                } => format!(
+                    "{{\"type\":\"deadline\",\"budget_ms\":{},\"spent_ms\":{}}}",
+                    json::number(*budget_ms),
+                    json::number(*spent_ms)
+                ),
+            };
+            format!(
+                "{{\"schema_version\":{JOURNAL_SCHEMA_VERSION},\"module\":{module},\
+                 \"point\":{point},\"status\":\"failed\",\"attempts\":{attempts},\
+                 \"cause\":{cause}}}"
+            )
+        }
+    }
+}
+
+/// Parses one record payload. `None` means the payload is not a valid
+/// record of this schema version — the journal loader treats that the
+/// same as a CRC failure (truncate, don't trust).
+fn parse_record(payload: &str) -> Option<JournalRecord> {
+    let doc = Value::parse(payload).ok()?;
+    if doc.get("schema_version")?.as_u32()? != JOURNAL_SCHEMA_VERSION {
+        return None;
+    }
+    let module = doc.get("module")?.as_usize()?;
+    let point = doc.get("point")?.as_usize()?;
+    let attempts = doc.get("attempts")?.as_u32()?;
+    let result = match doc.get("status")?.as_str()? {
+        "completed" => ModuleResult::Completed {
+            samples: doc
+                .get("samples")?
+                .as_array()?
+                .iter()
+                .map(Value::as_f64)
+                .collect::<Option<Vec<f64>>>()?,
+            attempts,
+        },
+        "failed" => {
+            let cause = doc.get("cause")?;
+            let cause = match cause.get("type")?.as_str()? {
+                "panic" => FailureCause::Panic(cause.get("message")?.as_str()?.to_string()),
+                "dropout" => FailureCause::Dropout {
+                    at_group: cause.get("at_group")?.as_usize()?,
+                },
+                "deadline" => FailureCause::DeadlineExceeded {
+                    budget_ms: cause.get("budget_ms")?.as_f64()?,
+                    spent_ms: cause.get("spent_ms")?.as_f64()?,
+                },
+                _ => return None,
+            };
+            ModuleResult::Failed { attempts, cause }
+        }
+        _ => return None,
+    };
+    Some(JournalRecord {
+        module,
+        point,
+        result,
+    })
+}
+
+/// A loaded journal: its manifest, the records of its intact prefix,
+/// and — when a damaged tail was found — the byte length of that
+/// prefix so the caller can cut the damage off.
+struct LoadedJournal {
+    manifest: SweepManifest,
+    records: Vec<JournalRecord>,
+    /// `Some(len)` when the file has a damaged tail that must be
+    /// truncated to `len` bytes before appending resumes.
+    truncate_to: Option<u64>,
+}
+
+/// Loads a journal, validating CRCs line by line. The first damaged
+/// *record* line ends the trusted prefix (write-ahead semantics: a
+/// suffix after damage proves nothing). A damaged or unparseable
+/// *manifest* line is unrepairable — typed error.
+fn load_journal(path: &Path) -> Result<LoadedJournal, CheckpointError> {
+    let data = fs::read(path).map_err(|e| io_err("reading journal", path, e))?;
+    let mut offset = 0usize;
+    let mut manifest: Option<SweepManifest> = None;
+    let mut records = Vec::new();
+    let mut truncate_to = None;
+    while offset < data.len() {
+        let line_start = offset;
+        let Some(nl) = data[offset..].iter().position(|b| *b == b'\n') else {
+            // Torn final line: the write was interrupted mid-append.
+            truncate_to = Some(line_start as u64);
+            break;
+        };
+        let line = &data[offset..offset + nl];
+        offset += nl + 1;
+        let payload = unframe(line);
+        if manifest.is_none() {
+            let payload = payload.ok_or_else(|| CheckpointError::Corrupt {
+                path: path.to_path_buf(),
+                detail: "manifest line fails its CRC".into(),
+            })?;
+            manifest = Some(SweepManifest::from_json(payload)?);
+            continue;
+        }
+        match payload.and_then(parse_record) {
+            Some(record) => records.push(record),
+            None => {
+                truncate_to = Some(line_start as u64);
+                break;
+            }
+        }
+    }
+    let manifest = manifest.ok_or_else(|| CheckpointError::Corrupt {
+        path: path.to_path_buf(),
+        detail: "journal has no manifest line".into(),
+    })?;
+    Ok(LoadedJournal {
+        manifest,
+        records,
+        truncate_to,
+    })
+}
+
+/// Append-only journal writer. Every append is flushed and fsynced
+/// before it returns — the record is on disk before the sweep moves
+/// on, which is what makes the journal *write-ahead*.
+struct JournalWriter {
+    path: PathBuf,
+    file: File,
+}
+
+impl JournalWriter {
+    /// Creates a fresh journal and durably writes its manifest line.
+    fn create(path: &Path, manifest: &SweepManifest) -> Result<Self, CheckpointError> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+            .map_err(|e| io_err("creating journal", path, e))?;
+        let mut writer = JournalWriter {
+            path: path.to_path_buf(),
+            file,
+        };
+        writer.append_line(&frame(&manifest.to_json()))?;
+        Ok(writer)
+    }
+
+    /// Opens an existing journal for appending, first truncating it to
+    /// `keep_len` bytes when a damaged tail was detected.
+    fn open_append(path: &Path, keep_len: Option<u64>) -> Result<Self, CheckpointError> {
+        let file = OpenOptions::new()
+            .write(true)
+            .append(keep_len.is_none())
+            .open(path)
+            .map_err(|e| io_err("opening journal", path, e))?;
+        if let Some(len) = keep_len {
+            file.set_len(len)
+                .map_err(|e| io_err("truncating damaged journal tail of", path, e))?;
+            file.sync_data()
+                .map_err(|e| io_err("syncing journal", path, e))?;
+        }
+        Ok(JournalWriter {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    fn append_line(&mut self, line: &str) -> Result<(), CheckpointError> {
+        let mut bytes = Vec::with_capacity(line.len() + 1);
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+        self.file
+            .write_all(&bytes)
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| io_err("appending to journal", &self.path, e))
+    }
+}
+
+/// Atomically rewrites `path` with the given lines: write a sibling
+/// tmp file, fsync it, rename it over the original. Used for snapshot
+/// compaction — the journal is replaced by its canonical form (records
+/// sorted by (module, point)) in one step that either fully happens or
+/// leaves the old journal intact.
+fn atomic_rewrite(path: &Path, lines: &[String]) -> Result<(), CheckpointError> {
+    let tmp = path.with_extension("journal.tmp");
+    {
+        let mut file =
+            File::create(&tmp).map_err(|e| io_err("creating compaction file", &tmp, e))?;
+        let mut buf = String::new();
+        for line in lines {
+            buf.push_str(line);
+            buf.push('\n');
+        }
+        file.write_all(buf.as_bytes())
+            .and_then(|()| file.sync_all())
+            .map_err(|e| io_err("writing compaction file", &tmp, e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| io_err("renaming compaction file over", path, e))?;
+    // Make the rename itself durable where the platform allows it.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Builds the manifest of the sweep `(config, points)` under the given
+/// id. Point parameters are digested from their `Debug` rendering —
+/// deterministic for every parameter type the figure runners use.
+fn manifest_for<P: Debug>(
+    config: &ExperimentConfig,
+    sweep_id: &str,
+    points: &[SweepPoint<P>],
+) -> SweepManifest {
+    let empty = FaultPlan::default();
+    let plan = config.faults.as_ref().unwrap_or(&empty);
+    SweepManifest {
+        schema_version: simra_exec::SWEEP_MANIFEST_SCHEMA_VERSION,
+        sweep_id: sweep_id.to_string(),
+        seed: config.seed,
+        backend: config.backend.to_string(),
+        faults: plan.to_json(),
+        config_digest: stable_digest(&format!("{config:?}")),
+        modules: config.modules.len(),
+        points: points
+            .iter()
+            .map(|p| PointDigest {
+                n: p.n,
+                params_digest: stable_digest(&format!("{:?}", p.params)),
+            })
+            .collect(),
+    }
+}
+
+/// A checkpointed [`run_sweep_on`]: journals every completed (module,
+/// point) task under `dir/<sweep_id>.journal`, and — when that journal
+/// already exists — validates its manifest, replays its records, and
+/// schedules only the remaining tasks. Returns results byte-identical
+/// to an uninterrupted [`run_sweep_on`] of the same inputs, in any
+/// kill/resume interleaving.
+///
+/// [`run_sweep_on`]: crate::fleet::run_sweep_on
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_checkpointed_on<P, F>(
+    pool: &FleetPool,
+    config: &ExperimentConfig,
+    dir: &Path,
+    sweep_id: &str,
+    points: &[SweepPoint<P>],
+    policy: FleetPolicy,
+    clock: &dyn FleetClock,
+    workers: usize,
+    op: F,
+) -> Result<Vec<FleetOutcome>, CheckpointError>
+where
+    P: Sync + Debug,
+    F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
+{
+    let telemetry = CheckpointTelemetry::new();
+    let manifest = manifest_for(config, sweep_id, points);
+    let path = dir.join(format!("{sweep_id}.journal"));
+    let modules = config.modules.len();
+    // [module][point] slots replayed from the journal.
+    let mut replayed: Vec<Vec<Option<ModuleResult>>> = (0..modules)
+        .map(|_| (0..points.len()).map(|_| None).collect())
+        .collect();
+    let writer = if path.exists() {
+        let loaded = load_journal(&path)?;
+        if let Some((field, on_disk, current)) = loaded.manifest.mismatch(&manifest) {
+            return Err(CheckpointError::Mismatch {
+                field,
+                on_disk,
+                current,
+            });
+        }
+        if loaded.truncate_to.is_some() {
+            telemetry.journal_truncated.incr();
+        }
+        for record in loaded.records {
+            if record.module >= modules || record.point >= points.len() {
+                return Err(CheckpointError::Corrupt {
+                    path: path.clone(),
+                    detail: format!(
+                        "record addresses slot (module {}, point {}) outside the \
+                         {modules}×{} grid",
+                        record.module,
+                        record.point,
+                        points.len()
+                    ),
+                });
+            }
+            // Last record wins; duplicates can only arise from a crash
+            // between a retryable write and its bookkeeping, and the
+            // records are identical by determinism anyway.
+            if replayed[record.module][record.point].is_none() {
+                telemetry.resume_points_skipped.incr();
+            }
+            replayed[record.module][record.point] = Some(record.result);
+        }
+        JournalWriter::open_append(&path, loaded.truncate_to)?
+    } else {
+        fs::create_dir_all(dir).map_err(|e| io_err("creating checkpoint dir", dir, e))?;
+        JournalWriter::create(&path, &manifest)?
+    };
+    let skip: Vec<Vec<bool>> = replayed
+        .iter()
+        .map(|row| row.iter().map(Option::is_some).collect())
+        .collect();
+    let all_done = skip.iter().all(|row| row.iter().all(|s| *s));
+    let fresh: Vec<Vec<Option<ModuleResult>>> = if all_done {
+        (0..modules)
+            .map(|_| (0..points.len()).map(|_| None).collect())
+            .collect()
+    } else {
+        // Workers append concurrently; the mutex serializes writes and
+        // carries the first I/O error out of the observer closure.
+        let shared: Mutex<(JournalWriter, Option<CheckpointError>)> = Mutex::new((writer, None));
+        let observer = |module: usize, point: usize, result: &ModuleResult| {
+            let line = frame(&render_record(&JournalRecord {
+                module,
+                point,
+                result: result.clone(),
+            }));
+            let mut guard = shared.lock().expect("journal writer poisoned");
+            if guard.1.is_none() {
+                match guard.0.append_line(&line) {
+                    Ok(()) => telemetry.records_written.incr(),
+                    Err(e) => guard.1 = Some(e),
+                }
+            }
+        };
+        let fresh = fleet::run_sweep_grid_on(
+            pool,
+            config,
+            points,
+            policy,
+            clock,
+            workers,
+            op,
+            Some(&skip),
+            Some(&observer),
+        );
+        let (_, failure) = shared.into_inner().expect("journal writer poisoned");
+        if let Some(e) = failure {
+            // The sweep ran, but its results are not durably journaled;
+            // returning them would break the resume contract.
+            return Err(e);
+        }
+        fresh
+    };
+    let outcomes: Vec<FleetOutcome> = (0..points.len())
+        .map(|point| FleetOutcome {
+            slots: (0..modules)
+                .map(|module| {
+                    replayed[module][point]
+                        .take()
+                        .or_else(|| fresh[module][point].clone())
+                        .expect("every grid slot is either replayed or freshly run")
+                })
+                .collect(),
+        })
+        .collect();
+    for outcome in &outcomes {
+        fleet::record_session_outcome(outcome);
+    }
+    // Snapshot compaction: replace the append-order journal with its
+    // canonical form — manifest line plus records sorted by (module,
+    // point) — via atomic tmp-file + rename. A kill during compaction
+    // leaves either the old journal or the new one, both complete.
+    let mut lines = vec![frame(&manifest.to_json())];
+    for (module, row) in skip.iter().enumerate() {
+        for (point, _) in row.iter().enumerate() {
+            let record = JournalRecord {
+                module,
+                point,
+                result: outcomes[point].slots[module].clone(),
+            };
+            lines.push(frame(&render_record(&record)));
+        }
+    }
+    atomic_rewrite(&path, &lines)?;
+    Ok(outcomes)
+}
+
+/// The process-wide checkpoint session armed by the CLI. Sweeps are
+/// numbered in issue order, which is deterministic because campaigns
+/// run their figures serially.
+pub struct CheckpointSession {
+    dir: PathBuf,
+    next: AtomicUsize,
+}
+
+impl CheckpointSession {
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+static ARMED: OnceLock<CheckpointSession> = OnceLock::new();
+
+/// The armed session, if any.
+pub(crate) fn armed_session() -> Option<&'static CheckpointSession> {
+    ARMED.get()
+}
+
+/// File that marks a directory as a checkpoint session and pins the
+/// configuration it was started with.
+const SESSION_FILE: &str = "session.json";
+
+/// Arms checkpointing for this process: every subsequent
+/// [`run_sweep`](crate::fleet::run_sweep) call journals into `dir`.
+///
+/// A fresh session (`resume = false`) refuses a directory that already
+/// holds one ([`CheckpointError::DirInUse`]) and records the session
+/// manifest; a resumed session (`resume = true`) requires that
+/// manifest to exist and to match the current configuration exactly
+/// ([`CheckpointError::Mismatch`] names the first differing field —
+/// seed, backend, faults, config digest, or module count).
+///
+/// Arming is once per process; a second call is
+/// [`CheckpointError::AlreadyArmed`].
+pub fn arm(dir: &Path, config: &ExperimentConfig, resume: bool) -> Result<(), CheckpointError> {
+    fs::create_dir_all(dir).map_err(|e| io_err("creating checkpoint dir", dir, e))?;
+    let session_path = dir.join(SESSION_FILE);
+    let manifest = manifest_for::<()>(config, "session", &[]);
+    if resume {
+        if !session_path.exists() {
+            return Err(CheckpointError::SessionMissing { path: session_path });
+        }
+        let text = fs::read_to_string(&session_path)
+            .map_err(|e| io_err("reading session manifest", &session_path, e))?;
+        let on_disk = SweepManifest::from_json(text.trim())?;
+        if let Some((field, on_disk, current)) = on_disk.mismatch(&manifest) {
+            return Err(CheckpointError::Mismatch {
+                field,
+                on_disk,
+                current,
+            });
+        }
+    } else {
+        if session_path.exists() {
+            return Err(CheckpointError::DirInUse { path: session_path });
+        }
+        atomic_rewrite(&session_path, &[manifest.to_json()])?;
+    }
+    ARMED
+        .set(CheckpointSession {
+            dir: dir.to_path_buf(),
+            next: AtomicUsize::new(0),
+        })
+        .map_err(|_| CheckpointError::AlreadyArmed)
+}
+
+/// The armed-session entry point called by
+/// [`run_sweep`](crate::fleet::run_sweep): assigns the next sweep id
+/// and runs the sweep checkpointed. A checkpoint failure here aborts
+/// the process with the typed error's message and exit code 2 — this
+/// path is only reachable from a CLI-armed session, where carrying on
+/// without durable checkpoints would silently break the resume
+/// contract the user asked for.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_sweep_for_session<P, F>(
+    session: &CheckpointSession,
+    pool: &FleetPool,
+    config: &ExperimentConfig,
+    points: &[SweepPoint<P>],
+    policy: FleetPolicy,
+    clock: &dyn FleetClock,
+    workers: usize,
+    op: F,
+) -> Vec<FleetOutcome>
+where
+    P: Sync + Debug,
+    F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
+{
+    let sweep_id = format!("sweep-{:04}", session.next.fetch_add(1, Ordering::SeqCst));
+    match run_sweep_checkpointed_on(
+        pool,
+        config,
+        &session.dir,
+        &sweep_id,
+        points,
+        policy,
+        clock,
+        workers,
+        op,
+    ) {
+        Ok(outcomes) => outcomes,
+        Err(e) => {
+            eprintln!("error: checkpoint failure in {sweep_id}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::MockClock;
+    use rand::Rng;
+    use std::sync::atomic::AtomicU32;
+
+    /// A per-test scratch directory under the system temp dir; no
+    /// tempfile dependency needed.
+    fn scratch(tag: &str) -> PathBuf {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "simra-checkpoint-{}-{}-{tag}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    fn probe_op(
+        scale: &f64,
+        setup: &mut TestSetup,
+        g: &GroupSpec,
+        rng: &mut StdRng,
+    ) -> Option<f64> {
+        Some(
+            (g.local_rows[0] as f64 + rng.gen::<f64>() + setup.module().seed() as f64 * 1e-6)
+                * scale,
+        )
+    }
+
+    fn two_module_config() -> ExperimentConfig {
+        let mut config = ExperimentConfig::quick();
+        config.modules.push(crate::config::ModuleUnderTest {
+            profile: simra_dram::VendorProfile::mfr_m_e_die(),
+            seed: 21,
+        });
+        config
+    }
+
+    fn points() -> Vec<SweepPoint<f64>> {
+        [2u32, 4, 8, 4]
+            .iter()
+            .map(|&n| SweepPoint::new(n, f64::from(n) * 0.5))
+            .collect()
+    }
+
+    fn run_checkpointed(
+        config: &ExperimentConfig,
+        dir: &Path,
+    ) -> Result<Vec<FleetOutcome>, CheckpointError> {
+        let clock = MockClock::new();
+        run_sweep_checkpointed_on(
+            FleetPool::global(),
+            config,
+            dir,
+            "sweep-0000",
+            &points(),
+            FleetPolicy::default(),
+            &clock,
+            2,
+            probe_op,
+        )
+    }
+
+    fn reference(config: &ExperimentConfig) -> Vec<FleetOutcome> {
+        let clock = MockClock::new();
+        fleet::run_sweep_with(
+            config,
+            &points(),
+            FleetPolicy::default(),
+            &clock,
+            2,
+            probe_op,
+        )
+    }
+
+    fn journal_path(dir: &Path) -> PathBuf {
+        dir.join("sweep-0000.journal")
+    }
+
+    /// Byte ranges of every line in the journal, newline included.
+    fn line_spans(data: &[u8]) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        let mut start = 0;
+        for (i, b) in data.iter().enumerate() {
+            if *b == b'\n' {
+                spans.push((start, i + 1));
+                start = i + 1;
+            }
+        }
+        spans
+    }
+
+    #[test]
+    fn fresh_run_matches_uncheckpointed_reference() {
+        let config = two_module_config();
+        let dir = scratch("fresh");
+        let outcomes = run_checkpointed(&config, &dir).unwrap();
+        assert_eq!(outcomes, reference(&config));
+        assert!(journal_path(&dir).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn completed_journal_replays_without_rerunning() {
+        let config = two_module_config();
+        let dir = scratch("replay");
+        let first = run_checkpointed(&config, &dir).unwrap();
+        // Second run fast-forwards entirely through the journal.
+        let second = run_checkpointed(&config, &dir).unwrap();
+        assert_eq!(first, second);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_journal_resumes_to_identical_results() {
+        let config = two_module_config();
+        let dir = scratch("partial");
+        let full = run_checkpointed(&config, &dir).unwrap();
+        let path = journal_path(&dir);
+        let data = fs::read(&path).unwrap();
+        let spans = line_spans(&data);
+        assert!(spans.len() > 3, "manifest + 8 records expected");
+        // Keep the manifest and the first two records — as if the run
+        // was killed early — then resume.
+        for keep in [1usize, 2, 3, spans.len() - 1] {
+            fs::write(&path, &data[..spans[keep - 1].1]).unwrap();
+            let resumed = run_checkpointed(&config, &dir).unwrap();
+            assert_eq!(resumed, full, "keep={keep}");
+            // Resume compacted the journal back to its full form.
+            assert_eq!(fs::read(&path).unwrap(), data, "keep={keep}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_record_is_truncated_not_trusted() {
+        let config = two_module_config();
+        let dir = scratch("torn");
+        let full = run_checkpointed(&config, &dir).unwrap();
+        let path = journal_path(&dir);
+        let data = fs::read(&path).unwrap();
+        let spans = line_spans(&data);
+        // Keep two intact records, then a half-written third: a real
+        // SIGKILL mid-append.
+        let keep = spans[2].1;
+        let mut torn = data[..keep].to_vec();
+        torn.extend_from_slice(&data[spans[3].0..spans[3].0 + 17]);
+        fs::write(&path, &torn).unwrap();
+        let resumed = run_checkpointed(&config, &dir).unwrap();
+        assert_eq!(resumed, full);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_crc_byte_fails_safe() {
+        let config = two_module_config();
+        let dir = scratch("crcflip");
+        let full = run_checkpointed(&config, &dir).unwrap();
+        let path = journal_path(&dir);
+        let mut data = fs::read(&path).unwrap();
+        let spans = line_spans(&data);
+        // Flip one payload byte inside the third record; its CRC no
+        // longer matches, so that record and everything after it must
+        // be dropped and re-run — never trusted.
+        let (start, end) = spans[3];
+        let mid = (start + end) / 2;
+        data[mid] ^= 0x01;
+        fs::write(&path, &data).unwrap();
+        let resumed = run_checkpointed(&config, &dir).unwrap();
+        assert_eq!(resumed, full);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_schema_version_is_a_typed_error() {
+        let config = two_module_config();
+        let dir = scratch("stale");
+        run_checkpointed(&config, &dir).unwrap();
+        let path = journal_path(&dir);
+        let data = fs::read(&path).unwrap();
+        let spans = line_spans(&data);
+        // Rewrite the manifest line as a (validly CRC-framed) document
+        // of a future schema version: the loader must refuse with a
+        // typed error, not guess.
+        let manifest_payload = std::str::from_utf8(&data[9..spans[0].1 - 1])
+            .unwrap()
+            .replacen("\"schema_version\":1", "\"schema_version\":99", 1);
+        let mut rewritten = frame(&manifest_payload).into_bytes();
+        rewritten.push(b'\n');
+        rewritten.extend_from_slice(&data[spans[0].1..]);
+        fs::write(&path, &rewritten).unwrap();
+        match run_checkpointed(&config, &dir) {
+            Err(CheckpointError::Manifest(ManifestError::SchemaVersion {
+                found: 99,
+                expected: 1,
+            })) => {}
+            other => panic!("expected a schema-version error, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_line_is_a_typed_error() {
+        let config = two_module_config();
+        let dir = scratch("badmanifest");
+        run_checkpointed(&config, &dir).unwrap();
+        let path = journal_path(&dir);
+        let mut data = fs::read(&path).unwrap();
+        data[2] ^= 0xFF; // damage the manifest line's CRC field
+        fs::write(&path, &data).unwrap();
+        match run_checkpointed(&config, &dir) {
+            Err(CheckpointError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("manifest"), "{detail}");
+            }
+            other => panic!("expected a corrupt-journal error, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_seed_refuses_resume() {
+        let config = two_module_config();
+        let dir = scratch("mismatch");
+        run_checkpointed(&config, &dir).unwrap();
+        let mut other = config.clone();
+        other.seed ^= 1;
+        match run_checkpointed(&other, &dir) {
+            Err(CheckpointError::Mismatch { field, .. }) => assert_eq!(field, "seed"),
+            other => panic!("expected a manifest mismatch, got {other:?}"),
+        }
+        // A scale change is caught by the config digest.
+        let mut other = config.clone();
+        other.groups_per_subarray += 1;
+        match run_checkpointed(&other, &dir) {
+            Err(CheckpointError::Mismatch { field, .. }) => assert_eq!(field, "config_digest"),
+            other => panic!("expected a manifest mismatch, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulted_sweeps_checkpoint_too() {
+        // Failed slots (a permanent dropout) journal and replay like
+        // completed ones.
+        let mut config = two_module_config();
+        config.faults = Some(FaultPlan {
+            modules: vec![simra_faults::ModuleFault {
+                module_index: 1,
+                kind: simra_faults::ModuleFaultKind::Dropout {
+                    at_group: 0,
+                    recover_after_attempts: None,
+                },
+            }],
+            ..FaultPlan::default()
+        });
+        let dir = scratch("faulted");
+        let full = run_checkpointed(&config, &dir).unwrap();
+        assert!(full
+            .iter()
+            .any(|o| matches!(o.slots[1], ModuleResult::Failed { .. })));
+        let replayed = run_checkpointed(&config, &dir).unwrap();
+        assert_eq!(replayed, full);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_lines_round_trip() {
+        let records = [
+            JournalRecord {
+                module: 1,
+                point: 3,
+                result: ModuleResult::Completed {
+                    samples: vec![0.25, 1.0 / 3.0, f64::NAN],
+                    attempts: 2,
+                },
+            },
+            JournalRecord {
+                module: 0,
+                point: 0,
+                result: ModuleResult::Failed {
+                    attempts: 3,
+                    cause: FailureCause::Panic("boom \"quoted\"".into()),
+                },
+            },
+            JournalRecord {
+                module: 2,
+                point: 1,
+                result: ModuleResult::Failed {
+                    attempts: 1,
+                    cause: FailureCause::DeadlineExceeded {
+                        budget_ms: 5.0,
+                        spent_ms: 10.5,
+                    },
+                },
+            },
+            JournalRecord {
+                module: 0,
+                point: 2,
+                result: ModuleResult::Failed {
+                    attempts: 3,
+                    cause: FailureCause::Dropout { at_group: 4 },
+                },
+            },
+        ];
+        for record in &records {
+            let line = frame(&render_record(record));
+            let payload = unframe(line.as_bytes()).expect("own frame must verify");
+            let parsed = parse_record(payload).expect("own record must parse");
+            assert_eq!(parsed.module, record.module);
+            assert_eq!(parsed.point, record.point);
+            // NaN-bearing samples compare by bits, not PartialEq.
+            match (&parsed.result, &record.result) {
+                (
+                    ModuleResult::Completed {
+                        samples: a,
+                        attempts: x,
+                    },
+                    ModuleResult::Completed {
+                        samples: b,
+                        attempts: y,
+                    },
+                ) => {
+                    assert_eq!(x, y);
+                    assert_eq!(a.len(), b.len());
+                    for (s, t) in a.iter().zip(b) {
+                        assert!(
+                            s.to_bits() == t.to_bits() || (s.is_nan() && t.is_nan()),
+                            "{s} vs {t}"
+                        );
+                    }
+                }
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value ("123456789" → 0xCBF43926).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+}

@@ -611,15 +611,43 @@ where
     }
 }
 
-/// One module's chain: every sweep point in order, on one pooled rig.
-fn run_chain<P, F>(ctx: &SweepCtx<'_, P, F>, index: usize) -> Vec<ModuleResult>
+/// Callback handed each fresh `(module, point, result)` the moment the
+/// slot completes — the checkpoint journal's write-ahead hook.
+pub(crate) type SlotObserver<'a> = &'a (dyn Fn(usize, usize, &ModuleResult) + Sync);
+
+/// One module's chain: every *scheduled* sweep point in order, on one
+/// pooled rig. `skip[k]` masks out point `k` (its slot stays `None`) —
+/// the checkpoint layer uses this to schedule only the points a resumed
+/// run still owes. Skipping is invisible to the points that do run:
+/// each (module, point) task seeds its own stream from
+/// [`module_stream_seed`], a pure function of the slot, so a masked
+/// chain produces bit-identical results for the slots it executes.
+/// `observer` (if any) sees each fresh result as `(module, point,
+/// result)` the moment the slot completes — the checkpoint journal's
+/// write-ahead hook.
+fn run_chain<P, F>(
+    ctx: &SweepCtx<'_, P, F>,
+    index: usize,
+    skip: Option<&[bool]>,
+    observer: Option<SlotObserver<'_>>,
+) -> Vec<Option<ModuleResult>>
 where
     F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>,
 {
     let mut rig: Option<DramModule> = None;
     ctx.points
         .iter()
-        .map(|point| run_slot(ctx, index, point, &mut rig))
+        .enumerate()
+        .map(|(point_index, point)| {
+            if skip.is_some_and(|s| s[point_index]) {
+                return None;
+            }
+            let result = run_slot(ctx, index, point, &mut rig);
+            if let Some(observe) = observer {
+                observe(index, point_index, &result);
+            }
+            Some(result)
+        })
         .collect()
 }
 
@@ -720,6 +748,81 @@ pub fn take_session_coverage() -> (FleetCoverage, Vec<String>) {
     (coverage, failures)
 }
 
+/// Records one outcome into the session coverage accounting. The
+/// checkpoint layer calls this for *merged* outcomes (journal-replayed
+/// slots plus freshly executed ones), so a resumed run's coverage
+/// footer counts every module task exactly once — byte-identical to an
+/// uninterrupted run.
+pub(crate) fn record_session_outcome(outcome: &FleetOutcome) {
+    record_session(outcome);
+}
+
+/// The partial-grid sweep engine underneath [`run_sweep_on`] and the
+/// checkpoint layer's resume path: runs one chain per module over
+/// `points`, masking out `(module, point)` slots where
+/// `skip[module][point]` is true, and reporting each fresh result to
+/// `observer` as it lands. Returns the chain-major `[module][point]`
+/// matrix with `None` in masked slots.
+///
+/// Task telemetry counts *scheduled* slots only, so a resume that owes
+/// three tasks queues three tasks. Session coverage is **not** recorded
+/// here — callers account for it once they hold the full (replayed +
+/// fresh) picture.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_sweep_grid_on<P, F>(
+    pool: &FleetPool,
+    config: &ExperimentConfig,
+    points: &[SweepPoint<P>],
+    policy: FleetPolicy,
+    clock: &dyn FleetClock,
+    workers: usize,
+    op: F,
+    skip: Option<&[Vec<bool>]>,
+    observer: Option<SlotObserver<'_>>,
+) -> Vec<Vec<Option<ModuleResult>>>
+where
+    P: Sync,
+    F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
+{
+    let fault_free = FaultPlan::default();
+    let plan = config.faults.as_ref().unwrap_or(&fault_free);
+    let telemetry = FleetTelemetry::new();
+    let modules = config.modules.len();
+    let scheduled = match skip {
+        None => (modules * points.len()) as u64,
+        Some(mask) => mask
+            .iter()
+            .map(|row| row.iter().filter(|s| !**s).count() as u64)
+            .sum(),
+    };
+    telemetry.task_queued.add(scheduled);
+    telemetry.grid_tasks.add(scheduled);
+    telemetry.executor_reuse.incr();
+    let ctx = SweepCtx {
+        config,
+        plan,
+        policy,
+        clock,
+        points,
+        op: &op,
+        telemetry: &telemetry,
+    };
+    let chains: Vec<Mutex<Option<Vec<Option<ModuleResult>>>>> =
+        (0..modules).map(|_| Mutex::new(None)).collect();
+    pool.run_tasks(modules, workers, |index| {
+        let results = run_chain(&ctx, index, skip.map(|s| s[index].as_slice()), observer);
+        *chains[index].lock().expect("fleet chain slot poisoned") = Some(results);
+    });
+    chains
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("fleet chain slot poisoned")
+                .expect("fleet lost a module chain")
+        })
+        .collect()
+}
+
 /// Fully parameterised sweep on an explicit [`FleetPool`]: the whole
 /// (module × point) grid is submitted at once as one chain per module,
 /// with at most `workers` threads (calling thread included) borrowed
@@ -741,43 +844,19 @@ where
     P: Sync,
     F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
-    let fault_free = FaultPlan::default();
-    let plan = config.faults.as_ref().unwrap_or(&fault_free);
-    let telemetry = FleetTelemetry::new();
-    let modules = config.modules.len();
-    let grid = (modules * points.len()) as u64;
-    telemetry.task_queued.add(grid);
-    telemetry.grid_tasks.add(grid);
-    telemetry.executor_reuse.incr();
-    let ctx = SweepCtx {
-        config,
-        plan,
-        policy,
-        clock,
-        points,
-        op: &op,
-        telemetry: &telemetry,
-    };
-    let chains: Vec<Mutex<Option<Vec<ModuleResult>>>> =
-        (0..modules).map(|_| Mutex::new(None)).collect();
-    pool.run_tasks(modules, workers, |index| {
-        let results = run_chain(&ctx, index);
-        *chains[index].lock().expect("fleet chain slot poisoned") = Some(results);
-    });
-    let mut chains: Vec<std::vec::IntoIter<ModuleResult>> = chains
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("fleet chain slot poisoned")
-                .expect("fleet lost a module chain")
-                .into_iter()
-        })
-        .collect();
+    let grid = run_sweep_grid_on(pool, config, points, policy, clock, workers, op, None, None);
+    let mut chains: Vec<std::vec::IntoIter<Option<ModuleResult>>> =
+        grid.into_iter().map(Vec::into_iter).collect();
     let outcomes: Vec<FleetOutcome> = (0..points.len())
         .map(|_| FleetOutcome {
             slots: chains
                 .iter_mut()
-                .map(|chain| chain.next().expect("fleet chain lost a sweep point"))
+                .map(|chain| {
+                    chain
+                        .next()
+                        .expect("fleet chain lost a sweep point")
+                        .expect("unmasked grid leaves no slot empty")
+                })
                 .collect(),
         })
         .collect();
@@ -816,13 +895,19 @@ where
 /// armed, the default retry policy, the system clock, the default
 /// worker count, and the process-wide persistent pool. Returns one
 /// [`FleetOutcome`] per point, in point order.
+///
+/// When a process-wide checkpoint session is armed
+/// ([`crate::checkpoint::arm`]), the sweep is journaled and — on a
+/// resumed session — fast-forwarded through its journal; results are
+/// identical either way. The `P: Debug` bound exists for the
+/// checkpoint manifest, which fingerprints each point's parameters.
 pub fn run_sweep<P, F>(
     config: &ExperimentConfig,
     points: &[SweepPoint<P>],
     op: F,
 ) -> Vec<FleetOutcome>
 where
-    P: Sync,
+    P: Sync + std::fmt::Debug,
     F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
     let mut policy = FleetPolicy::default();
@@ -830,14 +915,20 @@ where
         policy.deadline_ms = plan.deadline_ms;
     }
     let clock = SystemClock::default();
-    run_sweep_with(
-        config,
-        points,
-        policy,
-        &clock,
-        executor_threads(config.modules.len()),
-        op,
-    )
+    let workers = executor_threads(config.modules.len());
+    if let Some(session) = crate::checkpoint::armed_session() {
+        return crate::checkpoint::run_sweep_for_session(
+            session,
+            FleetPool::global(),
+            config,
+            points,
+            policy,
+            &clock,
+            workers,
+            op,
+        );
+    }
+    run_sweep_with(config, points, policy, &clock, workers, op)
 }
 
 /// Per-point sample vectors of a sweep: [`run_sweep`] with each point's
@@ -849,7 +940,7 @@ pub fn sweep_group_samples<P, F>(
     op: F,
 ) -> Vec<Vec<f64>>
 where
-    P: Sync,
+    P: Sync + std::fmt::Debug,
     F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
     run_sweep(config, points, op)

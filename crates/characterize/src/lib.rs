@@ -24,6 +24,7 @@
 
 pub mod activation;
 pub mod backend;
+pub mod checkpoint;
 pub mod config;
 pub mod fleet;
 pub mod majx;
@@ -40,6 +41,7 @@ pub use activation::{
     fig3_activation_timing, fig4a_activation_temperature, fig4b_activation_voltage,
 };
 pub use backend::{sweep_trial_samples, trial_point, BackendSet, TrialPoint};
+pub use checkpoint::{arm as arm_checkpoints, run_sweep_checkpointed_on, CheckpointError};
 pub use config::ExperimentConfig;
 pub use fleet::{
     collect_group_samples, collect_group_samples_serial, run_fleet, run_fleet_with, run_sweep,

@@ -24,6 +24,7 @@
 //! count N still lives on the sweep point and arrives here via the
 //! [`GroupSpec`].
 
+pub mod manifest;
 pub mod surrogate;
 
 use rand::rngs::StdRng;
@@ -36,6 +37,9 @@ use simra_core::multirowcopy::multirowcopy_success;
 use simra_core::rowgroup::GroupSpec;
 use simra_dram::{ApaTiming, BitRow, DataPattern, Manufacturer};
 
+pub use manifest::{
+    stable_digest, ManifestError, PointDigest, SweepManifest, SWEEP_MANIFEST_SCHEMA_VERSION,
+};
 pub use surrogate::SurrogateBackend;
 
 use serde::{Deserialize, Serialize};
@@ -110,7 +114,7 @@ impl MrcSource {
 
 /// The operation a trial performs. The simultaneously activated row
 /// count N is *not* here — it lives on the sweep point / group spec.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TrialOp {
     /// N-row activation success (§4).
     Activation {
@@ -139,7 +143,7 @@ pub enum TrialOp {
 
 /// One trial to execute: the operation plus optional operating-point
 /// overrides (`None` = the rig's nominal 50 °C / 2.5 V).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrialSpec {
     /// The operation under test.
     pub op: TrialOp,

@@ -1,0 +1,324 @@
+//! Serializable sweep manifests.
+//!
+//! A [`SweepManifest`] pins down everything that determines a sweep's
+//! results — the experiment seed, the backend, the exact fault plan
+//! (embedded as its canonical JSON), a digest of the full experiment
+//! configuration, and the ordered point list — so a checkpointed run
+//! can later *prove* it is resuming the same sweep and refuse anything
+//! else with a typed error. It lives here, next to [`TrialSpec`],
+//! because it describes execution inputs, not the characterize crate's
+//! scheduling machinery.
+//!
+//! The JSON schema is versioned ([`SWEEP_MANIFEST_SCHEMA_VERSION`]) and
+//! follows the `simra-telemetry` conventions: shortest round-trip
+//! floats, `u64` values as plain integers, deterministic member order.
+//!
+//! [`TrialSpec`]: crate::TrialSpec
+
+use serde::{Deserialize, Serialize};
+use simra_telemetry::json::{self, Value};
+
+/// Schema version written and required by [`SweepManifest`].
+pub const SWEEP_MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit digest of a string. Stable across runs of the same
+/// build (the checkpoint layer digests `Debug` renderings, which are
+/// deterministic), cheap, and dependency-free. Not cryptographic — it
+/// guards against *accidental* mismatches, not adversaries.
+pub fn stable_digest(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in s.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One sweep point as the manifest records it: the row count plus a
+/// digest of the point's figure-specific parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PointDigest {
+    /// Rows activated simultaneously at this point.
+    pub n: u32,
+    /// [`stable_digest`] of the parameters' `Debug` rendering.
+    pub params_digest: u64,
+}
+
+/// Everything that determines a sweep's results, in serializable form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepManifest {
+    /// Schema version of this document.
+    pub schema_version: u32,
+    /// Identifier of the sweep within its checkpoint session (sweeps
+    /// are numbered in issue order, which is deterministic).
+    pub sweep_id: String,
+    /// Experiment RNG seed.
+    pub seed: u64,
+    /// Backend name (`"analog"` / `"surrogate"`).
+    pub backend: String,
+    /// The fault plan's canonical JSON (`FaultPlan::to_json`; the empty
+    /// plan for fault-free runs).
+    pub faults: String,
+    /// [`stable_digest`] of the full experiment configuration's `Debug`
+    /// rendering — covers module fleet, scale knobs, and anything a
+    /// future config field adds.
+    pub config_digest: u64,
+    /// Number of modules in the fleet.
+    pub modules: usize,
+    /// The ordered point list.
+    pub points: Vec<PointDigest>,
+}
+
+/// Why a manifest document was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManifestError {
+    /// The input is not well-formed JSON.
+    Json(json::ParseError),
+    /// The document's schema version is not the one this build writes.
+    SchemaVersion {
+        /// Version found in the document.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// A required field is missing or has the wrong type.
+    Field {
+        /// Name of the offending field.
+        field: String,
+        /// What was expected.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManifestError::Json(e) => write!(f, "sweep manifest: {e}"),
+            ManifestError::SchemaVersion { found, expected } => write!(
+                f,
+                "sweep manifest schema version {found} (this build reads version {expected})"
+            ),
+            ManifestError::Field { field, detail } => {
+                write!(f, "sweep manifest field '{field}': {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl From<json::ParseError> for ManifestError {
+    fn from(e: json::ParseError) -> Self {
+        ManifestError::Json(e)
+    }
+}
+
+fn field_error(field: &str, detail: &str) -> ManifestError {
+    ManifestError::Field {
+        field: field.into(),
+        detail: detail.into(),
+    }
+}
+
+impl SweepManifest {
+    /// Renders the manifest as one-line JSON.
+    pub fn to_json(&self) -> String {
+        let points = json::array(
+            self.points
+                .iter()
+                .map(|p| format!("{{\"n\":{},\"params_digest\":{}}}", p.n, p.params_digest)),
+        );
+        format!(
+            "{{\"schema_version\":{},\"sweep_id\":{},\"seed\":{},\"backend\":{},\
+             \"faults\":{},\"config_digest\":{},\"modules\":{},\"points\":{}}}",
+            self.schema_version,
+            json::quote(&self.sweep_id),
+            self.seed,
+            json::quote(&self.backend),
+            json::quote(&self.faults),
+            self.config_digest,
+            self.modules,
+            points,
+        )
+    }
+
+    /// Parses a manifest rendered by [`SweepManifest::to_json`].
+    /// Unknown schema versions and malformed fields are typed errors,
+    /// never panics.
+    pub fn from_json(input: &str) -> Result<SweepManifest, ManifestError> {
+        let doc = Value::parse(input)?;
+        let version = doc
+            .get("schema_version")
+            .and_then(Value::as_u32)
+            .ok_or_else(|| field_error("schema_version", "expected an unsigned integer"))?;
+        if version != SWEEP_MANIFEST_SCHEMA_VERSION {
+            return Err(ManifestError::SchemaVersion {
+                found: version,
+                expected: SWEEP_MANIFEST_SCHEMA_VERSION,
+            });
+        }
+        let str_field = |field: &str| -> Result<String, ManifestError> {
+            doc.get(field)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| field_error(field, "expected a string"))
+        };
+        let u64_field = |field: &str| -> Result<u64, ManifestError> {
+            doc.get(field)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| field_error(field, "expected an unsigned integer"))
+        };
+        let points =
+            doc.get("points")
+                .and_then(Value::as_array)
+                .ok_or_else(|| field_error("points", "expected an array"))?
+                .iter()
+                .map(|p| {
+                    Ok(PointDigest {
+                        n: p.get("n")
+                            .and_then(Value::as_u32)
+                            .ok_or_else(|| field_error("points[].n", "expected a u32"))?,
+                        params_digest: p.get("params_digest").and_then(Value::as_u64).ok_or_else(
+                            || field_error("points[].params_digest", "expected a u64"),
+                        )?,
+                    })
+                })
+                .collect::<Result<Vec<_>, ManifestError>>()?;
+        Ok(SweepManifest {
+            schema_version: version,
+            sweep_id: str_field("sweep_id")?,
+            seed: u64_field("seed")?,
+            backend: str_field("backend")?,
+            faults: str_field("faults")?,
+            config_digest: u64_field("config_digest")?,
+            modules: doc
+                .get("modules")
+                .and_then(Value::as_usize)
+                .ok_or_else(|| field_error("modules", "expected an unsigned integer"))?,
+            points,
+        })
+    }
+
+    /// The first field on which `self` (the manifest on disk) differs
+    /// from `current` (the manifest of the sweep about to run), with
+    /// both renderings — `None` when they match. Schema version is
+    /// checked at parse time; this compares the execution inputs.
+    pub fn mismatch(&self, current: &SweepManifest) -> Option<(&'static str, String, String)> {
+        if self.sweep_id != current.sweep_id {
+            return Some(("sweep_id", self.sweep_id.clone(), current.sweep_id.clone()));
+        }
+        if self.seed != current.seed {
+            return Some(("seed", self.seed.to_string(), current.seed.to_string()));
+        }
+        if self.backend != current.backend {
+            return Some(("backend", self.backend.clone(), current.backend.clone()));
+        }
+        if self.faults != current.faults {
+            return Some(("faults", self.faults.clone(), current.faults.clone()));
+        }
+        if self.config_digest != current.config_digest {
+            return Some((
+                "config_digest",
+                format!("{:#018x}", self.config_digest),
+                format!("{:#018x}", current.config_digest),
+            ));
+        }
+        if self.modules != current.modules {
+            return Some((
+                "modules",
+                self.modules.to_string(),
+                current.modules.to_string(),
+            ));
+        }
+        if self.points != current.points {
+            return Some((
+                "points",
+                format!("{} point(s)", self.points.len()),
+                format!("{} point(s)", current.points.len()),
+            ));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SweepManifest {
+        SweepManifest {
+            schema_version: SWEEP_MANIFEST_SCHEMA_VERSION,
+            sweep_id: "sweep-0004".into(),
+            seed: 0xD5A,
+            backend: "analog".into(),
+            faults: "{\"schema_version\":1,\"seed\":0}".into(),
+            config_digest: stable_digest("config"),
+            modules: 4,
+            points: vec![
+                PointDigest {
+                    n: 2,
+                    params_digest: stable_digest("a"),
+                },
+                PointDigest {
+                    n: 64,
+                    params_digest: stable_digest("b"),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = sample();
+        let parsed = SweepManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.to_json(), m.to_json(), "render is canonical");
+        assert_eq!(m.mismatch(&parsed), None);
+    }
+
+    #[test]
+    fn digest_is_stable_and_spreads() {
+        assert_eq!(stable_digest("abc"), stable_digest("abc"));
+        assert_ne!(stable_digest("abc"), stable_digest("abd"));
+        assert_ne!(stable_digest(""), stable_digest("\0"));
+    }
+
+    #[test]
+    fn mismatches_name_the_first_differing_field() {
+        let m = sample();
+        let mut other = m.clone();
+        other.seed ^= 1;
+        assert_eq!(m.mismatch(&other).unwrap().0, "seed");
+        let mut other = m.clone();
+        other.backend = "surrogate".into();
+        assert_eq!(m.mismatch(&other).unwrap().0, "backend");
+        let mut other = m.clone();
+        other.points.pop();
+        assert_eq!(m.mismatch(&other).unwrap().0, "points");
+        let mut other = m.clone();
+        other.points[1].params_digest ^= 0xFF;
+        assert_eq!(m.mismatch(&other).unwrap().0, "points");
+    }
+
+    #[test]
+    fn stale_schema_version_is_a_typed_error() {
+        let doc = sample()
+            .to_json()
+            .replacen("\"schema_version\":1", "\"schema_version\":99", 1);
+        assert!(matches!(
+            SweepManifest::from_json(&doc),
+            Err(ManifestError::SchemaVersion {
+                found: 99,
+                expected: SWEEP_MANIFEST_SCHEMA_VERSION
+            })
+        ));
+        assert!(matches!(
+            SweepManifest::from_json("{]"),
+            Err(ManifestError::Json(_))
+        ));
+        assert!(matches!(
+            SweepManifest::from_json("{\"schema_version\":1}"),
+            Err(ManifestError::Field { .. })
+        ));
+    }
+}

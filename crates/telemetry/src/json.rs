@@ -1,7 +1,19 @@
-//! Minimal JSON rendering helpers: just enough to serialize telemetry
-//! snapshots and scoreboards without pulling a serialization dependency
-//! into the workspace. Strings are escaped per RFC 8259; non-finite
-//! numbers become `null` (JSON has no NaN/inf).
+//! Minimal JSON rendering *and parsing* helpers: just enough to
+//! serialize telemetry snapshots, scoreboards, and the characterize
+//! crate's checkpoint documents without pulling a serialization
+//! dependency into the workspace. Strings are escaped per RFC 8259;
+//! non-finite numbers become `null` (JSON has no NaN/inf).
+//!
+//! The parser ([`Value::parse`]) is the read half of the same
+//! conventions. Two deliberate properties matter to the checkpoint
+//! layer:
+//!
+//! * **numbers keep their raw token** ([`Value::Num`] stores the
+//!   original text), so a `u64` seed above 2^53 round-trips exactly and
+//!   an `f64` rendered with Rust's shortest round-trip formatting
+//!   parses back to the identical bit pattern;
+//! * **errors carry a byte offset**, so a corrupt journal line reports
+//!   *where* it went wrong instead of panicking.
 
 use std::fmt::Write;
 
@@ -54,6 +66,325 @@ pub fn array<I: IntoIterator<Item = String>>(elements: I) -> String {
     out
 }
 
+/// Where and why a JSON parse failed. The offset is a byte index into
+/// the input, so journal-corruption reports can point at the damage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending input position.
+    pub offset: usize,
+    /// Human-readable description of what was expected or found.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.detail
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed JSON document. Object members keep their input order
+/// (documents written by these helpers are deterministic, and keeping
+/// order lets tests compare re-rendered output byte for byte). Numbers
+/// keep their raw source token — see the module docs for why.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` (also what non-finite floats render as).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its raw source token.
+    Num(String),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, members in input order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Parses a complete JSON document; trailing non-whitespace is an
+    /// error (a journal line must be exactly one document).
+    pub fn parse(input: &str) -> Result<Value, ParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing characters after document"));
+        }
+        Ok(value)
+    }
+
+    /// Object member lookup (first match); `None` on missing key or
+    /// non-object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`. `null` maps back to NaN, inverting the
+    /// render-side convention that non-finite floats become `null`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Null => Some(f64::NAN),
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact `u64` (rejects signs, fractions, and
+    /// exponents — seeds and counters are written as plain integers).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// [`Value::as_u64`] narrowed to `u32`.
+    pub fn as_u32(&self) -> Option<u32> {
+        self.as_u64().and_then(|v| u32::try_from(v).ok())
+    }
+
+    /// [`Value::as_u64`] narrowed to `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, detail: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            detail: detail.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.error("expected a JSON value")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number token bytes are ASCII");
+        if raw.parse::<f64>().is_err() {
+            self.pos = start;
+            return Err(self.error(&format!("malformed number '{raw}'")));
+        }
+        Ok(Value::Num(raw.to_string()))
+    }
+
+    fn hex4(&mut self) -> Result<u16, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.error("non-ASCII in \\u escape"))?;
+        let code = u16::from_str_radix(hex, 16).map_err(|_| self.error("bad hex in \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: the low half must follow.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let code = 0x10000
+                                        + ((u32::from(hi) - 0xD800) << 10)
+                                        + (u32::from(lo) - 0xDC00);
+                                    char::from_u32(code)
+                                        .ok_or_else(|| self.error("bad surrogate pair"))?
+                                } else {
+                                    return Err(self.error("lone high surrogate"));
+                                }
+                            } else {
+                                char::from_u32(u32::from(hi))
+                                    .ok_or_else(|| self.error("lone low surrogate"))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through by consuming whole
+                    // code points from the source slice.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().expect("peeked byte implies a char");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +414,83 @@ mod tests {
             array(vec!["1".to_string(), "\"x\"".to_string()]),
             "[1,\"x\"]"
         );
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Value::parse("null").unwrap(), Value::Null);
+        assert_eq!(Value::parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(Value::parse(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(Value::parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(Value::parse("-1.5e3").unwrap().as_f64(), Some(-1500.0));
+        assert_eq!(Value::parse("\"hi\"").unwrap().as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn u64_seeds_round_trip_exactly() {
+        let seed = u64::MAX - 7;
+        let doc = format!("{{\"seed\":{seed}}}");
+        let parsed = Value::parse(&doc).unwrap();
+        assert_eq!(parsed.get("seed").unwrap().as_u64(), Some(seed));
+    }
+
+    #[test]
+    fn f64_shortest_form_round_trips_bitwise() {
+        for v in [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e308, -0.0, 2.5e-17] {
+            let parsed = Value::parse(&number(v)).unwrap();
+            assert_eq!(parsed.as_f64().unwrap().to_bits(), v.to_bits());
+        }
+        // Non-finite renders as null and parses back as NaN.
+        assert!(Value::parse(&number(f64::NAN))
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            .is_nan());
+    }
+
+    #[test]
+    fn parses_nested_documents_and_escapes() {
+        let doc = r#"{"a":[1,2,{"b":"x\ny µ 😀"}],"c":null}"#;
+        let v = Value::parse(doc).unwrap();
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("b").unwrap().as_str(), Some("x\ny µ 😀"));
+        assert_eq!(v.get("c"), Some(&Value::Null));
+        assert_eq!(v.get("missing"), None);
+        // quote() output parses back to the original string.
+        let tricky = "a\"b\\c\nd\tµ";
+        assert_eq!(Value::parse(&quote(tricky)).unwrap().as_str(), Some(tricky));
+    }
+
+    #[test]
+    fn rejects_malformed_documents_with_offsets() {
+        for (doc, from_offset) in [
+            ("{", 1),
+            ("[1,", 3),
+            ("{\"a\":}", 5),
+            ("\"unterminated", 13),
+            ("12 34", 3),
+            ("nul", 0),
+            ("{\"a\" 1}", 5),
+            ("", 0),
+            ("1e", 0),
+        ] {
+            let err = Value::parse(doc).expect_err(doc);
+            assert!(
+                err.offset >= from_offset.min(doc.len()),
+                "{doc}: offset {} < {from_offset}",
+                err.offset
+            );
+            assert!(err.to_string().contains("JSON parse error"));
+        }
+    }
+
+    #[test]
+    fn narrowing_accessors_reject_out_of_range() {
+        let v = Value::parse("4294967296").unwrap();
+        assert_eq!(v.as_u32(), None);
+        assert_eq!(v.as_u64(), Some(4_294_967_296));
+        assert_eq!(Value::parse("-3").unwrap().as_u64(), None);
+        assert_eq!(Value::parse("1.5").unwrap().as_u64(), None);
     }
 }

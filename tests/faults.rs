@@ -111,7 +111,7 @@ proptest! {
             .collect();
         let plan = FaultPlan {
             seed,
-            cells: with_cells.then(|| CellFaultSpec {
+            cells: with_cells.then_some(CellFaultSpec {
                 seed,
                 stuck_per_million: 50.0,
                 weak_per_million: 50.0,
@@ -144,6 +144,60 @@ proptest! {
         }
         prop_assert_eq!(&outcomes[0], &outcomes[1], "1 vs 2 workers diverged");
         prop_assert_eq!(&outcomes[0], &outcomes[2], "1 vs 4 workers diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A plan that has been through JSON — rendered, parsed back — is
+    /// not merely structurally equal: applying it to a fleet produces
+    /// byte-identical outcomes to applying the original. Serialization
+    /// must never perturb fault application (a resumed checkpointed run
+    /// validates against the plan's JSON, so any drift here would break
+    /// kill-and-resume determinism).
+    #[test]
+    fn json_round_tripped_plan_applies_byte_identically(
+        seed in any::<u64>(),
+        choices in proptest::collection::vec(any::<u8>(), 2),
+        groups in proptest::collection::vec(0usize..4, 2),
+        stall in 0.0f64..30.0,
+        with_deadline in any::<bool>(),
+        with_cells in any::<bool>(),
+        shift_milli in any::<u8>(),
+    ) {
+        let mut config = two_module_config(seed);
+        let modules: Vec<ModuleFault> = choices
+            .iter()
+            .zip(&groups)
+            .enumerate()
+            .filter_map(|(i, (&c, &g))| fault_from_choice(i, c, g, stall))
+            .collect();
+        let plan = FaultPlan {
+            seed,
+            cells: with_cells.then_some(CellFaultSpec {
+                seed,
+                stuck_per_million: 50.0,
+                weak_per_million: 50.0,
+                weak_leak_multiplier: 4.0,
+                sense_offset_shift: (f32::from(shift_milli) - 128.0) / 10_000.0,
+            }),
+            modules,
+            vpp_droop: None,
+            deadline_ms: with_deadline.then_some(20.0),
+        };
+        let reparsed = FaultPlan::from_json(&plan.to_json()).expect("own rendering must parse");
+        prop_assert_eq!(&reparsed, &plan);
+        let policy = FleetPolicy {
+            deadline_ms: plan.deadline_ms,
+            ..FleetPolicy::default()
+        };
+        let clock = MockClock::new();
+        config.faults = Some(plan);
+        let original = run_fleet_with(&config, 4, policy, &clock, 2, probe_op);
+        config.faults = Some(reparsed);
+        let round_tripped = run_fleet_with(&config, 4, policy, &clock, 2, probe_op);
+        prop_assert_eq!(&original, &round_tripped, "JSON round trip perturbed fault application");
     }
 }
 

@@ -274,4 +274,62 @@ proptest! {
         prop_assert_eq!(!&(&a | &b), &(!&a) & &(!&b));
         prop_assert_eq!(&(&a ^ &b) ^ &b, a);
     }
+
+    /// FaultPlan JSON round-trips losslessly for arbitrary plans: parse
+    /// recovers the exact structure (u64 seeds, f64 knobs, f32 sense
+    /// shifts bit for bit) and re-rendering is canonical.
+    #[test]
+    fn fault_plan_json_round_trips_losslessly(
+        seed in any::<u64>(),
+        choices in proptest::collection::vec(any::<u8>(), 3),
+        groups in proptest::collection::vec(0usize..6, 3),
+        stall in 0.0f64..50.0,
+        with_cells in any::<bool>(),
+        with_droop in any::<bool>(),
+        with_deadline in any::<bool>(),
+        shift_milli in any::<u8>(),
+    ) {
+        use simra::faults::{CellFaultSpec, FaultPlan, ModuleFault, ModuleFaultKind, VppDroop};
+        let modules: Vec<ModuleFault> = choices
+            .iter()
+            .zip(&groups)
+            .enumerate()
+            .filter_map(|(i, (&c, &g))| {
+                let kind = match c % 4 {
+                    0 => return None,
+                    1 => ModuleFaultKind::Dropout {
+                        at_group: g,
+                        recover_after_attempts: if c >= 128 { Some(u32::from(c) % 3) } else { None },
+                    },
+                    2 => ModuleFaultKind::PanicAt { at_group: g },
+                    _ => ModuleFaultKind::Hang { at_group: g, stall_ms: stall },
+                };
+                Some(ModuleFault { module_index: i, kind })
+            })
+            .collect();
+        let plan = FaultPlan {
+            seed,
+            cells: with_cells.then(|| CellFaultSpec {
+                seed: seed ^ 0x5EED,
+                stuck_per_million: 50.0 + stall,
+                weak_per_million: 1.0 / 3.0,
+                weak_leak_multiplier: 4.0,
+                sense_offset_shift: (f32::from(shift_milli) - 128.0) / 1000.0,
+            }),
+            modules,
+            vpp_droop: with_droop.then(|| VppDroop {
+                delta_v: 0.4 + stall * 1e-3,
+                from_group: groups[0],
+                to_group: groups[0] + groups[1] + 1,
+            }),
+            deadline_ms: with_deadline.then_some(stall + 5.0),
+        };
+        let rendered = plan.to_json();
+        let reparsed = FaultPlan::from_json(&rendered).expect("own rendering must parse");
+        prop_assert_eq!(&reparsed, &plan);
+        if let (Some(a), Some(b)) = (&reparsed.cells, &plan.cells) {
+            prop_assert_eq!(a.sense_offset_shift.to_bits(), b.sense_offset_shift.to_bits());
+        }
+        prop_assert_eq!(reparsed.to_json(), rendered, "rendering must be canonical");
+    }
 }
