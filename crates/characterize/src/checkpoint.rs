@@ -26,9 +26,12 @@
 //! A torn tail (no newline, bad CRC, malformed JSON) marks the journal
 //! *truncated*: the damaged suffix is cut off and never trusted, the
 //! `checkpoint/journal_truncated` counter ticks, and the affected
-//! tasks simply re-run. A bad **manifest** line, by contrast, is a
-//! typed error — without a trustworthy manifest the journal proves
-//! nothing and resuming would be a silent guess.
+//! tasks simply re-run. A journal with no trusted manifest prefix at
+//! all — empty, or a single torn line, the footprint of a kill before
+//! the manifest fsync — restarts fresh, as if it never existed. A
+//! *complete* manifest line that fails its CRC, by contrast, is a
+//! typed error — it claims to prove what the journal belongs to but
+//! cannot be trusted, and resuming would be a silent guess.
 //!
 //! # Determinism
 //!
@@ -346,11 +349,28 @@ struct LoadedJournal {
     truncate_to: Option<u64>,
 }
 
+/// Outcome of inspecting a journal file that exists on disk.
+enum JournalState {
+    /// The file holds no trusted manifest prefix — it is empty, or its
+    /// only content is a torn (newline-less) first line, exactly what a
+    /// kill between `create_new` and the manifest fsync leaves behind.
+    /// Nothing was ever proven by this journal, so it restarts fresh.
+    Fresh {
+        /// Whether a torn first line was discarded (ticks the
+        /// `journal_truncated` counter).
+        had_bytes: bool,
+    },
+    /// A trusted manifest line exists; resume from the intact prefix.
+    Loaded(LoadedJournal),
+}
+
 /// Loads a journal, validating CRCs line by line. The first damaged
 /// *record* line ends the trusted prefix (write-ahead semantics: a
-/// suffix after damage proves nothing). A damaged or unparseable
-/// *manifest* line is unrepairable — typed error.
-fn load_journal(path: &Path) -> Result<LoadedJournal, CheckpointError> {
+/// suffix after damage proves nothing). A *complete* manifest line that
+/// fails its CRC or does not parse is unrepairable — typed error — but
+/// a file with no complete first line at all is merely
+/// [`JournalState::Fresh`].
+fn load_journal(path: &Path) -> Result<JournalState, CheckpointError> {
     let data = fs::read(path).map_err(|e| io_err("reading journal", path, e))?;
     let mut offset = 0usize;
     let mut manifest: Option<SweepManifest> = None;
@@ -382,15 +402,18 @@ fn load_journal(path: &Path) -> Result<LoadedJournal, CheckpointError> {
             }
         }
     }
-    let manifest = manifest.ok_or_else(|| CheckpointError::Corrupt {
-        path: path.to_path_buf(),
-        detail: "journal has no manifest line".into(),
-    })?;
-    Ok(LoadedJournal {
+    let Some(manifest) = manifest else {
+        // Empty file or a single torn line: a crash before the manifest
+        // line became durable. No prefix to trust, nothing to resume.
+        return Ok(JournalState::Fresh {
+            had_bytes: !data.is_empty(),
+        });
+    };
+    Ok(JournalState::Loaded(LoadedJournal {
         manifest,
         records,
         truncate_to,
-    })
+    }))
 }
 
 /// Append-only journal writer. Every append is flushed and fsynced
@@ -418,11 +441,14 @@ impl JournalWriter {
     }
 
     /// Opens an existing journal for appending, first truncating it to
-    /// `keep_len` bytes when a damaged tail was detected.
+    /// `keep_len` bytes when a damaged tail was detected. The file is
+    /// always opened with `O_APPEND`: each write lands at the *current*
+    /// EOF, so appends stay correct after `set_len` shrinks the file —
+    /// without it the cursor would sit at offset 0 and overwrite the
+    /// intact prefix.
     fn open_append(path: &Path, keep_len: Option<u64>) -> Result<Self, CheckpointError> {
         let file = OpenOptions::new()
-            .write(true)
-            .append(keep_len.is_none())
+            .append(true)
             .open(path)
             .map_err(|e| io_err("opening journal", path, e))?;
         if let Some(len) = keep_len {
@@ -538,39 +564,54 @@ where
         .map(|_| (0..points.len()).map(|_| None).collect())
         .collect();
     let writer = if path.exists() {
-        let loaded = load_journal(&path)?;
-        if let Some((field, on_disk, current)) = loaded.manifest.mismatch(&manifest) {
-            return Err(CheckpointError::Mismatch {
-                field,
-                on_disk,
-                current,
-            });
-        }
-        if loaded.truncate_to.is_some() {
-            telemetry.journal_truncated.incr();
-        }
-        for record in loaded.records {
-            if record.module >= modules || record.point >= points.len() {
-                return Err(CheckpointError::Corrupt {
-                    path: path.clone(),
-                    detail: format!(
-                        "record addresses slot (module {}, point {}) outside the \
-                         {modules}×{} grid",
-                        record.module,
-                        record.point,
-                        points.len()
-                    ),
-                });
+        match load_journal(&path)? {
+            JournalState::Fresh { had_bytes } => {
+                // Nothing trustworthy on disk — a crash before the
+                // manifest line became durable. Restart this journal as
+                // if it never existed.
+                if had_bytes {
+                    telemetry.journal_truncated.incr();
+                }
+                fs::remove_file(&path)
+                    .map_err(|e| io_err("removing manifest-less journal", &path, e))?;
+                JournalWriter::create(&path, &manifest)?
             }
-            // Last record wins; duplicates can only arise from a crash
-            // between a retryable write and its bookkeeping, and the
-            // records are identical by determinism anyway.
-            if replayed[record.module][record.point].is_none() {
-                telemetry.resume_points_skipped.incr();
+            JournalState::Loaded(loaded) => {
+                if let Some((field, on_disk, current)) = loaded.manifest.mismatch(&manifest) {
+                    return Err(CheckpointError::Mismatch {
+                        field,
+                        on_disk,
+                        current,
+                    });
+                }
+                if loaded.truncate_to.is_some() {
+                    telemetry.journal_truncated.incr();
+                }
+                for record in loaded.records {
+                    if record.module >= modules || record.point >= points.len() {
+                        return Err(CheckpointError::Corrupt {
+                            path: path.clone(),
+                            detail: format!(
+                                "record addresses slot (module {}, point {}) outside the \
+                                 {modules}×{} grid",
+                                record.module,
+                                record.point,
+                                points.len()
+                            ),
+                        });
+                    }
+                    // Last record wins; duplicates can only arise from a
+                    // crash between a retryable write and its
+                    // bookkeeping, and the records are identical by
+                    // determinism anyway.
+                    if replayed[record.module][record.point].is_none() {
+                        telemetry.resume_points_skipped.incr();
+                    }
+                    replayed[record.module][record.point] = Some(record.result);
+                }
+                JournalWriter::open_append(&path, loaded.truncate_to)?
             }
-            replayed[record.module][record.point] = Some(record.result);
         }
-        JournalWriter::open_append(&path, loaded.truncate_to)?
     } else {
         fs::create_dir_all(dir).map_err(|e| io_err("creating checkpoint dir", dir, e))?;
         JournalWriter::create(&path, &manifest)?
@@ -921,6 +962,65 @@ mod tests {
         fs::write(&path, &torn).unwrap();
         let resumed = run_checkpointed(&config, &dir).unwrap();
         assert_eq!(resumed, full);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_or_torn_manifest_journal_restarts_fresh() {
+        let config = two_module_config();
+        let dir = scratch("freshagain");
+        let full = run_checkpointed(&config, &dir).unwrap();
+        let path = journal_path(&dir);
+        // A kill between journal creation and the manifest line's fsync
+        // leaves an empty file; resume must restart the journal as
+        // fresh, not fail with a typed error.
+        fs::write(&path, b"").unwrap();
+        assert_eq!(run_checkpointed(&config, &dir).unwrap(), full);
+        // ... or a torn, newline-less manifest prefix — same recovery.
+        let data = fs::read(&path).unwrap();
+        fs::write(&path, &data[..20]).unwrap();
+        assert_eq!(run_checkpointed(&config, &dir).unwrap(), full);
+        // Both recoveries recreated and compacted the full journal.
+        assert_eq!(fs::read(&path).unwrap(), data);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_resume_appends_at_eof_and_survives_second_kill() {
+        let config = two_module_config();
+        let dir = scratch("doublekill");
+        let full = run_checkpointed(&config, &dir).unwrap();
+        let path = journal_path(&dir);
+        let data = fs::read(&path).unwrap();
+        let spans = line_spans(&data);
+        // Keep manifest + two records, then a half-written third: a
+        // SIGKILL mid-append.
+        let keep = spans[2].1;
+        let mut torn = data[..keep].to_vec();
+        torn.extend_from_slice(&data[spans[3].0..spans[3].0 + 17]);
+        fs::write(&path, &torn).unwrap();
+        // Replay the resume's journal writes by hand: truncate the
+        // damaged tail, append one completed record, then "crash"
+        // before compaction by dropping the writer.
+        let JournalState::Loaded(loaded) = load_journal(&path).unwrap() else {
+            panic!("journal with an intact manifest must load");
+        };
+        assert_eq!(loaded.truncate_to, Some(keep as u64));
+        {
+            let mut writer = JournalWriter::open_append(&path, loaded.truncate_to).unwrap();
+            let replay_line = std::str::from_utf8(&data[spans[3].0..spans[3].1 - 1]).unwrap();
+            writer.append_line(replay_line).unwrap();
+        }
+        // The append landed at EOF: intact prefix untouched, the new
+        // record after it — not overwriting the manifest at byte 0.
+        let mid_run = fs::read(&path).unwrap();
+        assert_eq!(&mid_run[..keep], &data[..keep], "prefix must stay intact");
+        assert_eq!(&mid_run[keep..], &data[spans[3].0..spans[3].1]);
+        // The second kill struck before compaction; a second resume
+        // must load this journal and finish byte-identical.
+        let resumed = run_checkpointed(&config, &dir).unwrap();
+        assert_eq!(resumed, full);
+        assert_eq!(fs::read(&path).unwrap(), data);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -115,6 +115,7 @@ impl Value {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -188,9 +189,17 @@ impl Value {
     }
 }
 
+/// Deepest allowed array/object nesting. The parser recurses once per
+/// level; without a cap a crafted or corrupted document of thousands of
+/// `[`s would overflow the stack and abort instead of returning the
+/// typed [`ParseError`] this module promises. Documents these helpers
+/// write are a handful of levels deep, so 128 is generous headroom.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -198,6 +207,16 @@ impl<'a> Parser<'a> {
         ParseError {
             offset: self.pos,
             detail: detail.to_string(),
+        }
+    }
+
+    /// Tracks entry into a container; errors past [`MAX_DEPTH`].
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(self.error(&format!("nesting deeper than {MAX_DEPTH} levels")))
+        } else {
+            Ok(())
         }
     }
 
@@ -335,10 +354,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Value, ParseError> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(items));
         }
         loop {
@@ -349,6 +370,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(items));
                 }
                 _ => return Err(self.error("expected ',' or ']' in array")),
@@ -358,10 +380,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Value, ParseError> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(members));
         }
         loop {
@@ -377,6 +401,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(members));
                 }
                 _ => return Err(self.error("expected ',' or '}' in object")),
@@ -483,6 +508,25 @@ mod tests {
             );
             assert!(err.to_string().contains("JSON parse error"));
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+        // At the cap: parses fine.
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Value::parse(&ok).is_ok());
+        // One past the cap: typed error.
+        let over = format!("{}{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let err = Value::parse(&over).unwrap_err();
+        assert!(err.detail.contains("nesting"), "{err}");
+        // Far past the cap (the crash case without the guard): still a
+        // typed error, not an abort. Mixed containers count too.
+        let bomb = "[{\"k\":".repeat(100_000) + "1" + &"}]".repeat(100_000);
+        let err = Value::parse(&bomb).unwrap_err();
+        assert!(err.detail.contains("nesting"), "{err}");
+        // Sibling containers do not accumulate depth.
+        let wide = format!("[{}]", vec!["[[1]]"; 64].join(","));
+        assert!(Value::parse(&wide).is_ok());
     }
 
     #[test]
