@@ -16,6 +16,8 @@
 //! repro <scale> --metrics-out <path>  # telemetry + scoreboard JSON to <path>
 //! repro <scale> --checkpoint-dir <path>  # journal sweeps for kill-and-resume
 //! repro <scale> --checkpoint-dir <path> --resume  # continue a killed run
+//! repro <scale> --shards <N>    # split sweeps across N worker processes,
+//!                               # merge, and replay (byte-identical output)
 //! ```
 //!
 //! `--timings` and the telemetry flags write to stderr (or to a file),
@@ -60,7 +62,9 @@ fn main() {
         }
     };
     let timings = opts.timings;
-    if opts.wants_telemetry() {
+    // Shard workers always record telemetry: the coordinator merges the
+    // per-worker snapshots whether or not the final run wants metrics.
+    if opts.wants_telemetry() || opts.shard_worker.is_some() {
         simra_telemetry::global().enable();
     }
     let scale = opts.scale();
@@ -87,7 +91,96 @@ fn main() {
             }
         }
     }
-    if let Some(dir) = opts.checkpoint_dir.as_deref() {
+    // A coordinator without --checkpoint-dir shards into a temp root,
+    // removed after the run; `Some` only in that case.
+    let mut temp_root = None;
+    if let Some((index, count)) = opts.shard_worker {
+        // Worker mode: journal only this shard's slots. The session
+        // manifest pins the shard spec alongside scale/seed/backend, so
+        // resuming under a different spec is a typed refusal (exit 2).
+        let dir = opts
+            .checkpoint_dir
+            .as_deref()
+            .expect("the CLI rejects --shard-worker without --checkpoint-dir");
+        let spec = simra_exec::ShardSpec { index, count };
+        if let Err(err) = simra_characterize::arm_sharded_checkpoints(
+            std::path::Path::new(dir),
+            &config,
+            opts.resume,
+            spec,
+        ) {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "# shard worker {spec}: journaling into {dir} ({})",
+            if opts.resume {
+                "resuming"
+            } else {
+                "fresh session"
+            }
+        );
+    } else if let Some(shards) = opts.shards {
+        // Coordinator mode: run the workers to completion, merge their
+        // journals, then arm the merged directory and fall through to
+        // the ordinary campaign below — every sweep replays from the
+        // merged journal, so stdout is byte-identical to an unsharded
+        // run.
+        let root = match opts.checkpoint_dir.as_deref() {
+            Some(dir) => std::path::PathBuf::from(dir),
+            None => {
+                let dir = std::env::temp_dir().join(format!("simra-shards-{}", std::process::id()));
+                temp_root = Some(dir.clone());
+                dir
+            }
+        };
+        let exe = match std::env::current_exe() {
+            Ok(exe) => exe,
+            Err(err) => {
+                eprintln!("error: cannot locate the repro binary to re-invoke: {err}");
+                std::process::exit(2);
+            }
+        };
+        let mut base_args = vec![opts.scale().to_string()];
+        if opts.backend != simra_exec::BackendChoice::Analog {
+            base_args.push("--backend".into());
+            base_args.push(opts.backend.to_string());
+        }
+        if let Some(preset) = opts.faults_preset.as_deref() {
+            base_args.push("--faults".into());
+            base_args.push(preset.to_string());
+        }
+        let coordinator =
+            simra_characterize::ShardCoordinator::new(exe, base_args, root.clone(), shards);
+        eprintln!("# shards: {shards} workers under {}", root.display());
+        let report = match coordinator.execute() {
+            Ok(report) => report,
+            Err(err) => {
+                eprintln!("error: {err}");
+                std::process::exit(2);
+            }
+        };
+        eprintln!(
+            "# shards: merged {} sweep journal(s) ({} records) into {}",
+            report.sweeps,
+            report.records,
+            coordinator.merged_dir().display()
+        );
+        if let Some(path) = &report.telemetry {
+            eprintln!("# shards: worker telemetry merged into {}", path.display());
+        }
+        let merged = coordinator.merged_dir();
+        // Rerunning the same coordinator command resumes on its own.
+        let resume = merged.join("session.json").exists();
+        if let Err(err) = simra_characterize::arm_checkpoints(&merged, &config, resume) {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "# checkpoints: {} (replaying merged journals)",
+            merged.display()
+        );
+    } else if let Some(dir) = opts.checkpoint_dir.as_deref() {
         // Armed after the config is final: the session manifest pins
         // scale, seed, backend, and fault plan, and `--resume` refuses
         // to continue under different arguments.
@@ -199,6 +292,25 @@ fn main() {
         if opts.metrics {
             eprint!("{}", snapshot.summary());
         }
+    }
+
+    if opts.shard_worker.is_some() {
+        // The worker's snapshot rides with its journal so the
+        // coordinator can merge all workers' telemetry.
+        let dir = opts
+            .checkpoint_dir
+            .as_deref()
+            .expect("the CLI rejects --shard-worker without --checkpoint-dir");
+        let path = std::path::Path::new(dir).join("telemetry.json");
+        let snapshot = simra_telemetry::global().snapshot();
+        if let Err(err) = std::fs::write(&path, snapshot.to_json() + "\n") {
+            eprintln!("failed to write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(root) = temp_root {
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     if timings {

@@ -9,7 +9,7 @@
 
 /// Usage text printed alongside every parse error.
 pub const USAGE: &str = "\
-usage: repro [<scale>] [--backend <which>] [--timings] [--faults <preset>] [--metrics] [--metrics-out <path>] [--checkpoint-dir <path> [--resume]]
+usage: repro [<scale>] [--backend <which>] [--timings] [--faults <preset>] [--metrics] [--metrics-out <path>] [--shards <N>] [--checkpoint-dir <path> [--resume]]
   <scale>               quick | reduced | paper (default: reduced)
   --backend <which>     execution backend: analog (default, the reference
                         physics path) | surrogate (calibrated fast model)
@@ -17,11 +17,19 @@ usage: repro [<scale>] [--backend <which>] [--timings] [--faults <preset>] [--me
   --faults <preset>     arm a fault-injection preset (quick | dropout | chaos)
   --metrics             print a telemetry summary to stderr after the run
   --metrics-out <path>  write versioned telemetry + scoreboard JSON to <path>
+  --shards <N>          split every sweep grid across N worker processes,
+                        merge their journals, and replay — output is
+                        byte-identical to an unsharded run; killed workers
+                        resume automatically when the command is rerun
   --checkpoint-dir <path>
                         journal every sweep into <path>; a killed run can be
-                        resumed from there with byte-identical results
+                        resumed from there with byte-identical results (with
+                        --shards: the shard root; defaults to a temp dir)
   --resume              continue the checkpoint session in --checkpoint-dir
-                        (requires an existing session with the same arguments)";
+                        (requires an existing session with the same arguments)
+  --shard-worker <i>/<N>
+                        internal: run as shard worker i of N, journaling only
+                        its slots into --checkpoint-dir (spawned by --shards)";
 
 /// Parsed `repro` invocation.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -42,6 +50,11 @@ pub struct CliOptions {
     pub checkpoint_dir: Option<String>,
     /// `--resume`: continue the session in `--checkpoint-dir`.
     pub resume: bool,
+    /// `--shards <N>`: run as a coordinator over N worker processes.
+    pub shards: Option<u32>,
+    /// `--shard-worker <i>/<N>` (internal): run as shard worker `i` of
+    /// `N`, journaling only the slots it owns into `--checkpoint-dir`.
+    pub shard_worker: Option<(u32, u32)>,
 }
 
 impl CliOptions {
@@ -73,6 +86,17 @@ pub enum CliError {
     UnknownBackend(String),
     /// `--resume` without the `--checkpoint-dir` it would resume into.
     ResumeWithoutDir,
+    /// `--shards` with a value that is not a positive integer.
+    InvalidShards(String),
+    /// `--shard-worker` with a value that is not `<i>/<N>` with `i < N`.
+    InvalidShardWorker(String),
+    /// `--shards` and `--shard-worker` in the same invocation.
+    ShardConflict,
+    /// `--shard-worker` without the `--checkpoint-dir` it journals into.
+    ShardWorkerWithoutDir,
+    /// `--shards` with `--resume`: a rerun coordinator resumes on its
+    /// own, so the explicit flag would only mislead.
+    ShardsWithResume,
 }
 
 impl std::fmt::Display for CliError {
@@ -97,6 +121,27 @@ impl std::fmt::Display for CliError {
             }
             CliError::ResumeWithoutDir => {
                 write!(f, "--resume requires --checkpoint-dir")
+            }
+            CliError::InvalidShards(value) => {
+                write!(f, "--shards expects a positive integer, got {value:?}")
+            }
+            CliError::InvalidShardWorker(value) => {
+                write!(
+                    f,
+                    "--shard-worker expects <i>/<N> with i < N, got {value:?}"
+                )
+            }
+            CliError::ShardConflict => {
+                write!(f, "--shards and --shard-worker cannot be combined")
+            }
+            CliError::ShardWorkerWithoutDir => {
+                write!(f, "--shard-worker requires --checkpoint-dir")
+            }
+            CliError::ShardsWithResume => {
+                write!(
+                    f,
+                    "--shards resumes killed workers automatically; drop --resume"
+                )
             }
         }
     }
@@ -136,6 +181,20 @@ where
                 None => return Err(CliError::MissingValue("--checkpoint-dir")),
             },
             "--resume" => opts.resume = true,
+            "--shards" => match iter.next() {
+                Some(value) => match value.parse::<u32>() {
+                    Ok(n) if n > 0 => opts.shards = Some(n),
+                    _ => return Err(CliError::InvalidShards(value)),
+                },
+                None => return Err(CliError::MissingValue("--shards")),
+            },
+            "--shard-worker" => match iter.next() {
+                Some(value) => match parse_shard_worker(&value) {
+                    Some(spec) => opts.shard_worker = Some(spec),
+                    None => return Err(CliError::InvalidShardWorker(value)),
+                },
+                None => return Err(CliError::MissingValue("--shard-worker")),
+            },
             other if other.starts_with('-') => {
                 return Err(CliError::UnknownFlag(other.to_string()));
             }
@@ -151,7 +210,24 @@ where
     if opts.resume && opts.checkpoint_dir.is_none() {
         return Err(CliError::ResumeWithoutDir);
     }
+    if opts.shards.is_some() && opts.shard_worker.is_some() {
+        return Err(CliError::ShardConflict);
+    }
+    if opts.shard_worker.is_some() && opts.checkpoint_dir.is_none() {
+        return Err(CliError::ShardWorkerWithoutDir);
+    }
+    if opts.shards.is_some() && opts.resume {
+        return Err(CliError::ShardsWithResume);
+    }
     Ok(opts)
+}
+
+/// Parses a `--shard-worker` value: `<i>/<N>` with `i < N`, `N > 0`.
+fn parse_shard_worker(value: &str) -> Option<(u32, u32)> {
+    let (index, count) = value.split_once('/')?;
+    let index = index.parse::<u32>().ok()?;
+    let count = count.parse::<u32>().ok()?;
+    (count > 0 && index < count).then_some((index, count))
 }
 
 #[cfg(test)]
@@ -290,6 +366,66 @@ mod tests {
     }
 
     #[test]
+    fn shards_flag_parses_and_validates() {
+        let opts = parse(&["quick", "--shards", "4"]).unwrap();
+        assert_eq!(opts.shards, Some(4));
+        assert!(opts.shard_worker.is_none());
+        for bad in ["0", "-1", "four", "4.5", ""] {
+            assert_eq!(
+                parse(&["--shards", bad]),
+                Err(CliError::InvalidShards(bad.into())),
+                "--shards {bad:?} must be rejected"
+            );
+        }
+        assert_eq!(
+            parse(&["--shards"]),
+            Err(CliError::MissingValue("--shards"))
+        );
+    }
+
+    #[test]
+    fn shard_worker_flag_parses_and_validates() {
+        let opts = parse(&["quick", "--shard-worker", "1/4", "--checkpoint-dir", "d"]).unwrap();
+        assert_eq!(opts.shard_worker, Some((1, 4)));
+        for bad in ["4/4", "5/4", "1", "1/0", "a/4", "1/b", "/4", "1/", ""] {
+            assert_eq!(
+                parse(&["--shard-worker", bad, "--checkpoint-dir", "d"]),
+                Err(CliError::InvalidShardWorker(bad.into())),
+                "--shard-worker {bad:?} must be rejected"
+            );
+        }
+        assert_eq!(
+            parse(&["--shard-worker"]),
+            Err(CliError::MissingValue("--shard-worker"))
+        );
+    }
+
+    #[test]
+    fn shard_flag_combinations_are_policed() {
+        assert_eq!(
+            parse(&[
+                "--shards",
+                "2",
+                "--shard-worker",
+                "0/2",
+                "--checkpoint-dir",
+                "d"
+            ]),
+            Err(CliError::ShardConflict)
+        );
+        assert_eq!(
+            parse(&["--shard-worker", "0/2"]),
+            Err(CliError::ShardWorkerWithoutDir)
+        );
+        assert_eq!(
+            parse(&["--shards", "2", "--checkpoint-dir", "d", "--resume"]),
+            Err(CliError::ShardsWithResume)
+        );
+        // A coordinator without --checkpoint-dir is fine (temp root).
+        assert_eq!(parse(&["--shards", "2"]).unwrap().shards, Some(2));
+    }
+
+    #[test]
     fn errors_render_a_diagnostic() {
         assert_eq!(
             CliError::UnknownFlag("--x".into()).to_string(),
@@ -299,5 +435,7 @@ mod tests {
             .to_string()
             .contains("expected quick | reduced | paper"));
         assert!(USAGE.contains("--metrics-out"));
+        assert!(USAGE.contains("--shards <N>"));
+        assert!(USAGE.contains("--shard-worker <i>/<N>"));
     }
 }

@@ -49,10 +49,24 @@
 //! On resume, each journal's manifest must match the manifest of the
 //! sweep about to run: same seed, backend, fault-plan JSON, config
 //! digest (FNV-1a over the full `ExperimentConfig` `Debug` rendering —
-//! covering fleet composition and every scale knob), module count, and
-//! ordered `(n, params_digest)` point list. Any mismatch is a typed
-//! [`CheckpointError::Mismatch`] naming the first differing field —
-//! never a silent resume of the wrong campaign.
+//! covering fleet composition and every scale knob), module count,
+//! ordered `(n, params_digest)` point list, and shard spec. Any
+//! mismatch is a typed [`CheckpointError::Mismatch`] naming the first
+//! differing field — never a silent resume of the wrong campaign.
+//!
+//! # Sharding
+//!
+//! The same journals are the hand-off medium for multi-process sweeps
+//! (see [`crate::shard`]). A *shard worker* session ([`arm_sharded`])
+//! runs every sweep through the sharded path: only the `(module,
+//! point)` slots [`slot_shard`] assigns to the worker are scheduled and
+//! journaled, and the journal manifest records the shard spec. The
+//! coordinator then fuses the per-shard journals with
+//! [`merge_sweep_journals`] — producing a journal byte-identical to an
+//! unsharded run's, because every record is a pure function of its slot
+//! — and replays the merged directory in-process for the final,
+//! byte-identical campaign output. A killed worker resumes from its own
+//! journal exactly like a single-process run.
 //!
 //! [`run_sweep`]: crate::fleet::run_sweep
 
@@ -66,7 +80,7 @@ use std::sync::{Mutex, OnceLock};
 use rand::rngs::StdRng;
 use simra_bender::TestSetup;
 use simra_core::rowgroup::GroupSpec;
-use simra_exec::{stable_digest, ManifestError, PointDigest, SweepManifest};
+use simra_exec::{stable_digest, ManifestError, PointDigest, ShardSpec, SweepManifest};
 use simra_faults::FaultPlan;
 use simra_telemetry::json::{self, Value};
 use simra_telemetry::Counter;
@@ -128,6 +142,19 @@ pub enum CheckpointError {
     },
     /// A checkpoint session was already armed in this process.
     AlreadyArmed,
+    /// A shard journal offered for merging does not cover every slot
+    /// its shard owns — the worker was killed and never resumed to
+    /// completion.
+    ShardIncomplete {
+        /// The journal path.
+        path: PathBuf,
+        /// The shard the journal belongs to.
+        shard: u32,
+        /// First missing slot's module index.
+        module: usize,
+        /// First missing slot's point index.
+        point: usize,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -166,6 +193,17 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::AlreadyArmed => {
                 write!(f, "a checkpoint session is already armed in this process")
             }
+            CheckpointError::ShardIncomplete {
+                path,
+                shard,
+                module,
+                point,
+            } => write!(
+                f,
+                "shard {shard} journal {} is missing its result for (module {module}, \
+                 point {point}); resume the sharded run so the worker can finish before merging",
+                path.display()
+            ),
         }
     }
 }
@@ -503,6 +541,15 @@ fn atomic_rewrite(path: &Path, lines: &[String]) -> Result<(), CheckpointError> 
     Ok(())
 }
 
+/// Which shard of a `count`-way split owns the `(module, point)` slot
+/// of an `n_points`-wide grid: the flattened slot index modulo `count`.
+/// A pure function of the slot, so coordinator, workers, and the merge
+/// all agree on the partition without communicating — and the shards
+/// are balanced to within one slot.
+pub fn slot_shard(module: usize, point: usize, n_points: usize, count: u32) -> u32 {
+    ((module * n_points + point) % count as usize) as u32
+}
+
 /// Builds the manifest of the sweep `(config, points)` under the given
 /// id. Point parameters are digested from their `Debug` rendering —
 /// deterministic for every parameter type the figure runners use.
@@ -510,6 +557,7 @@ fn manifest_for<P: Debug>(
     config: &ExperimentConfig,
     sweep_id: &str,
     points: &[SweepPoint<P>],
+    shard: Option<ShardSpec>,
 ) -> SweepManifest {
     let empty = FaultPlan::default();
     let plan = config.faults.as_ref().unwrap_or(&empty);
@@ -528,6 +576,7 @@ fn manifest_for<P: Debug>(
                 params_digest: stable_digest(&format!("{:?}", p.params)),
             })
             .collect(),
+        shard,
     }
 }
 
@@ -555,10 +604,92 @@ where
     P: Sync + Debug,
     F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
+    run_sweep_checkpointed_impl(
+        pool, config, dir, sweep_id, points, policy, clock, workers, op, None,
+    )
+}
+
+/// The shard-worker variant of [`run_sweep_checkpointed_on`]: runs (and
+/// journals) only the `(module, point)` slots owned by `shard` per
+/// [`slot_shard`], masking the rest out of scheduling. The journal's
+/// manifest records the shard, so a resume with a different shard spec
+/// — or an unsharded resume of a shard journal — is a typed mismatch.
+///
+/// The returned outcomes are **not** the sweep's results: unowned slots
+/// are filled with inert placeholders (a zero-attempt failure). Shard
+/// workers exist to populate journals; [`merge_sweep_journals`] plus an
+/// unsharded replay over the merged journal produce the real results.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_checkpointed_sharded_on<P, F>(
+    pool: &FleetPool,
+    config: &ExperimentConfig,
+    dir: &Path,
+    sweep_id: &str,
+    points: &[SweepPoint<P>],
+    policy: FleetPolicy,
+    clock: &dyn FleetClock,
+    workers: usize,
+    op: F,
+    shard: ShardSpec,
+) -> Result<Vec<FleetOutcome>, CheckpointError>
+where
+    P: Sync + Debug,
+    F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
+{
+    run_sweep_checkpointed_impl(
+        pool,
+        config,
+        dir,
+        sweep_id,
+        points,
+        policy,
+        clock,
+        workers,
+        op,
+        Some(shard),
+    )
+}
+
+/// The placeholder filling outcome slots a shard does not own. Never
+/// journaled (compaction writes owned slots only); its only job is to
+/// keep the outcome grid rectangular so the worker's figure runners can
+/// digest the sweep without panicking (their tables are garbage for
+/// unowned slots, but a worker's stdout is discarded — only its journal
+/// matters). The sample must be finite and non-empty: `Failed` slots or
+/// NaN samples would trip `BoxStats::from_samples` in single-module
+/// configurations where a shard owns none of a point's slots. The
+/// `attempts: 0` marker distinguishes it from any real result.
+fn unowned_slot() -> ModuleResult {
+    ModuleResult::Completed {
+        samples: vec![0.0],
+        attempts: 0,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_sweep_checkpointed_impl<P, F>(
+    pool: &FleetPool,
+    config: &ExperimentConfig,
+    dir: &Path,
+    sweep_id: &str,
+    points: &[SweepPoint<P>],
+    policy: FleetPolicy,
+    clock: &dyn FleetClock,
+    workers: usize,
+    op: F,
+    shard: Option<ShardSpec>,
+) -> Result<Vec<FleetOutcome>, CheckpointError>
+where
+    P: Sync + Debug,
+    F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
+{
     let telemetry = CheckpointTelemetry::new();
-    let manifest = manifest_for(config, sweep_id, points);
+    let manifest = manifest_for(config, sweep_id, points, shard);
     let path = dir.join(format!("{sweep_id}.journal"));
     let modules = config.modules.len();
+    let owned = |module: usize, point: usize| {
+        shard.is_none_or(|s| slot_shard(module, point, points.len(), s.count) == s.index)
+    };
     // [module][point] slots replayed from the journal.
     let mut replayed: Vec<Vec<Option<ModuleResult>>> = (0..modules)
         .map(|_| (0..points.len()).map(|_| None).collect())
@@ -600,6 +731,19 @@ where
                             ),
                         });
                     }
+                    if !owned(record.module, record.point) {
+                        return Err(CheckpointError::Corrupt {
+                            path: path.clone(),
+                            detail: format!(
+                                "record addresses slot (module {}, point {}), which shard {} \
+                                 of {} does not own",
+                                record.module,
+                                record.point,
+                                shard.map_or(0, |s| s.index),
+                                shard.map_or(1, |s| s.count),
+                            ),
+                        });
+                    }
                     // Last record wins; duplicates can only arise from a
                     // crash between a retryable write and its
                     // bookkeeping, and the records are identical by
@@ -616,9 +760,19 @@ where
         fs::create_dir_all(dir).map_err(|e| io_err("creating checkpoint dir", dir, e))?;
         JournalWriter::create(&path, &manifest)?
     };
+    // Masked slots: already replayed, or owned by another shard. With
+    // every unowned slot masked, `all_done` means "every slot this
+    // process owns is journaled" in shard mode and "the whole grid is
+    // journaled" otherwise.
     let skip: Vec<Vec<bool>> = replayed
         .iter()
-        .map(|row| row.iter().map(Option::is_some).collect())
+        .enumerate()
+        .map(|(module, row)| {
+            row.iter()
+                .enumerate()
+                .map(|(point, slot)| slot.is_some() || !owned(module, point))
+                .collect()
+        })
         .collect();
     let all_done = skip.iter().all(|row| row.iter().all(|s| *s));
     let fresh: Vec<Vec<Option<ModuleResult>>> = if all_done {
@@ -666,34 +820,179 @@ where
         .map(|point| FleetOutcome {
             slots: (0..modules)
                 .map(|module| {
-                    replayed[module][point]
+                    let slot = replayed[module][point]
                         .take()
-                        .or_else(|| fresh[module][point].clone())
-                        .expect("every grid slot is either replayed or freshly run")
+                        .or_else(|| fresh[module][point].clone());
+                    match slot {
+                        Some(result) => result,
+                        None if !owned(module, point) => unowned_slot(),
+                        None => {
+                            unreachable!("every owned grid slot is either replayed or freshly run")
+                        }
+                    }
                 })
                 .collect(),
         })
         .collect();
-    for outcome in &outcomes {
-        fleet::record_session_outcome(outcome);
+    if shard.is_none() {
+        // Worker outcomes are placeholder-ridden scaffolding, not the
+        // sweep's results; coverage is recorded by the merged replay.
+        for outcome in &outcomes {
+            fleet::record_session_outcome(outcome);
+        }
     }
     // Snapshot compaction: replace the append-order journal with its
-    // canonical form — manifest line plus records sorted by (module,
-    // point) — via atomic tmp-file + rename. A kill during compaction
-    // leaves either the old journal or the new one, both complete.
+    // canonical form — manifest line plus owned records sorted by
+    // (module, point) — via atomic tmp-file + rename. A kill during
+    // compaction leaves either the old journal or the new one, both
+    // complete. Placeholders for unowned slots are never written.
     let mut lines = vec![frame(&manifest.to_json())];
-    for (module, row) in skip.iter().enumerate() {
-        for (point, _) in row.iter().enumerate() {
-            let record = JournalRecord {
-                module,
-                point,
-                result: outcomes[point].slots[module].clone(),
-            };
-            lines.push(frame(&render_record(&record)));
+    for module in 0..modules {
+        for (point, outcome) in outcomes.iter().enumerate() {
+            if owned(module, point) {
+                let record = JournalRecord {
+                    module,
+                    point,
+                    result: outcome.slots[module].clone(),
+                };
+                lines.push(frame(&render_record(&record)));
+            }
         }
     }
     atomic_rewrite(&path, &lines)?;
     Ok(outcomes)
+}
+
+/// Merges completed per-shard journals of one sweep into a single
+/// journal at `output`, byte-identical to the compacted journal an
+/// unsharded run of the same sweep would have written.
+///
+/// `inputs[i]` must be shard `i`'s journal (its manifest must record
+/// shard `i/inputs.len()`); all manifests must agree on every other
+/// field. Every shard must cover exactly the slots [`slot_shard`]
+/// assigns it — a missing slot is [`CheckpointError::ShardIncomplete`]
+/// (resume that worker first), a record outside the shard's ownership
+/// is [`CheckpointError::Corrupt`]. On success the merged journal holds
+/// the stripped (unsharded) manifest plus all records sorted by
+/// `(module, point)`, written atomically; returns the record count.
+///
+/// The byte-identity argument: every record is a pure function of
+/// `(config, module, point)` — per-slot RNG streams involve no other
+/// slot — so the union of shard records *is* the unsharded record set,
+/// and compaction ordering makes the rendering canonical.
+pub fn merge_sweep_journals(inputs: &[PathBuf], output: &Path) -> Result<usize, CheckpointError> {
+    let count = u32::try_from(inputs.len()).map_err(|_| CheckpointError::Corrupt {
+        path: output.to_path_buf(),
+        detail: "shard count exceeds u32".into(),
+    })?;
+    if count == 0 {
+        return Err(CheckpointError::Corrupt {
+            path: output.to_path_buf(),
+            detail: "no shard journals to merge".into(),
+        });
+    }
+    let mut base: Option<SweepManifest> = None;
+    let mut slots: Vec<Vec<Option<ModuleResult>>> = Vec::new();
+    for (index, path) in inputs.iter().enumerate() {
+        let index = index as u32;
+        let JournalState::Loaded(loaded) = load_journal(path)? else {
+            return Err(CheckpointError::Corrupt {
+                path: path.clone(),
+                detail: "shard journal holds no trusted manifest".into(),
+            });
+        };
+        let mut manifest = loaded.manifest;
+        match manifest.shard.take() {
+            Some(spec) if spec.index == index && spec.count == count => {}
+            Some(spec) => {
+                return Err(CheckpointError::Mismatch {
+                    field: "shard",
+                    on_disk: spec.to_string(),
+                    current: format!("{index}/{count}"),
+                });
+            }
+            None => {
+                return Err(CheckpointError::Mismatch {
+                    field: "shard",
+                    on_disk: "unsharded".into(),
+                    current: format!("{index}/{count}"),
+                });
+            }
+        }
+        // `manifest` is now shard-stripped: exactly what an unsharded
+        // run of the same sweep would have written.
+        match &base {
+            None => {
+                slots = vec![vec![None; manifest.points.len()]; manifest.modules];
+                base = Some(manifest);
+            }
+            Some(b) => {
+                if let Some((field, on_disk, current)) = b.mismatch(&manifest) {
+                    return Err(CheckpointError::Mismatch {
+                        field,
+                        on_disk,
+                        current,
+                    });
+                }
+            }
+        }
+        let n_points = base.as_ref().expect("base manifest just set").points.len();
+        for record in loaded.records {
+            if record.module >= slots.len() || record.point >= n_points {
+                return Err(CheckpointError::Corrupt {
+                    path: path.clone(),
+                    detail: format!(
+                        "record addresses slot (module {}, point {}) outside the {}×{} grid",
+                        record.module,
+                        record.point,
+                        slots.len(),
+                        n_points
+                    ),
+                });
+            }
+            if slot_shard(record.module, record.point, n_points, count) != index {
+                return Err(CheckpointError::Corrupt {
+                    path: path.clone(),
+                    detail: format!(
+                        "record for slot (module {}, point {}) found in shard {index}'s \
+                         journal, but shard {} owns it",
+                        record.module,
+                        record.point,
+                        slot_shard(record.module, record.point, n_points, count)
+                    ),
+                });
+            }
+            slots[record.module][record.point] = Some(record.result);
+        }
+    }
+    let base = base.expect("count > 0 guarantees a base manifest");
+    let n_points = base.points.len();
+    let mut lines = vec![frame(&base.to_json())];
+    let mut records = 0usize;
+    for (module, row) in slots.into_iter().enumerate() {
+        for (point, slot) in row.into_iter().enumerate() {
+            let Some(result) = slot else {
+                let shard = slot_shard(module, point, n_points, count);
+                return Err(CheckpointError::ShardIncomplete {
+                    path: inputs[shard as usize].clone(),
+                    shard,
+                    module,
+                    point,
+                });
+            };
+            lines.push(frame(&render_record(&JournalRecord {
+                module,
+                point,
+                result,
+            })));
+            records += 1;
+        }
+    }
+    if let Some(dir) = output.parent() {
+        fs::create_dir_all(dir).map_err(|e| io_err("creating merge output dir", dir, e))?;
+    }
+    atomic_rewrite(output, &lines)?;
+    Ok(records)
 }
 
 /// The process-wide checkpoint session armed by the CLI. Sweeps are
@@ -702,12 +1001,20 @@ where
 pub struct CheckpointSession {
     dir: PathBuf,
     next: AtomicUsize,
+    /// `Some` when this process is a shard worker: every sweep runs
+    /// through the sharded checkpoint path, owning only its slots.
+    shard: Option<ShardSpec>,
 }
 
 impl CheckpointSession {
     /// The checkpoint directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The shard this session is pinned to, if it is a worker session.
+    pub fn shard(&self) -> Option<ShardSpec> {
+        self.shard
     }
 }
 
@@ -735,9 +1042,32 @@ const SESSION_FILE: &str = "session.json";
 /// Arming is once per process; a second call is
 /// [`CheckpointError::AlreadyArmed`].
 pub fn arm(dir: &Path, config: &ExperimentConfig, resume: bool) -> Result<(), CheckpointError> {
+    arm_with(dir, config, resume, None)
+}
+
+/// Arms a *shard-worker* checkpoint session: like [`arm`], but every
+/// subsequent sweep runs through the sharded checkpoint path, owning
+/// only the slots [`slot_shard`] assigns to `shard`. The session
+/// manifest records the shard spec, so resuming a shard directory with
+/// a different spec (or unsharded) is a typed mismatch.
+pub fn arm_sharded(
+    dir: &Path,
+    config: &ExperimentConfig,
+    resume: bool,
+    shard: ShardSpec,
+) -> Result<(), CheckpointError> {
+    arm_with(dir, config, resume, Some(shard))
+}
+
+fn arm_with(
+    dir: &Path,
+    config: &ExperimentConfig,
+    resume: bool,
+    shard: Option<ShardSpec>,
+) -> Result<(), CheckpointError> {
     fs::create_dir_all(dir).map_err(|e| io_err("creating checkpoint dir", dir, e))?;
     let session_path = dir.join(SESSION_FILE);
-    let manifest = manifest_for::<()>(config, "session", &[]);
+    let manifest = manifest_for::<()>(config, "session", &[], shard);
     if resume {
         if !session_path.exists() {
             return Err(CheckpointError::SessionMissing { path: session_path });
@@ -762,6 +1092,7 @@ pub fn arm(dir: &Path, config: &ExperimentConfig, resume: bool) -> Result<(), Ch
         .set(CheckpointSession {
             dir: dir.to_path_buf(),
             next: AtomicUsize::new(0),
+            shard,
         })
         .map_err(|_| CheckpointError::AlreadyArmed)
 }
@@ -789,7 +1120,7 @@ where
     F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
     let sweep_id = format!("sweep-{:04}", session.next.fetch_add(1, Ordering::SeqCst));
-    match run_sweep_checkpointed_on(
+    match run_sweep_checkpointed_impl(
         pool,
         config,
         &session.dir,
@@ -799,6 +1130,7 @@ where
         clock,
         workers,
         op,
+        session.shard,
     ) {
         Ok(outcomes) => outcomes,
         Err(e) => {
@@ -1213,5 +1545,267 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    fn run_sharded(
+        config: &ExperimentConfig,
+        dir: &Path,
+        shard: ShardSpec,
+    ) -> Result<Vec<FleetOutcome>, CheckpointError> {
+        let clock = MockClock::new();
+        run_sweep_checkpointed_sharded_on(
+            FleetPool::global(),
+            config,
+            dir,
+            "sweep-0000",
+            &points(),
+            FleetPolicy::default(),
+            &clock,
+            2,
+            probe_op,
+            shard,
+        )
+    }
+
+    #[test]
+    fn sharded_journals_merge_byte_identical_to_an_unsharded_run() {
+        let config = two_module_config();
+        let unsharded = scratch("shard-ref");
+        let full = run_checkpointed(&config, &unsharded).unwrap();
+        let golden = fs::read(journal_path(&unsharded)).unwrap();
+        let n_points = points().len();
+        for count in [1u32, 2, 3, 5] {
+            let root = scratch(&format!("shard-x{count}"));
+            let mut inputs = Vec::new();
+            for index in 0..count {
+                let dir = root.join(format!("shard-{index}"));
+                let outcomes = run_sharded(&config, &dir, ShardSpec { index, count }).unwrap();
+                for (point, outcome) in outcomes.iter().enumerate() {
+                    for (module, slot) in outcome.slots.iter().enumerate() {
+                        if slot_shard(module, point, n_points, count) == index {
+                            assert_eq!(
+                                slot, &full[point].slots[module],
+                                "owned slot ({module},{point}) of shard {index}/{count}"
+                            );
+                        } else {
+                            assert!(
+                                matches!(slot, ModuleResult::Completed { attempts: 0, .. }),
+                                "unowned slot ({module},{point}) must be a placeholder"
+                            );
+                        }
+                    }
+                }
+                inputs.push(journal_path(&dir));
+            }
+            let merged = root.join("merged").join("sweep-0000.journal");
+            let records = merge_sweep_journals(&inputs, &merged).unwrap();
+            assert_eq!(records, 2 * n_points);
+            assert_eq!(
+                fs::read(&merged).unwrap(),
+                golden,
+                "merged journal must be byte-identical to the unsharded one (count={count})"
+            );
+            let _ = fs::remove_dir_all(&root);
+        }
+        let _ = fs::remove_dir_all(&unsharded);
+    }
+
+    #[test]
+    fn a_killed_shard_worker_resumes_and_merges_identically() {
+        let config = two_module_config();
+        let unsharded = scratch("shard-kill-ref");
+        run_checkpointed(&config, &unsharded).unwrap();
+        let golden = fs::read(journal_path(&unsharded)).unwrap();
+        let root = scratch("shard-kill");
+        let dirs: Vec<PathBuf> = (0..2).map(|i| root.join(format!("shard-{i}"))).collect();
+        run_sharded(&config, &dirs[0], ShardSpec { index: 0, count: 2 }).unwrap();
+        run_sharded(&config, &dirs[1], ShardSpec { index: 1, count: 2 }).unwrap();
+        // "Kill" shard 1 after its first record: truncate the journal to
+        // the manifest plus one intact record, then resume it.
+        let path = journal_path(&dirs[1]);
+        let data = fs::read(&path).unwrap();
+        let spans = line_spans(&data);
+        fs::write(&path, &data[..spans[1].1]).unwrap();
+        run_sharded(&config, &dirs[1], ShardSpec { index: 1, count: 2 }).unwrap();
+        let inputs: Vec<PathBuf> = dirs.iter().map(|d| journal_path(d)).collect();
+        let merged = root.join("merged").join("sweep-0000.journal");
+        merge_sweep_journals(&inputs, &merged).unwrap();
+        assert_eq!(fs::read(&merged).unwrap(), golden);
+        let _ = fs::remove_dir_all(&root);
+        let _ = fs::remove_dir_all(&unsharded);
+    }
+
+    #[test]
+    fn merge_requires_every_shard_slot() {
+        let config = two_module_config();
+        let root = scratch("shard-hole");
+        let dirs: Vec<PathBuf> = (0..2).map(|i| root.join(format!("shard-{i}"))).collect();
+        run_sharded(&config, &dirs[0], ShardSpec { index: 0, count: 2 }).unwrap();
+        run_sharded(&config, &dirs[1], ShardSpec { index: 1, count: 2 }).unwrap();
+        // Drop shard 1's final record (an intact truncation, as if the
+        // worker never got to that slot).
+        let path = journal_path(&dirs[1]);
+        let data = fs::read(&path).unwrap();
+        let spans = line_spans(&data);
+        fs::write(&path, &data[..spans[spans.len() - 2].1]).unwrap();
+        let inputs: Vec<PathBuf> = dirs.iter().map(|d| journal_path(d)).collect();
+        let merged = root.join("merged").join("sweep-0000.journal");
+        match merge_sweep_journals(&inputs, &merged) {
+            Err(CheckpointError::ShardIncomplete { shard: 1, path, .. }) => {
+                assert_eq!(path, inputs[1]);
+            }
+            other => panic!("expected ShardIncomplete for shard 1, got {other:?}"),
+        }
+        assert!(!merged.exists(), "a failed merge must not leave output");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn merge_rejects_wrong_or_unsharded_specs() {
+        let config = two_module_config();
+        let root = scratch("shard-spec");
+        // An unsharded journal offered as shard 0.
+        let unsharded = root.join("unsharded");
+        run_checkpointed(&config, &unsharded).unwrap();
+        let merged = root.join("merged").join("sweep-0000.journal");
+        match merge_sweep_journals(&[journal_path(&unsharded)], &merged) {
+            Err(CheckpointError::Mismatch {
+                field: "shard",
+                on_disk,
+                ..
+            }) => assert_eq!(on_disk, "unsharded"),
+            other => panic!("expected a shard mismatch, got {other:?}"),
+        }
+        // Shard 0's journal offered in shard 1's position.
+        let shard0 = root.join("shard-0");
+        run_sharded(&config, &shard0, ShardSpec { index: 0, count: 2 }).unwrap();
+        match merge_sweep_journals(&[journal_path(&shard0), journal_path(&shard0)], &merged) {
+            Err(CheckpointError::Mismatch {
+                field: "shard",
+                on_disk,
+                current,
+            }) => {
+                assert_eq!(on_disk, "0/2");
+                assert_eq!(current, "1/2");
+            }
+            other => panic!("expected a shard mismatch, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sharded_session_refuses_a_different_spec_on_resume() {
+        let config = two_module_config();
+        let dir = scratch("shard-respec");
+        run_sharded(&config, &dir, ShardSpec { index: 0, count: 2 }).unwrap();
+        match run_sharded(&config, &dir, ShardSpec { index: 1, count: 2 }) {
+            Err(CheckpointError::Mismatch { field: "shard", .. }) => {}
+            other => panic!("expected a shard mismatch, got {other:?}"),
+        }
+        match run_checkpointed(&config, &dir) {
+            Err(CheckpointError::Mismatch { field: "shard", .. }) => {}
+            other => panic!("expected a shard mismatch, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Builds one synthetic journal file: a manifest line plus the given
+    /// records, framed exactly as the journal writer would.
+    fn write_synthetic_journal(
+        path: &Path,
+        config: &ExperimentConfig,
+        pts: &[SweepPoint<f64>],
+        shard: Option<ShardSpec>,
+        records: &[JournalRecord],
+    ) {
+        let manifest = manifest_for(config, "sweep-0000", pts, shard);
+        let mut lines = vec![frame(&manifest.to_json())];
+        lines.extend(records.iter().map(|r| frame(&render_record(r))));
+        let mut buf = String::new();
+        for line in &lines {
+            buf.push_str(line);
+            buf.push('\n');
+        }
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, buf).unwrap();
+    }
+
+    /// Deterministic synthetic result for a slot: the proptest below
+    /// only needs *distinct, round-trippable* results, not real sweeps.
+    fn synthetic_result(module: usize, point: usize, salt: u64) -> ModuleResult {
+        let tag = salt
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((module * 31 + point) as u64);
+        if tag.is_multiple_of(4) {
+            ModuleResult::Failed {
+                attempts: (tag % 3 + 1) as u32,
+                cause: FailureCause::Panic(format!("synthetic panic {tag}")),
+            }
+        } else {
+            ModuleResult::Completed {
+                samples: vec![(tag % 1000) as f64 * 0.25, (tag % 777) as f64 * 0.5],
+                attempts: 1,
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+
+        /// Satellite invariant: for any grid shape, shard count, and
+        /// record contents, merging the per-shard journals reconstructs
+        /// exactly the unsharded record set — byte-identical journals.
+        #[test]
+        fn merged_shard_journals_reconstruct_the_unsharded_record_set(
+            count in 1u32..6,
+            n_points in 1usize..6,
+            salt in 0u64..1_000_000,
+        ) {
+            let config = two_module_config();
+            let modules = config.modules.len();
+            let pts: Vec<SweepPoint<f64>> = (0..n_points)
+                .map(|i| SweepPoint::new(i as u32 + 2, i as f64 * 0.5))
+                .collect();
+            let root = scratch(&format!("shard-prop-{count}-{n_points}-{salt}"));
+            // The unsharded golden: all records, module-major.
+            let mut all = Vec::new();
+            for module in 0..modules {
+                for point in 0..n_points {
+                    all.push(JournalRecord {
+                        module,
+                        point,
+                        result: synthetic_result(module, point, salt),
+                    });
+                }
+            }
+            let golden_path = root.join("unsharded.journal");
+            write_synthetic_journal(&golden_path, &config, &pts, None, &all);
+            // Per-shard journals: each holds exactly its owned records.
+            let mut inputs = Vec::new();
+            for index in 0..count {
+                let owned: Vec<JournalRecord> = all
+                    .iter()
+                    .filter(|r| slot_shard(r.module, r.point, n_points, count) == index)
+                    .cloned()
+                    .collect();
+                let path = root.join(format!("shard-{index}.journal"));
+                write_synthetic_journal(
+                    &path,
+                    &config,
+                    &pts,
+                    Some(ShardSpec { index, count }),
+                    &owned,
+                );
+                inputs.push(path);
+            }
+            let merged = root.join("merged.journal");
+            let records = merge_sweep_journals(&inputs, &merged).unwrap();
+            proptest::prop_assert_eq!(records, modules * n_points);
+            proptest::prop_assert_eq!(
+                fs::read(&merged).unwrap(),
+                fs::read(&golden_path).unwrap()
+            );
+            let _ = fs::remove_dir_all(&root);
+        }
     }
 }

@@ -335,6 +335,10 @@ struct FleetTelemetry {
     task_completed: Counter,
     task_failed: Counter,
     task_panicked: Counter,
+    /// Module chains lost whole (a panic escaped the per-slot
+    /// catch_unwind, e.g. in a slot observer) and degraded to per-slot
+    /// failures.
+    chain_panicked: Counter,
     deadline_tripped: Counter,
     /// (module × point) tasks submitted as one grid.
     grid_tasks: Counter,
@@ -358,6 +362,7 @@ impl FleetTelemetry {
             task_completed: recorder.counter("fleet", "task_completed"),
             task_failed: recorder.counter("fleet", "task_failed"),
             task_panicked: recorder.counter("fleet", "task_panicked"),
+            chain_panicked: recorder.counter("fleet", "chain_panicked"),
             deadline_tripped: recorder.counter("fleet", "deadline_tripped"),
             grid_tasks: recorder.counter("fleet", "grid_tasks"),
             executor_reuse: recorder.counter("fleet", "executor_reuse"),
@@ -518,7 +523,7 @@ const BACKOFF_EXPONENT_CAP: u32 = 30;
 /// `base · 2^(attempt − 2)`, saturating at 2^[`BACKOFF_EXPONENT_CAP`].
 /// The previous `f64::from(1u32 << (attempt − 2))` panicked in debug
 /// builds (and wrapped the shift in release) once `attempt ≥ 34`.
-fn backoff_charge_ms(base_ms: f64, attempt: u32) -> f64 {
+pub(crate) fn backoff_charge_ms(base_ms: f64, attempt: u32) -> f64 {
     let exponent = attempt.saturating_sub(2).min(BACKOFF_EXPONENT_CAP);
     base_ms * 2f64.powi(exponent as i32)
 }
@@ -809,16 +814,43 @@ where
     };
     let chains: Vec<Mutex<Option<Vec<Option<ModuleResult>>>>> =
         (0..modules).map(|_| Mutex::new(None)).collect();
-    pool.run_tasks(modules, workers, |index| {
+    let pool_verdict = pool.run_tasks(modules, workers, |index| {
         let results = run_chain(&ctx, index, skip.map(|s| s[index].as_slice()), observer);
-        *chains[index].lock().expect("fleet chain slot poisoned") = Some(results);
+        *chains[index].lock().unwrap_or_else(|e| e.into_inner()) = Some(results);
     });
     chains
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("fleet chain slot poisoned")
-                .expect("fleet lost a module chain")
+        .enumerate()
+        .map(|(index, slot)| {
+            match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                Some(results) => results,
+                // The chain task panicked outside `run_slot`'s
+                // catch_unwind (e.g. a poisoned observer) and never
+                // stored its results. Degrade that module to per-slot
+                // panic failures instead of aborting the sweep — the
+                // other chains' results are intact, and a checkpointed
+                // run re-schedules these slots on resume.
+                None => {
+                    let message = pool_verdict
+                        .as_ref()
+                        .err()
+                        .map(|e| e.to_string())
+                        .unwrap_or_else(|| "fleet chain vanished without a panic".into());
+                    telemetry.chain_panicked.incr();
+                    (0..points.len())
+                        .map(|point| {
+                            if skip.is_some_and(|s| s[index][point]) {
+                                None
+                            } else {
+                                Some(ModuleResult::Failed {
+                                    attempts: 1,
+                                    cause: FailureCause::Panic(message.clone()),
+                                })
+                            }
+                        })
+                        .collect()
+                }
+            }
         })
         .collect()
 }
@@ -1135,6 +1167,54 @@ mod tests {
             seed: 21,
         });
         config
+    }
+
+    #[test]
+    fn panicking_observer_degrades_one_chain_and_spares_the_rest() {
+        // A panic that escapes `run_slot`'s catch_unwind (the slot
+        // observer runs outside it) used to abort the whole process via
+        // the pool's re-raise. Now it degrades that module's chain to
+        // per-slot panic failures while the other chains complete.
+        let config = two_module_config();
+        let points: Vec<SweepPoint<f64>> =
+            [2u32, 4].iter().map(|&n| SweepPoint::new(n, 1.0)).collect();
+        let clock = MockClock::new();
+        let pool = FleetPool::new(2);
+        let observer: SlotObserver<'_> = &|module, _point, _result| {
+            if module == 0 {
+                panic!("observer rejected module 0");
+            }
+        };
+        let grid = run_sweep_grid_on(
+            &pool,
+            &config,
+            &points,
+            FleetPolicy::default(),
+            &clock,
+            2,
+            sweep_probe_op,
+            None,
+            Some(observer),
+        );
+        assert_eq!(grid.len(), 2);
+        for slot in &grid[0] {
+            match slot {
+                Some(ModuleResult::Failed {
+                    attempts: 1,
+                    cause: FailureCause::Panic(msg),
+                }) => assert!(msg.contains("observer rejected module 0"), "{msg}"),
+                other => panic!("module 0 must degrade to panic failures, got {other:?}"),
+            }
+        }
+        for slot in &grid[1] {
+            assert!(
+                matches!(slot, Some(ModuleResult::Completed { .. })),
+                "module 1 must complete despite module 0's chain panic: {slot:?}"
+            );
+        }
+        // The pool survives for subsequent jobs.
+        pool.run_tasks(3, 2, |_| {})
+            .expect("pool usable after a chain panic");
     }
 
     #[test]

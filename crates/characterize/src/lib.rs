@@ -34,6 +34,7 @@ pub mod perdie;
 pub mod pool;
 pub mod power;
 pub mod report;
+pub mod shard;
 pub mod spice;
 pub mod takeaways;
 
@@ -41,7 +42,10 @@ pub use activation::{
     fig3_activation_timing, fig4a_activation_temperature, fig4b_activation_voltage,
 };
 pub use backend::{sweep_trial_samples, trial_point, BackendSet, TrialPoint};
-pub use checkpoint::{arm as arm_checkpoints, run_sweep_checkpointed_on, CheckpointError};
+pub use checkpoint::{
+    arm as arm_checkpoints, arm_sharded as arm_sharded_checkpoints, merge_sweep_journals,
+    run_sweep_checkpointed_on, run_sweep_checkpointed_sharded_on, slot_shard, CheckpointError,
+};
 pub use config::ExperimentConfig;
 pub use fleet::{
     collect_group_samples, collect_group_samples_serial, run_fleet, run_fleet_with, run_sweep,
@@ -55,5 +59,6 @@ pub use observations::{check_observations, ObservationReport};
 pub use perdie::per_die_breakdown;
 pub use power::fig5_power;
 pub use report::Table;
+pub use shard::{MergeReport, ShardCoordinator, ShardError};
 pub use spice::fig15_spice;
 pub use takeaways::{derive_takeaways, scoreboard_quorum, TakeawayReport};

@@ -238,10 +238,12 @@ mod tests {
     #[test]
     fn fig7_success_ordering_and_feasibility() {
         let t = fig7_majx_patterns(&ExperimentConfig::quick());
-        let maj3 = t.get("random", "MAJ3").unwrap();
-        let maj5 = t.get("random", "MAJ5").unwrap();
-        let maj7 = t.get("random", "MAJ7").unwrap();
-        let maj9 = t.get("random", "MAJ9").unwrap();
+        let mut p = crate::observations::SeriesProbe::default();
+        let maj3 = p.get(&t, "random", "MAJ3");
+        let maj5 = p.get(&t, "random", "MAJ5");
+        let maj7 = p.get(&t, "random", "MAJ7");
+        let maj9 = p.get(&t, "random", "MAJ9");
+        assert!(p.missing().is_empty(), "missing series: {:?}", p.missing());
         assert!(
             maj3 > maj5 && maj5 > maj7 && maj7 > maj9,
             "{maj3} {maj5} {maj7} {maj9}"
@@ -253,9 +255,11 @@ mod tests {
     #[test]
     fn fig7_random_is_worst_pattern() {
         let t = fig7_majx_patterns(&ExperimentConfig::quick());
+        let mut p = crate::observations::SeriesProbe::default();
         for x in ["MAJ5", "MAJ7"] {
-            let random = t.get("random", x).unwrap();
-            let solid = t.get("0x00/0xFF", x).unwrap();
+            let random = p.get(&t, "random", x);
+            let solid = p.get(&t, "0x00/0xFF", x);
+            assert!(p.missing().is_empty(), "missing series: {:?}", p.missing());
             assert!(
                 solid >= random,
                 "Obs. 9: {x} solid {solid} ≥ random {random}"
@@ -266,11 +270,13 @@ mod tests {
     #[test]
     fn fig6_replication_beats_no_replication() {
         let t = fig6_maj3_timing(&ExperimentConfig::quick());
-        let n32 = t.get("t1=1.5 t2=3 mean", "N=32").unwrap();
-        let n4 = t.get("t1=1.5 t2=3 mean", "N=4").unwrap();
-        assert!(n32 - n4 > 10.0, "Obs. 6: {n32} vs {n4}");
+        let mut p = crate::observations::SeriesProbe::default();
+        let n32 = p.get(&t, "t1=1.5 t2=3 mean", "N=32");
+        let n4 = p.get(&t, "t1=1.5 t2=3 mean", "N=4");
         // Obs. 7: (1.5, 3) beats (3, 3) clearly at N = 32.
-        let t33 = t.get("t1=3 t2=3 mean", "N=32").unwrap();
+        let t33 = p.get(&t, "t1=3 t2=3 mean", "N=32");
+        assert!(p.missing().is_empty(), "missing series: {:?}", p.missing());
+        assert!(n32 - n4 > 10.0, "Obs. 6: {n32} vs {n4}");
         assert!(n32 - t33 > 20.0, "Obs. 7: {n32} vs {t33}");
     }
 }

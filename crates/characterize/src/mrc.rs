@@ -252,9 +252,11 @@ mod tests {
     #[test]
     fn fig10_best_timing_is_nearly_perfect_and_t1_min_halves() {
         let t = fig10_mrc_timing(&ExperimentConfig::quick());
-        let best = t.get("t1=36 t2=3 mean", "dests=31").unwrap();
+        let mut p = crate::observations::SeriesProbe::default();
+        let best = p.get(&t, "t1=36 t2=3 mean", "dests=31");
+        let bad = p.get(&t, "t1=1.5 t2=3 mean", "dests=31");
+        assert!(p.missing().is_empty(), "missing series: {:?}", p.missing());
         assert!(best > 99.5, "Obs. 14: {best}");
-        let bad = t.get("t1=1.5 t2=3 mean", "dests=31").unwrap();
         assert!(
             bad < best - 30.0,
             "Obs. 15: t1=1.5 ns collapse, {bad} vs {best}"
@@ -264,8 +266,10 @@ mod tests {
     #[test]
     fn fig11_all_ones_dips_at_31() {
         let t = fig11_mrc_patterns(&ExperimentConfig::quick());
-        let ones = t.get("all-1s", "dests=31").unwrap();
-        let zeros = t.get("all-0s", "dests=31").unwrap();
+        let mut p = crate::observations::SeriesProbe::default();
+        let ones = p.get(&t, "all-1s", "dests=31");
+        let zeros = p.get(&t, "all-0s", "dests=31");
+        assert!(p.missing().is_empty(), "missing series: {:?}", p.missing());
         assert!(zeros >= ones, "Obs. 16: {zeros} vs {ones}");
         assert!(zeros - ones < 3.0, "but only slightly (paper 0.79 %)");
     }
@@ -275,12 +279,14 @@ mod tests {
         let cfg = ExperimentConfig::quick();
         let temp = fig12a_mrc_temperature(&cfg);
         let d = "dests=15";
-        let t50 = temp.get("50 C", d).unwrap();
-        let t90 = temp.get("90 C", d).unwrap();
-        assert!((t50 - t90).abs() < 1.0, "Obs. 17: {t50} vs {t90}");
+        let mut p = crate::observations::SeriesProbe::default();
+        let t50 = p.get(&temp, "50 C", d);
+        let t90 = p.get(&temp, "90 C", d);
         let volt = fig12b_mrc_voltage(&cfg);
-        let v25 = volt.get("2.5 V", d).unwrap();
-        let v21 = volt.get("2.1 V", d).unwrap();
+        let v25 = p.get(&volt, "2.5 V", d);
+        let v21 = p.get(&volt, "2.1 V", d);
+        assert!(p.missing().is_empty(), "missing series: {:?}", p.missing());
+        assert!((t50 - t90).abs() < 1.0, "Obs. 17: {t50} vs {t90}");
         assert!(
             v25 - v21 >= 0.0 && v25 - v21 < 3.0,
             "Obs. 18: {v25} vs {v21}"

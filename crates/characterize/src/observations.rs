@@ -57,24 +57,35 @@ impl std::fmt::Display for ObservationReport {
     }
 }
 
-/// Collects the series lookups behind one observation, recording any
-/// that are missing from their table.
+/// Collects the series lookups behind one observation (or one figure
+/// test), recording any that are missing from their table. Shared with
+/// the figure runners' tests, which used to `.unwrap()` lookups and
+/// panic with no hint of *which* series vanished.
 #[derive(Debug, Default)]
-struct SeriesProbe {
+pub(crate) struct SeriesProbe {
     missing: Vec<String>,
 }
 
 impl SeriesProbe {
     /// Looks up one cell. A hit returns the value; a miss records the
-    /// series and returns NaN (the verdict is discarded in that case).
-    fn get(&mut self, table: &Table, row: &str, col: &str) -> f64 {
+    /// series, ticks the `observations/data_missing` telemetry counter,
+    /// and returns NaN (the verdict is discarded in that case).
+    pub(crate) fn get(&mut self, table: &Table, row: &str, col: &str) -> f64 {
         match table.get(row, col) {
             Some(v) => v,
             None => {
+                simra_telemetry::global()
+                    .counter("observations", "data_missing")
+                    .incr();
                 self.missing.push(format!("series '{row}'/'{col}' missing"));
                 f64::NAN
             }
         }
+    }
+
+    /// Every miss recorded so far, in lookup order.
+    pub(crate) fn missing(&self) -> &[String] {
+        &self.missing
     }
 
     /// Seals one observation. If any lookup missed, the report fails
@@ -82,7 +93,7 @@ impl SeriesProbe {
     /// and `data_missing` is set so the scoreboard can count it apart
     /// from genuine mismatches.
     fn report(self, id: u8, claim: &str, measured: String, holds: bool) -> ObservationReport {
-        let (measured, holds, data_missing) = if self.missing.is_empty() {
+        let (measured, holds, data_missing) = if self.missing().is_empty() {
             (measured, holds, false)
         } else {
             (self.missing.join("; "), false, true)
@@ -378,6 +389,22 @@ mod tests {
         assert!(r.data_missing);
         assert_eq!(r.measured, "series 't1=3 t2=3 mean'/'N=32' missing");
         assert!(r.to_string().contains("[??]"));
+    }
+
+    #[test]
+    fn missing_series_ticks_the_data_missing_counter() {
+        let recorder = simra_telemetry::global();
+        recorder.enable();
+        let counter = recorder.counter("observations", "data_missing");
+        let before = counter.get();
+        let table = Table::new("Fig. T", "", vec!["N=32".into()]);
+        let mut p = SeriesProbe::default();
+        assert!(p.get(&table, "nope", "N=32").is_nan());
+        assert!(
+            counter.get() > before,
+            "a probe miss must tick observations/data_missing"
+        );
+        assert_eq!(p.missing().len(), 1);
     }
 
     #[test]

@@ -93,15 +93,22 @@ pub fn per_die_breakdown(config: &ExperimentConfig) -> Table {
     );
     let profiles: Vec<VendorProfile> = paper_fleet().into_iter().map(|e| e.profile).collect();
     let rows: Vec<Mutex<Option<Vec<f64>>>> = profiles.iter().map(|_| Mutex::new(None)).collect();
-    FleetPool::global().run_tasks(profiles.len(), executor_threads(profiles.len()), |i| {
-        *rows[i].lock().expect("per-die row slot poisoned") =
-            Some(per_die_row(config, &profiles[i]));
-    });
+    let verdict =
+        FleetPool::global().run_tasks(profiles.len(), executor_threads(profiles.len()), |i| {
+            *rows[i].lock().unwrap_or_else(|e| e.into_inner()) =
+                Some(per_die_row(config, &profiles[i]));
+        });
     for (profile, slot) in profiles.iter().zip(rows) {
+        // A panicking row task (reported via `verdict`, never expected
+        // from this pure computation) degrades its row to NaNs — the
+        // same rendering as an infeasible cell — instead of aborting.
         let row = slot
             .into_inner()
-            .expect("per-die row slot poisoned")
-            .expect("per-die task lost its row");
+            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(|| {
+                debug_assert!(verdict.is_err(), "row missing without a task panic");
+                vec![f64::NAN; 6]
+            });
         table.push_row(profile.label(), row);
     }
     table

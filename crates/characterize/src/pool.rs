@@ -36,9 +36,11 @@
 //!   with the latch's mutex — order task writes before the caller's
 //!   reads.
 //!
-//! Task panics are caught, recorded (first message wins), and re-raised
-//! on the calling thread after the job drains, so a panicking task can
-//! never poison a pool worker or hang the caller.
+//! Task panics are caught, recorded (first message wins), and reported
+//! to the caller as a typed [`PoolError`] after the job drains, so a
+//! panicking task can never poison a pool worker, hang the caller, or
+//! abort the calling process — a sweep coordinator degrades the
+//! affected module chain instead of losing the whole shard.
 
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
@@ -57,6 +59,30 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         "unknown panic payload".to_string()
     }
 }
+
+/// Why a pooled job did not complete cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// At least one task panicked. The job still drained — every other
+    /// task ran — and the pool's workers survive; this carries the first
+    /// recorded panic message.
+    TaskPanicked {
+        /// Message extracted from the first panic payload.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::TaskPanicked { message } => {
+                write!(f, "fleet pool task panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
 
 /// Outcome flags of one job, behind the completion-latch mutex.
 struct JobState {
@@ -232,14 +258,18 @@ impl FleetPool {
     /// Runs `task(index)` for every `index in 0..total`, with at most
     /// `max_claimers` threads (calling thread included) working the job.
     /// Blocks until every task has finished; if any task panicked, the
-    /// first recorded panic is re-raised here after the job drains — the
-    /// remaining tasks still run, and no worker is lost.
-    pub fn run_tasks<F>(&self, total: usize, max_claimers: usize, task: F)
+    /// first recorded panic comes back as [`PoolError::TaskPanicked`]
+    /// after the job drains — the remaining tasks still run, no worker
+    /// is lost, and the pool stays usable. Callers decide whether a
+    /// poisoned task degrades (fleet chains fill failure slots) or is
+    /// fatal.
+    #[must_use = "a task panic is reported here, not re-raised"]
+    pub fn run_tasks<F>(&self, total: usize, max_claimers: usize, task: F) -> Result<(), PoolError>
     where
         F: Fn(usize) + Sync,
     {
         if total == 0 {
-            return;
+            return Ok(());
         }
         /// Reconstitutes the concrete closure type erased into `data`.
         unsafe fn trampoline<F: Fn(usize) + Sync>(data: *const (), index: usize) {
@@ -282,8 +312,9 @@ impl FleetPool {
             let mut queue = self.shared.lock_queue();
             queue.jobs.retain(|job| !Arc::ptr_eq(job, &core));
         }
-        if let Some(message) = panic_msg {
-            panic!("fleet pool task panicked: {message}");
+        match panic_msg {
+            Some(message) => Err(PoolError::TaskPanicked { message }),
+            None => Ok(()),
         }
     }
 }
@@ -336,7 +367,8 @@ mod tests {
         let hits: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
         pool.run_tasks(hits.len(), 4, |i| {
             hits[i].fetch_add(1, Ordering::SeqCst);
-        });
+        })
+        .expect("no task panicked");
         for (i, h) in hits.iter().enumerate() {
             assert_eq!(h.load(Ordering::SeqCst), 1, "task {i}");
         }
@@ -345,7 +377,8 @@ mod tests {
     #[test]
     fn zero_tasks_is_a_no_op() {
         let pool = FleetPool::new(1);
-        pool.run_tasks(0, 4, |_| panic!("must not run"));
+        pool.run_tasks(0, 4, |_| panic!("must not run"))
+            .expect("an empty job cannot panic");
     }
 
     #[test]
@@ -360,7 +393,8 @@ mod tests {
                 "max_claimers=1 must stay on the calling thread"
             );
             order.lock().unwrap().push(i);
-        });
+        })
+        .expect("no task panicked");
         assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
     }
 
@@ -371,35 +405,38 @@ mod tests {
             let sum = AtomicU64::new(0);
             pool.run_tasks(10, 3, |i| {
                 sum.fetch_add(round * 100 + i as u64, Ordering::SeqCst);
-            });
+            })
+            .expect("no task panicked");
             assert_eq!(sum.load(Ordering::SeqCst), round * 1000 + 45);
         }
     }
 
     #[test]
-    fn task_panic_is_reraised_after_the_job_drains() {
+    fn task_panic_is_a_typed_error_and_the_pool_stays_usable() {
         let pool = FleetPool::new(2);
         let completed = AtomicU64::new(0);
-        let result = panic::catch_unwind(AssertUnwindSafe(|| {
-            pool.run_tasks(16, 4, |i| {
+        let err = pool
+            .run_tasks(16, 4, |i| {
                 if i == 3 {
                     panic!("task 3 exploded");
                 }
                 completed.fetch_add(1, Ordering::SeqCst);
-            });
-        }));
-        let payload = result.expect_err("panic must propagate to the caller");
-        assert!(panic_message(payload.as_ref()).contains("task 3 exploded"));
+            })
+            .expect_err("the panic must surface as a PoolError, not unwind");
+        let PoolError::TaskPanicked { message } = &err;
+        assert!(message.contains("task 3 exploded"), "{err}");
         assert_eq!(
             completed.load(Ordering::SeqCst),
             15,
             "the other tasks still run"
         );
-        // The pool survives: workers were never poisoned.
+        // The pool survives: workers were never poisoned, and the next
+        // job completes cleanly.
         let sum = AtomicU64::new(0);
         pool.run_tasks(4, 4, |i| {
             sum.fetch_add(i as u64, Ordering::SeqCst);
-        });
+        })
+        .expect("pool is usable after a task panic");
         assert_eq!(sum.load(Ordering::SeqCst), 6);
     }
 
@@ -409,7 +446,8 @@ mod tests {
         let sum = AtomicU64::new(0);
         pool.run_tasks(32, 8, |i| {
             sum.fetch_add(i as u64, Ordering::SeqCst);
-        });
+        })
+        .expect("no task panicked");
         assert_eq!(sum.load(Ordering::SeqCst), 496);
     }
 
@@ -430,7 +468,8 @@ mod tests {
                     let sum = AtomicU64::new(0);
                     pool.run_tasks(25, 2, |i| {
                         sum.fetch_add(i as u64, Ordering::SeqCst);
-                    });
+                    })
+                    .expect("no task panicked");
                     assert_eq!(sum.load(Ordering::SeqCst), 300);
                 });
             }

@@ -46,7 +46,9 @@ mod tests {
     #[test]
     fn obs5_32_row_below_ref() {
         let t = fig5_power(&ExperimentConfig::quick());
-        let p32 = t.get("32-row ACT", "pct_of_REF").unwrap();
+        let mut p = crate::observations::SeriesProbe::default();
+        let p32 = p.get(&t, "32-row ACT", "pct_of_REF");
+        assert!(p.missing().is_empty(), "missing series: {:?}", p.missing());
         assert!(
             p32 < 100.0,
             "Obs. 5: 32-row activation below REF, got {p32}% of REF"
@@ -60,9 +62,15 @@ mod tests {
     #[test]
     fn power_rows_are_monotone_in_n() {
         let t = fig5_power(&ExperimentConfig::quick());
+        let mut probe = crate::observations::SeriesProbe::default();
         let mut last = 0.0;
         for n in [2, 4, 8, 16, 32] {
-            let p = t.get(&format!("{n}-row ACT"), "power_mW").unwrap();
+            let p = probe.get(&t, &format!("{n}-row ACT"), "power_mW");
+            assert!(
+                probe.missing().is_empty(),
+                "missing series: {:?}",
+                probe.missing()
+            );
             assert!(p > last);
             last = p;
         }

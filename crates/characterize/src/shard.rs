@@ -1,0 +1,604 @@
+//! Multi-process sharded sweep execution: the coordinator side.
+//!
+//! A sharded campaign splits every sweep's (module × point) grid across
+//! `N` worker *processes*. Each worker is the `repro` binary re-invoked
+//! in its hidden `--shard-worker i/N` mode: it runs the full campaign
+//! serially — so its sweep numbering matches every other process — but
+//! each sweep schedules and journals only the slots
+//! [`slot_shard`] assigns to shard `i`,
+//! into the worker's own checkpoint directory (`<root>/shard-i`). The
+//! [`ShardCoordinator`] spawns the workers, respawns crashed ones with
+//! the fleet's charged-backoff policy (a killed worker resumes from its
+//! own journal, exactly like a single-process kill), then merges the
+//! per-shard journals with [`merge_sweep_journals`]
+//! into `<root>/merged` — journals byte-identical to an unsharded run's
+//! — and merges the workers' telemetry snapshots into
+//! `<root>/telemetry-merged.json`.
+//!
+//! The caller (the `repro` binary's `--shards N` mode) finishes by
+//! arming `<root>/merged` as an ordinary checkpoint session and running
+//! the campaign in-process: every sweep replays instantly from the
+//! merged journals, so the coordinator's stdout and metrics scoreboard
+//! are byte-identical to a single-process run.
+//!
+//! # Worker exit-code contract
+//!
+//! * `0` — the shard's slots are all journaled and compacted; done.
+//! * `2` — configuration or manifest error (CLI rejection, checkpoint
+//!   mismatch, corrupt journal). Deterministic, so the coordinator
+//!   fails fast instead of retrying.
+//! * anything else (including death by signal) — transient; the
+//!   coordinator respawns the worker, up to the policy's
+//!   `max_attempts`, sleeping the fleet's charged backoff between
+//!   attempts. The respawn passes `--resume` iff the shard directory
+//!   already holds a session, so first-attempt crashes before arming
+//!   restart cleanly.
+
+use std::fs::{self, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitStatus, Stdio};
+use std::time::Duration;
+
+use simra_telemetry::Snapshot;
+
+use crate::checkpoint::{merge_sweep_journals, CheckpointError};
+use crate::fleet::{backoff_charge_ms, FleetPolicy};
+
+pub use crate::checkpoint::slot_shard;
+
+/// Why a sharded campaign could not complete.
+#[derive(Debug)]
+pub enum ShardError {
+    /// A worker process could not be spawned at all.
+    Spawn {
+        /// The shard whose worker failed to spawn.
+        shard: u32,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A worker kept failing transiently until its attempts ran out.
+    WorkerFailed {
+        /// The shard whose worker failed.
+        shard: u32,
+        /// Attempts consumed.
+        attempts: u32,
+        /// Rendering of the final exit status.
+        status: String,
+    },
+    /// A worker exited with code 2: a configuration or manifest error
+    /// that a retry cannot fix (see its `worker.log`).
+    WorkerRejected {
+        /// The shard whose worker refused to run.
+        shard: u32,
+        /// The worker's stderr log path.
+        log: PathBuf,
+    },
+    /// A shard directory is missing a journal that other shards have —
+    /// the shard sets must be identical before merging.
+    MissingJournal {
+        /// The shard missing (or holding an extra) journal.
+        shard: u32,
+        /// The journal file name involved.
+        name: String,
+    },
+    /// No journals were found to merge.
+    NoJournals {
+        /// The (first) shard directory that was scanned.
+        dir: PathBuf,
+    },
+    /// Journal loading, validation, or merging failed.
+    Checkpoint(CheckpointError),
+    /// A filesystem operation failed.
+    Io {
+        /// What was being attempted.
+        context: String,
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A worker's telemetry snapshot could not be parsed.
+    Telemetry {
+        /// The shard whose snapshot is bad.
+        shard: u32,
+        /// What is wrong with it.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Spawn { shard, source } => {
+                write!(f, "spawning shard {shard} worker: {source}")
+            }
+            ShardError::WorkerFailed {
+                shard,
+                attempts,
+                status,
+            } => write!(
+                f,
+                "shard {shard} worker failed after {attempts} attempt(s) ({status})"
+            ),
+            ShardError::WorkerRejected { shard, log } => write!(
+                f,
+                "shard {shard} worker exited with a configuration error (exit 2); \
+                 see {}",
+                log.display()
+            ),
+            ShardError::MissingJournal { shard, name } => write!(
+                f,
+                "shard {shard} disagrees with shard 0 about journal {name}; \
+                 all shards must run the identical campaign"
+            ),
+            ShardError::NoJournals { dir } => {
+                write!(f, "no sweep journals found under {}", dir.display())
+            }
+            ShardError::Checkpoint(e) => write!(f, "{e}"),
+            ShardError::Io {
+                context,
+                path,
+                source,
+            } => write!(f, "{context} {}: {source}", path.display()),
+            ShardError::Telemetry { shard, detail } => {
+                write!(f, "shard {shard} telemetry snapshot: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Spawn { source, .. } | ShardError::Io { source, .. } => Some(source),
+            ShardError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for ShardError {
+    fn from(e: CheckpointError) -> Self {
+        ShardError::Checkpoint(e)
+    }
+}
+
+fn io_err(context: &str, path: &Path, source: io::Error) -> ShardError {
+    ShardError::Io {
+        context: context.to_string(),
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+fn describe_status(status: &ExitStatus) -> String {
+    match status.code() {
+        Some(code) => format!("exit code {code}"),
+        None => format!("{status}"), // killed by signal; Display names it
+    }
+}
+
+/// What a completed merge produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Number of sweeps merged.
+    pub sweeps: usize,
+    /// Total records across all merged journals.
+    pub records: usize,
+    /// Where the merged worker telemetry landed, when any worker wrote
+    /// a snapshot.
+    pub telemetry: Option<PathBuf>,
+}
+
+/// Spawns, supervises, and merges a fleet of shard-worker processes.
+/// See the module docs for the protocol.
+#[derive(Debug)]
+pub struct ShardCoordinator {
+    exe: PathBuf,
+    base_args: Vec<String>,
+    root: PathBuf,
+    shards: u32,
+    policy: FleetPolicy,
+}
+
+impl ShardCoordinator {
+    /// A coordinator that re-invokes `exe` (the current binary) with
+    /// `base_args` (scale/backend/faults flags) plus the shard-worker
+    /// flags, journaling under `root`, with the default retry policy.
+    pub fn new(exe: PathBuf, base_args: Vec<String>, root: PathBuf, shards: u32) -> Self {
+        assert!(shards > 0, "a sharded run needs at least one shard");
+        ShardCoordinator {
+            exe,
+            base_args,
+            root,
+            shards,
+            policy: FleetPolicy::default(),
+        }
+    }
+
+    /// Overrides the respawn policy (`max_attempts` bounds worker
+    /// respawns, `backoff_base_ms` seeds the inter-attempt sleep).
+    pub fn with_policy(mut self, policy: FleetPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Shard `i`'s private checkpoint directory.
+    pub fn shard_dir(&self, shard: u32) -> PathBuf {
+        self.root.join(format!("shard-{shard}"))
+    }
+
+    /// Where the merged journals land; arm this as an ordinary
+    /// checkpoint session to replay the full campaign in-process.
+    pub fn merged_dir(&self) -> PathBuf {
+        self.root.join("merged")
+    }
+
+    /// Where the merged worker telemetry snapshot lands.
+    pub fn telemetry_path(&self) -> PathBuf {
+        self.root.join("telemetry-merged.json")
+    }
+
+    /// Runs all workers to completion (one supervisor thread each),
+    /// respawning transient failures per the policy. Returns the first
+    /// shard's error if any shard ultimately fails.
+    pub fn run_workers(&self) -> Result<(), ShardError> {
+        std::thread::scope(|scope| {
+            let monitors: Vec<_> = (0..self.shards)
+                .map(|shard| scope.spawn(move || self.run_worker(shard)))
+                .collect();
+            monitors
+                .into_iter()
+                .map(|m| m.join().expect("shard monitor thread panicked"))
+                .collect::<Result<Vec<()>, ShardError>>()
+                .map(|_| ())
+        })
+    }
+
+    /// Supervises one shard's worker process through its attempts.
+    fn run_worker(&self, shard: u32) -> Result<(), ShardError> {
+        let dir = self.shard_dir(shard);
+        fs::create_dir_all(&dir).map_err(|e| io_err("creating shard dir", &dir, e))?;
+        let log_path = dir.join("worker.log");
+        let max_attempts = self.policy.max_attempts.max(1);
+        for attempt in 1..=max_attempts {
+            // Auto-detect resume: a crash before the session file became
+            // durable restarts fresh; anything later resumes.
+            let resume = dir.join("session.json").exists();
+            let log = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&log_path)
+                .map_err(|e| io_err("opening worker log", &log_path, e))?;
+            let mut cmd = Command::new(&self.exe);
+            cmd.args(&self.base_args)
+                .arg("--shard-worker")
+                .arg(format!("{shard}/{}", self.shards))
+                .arg("--checkpoint-dir")
+                .arg(&dir)
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::from(log));
+            if resume {
+                cmd.arg("--resume");
+            }
+            let status = cmd
+                .status()
+                .map_err(|e| ShardError::Spawn { shard, source: e })?;
+            match status.code() {
+                Some(0) => return Ok(()),
+                Some(2) => {
+                    return Err(ShardError::WorkerRejected {
+                        shard,
+                        log: log_path,
+                    })
+                }
+                _ => {
+                    if attempt == max_attempts {
+                        return Err(ShardError::WorkerFailed {
+                            shard,
+                            attempts: attempt,
+                            status: describe_status(&status),
+                        });
+                    }
+                    let charge = backoff_charge_ms(self.policy.backoff_base_ms, attempt + 1);
+                    std::thread::sleep(Duration::from_millis(charge as u64));
+                }
+            }
+        }
+        unreachable!("the attempt loop returns on success, rejection, or exhaustion")
+    }
+
+    /// Merges the per-shard journals into [`ShardCoordinator::merged_dir`]
+    /// and the workers' telemetry snapshots into
+    /// [`ShardCoordinator::telemetry_path`]. All shards must hold the
+    /// identical set of sweep journals, each complete for its slots.
+    pub fn merge(&self) -> Result<MergeReport, ShardError> {
+        let reference = sweep_journal_names(&self.shard_dir(0))?;
+        if reference.is_empty() {
+            return Err(ShardError::NoJournals {
+                dir: self.shard_dir(0),
+            });
+        }
+        for shard in 1..self.shards {
+            let names = sweep_journal_names(&self.shard_dir(shard))?;
+            if names != reference {
+                let name = reference
+                    .iter()
+                    .find(|n| !names.contains(n))
+                    .or_else(|| names.iter().find(|n| !reference.contains(n)))
+                    .expect("unequal sorted sets differ in at least one element")
+                    .clone();
+                return Err(ShardError::MissingJournal { shard, name });
+            }
+        }
+        let merged_dir = self.merged_dir();
+        fs::create_dir_all(&merged_dir)
+            .map_err(|e| io_err("creating merged dir", &merged_dir, e))?;
+        let mut records = 0usize;
+        for name in &reference {
+            let inputs: Vec<PathBuf> = (0..self.shards)
+                .map(|shard| self.shard_dir(shard).join(name))
+                .collect();
+            records += merge_sweep_journals(&inputs, &merged_dir.join(name))?;
+        }
+        let mut snapshots = Vec::new();
+        for shard in 0..self.shards {
+            let path = self.shard_dir(shard).join("telemetry.json");
+            if !path.exists() {
+                continue;
+            }
+            let text =
+                fs::read_to_string(&path).map_err(|e| io_err("reading telemetry", &path, e))?;
+            snapshots.push(
+                Snapshot::parse(text.trim()).map_err(|e| ShardError::Telemetry {
+                    shard,
+                    detail: e.to_string(),
+                })?,
+            );
+        }
+        let telemetry = if snapshots.is_empty() {
+            None
+        } else {
+            let merged = Snapshot::merge_all(&snapshots);
+            let path = self.telemetry_path();
+            fs::write(&path, merged.to_json() + "\n")
+                .map_err(|e| io_err("writing merged telemetry", &path, e))?;
+            Some(path)
+        };
+        Ok(MergeReport {
+            sweeps: reference.len(),
+            records,
+            telemetry,
+        })
+    }
+
+    /// Runs the workers, then merges: the whole coordinator lifecycle
+    /// short of the final in-process replay (which needs the campaign
+    /// closure and so lives with the caller).
+    pub fn execute(&self) -> Result<MergeReport, ShardError> {
+        self.run_workers()?;
+        self.merge()
+    }
+}
+
+/// Sorted `*.journal` file names under a shard directory. Lexicographic
+/// order is sweep order because ids are zero-padded (`sweep-0007`).
+fn sweep_journal_names(dir: &Path) -> Result<Vec<String>, ShardError> {
+    let entries = fs::read_dir(dir).map_err(|e| io_err("reading shard dir", dir, e))?;
+    let mut names: Vec<String> = entries
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            name.ends_with(".journal").then_some(name)
+        })
+        .collect();
+    names.sort();
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "simra-shard-{}-{}-{tag}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn slot_shard_partitions_the_grid_completely_and_evenly() {
+        for (modules, points, count) in [(1usize, 1usize, 1u32), (2, 4, 4), (3, 5, 4), (4, 7, 16)] {
+            let mut per_shard = vec![0usize; count as usize];
+            for module in 0..modules {
+                for point in 0..points {
+                    let shard = slot_shard(module, point, points, count);
+                    assert!(shard < count);
+                    per_shard[shard as usize] += 1;
+                }
+            }
+            assert_eq!(per_shard.iter().sum::<usize>(), modules * points);
+            let (lo, hi) = (
+                per_shard.iter().min().unwrap(),
+                per_shard.iter().max().unwrap(),
+            );
+            assert!(hi - lo <= 1, "balanced to within one slot: {per_shard:?}");
+        }
+    }
+
+    #[test]
+    fn merge_refuses_an_empty_shard_directory() {
+        let dir = scratch("empty");
+        let coord = ShardCoordinator::new(PathBuf::from("/bin/true"), vec![], dir.clone(), 2);
+        fs::create_dir_all(coord.shard_dir(0)).unwrap();
+        fs::create_dir_all(coord.shard_dir(1)).unwrap();
+        assert!(matches!(coord.merge(), Err(ShardError::NoJournals { .. })));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_refuses_disagreeing_journal_sets() {
+        let dir = scratch("disagree");
+        let coord = ShardCoordinator::new(PathBuf::from("/bin/true"), vec![], dir.clone(), 2);
+        fs::create_dir_all(coord.shard_dir(0)).unwrap();
+        fs::create_dir_all(coord.shard_dir(1)).unwrap();
+        fs::write(coord.shard_dir(0).join("sweep-0000.journal"), b"").unwrap();
+        match coord.merge() {
+            Err(ShardError::MissingJournal { shard: 1, name }) => {
+                assert_eq!(name, "sweep-0000.journal");
+            }
+            other => panic!("expected MissingJournal, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    mod process {
+        use super::*;
+        use std::os::unix::fs::PermissionsExt;
+
+        /// Writes an executable shell script that logs each invocation
+        /// (its args, one line per run) to `<dir>/calls` and exits with
+        /// `code`.
+        fn fake_worker(dir: &Path, code: i32) -> PathBuf {
+            let path = dir.join("fake-worker.sh");
+            let calls = dir.join("calls");
+            fs::write(
+                &path,
+                format!(
+                    "#!/bin/sh\necho \"$@\" >> {}\nexit {code}\n",
+                    calls.display()
+                ),
+            )
+            .unwrap();
+            fs::set_permissions(&path, fs::Permissions::from_mode(0o755)).unwrap();
+            path
+        }
+
+        fn call_count(dir: &Path) -> usize {
+            fs::read_to_string(dir.join("calls"))
+                .map(|s| s.lines().count())
+                .unwrap_or(0)
+        }
+
+        #[test]
+        fn transient_failures_are_retried_to_exhaustion() {
+            let dir = scratch("retry");
+            let exe = fake_worker(&dir, 7);
+            let policy = FleetPolicy {
+                max_attempts: 3,
+                backoff_base_ms: 0.0,
+                ..FleetPolicy::default()
+            };
+            let coord = ShardCoordinator::new(exe, vec!["quick".into()], dir.clone(), 1)
+                .with_policy(policy);
+            match coord.run_workers() {
+                Err(ShardError::WorkerFailed {
+                    shard: 0,
+                    attempts: 3,
+                    status,
+                }) => assert!(status.contains("7"), "{status}"),
+                other => panic!("expected WorkerFailed after 3 attempts, got {other:?}"),
+            }
+            assert_eq!(call_count(&dir), 3, "one spawn per attempt");
+            let _ = fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn config_errors_fail_fast_without_retry() {
+            let dir = scratch("reject");
+            let exe = fake_worker(&dir, 2);
+            let coord = ShardCoordinator::new(exe, vec![], dir.clone(), 1);
+            match coord.run_workers() {
+                Err(ShardError::WorkerRejected { shard: 0, log }) => {
+                    assert!(log.ends_with("worker.log"));
+                }
+                other => panic!("expected WorkerRejected, got {other:?}"),
+            }
+            assert_eq!(call_count(&dir), 1, "exit 2 must not be retried");
+            let _ = fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn successful_workers_receive_the_shard_protocol_args() {
+            let dir = scratch("protocol");
+            let exe = fake_worker(&dir, 0);
+            let coord = ShardCoordinator::new(
+                exe,
+                vec!["quick".into(), "--backend".into(), "surrogate".into()],
+                dir.clone(),
+                2,
+            );
+            coord.run_workers().expect("exit 0 workers succeed");
+            let calls = fs::read_to_string(dir.join("calls")).unwrap();
+            let mut lines: Vec<&str> = calls.lines().collect();
+            lines.sort();
+            assert_eq!(lines.len(), 2);
+            for (shard, line) in lines.iter().enumerate() {
+                assert!(
+                    line.starts_with("quick --backend surrogate --shard-worker"),
+                    "{line}"
+                );
+                assert!(
+                    line.contains(&format!("--shard-worker {shard}/2")),
+                    "{line}"
+                );
+                assert!(
+                    line.contains(&format!(
+                        "--checkpoint-dir {}",
+                        coord.shard_dir(shard as u32).display()
+                    )),
+                    "{line}"
+                );
+                assert!(
+                    !line.contains("--resume"),
+                    "no session yet, so no --resume: {line}"
+                );
+            }
+            let _ = fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn respawn_resumes_once_a_session_exists() {
+            let dir = scratch("respawn");
+            // The fake worker "arms" its session by creating
+            // session.json, then crashes — the second attempt must pass
+            // --resume.
+            let path = dir.join("fake-worker.sh");
+            let calls = dir.join("calls");
+            fs::write(
+                &path,
+                format!(
+                    "#!/bin/sh\necho \"$@\" >> {}\nwhile [ $# -gt 1 ]; do\n  if [ \"$1\" = \"--checkpoint-dir\" ]; then touch \"$2/session.json\"; fi\n  shift\ndone\nexit 9\n",
+                    calls.display()
+                ),
+            )
+            .unwrap();
+            fs::set_permissions(&path, fs::Permissions::from_mode(0o755)).unwrap();
+            let policy = FleetPolicy {
+                max_attempts: 2,
+                backoff_base_ms: 0.0,
+                ..FleetPolicy::default()
+            };
+            let coord = ShardCoordinator::new(path, vec![], dir.clone(), 1).with_policy(policy);
+            assert!(matches!(
+                coord.run_workers(),
+                Err(ShardError::WorkerFailed { attempts: 2, .. })
+            ));
+            let calls = fs::read_to_string(dir.join("calls")).unwrap();
+            let lines: Vec<&str> = calls.lines().collect();
+            assert_eq!(lines.len(), 2);
+            assert!(!lines[0].contains("--resume"), "{}", lines[0]);
+            assert!(lines[1].contains("--resume"), "{}", lines[1]);
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}

@@ -65,9 +65,11 @@ mod tests {
     #[test]
     fn perturbation_grows_with_n_at_every_variation() {
         let (pert, _) = fig15_spice(&ExperimentConfig::quick());
+        let mut p = crate::observations::SeriesProbe::default();
         for col in ["var=10%", "var=40%"] {
-            let n4 = pert.get("N=4", col).unwrap();
-            let n32 = pert.get("N=32", col).unwrap();
+            let n4 = p.get(&pert, "N=4", col);
+            let n32 = p.get(&pert, "N=32", col);
+            assert!(p.missing().is_empty(), "missing series: {:?}", p.missing());
             assert!(n32 > n4 * 1.5, "{col}: N=32 {n32} vs N=4 {n4}");
         }
     }
@@ -75,10 +77,10 @@ mod tests {
     #[test]
     fn n32_success_immune_to_variation_n4_collapses() {
         let (_, success) = fig15_spice(&ExperimentConfig::quick());
-        let n4_drop =
-            success.get("N=4", "var=10%").unwrap() - success.get("N=4", "var=40%").unwrap();
-        let n32_drop =
-            success.get("N=32", "var=10%").unwrap() - success.get("N=32", "var=40%").unwrap();
+        let mut p = crate::observations::SeriesProbe::default();
+        let n4_drop = p.get(&success, "N=4", "var=10%") - p.get(&success, "N=4", "var=40%");
+        let n32_drop = p.get(&success, "N=32", "var=10%") - p.get(&success, "N=32", "var=40%");
+        assert!(p.missing().is_empty(), "missing series: {:?}", p.missing());
         assert!(n4_drop > 10.0, "paper: −46.58 % for N=4, got −{n4_drop}");
         assert!(n32_drop < 2.0, "paper: −0.01 % for N=32, got −{n32_drop}");
     }

@@ -38,7 +38,8 @@ use simra_core::rowgroup::GroupSpec;
 use simra_dram::{ApaTiming, BitRow, DataPattern, Manufacturer};
 
 pub use manifest::{
-    stable_digest, ManifestError, PointDigest, SweepManifest, SWEEP_MANIFEST_SCHEMA_VERSION,
+    stable_digest, ManifestError, PointDigest, ShardSpec, SweepManifest,
+    SWEEP_MANIFEST_SCHEMA_VERSION,
 };
 pub use surrogate::SurrogateBackend;
 

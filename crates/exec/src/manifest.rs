@@ -44,6 +44,27 @@ pub struct PointDigest {
     pub params_digest: u64,
 }
 
+/// Which shard of a multi-process sweep a journal belongs to. A shard
+/// worker owns every `(module, point)` slot whose flattened index is
+/// congruent to `index` modulo `count`; the coordinator merges the
+/// `count` per-shard journals back into one. Absent (`None` on
+/// [`SweepManifest::shard`]) for single-process sweeps — the field is
+/// then omitted from the JSON, so unsharded manifests render exactly as
+/// they did before sharding existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// This shard's index in `0..count`.
+    pub index: u32,
+    /// Total number of shards the grid was split into.
+    pub count: u32,
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
 /// Everything that determines a sweep's results, in serializable form.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepManifest {
@@ -67,6 +88,11 @@ pub struct SweepManifest {
     pub modules: usize,
     /// The ordered point list.
     pub points: Vec<PointDigest>,
+    /// Which shard of a multi-process run this manifest describes;
+    /// `None` for single-process sweeps (and omitted from the JSON, so
+    /// unsharded documents are unchanged from schema v1 as first
+    /// shipped).
+    pub shard: Option<ShardSpec>,
 }
 
 /// Why a manifest document was rejected.
@@ -128,9 +154,13 @@ impl SweepManifest {
                 .iter()
                 .map(|p| format!("{{\"n\":{},\"params_digest\":{}}}", p.n, p.params_digest)),
         );
+        let shard = match self.shard {
+            None => String::new(),
+            Some(s) => format!(",\"shard\":{{\"index\":{},\"count\":{}}}", s.index, s.count),
+        };
         format!(
             "{{\"schema_version\":{},\"sweep_id\":{},\"seed\":{},\"backend\":{},\
-             \"faults\":{},\"config_digest\":{},\"modules\":{},\"points\":{}}}",
+             \"faults\":{},\"config_digest\":{},\"modules\":{},\"points\":{}{}}}",
             self.schema_version,
             json::quote(&self.sweep_id),
             self.seed,
@@ -139,6 +169,7 @@ impl SweepManifest {
             self.config_digest,
             self.modules,
             points,
+            shard,
         )
     }
 
@@ -184,6 +215,23 @@ impl SweepManifest {
                     })
                 })
                 .collect::<Result<Vec<_>, ManifestError>>()?;
+        let shard = match doc.get("shard") {
+            None => None,
+            Some(node) => {
+                let index = node
+                    .get("index")
+                    .and_then(Value::as_u32)
+                    .ok_or_else(|| field_error("shard.index", "expected a u32"))?;
+                let count = node
+                    .get("count")
+                    .and_then(Value::as_u32)
+                    .ok_or_else(|| field_error("shard.count", "expected a u32"))?;
+                if count == 0 || index >= count {
+                    return Err(field_error("shard", "expected index < count and count > 0"));
+                }
+                Some(ShardSpec { index, count })
+            }
+        };
         Ok(SweepManifest {
             schema_version: version,
             sweep_id: str_field("sweep_id")?,
@@ -196,6 +244,7 @@ impl SweepManifest {
                 .and_then(Value::as_usize)
                 .ok_or_else(|| field_error("modules", "expected an unsigned integer"))?,
             points,
+            shard,
         })
     }
 
@@ -237,6 +286,11 @@ impl SweepManifest {
                 format!("{} point(s)", current.points.len()),
             ));
         }
+        if self.shard != current.shard {
+            let render =
+                |s: Option<ShardSpec>| s.map_or_else(|| "unsharded".into(), |s| s.to_string());
+            return Some(("shard", render(self.shard), render(current.shard)));
+        }
         None
     }
 }
@@ -264,6 +318,7 @@ mod tests {
                     params_digest: stable_digest("b"),
                 },
             ],
+            shard: None,
         }
     }
 
@@ -298,6 +353,56 @@ mod tests {
         let mut other = m.clone();
         other.points[1].params_digest ^= 0xFF;
         assert_eq!(m.mismatch(&other).unwrap().0, "points");
+    }
+
+    #[test]
+    fn unsharded_render_omits_the_shard_member() {
+        let json = sample().to_json();
+        assert!(!json.contains("shard"), "unsharded JSON unchanged: {json}");
+    }
+
+    #[test]
+    fn sharded_manifest_round_trips() {
+        let mut m = sample();
+        m.shard = Some(ShardSpec { index: 1, count: 4 });
+        let json = m.to_json();
+        assert!(
+            json.ends_with(",\"shard\":{\"index\":1,\"count\":4}}"),
+            "{json}"
+        );
+        let parsed = SweepManifest::from_json(&json).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.to_json(), json, "render is canonical");
+    }
+
+    #[test]
+    fn shard_mismatch_is_diagnosed() {
+        let unsharded = sample();
+        let mut sharded = sample();
+        sharded.shard = Some(ShardSpec { index: 2, count: 4 });
+        let (field, on_disk, current) = unsharded.mismatch(&sharded).unwrap();
+        assert_eq!(field, "shard");
+        assert_eq!(on_disk, "unsharded");
+        assert_eq!(current, "2/4");
+        let mut other = sharded.clone();
+        other.shard = Some(ShardSpec { index: 3, count: 4 });
+        assert_eq!(sharded.mismatch(&other).unwrap().0, "shard");
+        assert_eq!(sharded.mismatch(&sharded.clone()), None);
+    }
+
+    #[test]
+    fn degenerate_shard_specs_are_rejected() {
+        let mut m = sample();
+        m.shard = Some(ShardSpec { index: 4, count: 4 });
+        assert!(matches!(
+            SweepManifest::from_json(&m.to_json()),
+            Err(ManifestError::Field { .. })
+        ));
+        m.shard = Some(ShardSpec { index: 0, count: 0 });
+        assert!(matches!(
+            SweepManifest::from_json(&m.to_json()),
+            Err(ManifestError::Field { .. })
+        ));
     }
 
     #[test]

@@ -392,6 +392,57 @@ pub struct SpanSnapshot {
     pub max_ms: f64,
 }
 
+/// Why a snapshot document was rejected by [`Snapshot::parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The input is not well-formed JSON.
+    Json(json::ParseError),
+    /// The document's schema version is not the one this build writes.
+    SchemaVersion {
+        /// Version found in the document.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// A required member is missing or has the wrong type.
+    Field {
+        /// Name of the offending member.
+        field: String,
+        /// What was expected.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Json(e) => write!(f, "telemetry snapshot: {e}"),
+            SnapshotError::SchemaVersion { found, expected } => write!(
+                f,
+                "telemetry snapshot schema version {found} (this build reads version {expected})"
+            ),
+            SnapshotError::Field { field, detail } => {
+                write!(f, "telemetry snapshot field '{field}': {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<json::ParseError> for SnapshotError {
+    fn from(e: json::ParseError) -> Self {
+        SnapshotError::Json(e)
+    }
+}
+
+fn snapshot_field_error(field: &str, detail: &str) -> SnapshotError {
+    SnapshotError::Field {
+        field: field.into(),
+        detail: detail.into(),
+    }
+}
+
 /// A deterministic point-in-time copy of a recorder's series.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
@@ -459,6 +510,186 @@ impl Snapshot {
         }
         out.push_str("]}");
         out
+    }
+
+    /// Parses a snapshot rendered by [`Snapshot::to_json`]. `null`
+    /// histogram bounds (the empty-series rendering) are restored to the
+    /// in-memory `+inf`/`-inf` neutral elements, so parse∘render is the
+    /// identity on snapshots this build writes. Unknown schema versions
+    /// and malformed members are typed errors, never panics.
+    pub fn parse(input: &str) -> Result<Snapshot, SnapshotError> {
+        let doc = json::Value::parse(input)?;
+        let version = doc
+            .get("schema_version")
+            .and_then(json::Value::as_u32)
+            .ok_or_else(|| snapshot_field_error("schema_version", "expected a u32"))?;
+        if version != SCHEMA_VERSION {
+            return Err(SnapshotError::SchemaVersion {
+                found: version,
+                expected: SCHEMA_VERSION,
+            });
+        }
+        let enabled = doc
+            .get("enabled")
+            .and_then(json::Value::as_bool)
+            .ok_or_else(|| snapshot_field_error("enabled", "expected a bool"))?;
+        let series = |node: &json::Value, member: &str| -> Result<String, SnapshotError> {
+            node.get(member)
+                .and_then(json::Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| snapshot_field_error(member, "expected a string"))
+        };
+        let count_of = |node: &json::Value| -> Result<u64, SnapshotError> {
+            node.get("count")
+                .and_then(json::Value::as_u64)
+                .ok_or_else(|| snapshot_field_error("count", "expected a u64"))
+        };
+        // `null` (non-finite at render time) maps back to the stated
+        // neutral element; anything else must be a number.
+        let float_or =
+            |node: &json::Value, member: &str, empty: f64| -> Result<f64, SnapshotError> {
+                match node.get(member) {
+                    Some(json::Value::Null) => Ok(empty),
+                    Some(v) => v
+                        .as_f64()
+                        .ok_or_else(|| snapshot_field_error(member, "expected a number or null")),
+                    None => Err(snapshot_field_error(member, "expected a number or null")),
+                }
+            };
+        let list = |member: &str| -> Result<&[json::Value], SnapshotError> {
+            doc.get(member)
+                .and_then(json::Value::as_array)
+                .ok_or_else(|| snapshot_field_error(member, "expected an array"))
+        };
+        let counters = list("counters")?
+            .iter()
+            .map(|c| {
+                Ok(CounterSnapshot {
+                    module: series(c, "module")?,
+                    name: series(c, "name")?,
+                    value: c
+                        .get("value")
+                        .and_then(json::Value::as_u64)
+                        .ok_or_else(|| snapshot_field_error("value", "expected a u64"))?,
+                })
+            })
+            .collect::<Result<Vec<_>, SnapshotError>>()?;
+        let histograms = list("histograms")?
+            .iter()
+            .map(|h| {
+                Ok(HistogramSnapshot {
+                    module: series(h, "module")?,
+                    name: series(h, "name")?,
+                    count: count_of(h)?,
+                    sum: float_or(h, "sum", 0.0)?,
+                    min: float_or(h, "min", f64::INFINITY)?,
+                    max: float_or(h, "max", f64::NEG_INFINITY)?,
+                })
+            })
+            .collect::<Result<Vec<_>, SnapshotError>>()?;
+        let spans = list("spans")?
+            .iter()
+            .map(|s| {
+                Ok(SpanSnapshot {
+                    module: series(s, "module")?,
+                    name: series(s, "name")?,
+                    count: count_of(s)?,
+                    total_ms: float_or(s, "total_ms", 0.0)?,
+                    min_ms: float_or(s, "min_ms", 0.0)?,
+                    max_ms: float_or(s, "max_ms", 0.0)?,
+                })
+            })
+            .collect::<Result<Vec<_>, SnapshotError>>()?;
+        Ok(Snapshot {
+            schema_version: version,
+            enabled,
+            counters,
+            histograms,
+            spans,
+        })
+    }
+
+    /// Merges snapshots from independent processes (e.g. shard workers)
+    /// into one, as if a single recorder had observed all the work:
+    /// counters sum, histogram bounds take the min/max across inputs
+    /// (with the `±inf` neutral elements for empty series), spans sum
+    /// counts and totals while ignoring the `0` min/max placeholders of
+    /// never-observed series. Series are keyed by `(module, name)`
+    /// through `BTreeMap`s, so the output ordering is deterministic and
+    /// independent of input order — merging the same set of snapshots in
+    /// any order renders byte-identical JSON. `enabled` is the OR of the
+    /// inputs; the schema version is this build's.
+    pub fn merge_all(snapshots: &[Snapshot]) -> Snapshot {
+        let mut counters: BTreeMap<(String, String), u64> = BTreeMap::new();
+        let mut histograms: BTreeMap<(String, String), HistData> = BTreeMap::new();
+        let mut spans: BTreeMap<(String, String), SpanData> = BTreeMap::new();
+        let mut enabled = false;
+        for snap in snapshots {
+            enabled |= snap.enabled;
+            for c in &snap.counters {
+                *counters
+                    .entry((c.module.clone(), c.name.clone()))
+                    .or_insert(0) += c.value;
+            }
+            for h in &snap.histograms {
+                let cell = histograms
+                    .entry((h.module.clone(), h.name.clone()))
+                    .or_default();
+                cell.count += h.count;
+                cell.sum += h.sum;
+                cell.min = cell.min.min(h.min);
+                cell.max = cell.max.max(h.max);
+            }
+            for s in &snap.spans {
+                let cell = spans.entry((s.module.clone(), s.name.clone())).or_default();
+                if s.count > 0 {
+                    // A zero-count span's min/max are 0 placeholders,
+                    // not observations — fold in only observed spans.
+                    cell.min_ms = if cell.count == 0 {
+                        s.min_ms
+                    } else {
+                        cell.min_ms.min(s.min_ms)
+                    };
+                    cell.max_ms = cell.max_ms.max(s.max_ms);
+                    cell.count += s.count;
+                    cell.total_ms += s.total_ms;
+                }
+            }
+        }
+        Snapshot {
+            schema_version: SCHEMA_VERSION,
+            enabled,
+            counters: counters
+                .into_iter()
+                .map(|((module, name), value)| CounterSnapshot {
+                    module,
+                    name,
+                    value,
+                })
+                .collect(),
+            histograms: histograms
+                .into_iter()
+                .map(|((module, name), h)| HistogramSnapshot {
+                    module,
+                    name,
+                    count: h.count,
+                    sum: h.sum,
+                    min: h.min,
+                    max: h.max,
+                })
+                .collect(),
+            spans: spans
+                .into_iter()
+                .map(|((module, name), s)| SpanSnapshot {
+                    module,
+                    name,
+                    count: s.count,
+                    total_ms: s.total_ms,
+                    min_ms: s.min_ms,
+                    max_ms: s.max_ms,
+                })
+                .collect(),
+        }
     }
 
     /// Renders a human summary table (the `--metrics` stderr output).
@@ -651,5 +882,123 @@ mod tests {
         // No test in this crate enables the global recorder, so this is
         // safe to assert even under the parallel test harness.
         assert!(!global().is_enabled());
+    }
+
+    fn busy_snapshot() -> Snapshot {
+        let r = Recorder::new();
+        r.enable();
+        r.counter("fleet", "task_completed").add(7);
+        r.counter("engine", "sense_ops").add(3);
+        r.histogram("fleet", "backoff_ms").observe(10.0);
+        r.histogram("fleet", "backoff_ms").observe(40.0);
+        r.histogram("fleet", "attempts"); // registered, stays empty
+        drop(r.span("figure", "fig3"));
+        r.snapshot()
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let snap = busy_snapshot();
+        let parsed = Snapshot::parse(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap, "parse ∘ render is the identity");
+        assert_eq!(parsed.to_json(), snap.to_json(), "render is canonical");
+    }
+
+    #[test]
+    fn empty_histogram_bounds_survive_the_null_rendering() {
+        let r = Recorder::new();
+        r.enable();
+        r.histogram("fleet", "attempts");
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"min\":null,\"max\":null"), "{json}");
+        let parsed = Snapshot::parse(&json).unwrap();
+        assert_eq!(parsed.histograms[0].min, f64::INFINITY);
+        assert_eq!(parsed.histograms[0].max, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents_with_typed_errors() {
+        assert!(matches!(Snapshot::parse("{]"), Err(SnapshotError::Json(_))));
+        assert!(matches!(
+            Snapshot::parse("{\"schema_version\":99,\"enabled\":true,\"counters\":[],\"histograms\":[],\"spans\":[]}"),
+            Err(SnapshotError::SchemaVersion { found: 99, .. })
+        ));
+        assert!(matches!(
+            Snapshot::parse("{\"schema_version\":1,\"enabled\":true}"),
+            Err(SnapshotError::Field { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_sums_counters_and_folds_bounds() {
+        let a = Recorder::new();
+        a.enable();
+        a.counter("fleet", "task_completed").add(2);
+        a.histogram("fleet", "backoff_ms").observe(10.0);
+        drop(a.span("figure", "fig3"));
+        let b = Recorder::new();
+        b.enable();
+        b.counter("fleet", "task_completed").add(5);
+        b.counter("fleet", "task_failed").add(1);
+        b.histogram("fleet", "backoff_ms").observe(40.0);
+        b.histogram("fleet", "attempts"); // registered, stays empty
+        let mut snap_b = b.snapshot();
+        // A registered-but-never-observed span: count 0 with the 0.0
+        // min/max placeholders.
+        snap_b.spans.push(SpanSnapshot {
+            module: "figure".into(),
+            name: "fig3".into(),
+            count: 0,
+            total_ms: 0.0,
+            min_ms: 0.0,
+            max_ms: 0.0,
+        });
+        let merged = Snapshot::merge_all(&[a.snapshot(), snap_b]);
+        let counter = |name: &str| {
+            merged
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+        };
+        assert_eq!(counter("task_completed"), Some(7));
+        assert_eq!(counter("task_failed"), Some(1));
+        let h = merged
+            .histograms
+            .iter()
+            .find(|h| h.name == "backoff_ms")
+            .unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 50.0, 10.0, 40.0));
+        let empty = merged
+            .histograms
+            .iter()
+            .find(|h| h.name == "attempts")
+            .unwrap();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.min, f64::INFINITY);
+        let span = merged.spans.iter().find(|s| s.name == "fig3").unwrap();
+        assert_eq!(span.count, 1, "zero-count span contributes nothing");
+        assert!(span.min_ms >= 0.0 && span.max_ms >= span.min_ms);
+        assert!(merged.enabled);
+    }
+
+    #[test]
+    fn merge_output_is_independent_of_input_order() {
+        let a = busy_snapshot();
+        let mut b = busy_snapshot();
+        b.counters.retain(|c| c.module == "fleet");
+        let ab = Snapshot::merge_all(&[a.clone(), b.clone()]);
+        let ba = Snapshot::merge_all(&[b, a]);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.to_json(), ba.to_json(), "deterministic rendering");
+        let keys: Vec<_> = ab
+            .counters
+            .iter()
+            .map(|c| (c.module.clone(), c.name.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "BTreeMap ordering preserved");
     }
 }
