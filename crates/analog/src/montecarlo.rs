@@ -215,6 +215,143 @@ pub fn run_fig15(params: &CircuitParams, config: MonteCarloConfig) -> Vec<MonteC
     out
 }
 
+/// The z value of a two-sided 95 % confidence interval — the default
+/// confidence level of the hybrid backend's sequential early-stop rule.
+pub const Z_95: f64 = 1.959_963_984_540_054;
+
+/// Wilson score interval for `successes` out of `trials` Bernoulli
+/// draws at critical value `z` (e.g. [`Z_95`]).
+///
+/// Unlike the naive Wald interval, the Wilson interval stays inside
+/// `[0, 1]` and behaves sensibly at the extremes (all successes / all
+/// failures), which is exactly where the characterization spends most
+/// of its trials. Weighted (fractional) counts are accepted: a trial
+/// that reports a success *fraction* over `w` columns contributes
+/// `fraction · w` successes out of `w` pseudo-trials.
+///
+/// With `trials == 0` the interval is the vacuous `(0, 1)` — never NaN
+/// — so callers can evaluate the rule before the first observation.
+pub fn wilson_interval(successes: f64, trials: f64, z: f64) -> (f64, f64) {
+    if trials.is_nan() || trials <= 0.0 {
+        return (0.0, 1.0);
+    }
+    let n = trials;
+    let p = (successes / n).clamp(0.0, 1.0);
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z / denom * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Half the width of [`wilson_interval`] — the convergence measure of
+/// the sequential early-stop rule (`0.5` while no trials were observed).
+pub fn wilson_half_width(successes: f64, trials: f64, z: f64) -> f64 {
+    let (lo, hi) = wilson_interval(successes, trials, z);
+    (hi - lo) / 2.0
+}
+
+/// A sequential success-rate estimate over weighted Bernoulli evidence:
+/// the accumulator behind the hybrid backend's per-point early-stop
+/// rule. Every update is a success *fraction* with a weight (the
+/// effective independent-column count of one analog trial); the
+/// estimate exposes its Wilson interval and the three predicates the
+/// decision rule combines.
+///
+/// All methods are NaN-free at zero observations: the mean defaults to
+/// the midpoint `0.5` and the interval to the vacuous `(0, 1)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SequentialEstimate {
+    weighted_successes: f64,
+    weighted_trials: f64,
+    samples: u32,
+}
+
+impl SequentialEstimate {
+    /// A fresh estimate with no evidence.
+    pub fn new() -> Self {
+        SequentialEstimate::default()
+    }
+
+    /// Folds in one observed success fraction with `weight`
+    /// pseudo-trials. Non-positive weights and non-finite fractions are
+    /// ignored (the estimate only ever aggregates real evidence).
+    pub fn observe(&mut self, fraction: f64, weight: f64) {
+        if weight.is_nan() || weight <= 0.0 || !fraction.is_finite() {
+            return;
+        }
+        self.weighted_successes += fraction.clamp(0.0, 1.0) * weight;
+        self.weighted_trials += weight;
+        self.samples += 1;
+    }
+
+    /// Number of observations folded in (unweighted).
+    pub fn samples(&self) -> u32 {
+        self.samples
+    }
+
+    /// Point estimate of the success rate; `0.5` (the interval
+    /// midpoint) while no evidence was observed.
+    pub fn mean(&self) -> f64 {
+        if self.weighted_trials > 0.0 {
+            (self.weighted_successes / self.weighted_trials).clamp(0.0, 1.0)
+        } else {
+            0.5
+        }
+    }
+
+    /// Wilson score interval of the evidence at critical value `z`.
+    pub fn interval(&self, z: f64) -> (f64, f64) {
+        wilson_interval(self.weighted_successes, self.weighted_trials, z)
+    }
+
+    /// Half-width of [`SequentialEstimate::interval`].
+    pub fn half_width(&self, z: f64) -> f64 {
+        wilson_half_width(self.weighted_successes, self.weighted_trials, z)
+    }
+
+    /// Whether the estimate has converged: at least one observation and
+    /// an interval half-width of at most `epsilon`.
+    pub fn converged(&self, epsilon: f64, z: f64) -> bool {
+        self.samples > 0 && self.half_width(z) <= epsilon
+    }
+
+    /// Whether the interval is decisively clear of every threshold in
+    /// `thresholds` — no threshold falls inside the (closed) interval.
+    /// Vacuously true for an empty threshold list.
+    pub fn clear_of(&self, thresholds: &[f64], z: f64) -> bool {
+        let (lo, hi) = self.interval(z);
+        thresholds.iter().all(|&t| t < lo || t > hi)
+    }
+
+    /// Whether an external probability `p` (e.g. a calibrated table
+    /// entry) is consistent with the evidence: inside the interval
+    /// widened by `slack` on both sides. A non-finite `p` is never
+    /// consistent.
+    pub fn consistent_with(&self, p: f64, slack: f64, z: f64) -> bool {
+        if !p.is_finite() {
+            return false;
+        }
+        let (lo, hi) = self.interval(z);
+        p >= lo - slack && p <= hi + slack
+    }
+
+    /// Posterior mean blending the evidence with a prior probability of
+    /// weight `prior_weight` pseudo-trials — the answer a decided point
+    /// reports: anchored to the observed trials, pulled toward the
+    /// calibrated table only as far as the prior weight justifies.
+    /// With no evidence this is exactly `prior` (NaN-free for finite
+    /// inputs); with no prior weight it is the empirical mean.
+    pub fn posterior_mean(&self, prior: f64, prior_weight: f64) -> f64 {
+        let w0 = prior_weight.max(0.0);
+        let denom = w0 + self.weighted_trials;
+        if denom <= 0.0 {
+            return 0.5;
+        }
+        ((w0 * prior.clamp(0.0, 1.0) + self.weighted_successes) / denom).clamp(0.0, 1.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,5 +445,146 @@ mod tests {
         assert!(pt.q1_mv <= pt.median_mv);
         assert!(pt.median_mv <= pt.q3_mv);
         assert!(pt.q3_mv <= pt.max_mv);
+    }
+
+    // --- Wilson interval + sequential early-stop rule ---
+
+    fn assert_close(actual: (f64, f64), expected: (f64, f64), label: &str) {
+        assert!(
+            (actual.0 - expected.0).abs() < 1e-3 && (actual.1 - expected.1).abs() < 1e-3,
+            "{label}: got ({:.4}, {:.4}), expected ({:.4}, {:.4})",
+            actual.0,
+            actual.1,
+            expected.0,
+            expected.1
+        );
+    }
+
+    #[test]
+    fn wilson_matches_known_vectors() {
+        // Classic textbook values at 95 % confidence.
+        assert_close(wilson_interval(5.0, 10.0, Z_95), (0.2366, 0.7634), "5/10");
+        assert_close(wilson_interval(0.0, 10.0, Z_95), (0.0000, 0.2775), "0/10");
+        assert_close(wilson_interval(10.0, 10.0, Z_95), (0.7225, 1.0000), "10/10");
+        assert_close(wilson_interval(9.0, 10.0, Z_95), (0.5958, 0.9821), "9/10");
+        assert_close(
+            wilson_interval(90.0, 100.0, Z_95),
+            (0.8255, 0.9445),
+            "90/100",
+        );
+    }
+
+    #[test]
+    fn wilson_is_nan_free_and_bounded_at_the_edges() {
+        let (lo, hi) = wilson_interval(0.0, 0.0, Z_95);
+        assert_eq!((lo, hi), (0.0, 1.0), "zero trials = vacuous interval");
+        assert_eq!(wilson_half_width(0.0, 0.0, Z_95), 0.5);
+        // Out-of-range success counts are clamped, never NaN.
+        let (lo, hi) = wilson_interval(20.0, 10.0, Z_95);
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi && hi <= 1.0);
+        let (lo, hi) = wilson_interval(-5.0, 10.0, Z_95);
+        assert!(lo.is_finite() && (0.0..=1.0).contains(&lo) && hi >= lo);
+        // Negative trial counts behave like zero.
+        assert_eq!(wilson_interval(1.0, -3.0, Z_95), (0.0, 1.0));
+    }
+
+    #[test]
+    fn wilson_narrows_with_evidence() {
+        let mut last = 0.5;
+        for n in [10.0, 100.0, 1000.0, 10_000.0] {
+            let hw = wilson_half_width(0.9 * n, n, Z_95);
+            assert!(hw < last, "half-width must shrink: {hw} at n={n}");
+            last = hw;
+        }
+        assert!(last < 0.01, "10⁴ trials pin p to within a point: {last}");
+    }
+
+    #[test]
+    fn estimate_starts_vacuous_and_nan_free() {
+        let e = SequentialEstimate::new();
+        assert_eq!(e.samples(), 0);
+        assert_eq!(e.mean(), 0.5);
+        assert_eq!(e.interval(Z_95), (0.0, 1.0));
+        assert_eq!(e.half_width(Z_95), 0.5);
+        assert!(!e.converged(0.02, Z_95), "no evidence is never converged");
+        assert!(
+            !e.converged(0.6, Z_95),
+            "even a huge epsilon needs a sample"
+        );
+        assert!(e.clear_of(&[], Z_95), "no thresholds = vacuously clear");
+        assert!(!e.clear_of(&[0.5], Z_95), "vacuous interval contains 0.5");
+        assert!(e.posterior_mean(0.97, 32.0).is_finite());
+        assert_eq!(e.posterior_mean(0.97, 32.0), 0.97, "prior only");
+        assert_eq!(e.posterior_mean(0.97, 0.0), 0.5, "no prior, no evidence");
+    }
+
+    #[test]
+    fn estimate_aggregates_weighted_fractions() {
+        let mut e = SequentialEstimate::new();
+        e.observe(1.0, 128.0);
+        e.observe(0.5, 128.0);
+        assert_eq!(e.samples(), 2);
+        assert!((e.mean() - 0.75).abs() < 1e-12);
+        let (lo, hi) = e.interval(Z_95);
+        assert_close((lo, hi), wilson_interval(192.0, 256.0, Z_95), "weighted");
+        // Ignored updates: zero/negative weight, non-finite fraction.
+        e.observe(1.0, 0.0);
+        e.observe(1.0, -5.0);
+        e.observe(f64::NAN, 128.0);
+        assert_eq!(e.samples(), 2, "bogus evidence is not evidence");
+    }
+
+    #[test]
+    fn convergence_tracks_epsilon() {
+        let mut e = SequentialEstimate::new();
+        e.observe(1.0, 128.0);
+        // All-success at n=128: half-width ≈ 0.0146.
+        assert!(e.converged(0.02, Z_95));
+        assert!(!e.converged(0.01, Z_95), "tighter epsilon needs more");
+        // A transition-region estimate stays unconverged far longer.
+        let mut mid = SequentialEstimate::new();
+        mid.observe(0.5, 128.0);
+        assert!(!mid.converged(0.02, Z_95));
+        for _ in 0..20 {
+            mid.observe(0.5, 128.0);
+        }
+        assert!(
+            mid.converged(0.02, Z_95),
+            "n=2688 at p=0.5: hw {:.4}",
+            mid.half_width(Z_95)
+        );
+    }
+
+    #[test]
+    fn threshold_clearance_and_consistency() {
+        let mut e = SequentialEstimate::new();
+        e.observe(1.0, 128.0);
+        e.observe(1.0, 128.0);
+        // Interval ≈ (0.985, 1.0): clear of 0.5, not of 0.99.
+        assert!(e.clear_of(&[0.5], Z_95));
+        assert!(!e.clear_of(&[0.99], Z_95));
+        assert!(e.consistent_with(0.999, 0.0, Z_95));
+        assert!(e.consistent_with(0.97, 0.02, Z_95), "slack widens the band");
+        assert!(
+            !e.consistent_with(0.8, 0.02, Z_95),
+            "a biased table is caught"
+        );
+        assert!(!e.consistent_with(f64::NAN, 1.0, Z_95));
+    }
+
+    #[test]
+    fn posterior_blends_prior_toward_evidence() {
+        let mut e = SequentialEstimate::new();
+        e.observe(0.2, 128.0);
+        e.observe(0.2, 128.0);
+        // A badly biased prior (the Obs. 8 MAJ7 case: table says ~0.01,
+        // silicon says ~0.2) is pulled to the evidence.
+        let p = e.posterior_mean(0.01, 32.0);
+        assert!((0.15..=0.2).contains(&p), "posterior {p}");
+        // An agreeing prior barely moves the answer.
+        let q = e.posterior_mean(0.21, 32.0);
+        assert!((q - 0.2).abs() < 0.01, "posterior {q}");
+        // Degenerate prior weights are safe.
+        assert!((e.posterior_mean(0.5, -1.0) - 0.2).abs() < 1e-12);
     }
 }

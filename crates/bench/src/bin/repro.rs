@@ -10,6 +10,10 @@
 //! repro <scale> --timings       # also print per-figure wall-clock to stderr
 //! repro <scale> --backend <which>  # execution backend: analog (default)
 //!                               # | surrogate (calibrated fast model)
+//!                               # | hybrid (adaptive table/analog mix)
+//! repro <scale> --backend hybrid --hybrid-epsilon 0.02 --hybrid-budget 1:8
+//!                               # hybrid early-stop half-width and
+//!                               # per-point analog trial budget
 //! repro <scale> --faults <name> # arm a fault-injection preset
 //!                               # (quick | dropout | chaos)
 //! repro <scale> --metrics       # telemetry summary to stderr after the run
@@ -74,6 +78,13 @@ fn main() {
         _ => ExperimentConfig::reduced(),
     };
     config.backend = opts.backend;
+    if config.backend == simra_exec::BackendChoice::Hybrid {
+        // Folded into the config (and hence into checkpoint-session
+        // manifests) *and* applied to the process-wide backend set,
+        // which is what actually executes the trials.
+        config.hybrid = opts.hybrid_params();
+        simra_characterize::BackendSet::global().set_hybrid_params(config.hybrid);
+    }
     let backend = simra_characterize::BackendSet::global().dispatch(config.backend);
     if config.backend != simra_exec::BackendChoice::Analog {
         // stderr only: default-backend stdout stays byte-identical.
@@ -145,6 +156,14 @@ fn main() {
         if opts.backend != simra_exec::BackendChoice::Analog {
             base_args.push("--backend".into());
             base_args.push(opts.backend.to_string());
+        }
+        if let Some(epsilon) = opts.hybrid_epsilon {
+            base_args.push("--hybrid-epsilon".into());
+            base_args.push(epsilon.to_string());
+        }
+        if let Some((floor, ceiling)) = opts.hybrid_budget {
+            base_args.push("--hybrid-budget".into());
+            base_args.push(format!("{floor}:{ceiling}"));
         }
         if let Some(preset) = opts.faults_preset.as_deref() {
             base_args.push("--faults".into());

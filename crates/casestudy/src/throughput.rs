@@ -120,6 +120,10 @@ pub fn measure_majx_throughput_on(
     };
     let op_latency_ns = staging + lat.majx_apa_ns;
 
+    // Each measurement is its own slot: stateful backends (hybrid)
+    // reset here, so the result does not depend on what ran earlier on
+    // this thread.
+    simra_exec::slot::begin();
     let mut setup = TestSetup::with_module(DramModule::new(profile.clone(), seed));
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
     let specs = sample_groups(

@@ -17,7 +17,10 @@ use rand::rngs::StdRng;
 
 use simra_bender::TestSetup;
 use simra_core::rowgroup::GroupSpec;
-use simra_exec::{AnalogBackend, BackendChoice, PudBackend, SurrogateBackend, TrialSpec};
+use simra_exec::{
+    AnalogBackend, BackendChoice, HybridBackend, HybridParams, PudBackend, SurrogateBackend,
+    TrialSpec,
+};
 
 use crate::config::ExperimentConfig;
 use crate::fleet::{sweep_group_samples, SweepPoint};
@@ -27,10 +30,12 @@ use crate::fleet::{sweep_group_samples, SweepPoint};
 pub struct BackendSet {
     analog: AnalogBackend,
     surrogate: SurrogateBackend,
+    hybrid: HybridBackend,
 }
 
 impl BackendSet {
-    /// The process-wide set (keeps the surrogate calibration warm).
+    /// The process-wide set (keeps the surrogate and hybrid calibration
+    /// warm).
     pub fn global() -> &'static BackendSet {
         static GLOBAL: OnceLock<BackendSet> = OnceLock::new();
         GLOBAL.get_or_init(BackendSet::default)
@@ -41,7 +46,14 @@ impl BackendSet {
         match choice {
             BackendChoice::Analog => &self.analog,
             BackendChoice::Surrogate => &self.surrogate,
+            BackendChoice::Hybrid => &self.hybrid,
         }
+    }
+
+    /// Applies decision parameters to the hybrid backend (new slots
+    /// pick them up; running slots keep their snapshot).
+    pub fn set_hybrid_params(&self, params: HybridParams) {
+        self.hybrid.set_params(params);
     }
 }
 
@@ -99,6 +111,7 @@ mod tests {
         let set = BackendSet::global();
         assert_eq!(set.dispatch(BackendChoice::Analog).name(), "analog");
         assert_eq!(set.dispatch(BackendChoice::Surrogate).name(), "surrogate");
+        assert_eq!(set.dispatch(BackendChoice::Hybrid).name(), "hybrid");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use simra_dram::vendor::{paper_fleet, VendorProfile};
-use simra_exec::BackendChoice;
+use simra_exec::{BackendChoice, HybridParams};
 use simra_faults::FaultPlan;
 
 /// One module to mount in the (virtual) rig.
@@ -39,6 +39,13 @@ pub struct ExperimentConfig {
     /// [`BackendChoice::Surrogate`] swaps in the calibrated fast model.
     #[serde(default)]
     pub backend: BackendChoice,
+    /// Decision parameters of the hybrid backend. Only meaningful when
+    /// `backend` is [`BackendChoice::Hybrid`]; serialized (and hence
+    /// folded into sweep-manifest digests, so checkpoint journals refuse
+    /// to resume across a parameter change) only when non-default, which
+    /// keeps pre-hybrid manifests byte-identical.
+    #[serde(default, skip_serializing_if = "HybridParams::is_default")]
+    pub hybrid: HybridParams,
 }
 
 impl ExperimentConfig {
@@ -62,6 +69,7 @@ impl ExperimentConfig {
             seed: 0xD5A,
             faults: None,
             backend: BackendChoice::Analog,
+            hybrid: HybridParams::default(),
         }
     }
 
@@ -79,6 +87,7 @@ impl ExperimentConfig {
             seed: 0xD5A,
             faults: None,
             backend: BackendChoice::Analog,
+            hybrid: HybridParams::default(),
         }
     }
 
@@ -105,6 +114,7 @@ impl ExperimentConfig {
             seed: 0xD5A,
             faults: None,
             backend: BackendChoice::Analog,
+            hybrid: HybridParams::default(),
         }
     }
 

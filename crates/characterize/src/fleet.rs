@@ -394,6 +394,7 @@ fn run_module<F>(config: &ExperimentConfig, index: usize, n: u32, op: &F) -> Vec
 where
     F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>,
 {
+    simra_exec::slot::begin();
     let module = &config.modules[index];
     let mut setup = TestSetup::with_module(DramModule::new(module.profile.clone(), module.seed));
     let mut rng = StdRng::seed_from_u64(module_stream_seed(config, module, index, n));
@@ -437,6 +438,11 @@ fn run_point_attempt<P, F>(
 where
     F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>,
 {
+    // Every attempt is a fresh slot epoch: stateful backends (hybrid)
+    // reset their per-point history here, so a retry replays the exact
+    // same escalation decisions and worker scheduling cannot leak state
+    // between tasks.
+    simra_exec::slot::begin();
     let config = ctx.config;
     let module = &config.modules[index];
     let mut setup = TestSetup::with_module(dram);

@@ -29,6 +29,10 @@ use crate::report::Table;
 /// One profile's row: mount the profile, draw its group sample, and
 /// measure every headline operation on the shared per-profile stream.
 fn per_die_row(config: &ExperimentConfig, profile: &VendorProfile) -> Vec<f64> {
+    // Pool threads arrive here carrying whatever slot epoch their last
+    // task left behind; a fresh epoch makes stateful backends (hybrid)
+    // start clean, so the row is scheduling-independent.
+    simra_exec::slot::begin();
     let mut setup = TestSetup::with_module(DramModule::new(profile.clone(), 4242));
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xD1E);
     let groups = sample_groups(
@@ -124,12 +128,21 @@ mod tests {
         config.groups_per_subarray = 3;
         let t = per_die_breakdown(&config);
         assert_eq!(t.rows.len(), 4, "one row per Table-1 profile");
-        // Mfr. M has no MAJ9 column.
+        let mut p = crate::observations::SeriesProbe::default();
+        // Mfr. M has no MAJ9 column; Mfr. H does.
         let m_e = "Mfr. M (E die, 16Gb x16)";
-        assert!(t.get(m_e, "MAJ9").unwrap().is_nan());
-        // Mfr. H does.
         let h_m = "Mfr. H (M die, 4Gb x8)";
-        assert!(!t.get(h_m, "MAJ9").unwrap().is_nan());
+        let m_e_maj9 = p.get(&t, m_e, "MAJ9");
+        let h_m_maj9 = p.get(&t, h_m, "MAJ9");
+        // MAJ7 exists on both vendors (vendor *ordering* needs more than
+        // a quick-scale sample — the group spread dominates 3 groups).
+        let h_m_maj7 = p.get(&t, h_m, "MAJ7");
+        let m_e_maj7 = p.get(&t, m_e, "MAJ7");
+        assert!(p.missing().is_empty(), "missing series: {:?}", p.missing());
+        assert!(m_e_maj9.is_nan(), "Mfr. M MAJ9 must be infeasible");
+        assert!(!h_m_maj9.is_nan(), "Mfr. H MAJ9 must be measured");
+        assert!(h_m_maj7.is_finite());
+        assert!(m_e_maj7.is_finite());
         // Everyone activates and copies well.
         for r in &t.rows {
             let act = r.values[0];
@@ -137,10 +150,6 @@ mod tests {
             assert!(act > 97.0, "{}: ACT32 {act}", r.label);
             assert!(mrc > 97.0, "{}: MRC31 {mrc}", r.label);
         }
-        // MAJ7 exists on both vendors (vendor *ordering* needs more than
-        // a quick-scale sample — the group spread dominates 3 groups).
-        assert!(t.get(h_m, "MAJ7").unwrap().is_finite());
-        assert!(t.get(m_e, "MAJ7").unwrap().is_finite());
     }
 
     #[test]

@@ -1,0 +1,533 @@
+//! The adaptive hybrid backend: confidence-gated escalation with
+//! sequential early stopping.
+//!
+//! # Decision rule
+//!
+//! The analog backend is exact but slow; the surrogate is fast but
+//! trusts its calibrated table blindly — and the table, probed on
+//! `CAL_GROUPS` narrow-rig groups, carries a few percentage points of
+//! absolute error that can flip a threshold-based observation (at quick
+//! scale it misreports MAJ7@32 as 0.8 % where the analog core measures
+//! 19.9 %, flipping Obs. 8). The hybrid spends analog trials *only
+//! where they buy certainty*:
+//!
+//! For each operating point (the surrogate's calibration key) inside a
+//! slot it maintains a [`SequentialEstimate`] — a Wilson-score interval
+//! over the analog success fractions observed so far, each weighted by
+//! [`SAMPLE_WEIGHT`] pseudo-trials. Per trial it either **answers from
+//! the table** (two RNG draws, no analog work — byte-identical in form
+//! to a surrogate answer) or **escalates** (runs the real
+//! [`AnalogBackend`] trial and folds the result into the estimate).
+//! A point starts answering once all three predicates hold:
+//!
+//! 1. **converged** — the interval half-width is ≤ ε (default 0.02 at
+//!    95 % confidence),
+//! 2. **consistent** — the calibrated table probability lies within the
+//!    interval widened by `max(ε, TABLE_ERROR_BAND)` (otherwise the
+//!    table is *wrong here* and every remaining trial escalates, up to
+//!    the budget ceiling; this is what rescues Obs. 8),
+//! 3. **clear** — the interval contains none of the observation
+//!    thresholds the point's operation feeds
+//!    ([`decision_thresholds`]).
+//!
+//! A floor/ceiling trial budget clamps the sequential rule: at least
+//! `floor` analog trials are always spent (the consistency check needs
+//! evidence), and a point that is still ambiguous after `ceiling`
+//! analog trials answers anyway from its posterior. The high-confidence
+//! bars of Obs. 1/14 (≥ 99 %) are deliberately *not* in the threshold
+//! sets: a small-sample Wilson interval can never separate 99.9 % from
+//! 99 %, so gating on them would force near-saturated points — the vast
+//! majority — to deep-sample forever. Those observations are protected
+//! by the consistency gate plus posterior anchoring instead: an answer
+//! is the evidence-weighted blend of the observed trials with the
+//! (consistency-checked) table prior, so a table entry a hair below a
+//! 99 % bar cannot drag a saturated point under it.
+//!
+//! # Determinism
+//!
+//! Escalation decisions are a pure function of (params, spec,
+//! observation history in slot order): the decision for trial *k* of a
+//! point depends only on the outcomes of that point's earlier analog
+//! trials *within the same slot*, which are themselves pure functions
+//! of the slot's seeded RNG stream. State lives in a thread-local keyed
+//! by the [`crate::slot`] epoch and is dropped at every slot boundary,
+//! so worker count, scheduling, retries, checkpoint resume, and
+//! sharding cannot leak history between slots — two same-seed runs are
+//! byte-identical. Answer samples consume exactly two uniforms (the
+//! surrogate's noise shape) and escalated trials consume exactly the
+//! analog backend's draws, so a decided point's stream position matches
+//! what a pure table (resp. pure analog) run would produce — and
+//! paired same-N sweep points that decide after the same trial count
+//! replay identical noise, preserving the paired-observation
+//! cancellation the scoreboard relies on.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use simra_analog::montecarlo::{SequentialEstimate, Z_95};
+use simra_bender::TestSetup;
+use simra_core::rowgroup::GroupSpec;
+use simra_dram::Manufacturer;
+use simra_telemetry::{Counter, Histogram};
+
+use crate::surrogate::{noisy_success_sample, CalKey};
+use crate::{AnalogBackend, PudBackend, SurrogateBackend, TrialOp, TrialSpec};
+
+/// Pseudo-trials one analog success fraction is worth in the Wilson
+/// estimate. An analog trial averages over every column of the group
+/// (512–1024 Bernoulli outcomes), so it carries far more evidence than
+/// a single coin flip; 512 discounts the raw column count for the
+/// per-group strength correlation (columns of one group share a
+/// strength factor, so they are not fully independent) while still
+/// letting an unambiguous near-saturated point converge after one
+/// trial at the default ε = 0.02.
+const SAMPLE_WEIGHT: f64 = 512.0;
+
+/// Pseudo-trial weight of the calibrated table prior in a decided
+/// point's posterior answer — a quarter of one analog trial, so the
+/// observed evidence dominates as soon as it exists.
+const PRIOR_WEIGHT: f64 = 32.0;
+
+/// Documented absolute error band of the calibrated table (the
+/// surrogate's `CAL_GROUPS`-group probe carries a few percentage points
+/// of group-selection spread; see `surrogate`'s module docs). The
+/// consistency check widens the Wilson interval by
+/// `max(ε, TABLE_ERROR_BAND)`: a table entry within its own error band
+/// of the evidence is *agreeing*, not wrong — demanding ε-level
+/// agreement from a ±5 pp table would escalate half the fleet for no
+/// information gain. A genuinely wrong entry (Obs. 8's MAJ7: table
+/// 0.8 % vs measured ~20 %) still fails the widened check by a wide
+/// margin.
+const TABLE_ERROR_BAND: f64 = 0.05;
+
+/// Tuning knobs of the hybrid decision rule. Serialized into the
+/// experiment manifest (so checkpoint journals refuse to resume across
+/// a parameter change) and settable from the CLI via
+/// `--hybrid-epsilon` / `--hybrid-budget`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HybridParams {
+    /// Target half-width of the 95 % Wilson interval: a point stops
+    /// escalating once its estimate is at least this tight (and
+    /// consistent with the table, and clear of every observation
+    /// threshold). Also the slack of the table-consistency check.
+    pub epsilon: f64,
+    /// Minimum analog trials per point before the table may answer.
+    pub floor: u32,
+    /// Maximum analog trials per point; a still-ambiguous point answers
+    /// from its posterior once the ceiling is reached.
+    pub ceiling: u32,
+}
+
+impl Default for HybridParams {
+    fn default() -> Self {
+        HybridParams {
+            epsilon: 0.02,
+            floor: 1,
+            ceiling: 8,
+        }
+    }
+}
+
+impl HybridParams {
+    /// Whether these are exactly the default parameters (used to omit
+    /// the field from manifests so pre-hybrid digests stay stable).
+    pub fn is_default(&self) -> bool {
+        *self == HybridParams::default()
+    }
+}
+
+/// The observation thresholds a trial of `op` can feed: the success-rate
+/// bars the scoreboard compares figures against, plus the 50 % transition
+/// midpoint every monotone sweep crosses. An interval straddling one of
+/// these must keep sampling; bars ≥ 99 % are intentionally absent (see
+/// the module docs).
+fn decision_thresholds(op: &TrialOp) -> &'static [f64] {
+    match op {
+        TrialOp::Activation { .. } => &[0.5],
+        // Obs. 8 compares MAJX rates against 1 % / 5 % / 30 % bars.
+        TrialOp::Majx { .. } => &[0.01, 0.05, 0.30, 0.5],
+        TrialOp::MultiRowCopy { .. } => &[0.5],
+    }
+}
+
+/// Per-point escalation state within one slot.
+#[derive(Default)]
+struct PointState {
+    estimate: SequentialEstimate,
+    analog_trials: u32,
+    /// Once decided: the probability every remaining trial answers with.
+    answer: Option<f64>,
+}
+
+/// Thread-local hybrid state, valid for exactly one (backend instance,
+/// slot epoch) pair; reset on any mismatch.
+struct SlotCache {
+    instance: usize,
+    epoch: u64,
+    params: HybridParams,
+    points: HashMap<CalKey, PointState>,
+}
+
+impl SlotCache {
+    fn vacant() -> Self {
+        SlotCache {
+            instance: usize::MAX,
+            epoch: u64::MAX,
+            params: HybridParams::default(),
+            points: HashMap::new(),
+        }
+    }
+}
+
+thread_local! {
+    static SLOT_CACHE: RefCell<SlotCache> = RefCell::new(SlotCache::vacant());
+}
+
+/// What [`HybridBackend::run_trial`] should do for the current trial,
+/// computed *before* any RNG consumption.
+enum Action {
+    Answer(f64),
+    Escalate,
+}
+
+struct HybridCounters {
+    table_hits: Counter,
+    escalations: Counter,
+    early_stops: Counter,
+    budget_capped: Counter,
+    analog_trials_per_point: Histogram,
+}
+
+fn counters() -> &'static HybridCounters {
+    static COUNTERS: OnceLock<HybridCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let recorder = simra_telemetry::global();
+        HybridCounters {
+            table_hits: recorder.counter("hybrid", "table_hits"),
+            escalations: recorder.counter("hybrid", "escalations"),
+            early_stops: recorder.counter("hybrid", "early_stops"),
+            budget_capped: recorder.counter("hybrid", "budget_capped"),
+            analog_trials_per_point: recorder.histogram("hybrid", "analog_trials_per_point"),
+        }
+    })
+}
+
+static INSTANCE_IDS: AtomicUsize = AtomicUsize::new(0);
+
+/// The adaptive hybrid backend. See the module docs for the decision
+/// rule and the determinism argument.
+///
+/// Like the surrogate, one instance should live for a whole process so
+/// the calibration cache stays warm; the escalation state, by contrast,
+/// is slot-scoped and never survives a [`crate::slot::begin`] boundary.
+#[derive(Debug)]
+pub struct HybridBackend {
+    surrogate: SurrogateBackend,
+    params: Mutex<HybridParams>,
+    /// Distinguishes this instance's thread-local state from another
+    /// instance's (tests build several backends on one thread).
+    instance: usize,
+}
+
+impl Default for HybridBackend {
+    fn default() -> Self {
+        HybridBackend::new()
+    }
+}
+
+impl HybridBackend {
+    /// A fresh hybrid backend with default parameters and an empty
+    /// calibration cache.
+    pub fn new() -> Self {
+        HybridBackend::with_params(HybridParams::default())
+    }
+
+    /// A fresh hybrid backend with explicit parameters.
+    pub fn with_params(params: HybridParams) -> Self {
+        HybridBackend {
+            surrogate: SurrogateBackend::new(),
+            params: Mutex::new(params),
+            instance: INSTANCE_IDS.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Replaces the decision parameters. Takes effect at the next slot
+    /// boundary (each slot snapshots the parameters it starts with, so
+    /// a mid-slot change cannot split a slot's history).
+    pub fn set_params(&self, params: HybridParams) {
+        *self.params.lock().expect("hybrid params poisoned") = params;
+    }
+
+    /// The current decision parameters.
+    pub fn params(&self) -> HybridParams {
+        *self.params.lock().expect("hybrid params poisoned")
+    }
+
+    /// Number of calibrated configurations in the underlying surrogate
+    /// table.
+    pub fn calibrated_points(&self) -> usize {
+        self.surrogate.calibrated_points()
+    }
+
+    /// Decides the current trial of `key` from the slot-local history.
+    /// Pure in (params, p_cal, op, history); consumes no RNG.
+    fn decide(&self, key: &CalKey, p_cal: f64, op: &TrialOp) -> Action {
+        SLOT_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            let epoch = crate::slot::current();
+            if cache.instance != self.instance || cache.epoch != epoch {
+                cache.instance = self.instance;
+                cache.epoch = epoch;
+                cache.params = self.params();
+                cache.points.clear();
+            }
+            let params = cache.params;
+            let state = cache.points.entry(key.clone()).or_default();
+            if let Some(p) = state.answer {
+                counters().table_hits.incr();
+                return Action::Answer(p);
+            }
+            if state.analog_trials < params.floor.max(1) {
+                counters().escalations.incr();
+                return Action::Escalate;
+            }
+            let est = state.estimate;
+            let slack = params.epsilon.max(TABLE_ERROR_BAND);
+            let trusted = est.consistent_with(p_cal, slack, Z_95);
+            let decided = (est.converged(params.epsilon, Z_95)
+                && trusted
+                && est.clear_of(decision_thresholds(op), Z_95))
+                || state.analog_trials >= params.ceiling;
+            if !decided {
+                counters().escalations.incr();
+                return Action::Escalate;
+            }
+            if state.analog_trials >= params.ceiling {
+                counters().budget_capped.incr();
+            } else {
+                counters().early_stops.incr();
+            }
+            counters()
+                .analog_trials_per_point
+                .observe(state.analog_trials as f64);
+            // Anchor the answer to the evidence; pull toward the table
+            // only when the table agrees with what was measured.
+            let prior_weight = if trusted { PRIOR_WEIGHT } else { 0.0 };
+            let p = est.posterior_mean(p_cal, prior_weight);
+            state.answer = Some(p);
+            counters().table_hits.incr();
+            Action::Answer(p)
+        })
+    }
+
+    /// Folds an escalated trial's observed success fraction into the
+    /// point's slot-local estimate.
+    fn observe(&self, key: &CalKey, fraction: f64) {
+        SLOT_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(state) = cache.points.get_mut(key) {
+                state.estimate.observe(fraction, SAMPLE_WEIGHT);
+                state.analog_trials += 1;
+            }
+        });
+    }
+}
+
+impl PudBackend for HybridBackend {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn run_trial(
+        &self,
+        spec: &TrialSpec,
+        setup: &mut TestSetup,
+        group: &GroupSpec,
+        rng: &mut StdRng,
+    ) -> Option<f64> {
+        // Feasibility guards mirror AnalogBackend (same None points,
+        // no stream consumption).
+        if let TrialOp::Majx { x, .. } = spec.op {
+            if x >= 9 && setup.module().profile().manufacturer == Manufacturer::M {
+                return None;
+            }
+        }
+        let n = group.n_rows() as u32;
+        let p_cal = self
+            .surrogate
+            .probability(setup.module().profile(), spec, n);
+        if p_cal.is_nan() {
+            return None;
+        }
+        let key = CalKey::new(setup.module().profile(), spec, n);
+        match self.decide(&key, p_cal, &spec.op) {
+            Action::Answer(p) => Some(noisy_success_sample(p, rng)),
+            Action::Escalate => {
+                let s = AnalogBackend.run_trial(spec, setup, group, rng)?;
+                self.observe(&key, s);
+                Some(s)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use simra_core::rowgroup::random_group;
+    use simra_dram::{ApaTiming, BankId, DataPattern, DramModule, SubarrayId, VendorProfile};
+
+    fn rig(profile: VendorProfile, seed: u64) -> (TestSetup, StdRng) {
+        (
+            TestSetup::with_module(DramModule::new(profile, seed)),
+            StdRng::seed_from_u64(21),
+        )
+    }
+
+    fn group_of(setup: &TestSetup, n: u32, rng: &mut StdRng) -> GroupSpec {
+        random_group(
+            setup.module().geometry(),
+            BankId::new(0),
+            SubarrayId::new(0),
+            n,
+            rng,
+        )
+        .expect("subarray hosts the group")
+    }
+
+    /// Runs `trials` hybrid trials of one spec inside a fresh slot and
+    /// returns (samples, analog trials spent on the point).
+    fn run_slot(
+        backend: &HybridBackend,
+        spec: &TrialSpec,
+        n: u32,
+        trials: usize,
+    ) -> (Vec<Option<f64>>, u32) {
+        crate::slot::begin();
+        let (mut setup, mut rng) = rig(VendorProfile::mfr_h_m_die(), 7);
+        let group = group_of(&setup, n, &mut rng);
+        let samples: Vec<_> = (0..trials)
+            .map(|_| backend.run_trial(spec, &mut setup, &group, &mut rng))
+            .collect();
+        let key = CalKey::new(setup.module().profile(), spec, n);
+        let spent = SLOT_CACHE.with(|cache| {
+            cache
+                .borrow()
+                .points
+                .get(&key)
+                .map(|s| s.analog_trials)
+                .unwrap_or(0)
+        });
+        (samples, spent)
+    }
+
+    #[test]
+    fn unambiguous_points_early_stop_after_the_floor() {
+        // Best-timing 32-row activation: ≈ 100 % success, table agrees,
+        // interval clear of 0.5 after one weighted trial → exactly one
+        // analog trial, the rest answered from the table.
+        let backend = HybridBackend::new();
+        let spec = TrialSpec::activation(ApaTiming::best_for_activation());
+        let (samples, spent) = run_slot(&backend, &spec, 32, 6);
+        assert_eq!(spent, 1, "floor trial only");
+        for s in &samples {
+            assert!(s.expect("feasible") > 0.9);
+        }
+    }
+
+    #[test]
+    fn ambiguous_points_respect_the_budget_ceiling() {
+        // Force permanent ambiguity with an unreachable epsilon: every
+        // trial escalates until the ceiling, then the posterior answers.
+        let backend = HybridBackend::with_params(HybridParams {
+            epsilon: 1e-9,
+            floor: 1,
+            ceiling: 3,
+        });
+        let spec = TrialSpec::activation(ApaTiming::best_for_activation());
+        let (samples, spent) = run_slot(&backend, &spec, 32, 8);
+        assert_eq!(spent, 3, "ceiling caps escalation");
+        assert_eq!(samples.len(), 8);
+    }
+
+    #[test]
+    fn table_inconsistency_forces_escalation() {
+        // MAJ7 @ 32 rows on Mfr. H: the calibrated table reads ≈ 0.8 %
+        // but the analog core measures ≈ 20 % — the consistency gate
+        // must refuse to answer from the table and spend the whole
+        // budget on analog trials (this is the Obs. 8 rescue).
+        let backend = HybridBackend::new();
+        let spec = TrialSpec::majx(7, ApaTiming::best_for_majx(), DataPattern::Random);
+        let ceiling = backend.params().ceiling;
+        let trials = ceiling as usize + 4;
+        let (samples, spent) = run_slot(&backend, &spec, 32, trials);
+        assert_eq!(spent, ceiling, "inconsistent table → analog until the cap");
+        // Once capped, the answer is the empirical mean (untrusted
+        // table gets zero prior weight): far from the table's 0.8 %.
+        let last = samples.last().unwrap().expect("feasible");
+        assert!(last > 0.05, "capped answer follows the evidence: {last}");
+    }
+
+    #[test]
+    fn decisions_are_byte_identical_across_instances_and_replays() {
+        let spec = TrialSpec::majx(5, ApaTiming::best_for_majx(), DataPattern::Random);
+        let (a, _) = run_slot(&HybridBackend::new(), &spec, 32, 10);
+        let (b, _) = run_slot(&HybridBackend::new(), &spec, 32, 10);
+        assert_eq!(a, b, "same seed, fresh slot → identical samples");
+    }
+
+    #[test]
+    fn slot_boundaries_reset_the_escalation_state() {
+        let backend = HybridBackend::new();
+        let spec = TrialSpec::activation(ApaTiming::best_for_activation());
+        let (first, spent_first) = run_slot(&backend, &spec, 32, 4);
+        // A later slot on the same thread must not inherit the decided
+        // state: it re-spends the floor trial and replays identically.
+        let (second, spent_second) = run_slot(&backend, &spec, 32, 4);
+        assert_eq!(spent_first, spent_second, "state reset at slot boundary");
+        assert_eq!(first, second, "replay is exact despite warm caches");
+    }
+
+    #[test]
+    fn infeasible_configurations_return_none_without_state() {
+        let backend = HybridBackend::new();
+        crate::slot::begin();
+        let (mut setup, mut rng) = rig(VendorProfile::mfr_m_e_die(), 3);
+        let group = group_of(&setup, 16, &mut rng);
+        let spec = TrialSpec::majx(9, ApaTiming::best_for_majx(), DataPattern::Random);
+        assert_eq!(backend.run_trial(&spec, &mut setup, &group, &mut rng), None);
+        assert_eq!(backend.calibrated_points(), 0, "guard precedes probe");
+    }
+
+    #[test]
+    fn params_snapshot_at_the_slot_boundary() {
+        let backend = HybridBackend::with_params(HybridParams {
+            epsilon: 1e-9,
+            floor: 2,
+            ceiling: 4,
+        });
+        let spec = TrialSpec::activation(ApaTiming::best_for_activation());
+        let (_, spent) = run_slot(&backend, &spec, 32, 6);
+        assert_eq!(spent, 4);
+        backend.set_params(HybridParams::default());
+        let (_, spent) = run_slot(&backend, &spec, 32, 6);
+        assert_eq!(spent, 1, "new params apply from the next slot");
+    }
+
+    #[test]
+    fn default_params_round_trip_and_compare() {
+        let params = HybridParams::default();
+        assert!(params.is_default());
+        assert!(!HybridParams {
+            epsilon: 0.05,
+            ..params
+        }
+        .is_default());
+    }
+}

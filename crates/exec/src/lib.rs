@@ -17,6 +17,14 @@
 //!   Bernoulli average per trial. Orders of magnitude faster; see the
 //!   module docs of [`surrogate`] for the calibration procedure and the
 //!   documented error band.
+//! * [`HybridBackend`] keeps per-point Wilson-score confidence
+//!   intervals over observed analog trials and answers from the
+//!   surrogate's table only once a point's estimate has converged, is
+//!   consistent with the table, and is decisively clear of every
+//!   observation threshold — escalating ambiguous points to the analog
+//!   core with sequential early stopping. Module docs of [`hybrid`]
+//!   give the decision rule and the determinism argument; [`slot`]
+//!   provides the epoch boundary its state is scoped to.
 //!
 //! The trait's contract mirrors the fleet executor's op signature
 //! (`Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>`),
@@ -24,7 +32,9 @@
 //! count N still lives on the sweep point and arrives here via the
 //! [`GroupSpec`].
 
+pub mod hybrid;
 pub mod manifest;
+pub mod slot;
 pub mod surrogate;
 
 use rand::rngs::StdRng;
@@ -37,6 +47,7 @@ use simra_core::multirowcopy::multirowcopy_success;
 use simra_core::rowgroup::GroupSpec;
 use simra_dram::{ApaTiming, BitRow, DataPattern, Manufacturer};
 
+pub use hybrid::{HybridBackend, HybridParams};
 pub use manifest::{
     stable_digest, ManifestError, PointDigest, ShardSpec, SweepManifest,
     SWEEP_MANIFEST_SCHEMA_VERSION,
@@ -55,6 +66,9 @@ pub enum BackendChoice {
     Analog,
     /// The calibrated fast surrogate.
     Surrogate,
+    /// Confidence-gated adaptive mix: table answers where certain,
+    /// analog escalation where ambiguous.
+    Hybrid,
 }
 
 impl std::fmt::Display for BackendChoice {
@@ -62,6 +76,7 @@ impl std::fmt::Display for BackendChoice {
         f.write_str(match self {
             BackendChoice::Analog => "analog",
             BackendChoice::Surrogate => "surrogate",
+            BackendChoice::Hybrid => "hybrid",
         })
     }
 }
@@ -73,8 +88,9 @@ impl std::str::FromStr for BackendChoice {
         match s {
             "analog" => Ok(BackendChoice::Analog),
             "surrogate" => Ok(BackendChoice::Surrogate),
+            "hybrid" => Ok(BackendChoice::Hybrid),
             other => Err(format!(
-                "unknown backend: {other:?} (expected analog | surrogate)"
+                "unknown backend: {other:?} (expected analog | surrogate | hybrid)"
             )),
         }
     }
@@ -310,7 +326,11 @@ mod tests {
 
     #[test]
     fn backend_choice_round_trips_display_and_parse() {
-        for choice in [BackendChoice::Analog, BackendChoice::Surrogate] {
+        for choice in [
+            BackendChoice::Analog,
+            BackendChoice::Surrogate,
+            BackendChoice::Hybrid,
+        ] {
             let parsed: BackendChoice = choice.to_string().parse().unwrap();
             assert_eq!(parsed, choice);
         }

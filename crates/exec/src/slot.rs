@@ -1,0 +1,78 @@
+//! Slot epochs: the determinism boundary for stateful backends.
+//!
+//! The fleet executor's byte-identity guarantees all rest on one
+//! invariant: every (module, point, attempt) task — a *slot* — is a
+//! pure function of its seed, independent of worker count, scheduling,
+//! retries, checkpoint resume, and sharding. A backend that adapts to
+//! its observation history (the hybrid backend) threatens that
+//! invariant unless its state is scoped to exactly one slot: state
+//! carried across slots would make a trial's answer depend on which
+//! slots happened to run earlier on the same thread — which is
+//! precisely what changes under a different worker count or a resumed
+//! journal.
+//!
+//! This module provides the scoping mechanism. Executors call
+//! [`begin`] at the start of every slot attempt; stateful backends key
+//! their thread-local state by [`current`] and drop it the moment the
+//! epoch moves on. Epoch *values* are allocation-order artifacts and
+//! must never influence results — only the boundaries matter, and those
+//! are deterministic because a slot runs start-to-finish on one thread.
+//!
+//! Callers outside the fleet (sequential loops like the per-die table
+//! or the case-study microbenchmarks) call [`begin`] at the start of
+//! each independent unit of work for the same reason: without it, a
+//! stateful backend would inherit whatever epoch the previous task left
+//! on the thread, and pool scheduling would leak into the results.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Next epoch to hand out. Starts at 1 so the "no slot began on this
+/// thread yet" state (epoch 0) is distinguishable.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT_EPOCH: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Starts a new slot epoch on the calling thread. Every stateful
+/// backend's per-point history resets at this boundary. Cheap (one
+/// relaxed atomic increment + a thread-local store) and side-effect
+/// free for stateless backends.
+pub fn begin() {
+    let epoch = NEXT_EPOCH.fetch_add(1, Ordering::Relaxed);
+    CURRENT_EPOCH.with(|c| c.set(epoch));
+}
+
+/// The calling thread's current slot epoch (0 before the first
+/// [`begin`] on this thread).
+pub fn current() -> u64 {
+    CURRENT_EPOCH.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_advances_the_thread_epoch() {
+        begin();
+        let first = current();
+        assert_ne!(first, 0);
+        begin();
+        assert!(current() > first, "epochs are monotonic per thread");
+    }
+
+    #[test]
+    fn epochs_are_distinct_across_threads() {
+        begin();
+        let here = current();
+        let there = std::thread::spawn(|| {
+            begin();
+            current()
+        })
+        .join()
+        .expect("probe thread");
+        assert_ne!(here, there, "every begin() allocates a fresh epoch");
+    }
+}

@@ -52,7 +52,7 @@
 //! this band (`.github/workflows/ci.yml`, `repro-surrogate`).
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -72,11 +72,15 @@ const CAL_COLS: u32 = 64;
 /// calibrations of one profile reuse the same virtual module).
 const CAL_RIG_SEED: u64 = 0xCA11_B8A7;
 /// Trials per group modelled by the noise term (the paper's 10⁴).
-const TRIALS_PER_GROUP: f64 = 10_000.0;
+/// Shared with the hybrid backend so its table answers carry the same
+/// noise model as pure surrogate answers.
+pub(crate) const TRIALS_PER_GROUP: f64 = 10_000.0;
 
-/// Cache key: everything the calibrated probability depends on.
+/// Cache key: everything the calibrated probability depends on. Also
+/// used by the hybrid backend as its per-point state key — a "point"
+/// for escalation accounting is exactly a distinct calibration key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct CalKey {
+pub(crate) struct CalKey {
     /// `VendorProfile::label()` — distinct per (manufacturer, die).
     profile: String,
     /// Operation discriminant (0 = activation, 1 = MAJX, 2 = MRC).
@@ -90,10 +94,15 @@ struct CalKey {
     t2_bits: u64,
     /// Data pattern / source discriminant.
     pattern: u8,
-    /// Operating point, half-degree / half-centivolt bins; `i16::MIN`
-    /// encodes "nominal" (no override).
-    temp_bin: i16,
-    vpp_bin: i16,
+    /// Operating point, exact f64 bit patterns (sweep values are
+    /// grid-snapped by their figure loops); [`NOMINAL_BITS`] encodes
+    /// "nominal" (no override). Exact bits matter: if two distinct
+    /// operating points ever shared a key, the cached probability would
+    /// depend on which caller probed first — and shard workers and
+    /// journal-replay processes probe keys in a different order than a
+    /// monolithic run.
+    temp_bits: u64,
+    vpp_bits: u64,
 }
 
 fn pattern_code(p: DataPattern) -> u8 {
@@ -116,17 +125,19 @@ fn source_code(s: MrcSource) -> u8 {
     }
 }
 
-const NOMINAL_BIN: i16 = i16::MIN;
+/// Sentinel for "no operating-point override" — an all-ones bit
+/// pattern, which is a NaN no sweep ever carries as a real value.
+const NOMINAL_BITS: u64 = u64::MAX;
 
-fn half_unit_bin(v: Option<f64>) -> i16 {
+fn op_point_bits(v: Option<f64>) -> u64 {
     match v {
-        Some(v) => (v * 2.0).round() as i16,
-        None => NOMINAL_BIN,
+        Some(v) => v.to_bits(),
+        None => NOMINAL_BITS,
     }
 }
 
 impl CalKey {
-    fn new(profile: &VendorProfile, spec: &TrialSpec, n: u32) -> Self {
+    pub(crate) fn new(profile: &VendorProfile, spec: &TrialSpec, n: u32) -> Self {
         let (op, x, t1, t2, pattern) = match spec.op {
             TrialOp::Activation { timing, pattern } => {
                 (0u8, 0u8, timing.t1, timing.t2, pattern_code(pattern))
@@ -146,8 +157,8 @@ impl CalKey {
             t1_bits: t1.as_ns().to_bits(),
             t2_bits: t2.as_ns().to_bits(),
             pattern,
-            temp_bin: half_unit_bin(spec.temperature_c),
-            vpp_bin: half_unit_bin(spec.vpp_v),
+            temp_bits: op_point_bits(spec.temperature_c),
+            vpp_bits: op_point_bits(spec.vpp_v),
         }
     }
 
@@ -170,6 +181,26 @@ impl CalKey {
             fold(b);
         }
         h
+    }
+
+    /// The spec the calibration probe actually runs: `spec` with the
+    /// one component the key still *collapses* — the two random MRC
+    /// source conventions — snapped to a canonical representative.
+    /// Two specs that share a key can differ in that component, and the
+    /// probe must not depend on which caller gets there first: a shard
+    /// worker or a journal-replay process probes keys in a different
+    /// order than a monolithic run, and the cached probability has to
+    /// come out identical everywhere. Snapping to `RandomBits` is safe
+    /// because the two conventions draw from the same distribution
+    /// (that is why they share a key at all).
+    fn canonical_spec(&self, spec: &TrialSpec) -> TrialSpec {
+        let mut canonical = *spec;
+        if let TrialOp::MultiRowCopy { source, .. } = &mut canonical.op {
+            if *source == MrcSource::RandomRow {
+                *source = MrcSource::RandomBits;
+            }
+        }
+        canonical
     }
 }
 
@@ -202,7 +233,7 @@ impl SurrogateBackend {
     /// The calibrated success probability for `spec` on `profile` at
     /// `n` rows, probing the analog core on a miss. `NaN` marks an
     /// infeasible configuration (every probe returned `None`).
-    fn probability(&self, profile: &VendorProfile, spec: &TrialSpec, n: u32) -> f64 {
+    pub(crate) fn probability(&self, profile: &VendorProfile, spec: &TrialSpec, n: u32) -> f64 {
         let key = CalKey::new(profile, spec, n);
         let mut cache = self
             .calibration
@@ -211,10 +242,36 @@ impl SurrogateBackend {
         if let Some(&p) = cache.get(&key) {
             return p;
         }
-        let p = calibrate(profile, spec, n, key.physics_seed());
+        let counters = cal_counters();
+        counters.probes.incr();
+        counters.probe_groups.add(CAL_GROUPS as u64);
+        let p = calibrate(profile, &key.canonical_spec(spec), n, key.physics_seed());
         cache.insert(key, p);
         p
     }
+}
+
+/// Telemetry counters for calibration cost. Every cache miss is one
+/// probe (mount rig, sample groups, run `CAL_GROUPS` analog trials), so
+/// `calibration_probes × CAL_GROUPS = calibration_probe_groups` analog
+/// group-trials were spent building the table — the denominator for any
+/// "is the surrogate actually cheaper" accounting. The cache mutex is
+/// held across the probe, so each key is counted exactly once no matter
+/// how many worker threads race on it.
+struct CalCounters {
+    probes: simra_telemetry::Counter,
+    probe_groups: simra_telemetry::Counter,
+}
+
+fn cal_counters() -> &'static CalCounters {
+    static COUNTERS: OnceLock<CalCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let recorder = simra_telemetry::global();
+        CalCounters {
+            probes: recorder.counter("surrogate", "calibration_probes"),
+            probe_groups: recorder.counter("surrogate", "calibration_probe_groups"),
+        }
+    })
 }
 
 /// One calibration probe: mount a narrow rig of the profile, draw the
@@ -267,15 +324,23 @@ impl PudBackend for SurrogateBackend {
         if p.is_nan() {
             return None;
         }
-        // Exactly two uniforms per trial — never more, never fewer —
-        // so same-N sweep points replay identical noise (module docs).
-        let u1: f64 = rng.gen();
-        let u2: f64 = rng.gen();
-        let z = (-2.0 * (1.0 - u1).max(f64::MIN_POSITIVE).ln()).sqrt()
-            * (std::f64::consts::TAU * u2).cos();
-        let sigma = (p * (1.0 - p) / TRIALS_PER_GROUP).max(0.0).sqrt();
-        Some((p + sigma * z).clamp(0.0, 1.0))
+        Some(noisy_success_sample(p, rng))
     }
+}
+
+/// One table-backed trial sample: `clamp(p + σ·z, 0, 1)` with σ the
+/// paper-scale binomial noise for `p`. Consumes exactly two uniforms —
+/// never more, never fewer — so same-N sweep points replay identical
+/// noise (module docs). Shared with the hybrid backend, whose table
+/// answers must be byte-identical to what the surrogate would emit for
+/// the same probability at the same stream position.
+pub(crate) fn noisy_success_sample(p: f64, rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen();
+    let u2: f64 = rng.gen();
+    let z =
+        (-2.0 * (1.0 - u1).max(f64::MIN_POSITIVE).ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    let sigma = (p * (1.0 - p) / TRIALS_PER_GROUP).max(0.0).sqrt();
+    (p + sigma * z).clamp(0.0, 1.0)
 }
 
 #[cfg(test)]
