@@ -6,39 +6,60 @@
 //! `simra-core` compose engine calls into full PUD operations.
 
 use std::cell::RefCell;
-use std::sync::OnceLock;
+use std::fmt;
 
 use rand::rngs::StdRng;
 
 use simra_dram::{ApaTiming, BitRow, Subarray, VendorProfile};
-use simra_telemetry::Counter;
+use simra_telemetry::{Counter, Recorder};
 
 use crate::charge::{bitline_deltas_batch_into, bitline_deltas_into, bitline_deltas_into_scalar};
 use crate::math::{box_muller, standard_normal};
 use crate::params::{CircuitParams, OperatingConditions};
 use crate::sense::{resolve, restore_probability, survival_probability};
 
-/// Telemetry counters for the engine's three analog primitives, reported
-/// to the global recorder. Resolved once per process; each recording is
+/// Telemetry counters for the engine's three analog primitives. Each
+/// engine owns a handle set bound to one [`Recorder`]; each recording is
 /// a relaxed load (plus one relaxed add when telemetry is enabled), so
 /// the multi-million-call sense hot path stays unperturbed when
 /// telemetry is off.
-struct EngineOpCounters {
+///
+/// The counters are observational only: two engines that differ solely
+/// in where they report compare equal and compute identical results.
+#[derive(Clone)]
+pub struct EngineCounters {
     sense: Counter,
     charge_share: Counter,
     commit: Counter,
 }
 
-fn op_counters() -> &'static EngineOpCounters {
-    static COUNTERS: OnceLock<EngineOpCounters> = OnceLock::new();
-    COUNTERS.get_or_init(|| {
-        let recorder = simra_telemetry::global();
-        EngineOpCounters {
+impl EngineCounters {
+    /// Counter handles bound to `recorder` under the `engine` module.
+    pub fn recorded_by(recorder: &Recorder) -> Self {
+        EngineCounters {
             sense: recorder.counter("engine", "sense_ops"),
             charge_share: recorder.counter("engine", "charge_share_ops"),
             commit: recorder.counter("engine", "commit_ops"),
         }
-    })
+    }
+}
+
+impl Default for EngineCounters {
+    /// Binds to the process-global recorder — the shim that keeps
+    /// standalone engines reporting where they always have.
+    fn default() -> Self {
+        EngineCounters::recorded_by(simra_telemetry::global())
+    }
+}
+
+impl fmt::Debug for EngineCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineCounters")
+            .field("sense", &self.sense.get())
+            .field("charge_share", &self.charge_share.get())
+            .field("commit", &self.commit.get())
+            .finish()
+    }
 }
 
 /// Reusable per-thread buffers for [`ApaEngine::sense`]: characterization
@@ -149,20 +170,46 @@ impl SenseBatch {
 }
 
 /// The analog engine for one module's chips.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ApaEngine {
     params: CircuitParams,
     cond: OperatingConditions,
     biased_amps: bool,
+    counters: EngineCounters,
+}
+
+/// Engines compare by physics (parameters, conditions, amp bias) only —
+/// the telemetry destination is observational and never affects results.
+impl PartialEq for ApaEngine {
+    fn eq(&self, other: &Self) -> bool {
+        self.params == other.params
+            && self.cond == other.cond
+            && self.biased_amps == other.biased_amps
+    }
 }
 
 impl ApaEngine {
-    /// An engine with explicit parameters.
+    /// An engine with explicit parameters, reporting to the global
+    /// recorder.
     pub fn new(params: CircuitParams, cond: OperatingConditions, biased_amps: bool) -> Self {
+        ApaEngine::with_counters(params, cond, biased_amps, EngineCounters::default())
+    }
+
+    /// An engine with explicit parameters reporting to `counters` —
+    /// the session-owned path. Cloning a handle set is three `Arc`
+    /// bumps, so trial loops that build an engine per trial stay off
+    /// the recorder's registry lock.
+    pub fn with_counters(
+        params: CircuitParams,
+        cond: OperatingConditions,
+        biased_amps: bool,
+        counters: EngineCounters,
+    ) -> Self {
         ApaEngine {
             params,
             cond,
             biased_amps,
+            counters,
         }
     }
 
@@ -242,7 +289,7 @@ impl ApaEngine {
         timing: ApaTiming,
         kernel: fn(&Subarray, &[(u32, f64)], f64, f64, f64, &mut Vec<f64>, &mut Vec<f64>),
     ) -> SenseResult {
-        let ops = op_counters();
+        let ops = &self.counters;
         ops.sense.incr();
         // One charge-share event per simultaneously opened row.
         ops.charge_share.add(rows.len() as u64);
@@ -354,7 +401,7 @@ impl ApaEngine {
         let base = self.sense(subarray, rows, first_row, timing);
         // `sense` counted one sense / one set of charge shares; account
         // for the remaining logical trials of the batch.
-        let ops = op_counters();
+        let ops = &self.counters;
         ops.sense.add(trials as u64 - 1);
         ops.charge_share
             .add(rows.len() as u64 * (trials as u64 - 1));
@@ -400,7 +447,7 @@ impl ApaEngine {
             return Vec::new();
         }
         let rows = batch.rows();
-        let ops = op_counters();
+        let ops = &self.counters;
         ops.sense.add(trials as u64);
         ops.charge_share.add(rows.len() as u64 * trials as u64);
         let first_index = first_row_index(rows, first_row);
@@ -559,7 +606,7 @@ impl ApaEngine {
         values: &BitRow,
         restore_strength: f64,
     ) -> usize {
-        op_counters().commit.incr();
+        self.counters.commit.incr();
         let n_open = rows.len();
         let frac_ones = values.count_ones() as f64 / values.len().max(1) as f64;
         let wq = self.params.write_quality(self.cond);

@@ -39,5 +39,5 @@ pub mod montecarlo;
 pub mod params;
 pub mod sense;
 
-pub use engine::{ApaEngine, SenseBatch, SenseResult};
+pub use engine::{ApaEngine, EngineCounters, SenseBatch, SenseResult};
 pub use params::{CircuitParams, OperatingConditions};

@@ -20,11 +20,11 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use simra_characterize::{
-    fig10_mrc_timing, fig3_activation_timing, fig7_majx_patterns, ExperimentConfig, Table,
+    fig10_mrc_timing, fig3_activation_timing, fig7_majx_patterns, ExperimentConfig, Session, Table,
 };
 use simra_exec::BackendChoice;
 
-type FigureFn = fn(&ExperimentConfig) -> Table;
+type FigureFn = fn(&Session) -> Table;
 
 /// The measured figures: one per PUD operation family, so the comparison
 /// covers activation (Fig. 3), MAJX (Fig. 7), and Multi-RowCopy
@@ -35,10 +35,10 @@ const FIGURES: [(&str, FigureFn); 3] = [
     ("fig10", fig10_mrc_timing),
 ];
 
-fn config_for(backend: BackendChoice) -> ExperimentConfig {
+fn session_for(backend: BackendChoice) -> Session {
     let mut config = ExperimentConfig::quick();
     config.backend = backend;
-    config
+    Session::new(config)
 }
 
 /// Best-of-N direct wall-clock measurement (minimum over `reps` runs).
@@ -66,8 +66,8 @@ impl Comparison {
 }
 
 fn compare(figure: FigureFn) -> Comparison {
-    let analog = config_for(BackendChoice::Analog);
-    let surrogate = config_for(BackendChoice::Surrogate);
+    let analog = session_for(BackendChoice::Analog);
+    let surrogate = session_for(BackendChoice::Surrogate);
     // Warm both paths: thread/rig start-up on the analog side, the
     // one-time calibration probes on the surrogate side.
     let _ = figure(&analog);
@@ -120,8 +120,8 @@ fn write_backend_doc() {
 fn bench(c: &mut Criterion) {
     write_backend_doc();
 
-    let analog = config_for(BackendChoice::Analog);
-    let surrogate = config_for(BackendChoice::Surrogate);
+    let analog = session_for(BackendChoice::Analog);
+    let surrogate = session_for(BackendChoice::Surrogate);
     let mut group = c.benchmark_group("backend_compare");
     for (name, figure) in FIGURES {
         group.bench_function(format!("{name}/analog").as_str(), |b| {

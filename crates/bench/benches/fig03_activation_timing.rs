@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simra_bender::TestSetup;
-use simra_characterize::{fig3_activation_timing, ExperimentConfig};
+use simra_characterize::{fig3_activation_timing, ExperimentConfig, Session};
 use simra_core::act::activation_success;
 use simra_core::rowgroup::sample_groups;
 use simra_dram::{ApaTiming, DataPattern, VendorProfile};
@@ -30,8 +30,8 @@ fn bench(c: &mut Criterion) {
     }
     group.sample_size(10);
     group.bench_function("full_table_quick", |b| {
-        let cfg = ExperimentConfig::quick();
-        b.iter(|| fig3_activation_timing(&cfg));
+        let session = Session::new(ExperimentConfig::quick());
+        b.iter(|| fig3_activation_timing(&session));
     });
     group.finish();
 }

@@ -2,18 +2,18 @@
 //! activation.
 use criterion::{criterion_group, criterion_main, Criterion};
 use simra_characterize::{
-    fig4a_activation_temperature, fig4b_activation_voltage, ExperimentConfig,
+    fig4a_activation_temperature, fig4b_activation_voltage, ExperimentConfig, Session,
 };
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig04");
     group.sample_size(10);
-    let cfg = ExperimentConfig::quick();
+    let session = Session::new(ExperimentConfig::quick());
     group.bench_function("temperature_sweep", |b| {
-        b.iter(|| fig4a_activation_temperature(&cfg))
+        b.iter(|| fig4a_activation_temperature(&session))
     });
     group.bench_function("voltage_sweep", |b| {
-        b.iter(|| fig4b_activation_voltage(&cfg))
+        b.iter(|| fig4b_activation_voltage(&session))
     });
     group.finish();
 }

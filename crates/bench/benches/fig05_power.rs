@@ -1,13 +1,13 @@
 //! Bench for Fig. 5: the power table (analytic, fast).
 use criterion::{criterion_group, criterion_main, Criterion};
 use simra_bender::power::PowerModel;
-use simra_characterize::{fig5_power, ExperimentConfig};
+use simra_characterize::{fig5_power, ExperimentConfig, Session};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig05");
     group.bench_function("power_table", |b| {
-        let cfg = ExperimentConfig::quick();
-        b.iter(|| fig5_power(&cfg))
+        let session = Session::new(ExperimentConfig::quick());
+        b.iter(|| fig5_power(&session))
     });
     group.bench_function("many_row_activation_mw", |b| {
         let m = PowerModel::ddr4();

@@ -3,7 +3,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simra_bender::TestSetup;
-use simra_characterize::{fig6_maj3_timing, ExperimentConfig};
+use simra_characterize::{fig6_maj3_timing, ExperimentConfig, Session};
 use simra_core::maj::{majx_success, MajConfig};
 use simra_core::rowgroup::sample_groups;
 use simra_dram::{ApaTiming, DataPattern, VendorProfile};
@@ -32,8 +32,8 @@ fn bench(c: &mut Criterion) {
     }
     group.sample_size(10);
     group.bench_function("full_table_quick", |b| {
-        let cfg = ExperimentConfig::quick();
-        b.iter(|| fig6_maj3_timing(&cfg));
+        let session = Session::new(ExperimentConfig::quick());
+        b.iter(|| fig6_maj3_timing(&session));
     });
     group.finish();
 }

@@ -3,7 +3,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simra_bender::TestSetup;
-use simra_characterize::{fig7_majx_patterns, ExperimentConfig};
+use simra_characterize::{fig7_majx_patterns, ExperimentConfig, Session};
 use simra_core::maj::{majx_success, MajConfig};
 use simra_core::rowgroup::sample_groups;
 use simra_dram::{ApaTiming, DataPattern, VendorProfile};
@@ -32,8 +32,8 @@ fn bench(c: &mut Criterion) {
     }
     group.sample_size(10);
     group.bench_function("full_table_quick", |b| {
-        let cfg = ExperimentConfig::quick();
-        b.iter(|| fig7_majx_patterns(&cfg));
+        let session = Session::new(ExperimentConfig::quick());
+        b.iter(|| fig7_majx_patterns(&session));
     });
     group.finish();
 }

@@ -1,15 +1,15 @@
 //! Bench for Fig. 8/9: MAJX temperature and V_PP sweeps.
 use criterion::{criterion_group, criterion_main, Criterion};
-use simra_characterize::{fig8_majx_temperature, fig9_majx_voltage, ExperimentConfig};
+use simra_characterize::{fig8_majx_temperature, fig9_majx_voltage, ExperimentConfig, Session};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig08_09");
     group.sample_size(10);
-    let cfg = ExperimentConfig::quick();
+    let session = Session::new(ExperimentConfig::quick());
     group.bench_function("temperature_sweep", |b| {
-        b.iter(|| fig8_majx_temperature(&cfg))
+        b.iter(|| fig8_majx_temperature(&session))
     });
-    group.bench_function("voltage_sweep", |b| b.iter(|| fig9_majx_voltage(&cfg)));
+    group.bench_function("voltage_sweep", |b| b.iter(|| fig9_majx_voltage(&session)));
     group.finish();
 }
 

@@ -1,18 +1,18 @@
 //! Bench for Fig. 11/12: Multi-RowCopy pattern and environment sweeps.
 use criterion::{criterion_group, criterion_main, Criterion};
 use simra_characterize::{
-    fig11_mrc_patterns, fig12a_mrc_temperature, fig12b_mrc_voltage, ExperimentConfig,
+    fig11_mrc_patterns, fig12a_mrc_temperature, fig12b_mrc_voltage, ExperimentConfig, Session,
 };
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_12");
     group.sample_size(10);
-    let cfg = ExperimentConfig::quick();
-    group.bench_function("pattern_sweep", |b| b.iter(|| fig11_mrc_patterns(&cfg)));
+    let session = Session::new(ExperimentConfig::quick());
+    group.bench_function("pattern_sweep", |b| b.iter(|| fig11_mrc_patterns(&session)));
     group.bench_function("temperature_sweep", |b| {
-        b.iter(|| fig12a_mrc_temperature(&cfg))
+        b.iter(|| fig12a_mrc_temperature(&session))
     });
-    group.bench_function("voltage_sweep", |b| b.iter(|| fig12b_mrc_voltage(&cfg)));
+    group.bench_function("voltage_sweep", |b| b.iter(|| fig12b_mrc_voltage(&session)));
     group.finish();
 }
 

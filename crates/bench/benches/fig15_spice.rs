@@ -2,7 +2,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simra_analog::montecarlo::{run_point, MonteCarloConfig};
 use simra_analog::CircuitParams;
-use simra_characterize::{fig15_spice, ExperimentConfig};
+use simra_characterize::{fig15_spice, ExperimentConfig, Session};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig15");
@@ -18,8 +18,8 @@ fn bench(c: &mut Criterion) {
     }
     group.sample_size(10);
     group.bench_function("full_grid", |b| {
-        let cfg = ExperimentConfig::quick();
-        b.iter(|| fig15_spice(&cfg));
+        let session = Session::new(ExperimentConfig::quick());
+        b.iter(|| fig15_spice(&session));
     });
     group.finish();
 }

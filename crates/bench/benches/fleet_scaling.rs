@@ -9,7 +9,7 @@ use simra_analog::charge::{bitline_deltas, bitline_deltas_into};
 use simra_bender::TestSetup;
 use simra_characterize::config::ModuleUnderTest;
 use simra_characterize::fleet::{collect_group_samples, collect_group_samples_serial};
-use simra_characterize::ExperimentConfig;
+use simra_characterize::{ExperimentConfig, Session};
 use simra_core::act::activation_success;
 use simra_core::rowgroup::GroupSpec;
 use simra_dram::subarray::VariationParams;
@@ -45,8 +45,8 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("collect_group_samples", modules),
             &modules,
             |b, &modules| {
-                let config = fleet_config(modules);
-                b.iter(|| collect_group_samples(&config, 8, activation_op));
+                let session = Session::new(fleet_config(modules));
+                b.iter(|| collect_group_samples(&session, 8, activation_op));
             },
         );
     }

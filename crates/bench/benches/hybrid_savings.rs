@@ -21,7 +21,7 @@ use std::process::Command;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use simra_characterize::{fig7_majx_patterns, ExperimentConfig};
+use simra_characterize::{fig7_majx_patterns, ExperimentConfig, Session};
 use simra_exec::BackendChoice;
 
 /// Runs the real repro binary, returns wall-clock milliseconds.
@@ -177,15 +177,17 @@ fn bench(c: &mut Criterion) {
     // one figure family dispatched through each backend at quick scale.
     let mut analog_cfg = ExperimentConfig::quick();
     analog_cfg.backend = BackendChoice::Analog;
+    let analog_session = Session::new(analog_cfg);
     let mut hybrid_cfg = ExperimentConfig::quick();
     hybrid_cfg.backend = BackendChoice::Hybrid;
+    let hybrid_session = Session::new(hybrid_cfg);
     let mut group = c.benchmark_group("hybrid_savings");
     group.bench_function("fig7/analog", |b| {
-        b.iter(|| fig7_majx_patterns(&analog_cfg));
+        b.iter(|| fig7_majx_patterns(&analog_session));
     });
     group.bench_function("fig7/hybrid", |b| {
         // First call calibrates; Criterion's warm-up absorbs it.
-        b.iter(|| fig7_majx_patterns(&hybrid_cfg));
+        b.iter(|| fig7_majx_patterns(&hybrid_session));
     });
     group.finish();
 }

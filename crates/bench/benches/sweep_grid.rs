@@ -30,7 +30,7 @@ use simra_bender::TestSetup;
 use simra_characterize::config::ModuleUnderTest;
 use simra_characterize::fleet::{run_sweep_on, FleetPolicy, SweepPoint, SystemClock};
 use simra_characterize::pool::FleetPool;
-use simra_characterize::ExperimentConfig;
+use simra_characterize::{ExperimentConfig, Session};
 use simra_core::act::activation_success;
 use simra_core::rowgroup::GroupSpec;
 use simra_dram::{ApaTiming, DataPattern, VendorProfile};
@@ -93,16 +93,11 @@ fn activation_op(
 type SweepOp = fn(&(), &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64>;
 
 /// The grid scheduler: one persistent pool, the whole grid at once.
-fn run_grid(
-    pool: &FleetPool,
-    config: &ExperimentConfig,
-    points: &[SweepPoint<()>],
-    op: SweepOp,
-) -> usize {
+fn run_grid(pool: &FleetPool, session: &Session, points: &[SweepPoint<()>], op: SweepOp) -> usize {
     let clock = SystemClock::default();
     run_sweep_on(
         pool,
-        config,
+        session,
         points,
         FleetPolicy::default(),
         &clock,
@@ -117,7 +112,7 @@ fn run_grid(
 /// The old executor's cost model: every sweep point constructs its own
 /// worker threads (joined again at the point's end) and mounts fresh
 /// module rigs.
-fn run_per_point(config: &ExperimentConfig, points: &[SweepPoint<()>], op: SweepOp) -> usize {
+fn run_per_point(session: &Session, points: &[SweepPoint<()>], op: SweepOp) -> usize {
     let clock = SystemClock::default();
     points
         .iter()
@@ -125,7 +120,7 @@ fn run_per_point(config: &ExperimentConfig, points: &[SweepPoint<()>], op: Sweep
             let pool = FleetPool::new(WORKERS);
             let outcomes = run_sweep_on(
                 &pool,
-                config,
+                session,
                 std::slice::from_ref(point),
                 FleetPolicy::default(),
                 &clock,
@@ -163,16 +158,16 @@ impl Comparison {
 
 fn compare(
     pool: &FleetPool,
-    config: &ExperimentConfig,
+    session: &Session,
     points: &[SweepPoint<()>],
     op: SweepOp,
 ) -> Comparison {
     // Warm both paths once (thread start, silicon stamp cache, page faults).
-    let _ = run_grid(pool, config, points, op);
-    let _ = run_per_point(config, points, op);
+    let _ = run_grid(pool, session, points, op);
+    let _ = run_per_point(session, points, op);
     Comparison {
-        grid_ms: best_of_ms(3, || run_grid(pool, config, points, op)),
-        per_point_ms: best_of_ms(3, || run_per_point(config, points, op)),
+        grid_ms: best_of_ms(3, || run_grid(pool, session, points, op)),
+        per_point_ms: best_of_ms(3, || run_per_point(session, points, op)),
     }
 }
 
@@ -181,12 +176,12 @@ fn compare(
 /// with `BENCH_SWEEP_OUT`.
 fn write_sweep_doc() {
     let pool = FleetPool::new(WORKERS);
-    let dispatch_config = fleet_config(1);
+    let dispatch_session = Session::new(fleet_config(1));
     let dispatch_points = ladder_points(20);
-    let dispatch = compare(&pool, &dispatch_config, &dispatch_points, probe_op);
-    let act_config = fleet_config(4);
+    let dispatch = compare(&pool, &dispatch_session, &dispatch_points, probe_op);
+    let act_session = Session::new(fleet_config(4));
     let act_points = ladder_points(2);
-    let act = compare(&pool, &act_config, &act_points, activation_op);
+    let act = compare(&pool, &act_session, &act_points, activation_op);
     let doc = format!(
         "{{\"schema_version\":1,\"tool\":{},\"workers\":{WORKERS},\"modules\":{MODULES},\
          \"points\":{},\"grid_ms\":{:.3},\"per_point_ms\":{:.3},\"speedup\":{:.3},\
@@ -218,24 +213,24 @@ fn write_sweep_doc() {
 fn bench(c: &mut Criterion) {
     write_sweep_doc();
 
-    let dispatch_config = fleet_config(1);
+    let dispatch_session = Session::new(fleet_config(1));
     let dispatch_points = ladder_points(20);
-    let act_config = fleet_config(4);
+    let act_session = Session::new(fleet_config(4));
     let act_points = ladder_points(2);
     let mut group = c.benchmark_group("sweep_grid");
     group.bench_function("dispatch_grid/4w", |b| {
         let pool = FleetPool::new(WORKERS);
-        b.iter(|| run_grid(&pool, &dispatch_config, &dispatch_points, probe_op));
+        b.iter(|| run_grid(&pool, &dispatch_session, &dispatch_points, probe_op));
     });
     group.bench_function("dispatch_per_point/4w", |b| {
-        b.iter(|| run_per_point(&dispatch_config, &dispatch_points, probe_op));
+        b.iter(|| run_per_point(&dispatch_session, &dispatch_points, probe_op));
     });
     group.bench_function("activation_grid/4w", |b| {
         let pool = FleetPool::new(WORKERS);
-        b.iter(|| run_grid(&pool, &act_config, &act_points, activation_op));
+        b.iter(|| run_grid(&pool, &act_session, &act_points, activation_op));
     });
     group.bench_function("activation_per_point/4w", |b| {
-        b.iter(|| run_per_point(&act_config, &act_points, activation_op));
+        b.iter(|| run_per_point(&act_session, &act_points, activation_op));
     });
     group.finish();
 }

@@ -41,7 +41,7 @@ use simra_characterize::{
     fig10_mrc_timing, fig11_mrc_patterns, fig12a_mrc_temperature, fig12b_mrc_voltage, fig15_spice,
     fig3_activation_timing, fig4a_activation_temperature, fig4b_activation_voltage, fig5_power,
     fig6_maj3_timing, fig7_majx_patterns, fig8_majx_temperature, fig9_majx_voltage,
-    ExperimentConfig,
+    ExperimentConfig, Session,
 };
 use simra_dram::VendorProfile;
 use simra_faults::FaultPlan;
@@ -80,12 +80,10 @@ fn main() {
     config.backend = opts.backend;
     if config.backend == simra_exec::BackendChoice::Hybrid {
         // Folded into the config (and hence into checkpoint-session
-        // manifests) *and* applied to the process-wide backend set,
-        // which is what actually executes the trials.
+        // manifests); the session constructed below applies it to its
+        // own backend set, which is what actually executes the trials.
         config.hybrid = opts.hybrid_params();
-        simra_characterize::BackendSet::global().set_hybrid_params(config.hybrid);
     }
-    let backend = simra_characterize::BackendSet::global().dispatch(config.backend);
     if config.backend != simra_exec::BackendChoice::Analog {
         // stderr only: default-backend stdout stays byte-identical.
         eprintln!("# backend: {}", config.backend);
@@ -102,6 +100,11 @@ fn main() {
             }
         }
     }
+    // The session owns everything this run mutates — backend set (with
+    // the hybrid knobs above), telemetry handle, checkpoint slot, fleet
+    // coverage — so it is built once the config is final.
+    let session = Session::new(config.clone());
+    let backend = session.dispatch(config.backend);
     // A coordinator without --checkpoint-dir shards into a temp root,
     // removed after the run; `Some` only in that case.
     let mut temp_root = None;
@@ -114,12 +117,9 @@ fn main() {
             .as_deref()
             .expect("the CLI rejects --shard-worker without --checkpoint-dir");
         let spec = simra_exec::ShardSpec { index, count };
-        if let Err(err) = simra_characterize::arm_sharded_checkpoints(
-            std::path::Path::new(dir),
-            &config,
-            opts.resume,
-            spec,
-        ) {
+        if let Err(err) =
+            session.arm_sharded_checkpoints(std::path::Path::new(dir), opts.resume, spec)
+        {
             eprintln!("error: {err}");
             std::process::exit(2);
         }
@@ -191,7 +191,7 @@ fn main() {
         let merged = coordinator.merged_dir();
         // Rerunning the same coordinator command resumes on its own.
         let resume = merged.join("session.json").exists();
-        if let Err(err) = simra_characterize::arm_checkpoints(&merged, &config, resume) {
+        if let Err(err) = session.arm_checkpoints(&merged, resume) {
             eprintln!("error: {err}");
             std::process::exit(2);
         }
@@ -203,9 +203,7 @@ fn main() {
         // Armed after the config is final: the session manifest pins
         // scale, seed, backend, and fault plan, and `--resume` refuses
         // to continue under different arguments.
-        if let Err(err) =
-            simra_characterize::arm_checkpoints(std::path::Path::new(dir), &config, opts.resume)
-        {
+        if let Err(err) = session.arm_checkpoints(std::path::Path::new(dir), opts.resume) {
             eprintln!("error: {err}");
             std::process::exit(2);
         }
@@ -229,19 +227,19 @@ fn main() {
         };
     }
 
-    show!("fig3", || fig3_activation_timing(&config));
-    show!("fig4a", || fig4a_activation_temperature(&config));
-    show!("fig4b", || fig4b_activation_voltage(&config));
-    show!("fig5", || fig5_power(&config));
-    show!("fig6", || fig6_maj3_timing(&config));
-    show!("fig7", || fig7_majx_patterns(&config));
-    show!("fig8", || fig8_majx_temperature(&config));
-    show!("fig9", || fig9_majx_voltage(&config));
-    show!("fig10", || fig10_mrc_timing(&config));
-    show!("fig11", || fig11_mrc_patterns(&config));
-    show!("fig12a", || fig12a_mrc_temperature(&config));
-    show!("fig12b", || fig12b_mrc_voltage(&config));
-    let (fig15a, fig15b) = timed(timings, "fig15", || fig15_spice(&config));
+    show!("fig3", || fig3_activation_timing(&session));
+    show!("fig4a", || fig4a_activation_temperature(&session));
+    show!("fig4b", || fig4b_activation_voltage(&session));
+    show!("fig5", || fig5_power(&session));
+    show!("fig6", || fig6_maj3_timing(&session));
+    show!("fig7", || fig7_majx_patterns(&session));
+    show!("fig8", || fig8_majx_temperature(&session));
+    show!("fig9", || fig9_majx_voltage(&session));
+    show!("fig10", || fig10_mrc_timing(&session));
+    show!("fig11", || fig11_mrc_patterns(&session));
+    show!("fig12a", || fig12a_mrc_temperature(&session));
+    show!("fig12b", || fig12b_mrc_voltage(&session));
+    let (fig15a, fig15b) = timed(timings, "fig15", || fig15_spice(&session));
     println!("{fig15a}");
     println!("{fig15b}");
     let profiles = [VendorProfile::mfr_h_m_die(), VendorProfile::mfr_m_e_die()];
@@ -252,12 +250,12 @@ fn main() {
     show!("fig17", fig17_coldboot);
 
     show!("per_die_breakdown", || {
-        simra_characterize::per_die_breakdown(&config)
+        simra_characterize::per_die_breakdown(&session)
     });
 
     println!("=== Observation scoreboard (18 observations, §4–§6) ===");
     let reports = timed(timings, "observations", || {
-        simra_characterize::check_observations(&config)
+        simra_characterize::check_observations(&session)
     });
     let held = reports.iter().filter(|r| r.holds).count();
     let missing = reports.iter().filter(|r| r.data_missing).count();
@@ -282,7 +280,7 @@ fn main() {
     // Coverage accounting only prints under fault injection, so a
     // fault-free run's stdout stays byte-identical to older builds.
     if opts.faults_preset.is_some() {
-        let (coverage, failures) = simra_characterize::take_session_coverage();
+        let (coverage, failures) = session.take_coverage();
         println!("\n=== Fleet coverage under fault injection ===");
         println!("{}", coverage.describe());
         for line in &failures {

@@ -4,7 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use simra_analog::params::{NOMINAL_TEMPERATURE_C, NOMINAL_VPP};
-use simra_analog::{ApaEngine, CircuitParams, OperatingConditions};
+use simra_analog::{ApaEngine, CircuitParams, EngineCounters, OperatingConditions};
 use simra_dram::{DramModule, VendorProfile};
 
 /// Temperature range of the MaxWell FT200 controller as used in the paper.
@@ -40,24 +40,36 @@ impl std::fmt::Display for SetupError {
 impl std::error::Error for SetupError {}
 
 /// One DRAM module clamped in the rig, at a controlled operating point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TestSetup {
     module: DramModule,
     conditions: OperatingConditions,
     /// Circuit-parameter override for ablation studies (None = the
     /// calibrated defaults).
     params_override: Option<CircuitParams>,
+    /// Engine op-counter handles every [`engine`](Self::engine) call
+    /// inherits. Observational only (never serialized, never compared):
+    /// a deserialized rig reattaches to the global recorder until a
+    /// session re-binds it.
+    #[serde(skip, default)]
+    engine_counters: EngineCounters,
+}
+
+/// Rigs compare by experimental state (module, operating point, param
+/// override); the telemetry destination is observational.
+impl PartialEq for TestSetup {
+    fn eq(&self, other: &Self) -> bool {
+        self.module == other.module
+            && self.conditions == other.conditions
+            && self.params_override == other.params_override
+    }
 }
 
 impl TestSetup {
     /// Mounts a fresh module (vendor `profile`, silicon stamped from
     /// `seed`) at the nominal operating point (50 °C, 2.5 V).
     pub fn new(profile: VendorProfile, seed: u64) -> Self {
-        TestSetup {
-            module: DramModule::new(profile, seed),
-            conditions: OperatingConditions::nominal(),
-            params_override: None,
-        }
+        TestSetup::with_module(DramModule::new(profile, seed))
     }
 
     /// Mounts an existing module.
@@ -66,7 +78,14 @@ impl TestSetup {
             module,
             conditions: OperatingConditions::nominal(),
             params_override: None,
+            engine_counters: EngineCounters::default(),
         }
+    }
+
+    /// Redirects the op counters of every engine this rig builds (e.g.
+    /// into a session-owned recorder).
+    pub fn set_engine_counters(&mut self, counters: EngineCounters) {
+        self.engine_counters = counters;
     }
 
     /// Overrides the analog circuit parameters — the hook for ablation
@@ -134,16 +153,18 @@ impl TestSetup {
     }
 
     /// An analog engine bound to the mounted module's vendor quirks and
-    /// the rig's current operating point.
+    /// the rig's current operating point, reporting to the rig's
+    /// counter handles.
     pub fn engine(&self) -> ApaEngine {
-        match self.params_override {
-            Some(params) => ApaEngine::new(
-                params,
-                self.conditions,
-                self.module.profile().biased_sense_amps,
-            ),
-            None => ApaEngine::for_profile(self.module.profile(), self.conditions),
-        }
+        let params = self
+            .params_override
+            .unwrap_or_else(CircuitParams::calibrated);
+        ApaEngine::with_counters(
+            params,
+            self.conditions,
+            self.module.profile().biased_sense_amps,
+            self.engine_counters.clone(),
+        )
     }
 }
 

@@ -20,9 +20,9 @@ use simra_dram::ApaTiming;
 use simra_exec::TrialSpec;
 
 use crate::backend::{sweep_trial_samples, trial_point, TrialPoint};
-use crate::config::ExperimentConfig;
 use crate::fleet::SweepPoint;
 use crate::report::Table;
+use crate::session::Session;
 
 /// Row counts swept for activation experiments (the only N values COTS
 /// chips can produce — Limitation 2).
@@ -40,123 +40,134 @@ pub const VPP_LEVELS_V: [f64; 5] = [2.5, 2.4, 2.3, 2.2, 2.1];
 /// Fig. 3: success-rate distribution of N-row activation for every (t1,
 /// t2) combination. Rows are `(t1, t2)` pairs plus the distribution
 /// statistic; columns are N. Values in percent.
-pub fn fig3_activation_timing(config: &ExperimentConfig) -> Table {
-    let _span = simra_telemetry::global().span("figure", "fig3");
-    let columns = ACTIVATION_NS.iter().map(|n| format!("N={n}")).collect();
-    let mut table = Table::new(
-        "Fig. 3: simultaneous many-row activation success vs (t1, t2)",
-        config.describe_scale(),
-        columns,
-    );
-    let points: Vec<SweepPoint<TrialPoint>> = FIG3_T1
-        .iter()
-        .flat_map(|&t1| {
-            FIG3_T2.iter().flat_map(move |&t2| {
-                let timing = ApaTiming::from_ns(t1, t2);
-                ACTIVATION_NS
-                    .iter()
-                    .map(move |&n| (n, TrialSpec::activation(timing)))
+pub fn fig3_activation_timing(session: &Session) -> Table {
+    session.run_figure("fig3", |session| {
+        let config = session.config();
+        let columns = ACTIVATION_NS.iter().map(|n| format!("N={n}")).collect();
+        let mut table = Table::new(
+            "Fig. 3: simultaneous many-row activation success vs (t1, t2)",
+            config.describe_scale(),
+            columns,
+        );
+        let points: Vec<SweepPoint<TrialPoint>> = FIG3_T1
+            .iter()
+            .flat_map(|&t1| {
+                FIG3_T2.iter().flat_map(move |&t2| {
+                    let timing = ApaTiming::from_ns(t1, t2);
+                    ACTIVATION_NS
+                        .iter()
+                        .map(move |&n| (n, TrialSpec::activation(timing)))
+                })
             })
-        })
-        .map(|(n, spec)| trial_point(config, n, spec))
-        .collect();
-    let mut sweeps = sweep_trial_samples(config, &points).into_iter();
-    for &t1 in &FIG3_T1 {
-        for &t2 in &FIG3_T2 {
-            let mut means = Vec::new();
-            let mut mins = Vec::new();
-            for _ in &ACTIVATION_NS {
-                let samples = sweeps.next().expect("one sample set per sweep point");
-                let stats = BoxStats::from_samples(&samples);
-                means.push(pct(stats.mean));
-                mins.push(pct(stats.min));
+            .map(|(n, spec)| trial_point(config, n, spec))
+            .collect();
+        let mut sweeps = sweep_trial_samples(session, &points).into_iter();
+        for &t1 in &FIG3_T1 {
+            for &t2 in &FIG3_T2 {
+                let mut means = Vec::new();
+                let mut mins = Vec::new();
+                for _ in &ACTIVATION_NS {
+                    let samples = sweeps.next().expect("one sample set per sweep point");
+                    let stats = BoxStats::from_samples(&samples);
+                    means.push(pct(stats.mean));
+                    mins.push(pct(stats.min));
+                }
+                table.push_row(format!("t1={t1} t2={t2} mean"), means);
+                table.push_row(format!("t1={t1} t2={t2} min"), mins);
             }
-            table.push_row(format!("t1={t1} t2={t2} mean"), means);
-            table.push_row(format!("t1={t1} t2={t2} min"), mins);
         }
-    }
-    table
+        table
+    })
 }
 
 /// Fig. 4a: average activation success vs temperature (rows) per N
 /// (columns), in percent.
-pub fn fig4a_activation_temperature(config: &ExperimentConfig) -> Table {
-    let _span = simra_telemetry::global().span("figure", "fig4a");
-    let columns = ACTIVATION_NS.iter().map(|n| format!("N={n}")).collect();
-    let mut table = Table::new(
-        "Fig. 4a: many-row activation success vs temperature",
-        config.describe_scale(),
-        columns,
-    );
-    let points: Vec<SweepPoint<TrialPoint>> = TEMPERATURES_C
-        .iter()
-        .flat_map(|&t| {
-            ACTIVATION_NS.iter().map(move |&n| {
-                (
-                    n,
-                    TrialSpec::activation(ApaTiming::best_for_activation()).at_temperature(t),
-                )
-            })
-        })
-        .map(|(n, spec)| trial_point(config, n, spec))
-        .collect();
-    let mut sweeps = sweep_trial_samples(config, &points).into_iter();
-    for &t in &TEMPERATURES_C {
-        let values = ACTIVATION_NS
+pub fn fig4a_activation_temperature(session: &Session) -> Table {
+    session.run_figure("fig4a", |session| {
+        let config = session.config();
+        let columns = ACTIVATION_NS.iter().map(|n| format!("N={n}")).collect();
+        let mut table = Table::new(
+            "Fig. 4a: many-row activation success vs temperature",
+            config.describe_scale(),
+            columns,
+        );
+        let points: Vec<SweepPoint<TrialPoint>> = TEMPERATURES_C
             .iter()
-            .map(|_| {
-                let samples = sweeps.next().expect("one sample set per sweep point");
-                pct(mean(&samples))
+            .flat_map(|&t| {
+                ACTIVATION_NS.iter().map(move |&n| {
+                    (
+                        n,
+                        TrialSpec::activation(ApaTiming::best_for_activation()).at_temperature(t),
+                    )
+                })
             })
+            .map(|(n, spec)| trial_point(config, n, spec))
             .collect();
-        table.push_row(format!("{t} C"), values);
-    }
-    table
+        let mut sweeps = sweep_trial_samples(session, &points).into_iter();
+        for &t in &TEMPERATURES_C {
+            let values = ACTIVATION_NS
+                .iter()
+                .map(|_| {
+                    let samples = sweeps.next().expect("one sample set per sweep point");
+                    pct(mean(&samples))
+                })
+                .collect();
+            table.push_row(format!("{t} C"), values);
+        }
+        table
+    })
 }
 
 /// Fig. 4b: average activation success vs V_PP (rows) per N (columns),
 /// in percent.
-pub fn fig4b_activation_voltage(config: &ExperimentConfig) -> Table {
-    let _span = simra_telemetry::global().span("figure", "fig4b");
-    let columns = ACTIVATION_NS.iter().map(|n| format!("N={n}")).collect();
-    let mut table = Table::new(
-        "Fig. 4b: many-row activation success vs wordline voltage",
-        config.describe_scale(),
-        columns,
-    );
-    let points: Vec<SweepPoint<TrialPoint>> = VPP_LEVELS_V
-        .iter()
-        .flat_map(|&v| {
-            ACTIVATION_NS.iter().map(move |&n| {
-                (
-                    n,
-                    TrialSpec::activation(ApaTiming::best_for_activation()).at_vpp(v),
-                )
-            })
-        })
-        .map(|(n, spec)| trial_point(config, n, spec))
-        .collect();
-    let mut sweeps = sweep_trial_samples(config, &points).into_iter();
-    for &v in &VPP_LEVELS_V {
-        let values = ACTIVATION_NS
+pub fn fig4b_activation_voltage(session: &Session) -> Table {
+    session.run_figure("fig4b", |session| {
+        let config = session.config();
+        let columns = ACTIVATION_NS.iter().map(|n| format!("N={n}")).collect();
+        let mut table = Table::new(
+            "Fig. 4b: many-row activation success vs wordline voltage",
+            config.describe_scale(),
+            columns,
+        );
+        let points: Vec<SweepPoint<TrialPoint>> = VPP_LEVELS_V
             .iter()
-            .map(|_| {
-                let samples = sweeps.next().expect("one sample set per sweep point");
-                pct(mean(&samples))
+            .flat_map(|&v| {
+                ACTIVATION_NS.iter().map(move |&n| {
+                    (
+                        n,
+                        TrialSpec::activation(ApaTiming::best_for_activation()).at_vpp(v),
+                    )
+                })
             })
+            .map(|(n, spec)| trial_point(config, n, spec))
             .collect();
-        table.push_row(format!("{v} V"), values);
-    }
-    table
+        let mut sweeps = sweep_trial_samples(session, &points).into_iter();
+        for &v in &VPP_LEVELS_V {
+            let values = ACTIVATION_NS
+                .iter()
+                .map(|_| {
+                    let samples = sweeps.next().expect("one sample set per sweep point");
+                    pct(mean(&samples))
+                })
+                .collect();
+            table.push_row(format!("{v} V"), values);
+        }
+        table
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ExperimentConfig;
+
+    fn quick_session() -> Session {
+        Session::new(ExperimentConfig::quick())
+    }
 
     #[test]
     fn fig3_best_timing_is_high_and_weak_timing_is_lower() {
-        let t = fig3_activation_timing(&ExperimentConfig::quick());
+        let t = fig3_activation_timing(&quick_session());
         let best = t.get("t1=3 t2=3 mean", "N=32").unwrap();
         let weak = t.get("t1=1.5 t2=1.5 mean", "N=32").unwrap();
         assert!(best > 99.0, "Obs. 1: best timing ≥ 99.85 %, got {best}");
@@ -168,7 +179,7 @@ mod tests {
 
     #[test]
     fn fig4a_temperature_effect_is_small() {
-        let t = fig4a_activation_temperature(&ExperimentConfig::quick());
+        let t = fig4a_activation_temperature(&quick_session());
         for n in ACTIVATION_NS {
             let col = format!("N={n}");
             let at50 = t.get("50 C", &col).unwrap();
@@ -182,7 +193,7 @@ mod tests {
 
     #[test]
     fn fig4b_voltage_effect_is_small_and_monotone() {
-        let t = fig4b_activation_voltage(&ExperimentConfig::quick());
+        let t = fig4b_activation_voltage(&quick_session());
         let at25 = t.get("2.5 V", "N=32").unwrap();
         let at21 = t.get("2.1 V", "N=32").unwrap();
         assert!(at25 >= at21, "lower V_PP cannot help");

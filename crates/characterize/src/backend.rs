@@ -7,55 +7,23 @@
 //! sweep can even mix backends across points (the `backend_compare`
 //! bench does exactly that).
 //!
-//! Backends live in a process-wide [`BackendSet`] so the surrogate's
+//! Backends live in the [`Session`]'s [`BackendSet`] so the surrogate's
 //! calibration cache stays warm across figures: `check_observations`
-//! regenerates every figure and, past the first, runs on cache hits.
+//! regenerates every figure and, past the first, runs on cache hits —
+//! while two concurrent sessions keep fully separate caches.
 
-use std::sync::OnceLock;
+use simra_exec::{BackendChoice, TrialSpec};
 
-use rand::rngs::StdRng;
-
-use simra_bender::TestSetup;
-use simra_core::rowgroup::GroupSpec;
-use simra_exec::{
-    AnalogBackend, BackendChoice, HybridBackend, HybridParams, PudBackend, SurrogateBackend,
-    TrialSpec,
-};
+// The set itself lives in `simra_exec` now that backends are
+// session-owned; re-exported here for the characterization callers.
+pub use simra_exec::BackendSet;
 
 use crate::config::ExperimentConfig;
 use crate::fleet::{sweep_group_samples, SweepPoint};
+use crate::session::Session;
 
-/// One of each backend, dispatched by [`BackendChoice`].
-#[derive(Debug, Default)]
-pub struct BackendSet {
-    analog: AnalogBackend,
-    surrogate: SurrogateBackend,
-    hybrid: HybridBackend,
-}
-
-impl BackendSet {
-    /// The process-wide set (keeps the surrogate and hybrid calibration
-    /// warm).
-    pub fn global() -> &'static BackendSet {
-        static GLOBAL: OnceLock<BackendSet> = OnceLock::new();
-        GLOBAL.get_or_init(BackendSet::default)
-    }
-
-    /// The backend a choice names.
-    pub fn dispatch(&self, choice: BackendChoice) -> &dyn PudBackend {
-        match choice {
-            BackendChoice::Analog => &self.analog,
-            BackendChoice::Surrogate => &self.surrogate,
-            BackendChoice::Hybrid => &self.hybrid,
-        }
-    }
-
-    /// Applies decision parameters to the hybrid backend (new slots
-    /// pick them up; running slots keep their snapshot).
-    pub fn set_hybrid_params(&self, params: HybridParams) {
-        self.hybrid.set_params(params);
-    }
-}
+#[cfg(doc)]
+use simra_exec::PudBackend;
 
 /// Sweep-point parameters of every figure runner: what to run (the
 /// spec) and how to run it (the backend). The activated row count N
@@ -79,26 +47,15 @@ pub fn trial_point(config: &ExperimentConfig, n: u32, spec: TrialSpec) -> SweepP
     )
 }
 
-/// The single fleet op of the figure runners: dispatch the point's spec
-/// through the point's backend.
-pub fn trial_op(
-    point: &TrialPoint,
-    setup: &mut TestSetup,
-    group: &GroupSpec,
-    rng: &mut StdRng,
-) -> Option<f64> {
-    BackendSet::global()
-        .dispatch(point.backend)
-        .run_trial(&point.spec, setup, group, rng)
-}
-
 /// [`sweep_group_samples`] over backend-dispatched trial points — the
-/// one entry point every figure runner sweeps through.
-pub fn sweep_trial_samples(
-    config: &ExperimentConfig,
-    points: &[SweepPoint<TrialPoint>],
-) -> Vec<Vec<f64>> {
-    sweep_group_samples(config, points, trial_op)
+/// one entry point every figure runner sweeps through. Each point's
+/// spec runs through the *session's* backend of the point's choice.
+pub fn sweep_trial_samples(session: &Session, points: &[SweepPoint<TrialPoint>]) -> Vec<Vec<f64>> {
+    sweep_group_samples(session, points, |point, setup, group, rng| {
+        session
+            .dispatch(point.backend)
+            .run_trial(&point.spec, setup, group, rng)
+    })
 }
 
 #[cfg(test)]

@@ -2,8 +2,9 @@
 //! and kill-and-resume.
 //!
 //! A characterization campaign is a serial sequence of [`run_sweep`]
-//! calls. When a checkpoint session is armed ([`arm`]), every sweep
-//! writes a *journal* in the checkpoint directory: one CRC-guarded
+//! calls. When its [`crate::session::Session`] has a checkpoint
+//! session armed ([`crate::session::Session::arm_checkpoints`]), every
+//! sweep writes a *journal* in the checkpoint directory: one CRC-guarded
 //! line per completed (module, point) task, appended and fsynced the
 //! moment the task's result exists. A run killed at any instant —
 //! including mid-write — can then be resumed: the journal's intact
@@ -57,8 +58,9 @@
 //! # Sharding
 //!
 //! The same journals are the hand-off medium for multi-process sweeps
-//! (see [`crate::shard`]). A *shard worker* session ([`arm_sharded`])
-//! runs every sweep through the sharded path: only the `(module,
+//! (see [`crate::shard`]). A *shard worker* session
+//! ([`crate::session::Session::arm_sharded_checkpoints`]) runs every
+//! sweep through the sharded path: only the `(module,
 //! point)` slots [`slot_shard`] assigns to the worker are scheduled and
 //! journaled, and the journal manifest records the shard spec. The
 //! coordinator then fuses the per-shard journals with
@@ -75,7 +77,7 @@ use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use simra_bender::TestSetup;
@@ -83,13 +85,14 @@ use simra_core::rowgroup::GroupSpec;
 use simra_exec::{stable_digest, ManifestError, PointDigest, ShardSpec, SweepManifest};
 use simra_faults::FaultPlan;
 use simra_telemetry::json::{self, Value};
-use simra_telemetry::Counter;
+use simra_telemetry::{Counter, Recorder};
 
 use crate::config::ExperimentConfig;
 use crate::fleet::{
     self, FailureCause, FleetClock, FleetOutcome, FleetPolicy, ModuleResult, SweepPoint,
 };
 use crate::pool::FleetPool;
+use crate::session::Session;
 
 /// Schema version of the journal *record* lines (the manifest line
 /// carries its own version, `SWEEP_MANIFEST_SCHEMA_VERSION`).
@@ -140,7 +143,7 @@ pub enum CheckpointError {
         /// The session file that was expected.
         path: PathBuf,
     },
-    /// A checkpoint session was already armed in this process.
+    /// A checkpoint session was already armed on this session.
     AlreadyArmed,
     /// A shard journal offered for merging does not cover every slot
     /// its shard owns — the worker was killed and never resumed to
@@ -191,7 +194,7 @@ impl std::fmt::Display for CheckpointError {
                 path.display()
             ),
             CheckpointError::AlreadyArmed => {
-                write!(f, "a checkpoint session is already armed in this process")
+                write!(f, "a checkpoint session is already armed on this session")
             }
             CheckpointError::ShardIncomplete {
                 path,
@@ -274,8 +277,7 @@ struct CheckpointTelemetry {
 }
 
 impl CheckpointTelemetry {
-    fn new() -> Self {
-        let recorder = simra_telemetry::global();
+    fn new(recorder: &Recorder) -> Self {
         CheckpointTelemetry {
             records_written: recorder.counter("checkpoint", "checkpoint_records_written"),
             resume_points_skipped: recorder.counter("checkpoint", "resume_points_skipped"),
@@ -591,7 +593,7 @@ fn manifest_for<P: Debug>(
 #[allow(clippy::too_many_arguments)]
 pub fn run_sweep_checkpointed_on<P, F>(
     pool: &FleetPool,
-    config: &ExperimentConfig,
+    session: &Session,
     dir: &Path,
     sweep_id: &str,
     points: &[SweepPoint<P>],
@@ -605,7 +607,7 @@ where
     F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
     run_sweep_checkpointed_impl(
-        pool, config, dir, sweep_id, points, policy, clock, workers, op, None,
+        pool, session, dir, sweep_id, points, policy, clock, workers, op, None,
     )
 }
 
@@ -622,7 +624,7 @@ where
 #[allow(clippy::too_many_arguments)]
 pub fn run_sweep_checkpointed_sharded_on<P, F>(
     pool: &FleetPool,
-    config: &ExperimentConfig,
+    session: &Session,
     dir: &Path,
     sweep_id: &str,
     points: &[SweepPoint<P>],
@@ -638,7 +640,7 @@ where
 {
     run_sweep_checkpointed_impl(
         pool,
-        config,
+        session,
         dir,
         sweep_id,
         points,
@@ -669,7 +671,7 @@ fn unowned_slot() -> ModuleResult {
 #[allow(clippy::too_many_arguments)]
 fn run_sweep_checkpointed_impl<P, F>(
     pool: &FleetPool,
-    config: &ExperimentConfig,
+    session: &Session,
     dir: &Path,
     sweep_id: &str,
     points: &[SweepPoint<P>],
@@ -683,7 +685,8 @@ where
     P: Sync + Debug,
     F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
-    let telemetry = CheckpointTelemetry::new();
+    let telemetry = CheckpointTelemetry::new(session.recorder());
+    let config = session.config();
     let manifest = manifest_for(config, sweep_id, points, shard);
     let path = dir.join(format!("{sweep_id}.journal"));
     let modules = config.modules.len();
@@ -799,7 +802,7 @@ where
         };
         let fresh = fleet::run_sweep_grid_on(
             pool,
-            config,
+            session,
             points,
             policy,
             clock,
@@ -838,7 +841,7 @@ where
         // Worker outcomes are placeholder-ridden scaffolding, not the
         // sweep's results; coverage is recorded by the merged replay.
         for outcome in &outcomes {
-            fleet::record_session_outcome(outcome);
+            session.record_coverage(outcome);
         }
     }
     // Snapshot compaction: replace the append-order journal with its
@@ -995,18 +998,73 @@ pub fn merge_sweep_journals(inputs: &[PathBuf], output: &Path) -> Result<usize, 
     Ok(records)
 }
 
-/// The process-wide checkpoint session armed by the CLI. Sweeps are
-/// numbered in issue order, which is deterministic because campaigns
-/// run their figures serially.
+/// One armed checkpoint session, owned by a
+/// [`crate::session::Session`]. Sweeps are numbered in issue order,
+/// which is deterministic because campaigns run their figures serially.
 pub struct CheckpointSession {
     dir: PathBuf,
     next: AtomicUsize,
-    /// `Some` when this process is a shard worker: every sweep runs
+    /// `Some` when this session is a shard worker: every sweep runs
     /// through the sharded checkpoint path, owning only its slots.
     shard: Option<ShardSpec>,
 }
 
+/// File that marks a directory as a checkpoint session and pins the
+/// configuration it was started with.
+const SESSION_FILE: &str = "session.json";
+
 impl CheckpointSession {
+    /// Arms checkpointing over `dir` for a campaign running `config`:
+    /// every sweep issued through the returned session journals into
+    /// `dir`. Pass `shard` to arm a *shard-worker* session whose sweeps
+    /// run through the sharded checkpoint path, owning only the slots
+    /// [`slot_shard`] assigns to the shard; the session manifest
+    /// records the spec, so resuming a shard directory with a different
+    /// spec (or unsharded) is a typed mismatch.
+    ///
+    /// A fresh session (`resume = false`) refuses a directory that
+    /// already holds one ([`CheckpointError::DirInUse`]) and records
+    /// the session manifest; a resumed session (`resume = true`)
+    /// requires that manifest to exist and to match the current
+    /// configuration exactly ([`CheckpointError::Mismatch`] names the
+    /// first differing field — seed, backend, faults, config digest,
+    /// module count, or shard).
+    pub fn arm(
+        dir: &Path,
+        config: &ExperimentConfig,
+        resume: bool,
+        shard: Option<ShardSpec>,
+    ) -> Result<CheckpointSession, CheckpointError> {
+        fs::create_dir_all(dir).map_err(|e| io_err("creating checkpoint dir", dir, e))?;
+        let session_path = dir.join(SESSION_FILE);
+        let manifest = manifest_for::<()>(config, "session", &[], shard);
+        if resume {
+            if !session_path.exists() {
+                return Err(CheckpointError::SessionMissing { path: session_path });
+            }
+            let text = fs::read_to_string(&session_path)
+                .map_err(|e| io_err("reading session manifest", &session_path, e))?;
+            let on_disk = SweepManifest::from_json(text.trim())?;
+            if let Some((field, on_disk, current)) = on_disk.mismatch(&manifest) {
+                return Err(CheckpointError::Mismatch {
+                    field,
+                    on_disk,
+                    current,
+                });
+            }
+        } else {
+            if session_path.exists() {
+                return Err(CheckpointError::DirInUse { path: session_path });
+            }
+            atomic_rewrite(&session_path, &[manifest.to_json()])?;
+        }
+        Ok(CheckpointSession {
+            dir: dir.to_path_buf(),
+            next: AtomicUsize::new(0),
+            shard,
+        })
+    }
+
     /// The checkpoint directory.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -1018,97 +1076,18 @@ impl CheckpointSession {
     }
 }
 
-static ARMED: OnceLock<CheckpointSession> = OnceLock::new();
-
-/// The armed session, if any.
-pub(crate) fn armed_session() -> Option<&'static CheckpointSession> {
-    ARMED.get()
-}
-
-/// File that marks a directory as a checkpoint session and pins the
-/// configuration it was started with.
-const SESSION_FILE: &str = "session.json";
-
-/// Arms checkpointing for this process: every subsequent
-/// [`run_sweep`](crate::fleet::run_sweep) call journals into `dir`.
-///
-/// A fresh session (`resume = false`) refuses a directory that already
-/// holds one ([`CheckpointError::DirInUse`]) and records the session
-/// manifest; a resumed session (`resume = true`) requires that
-/// manifest to exist and to match the current configuration exactly
-/// ([`CheckpointError::Mismatch`] names the first differing field —
-/// seed, backend, faults, config digest, or module count).
-///
-/// Arming is once per process; a second call is
-/// [`CheckpointError::AlreadyArmed`].
-pub fn arm(dir: &Path, config: &ExperimentConfig, resume: bool) -> Result<(), CheckpointError> {
-    arm_with(dir, config, resume, None)
-}
-
-/// Arms a *shard-worker* checkpoint session: like [`arm`], but every
-/// subsequent sweep runs through the sharded checkpoint path, owning
-/// only the slots [`slot_shard`] assigns to `shard`. The session
-/// manifest records the shard spec, so resuming a shard directory with
-/// a different spec (or unsharded) is a typed mismatch.
-pub fn arm_sharded(
-    dir: &Path,
-    config: &ExperimentConfig,
-    resume: bool,
-    shard: ShardSpec,
-) -> Result<(), CheckpointError> {
-    arm_with(dir, config, resume, Some(shard))
-}
-
-fn arm_with(
-    dir: &Path,
-    config: &ExperimentConfig,
-    resume: bool,
-    shard: Option<ShardSpec>,
-) -> Result<(), CheckpointError> {
-    fs::create_dir_all(dir).map_err(|e| io_err("creating checkpoint dir", dir, e))?;
-    let session_path = dir.join(SESSION_FILE);
-    let manifest = manifest_for::<()>(config, "session", &[], shard);
-    if resume {
-        if !session_path.exists() {
-            return Err(CheckpointError::SessionMissing { path: session_path });
-        }
-        let text = fs::read_to_string(&session_path)
-            .map_err(|e| io_err("reading session manifest", &session_path, e))?;
-        let on_disk = SweepManifest::from_json(text.trim())?;
-        if let Some((field, on_disk, current)) = on_disk.mismatch(&manifest) {
-            return Err(CheckpointError::Mismatch {
-                field,
-                on_disk,
-                current,
-            });
-        }
-    } else {
-        if session_path.exists() {
-            return Err(CheckpointError::DirInUse { path: session_path });
-        }
-        atomic_rewrite(&session_path, &[manifest.to_json()])?;
-    }
-    ARMED
-        .set(CheckpointSession {
-            dir: dir.to_path_buf(),
-            next: AtomicUsize::new(0),
-            shard,
-        })
-        .map_err(|_| CheckpointError::AlreadyArmed)
-}
-
 /// The armed-session entry point called by
 /// [`run_sweep`](crate::fleet::run_sweep): assigns the next sweep id
 /// and runs the sweep checkpointed. A checkpoint failure here aborts
 /// the process with the typed error's message and exit code 2 — this
-/// path is only reachable from a CLI-armed session, where carrying on
+/// path is only reachable from an armed session, where carrying on
 /// without durable checkpoints would silently break the resume
 /// contract the user asked for.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_sweep_for_session<P, F>(
-    session: &CheckpointSession,
+    checkpoint: &CheckpointSession,
     pool: &FleetPool,
-    config: &ExperimentConfig,
+    session: &Session,
     points: &[SweepPoint<P>],
     policy: FleetPolicy,
     clock: &dyn FleetClock,
@@ -1119,18 +1098,21 @@ where
     P: Sync + Debug,
     F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
-    let sweep_id = format!("sweep-{:04}", session.next.fetch_add(1, Ordering::SeqCst));
+    let sweep_id = format!(
+        "sweep-{:04}",
+        checkpoint.next.fetch_add(1, Ordering::SeqCst)
+    );
     match run_sweep_checkpointed_impl(
         pool,
-        config,
-        &session.dir,
+        session,
+        &checkpoint.dir,
         &sweep_id,
         points,
         policy,
         clock,
         workers,
         op,
-        session.shard,
+        checkpoint.shard,
     ) {
         Ok(outcomes) => outcomes,
         Err(e) => {
@@ -1196,7 +1178,7 @@ mod tests {
         let clock = MockClock::new();
         run_sweep_checkpointed_on(
             FleetPool::global(),
-            config,
+            &Session::new(config.clone()),
             dir,
             "sweep-0000",
             &points(),
@@ -1210,7 +1192,7 @@ mod tests {
     fn reference(config: &ExperimentConfig) -> Vec<FleetOutcome> {
         let clock = MockClock::new();
         fleet::run_sweep_with(
-            config,
+            &Session::new(config.clone()),
             &points(),
             FleetPolicy::default(),
             &clock,
@@ -1555,7 +1537,7 @@ mod tests {
         let clock = MockClock::new();
         run_sweep_checkpointed_sharded_on(
             FleetPool::global(),
-            config,
+            &Session::new(config.clone()),
             dir,
             "sweep-0000",
             &points(),

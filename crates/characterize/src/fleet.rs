@@ -64,8 +64,9 @@
 //!
 //! # Telemetry
 //!
-//! Every run reports to the global [`simra_telemetry`] recorder: task
-//! lifecycle (queued/started/retried/completed/failed/panicked, deadline
+//! Every run reports to its [`Session`]'s recorder (the process-global
+//! recorder for `Session::new`): task lifecycle
+//! (queued/started/retried/completed/failed/panicked, deadline
 //! trips, charged backoff, attempts per task), the grid shape
 //! (`grid_tasks` = points × modules), the rig pool (`pool_hit` /
 //! `pool_miss`), and `executor_reuse` (runs served by a borrowed
@@ -76,7 +77,7 @@
 use std::num::NonZeroUsize;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -88,10 +89,11 @@ use simra_bender::TestSetup;
 use simra_core::rowgroup::{sample_groups, GroupSpec};
 use simra_dram::DramModule;
 use simra_faults::{FaultPlan, ModuleFaultKind};
-use simra_telemetry::{Counter, Histogram};
+use simra_telemetry::{Counter, Histogram, Recorder};
 
 use crate::config::{ExperimentConfig, ModuleUnderTest};
 use crate::pool::{panic_message, FleetPool};
+use crate::session::Session;
 
 /// Seed of the per-(module, N) stream that draws the module's groups and
 /// then feeds `op` for every group. The module *index* is mixed in on top
@@ -324,8 +326,8 @@ impl<P> SweepPoint<P> {
 }
 
 /// Telemetry series for the executor's task lifecycle, the grid shape,
-/// and the rig pool, reported to the global recorder. Every event is a
-/// deterministic function of the run's `(config, points, policy)` —
+/// and the rig pool, reported to the session's recorder. Every event is
+/// a deterministic function of the run's `(config, points, policy)` —
 /// never of scheduling — so values are identical across worker counts
 /// (asserted by `crates/characterize/tests/telemetry.rs`).
 struct FleetTelemetry {
@@ -353,8 +355,7 @@ struct FleetTelemetry {
 }
 
 impl FleetTelemetry {
-    fn new() -> Self {
-        let recorder = simra_telemetry::global();
+    fn new(recorder: &Recorder) -> Self {
         FleetTelemetry {
             task_queued: recorder.counter("fleet", "task_queued"),
             task_started: recorder.counter("fleet", "task_started"),
@@ -376,6 +377,7 @@ impl FleetTelemetry {
 
 /// Everything a sweep chain needs, shared read-only across workers.
 struct SweepCtx<'a, P, F> {
+    session: &'a Session,
     config: &'a ExperimentConfig,
     plan: &'a FaultPlan,
     policy: FleetPolicy,
@@ -446,6 +448,7 @@ where
     let config = ctx.config;
     let module = &config.modules[index];
     let mut setup = TestSetup::with_module(dram);
+    setup.set_engine_counters(ctx.session.engine_counters().clone());
     let mut rng = StdRng::seed_from_u64(module_stream_seed(config, module, index, point.n));
     let groups = sample_groups(
         setup.module().geometry(),
@@ -711,63 +714,6 @@ impl FleetCoverage {
     }
 }
 
-#[derive(Default)]
-struct SessionCoverage {
-    coverage: FleetCoverage,
-    failures: Vec<String>,
-}
-
-/// Cap on retained failure lines — coverage must not grow without bound
-/// under a pathological plan.
-const SESSION_FAILURE_CAP: usize = 32;
-
-static SESSION: OnceLock<Mutex<SessionCoverage>> = OnceLock::new();
-
-fn session() -> &'static Mutex<SessionCoverage> {
-    SESSION.get_or_init(|| Mutex::new(SessionCoverage::default()))
-}
-
-fn record_session(outcome: &FleetOutcome) {
-    let mut s = session().lock().expect("fleet session coverage poisoned");
-    for (index, slot) in outcome.slots.iter().enumerate() {
-        s.coverage.tasks += 1;
-        match slot {
-            ModuleResult::Completed { attempts, .. } => {
-                s.coverage.completed += 1;
-                if *attempts > 1 {
-                    s.coverage.retried += 1;
-                }
-            }
-            ModuleResult::Failed { attempts, cause } => {
-                s.coverage.failed += 1;
-                if s.failures.len() < SESSION_FAILURE_CAP {
-                    s.failures.push(format!(
-                        "module {index}: {cause} after {attempts} attempt(s)"
-                    ));
-                }
-            }
-        }
-    }
-}
-
-/// Returns and resets the session's accumulated coverage counters plus
-/// the retained failure lines (capped at 32).
-pub fn take_session_coverage() -> (FleetCoverage, Vec<String>) {
-    let mut s = session().lock().expect("fleet session coverage poisoned");
-    let coverage = std::mem::take(&mut s.coverage);
-    let failures = std::mem::take(&mut s.failures);
-    (coverage, failures)
-}
-
-/// Records one outcome into the session coverage accounting. The
-/// checkpoint layer calls this for *merged* outcomes (journal-replayed
-/// slots plus freshly executed ones), so a resumed run's coverage
-/// footer counts every module task exactly once — byte-identical to an
-/// uninterrupted run.
-pub(crate) fn record_session_outcome(outcome: &FleetOutcome) {
-    record_session(outcome);
-}
-
 /// The partial-grid sweep engine underneath [`run_sweep_on`] and the
 /// checkpoint layer's resume path: runs one chain per module over
 /// `points`, masking out `(module, point)` slots where
@@ -782,7 +728,7 @@ pub(crate) fn record_session_outcome(outcome: &FleetOutcome) {
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_sweep_grid_on<P, F>(
     pool: &FleetPool,
-    config: &ExperimentConfig,
+    session: &Session,
     points: &[SweepPoint<P>],
     policy: FleetPolicy,
     clock: &dyn FleetClock,
@@ -795,9 +741,10 @@ where
     P: Sync,
     F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
+    let config = session.config();
     let fault_free = FaultPlan::default();
     let plan = config.faults.as_ref().unwrap_or(&fault_free);
-    let telemetry = FleetTelemetry::new();
+    let telemetry = FleetTelemetry::new(session.recorder());
     let modules = config.modules.len();
     let scheduled = match skip {
         None => (modules * points.len()) as u64,
@@ -810,6 +757,7 @@ where
     telemetry.grid_tasks.add(scheduled);
     telemetry.executor_reuse.incr();
     let ctx = SweepCtx {
+        session,
         config,
         plan,
         policy,
@@ -871,7 +819,7 @@ where
 /// to looping [`run_fleet_with`] over the points one at a time.
 pub fn run_sweep_on<P, F>(
     pool: &FleetPool,
-    config: &ExperimentConfig,
+    session: &Session,
     points: &[SweepPoint<P>],
     policy: FleetPolicy,
     clock: &dyn FleetClock,
@@ -882,7 +830,9 @@ where
     P: Sync,
     F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
-    let grid = run_sweep_grid_on(pool, config, points, policy, clock, workers, op, None, None);
+    let grid = run_sweep_grid_on(
+        pool, session, points, policy, clock, workers, op, None, None,
+    );
     let mut chains: Vec<std::vec::IntoIter<Option<ModuleResult>>> =
         grid.into_iter().map(Vec::into_iter).collect();
     let outcomes: Vec<FleetOutcome> = (0..points.len())
@@ -899,14 +849,14 @@ where
         })
         .collect();
     for outcome in &outcomes {
-        record_session(outcome);
+        session.record_coverage(outcome);
     }
     outcomes
 }
 
 /// [`run_sweep_on`] on the process-wide [`FleetPool::global`] pool.
 pub fn run_sweep_with<P, F>(
-    config: &ExperimentConfig,
+    session: &Session,
     points: &[SweepPoint<P>],
     policy: FleetPolicy,
     clock: &dyn FleetClock,
@@ -919,7 +869,7 @@ where
 {
     run_sweep_on(
         FleetPool::global(),
-        config,
+        session,
         points,
         policy,
         clock,
@@ -934,31 +884,28 @@ where
 /// worker count, and the process-wide persistent pool. Returns one
 /// [`FleetOutcome`] per point, in point order.
 ///
-/// When a process-wide checkpoint session is armed
-/// ([`crate::checkpoint::arm`]), the sweep is journaled and — on a
+/// When the session has an armed checkpoint context
+/// ([`Session::arm_checkpoints`]), the sweep is journaled and — on a
 /// resumed session — fast-forwarded through its journal; results are
 /// identical either way. The `P: Debug` bound exists for the
 /// checkpoint manifest, which fingerprints each point's parameters.
-pub fn run_sweep<P, F>(
-    config: &ExperimentConfig,
-    points: &[SweepPoint<P>],
-    op: F,
-) -> Vec<FleetOutcome>
+pub fn run_sweep<P, F>(session: &Session, points: &[SweepPoint<P>], op: F) -> Vec<FleetOutcome>
 where
     P: Sync + std::fmt::Debug,
     F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
+    let config = session.config();
     let mut policy = FleetPolicy::default();
     if let Some(plan) = config.faults.as_ref() {
         policy.deadline_ms = plan.deadline_ms;
     }
     let clock = SystemClock::default();
     let workers = executor_threads(config.modules.len());
-    if let Some(session) = crate::checkpoint::armed_session() {
+    if let Some(checkpoint) = session.checkpoint() {
         return crate::checkpoint::run_sweep_for_session(
-            session,
+            checkpoint,
             FleetPool::global(),
-            config,
+            session,
             points,
             policy,
             &clock,
@@ -966,14 +913,14 @@ where
             op,
         );
     }
-    run_sweep_with(config, points, policy, &clock, workers, op)
+    run_sweep_with(session, points, policy, &clock, workers, op)
 }
 
 /// Per-point sample vectors of a sweep: [`run_sweep`] with each point's
 /// outcome reduced to its surviving samples (module order, then group
 /// order) — the common case for figure runners.
 pub fn sweep_group_samples<P, F>(
-    config: &ExperimentConfig,
+    session: &Session,
     points: &[SweepPoint<P>],
     op: F,
 ) -> Vec<Vec<f64>>
@@ -981,7 +928,7 @@ where
     P: Sync + std::fmt::Debug,
     F: Fn(&P, &mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
-    run_sweep(config, points, op)
+    run_sweep(session, points, op)
         .into_iter()
         .map(FleetOutcome::into_samples)
         .collect()
@@ -994,17 +941,18 @@ where
 ///
 /// This is a one-point [`run_sweep`]; figures with more than one point
 /// should submit the whole grid instead.
-pub fn run_fleet<F>(config: &ExperimentConfig, n: u32, op: F) -> FleetOutcome
+pub fn run_fleet<F>(session: &Session, n: u32, op: F) -> FleetOutcome
 where
     F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
+    let config = session.config();
     let mut policy = FleetPolicy::default();
     if let Some(plan) = config.faults.as_ref() {
         policy.deadline_ms = plan.deadline_ms;
     }
     let clock = SystemClock::default();
     run_fleet_with(
-        config,
+        session,
         n,
         policy,
         &clock,
@@ -1018,7 +966,7 @@ where
 /// for identical `(config, n, policy)` regardless of `workers` — the
 /// chaos proptests in `tests/faults.rs` assert exactly that.
 pub fn run_fleet_with<F>(
-    config: &ExperimentConfig,
+    session: &Session,
     n: u32,
     policy: FleetPolicy,
     clock: &dyn FleetClock,
@@ -1029,7 +977,7 @@ where
     F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
     let points = [SweepPoint { n, params: () }];
-    let mut outcomes = run_sweep_with(config, &points, policy, clock, workers, {
+    let mut outcomes = run_sweep_with(session, &points, policy, clock, workers, {
         let op = &op;
         move |_: &(), setup: &mut TestSetup, group: &GroupSpec, rng: &mut StdRng| {
             op(setup, group, rng)
@@ -1047,11 +995,11 @@ where
 /// operation the part cannot perform) are skipped, as are modules that
 /// fail terminally under an armed fault plan (see [`run_fleet`] for the
 /// per-module accounting).
-pub fn collect_group_samples<F>(config: &ExperimentConfig, n: u32, op: F) -> Vec<f64>
+pub fn collect_group_samples<F>(session: &Session, n: u32, op: F) -> Vec<f64>
 where
     F: Fn(&mut TestSetup, &GroupSpec, &mut StdRng) -> Option<f64> + Send + Sync,
 {
-    run_fleet(config, n, op).into_samples()
+    run_fleet(session, n, op).into_samples()
 }
 
 /// The serial reference implementation: same module tasks, same RNG
@@ -1073,6 +1021,12 @@ mod tests {
     use rand::Rng;
     use simra_faults::ModuleFault;
 
+    /// A session over `config` bound to the global recorder — the
+    /// shortest path from the historical config-taking call sites.
+    fn session_for(config: &ExperimentConfig) -> Session {
+        Session::new(config.clone())
+    }
+
     #[test]
     fn samples_cover_all_modules_and_groups() {
         let mut config = ExperimentConfig::quick();
@@ -1080,23 +1034,24 @@ mod tests {
             profile: simra_dram::VendorProfile::mfr_h_a_die(),
             seed: 8,
         });
-        let samples = collect_group_samples(&config, 4, |_, g, _| Some(g.n_rows() as f64));
+        let samples =
+            collect_group_samples(&session_for(&config), 4, |_, g, _| Some(g.n_rows() as f64));
         assert_eq!(samples.len(), 2 * config.groups_per_module());
         assert!(samples.iter().all(|s| *s == 4.0));
     }
 
     #[test]
     fn results_are_deterministic() {
-        let config = ExperimentConfig::quick();
-        let a = collect_group_samples(&config, 8, |_, g, _| Some(g.local_rows[0] as f64));
-        let b = collect_group_samples(&config, 8, |_, g, _| Some(g.local_rows[0] as f64));
+        let session = session_for(&ExperimentConfig::quick());
+        let a = collect_group_samples(&session, 8, |_, g, _| Some(g.local_rows[0] as f64));
+        let b = collect_group_samples(&session, 8, |_, g, _| Some(g.local_rows[0] as f64));
         assert_eq!(a, b);
     }
 
     #[test]
     fn none_results_are_skipped() {
         let config = ExperimentConfig::quick();
-        let samples = collect_group_samples(&config, 2, |_, g, _| {
+        let samples = collect_group_samples(&session_for(&config), 2, |_, g, _| {
             (g.local_rows[0] % 2 == 0).then_some(1.0)
         });
         assert!(samples.len() < config.groups_per_module());
@@ -1115,7 +1070,7 @@ mod tests {
             let first = g.local_rows[0] as f64;
             Some(first + rng.gen::<f64>() + setup.module().seed() as f64 * 1e-6)
         };
-        let parallel = collect_group_samples(&config, 8, op);
+        let parallel = collect_group_samples(&session_for(&config), 8, op);
         let serial = collect_group_samples_serial(&config, 8, op);
         assert_eq!(parallel, serial);
         assert!(!parallel.is_empty());
@@ -1128,7 +1083,8 @@ mod tests {
         let mut config = ExperimentConfig::quick();
         let twin = config.modules[0].clone();
         config.modules.push(twin);
-        let samples = collect_group_samples(&config, 4, |_, _, rng| Some(rng.gen::<f64>()));
+        let samples =
+            collect_group_samples(&session_for(&config), 4, |_, _, rng| Some(rng.gen::<f64>()));
         let per_module = config.groups_per_module();
         assert_eq!(samples.len(), 2 * per_module);
         assert_ne!(
@@ -1193,7 +1149,7 @@ mod tests {
         };
         let grid = run_sweep_grid_on(
             &pool,
-            &config,
+            &session_for(&config),
             &points,
             FleetPolicy::default(),
             &clock,
@@ -1234,9 +1190,10 @@ mod tests {
             .map(|&n| SweepPoint::new(n, f64::from(n) * 0.5))
             .collect();
         let clock = MockClock::new();
+        let session = session_for(&config);
         for workers in [1usize, 2, 4] {
             let sweep = run_sweep_with(
-                &config,
+                &session,
                 &points,
                 FleetPolicy::default(),
                 &clock,
@@ -1247,7 +1204,7 @@ mod tests {
             for (point, outcome) in points.iter().zip(&sweep) {
                 let scale = point.params;
                 let fresh = run_fleet_with(
-                    &config,
+                    &session,
                     point.n,
                     FleetPolicy::default(),
                     &clock,
@@ -1272,7 +1229,7 @@ mod tests {
         let config = two_module_config();
         let points = [SweepPoint::new(4, ()), SweepPoint::new(4, ())];
         let outcomes = run_sweep_with(
-            &config,
+            &session_for(&config),
             &points,
             FleetPolicy::default(),
             &MockClock::new(),
@@ -1286,7 +1243,7 @@ mod tests {
     fn empty_sweep_shapes() {
         let config = two_module_config();
         let none: [SweepPoint<()>; 0] = [];
-        let outcomes = run_sweep(&config, &none, |_, s, g, r| probe_op(s, g, r));
+        let outcomes = run_sweep(&session_for(&config), &none, |_, s, g, r| probe_op(s, g, r));
         assert!(outcomes.is_empty());
     }
 
@@ -1296,10 +1253,11 @@ mod tests {
         let baseline = collect_group_samples_serial(&config, 6, probe_op);
         config.faults = Some(FaultPlan::default());
         let clock = MockClock::new();
-        let outcome = run_fleet_with(&config, 6, FleetPolicy::default(), &clock, 2, probe_op);
+        let session = session_for(&config);
+        let outcome = run_fleet_with(&session, 6, FleetPolicy::default(), &clock, 2, probe_op);
         assert_eq!(outcome.ok_modules(), 1);
         assert_eq!(outcome.into_samples(), baseline);
-        assert_eq!(collect_group_samples(&config, 6, probe_op), baseline);
+        assert_eq!(collect_group_samples(&session, 6, probe_op), baseline);
     }
 
     #[test]
@@ -1325,7 +1283,14 @@ mod tests {
             ..FaultPlan::default()
         });
         let clock = MockClock::new();
-        let outcome = run_fleet_with(&config, 4, FleetPolicy::default(), &clock, 1, probe_op);
+        let outcome = run_fleet_with(
+            &session_for(&config),
+            4,
+            FleetPolicy::default(),
+            &clock,
+            1,
+            probe_op,
+        );
         match &outcome.slots[0] {
             ModuleResult::Completed { samples, attempts } => {
                 assert_eq!(*attempts, 2);
@@ -1360,9 +1325,10 @@ mod tests {
             ..FaultPlan::default()
         });
         let clock = MockClock::new();
+        let session = session_for(&faulted);
         for workers in [1, 2] {
             let outcome = run_fleet_with(
-                &faulted,
+                &session,
                 4,
                 FleetPolicy::default(),
                 &clock,
@@ -1404,7 +1370,14 @@ mod tests {
             ..FaultPlan::default()
         });
         let clock = MockClock::new();
-        let outcome = run_fleet_with(&config, 4, FleetPolicy::default(), &clock, 1, probe_op);
+        let outcome = run_fleet_with(
+            &session_for(&config),
+            4,
+            FleetPolicy::default(),
+            &clock,
+            1,
+            probe_op,
+        );
         match &outcome.slots[0] {
             ModuleResult::Completed { samples, attempts } => {
                 assert_eq!(*attempts, 2, "first attempt panics, second completes");
@@ -1429,7 +1402,14 @@ mod tests {
             ..FaultPlan::default()
         });
         let clock = MockClock::new();
-        let outcome = run_fleet_with(&config, 4, FleetPolicy::default(), &clock, 1, probe_op);
+        let outcome = run_fleet_with(
+            &session_for(&config),
+            4,
+            FleetPolicy::default(),
+            &clock,
+            1,
+            probe_op,
+        );
         match &outcome.slots[0] {
             ModuleResult::Completed { samples, attempts } => {
                 assert_eq!(*attempts, 3);
@@ -1460,7 +1440,7 @@ mod tests {
         // The mock clock never moves: only the *charged* stall can trip
         // the deadline, so the outcome is deterministic.
         let clock = MockClock::new();
-        let outcome = run_fleet_with(&config, 2, policy, &clock, 1, probe_op);
+        let outcome = run_fleet_with(&session_for(&config), 2, policy, &clock, 1, probe_op);
         match &outcome.slots[0] {
             ModuleResult::Failed { attempts, cause } => {
                 assert_eq!(*attempts, 1, "a blown deadline must not be retried");
@@ -1501,7 +1481,7 @@ mod tests {
             deadline_ms: Some(25.0),
         };
         let clock = MockClock::new();
-        let outcome = run_fleet_with(&config, 2, policy, &clock, 1, probe_op);
+        let outcome = run_fleet_with(&session_for(&config), 2, policy, &clock, 1, probe_op);
         match &outcome.slots[0] {
             ModuleResult::Failed { attempts, cause } => {
                 assert_eq!(*attempts, 3);
@@ -1576,7 +1556,7 @@ mod tests {
             deadline_ms: None,
         };
         let clock = MockClock::new();
-        let outcome = run_fleet_with(&config, 2, policy, &clock, 1, probe_op);
+        let outcome = run_fleet_with(&session_for(&config), 2, policy, &clock, 1, probe_op);
         match &outcome.slots[0] {
             ModuleResult::Failed { attempts, cause } => {
                 assert_eq!(*attempts, 64, "all attempts consumed, none overflowed");
@@ -1588,7 +1568,7 @@ mod tests {
 
     #[test]
     fn session_coverage_accumulates_and_resets() {
-        let mut config = ExperimentConfig::quick();
+        let mut config = two_module_config();
         config.faults = Some(FaultPlan {
             modules: vec![ModuleFault {
                 module_index: 0,
@@ -1600,15 +1580,21 @@ mod tests {
             ..FaultPlan::default()
         });
         let clock = MockClock::new();
-        run_fleet_with(&config, 2, FleetPolicy::default(), &clock, 1, probe_op);
-        // Other tests run fleets concurrently in this process, so assert
-        // lower bounds only, then check the reset leaves a clean slate is
-        // not observable the same way (coverage is shared state).
-        let (coverage, failures) = take_session_coverage();
-        assert!(coverage.tasks >= 1);
-        assert!(coverage.failed >= 1);
-        assert!(failures.iter().any(|f| f.contains("dropped out")));
+        let session = session_for(&config);
+        run_fleet_with(&session, 2, FleetPolicy::default(), &clock, 1, probe_op);
+        // Coverage is per-session now, so the counts are exact even with
+        // other tests running fleets concurrently in this process.
+        let (coverage, failures) = session.take_coverage();
+        assert_eq!(coverage.tasks, 2);
+        assert_eq!(coverage.completed, 1);
+        assert_eq!(coverage.failed, 1);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("dropped out"), "{}", failures[0]);
         assert!(coverage.describe().contains("module tasks completed"));
+        // Taking resets the accumulator.
+        let (reset, none) = session.take_coverage();
+        assert_eq!(reset, FleetCoverage::default());
+        assert!(none.is_empty());
     }
 
     #[test]
@@ -1649,10 +1635,11 @@ mod tests {
             .collect();
         let clock = MockClock::new();
         let op = |_: &(), s: &mut TestSetup, g: &GroupSpec, r: &mut StdRng| probe_op(s, g, r);
-        let reference = run_sweep_with(&config, &points, FleetPolicy::default(), &clock, 1, op);
+        let session = session_for(&config);
+        let reference = run_sweep_with(&session, &points, FleetPolicy::default(), &clock, 1, op);
         for workers in [2usize, 4] {
             let sweep = run_sweep_with(
-                &config,
+                &session,
                 &points,
                 FleetPolicy::default(),
                 &clock,
@@ -1663,7 +1650,7 @@ mod tests {
         }
         for (point, outcome) in points.iter().zip(&reference) {
             let fresh = run_fleet_with(
-                &config,
+                &session,
                 point.n,
                 FleetPolicy::default(),
                 &clock,

@@ -14,11 +14,19 @@
 //!
 //! # Example
 //!
+//! Every figure runner executes against a [`session::Session`] — the
+//! owned context carrying the campaign's config, telemetry recorder,
+//! backends, and checkpoint state. Sessions are isolated: several can
+//! run concurrently in one process, each byte-identical to running
+//! alone.
+//!
 //! ```no_run
 //! use simra_characterize::config::ExperimentConfig;
 //! use simra_characterize::majx::fig7_majx_patterns;
+//! use simra_characterize::Session;
 //!
-//! let table = fig7_majx_patterns(&ExperimentConfig::quick());
+//! let session = Session::new(ExperimentConfig::quick());
+//! let table = fig7_majx_patterns(&session);
 //! println!("{table}");
 //! ```
 
@@ -34,6 +42,7 @@ pub mod perdie;
 pub mod pool;
 pub mod power;
 pub mod report;
+pub mod session;
 pub mod shard;
 pub mod spice;
 pub mod takeaways;
@@ -43,15 +52,14 @@ pub use activation::{
 };
 pub use backend::{sweep_trial_samples, trial_point, BackendSet, TrialPoint};
 pub use checkpoint::{
-    arm as arm_checkpoints, arm_sharded as arm_sharded_checkpoints, merge_sweep_journals,
-    run_sweep_checkpointed_on, run_sweep_checkpointed_sharded_on, slot_shard, CheckpointError,
+    merge_sweep_journals, run_sweep_checkpointed_on, run_sweep_checkpointed_sharded_on, slot_shard,
+    CheckpointError, CheckpointSession,
 };
 pub use config::ExperimentConfig;
 pub use fleet::{
     collect_group_samples, collect_group_samples_serial, run_fleet, run_fleet_with, run_sweep,
-    run_sweep_on, run_sweep_with, sweep_group_samples, take_session_coverage, FailureCause,
-    FleetClock, FleetCoverage, FleetOutcome, FleetPolicy, MockClock, ModuleResult, SweepPoint,
-    SystemClock,
+    run_sweep_on, run_sweep_with, sweep_group_samples, FailureCause, FleetClock, FleetCoverage,
+    FleetOutcome, FleetPolicy, MockClock, ModuleResult, SweepPoint, SystemClock,
 };
 pub use majx::{fig6_maj3_timing, fig7_majx_patterns, fig8_majx_temperature, fig9_majx_voltage};
 pub use mrc::{fig10_mrc_timing, fig11_mrc_patterns, fig12a_mrc_temperature, fig12b_mrc_voltage};
@@ -59,6 +67,7 @@ pub use observations::{check_observations, ObservationReport};
 pub use perdie::per_die_breakdown;
 pub use power::fig5_power;
 pub use report::Table;
+pub use session::Session;
 pub use shard::{MergeReport, ShardCoordinator, ShardError};
 pub use spice::fig15_spice;
 pub use takeaways::{derive_takeaways, scoreboard_quorum, TakeawayReport};

@@ -19,6 +19,7 @@ use crate::backend::{sweep_trial_samples, trial_point, TrialPoint};
 use crate::config::ExperimentConfig;
 use crate::fleet::SweepPoint;
 use crate::report::Table;
+use crate::session::Session;
 
 /// Destination counts of §6 (N-row activation copies to N − 1 rows).
 pub const DEST_COUNTS: [u32; 5] = [1, 3, 7, 15, 31];
@@ -84,174 +85,186 @@ fn mrc_point(
 
 /// Fig. 10: Multi-RowCopy success distribution vs (t1, t2) per
 /// destination count. Values in percent.
-pub fn fig10_mrc_timing(config: &ExperimentConfig) -> Table {
-    let _span = simra_telemetry::global().span("figure", "fig10");
-    let columns = DEST_COUNTS.iter().map(|d| format!("dests={d}")).collect();
-    let mut table = Table::new(
-        "Fig. 10: Multi-RowCopy success vs (t1, t2) and destination count",
-        config.describe_scale(),
-        columns,
-    );
-    let points: Vec<SweepPoint<TrialPoint>> = FIG10_T1
-        .iter()
-        .flat_map(|&t1| {
-            FIG10_T2.iter().flat_map(move |&t2| {
-                let timing = ApaTiming::from_ns(t1, t2);
-                DEST_COUNTS
-                    .iter()
-                    .map(move |&d| mrc_point(config, d, timing, MrcPattern::Random, None, None))
+pub fn fig10_mrc_timing(session: &Session) -> Table {
+    session.run_figure("fig10", |session| {
+        let config = session.config();
+        let columns = DEST_COUNTS.iter().map(|d| format!("dests={d}")).collect();
+        let mut table = Table::new(
+            "Fig. 10: Multi-RowCopy success vs (t1, t2) and destination count",
+            config.describe_scale(),
+            columns,
+        );
+        let points: Vec<SweepPoint<TrialPoint>> = FIG10_T1
+            .iter()
+            .flat_map(|&t1| {
+                FIG10_T2.iter().flat_map(move |&t2| {
+                    let timing = ApaTiming::from_ns(t1, t2);
+                    DEST_COUNTS
+                        .iter()
+                        .map(move |&d| mrc_point(config, d, timing, MrcPattern::Random, None, None))
+                })
             })
-        })
-        .collect();
-    let mut sweeps = sweep_trial_samples(config, &points).into_iter();
-    for &t1 in &FIG10_T1 {
-        for &t2 in &FIG10_T2 {
-            let mut means = Vec::new();
-            let mut mins = Vec::new();
-            for _ in &DEST_COUNTS {
-                let samples = sweeps.next().expect("one sample set per sweep point");
-                let stats = BoxStats::from_samples(&samples);
-                means.push(pct(stats.mean));
-                mins.push(pct(stats.min));
+            .collect();
+        let mut sweeps = sweep_trial_samples(session, &points).into_iter();
+        for &t1 in &FIG10_T1 {
+            for &t2 in &FIG10_T2 {
+                let mut means = Vec::new();
+                let mut mins = Vec::new();
+                for _ in &DEST_COUNTS {
+                    let samples = sweeps.next().expect("one sample set per sweep point");
+                    let stats = BoxStats::from_samples(&samples);
+                    means.push(pct(stats.mean));
+                    mins.push(pct(stats.min));
+                }
+                table.push_row(format!("t1={t1} t2={t2} mean"), means);
+                table.push_row(format!("t1={t1} t2={t2} min"), mins);
             }
-            table.push_row(format!("t1={t1} t2={t2} mean"), means);
-            table.push_row(format!("t1={t1} t2={t2} min"), mins);
         }
-    }
-    table
+        table
+    })
 }
 
 /// Fig. 11: Multi-RowCopy success per source data pattern (best timing).
 /// Values in percent.
-pub fn fig11_mrc_patterns(config: &ExperimentConfig) -> Table {
-    let _span = simra_telemetry::global().span("figure", "fig11");
-    let columns = DEST_COUNTS.iter().map(|d| format!("dests={d}")).collect();
-    let mut table = Table::new(
-        "Fig. 11: Multi-RowCopy data-pattern dependence",
-        config.describe_scale(),
-        columns,
-    );
-    let patterns = [
-        MrcPattern::AllZeros,
-        MrcPattern::AllOnes,
-        MrcPattern::Random,
-    ];
-    let points: Vec<SweepPoint<TrialPoint>> = patterns
-        .iter()
-        .flat_map(|&pattern| {
-            DEST_COUNTS.iter().map(move |&d| {
-                mrc_point(
-                    config,
-                    d,
-                    ApaTiming::best_for_multi_row_copy(),
-                    pattern,
-                    None,
-                    None,
-                )
-            })
-        })
-        .collect();
-    let mut sweeps = sweep_trial_samples(config, &points).into_iter();
-    for pattern in patterns {
-        let values = DEST_COUNTS
+pub fn fig11_mrc_patterns(session: &Session) -> Table {
+    session.run_figure("fig11", |session| {
+        let config = session.config();
+        let columns = DEST_COUNTS.iter().map(|d| format!("dests={d}")).collect();
+        let mut table = Table::new(
+            "Fig. 11: Multi-RowCopy data-pattern dependence",
+            config.describe_scale(),
+            columns,
+        );
+        let patterns = [
+            MrcPattern::AllZeros,
+            MrcPattern::AllOnes,
+            MrcPattern::Random,
+        ];
+        let points: Vec<SweepPoint<TrialPoint>> = patterns
             .iter()
-            .map(|_| {
-                let samples = sweeps.next().expect("one sample set per sweep point");
-                pct(mean(&samples))
+            .flat_map(|&pattern| {
+                DEST_COUNTS.iter().map(move |&d| {
+                    mrc_point(
+                        config,
+                        d,
+                        ApaTiming::best_for_multi_row_copy(),
+                        pattern,
+                        None,
+                        None,
+                    )
+                })
             })
             .collect();
-        table.push_row(pattern.to_string(), values);
-    }
-    table
+        let mut sweeps = sweep_trial_samples(session, &points).into_iter();
+        for pattern in patterns {
+            let values = DEST_COUNTS
+                .iter()
+                .map(|_| {
+                    let samples = sweeps.next().expect("one sample set per sweep point");
+                    pct(mean(&samples))
+                })
+                .collect();
+            table.push_row(pattern.to_string(), values);
+        }
+        table
+    })
 }
 
 /// Fig. 12a: Multi-RowCopy success vs temperature (random source data).
 /// Values in percent.
-pub fn fig12a_mrc_temperature(config: &ExperimentConfig) -> Table {
-    let _span = simra_telemetry::global().span("figure", "fig12a");
-    let temps = crate::activation::TEMPERATURES_C;
-    let columns = DEST_COUNTS.iter().map(|d| format!("dests={d}")).collect();
-    let mut table = Table::new(
-        "Fig. 12a: Multi-RowCopy success vs temperature",
-        config.describe_scale(),
-        columns,
-    );
-    let points: Vec<SweepPoint<TrialPoint>> = temps
-        .iter()
-        .flat_map(|&t| {
-            DEST_COUNTS.iter().map(move |&d| {
-                mrc_point(
-                    config,
-                    d,
-                    ApaTiming::best_for_multi_row_copy(),
-                    MrcPattern::Random,
-                    Some(t),
-                    None,
-                )
-            })
-        })
-        .collect();
-    let mut sweeps = sweep_trial_samples(config, &points).into_iter();
-    for &t in &temps {
-        let values = DEST_COUNTS
+pub fn fig12a_mrc_temperature(session: &Session) -> Table {
+    session.run_figure("fig12a", |session| {
+        let config = session.config();
+        let temps = crate::activation::TEMPERATURES_C;
+        let columns = DEST_COUNTS.iter().map(|d| format!("dests={d}")).collect();
+        let mut table = Table::new(
+            "Fig. 12a: Multi-RowCopy success vs temperature",
+            config.describe_scale(),
+            columns,
+        );
+        let points: Vec<SweepPoint<TrialPoint>> = temps
             .iter()
-            .map(|_| {
-                let samples = sweeps.next().expect("one sample set per sweep point");
-                pct(mean(&samples))
+            .flat_map(|&t| {
+                DEST_COUNTS.iter().map(move |&d| {
+                    mrc_point(
+                        config,
+                        d,
+                        ApaTiming::best_for_multi_row_copy(),
+                        MrcPattern::Random,
+                        Some(t),
+                        None,
+                    )
+                })
             })
             .collect();
-        table.push_row(format!("{t} C"), values);
-    }
-    table
+        let mut sweeps = sweep_trial_samples(session, &points).into_iter();
+        for &t in &temps {
+            let values = DEST_COUNTS
+                .iter()
+                .map(|_| {
+                    let samples = sweeps.next().expect("one sample set per sweep point");
+                    pct(mean(&samples))
+                })
+                .collect();
+            table.push_row(format!("{t} C"), values);
+        }
+        table
+    })
 }
 
 /// Fig. 12b: Multi-RowCopy success vs wordline voltage (random source
 /// data). Values in percent.
-pub fn fig12b_mrc_voltage(config: &ExperimentConfig) -> Table {
-    let _span = simra_telemetry::global().span("figure", "fig12b");
-    let vpps = crate::activation::VPP_LEVELS_V;
-    let columns = DEST_COUNTS.iter().map(|d| format!("dests={d}")).collect();
-    let mut table = Table::new(
-        "Fig. 12b: Multi-RowCopy success vs wordline voltage",
-        config.describe_scale(),
-        columns,
-    );
-    let points: Vec<SweepPoint<TrialPoint>> = vpps
-        .iter()
-        .flat_map(|&v| {
-            DEST_COUNTS.iter().map(move |&d| {
-                mrc_point(
-                    config,
-                    d,
-                    ApaTiming::best_for_multi_row_copy(),
-                    MrcPattern::Random,
-                    None,
-                    Some(v),
-                )
-            })
-        })
-        .collect();
-    let mut sweeps = sweep_trial_samples(config, &points).into_iter();
-    for &v in &vpps {
-        let values = DEST_COUNTS
+pub fn fig12b_mrc_voltage(session: &Session) -> Table {
+    session.run_figure("fig12b", |session| {
+        let config = session.config();
+        let vpps = crate::activation::VPP_LEVELS_V;
+        let columns = DEST_COUNTS.iter().map(|d| format!("dests={d}")).collect();
+        let mut table = Table::new(
+            "Fig. 12b: Multi-RowCopy success vs wordline voltage",
+            config.describe_scale(),
+            columns,
+        );
+        let points: Vec<SweepPoint<TrialPoint>> = vpps
             .iter()
-            .map(|_| {
-                let samples = sweeps.next().expect("one sample set per sweep point");
-                pct(mean(&samples))
+            .flat_map(|&v| {
+                DEST_COUNTS.iter().map(move |&d| {
+                    mrc_point(
+                        config,
+                        d,
+                        ApaTiming::best_for_multi_row_copy(),
+                        MrcPattern::Random,
+                        None,
+                        Some(v),
+                    )
+                })
             })
             .collect();
-        table.push_row(format!("{v} V"), values);
-    }
-    table
+        let mut sweeps = sweep_trial_samples(session, &points).into_iter();
+        for &v in &vpps {
+            let values = DEST_COUNTS
+                .iter()
+                .map(|_| {
+                    let samples = sweeps.next().expect("one sample set per sweep point");
+                    pct(mean(&samples))
+                })
+                .collect();
+            table.push_row(format!("{v} V"), values);
+        }
+        table
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn quick_session() -> Session {
+        Session::new(ExperimentConfig::quick())
+    }
+
     #[test]
     fn fig10_best_timing_is_nearly_perfect_and_t1_min_halves() {
-        let t = fig10_mrc_timing(&ExperimentConfig::quick());
+        let t = fig10_mrc_timing(&quick_session());
         let mut p = crate::observations::SeriesProbe::default();
         let best = p.get(&t, "t1=36 t2=3 mean", "dests=31");
         let bad = p.get(&t, "t1=1.5 t2=3 mean", "dests=31");
@@ -265,7 +278,7 @@ mod tests {
 
     #[test]
     fn fig11_all_ones_dips_at_31() {
-        let t = fig11_mrc_patterns(&ExperimentConfig::quick());
+        let t = fig11_mrc_patterns(&quick_session());
         let mut p = crate::observations::SeriesProbe::default();
         let ones = p.get(&t, "all-1s", "dests=31");
         let zeros = p.get(&t, "all-0s", "dests=31");
@@ -276,13 +289,13 @@ mod tests {
 
     #[test]
     fn fig12_env_effects_are_small() {
-        let cfg = ExperimentConfig::quick();
-        let temp = fig12a_mrc_temperature(&cfg);
+        let session = quick_session();
+        let temp = fig12a_mrc_temperature(&session);
         let d = "dests=15";
         let mut p = crate::observations::SeriesProbe::default();
         let t50 = p.get(&temp, "50 C", d);
         let t90 = p.get(&temp, "90 C", d);
-        let volt = fig12b_mrc_voltage(&cfg);
+        let volt = fig12b_mrc_voltage(&session);
         let v25 = p.get(&volt, "2.5 V", d);
         let v21 = p.get(&volt, "2.1 V", d);
         assert!(p.missing().is_empty(), "missing series: {:?}", p.missing());

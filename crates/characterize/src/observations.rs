@@ -10,17 +10,18 @@
 //! in the scoreboard) instead of silently comparing against NaN.
 
 use serde::{Deserialize, Serialize};
+use simra_telemetry::{Counter, Recorder};
 
 use crate::activation::{
     fig3_activation_timing, fig4a_activation_temperature, fig4b_activation_voltage,
 };
-use crate::config::ExperimentConfig;
 use crate::majx::{fig6_maj3_timing, fig7_majx_patterns, fig8_majx_temperature, fig9_majx_voltage};
 use crate::mrc::{
     fig10_mrc_timing, fig11_mrc_patterns, fig12a_mrc_temperature, fig12b_mrc_voltage,
 };
 use crate::power::fig5_power;
 use crate::report::Table;
+use crate::session::Session;
 
 /// One evaluated observation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,12 +62,29 @@ impl std::fmt::Display for ObservationReport {
 /// test), recording any that are missing from their table. Shared with
 /// the figure runners' tests, which used to `.unwrap()` lookups and
 /// panic with no hint of *which* series vanished.
-#[derive(Debug, Default)]
 pub(crate) struct SeriesProbe {
     missing: Vec<String>,
+    data_missing: Counter,
+}
+
+impl Default for SeriesProbe {
+    /// A probe reporting misses to the process-global recorder — what
+    /// the figure tests construct.
+    fn default() -> Self {
+        SeriesProbe::recorded_by(simra_telemetry::global())
+    }
 }
 
 impl SeriesProbe {
+    /// A probe whose `observations/data_missing` counter reports to
+    /// `recorder` — one per session in [`check_observations`].
+    pub(crate) fn recorded_by(recorder: &Recorder) -> Self {
+        SeriesProbe {
+            missing: Vec::new(),
+            data_missing: recorder.counter("observations", "data_missing"),
+        }
+    }
+
     /// Looks up one cell. A hit returns the value; a miss records the
     /// series, ticks the `observations/data_missing` telemetry counter,
     /// and returns NaN (the verdict is discarded in that case).
@@ -74,9 +92,7 @@ impl SeriesProbe {
         match table.get(row, col) {
             Some(v) => v,
             None => {
-                simra_telemetry::global()
-                    .counter("observations", "data_missing")
-                    .incr();
+                self.data_missing.incr();
                 self.missing.push(format!("series '{row}'/'{col}' missing"));
                 f64::NAN
             }
@@ -108,15 +124,16 @@ impl SeriesProbe {
     }
 }
 
-/// Evaluates all 18 observations at the configured scale. Expensive
-/// (regenerates most figures); run once and print.
-pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
+/// Evaluates all 18 observations at the session's configured scale.
+/// Expensive (regenerates most figures); run once and print.
+pub fn check_observations(session: &Session) -> Vec<ObservationReport> {
+    let probe = || SeriesProbe::recorded_by(session.recorder());
     let mut out = Vec::with_capacity(18);
 
     // Figs. 3/4: activation.
-    let fig3 = fig3_activation_timing(config);
+    let fig3 = fig3_activation_timing(session);
     {
-        let mut p = SeriesProbe::default();
+        let mut p = probe();
         let best32 = p.get(&fig3, "t1=3 t2=3 mean", "N=32");
         out.push(p.report(
             1,
@@ -126,7 +143,7 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
         ));
     }
     {
-        let mut p = SeriesProbe::default();
+        let mut p = probe();
         let best32 = p.get(&fig3, "t1=3 t2=3 mean", "N=32");
         let weak32 = p.get(&fig3, "t1=1.5 t2=1.5 mean", "N=32");
         out.push(p.report(
@@ -136,9 +153,9 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
             best32 - weak32 > 10.0,
         ));
     }
-    let fig4a = fig4a_activation_temperature(config);
+    let fig4a = fig4a_activation_temperature(session);
     {
-        let mut p = SeriesProbe::default();
+        let mut p = probe();
         let t50 = p.get(&fig4a, "50 C", "N=32");
         let t90 = p.get(&fig4a, "90 C", "N=32");
         out.push(p.report(
@@ -148,9 +165,9 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
             (t90 - t50).abs() < 1.0,
         ));
     }
-    let fig4b = fig4b_activation_voltage(config);
+    let fig4b = fig4b_activation_voltage(session);
     {
-        let mut p = SeriesProbe::default();
+        let mut p = probe();
         let v25 = p.get(&fig4b, "2.5 V", "N=32");
         let v21 = p.get(&fig4b, "2.1 V", "N=32");
         out.push(p.report(
@@ -162,9 +179,9 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
     }
 
     // Fig. 5: power.
-    let fig5 = fig5_power(config);
+    let fig5 = fig5_power(session);
     {
-        let mut p = SeriesProbe::default();
+        let mut p = probe();
         let p32 = p.get(&fig5, "32-row ACT", "pct_of_REF");
         out.push(p.report(
             5,
@@ -175,9 +192,9 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
     }
 
     // Figs. 6/7: MAJX.
-    let fig6 = fig6_maj3_timing(config);
+    let fig6 = fig6_maj3_timing(session);
     {
-        let mut p = SeriesProbe::default();
+        let mut p = probe();
         let maj3_32 = p.get(&fig6, "t1=1.5 t2=3 mean", "N=32");
         let maj3_4 = p.get(&fig6, "t1=1.5 t2=3 mean", "N=4");
         out.push(p.report(
@@ -188,7 +205,7 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
         ));
     }
     {
-        let mut p = SeriesProbe::default();
+        let mut p = probe();
         let maj3_32 = p.get(&fig6, "t1=1.5 t2=3 mean", "N=32");
         let maj3_33 = p.get(&fig6, "t1=3 t2=3 mean", "N=32");
         out.push(p.report(
@@ -198,9 +215,9 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
             maj3_32 - maj3_33 > 20.0,
         ));
     }
-    let fig7 = fig7_majx_patterns(config);
+    let fig7 = fig7_majx_patterns(session);
     {
-        let mut p = SeriesProbe::default();
+        let mut p = probe();
         let m5 = p.get(&fig7, "random", "MAJ5");
         let m7 = p.get(&fig7, "random", "MAJ7");
         let m9 = p.get(&fig7, "random", "MAJ9");
@@ -212,7 +229,7 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
         ));
     }
     {
-        let mut p = SeriesProbe::default();
+        let mut p = probe();
         let m5 = p.get(&fig7, "random", "MAJ5");
         let solid5 = p.get(&fig7, "0x00/0xFF", "MAJ5");
         out.push(p.report(
@@ -223,7 +240,7 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
         ));
     }
     {
-        let mut p = SeriesProbe::default();
+        let mut p = probe();
         let m5 = p.get(&fig7, "random", "MAJ5");
         let m5_n8 = p.get(&fig7, "random N=8 MAJ5", "MAJ5");
         out.push(p.report(
@@ -235,9 +252,9 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
     }
 
     // Figs. 8/9: MAJX environment.
-    let fig8 = fig8_majx_temperature(config);
+    let fig8 = fig8_majx_temperature(session);
     {
-        let mut p = SeriesProbe::default();
+        let mut p = probe();
         let maj5_t50 = p.get(&fig8, "MAJ5 N=32", "50C");
         let maj5_t90 = p.get(&fig8, "MAJ5 N=32", "90C");
         out.push(p.report(
@@ -248,7 +265,7 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
         ));
     }
     {
-        let mut p = SeriesProbe::default();
+        let mut p = probe();
         let maj3n4_t50 = p.get(&fig8, "MAJ3 N=4", "50C");
         let maj3n4_t90 = p.get(&fig8, "MAJ3 N=4", "90C");
         let maj3n32_t50 = p.get(&fig8, "MAJ3 N=32", "50C");
@@ -264,9 +281,9 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
             (maj3n4_t90 - maj3n4_t50).abs() > (maj3n32_t90 - maj3n32_t50).abs(),
         ));
     }
-    let fig9 = fig9_majx_voltage(config);
+    let fig9 = fig9_majx_voltage(session);
     {
-        let mut p = SeriesProbe::default();
+        let mut p = probe();
         let maj5_v25 = p.get(&fig9, "MAJ5 N=32", "2.5V");
         let maj5_v21 = p.get(&fig9, "MAJ5 N=32", "2.1V");
         out.push(p.report(
@@ -278,9 +295,9 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
     }
 
     // Figs. 10–12: Multi-RowCopy.
-    let fig10 = fig10_mrc_timing(config);
+    let fig10 = fig10_mrc_timing(session);
     {
-        let mut p = SeriesProbe::default();
+        let mut p = probe();
         let mrc31 = p.get(&fig10, "t1=36 t2=3 mean", "dests=31");
         out.push(p.report(
             14,
@@ -290,7 +307,7 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
         ));
     }
     {
-        let mut p = SeriesProbe::default();
+        let mut p = probe();
         let mrc31 = p.get(&fig10, "t1=36 t2=3 mean", "dests=31");
         let mrc31_bad = p.get(&fig10, "t1=1.5 t2=3 mean", "dests=31");
         out.push(p.report(
@@ -300,9 +317,9 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
             mrc31 - mrc31_bad > 30.0,
         ));
     }
-    let fig11 = fig11_mrc_patterns(config);
+    let fig11 = fig11_mrc_patterns(session);
     {
-        let mut p = SeriesProbe::default();
+        let mut p = probe();
         let ones31 = p.get(&fig11, "all-1s", "dests=31");
         let zeros31 = p.get(&fig11, "all-0s", "dests=31");
         out.push(p.report(
@@ -312,9 +329,9 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
             zeros31 >= ones31 && zeros31 - ones31 < 5.0,
         ));
     }
-    let fig12a = fig12a_mrc_temperature(config);
+    let fig12a = fig12a_mrc_temperature(session);
     {
-        let mut p = SeriesProbe::default();
+        let mut p = probe();
         let mrc_t50 = p.get(&fig12a, "50 C", "dests=31");
         let mrc_t90 = p.get(&fig12a, "90 C", "dests=31");
         out.push(p.report(
@@ -324,9 +341,9 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
             (mrc_t90 - mrc_t50).abs() < 1.0,
         ));
     }
-    let fig12b = fig12b_mrc_voltage(config);
+    let fig12b = fig12b_mrc_voltage(session);
     {
-        let mut p = SeriesProbe::default();
+        let mut p = probe();
         let mrc_v25 = p.get(&fig12b, "2.5 V", "dests=31");
         let mrc_v21 = p.get(&fig12b, "2.1 V", "dests=31");
         out.push(p.report(
@@ -343,10 +360,11 @@ pub fn check_observations(config: &ExperimentConfig) -> Vec<ObservationReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ExperimentConfig;
 
     #[test]
     fn all_observations_hold_at_quick_scale() {
-        let reports = check_observations(&ExperimentConfig::quick());
+        let reports = check_observations(&Session::new(ExperimentConfig::quick()));
         assert_eq!(reports.len(), 18);
         let failing: Vec<&ObservationReport> = reports.iter().filter(|r| !r.holds).collect();
         assert!(
@@ -362,7 +380,7 @@ mod tests {
 
     #[test]
     fn quick_scale_has_no_missing_series() {
-        let reports = check_observations(&ExperimentConfig::quick());
+        let reports = check_observations(&Session::new(ExperimentConfig::quick()));
         assert!(reports.iter().all(|r| !r.data_missing));
     }
 

@@ -20,20 +20,21 @@ use simra_dram::vendor::paper_fleet;
 use simra_dram::{ApaTiming, DataPattern, DramModule, Manufacturer, VendorProfile};
 use simra_exec::{MrcSource, TrialSpec};
 
-use crate::backend::BackendSet;
-use crate::config::ExperimentConfig;
 use crate::fleet::executor_threads;
 use crate::pool::FleetPool;
 use crate::report::Table;
+use crate::session::Session;
 
 /// One profile's row: mount the profile, draw its group sample, and
 /// measure every headline operation on the shared per-profile stream.
-fn per_die_row(config: &ExperimentConfig, profile: &VendorProfile) -> Vec<f64> {
+fn per_die_row(session: &Session, profile: &VendorProfile) -> Vec<f64> {
+    let config = session.config();
     // Pool threads arrive here carrying whatever slot epoch their last
     // task left behind; a fresh epoch makes stateful backends (hybrid)
     // start clean, so the row is scheduling-independent.
     simra_exec::slot::begin();
     let mut setup = TestSetup::with_module(DramModule::new(profile.clone(), 4242));
+    setup.set_engine_counters(session.engine_counters().clone());
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xD1E);
     let groups = sample_groups(
         setup.module().geometry(),
@@ -43,7 +44,7 @@ fn per_die_row(config: &ExperimentConfig, profile: &VendorProfile) -> Vec<f64> {
         config.groups_per_subarray,
         &mut rng,
     );
-    let backend = BackendSet::global().dispatch(config.backend);
+    let backend = session.dispatch(config.backend);
 
     let act_spec = TrialSpec::activation(ApaTiming::best_for_activation());
     let act: Vec<f64> = groups
@@ -80,53 +81,57 @@ fn per_die_row(config: &ExperimentConfig, profile: &VendorProfile) -> Vec<f64> {
 /// activation, MAJ3/5/7/9 @32 (random pattern), and Multi-RowCopy @31
 /// destinations, all in percent (NaN where the part cannot perform the
 /// operation, e.g. MAJ9 on Mfr. M).
-pub fn per_die_breakdown(config: &ExperimentConfig) -> Table {
-    let _span = simra_telemetry::global().span("figure", "per_die_breakdown");
-    let columns = vec![
-        "ACT32".to_string(),
-        "MAJ3".into(),
-        "MAJ5".into(),
-        "MAJ7".into(),
-        "MAJ9".into(),
-        "MRC31".into(),
-    ];
-    let mut table = Table::new(
-        "Per-die breakdown: headline operations per Table-1 profile",
-        config.describe_scale(),
-        columns,
-    );
-    let profiles: Vec<VendorProfile> = paper_fleet().into_iter().map(|e| e.profile).collect();
-    let rows: Vec<Mutex<Option<Vec<f64>>>> = profiles.iter().map(|_| Mutex::new(None)).collect();
-    let verdict =
-        FleetPool::global().run_tasks(profiles.len(), executor_threads(profiles.len()), |i| {
-            *rows[i].lock().unwrap_or_else(|e| e.into_inner()) =
-                Some(per_die_row(config, &profiles[i]));
-        });
-    for (profile, slot) in profiles.iter().zip(rows) {
-        // A panicking row task (reported via `verdict`, never expected
-        // from this pure computation) degrades its row to NaNs — the
-        // same rendering as an infeasible cell — instead of aborting.
-        let row = slot
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
-            .unwrap_or_else(|| {
-                debug_assert!(verdict.is_err(), "row missing without a task panic");
-                vec![f64::NAN; 6]
+pub fn per_die_breakdown(session: &Session) -> Table {
+    session.run_figure("per_die_breakdown", |session| {
+        let columns = vec![
+            "ACT32".to_string(),
+            "MAJ3".into(),
+            "MAJ5".into(),
+            "MAJ7".into(),
+            "MAJ9".into(),
+            "MRC31".into(),
+        ];
+        let mut table = Table::new(
+            "Per-die breakdown: headline operations per Table-1 profile",
+            session.config().describe_scale(),
+            columns,
+        );
+        let profiles: Vec<VendorProfile> = paper_fleet().into_iter().map(|e| e.profile).collect();
+        let rows: Vec<Mutex<Option<Vec<f64>>>> =
+            profiles.iter().map(|_| Mutex::new(None)).collect();
+        let verdict =
+            FleetPool::global().run_tasks(profiles.len(), executor_threads(profiles.len()), |i| {
+                *rows[i].lock().unwrap_or_else(|e| e.into_inner()) =
+                    Some(per_die_row(session, &profiles[i]));
             });
-        table.push_row(profile.label(), row);
-    }
-    table
+        for (profile, slot) in profiles.iter().zip(rows) {
+            // A panicking row task (reported via `verdict`, never
+            // expected from this pure computation) degrades its row to
+            // NaNs — the same rendering as an infeasible cell — instead
+            // of aborting.
+            let row = slot
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(|| {
+                    debug_assert!(verdict.is_err(), "row missing without a task panic");
+                    vec![f64::NAN; 6]
+                });
+            table.push_row(profile.label(), row);
+        }
+        table
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ExperimentConfig;
 
     #[test]
     fn per_die_table_shows_vendor_differences() {
         let mut config = ExperimentConfig::quick();
         config.groups_per_subarray = 3;
-        let t = per_die_breakdown(&config);
+        let t = per_die_breakdown(&Session::new(config));
         assert_eq!(t.rows.len(), 4, "one row per Table-1 profile");
         let mut p = crate::observations::SeriesProbe::default();
         // Mfr. M has no MAJ9 column; Mfr. H does.
@@ -158,8 +163,9 @@ mod tests {
         // must come out identical run to run regardless of scheduling.
         let mut config = ExperimentConfig::quick();
         config.groups_per_subarray = 3;
-        let a = per_die_breakdown(&config);
-        let b = per_die_breakdown(&config);
+        let session = Session::new(config);
+        let a = per_die_breakdown(&session);
+        let b = per_die_breakdown(&session);
         for (ra, rb) in a.rows.iter().zip(&b.rows) {
             assert_eq!(ra.label, rb.label);
             let same = ra

@@ -8,34 +8,35 @@
 
 use simra_bender::power::{PowerModel, StandardOp};
 
-use crate::config::ExperimentConfig;
 use crate::report::Table;
+use crate::session::Session;
 
 /// Fig. 5: average power (mW) of N-row activation and the four standard
 /// operations (the paper's dashed lines).
-pub fn fig5_power(_config: &ExperimentConfig) -> Table {
-    let _span = simra_telemetry::global().span("figure", "fig5");
-    let model = PowerModel::ddr4();
-    let mut table = Table::new(
-        "Fig. 5: power of simultaneous many-row activation vs standard ops",
-        "analytic IDD model (the paper measures one module)",
-        vec!["power_mW".into(), "pct_of_REF".into()],
-    );
-    let reference = model.standard_mw(StandardOp::Refresh);
-    for n in [2u32, 4, 8, 16, 32] {
-        let p = model.many_row_activation_mw(n);
-        table.push_row(format!("{n}-row ACT"), vec![p, 100.0 * p / reference]);
-    }
-    for op in [
-        StandardOp::Read,
-        StandardOp::Write,
-        StandardOp::ActPre,
-        StandardOp::Refresh,
-    ] {
-        let p = model.standard_mw(op);
-        table.push_row(op.to_string(), vec![p, 100.0 * p / reference]);
-    }
-    table
+pub fn fig5_power(session: &Session) -> Table {
+    session.run_figure("fig5", |_session| {
+        let model = PowerModel::ddr4();
+        let mut table = Table::new(
+            "Fig. 5: power of simultaneous many-row activation vs standard ops",
+            "analytic IDD model (the paper measures one module)",
+            vec!["power_mW".into(), "pct_of_REF".into()],
+        );
+        let reference = model.standard_mw(StandardOp::Refresh);
+        for n in [2u32, 4, 8, 16, 32] {
+            let p = model.many_row_activation_mw(n);
+            table.push_row(format!("{n}-row ACT"), vec![p, 100.0 * p / reference]);
+        }
+        for op in [
+            StandardOp::Read,
+            StandardOp::Write,
+            StandardOp::ActPre,
+            StandardOp::Refresh,
+        ] {
+            let p = model.standard_mw(op);
+            table.push_row(op.to_string(), vec![p, 100.0 * p / reference]);
+        }
+        table
+    })
 }
 
 #[cfg(test)]
@@ -43,9 +44,13 @@ mod tests {
     use super::*;
     use crate::config::ExperimentConfig;
 
+    fn quick_session() -> Session {
+        Session::new(ExperimentConfig::quick())
+    }
+
     #[test]
     fn obs5_32_row_below_ref() {
-        let t = fig5_power(&ExperimentConfig::quick());
+        let t = fig5_power(&quick_session());
         let mut p = crate::observations::SeriesProbe::default();
         let p32 = p.get(&t, "32-row ACT", "pct_of_REF");
         assert!(p.missing().is_empty(), "missing series: {:?}", p.missing());
@@ -61,7 +66,7 @@ mod tests {
 
     #[test]
     fn power_rows_are_monotone_in_n() {
-        let t = fig5_power(&ExperimentConfig::quick());
+        let t = fig5_power(&quick_session());
         let mut probe = crate::observations::SeriesProbe::default();
         let mut last = 0.0;
         for n in [2, 4, 8, 16, 32] {

@@ -3,68 +3,74 @@
 use simra_analog::montecarlo::{run_fig15, MonteCarloConfig};
 use simra_analog::CircuitParams;
 
-use crate::config::ExperimentConfig;
 use crate::report::Table;
+use crate::session::Session;
 
 /// Fig. 15 (a) and (b): bitline perturbation (mV, median) and MAJ3(1,1,0)
 /// success rate per N-row activation (rows) and process-variation percent
 /// (columns).
-pub fn fig15_spice(config: &ExperimentConfig) -> (Table, Table) {
-    let _span = simra_telemetry::global().span("figure", "fig15");
-    let mc = MonteCarloConfig {
-        sets: 1000,
-        seed: config.seed,
-    };
-    let points = run_fig15(&CircuitParams::calibrated(), mc);
-    let variations = [10u32, 20, 30, 40];
-    let columns: Vec<String> = variations.iter().map(|p| format!("var={p}%")).collect();
-    let mut perturbation = Table::new(
-        "Fig. 15a: bitline perturbation (median mV) before sensing, MAJ3(1,1,0)",
-        format!("{} Monte-Carlo sets per point", mc.sets),
-        columns.clone(),
-    );
-    let mut success = Table::new(
-        "Fig. 15b: MAJ3(1,1,0) success rate vs process variation",
-        format!("{} Monte-Carlo sets per point", mc.sets),
-        columns,
-    );
-    for &n in &[1u32, 4, 8, 16, 32] {
-        let med: Vec<f64> = variations
-            .iter()
-            .map(|&v| {
-                points
-                    .iter()
-                    .find(|p| p.n_rows == n && p.variation_pct == v)
-                    .expect("grid covers all points")
-                    .median_mv
-            })
-            .collect();
-        perturbation.push_row(format!("N={n}"), med);
-        if n > 1 {
-            let rates: Vec<f64> = variations
+pub fn fig15_spice(session: &Session) -> (Table, Table) {
+    session.run_figure("fig15", |session| {
+        let mc = MonteCarloConfig {
+            sets: 1000,
+            seed: session.config().seed,
+        };
+        let points = run_fig15(&CircuitParams::calibrated(), mc);
+        let variations = [10u32, 20, 30, 40];
+        let columns: Vec<String> = variations.iter().map(|p| format!("var={p}%")).collect();
+        let mut perturbation = Table::new(
+            "Fig. 15a: bitline perturbation (median mV) before sensing, MAJ3(1,1,0)",
+            format!("{} Monte-Carlo sets per point", mc.sets),
+            columns.clone(),
+        );
+        let mut success = Table::new(
+            "Fig. 15b: MAJ3(1,1,0) success rate vs process variation",
+            format!("{} Monte-Carlo sets per point", mc.sets),
+            columns,
+        );
+        for &n in &[1u32, 4, 8, 16, 32] {
+            let med: Vec<f64> = variations
                 .iter()
                 .map(|&v| {
-                    100.0
-                        * points
-                            .iter()
-                            .find(|p| p.n_rows == n && p.variation_pct == v)
-                            .expect("grid covers all points")
-                            .success_rate
+                    points
+                        .iter()
+                        .find(|p| p.n_rows == n && p.variation_pct == v)
+                        .expect("grid covers all points")
+                        .median_mv
                 })
                 .collect();
-            success.push_row(format!("N={n}"), rates);
+            perturbation.push_row(format!("N={n}"), med);
+            if n > 1 {
+                let rates: Vec<f64> = variations
+                    .iter()
+                    .map(|&v| {
+                        100.0
+                            * points
+                                .iter()
+                                .find(|p| p.n_rows == n && p.variation_pct == v)
+                                .expect("grid covers all points")
+                                .success_rate
+                    })
+                    .collect();
+                success.push_row(format!("N={n}"), rates);
+            }
         }
-    }
-    (perturbation, success)
+        (perturbation, success)
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ExperimentConfig;
+
+    fn quick_session() -> Session {
+        Session::new(ExperimentConfig::quick())
+    }
 
     #[test]
     fn perturbation_grows_with_n_at_every_variation() {
-        let (pert, _) = fig15_spice(&ExperimentConfig::quick());
+        let (pert, _) = fig15_spice(&quick_session());
         let mut p = crate::observations::SeriesProbe::default();
         for col in ["var=10%", "var=40%"] {
             let n4 = p.get(&pert, "N=4", col);
@@ -76,7 +82,7 @@ mod tests {
 
     #[test]
     fn n32_success_immune_to_variation_n4_collapses() {
-        let (_, success) = fig15_spice(&ExperimentConfig::quick());
+        let (_, success) = fig15_spice(&quick_session());
         let mut p = crate::observations::SeriesProbe::default();
         let n4_drop = p.get(&success, "N=4", "var=10%") - p.get(&success, "N=4", "var=40%");
         let n32_drop = p.get(&success, "N=32", "var=10%") - p.get(&success, "N=32", "var=40%");
@@ -87,7 +93,7 @@ mod tests {
 
     #[test]
     fn single_row_baseline_is_present() {
-        let (pert, success) = fig15_spice(&ExperimentConfig::quick());
+        let (pert, success) = fig15_spice(&quick_session());
         assert!(pert.get("N=1", "var=20%").is_some());
         // N=1 has no MAJ success row.
         assert!(success.get("N=1", "var=20%").is_none());

@@ -98,10 +98,11 @@ mod tests {
     use super::*;
     use crate::check_observations;
     use crate::config::ExperimentConfig;
+    use crate::session::Session;
 
     #[test]
     fn all_takeaways_hold_at_quick_scale() {
-        let obs = check_observations(&ExperimentConfig::quick());
+        let obs = check_observations(&Session::new(ExperimentConfig::quick()));
         let takeaways = derive_takeaways(&obs);
         assert_eq!(takeaways.len(), 7);
         let failing: Vec<String> = takeaways
@@ -118,7 +119,7 @@ mod tests {
 
     #[test]
     fn takeaways_depend_on_their_observations() {
-        let mut obs = check_observations(&ExperimentConfig::quick());
+        let mut obs = check_observations(&Session::new(ExperimentConfig::quick()));
         // Break Obs. 1 artificially: Takeaway 1 must fall with it.
         obs.iter_mut()
             .find(|o| o.id == 1)

@@ -12,7 +12,7 @@ use std::sync::{Mutex, MutexGuard};
 
 use simra_characterize::config::ModuleUnderTest;
 use simra_characterize::{
-    fig5_power, run_fleet_with, run_sweep_with, ExperimentConfig, FleetPolicy, MockClock,
+    fig5_power, run_fleet_with, run_sweep_with, ExperimentConfig, FleetPolicy, MockClock, Session,
     SweepPoint,
 };
 use simra_faults::{FaultPlan, ModuleFault, ModuleFaultKind};
@@ -64,16 +64,17 @@ fn fleet_telemetry_is_identical_across_worker_counts() {
     let mut snapshots = Vec::new();
     for workers in [1usize, 2, 4] {
         recorder.reset();
+        // A fresh session per worker count: its coverage ledger (and any
+        // lazily built backend state) dies with it, so nothing leaks
+        // between iterations or into other tests.
+        let session = Session::new(config.clone());
         let clock = MockClock::new();
-        let outcome = run_fleet_with(&config, 4, policy, &clock, workers, |_, g, _| {
+        let outcome = run_fleet_with(&session, 4, policy, &clock, workers, |_, g, _| {
             Some(g.n_rows() as f64)
         });
         assert_eq!(outcome.ok_modules(), 4, "workers={workers}");
         snapshots.push((workers, recorder.snapshot()));
     }
-    // Spill the session coverage this test accumulated so it cannot
-    // leak into other assertions about fleet state.
-    let _ = simra_characterize::take_session_coverage();
 
     let (_, reference) = &snapshots[0];
     for (workers, snapshot) in &snapshots {
@@ -153,9 +154,10 @@ fn sweep_grid_and_rig_pool_counters_are_deterministic() {
     let mut snapshots = Vec::new();
     for workers in [1usize, 2, 4] {
         recorder.reset();
+        let session = Session::new(config.clone());
         let clock = MockClock::new();
         let outcomes = run_sweep_with(
-            &config,
+            &session,
             &points,
             policy,
             &clock,
@@ -168,7 +170,6 @@ fn sweep_grid_and_rig_pool_counters_are_deterministic() {
         }
         snapshots.push((workers, recorder.snapshot()));
     }
-    let _ = simra_characterize::take_session_coverage();
 
     let (_, reference) = &snapshots[0];
     for (workers, snapshot) in &snapshots {
@@ -227,8 +228,9 @@ fn disabled_recorder_leaves_figure_output_byte_identical() {
 
     recorder.disable();
     recorder.reset();
-    let baseline_fig3 = simra_characterize::fig3_activation_timing(&config).to_string();
-    let baseline_fig5 = fig5_power(&config).to_string();
+    let session = Session::new(config);
+    let baseline_fig3 = simra_characterize::fig3_activation_timing(&session).to_string();
+    let baseline_fig5 = fig5_power(&session).to_string();
     assert_eq!(
         recorder
             .snapshot()
@@ -242,12 +244,11 @@ fn disabled_recorder_leaves_figure_output_byte_identical() {
 
     recorder.enable();
     recorder.reset();
-    let instrumented_fig3 = simra_characterize::fig3_activation_timing(&config).to_string();
-    let instrumented_fig5 = fig5_power(&config).to_string();
+    let instrumented_fig3 = simra_characterize::fig3_activation_timing(&session).to_string();
+    let instrumented_fig5 = fig5_power(&session).to_string();
     let snapshot = recorder.snapshot();
     recorder.disable();
     recorder.reset();
-    let _ = simra_characterize::take_session_coverage();
 
     assert_eq!(baseline_fig3, instrumented_fig3);
     assert_eq!(baseline_fig5, instrumented_fig5);

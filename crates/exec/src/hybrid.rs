@@ -14,7 +14,7 @@
 //! For each operating point (the surrogate's calibration key) inside a
 //! slot it maintains a [`SequentialEstimate`] — a Wilson-score interval
 //! over the analog success fractions observed so far, each weighted by
-//! [`SAMPLE_WEIGHT`] pseudo-trials. Per trial it either **answers from
+//! `SAMPLE_WEIGHT` pseudo-trials. Per trial it either **answers from
 //! the table** (two RNG draws, no analog work — byte-identical in form
 //! to a surrogate answer) or **escalates** (runs the real
 //! [`AnalogBackend`] trial and folds the result into the estimate).
@@ -28,7 +28,7 @@
 //!    the budget ceiling; this is what rescues Obs. 8),
 //! 3. **clear** — the interval contains none of the observation
 //!    thresholds the point's operation feeds
-//!    ([`decision_thresholds`]).
+//!    (`decision_thresholds`).
 //!
 //! A floor/ceiling trial budget clamps the sequential rule: at least
 //! `floor` analog trials are always spent (the consistency check needs
@@ -49,11 +49,13 @@
 //! observation history in slot order): the decision for trial *k* of a
 //! point depends only on the outcomes of that point's earlier analog
 //! trials *within the same slot*, which are themselves pure functions
-//! of the slot's seeded RNG stream. State lives in a thread-local keyed
-//! by the [`crate::slot`] epoch and is dropped at every slot boundary,
-//! so worker count, scheduling, retries, checkpoint resume, and
-//! sharding cannot leak history between slots — two same-seed runs are
-//! byte-identical. Answer samples consume exactly two uniforms (the
+//! of the slot's seeded RNG stream. State lives in a per-instance map
+//! keyed by worker thread and scoped to the [`crate::slot`] epoch, and
+//! is dropped at every slot boundary, so worker count, scheduling,
+//! retries, checkpoint resume, and sharding cannot leak history between
+//! slots — two same-seed runs are byte-identical, and two backend
+//! instances (e.g. two concurrent sessions) never see each other's
+//! state. Answer samples consume exactly two uniforms (the
 //! surrogate's noise shape) and escalated trials consume exactly the
 //! analog backend's draws, so a decided point's stream position matches
 //! what a pure table (resp. pure analog) run would produce — and
@@ -61,10 +63,10 @@
 //! replay identical noise, preserving the paired-observation
 //! cancellation the scoreboard relies on.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::fmt;
+use std::sync::Mutex;
+use std::thread::{self, ThreadId};
 
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -73,7 +75,7 @@ use simra_analog::montecarlo::{SequentialEstimate, Z_95};
 use simra_bender::TestSetup;
 use simra_core::rowgroup::GroupSpec;
 use simra_dram::Manufacturer;
-use simra_telemetry::{Counter, Histogram};
+use simra_telemetry::{Counter, Histogram, Recorder};
 
 use crate::surrogate::{noisy_success_sample, CalKey};
 use crate::{AnalogBackend, PudBackend, SurrogateBackend, TrialOp, TrialSpec};
@@ -164,10 +166,9 @@ struct PointState {
     answer: Option<f64>,
 }
 
-/// Thread-local hybrid state, valid for exactly one (backend instance,
-/// slot epoch) pair; reset on any mismatch.
+/// One worker thread's hybrid state within this backend instance,
+/// valid for exactly one slot epoch; reset on any mismatch.
 struct SlotCache {
-    instance: usize,
     epoch: u64,
     params: HybridParams,
     points: HashMap<CalKey, PointState>,
@@ -176,16 +177,11 @@ struct SlotCache {
 impl SlotCache {
     fn vacant() -> Self {
         SlotCache {
-            instance: usize::MAX,
             epoch: u64::MAX,
             params: HybridParams::default(),
             points: HashMap::new(),
         }
     }
-}
-
-thread_local! {
-    static SLOT_CACHE: RefCell<SlotCache> = RefCell::new(SlotCache::vacant());
 }
 
 /// What [`HybridBackend::run_trial`] should do for the current trial,
@@ -203,10 +199,8 @@ struct HybridCounters {
     analog_trials_per_point: Histogram,
 }
 
-fn counters() -> &'static HybridCounters {
-    static COUNTERS: OnceLock<HybridCounters> = OnceLock::new();
-    COUNTERS.get_or_init(|| {
-        let recorder = simra_telemetry::global();
+impl HybridCounters {
+    fn recorded_by(recorder: &Recorder) -> Self {
         HybridCounters {
             table_hits: recorder.counter("hybrid", "table_hits"),
             escalations: recorder.counter("hybrid", "escalations"),
@@ -214,24 +208,43 @@ fn counters() -> &'static HybridCounters {
             budget_capped: recorder.counter("hybrid", "budget_capped"),
             analog_trials_per_point: recorder.histogram("hybrid", "analog_trials_per_point"),
         }
-    })
+    }
 }
 
-static INSTANCE_IDS: AtomicUsize = AtomicUsize::new(0);
+impl Default for HybridCounters {
+    fn default() -> Self {
+        HybridCounters::recorded_by(simra_telemetry::global())
+    }
+}
 
 /// The adaptive hybrid backend. See the module docs for the decision
 /// rule and the determinism argument.
 ///
-/// Like the surrogate, one instance should live for a whole process so
+/// Like the surrogate, one instance should live for a whole session so
 /// the calibration cache stays warm; the escalation state, by contrast,
 /// is slot-scoped and never survives a [`crate::slot::begin`] boundary.
-#[derive(Debug)]
+/// All mutable state is owned by the instance — per-worker slot caches
+/// live in a map keyed by [`ThreadId`], not in process-wide
+/// thread-locals — so independent instances (one per session) are fully
+/// isolated.
 pub struct HybridBackend {
     surrogate: SurrogateBackend,
     params: Mutex<HybridParams>,
-    /// Distinguishes this instance's thread-local state from another
-    /// instance's (tests build several backends on one thread).
-    instance: usize,
+    counters: HybridCounters,
+    /// Per-worker slot-scoped escalation state. A slot runs start to
+    /// finish on one thread, so keying by thread keeps each slot's
+    /// history private without any cross-thread coordination beyond the
+    /// map lock (held only for the duration of one decision).
+    slots: Mutex<HashMap<ThreadId, SlotCache>>,
+}
+
+impl fmt::Debug for HybridBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HybridBackend")
+            .field("surrogate", &self.surrogate)
+            .field("params", &self.params())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for HybridBackend {
@@ -242,17 +255,30 @@ impl Default for HybridBackend {
 
 impl HybridBackend {
     /// A fresh hybrid backend with default parameters and an empty
-    /// calibration cache.
+    /// calibration cache, reporting to the global recorder.
     pub fn new() -> Self {
         HybridBackend::with_params(HybridParams::default())
     }
 
     /// A fresh hybrid backend with explicit parameters.
     pub fn with_params(params: HybridParams) -> Self {
+        HybridBackend::with_params_recorded(params, simra_telemetry::global())
+    }
+
+    /// A fresh hybrid backend reporting to `recorder`.
+    pub fn recorded_by(recorder: &Recorder) -> Self {
+        HybridBackend::with_params_recorded(HybridParams::default(), recorder)
+    }
+
+    /// A fresh hybrid backend with explicit parameters, reporting its
+    /// decision telemetry (and the underlying surrogate's calibration
+    /// cost) to `recorder`.
+    pub fn with_params_recorded(params: HybridParams, recorder: &Recorder) -> Self {
         HybridBackend {
-            surrogate: SurrogateBackend::new(),
+            surrogate: SurrogateBackend::recorded_by(recorder),
             params: Mutex::new(params),
-            instance: INSTANCE_IDS.fetch_add(1, Ordering::Relaxed),
+            counters: HybridCounters::recorded_by(recorder),
+            slots: Mutex::new(HashMap::new()),
         }
     }
 
@@ -277,64 +303,80 @@ impl HybridBackend {
     /// Decides the current trial of `key` from the slot-local history.
     /// Pure in (params, p_cal, op, history); consumes no RNG.
     fn decide(&self, key: &CalKey, p_cal: f64, op: &TrialOp) -> Action {
-        SLOT_CACHE.with(|cache| {
-            let mut cache = cache.borrow_mut();
-            let epoch = crate::slot::current();
-            if cache.instance != self.instance || cache.epoch != epoch {
-                cache.instance = self.instance;
-                cache.epoch = epoch;
-                cache.params = self.params();
-                cache.points.clear();
-            }
-            let params = cache.params;
-            let state = cache.points.entry(key.clone()).or_default();
-            if let Some(p) = state.answer {
-                counters().table_hits.incr();
-                return Action::Answer(p);
-            }
-            if state.analog_trials < params.floor.max(1) {
-                counters().escalations.incr();
-                return Action::Escalate;
-            }
-            let est = state.estimate;
-            let slack = params.epsilon.max(TABLE_ERROR_BAND);
-            let trusted = est.consistent_with(p_cal, slack, Z_95);
-            let decided = (est.converged(params.epsilon, Z_95)
-                && trusted
-                && est.clear_of(decision_thresholds(op), Z_95))
-                || state.analog_trials >= params.ceiling;
-            if !decided {
-                counters().escalations.incr();
-                return Action::Escalate;
-            }
-            if state.analog_trials >= params.ceiling {
-                counters().budget_capped.incr();
-            } else {
-                counters().early_stops.incr();
-            }
-            counters()
-                .analog_trials_per_point
-                .observe(state.analog_trials as f64);
-            // Anchor the answer to the evidence; pull toward the table
-            // only when the table agrees with what was measured.
-            let prior_weight = if trusted { PRIOR_WEIGHT } else { 0.0 };
-            let p = est.posterior_mean(p_cal, prior_weight);
-            state.answer = Some(p);
-            counters().table_hits.incr();
-            Action::Answer(p)
-        })
+        let params_now = self.params();
+        let mut slots = self.slots.lock().expect("hybrid slot state poisoned");
+        let cache = slots
+            .entry(thread::current().id())
+            .or_insert_with(SlotCache::vacant);
+        let epoch = crate::slot::current();
+        if cache.epoch != epoch {
+            cache.epoch = epoch;
+            cache.params = params_now;
+            cache.points.clear();
+        }
+        let params = cache.params;
+        let counters = &self.counters;
+        let state = cache.points.entry(key.clone()).or_default();
+        if let Some(p) = state.answer {
+            counters.table_hits.incr();
+            return Action::Answer(p);
+        }
+        if state.analog_trials < params.floor.max(1) {
+            counters.escalations.incr();
+            return Action::Escalate;
+        }
+        let est = state.estimate;
+        let slack = params.epsilon.max(TABLE_ERROR_BAND);
+        let trusted = est.consistent_with(p_cal, slack, Z_95);
+        let decided = (est.converged(params.epsilon, Z_95)
+            && trusted
+            && est.clear_of(decision_thresholds(op), Z_95))
+            || state.analog_trials >= params.ceiling;
+        if !decided {
+            counters.escalations.incr();
+            return Action::Escalate;
+        }
+        if state.analog_trials >= params.ceiling {
+            counters.budget_capped.incr();
+        } else {
+            counters.early_stops.incr();
+        }
+        counters
+            .analog_trials_per_point
+            .observe(state.analog_trials as f64);
+        // Anchor the answer to the evidence; pull toward the table
+        // only when the table agrees with what was measured.
+        let prior_weight = if trusted { PRIOR_WEIGHT } else { 0.0 };
+        let p = est.posterior_mean(p_cal, prior_weight);
+        state.answer = Some(p);
+        counters.table_hits.incr();
+        Action::Answer(p)
     }
 
     /// Folds an escalated trial's observed success fraction into the
     /// point's slot-local estimate.
     fn observe(&self, key: &CalKey, fraction: f64) {
-        SLOT_CACHE.with(|cache| {
-            let mut cache = cache.borrow_mut();
-            if let Some(state) = cache.points.get_mut(key) {
-                state.estimate.observe(fraction, SAMPLE_WEIGHT);
-                state.analog_trials += 1;
-            }
-        });
+        let mut slots = self.slots.lock().expect("hybrid slot state poisoned");
+        if let Some(state) = slots
+            .get_mut(&thread::current().id())
+            .and_then(|cache| cache.points.get_mut(key))
+        {
+            state.estimate.observe(fraction, SAMPLE_WEIGHT);
+            state.analog_trials += 1;
+        }
+    }
+
+    /// The analog trials this thread's current slot has spent on `key`
+    /// (0 when the point has no state). Test-support introspection.
+    #[cfg(test)]
+    fn analog_trials_spent(&self, key: &CalKey) -> u32 {
+        self.slots
+            .lock()
+            .expect("hybrid slot state poisoned")
+            .get(&thread::current().id())
+            .and_then(|cache| cache.points.get(key))
+            .map(|state| state.analog_trials)
+            .unwrap_or(0)
     }
 }
 
@@ -416,14 +458,7 @@ mod tests {
             .map(|_| backend.run_trial(spec, &mut setup, &group, &mut rng))
             .collect();
         let key = CalKey::new(setup.module().profile(), spec, n);
-        let spent = SLOT_CACHE.with(|cache| {
-            cache
-                .borrow()
-                .points
-                .get(&key)
-                .map(|s| s.analog_trials)
-                .unwrap_or(0)
-        });
+        let spent = backend.analog_trials_spent(&key);
         (samples, spent)
     }
 

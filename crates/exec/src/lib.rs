@@ -34,6 +34,7 @@
 
 pub mod hybrid;
 pub mod manifest;
+pub mod session;
 pub mod slot;
 pub mod surrogate;
 
@@ -52,6 +53,7 @@ pub use manifest::{
     stable_digest, ManifestError, PointDigest, ShardSpec, SweepManifest,
     SWEEP_MANIFEST_SCHEMA_VERSION,
 };
+pub use session::{BackendSet, ExecSession};
 pub use surrogate::SurrogateBackend;
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,260 @@
+//! Session-scoped execution context: everything a characterization
+//! campaign used to reach through process globals for, owned by a
+//! value.
+//!
+//! A process hosts exactly one global telemetry recorder, one global
+//! backend set, and one set of global engine counters — which pins one
+//! campaign per process. [`ExecSession`] evicts that state into an
+//! owned context: a [`Recorder`] handle, a [`BackendSet`] whose
+//! surrogate calibration cache and hybrid slot state are instance-owned,
+//! the engine op-counter handles every rig inherits, and the campaign's
+//! root seed. Two sessions on the same process (even on the same shared
+//! fleet pool) are fully isolated: their backends never share mutable
+//! state, and their telemetry lands in their own recorders.
+//!
+//! Determinism is unaffected by where telemetry lands: counters and
+//! spans never touch an RNG stream, the surrogate's calibration probes
+//! are pure functions of the calibration key, and the hybrid's
+//! escalation state is slot-scoped per instance — so a session's output
+//! is byte-identical whether it runs alone or next to others.
+//!
+//! The old globals remain as default shims ([`BackendSet::global`],
+//! `simra_telemetry::global`): code that never constructs a session
+//! keeps its historical behavior.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use simra_analog::EngineCounters;
+use simra_telemetry::Recorder;
+
+use crate::{
+    AnalogBackend, BackendChoice, HybridBackend, HybridParams, PudBackend, SurrogateBackend,
+};
+
+/// One of each backend, dispatched by [`BackendChoice`].
+///
+/// Each set owns its surrogate calibration cache and hybrid slot state,
+/// so independent sets (one per session) are isolated; within one set
+/// the caches stay warm across figures — `check_observations`
+/// regenerates every figure and, past the first, runs on cache hits.
+#[derive(Debug, Default)]
+pub struct BackendSet {
+    analog: AnalogBackend,
+    surrogate: SurrogateBackend,
+    hybrid: HybridBackend,
+}
+
+impl BackendSet {
+    /// The process-wide default set, reporting to the global recorder —
+    /// the shim for code that does not carry an [`ExecSession`].
+    pub fn global() -> &'static BackendSet {
+        static GLOBAL: OnceLock<BackendSet> = OnceLock::new();
+        GLOBAL.get_or_init(BackendSet::default)
+    }
+
+    /// A fresh set whose backends report to `recorder`.
+    pub fn recorded_by(recorder: &Recorder) -> Self {
+        BackendSet {
+            analog: AnalogBackend,
+            surrogate: SurrogateBackend::recorded_by(recorder),
+            hybrid: HybridBackend::recorded_by(recorder),
+        }
+    }
+
+    /// The backend a choice names.
+    pub fn dispatch(&self, choice: BackendChoice) -> &dyn PudBackend {
+        match choice {
+            BackendChoice::Analog => &self.analog,
+            BackendChoice::Surrogate => &self.surrogate,
+            BackendChoice::Hybrid => &self.hybrid,
+        }
+    }
+
+    /// The analog backend.
+    pub fn analog(&self) -> &AnalogBackend {
+        &self.analog
+    }
+
+    /// The surrogate backend (instance-owned calibration cache).
+    pub fn surrogate(&self) -> &SurrogateBackend {
+        &self.surrogate
+    }
+
+    /// The hybrid backend (instance-owned slot state and parameters).
+    pub fn hybrid(&self) -> &HybridBackend {
+        &self.hybrid
+    }
+
+    /// Applies decision parameters to the hybrid backend (new slots
+    /// pick them up; running slots keep their snapshot).
+    pub fn set_hybrid_params(&self, params: HybridParams) {
+        self.hybrid.set_params(params);
+    }
+}
+
+/// The owned execution context of one characterization session: the
+/// telemetry recorder, the backend set (with its calibration cache and
+/// hybrid slot state), the engine op-counter handles, and the root
+/// seed. See the module docs for the isolation and determinism
+/// contract.
+pub struct ExecSession {
+    recorder: Recorder,
+    seed: u64,
+    backends: BackendSet,
+    engine_counters: EngineCounters,
+}
+
+impl fmt::Debug for ExecSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecSession")
+            .field("seed", &self.seed)
+            .field("backends", &self.backends)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ExecSession {
+    /// A session reporting to the process-global recorder — the default
+    /// the `repro` CLI constructs, byte- and telemetry-compatible with
+    /// the pre-session code path.
+    pub fn new(seed: u64) -> Self {
+        ExecSession::recorded_by(seed, simra_telemetry::global().clone())
+    }
+
+    /// A session with a private recorder. Enable it with
+    /// [`Recorder::enable`] if its snapshots should carry data.
+    pub fn recorded_by(seed: u64, recorder: Recorder) -> Self {
+        let backends = BackendSet::recorded_by(&recorder);
+        let engine_counters = EngineCounters::recorded_by(&recorder);
+        ExecSession {
+            recorder,
+            seed,
+            backends,
+            engine_counters,
+        }
+    }
+
+    /// The session's telemetry recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The session's root seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The session's backend set.
+    pub fn backends(&self) -> &BackendSet {
+        &self.backends
+    }
+
+    /// The backend a choice names, from this session's set.
+    pub fn dispatch(&self, choice: BackendChoice) -> &dyn PudBackend {
+        self.backends.dispatch(choice)
+    }
+
+    /// The engine op-counter handles rigs of this session should report
+    /// through (`TestSetup::set_engine_counters`).
+    pub fn engine_counters(&self) -> &EngineCounters {
+        &self.engine_counters
+    }
+
+    /// Applies decision parameters to this session's hybrid backend.
+    pub fn set_hybrid_params(&self, params: HybridParams) {
+        self.backends.set_hybrid_params(params);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use simra_bender::TestSetup;
+    use simra_core::rowgroup::random_group;
+    use simra_dram::{ApaTiming, BankId, DramModule, SubarrayId, VendorProfile};
+
+    use crate::TrialSpec;
+
+    #[test]
+    fn dispatch_names_match_choices() {
+        let session = ExecSession::new(7);
+        assert_eq!(session.dispatch(BackendChoice::Analog).name(), "analog");
+        assert_eq!(
+            session.dispatch(BackendChoice::Surrogate).name(),
+            "surrogate"
+        );
+        assert_eq!(session.dispatch(BackendChoice::Hybrid).name(), "hybrid");
+    }
+
+    #[test]
+    fn private_recorders_capture_only_their_sessions_work() {
+        let recorder_a = Recorder::new();
+        recorder_a.enable();
+        let recorder_b = Recorder::new();
+        recorder_b.enable();
+        let a = ExecSession::recorded_by(7, recorder_a.clone());
+        let _b = ExecSession::recorded_by(8, recorder_b.clone());
+
+        // One surrogate trial on session A only: its calibration probe
+        // must land in A's recorder and nowhere near B's.
+        crate::slot::begin();
+        let mut setup = TestSetup::with_module(DramModule::new(VendorProfile::mfr_h_m_die(), 7));
+        setup.set_engine_counters(a.engine_counters().clone());
+        let mut rng = StdRng::seed_from_u64(21);
+        let group = random_group(
+            setup.module().geometry(),
+            BankId::new(0),
+            SubarrayId::new(0),
+            32,
+            &mut rng,
+        )
+        .expect("subarray hosts the group");
+        let spec = TrialSpec::activation(ApaTiming::best_for_activation());
+        let sample = a
+            .dispatch(BackendChoice::Surrogate)
+            .run_trial(&spec, &mut setup, &group, &mut rng)
+            .expect("feasible trial");
+        assert!(sample > 0.9, "calibrated activation success {sample}");
+
+        let probes = |snapshot: simra_telemetry::Snapshot| {
+            snapshot
+                .counters
+                .iter()
+                .filter(|c| c.module == "surrogate" && c.name == "calibration_probes")
+                .map(|c| c.value)
+                .sum::<u64>()
+        };
+        assert_eq!(probes(recorder_a.snapshot()), 1, "A paid one probe");
+        assert_eq!(probes(recorder_b.snapshot()), 0, "B saw nothing");
+    }
+
+    #[test]
+    fn sessions_do_not_share_hybrid_or_surrogate_state() {
+        let a = ExecSession::recorded_by(1, Recorder::new());
+        let b = ExecSession::recorded_by(2, Recorder::new());
+        crate::slot::begin();
+        let mut setup = TestSetup::with_module(DramModule::new(VendorProfile::mfr_h_m_die(), 7));
+        let mut rng = StdRng::seed_from_u64(21);
+        let group = random_group(
+            setup.module().geometry(),
+            BankId::new(0),
+            SubarrayId::new(0),
+            32,
+            &mut rng,
+        )
+        .expect("subarray hosts the group");
+        let spec = TrialSpec::activation(ApaTiming::best_for_activation());
+        let _ = a
+            .dispatch(BackendChoice::Surrogate)
+            .run_trial(&spec, &mut setup, &group, &mut rng);
+        assert_eq!(a.backends().surrogate.calibrated_points(), 1);
+        assert_eq!(
+            b.backends().surrogate.calibrated_points(),
+            0,
+            "B's calibration cache is untouched by A's probe"
+        );
+    }
+}

@@ -52,14 +52,17 @@
 //! this band (`.github/workflows/ci.yml`, `repro-surrogate`).
 
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::fmt;
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use simra_analog::EngineCounters;
 use simra_bender::TestSetup;
 use simra_core::rowgroup::{sample_groups, GroupSpec};
 use simra_dram::{DataPattern, DramModule, Manufacturer, VendorProfile};
+use simra_telemetry::Recorder;
 
 use crate::{AnalogBackend, MrcSource, PudBackend, TrialOp, TrialSpec};
 
@@ -207,19 +210,37 @@ impl CalKey {
 /// The calibrated fast surrogate backend. See the module docs for the
 /// model, the calibration procedure, and the error band.
 ///
-/// One instance should live for a whole process (the characterization
-/// layer keeps a global one) so the calibration cache stays warm across
+/// One instance should live for a whole session (an `ExecSession` keeps
+/// one per backend set) so the calibration cache stays warm across
 /// figures — `check_observations` regenerates every figure and then
-/// runs entirely on cache hits.
+/// runs entirely on cache hits. The cache contents are deterministic in
+/// the key (the probe rig and its RNG are seeded from the key alone),
+/// so a fresh instance recalibrating from scratch lands on identical
+/// probabilities — sessions never need to share a table to agree.
 #[derive(Debug, Default)]
 pub struct SurrogateBackend {
     calibration: Mutex<HashMap<CalKey, f64>>,
+    counters: CalCounters,
+    /// Counter handles the calibration rig reports engine ops to, so a
+    /// session's probe cost lands in that session's recorder.
+    engine_counters: EngineCounters,
 }
 
 impl SurrogateBackend {
-    /// A fresh surrogate with an empty calibration cache.
+    /// A fresh surrogate with an empty calibration cache, reporting to
+    /// the global recorder.
     pub fn new() -> Self {
         SurrogateBackend::default()
+    }
+
+    /// A fresh surrogate reporting its calibration cost (and the probe
+    /// rig's engine ops) to `recorder`.
+    pub fn recorded_by(recorder: &Recorder) -> Self {
+        SurrogateBackend {
+            calibration: Mutex::new(HashMap::new()),
+            counters: CalCounters::recorded_by(recorder),
+            engine_counters: EngineCounters::recorded_by(recorder),
+        }
     }
 
     /// Number of calibrated configurations currently cached.
@@ -242,10 +263,15 @@ impl SurrogateBackend {
         if let Some(&p) = cache.get(&key) {
             return p;
         }
-        let counters = cal_counters();
-        counters.probes.incr();
-        counters.probe_groups.add(CAL_GROUPS as u64);
-        let p = calibrate(profile, &key.canonical_spec(spec), n, key.physics_seed());
+        self.counters.probes.incr();
+        self.counters.probe_groups.add(CAL_GROUPS as u64);
+        let p = calibrate(
+            profile,
+            &key.canonical_spec(spec),
+            n,
+            key.physics_seed(),
+            &self.engine_counters,
+        );
         cache.insert(key, p);
         p
     }
@@ -263,15 +289,28 @@ struct CalCounters {
     probe_groups: simra_telemetry::Counter,
 }
 
-fn cal_counters() -> &'static CalCounters {
-    static COUNTERS: OnceLock<CalCounters> = OnceLock::new();
-    COUNTERS.get_or_init(|| {
-        let recorder = simra_telemetry::global();
+impl CalCounters {
+    fn recorded_by(recorder: &Recorder) -> Self {
         CalCounters {
             probes: recorder.counter("surrogate", "calibration_probes"),
             probe_groups: recorder.counter("surrogate", "calibration_probe_groups"),
         }
-    })
+    }
+}
+
+impl Default for CalCounters {
+    fn default() -> Self {
+        CalCounters::recorded_by(simra_telemetry::global())
+    }
+}
+
+impl fmt::Debug for CalCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CalCounters")
+            .field("probes", &self.probes.get())
+            .field("probe_groups", &self.probe_groups.get())
+            .finish()
+    }
 }
 
 /// One calibration probe: mount a narrow rig of the profile, draw the
@@ -280,10 +319,17 @@ fn cal_counters() -> &'static CalCounters {
 /// Because the probe goes through [`AnalogBackend`], calibration rides
 /// the tiled/batched analog hot path for free (batched MAJX senses,
 /// fused commit-survival reductions) without any code here changing.
-fn calibrate(profile: &VendorProfile, spec: &TrialSpec, n: u32, seed: u64) -> f64 {
+fn calibrate(
+    profile: &VendorProfile,
+    spec: &TrialSpec,
+    n: u32,
+    seed: u64,
+    engine_counters: &EngineCounters,
+) -> f64 {
     let mut cal_profile = profile.clone();
     cal_profile.geometry.cols_per_row = CAL_COLS.min(cal_profile.geometry.cols_per_row);
     let mut setup = TestSetup::with_module(DramModule::new(cal_profile, CAL_RIG_SEED));
+    setup.set_engine_counters(engine_counters.clone());
     let mut rng = StdRng::seed_from_u64(seed);
     let groups = sample_groups(setup.module().geometry(), n, 1, 1, CAL_GROUPS, &mut rng);
     let mut sum = 0.0;

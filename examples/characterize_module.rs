@@ -6,7 +6,7 @@
 
 use simra::bender::TestSetup;
 use simra::characterize::config::{ExperimentConfig, ModuleUnderTest};
-use simra::characterize::{fig10_mrc_timing, fig7_majx_patterns};
+use simra::characterize::{fig10_mrc_timing, fig7_majx_patterns, Session};
 use simra::dram::{BankId, VendorProfile};
 use simra::pud::boundary::{find_boundaries, infer_subarray_size};
 
@@ -26,11 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Step 2 — run two of the paper's figure sweeps on just this module.
-    let config = ExperimentConfig {
+    let session = Session::new(ExperimentConfig {
         modules: vec![ModuleUnderTest { profile, seed: 123 }],
         ..ExperimentConfig::quick()
-    };
-    println!("\n{}", fig7_majx_patterns(&config));
-    println!("{}", fig10_mrc_timing(&config));
+    });
+    println!("\n{}", fig7_majx_patterns(&session));
+    println!("{}", fig10_mrc_timing(&session));
     Ok(())
 }

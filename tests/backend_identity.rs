@@ -15,7 +15,7 @@ use rand::Rng;
 
 use simra::bender::TestSetup;
 use simra::characterize::{
-    sweep_group_samples, sweep_trial_samples, trial_point, ExperimentConfig, SweepPoint,
+    sweep_group_samples, sweep_trial_samples, trial_point, ExperimentConfig, Session, SweepPoint,
 };
 use simra::dram::{ApaTiming, BitRow, DataPattern, Manufacturer};
 use simra::exec::{AnalogBackend, BackendChoice, MrcSource, PudBackend, TrialSpec};
@@ -182,8 +182,9 @@ fn activation_sweep_is_byte_identical_through_the_trait() {
             trial_point(&config, n, spec)
         })
         .collect();
-    let legacy = sweep_group_samples(&config, &legacy_points, legacy_activation_op);
-    let dispatched = sweep_trial_samples(&config, &trait_points);
+    let session = Session::new(config.clone());
+    let legacy = sweep_group_samples(&session, &legacy_points, legacy_activation_op);
+    let dispatched = sweep_trial_samples(&session, &trait_points);
     assert_eq!(bits(&legacy), bits(&dispatched));
 }
 
@@ -223,8 +224,9 @@ fn majx_sweep_is_byte_identical_through_the_trait() {
             )
         })
         .collect();
-    let legacy = sweep_group_samples(&config, &legacy_points, legacy_majx_op);
-    let dispatched = sweep_trial_samples(&config, &trait_points);
+    let session = Session::new(config.clone());
+    let legacy = sweep_group_samples(&session, &legacy_points, legacy_majx_op);
+    let dispatched = sweep_trial_samples(&session, &trait_points);
     assert_eq!(bits(&legacy), bits(&dispatched));
 }
 
@@ -264,8 +266,9 @@ fn mrc_sweep_is_byte_identical_through_the_trait() {
             TrialSpec::multirowcopy(timing, MrcSource::AllOnes).at_temperature(70.0),
         ),
     ];
-    let legacy = sweep_group_samples(&config, &legacy_points, legacy_mrc_op);
-    let dispatched = sweep_trial_samples(&config, &trait_points);
+    let session = Session::new(config.clone());
+    let legacy = sweep_group_samples(&session, &legacy_points, legacy_mrc_op);
+    let dispatched = sweep_trial_samples(&session, &trait_points);
     assert_eq!(bits(&legacy), bits(&dispatched));
 }
 
@@ -316,8 +319,8 @@ fn surrogate_fig4a_stays_within_the_documented_band() {
     let analog_cfg = ExperimentConfig::quick();
     let mut surrogate_cfg = ExperimentConfig::quick();
     surrogate_cfg.backend = BackendChoice::Surrogate;
-    let analog = simra::characterize::fig4a_activation_temperature(&analog_cfg);
-    let surrogate = simra::characterize::fig4a_activation_temperature(&surrogate_cfg);
+    let analog = simra::characterize::fig4a_activation_temperature(&Session::new(analog_cfg));
+    let surrogate = simra::characterize::fig4a_activation_temperature(&Session::new(surrogate_cfg));
     for (ra, rs) in analog.rows.iter().zip(&surrogate.rows) {
         assert_eq!(ra.label, rs.label);
         for (va, vs) in ra.values.iter().zip(&rs.values) {

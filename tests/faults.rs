@@ -9,15 +9,29 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use simra::bender::TestSetup;
-use simra::characterize::backend::trial_op;
 use simra::characterize::{
     collect_group_samples, collect_group_samples_serial, run_fleet_with, run_sweep_with,
-    trial_point, ExperimentConfig, FleetPolicy, MockClock, ModuleResult, SweepPoint, TrialPoint,
+    trial_point, ExperimentConfig, FleetPolicy, MockClock, ModuleResult, Session, SweepPoint,
+    TrialPoint,
 };
 use simra::dram::ApaTiming;
 use simra::exec::{BackendChoice, TrialSpec};
 use simra::faults::{CellFaultSpec, FaultPlan, ModuleFault, ModuleFaultKind};
 use simra::pud::rowgroup::GroupSpec;
+
+/// The figure runners' op shape: dispatch the point's spec through the
+/// session's backend of the point's choice.
+fn run_trial_via(
+    session: &Session,
+    tp: &TrialPoint,
+    setup: &mut TestSetup,
+    group: &GroupSpec,
+    rng: &mut StdRng,
+) -> Option<f64> {
+    session
+        .dispatch(tp.backend)
+        .run_trial(&tp.spec, setup, group, rng)
+}
 
 /// An op that exercises RNG state, group identity, and module identity,
 /// without touching cell arrays (keeps the proptests fast).
@@ -72,10 +86,11 @@ proptest! {
         let mut config = two_module_config(seed);
         let baseline = collect_group_samples_serial(&config, n, probe_op);
         config.faults = Some(FaultPlan::default());
-        prop_assert_eq!(&collect_group_samples(&config, n, probe_op), &baseline);
+        let session = Session::new(config.clone());
+        prop_assert_eq!(&collect_group_samples(&session, n, probe_op), &baseline);
         let clock = MockClock::new();
         for workers in [1usize, 2, 4] {
-            let outcome = run_fleet_with(&config, n, FleetPolicy::default(), &clock, workers, probe_op);
+            let outcome = run_fleet_with(&session, n, FleetPolicy::default(), &clock, workers, probe_op);
             prop_assert_eq!(outcome.slots.len(), config.modules.len());
             prop_assert_eq!(&outcome.into_samples(), &baseline);
         }
@@ -127,10 +142,11 @@ proptest! {
             ..FleetPolicy::default()
         };
         config.faults = Some(plan);
+        let session = Session::new(config.clone());
         let clock = MockClock::new();
         let outcomes: Vec<_> = [1usize, 2, 4]
             .iter()
-            .map(|&workers| run_fleet_with(&config, 3, policy, &clock, workers, probe_op))
+            .map(|&workers| run_fleet_with(&session, 3, policy, &clock, workers, probe_op))
             .collect();
         for outcome in &outcomes {
             prop_assert_eq!(outcome.slots.len(), 3, "no slot may be lost");
@@ -194,9 +210,11 @@ proptest! {
         };
         let clock = MockClock::new();
         config.faults = Some(plan);
-        let original = run_fleet_with(&config, 4, policy, &clock, 2, probe_op);
+        let session = Session::new(config.clone());
+        let original = run_fleet_with(&session, 4, policy, &clock, 2, probe_op);
         config.faults = Some(reparsed);
-        let round_tripped = run_fleet_with(&config, 4, policy, &clock, 2, probe_op);
+        let session = Session::new(config.clone());
+        let round_tripped = run_fleet_with(&session, 4, policy, &clock, 2, probe_op);
         prop_assert_eq!(&original, &round_tripped, "JSON round trip perturbed fault application");
     }
 }
@@ -239,13 +257,14 @@ proptest! {
             probe_op(setup, g, rng).map(|s| s + f64::from(*params))
         };
         let clock = MockClock::new();
+        let session = Session::new(config.clone());
         for workers in [1usize, 2, 4] {
-            let sweep = run_sweep_with(&config, &points, policy, &clock, workers, op);
+            let sweep = run_sweep_with(&session, &points, policy, &clock, workers, op);
             prop_assert_eq!(sweep.len(), points.len());
             for (point, outcome) in points.iter().zip(&sweep) {
                 let n = point.n;
                 let fresh = run_fleet_with(
-                    &config,
+                    &session,
                     n,
                     policy,
                     &clock,
@@ -273,26 +292,37 @@ proptest! {
             .take(2)
             .map(|&n| trial_point(&config, n, spec))
             .collect();
+        let session = Session::new(config.clone());
         for workers in [1usize, 2] {
-            let sweep = run_sweep_with(&config, &trial_points, policy, &clock, workers, trial_op);
+            let sweep = run_sweep_with(
+                &session,
+                &trial_points,
+                policy,
+                &clock,
+                workers,
+                |tp, s, g, r| run_trial_via(&session, tp, s, g, r),
+            );
             prop_assert_eq!(sweep.len(), trial_points.len());
             for (point, outcome) in trial_points.iter().zip(&sweep) {
                 let tp = point.params;
                 let fresh = run_fleet_with(
-                    &config,
+                    &session,
                     point.n,
                     policy,
                     &clock,
                     workers,
-                    |s: &mut TestSetup, g: &GroupSpec, r: &mut StdRng| trial_op(&tp, s, g, r),
+                    |s: &mut TestSetup, g: &GroupSpec, r: &mut StdRng| {
+                        run_trial_via(&session, &tp, s, g, r)
+                    },
                 );
                 prop_assert_eq!(
                     outcome, &fresh,
                     "backend {} leg: workers={} n={}", config.backend, workers, point.n
                 );
                 if preset.is_none() {
-                    let serial =
-                        collect_group_samples_serial(&config, point.n, |s, g, r| trial_op(&tp, s, g, r));
+                    let serial = collect_group_samples_serial(&config, point.n, |s, g, r| {
+                        run_trial_via(&session, &tp, s, g, r)
+                    });
                     prop_assert_eq!(outcome.samples(), serial);
                 }
             }
@@ -319,17 +349,22 @@ fn backend_generic_pooled_sweep_matches_fresh_construction() {
             .map(|&n| trial_point(&config, n, spec))
             .collect();
         let clock = MockClock::new();
-        let sweep = run_sweep_with(&config, &points, policy, &clock, 2, trial_op);
+        let session = Session::new(config.clone());
+        let sweep = run_sweep_with(&session, &points, policy, &clock, 2, |tp, s, g, r| {
+            run_trial_via(&session, tp, s, g, r)
+        });
         assert_eq!(sweep.len(), points.len());
         for (point, outcome) in points.iter().zip(&sweep) {
             let tp = point.params;
             let fresh = run_fleet_with(
-                &config,
+                &session,
                 point.n,
                 policy,
                 &clock,
                 2,
-                |s: &mut TestSetup, g: &GroupSpec, r: &mut StdRng| trial_op(&tp, s, g, r),
+                |s: &mut TestSetup, g: &GroupSpec, r: &mut StdRng| {
+                    run_trial_via(&session, &tp, s, g, r)
+                },
             );
             assert_eq!(outcome, &fresh, "backend {backend} n={}", point.n);
             assert!(
@@ -349,8 +384,9 @@ fn dropout_preset_reports_partial_results() {
     let mut config = two_module_config(0xD5A);
     let plan = FaultPlan::preset("dropout", config.modules.len()).expect("preset exists");
     config.faults = Some(plan);
+    let session = Session::new(config);
     let clock = MockClock::new();
-    let outcome = run_fleet_with(&config, 4, FleetPolicy::default(), &clock, 2, probe_op);
+    let outcome = run_fleet_with(&session, 4, FleetPolicy::default(), &clock, 2, probe_op);
     assert_eq!(outcome.slots.len(), 2);
     // Module 0 panics once (heals on retry); module 1 drops out for good.
     match &outcome.slots[0] {
